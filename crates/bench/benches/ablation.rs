@@ -1,0 +1,43 @@
+//! Ablation-adjacent benches: the reference software at paper scale (the
+//! actual wall-clock of the "reference software written in C", here Rust),
+//! and the host-leaves fallback overhead.
+
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_cpu::{Precision as CpuPrecision, ReferenceSoftware};
+use bop_finance::workload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn reference_software(c: &mut Criterion) {
+    let sw = ReferenceSoftware::new();
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 2, 3);
+    let mut g = c.benchmark_group("reference_software_n1023");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(options.len() as u64));
+    g.bench_function("double", |b| {
+        b.iter(|| black_box(sw.price_batch(&options, 1023, CpuPrecision::Double)))
+    });
+    g.bench_function("single", |b| {
+        b.iter(|| black_box(sw.price_batch(&options, 1023, CpuPrecision::Single)))
+    });
+    g.finish();
+}
+
+fn host_leaves_fallback(c: &mut Criterion) {
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 4);
+    let mut g = c.benchmark_group("fallback_n64");
+    g.sample_size(20);
+    for (name, arch) in [
+        ("device_pow", KernelArch::Optimized),
+        ("host_leaves", KernelArch::OptimizedHostLeaves),
+    ] {
+        let acc =
+            Accelerator::new(bop_core::devices::fpga(), arch, Precision::Double, 64, None)
+                .expect("builds");
+        g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, reference_software, host_leaves_fallback);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Compiler-path benches: front-end, FPGA fit, full program build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clc");
+    for arch in [bop_core::KernelArch::Straightforward, bop_core::KernelArch::Optimized] {
+        let src = arch.source(bop_core::Precision::Double);
+        g.bench_function(format!("compile/{}", arch.kernel_name()), |b| {
+            b.iter(|| {
+                bop_clc::compile("k.cl", black_box(&src), &bop_clc::Options::default())
+                    .expect("compiles")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fpga_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpga");
+    for arch in [bop_core::KernelArch::Straightforward, bop_core::KernelArch::Optimized] {
+        let src = arch.source(bop_core::Precision::Double);
+        let module = std::sync::Arc::new(
+            bop_clc::compile("k.cl", &src, &bop_clc::Options::default()).expect("compiles"),
+        );
+        let device = bop_fpga::FpgaDevice::de4();
+        let build = arch.paper_build_options();
+        g.bench_function(format!("fit/{}", arch.kernel_name()), |b| {
+            b.iter(|| {
+                use bop_ocl::Device;
+                device.compile(black_box(module.clone()), &build).expect("fits")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, frontend, fpga_fit);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Interpreter throughput: how fast the simulator itself runs (node
+//! updates per second), and the native reference pricer for contrast.
+
+use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+use bop_clir::mathlib::{DeviceMath, ExactMath};
+use bop_clir::value::Value;
+use bop_finance::binomial::{price_american_f64, tree_nodes};
+use bop_finance::OptionParams;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn interp_optimized_kernel(c: &mut Criterion) {
+    let n: usize = 64;
+    let src = bop_core::KernelArch::Optimized.source(bop_core::Precision::Double);
+    let module = bop_clc::compile("k.cl", &src, &bop_clc::Options::default()).expect("compiles");
+    let func = module.kernel("binomial_option").expect("kernel");
+    let option = OptionParams::example();
+    let coeffs = {
+        let c = bop_finance::CrrParams::from_option(&option, n);
+        [option.spot, option.strike, c.u, c.pd, c.qd, 1.0]
+    };
+
+    let mut g = c.benchmark_group("interp");
+    g.throughput(Throughput::Elements(tree_nodes(n)));
+    g.bench_function("binomial_option_workgroup", |b| {
+        b.iter(|| {
+            let mut mem = VecMemory::new();
+            let params = mem.alloc_global(6 * 8);
+            for (i, v) in coeffs.iter().enumerate() {
+                mem.write_f64(params, i, *v);
+            }
+            let results = mem.alloc_global(8);
+            let local = mem.alloc_local((n + 1) * 8);
+            let shape = GroupShape::linear(n + 1, n + 1, 0);
+            let mut run = WorkGroupRun::new(
+                func,
+                shape,
+                &[
+                    KernelArgValue::GlobalBuffer(params),
+                    KernelArgValue::GlobalBuffer(results),
+                    KernelArgValue::LocalBuffer(local),
+                    KernelArgValue::Scalar(Value::I32(n as i32)),
+                ],
+                0,
+            )
+            .expect("args");
+            run.run(&mut mem, &DeviceMath::altera_13_0()).expect("runs");
+            black_box(mem.read_f64(results, 0))
+        })
+    });
+    g.finish();
+}
+
+fn native_reference(c: &mut Criterion) {
+    let option = OptionParams::example();
+    let mut g = c.benchmark_group("native");
+    for n in [256usize, 1024] {
+        g.throughput(Throughput::Elements(tree_nodes(n)));
+        g.bench_function(format!("price_american_f64/{n}"), |b| {
+            b.iter(|| black_box(price_american_f64(black_box(&option), n)))
+        });
+    }
+    g.finish();
+}
+
+fn softmath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmath");
+    g.bench_function("pow_full", |b| {
+        b.iter(|| black_box(bop_clir::softmath::pow(black_box(1.0065), black_box(512.0), None)))
+    });
+    g.bench_function("pow_quantized", |b| {
+        b.iter(|| black_box(bop_clir::softmath::pow(black_box(1.0065), black_box(512.0), Some(16))))
+    });
+    use bop_clir::mathlib::MathLib;
+    g.bench_function("libm_pow", |b| {
+        b.iter(|| black_box(ExactMath.pow64(black_box(1.0065), black_box(512.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, interp_optimized_kernel, native_reference, softmath);
+criterion_main!(benches);

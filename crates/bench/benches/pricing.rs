@@ -1,0 +1,45 @@
+//! End-to-end accelerator benches: functional pricing and paper-scale
+//! projection (Table II's machinery).
+
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_finance::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn functional_pricing(c: &mut Criterion) {
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 1);
+    let mut g = c.benchmark_group("price_functional_n64");
+    g.sample_size(20);
+    for (name, device) in [
+        ("fpga", bop_core::devices::fpga()),
+        ("gpu", bop_core::devices::gpu()),
+        ("cpu", bop_core::devices::cpu()),
+    ] {
+        let acc = Accelerator::new(device, KernelArch::Optimized, Precision::Double, 64, None)
+            .expect("builds");
+        g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
+    }
+    g.finish();
+}
+
+fn projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("project_paper_scale");
+    g.sample_size(10);
+    let acc = Accelerator::new(
+        bop_core::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        1023,
+        None,
+    )
+    .expect("builds");
+    // Warm the calibration cache so the bench measures the replay.
+    acc.calibrate().expect("calibrates");
+    g.bench_function("fpga_iv_b_2000_options", |b| {
+        b.iter(|| black_box(acc.project(2000).expect("projects")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, functional_pricing, projection);
+criterion_main!(benches);

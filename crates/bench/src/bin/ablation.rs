@@ -1,0 +1,94 @@
+//! Design-choice ablations (Sections IV-V + conclusion).
+use bop_core::experiments::ablation;
+
+fn main() {
+    println!("== A. Reduced host-device reads (kernel IV.A, Section V.C) ==\n");
+    for device in [bop_core::devices::gpu(), bop_core::devices::fpga()] {
+        let r = ablation::reduced_reads(device, 512, 512).expect("runs");
+        println!(
+            "{:<40} naive {:>8.1} options/s   root-only {:>8.1} options/s   speedup {:>5.1}x",
+            r.device, r.naive_options_per_s, r.modified_options_per_s, r.speedup()
+        );
+    }
+    println!("\n(paper: modified GPU version 14x faster — 840 vs 58.4 options/s)\n");
+
+    println!("== B. Build-option exploration (kernel IV.B on the FPGA, Section V.B) ==\n");
+    println!("{:>6}{:>8}{:>10}{:>12}{:>10}{:>14}{:>14}", "simd", "unroll", "logic", "clock MHz", "power W", "options/s", "options/J");
+    let grid = ablation::build_grid(256, 1000, &[1, 2, 4, 8, 16], &[1, 2, 4]).expect("explores");
+    for p in &grid {
+        match &p.outcome {
+            Some(o) => println!(
+                "{:>6}{:>8}{:>9.0}%{:>12.2}{:>10.1}{:>14.0}{:>14.1}",
+                p.build.simd,
+                p.build.unroll.unwrap_or(1),
+                o.logic_util * 100.0,
+                o.clock_hz / 1e6,
+                o.power_watts,
+                o.options_per_s,
+                o.options_per_j
+            ),
+            None => println!(
+                "{:>6}{:>8}{:>44}",
+                p.build.simd,
+                p.build.unroll.unwrap_or(1),
+                "--- does not fit ---"
+            ),
+        }
+    }
+    println!("\n(the paper chose unroll 2 x vec 4 \"after several compilation iterations\")\n");
+
+    println!("== C. Clock derating toward the 10 W budget (conclusion) ==\n");
+    println!("{:>8}{:>14}{:>10}{:>14}{:>8}{:>9}", "clock", "options/s", "power W", "options/J", "goal", "budget");
+    let points = ablation::frequency_sweep(256, 1000, &[1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3])
+        .expect("sweeps");
+    for p in points {
+        println!(
+            "{:>7.0}%{:>14.0}{:>10.1}{:>14.1}{:>8}{:>9}",
+            p.clock_fraction * 100.0,
+            p.options_per_s,
+            p.power_watts,
+            p.options_per_j,
+            if p.meets_goal { "yes" } else { "no" },
+            if p.within_budget { "yes" } else { "no" }
+        );
+    }
+    println!("\n(note: options/s here are at N = 256 for speed; the goal column uses the paper's 2000/s)\n");
+
+    println!("== D. Front-end CSE (area optimisation left out of the calibrated flow) ==\n");
+    println!("{:<28}{:>12}{:>12}{:>14}{:>14}", "kernel", "logic", "logic+CSE", "clock MHz", "clock+CSE");
+    for row in ablation::cse_ablation().expect("fits") {
+        println!(
+            "{:<28}{:>11.0}%{:>11.0}%{:>14.2}{:>14.2}",
+            row.arch.to_string(),
+            row.plain.logic_util * 100.0,
+            row.cse.logic_util * 100.0,
+            row.plain.clock_hz / 1e6,
+            row.cse.clock_hz / 1e6
+        );
+    }
+
+    println!("\n== E. Fixed-point datapath (the \"custom data types\" the paper declined) ==\n");
+    let fixed = ablation::fixed_point(256).expect("runs");
+    println!("{:>12}{:>16}", "frac bits", "abs error");
+    for p in &fixed.sweep {
+        println!("{:>12}{:>16.2e}", p.frac_bits, p.abs_error);
+    }
+    println!(
+        "\nDSP elements: {} (double datapath) -> ~{} (64-bit fixed-point estimate)",
+        fixed.double_dsp, fixed.fixed_dsp_estimate
+    );
+
+    println!("\n== F. The conclusion's what-if: a newer board, derated (N = 1023) ==\n");
+    let w = ablation::conclusion_whatif(1023).expect("runs");
+    println!(
+        "Stratix V GX A7 at full clock:    {:.0} options/s, {:.1} W",
+        w.full_options_per_s, w.full_power_w
+    );
+    println!(
+        "derated to {:.0}% of Fmax:          {:.0} options/s, {:.1} W  -> both constraints {}",
+        w.derated_fraction * 100.0,
+        w.derated_options_per_s,
+        w.derated_power_w,
+        if w.feasible { "MET" } else { "missed" }
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates the Section V.C accuracy experiment (the pow operator).
+use bop_clir::mathlib::{DeviceMath, ExactMath};
+use bop_core::experiments::accuracy;
+use bop_finance::OptionParams;
+
+fn main() {
+    let o = OptionParams::example();
+    println!("The pow operator itself (RMSE vs libm over the kernel's leaf arguments):\n");
+    println!("{:>8}{:>18}{:>18}", "N", "Altera 13.0", "13.0 SP1");
+    for n in [64, 128, 256, 512, 1024] {
+        println!(
+            "{n:>8}{:>18.2e}{:>18.2e}",
+            accuracy::pow_operator_rmse(&DeviceMath::altera_13_0(), &o, n),
+            accuracy::pow_operator_rmse(&ExactMath, &o, n),
+        );
+    }
+    println!("\n(paper: \"This operator shows an RMSE of 1e-3, compared with a software reference\")\n");
+
+    println!("End-to-end price RMSE (vs the double-precision reference software):\n");
+    for n in [96, 192, 384] {
+        eprintln!("  pricing functionally at N = {n}...");
+        let points = accuracy::run(n, 16).expect("runs");
+        println!("N = {n}:");
+        for p in points {
+            println!("  {:<38} rmse {:>10.2e}   max {:>10.2e}", p.label, p.rmse, p.max_abs_error);
+        }
+    }
+    println!("\n(paper Table II: kernel IV.B on FPGA ~1e-3; GPU exact; host leaves avoid the bug)");
+}

@@ -1,0 +1,27 @@
+//! `clinfo` — dump the simulated OpenCL platform, like the eponymous tool.
+
+fn main() {
+    let platform = bop_core::paper_platform();
+    println!("Number of platforms: 1");
+    println!("  Platform name: bop simulated OpenCL (DATE 2014 reproduction)");
+    println!("  Number of devices: {}\n", platform.devices().len());
+    for device in platform.devices() {
+        let i = device.info();
+        println!("  Device name:                 {}", i.name);
+        println!("    Device type:               {}", i.kind);
+        println!("    Max compute units:         {}", i.compute_units);
+        println!("    Max work group size:       {}", i.max_work_group_size);
+        println!("    Global memory size:        {} MiB", i.global_mem_bytes >> 20);
+        println!("    Local memory size:         {} KiB", i.local_mem_bytes >> 10);
+        println!("    Global memory bandwidth:   {:.2} GB/s", i.global_bw_bytes_per_s / 1e9);
+        println!(
+            "    Host link:                 {:.2} GB/s peak x {:.0}% effective",
+            i.link.peak_bytes_per_s / 1e9,
+            i.link.efficiency * 100.0
+        );
+        println!("    Command overhead:          {:.0} us", i.command_overhead_s * 1e6);
+        println!("    Session setup:             {:.2} s", i.session_setup_s);
+        println!("    Power:                     {:.0} W", i.power_watts);
+        println!();
+    }
+}

@@ -1,0 +1,104 @@
+//! Regenerates the paper's Figures 1-4 as text.
+use bop_core::experiments::figures;
+use bop_finance::OptionParams;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    if want("figure1") {
+        println!("== Figure 1: binomial tree (N = 2) applied to an American option ==\n");
+        let fig = figures::figure1(&OptionParams::example(), 2);
+        println!("option: {:?}\n", fig.option);
+        println!("{:>4}{:>4}{:>14}{:>14}   (leaves first: backward iteration)", "t", "j", "S(t,j)", "V(t,j)");
+        for (t, j, s, v) in &fig.nodes {
+            println!("{t:>4}{j:>4}{s:>14.4}{v:>14.4}");
+        }
+        println!("\noption price V(0,0) = {:.6}\n", fig.price);
+
+        // The figure itself, as ASCII: time flows right, recombining rows.
+        println!("        t=0           t=1           t=2   (expiry)");
+        let node = |t: usize, j: usize| {
+            let (_, _, s, v) = fig
+                .nodes
+                .iter()
+                .copied()
+                .find(|&(tt, jj, _, _)| tt == t && jj == j)
+                .expect("node exists");
+            format!("S={s:<7.2} V={v:<6.3}")
+        };
+        println!("                              ({})", node(2, 2));
+        println!("                           /");
+        println!("              ({})", node(1, 1));
+        println!("            /              \\");
+        println!("({})          ({})", node(0, 0), node(2, 1));
+        println!("            \\              /");
+        println!("              ({})", node(1, 0));
+        println!("                           \\");
+        println!("                              ({})\n", node(2, 0));
+    }
+
+    if want("figure2") {
+        println!("== Figure 2: OpenCL platform (host + devices) ==\n");
+        println!("HOST");
+        for d in figures::figure2() {
+            println!("└─ DEVICE [{}] {}", d.kind, d.name);
+            println!("   ├─ compute units: {}", d.compute_units);
+            println!("   ├─ global memory: {} MiB", d.global_mem_bytes >> 20);
+            println!("   ├─ local memory per work-group: {} KiB", d.local_mem_bytes >> 10);
+            println!("   ├─ max work-group size: {}", d.max_work_group_size);
+            println!("   └─ host link: {:.2} GB/s peak", d.link_peak / 1e9);
+        }
+        println!();
+    }
+
+    if want("figure3") {
+        println!("== Figure 3: straightforward implementation (N = 2, 4 options) ==\n");
+        let fig = figures::figure3(2, 4).expect("runs");
+        println!("batch schedule (option index computed at each tree level; '.' = bubble):\n");
+        print!("{:>7}", "batch");
+        for t in 0..fig.n_steps {
+            print!("{:>9}", format!("level {t}"));
+        }
+        println!("{:>14}", "root read");
+        for (b, levels) in fig.schedule.iter().enumerate() {
+            print!("{b:>7}");
+            for slot in levels {
+                match slot {
+                    Some(o) => print!("{:>9}", format!("opt {o}")),
+                    None => print!("{:>9}", "."),
+                }
+            }
+            match levels.first().copied().flatten() {
+                Some(o) => println!("{:>14}", format!("-> opt {o}")),
+                None => println!("{:>14}", "-"),
+            }
+        }
+        println!("\ncommand trace ({} commands; ping-pong switch after every launch):", fig.trace.len());
+        for t in fig.trace.iter().take(12) {
+            println!(
+                "  {:>9.3} ms  {:?}{}{}",
+                t.start_s * 1e3,
+                t.kind,
+                t.kernel.as_deref().map(|k| format!(" {k}")).unwrap_or_default(),
+                if t.bytes > 0 { format!(" ({} B)", t.bytes) } else { String::new() }
+            );
+        }
+        println!("  ... ({} more)\n", fig.trace.len().saturating_sub(12));
+    }
+
+    if want("figure4") {
+        println!("== Figure 4: optimized kernel dataflow (one work-group) ==\n");
+        let n = 8;
+        let fig = figures::figure4(n).expect("runs");
+        println!("lattice steps:            {}", fig.n_steps);
+        println!("work-items (tree rows):   {}", fig.work_items);
+        println!("barrier releases:         {} (1 after leaves + 2 per step)", fig.barriers);
+        println!("local-memory loads:       {} (V row reads)", fig.local_loads);
+        println!("local-memory stores:      {} (V row writes)", fig.local_stores);
+        println!("global-memory traffic:    {} bytes (params in, result out)", fig.global_bytes);
+        println!("private-arena accesses:   {} (S and params live in registers)", fig.private_accesses);
+        println!("price computed:           {:.6}", fig.price);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates the Section V.C device-saturation comparison.
+use bop_core::experiments::{saturation, table2};
+
+fn main() {
+    eprintln!("sweeping batch sizes at N = {} (timing-only replays)...", table2::PAPER_STEPS);
+    let (fpga, gpu) = saturation::fpga_vs_gpu(table2::PAPER_STEPS).expect("sweeps");
+    println!("Device saturation — cold-start throughput vs batch size (kernel IV.B, double)\n");
+    println!("{:>10}{:>26}{:>26}", "options", &fpga.label[12..], &gpu.label[12..]);
+    for (f, g) in fpga.points.iter().zip(&gpu.points) {
+        println!(
+            "{:>10}{:>17.0} ({:>3.0}%){:>18.0} ({:>3.0}%)",
+            f.n_options,
+            f.throughput,
+            f.of_asymptote * 100.0,
+            g.throughput,
+            g.of_asymptote * 100.0
+        );
+    }
+    println!("\nasymptotes: FPGA {:.0} options/s, GPU {:.0} options/s", fpga.asymptote, gpu.asymptote);
+    println!(
+        "95% saturation: FPGA at {:?} options, GPU at {:?} options",
+        fpga.saturation_at, gpu.saturation_at
+    );
+    println!("(paper: saturation typically at 1e5 options; GTX660 kernel IV.B needs ~10x more)");
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table I (resource usage).
+use bop_core::experiments::table1;
+
+fn main() {
+    let rows = table1::run().expect("kernels must fit the EP4SGX530");
+    println!("Table I — resource usage on the Stratix IV EP4SGX530 (measured vs paper)\n");
+    println!(
+        "{:<34}{:>18}{:>18}",
+        "", "Kernel IV.A", "Kernel IV.B"
+    );
+    let field = |f: &dyn Fn(&table1::Table1Entry, &table1::Table1Paper) -> String| {
+        rows.iter().map(|(m, p)| f(m, p)).collect::<Vec<_>>()
+    };
+    let lines: Vec<(&str, Vec<String>)> = vec![
+        ("Logic utilization", field(&|m, p| format!("{:.0}% ({:.0}%)", m.logic_util * 100.0, p.logic_util * 100.0))),
+        ("Registers (K)", field(&|m, p| format!("{:.0}K ({:.0}K)", m.registers as f64 / 1024.0, p.registers as f64 / 1024.0))),
+        ("Memory bits (K)", field(&|m, p| format!("{:.0}K ({:.0}K)", m.memory_bits as f64 / 1024.0, p.memory_bits as f64 / 1024.0))),
+        ("M9K blocks", field(&|m, p| format!("{} ({})", m.m9k_blocks, p.m9k_blocks))),
+        ("DSP 18-bit", field(&|m, p| format!("{} ({})", m.dsp18, p.dsp18))),
+        ("Clock (MHz)", field(&|m, p| format!("{:.2} ({:.2})", m.clock_hz / 1e6, p.clock_hz / 1e6))),
+        ("Power (W)", field(&|m, p| format!("{:.1} ({:.1})", m.power_watts, p.power_watts))),
+    ];
+    for (label, cells) in lines {
+        println!("{:<34}{:>18}{:>18}", label, cells[0], cells[1]);
+    }
+    println!("\n(parenthesised values: paper Table I)");
+}

@@ -1,0 +1,31 @@
+//! # bop-bench — the experiment and benchmark harness
+//!
+//! This crate has no library API of its own; it hosts
+//!
+//! * one **binary per paper artifact** (see `src/bin/`): `table1`,
+//!   `table2`, `figures`, `saturation`, `accuracy`, `usecase`, `ablation`,
+//!   `convergence`, plus the developer tools `aoc` (offline kernel
+//!   compiler) and `clinfo` (platform dump) — each prints the rows/series
+//!   the paper reports, with the paper's numbers alongside;
+//! * **criterion benches** (see `benches/`) measuring the simulator
+//!   itself: front-end compile time, FPGA fitting, interpreter node-update
+//!   throughput, softmath vs libm, functional pricing and paper-scale
+//!   projection.
+//!
+//! `EXPERIMENTS.md` at the workspace root records paper-vs-measured for
+//! every artifact these binaries regenerate.
+
+#![warn(missing_docs)]
+
+/// The paper's full citation, for reports and `--help` texts.
+pub const PAPER_CITATION: &str = "V. Mena Morales, P.-H. Horrein, A. Baghdadi, E. Hochapfel, \
+     S. Vaton, \"Energy-Efficient FPGA Implementation for Binomial Option Pricing Using \
+     OpenCL\", DATE 2014";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn citation_names_the_venue() {
+        assert!(super::PAPER_CITATION.contains("DATE 2014"));
+    }
+}

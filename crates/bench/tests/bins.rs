@@ -1,0 +1,83 @@
+//! Smoke tests for the table/figure regeneration binaries: each must run
+//! and print the rows it claims to (full-scale runs are exercised by the
+//! bench harness itself; these use the fast paths).
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("{bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_prints_both_kernels_and_all_rows() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    for needle in
+        ["Kernel IV.A", "Kernel IV.B", "Logic utilization", "DSP 18-bit", "Clock (MHz)", "Power (W)"]
+    {
+        assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+    }
+}
+
+#[test]
+fn figures_cover_all_four() {
+    let out = run(env!("CARGO_BIN_EXE_figures"), &[]);
+    for needle in ["Figure 1", "Figure 2", "Figure 3", "Figure 4", "barrier releases"] {
+        assert!(out.contains(needle), "missing `{needle}`");
+    }
+    // Selective mode.
+    let only2 = run(env!("CARGO_BIN_EXE_figures"), &["figure2"]);
+    assert!(only2.contains("Figure 2") && !only2.contains("Figure 3"));
+}
+
+#[test]
+fn clinfo_lists_three_devices() {
+    let out = run(env!("CARGO_BIN_EXE_clinfo"), &[]);
+    assert!(out.contains("Number of devices: 3"));
+    assert!(out.contains("Terasic DE4"));
+    assert!(out.contains("GTX660"));
+    assert!(out.contains("Xeon"));
+}
+
+#[test]
+fn aoc_compiles_the_paper_kernel_and_reports_fit() {
+    let kernel = concat!(env!("CARGO_MANIFEST_DIR"), "/../core/kernels/optimized.cl");
+    let out = run(
+        env!("CARGO_BIN_EXE_aoc"),
+        &[kernel, "--simd", "4", "--unroll", "2", "--define", "REAL=double"],
+    );
+    assert!(out.contains("Fitter summary"));
+    assert!(out.contains("binomial_option"));
+    assert!(out.contains("MHz"));
+    // IR dump mode.
+    let ir = run(
+        env!("CARGO_BIN_EXE_aoc"),
+        &[kernel, "--define", "REAL=double", "--dump-ir"],
+    );
+    assert!(ir.contains("kernel @binomial_option"));
+    assert!(ir.contains("pow.double"));
+}
+
+#[test]
+fn aoc_rejects_bad_input_gracefully() {
+    let out = Command::new(env!("CARGO_BIN_EXE_aoc"))
+        .arg("/nonexistent.cl")
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_aoc")).arg("--help").output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn convergence_prints_the_sweep() {
+    let out = run(env!("CARGO_BIN_EXE_convergence"), &[]);
+    assert!(out.contains("lattice err"));
+    assert!(out.contains("MC std err"));
+}

@@ -1,0 +1,391 @@
+//! Abstract syntax tree for the OpenCL C subset.
+
+use crate::diag::Pos;
+use bop_clir::types::AddressSpace;
+
+/// Source-level scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// `void` (function return type only).
+    Void,
+    /// `bool`.
+    Bool,
+    /// `int`.
+    Int,
+    /// `uint`.
+    Uint,
+    /// `long`.
+    Long,
+    /// `ulong`.
+    Ulong,
+    /// `size_t`.
+    SizeT,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+}
+
+impl CType {
+    /// The source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CType::Void => "void",
+            CType::Bool => "bool",
+            CType::Int => "int",
+            CType::Uint => "uint",
+            CType::Long => "long",
+            CType::Ulong => "ulong",
+            CType::SizeT => "size_t",
+            CType::Float => "float",
+            CType::Double => "double",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`.
+    Neg,
+    /// `+x` (no-op).
+    Plus,
+    /// `!x`.
+    Not,
+    /// `~x`.
+    BitNot,
+}
+
+/// Binary operators (excluding assignment and `?:`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // spellings are self-describing
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// The source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitXor => "^",
+            BinaryOp::BitOr => "|",
+            BinaryOp::LogAnd => "&&",
+            BinaryOp::LogOr => "||",
+        }
+    }
+
+    /// True for `<`, `<=`, `>`, `>=`, `==`, `!=` (result type `bool`).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+
+    /// True for `&&` and `||` (short-circuiting).
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::LogAnd | BinaryOp::LogOr)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`.
+    Assign,
+    /// `+=`.
+    Add,
+    /// `-=`.
+    Sub,
+    /// `*=`.
+    Mul,
+    /// `/=`.
+    Div,
+    /// `%=`.
+    Rem,
+}
+
+impl AssignOp {
+    /// The underlying binary operator for compound assignments.
+    pub fn binary(self) -> Option<BinaryOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::Add => Some(BinaryOp::Add),
+            AssignOp::Sub => Some(BinaryOp::Sub),
+            AssignOp::Mul => Some(BinaryOp::Mul),
+            AssignOp::Div => Some(BinaryOp::Div),
+            AssignOp::Rem => Some(BinaryOp::Rem),
+        }
+    }
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Position of the expression's first token.
+    pub pos: Pos,
+    /// Payload.
+    pub kind: ExprKind,
+}
+
+/// Expression payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal; the flag is the `f` (binary32) suffix.
+    FloatLit(f64, bool),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// A name.
+    Ident(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment (simple or compound); an expression in C.
+    Assign {
+        /// Operator.
+        op: AssignOp,
+        /// Assignable target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then : els`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value if true.
+        then: Box<Expr>,
+        /// Value if false.
+        els: Box<Expr>,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`.
+    Index {
+        /// Pointer or array expression.
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `x++` / `x--` (value is the *old* x).
+    PostIncDec {
+        /// Target lvalue.
+        expr: Box<Expr>,
+        /// True for `++`.
+        inc: bool,
+    },
+    /// `++x` / `--x` (value is the *new* x).
+    PreIncDec {
+        /// Target lvalue.
+        expr: Box<Expr>,
+        /// True for `++`.
+        inc: bool,
+    },
+}
+
+/// One declarator in a declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeclItem {
+    /// Variable name.
+    pub name: String,
+    /// `Some(n)` for a private array `T name[n]`.
+    pub array: Option<usize>,
+    /// Optional initialiser.
+    pub init: Option<Expr>,
+    /// Position of the name.
+    pub pos: Pos,
+}
+
+/// A statement with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Position of the statement's first token.
+    pub pos: Pos,
+    /// Payload.
+    pub kind: StmtKind,
+}
+
+/// Statement payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Variable declaration(s).
+    Decl {
+        /// Declared base type.
+        ty: CType,
+        /// Declarators.
+        items: Vec<DeclItem>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `for` loop, optionally annotated with `#pragma unroll`.
+    For {
+        /// Init clause (declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Condition (absent means `true`).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+        /// `#pragma unroll` factor: `None` = no pragma; `Some(None)` =
+        /// pragma without a factor (filled from [`crate::Options`]);
+        /// `Some(Some(n))` = explicit factor.
+        unroll: Option<Option<u32>>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do ... while` loop (body runs at least once).
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition, checked after each iteration.
+        cond: Expr,
+    },
+    /// `return;` (kernels return void).
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Position of the parameter name.
+    pub pos: Pos,
+    /// Address-space qualifier for pointer parameters.
+    pub space: Option<AddressSpace>,
+    /// Base scalar type.
+    pub base: CType,
+    /// True if declared with `*`.
+    pub is_ptr: bool,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Position of the function name.
+    pub pos: Pos,
+    /// True if declared `__kernel`.
+    pub is_kernel: bool,
+    /// Return type (must be `void` for kernels).
+    pub ret: CType,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// All function definitions.
+    pub functions: Vec<FunctionDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_op_desugaring() {
+        assert_eq!(AssignOp::Assign.binary(), None);
+        assert_eq!(AssignOp::Add.binary(), Some(BinaryOp::Add));
+        assert_eq!(AssignOp::Rem.binary(), Some(BinaryOp::Rem));
+    }
+
+    #[test]
+    fn binary_op_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::LogAnd.is_logical());
+        assert!(!BinaryOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn ctype_names() {
+        assert_eq!(CType::SizeT.name(), "size_t");
+        assert_eq!(CType::Double.name(), "double");
+    }
+}

@@ -1,0 +1,106 @@
+//! Positioned diagnostics for the front-end.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// Line, starting at 1 (0 means unknown).
+    pub line: u32,
+    /// Column, starting at 1 (0 means unknown).
+    pub col: u32,
+}
+
+impl Pos {
+    /// A position at `line`:`col`.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One diagnostic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Where the problem was detected.
+    pub pos: Pos,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl Diag {
+    /// Create a diagnostic.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Diag {
+        Diag { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+/// Compilation failure: one or more diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    diags: Vec<Diag>,
+}
+
+impl CompileError {
+    /// An error with a single diagnostic.
+    pub fn single(pos: Pos, message: impl Into<String>) -> CompileError {
+        CompileError { diags: vec![Diag::new(pos, message)] }
+    }
+
+    /// An error from a list of diagnostics.
+    ///
+    /// # Panics
+    /// Panics if `diags` is empty — an error must explain itself.
+    pub fn from_diags(diags: Vec<Diag>) -> CompileError {
+        assert!(!diags.is_empty(), "CompileError requires at least one diagnostic");
+        CompileError { diags }
+    }
+
+    /// The diagnostics.
+    pub fn diags(&self) -> &[Diag] {
+        &self.diags
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CompileError::single(Pos::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        assert_eq!(e.diags().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diagnostic")]
+    fn empty_diags_rejected() {
+        let _ = CompileError::from_diags(vec![]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Hand-written lexer for the OpenCL C subset.
+//!
+//! Handles line (`//`) and block (`/* */`) comments, decimal and hex
+//! integer literals with `u`/`U`/`l`/`L` suffixes, floating literals with
+//! exponents and `f`/`F` suffixes, and the `#pragma unroll [N]` directive
+//! (any other `#pragma` is ignored, any other `#` directive is an error —
+//! the front-end has no preprocessor; simple textual substitution is done
+//! by callers where needed, as `bop-core` does for the `double`/`float`
+//! precision variants).
+
+use crate::diag::{CompileError, Pos};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Lex `source` into tokens (terminated by an `Eof` token).
+///
+/// # Errors
+/// Returns a [`CompileError`] on unknown characters, malformed literals,
+/// unterminated comments or unsupported preprocessor directives.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer { src: source.as_bytes(), at: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        tokens.push(tok);
+        if done {
+            return Ok(tokens);
+        }
+    }
+}
+
+impl<'s> Lexer<'s> {
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError::single(pos, msg)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err(start, "unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, pos });
+        };
+        if c == b'#' {
+            return self.pragma(pos);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident_or_keyword(pos));
+        }
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.number(pos);
+        }
+        self.punct(pos)
+    }
+
+    fn pragma(&mut self, pos: Pos) -> Result<Token, CompileError> {
+        // Consume to end of line; recognise `#pragma unroll [N]`.
+        let mut line = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            line.push(self.bump().expect("peeked") as char);
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["#pragma", "unroll"] => Ok(Token { kind: TokenKind::PragmaUnroll(None), pos }),
+            ["#pragma", "unroll", n] => {
+                let factor: u32 = n
+                    .parse()
+                    .map_err(|_| self.err(pos, format!("invalid unroll factor `{n}`")))?;
+                if factor == 0 {
+                    return Err(self.err(pos, "unroll factor must be at least 1"));
+                }
+                Ok(Token { kind: TokenKind::PragmaUnroll(Some(factor)), pos })
+            }
+            ["#pragma", ..] => {
+                // Other pragmas are ignored: lex the next token instead.
+                self.next_token()
+            }
+            _ => Err(self.err(
+                pos,
+                format!("unsupported preprocessor directive `{}` (no preprocessor)", line.trim()),
+            )),
+        }
+    }
+
+    fn ident_or_keyword(&mut self, pos: Pos) -> Token {
+        let start = self.at;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ascii ident");
+        let kind = match Keyword::from_spelling(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_owned()),
+        };
+        Token { kind, pos }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Token, CompileError> {
+        let start = self.at;
+        // Hex integer?
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hstart = self.at;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            if self.at == hstart {
+                return Err(self.err(pos, "hex literal needs at least one digit"));
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.at]).expect("hex digits");
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err(pos, format!("hex literal `0x{text}` overflows")))?;
+            self.int_suffix();
+            return Ok(Token { kind: TokenKind::IntLit(value), pos });
+        }
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = (self.at, self.line, self.col);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent (e.g. `1e` followed by ident char).
+                (self.at, self.line, self.col) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("digits");
+        if is_float {
+            let f32_suffix = matches!(self.peek(), Some(b'f') | Some(b'F'));
+            if f32_suffix {
+                self.bump();
+            }
+            let value: f64 =
+                text.parse().map_err(|_| self.err(pos, format!("bad float literal `{text}`")))?;
+            Ok(Token { kind: TokenKind::FloatLit(value, f32_suffix), pos })
+        } else {
+            let value: i64 =
+                text.parse().map_err(|_| self.err(pos, format!("integer literal `{text}` overflows")))?;
+            self.int_suffix();
+            Ok(Token { kind: TokenKind::IntLit(value), pos })
+        }
+    }
+
+    fn int_suffix(&mut self) {
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<Token, CompileError> {
+        use Punct::*;
+        let c = self.bump().expect("peeked");
+        let two = |lx: &mut Self, next: u8, yes: Punct, no: Punct| {
+            if lx.peek() == Some(next) {
+                lx.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b',' => Comma,
+            b';' => Semi,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'^' => Caret,
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'%' => two(self, b'=', PercentAssign, Percent),
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'=' => two(self, b'=', Eq, Assign),
+            b'!' => two(self, b'=', Ne, Not),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    Shl
+                } else {
+                    two(self, b'=', Le, Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Shr
+                } else {
+                    two(self, b'=', Ge, Gt)
+                }
+            }
+            b'&' => two(self, b'&', AndAnd, Amp),
+            b'|' => two(self, b'|', OrOr, Pipe),
+            other => {
+                return Err(self.err(pos, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(Token { kind: TokenKind::Punct(p), pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_declaration() {
+        let k = kinds("double x = 1.5;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Double),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::FloatLit(1.5, false),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators_greedily() {
+        let k = kinds("a<<=b"); // no <<= token: lexes as << =
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::Shl),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("i++")[1], TokenKind::Punct(Punct::PlusPlus));
+        assert_eq!(kinds("i--")[1], TokenKind::Punct(Punct::MinusMinus));
+        assert_eq!(kinds("a!=b")[1], TokenKind::Punct(Punct::Ne));
+    }
+
+    #[test]
+    fn lex_numeric_forms() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("0x1F")[0], TokenKind::IntLit(31));
+        assert_eq!(kinds("7u")[0], TokenKind::IntLit(7));
+        assert_eq!(kinds("1.0f")[0], TokenKind::FloatLit(1.0, true));
+        assert_eq!(kinds("2e-3")[0], TokenKind::FloatLit(2e-3, false));
+        assert_eq!(kinds(".5")[0], TokenKind::FloatLit(0.5, false));
+        assert_eq!(kinds("1.")[0], TokenKind::FloatLit(1.0, false));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // line\n b /* block\n over lines */ c");
+        assert_eq!(k.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("a /* oops").is_err());
+    }
+
+    #[test]
+    fn pragma_unroll_forms() {
+        assert_eq!(kinds("#pragma unroll\nfor")[0], TokenKind::PragmaUnroll(None));
+        assert_eq!(kinds("#pragma unroll 4\nfor")[0], TokenKind::PragmaUnroll(Some(4)));
+        assert!(lex("#pragma unroll 0\n").is_err());
+        assert!(lex("#include <foo>\n").is_err());
+        // Unknown pragmas are skipped entirely.
+        assert_eq!(kinds("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx")[0], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("a\n  bb").expect("lexes");
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = lex("a @ b").expect_err("error");
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,1201 @@
+//! Typed lowering from the AST to `bop-clir` IR.
+//!
+//! This stage does semantic analysis (scopes, types, implicit conversions,
+//! lvalue checking) and code generation in one walk. Loops annotated with
+//! `#pragma unroll N` are unrolled here by duplicating the body `N` times
+//! with a guard branch between copies — the transformation Altera's
+//! compiler applies when building deeper pipelines, and the one behind the
+//! paper's kernel IV.B configuration (unroll 2 x vectorization 4).
+
+use crate::ast::*;
+use crate::diag::{CompileError, Pos};
+use crate::Options;
+use bop_clir::builder::FunctionBuilder;
+use bop_clir::ir::{BinOp, BlockId, Builtin, CmpOp, Module, RegId, UnOp, WiQuery};
+use bop_clir::types::{AddressSpace, ScalarType, Type};
+use std::collections::HashMap;
+
+/// Lower a parsed [`Unit`] to an IR [`Module`].
+///
+/// # Errors
+/// Returns the first semantic error encountered (unknown names, type
+/// errors, unsupported constructs).
+pub fn lower_unit(source_name: &str, unit: &Unit, options: &Options) -> Result<Module, CompileError> {
+    let mut functions = Vec::with_capacity(unit.functions.len());
+    for f in &unit.functions {
+        functions.push(lower_function(f, options)?);
+    }
+    Ok(Module::from_functions(source_name, functions))
+}
+
+fn lower_function(
+    def: &FunctionDef,
+    options: &Options,
+) -> Result<bop_clir::ir::Function, CompileError> {
+    if !def.is_kernel {
+        return Err(CompileError::single(
+            def.pos,
+            format!("function `{}`: only __kernel functions are supported (no helpers)", def.name),
+        ));
+    }
+    if def.ret != CType::Void {
+        return Err(CompileError::single(
+            def.pos,
+            format!("kernel `{}` must return void", def.name),
+        ));
+    }
+    let mut lw = Lowerer {
+        b: FunctionBuilder::new(&def.name, true),
+        scopes: vec![HashMap::new()],
+        loops: Vec::new(),
+        options: options.clone(),
+    };
+    for p in &def.params {
+        lw.bind_param(p)?;
+    }
+    for stmt in &def.body {
+        lw.stmt(stmt)?;
+    }
+    if !lw.b.current_terminated() {
+        lw.b.ret();
+    }
+    lw.b.finish().map_err(|e| {
+        CompileError::single(def.pos, format!("internal error while lowering `{}`: {e}", def.name))
+    })
+}
+
+/// A value produced by expression lowering: a register plus its scalar type.
+#[derive(Debug, Clone, Copy)]
+struct Typed {
+    reg: RegId,
+    ty: ScalarType,
+}
+
+/// What a name is bound to.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// A scalar variable living in a register.
+    Scalar { reg: RegId, ty: ScalarType },
+    /// A pointer parameter.
+    Ptr { reg: RegId, elem: ScalarType },
+    /// A private fixed-size array.
+    PrivArray { base: RegId, elem: ScalarType, len: usize },
+}
+
+/// An assignable place.
+#[derive(Debug, Clone, Copy)]
+enum Place {
+    Reg { reg: RegId, ty: ScalarType },
+    Mem { ptr: RegId, ty: ScalarType },
+}
+
+impl Place {
+    fn ty(&self) -> ScalarType {
+        match self {
+            Place::Reg { ty, .. } | Place::Mem { ty, .. } => *ty,
+        }
+    }
+}
+
+struct LoopCtx {
+    break_bb: BlockId,
+    continue_bb: BlockId,
+}
+
+struct Lowerer {
+    b: FunctionBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    loops: Vec<LoopCtx>,
+    options: Options,
+}
+
+fn scalar_of(ty: CType) -> ScalarType {
+    match ty {
+        CType::Bool => ScalarType::Bool,
+        CType::Int | CType::Uint => ScalarType::I32,
+        CType::Long | CType::Ulong | CType::SizeT => ScalarType::I64,
+        CType::Float => ScalarType::F32,
+        CType::Double => ScalarType::F64,
+        CType::Void => unreachable!("void has no scalar type"),
+    }
+}
+
+fn rank(ty: ScalarType) -> u8 {
+    match ty {
+        ScalarType::Bool => 0,
+        ScalarType::I32 => 1,
+        ScalarType::I64 => 2,
+        ScalarType::F32 => 3,
+        ScalarType::F64 => 4,
+    }
+}
+
+/// The usual arithmetic conversions, simplified: promote to the higher
+/// rank, with `int` as the minimum arithmetic type.
+fn common_type(a: ScalarType, b: ScalarType) -> ScalarType {
+    let hi = if rank(a) >= rank(b) { a } else { b };
+    if rank(hi) < rank(ScalarType::I32) {
+        ScalarType::I32
+    } else {
+        hi
+    }
+}
+
+impl Lowerer {
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError::single(pos, msg)
+    }
+
+    fn bind_param(&mut self, p: &ParamDecl) -> Result<(), CompileError> {
+        if p.base == CType::Void {
+            return Err(self.err(p.pos, format!("parameter `{}` cannot be void", p.name)));
+        }
+        let elem = scalar_of(p.base);
+        let binding = if p.is_ptr {
+            let space = p.space.unwrap_or(AddressSpace::Private);
+            if space == AddressSpace::Private {
+                return Err(self.err(
+                    p.pos,
+                    format!(
+                        "pointer parameter `{}` needs an address-space qualifier (__global/__local/__constant)",
+                        p.name
+                    ),
+                ));
+            }
+            let reg = self.b.param(&p.name, Type::ptr(space, elem));
+            Binding::Ptr { reg, elem }
+        } else {
+            if p.space.is_some() {
+                return Err(self.err(
+                    p.pos,
+                    format!("scalar parameter `{}` cannot have an address-space qualifier", p.name),
+                ));
+            }
+            let reg = self.b.param(&p.name, Type::Scalar(elem));
+            Binding::Scalar { reg, ty: elem }
+        };
+        self.declare(&p.name, binding, p.pos)
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding, pos: Pos) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_owned(), binding).is_some() {
+            return Err(CompileError::single(pos, format!("`{name}` is already defined in this scope")));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<Binding, CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Ok(*b);
+            }
+        }
+        Err(self.err(pos, format!("unknown identifier `{name}`")))
+    }
+
+    // ---- conversions -------------------------------------------------------
+
+    fn convert(&mut self, v: Typed, to: ScalarType) -> Typed {
+        if v.ty == to {
+            return v;
+        }
+        if v.ty == ScalarType::Bool {
+            // bool -> number via cast (false=0, true=1).
+            let reg = self.b.cast(v.reg, ScalarType::Bool, to);
+            return Typed { reg, ty: to };
+        }
+        if to == ScalarType::Bool {
+            // number -> bool is a != 0 comparison.
+            let zero = self.zero(v.ty);
+            let reg = self.b.cmp(CmpOp::Ne, v.ty, v.reg, zero);
+            return Typed { reg, ty: ScalarType::Bool };
+        }
+        let reg = self.b.cast(v.reg, v.ty, to);
+        Typed { reg, ty: to }
+    }
+
+    fn zero(&mut self, ty: ScalarType) -> RegId {
+        match ty {
+            ScalarType::Bool => self.b.const_bool(false),
+            ScalarType::I32 => self.b.const_i32(0),
+            ScalarType::I64 => self.b.const_i64(0),
+            ScalarType::F32 => self.b.const_f32(0.0),
+            ScalarType::F64 => self.b.const_f64(0.0),
+        }
+    }
+
+    fn one(&mut self, ty: ScalarType) -> RegId {
+        match ty {
+            ScalarType::Bool => self.b.const_bool(true),
+            ScalarType::I32 => self.b.const_i32(1),
+            ScalarType::I64 => self.b.const_i64(1),
+            ScalarType::F32 => self.b.const_f32(1.0),
+            ScalarType::F64 => self.b.const_f64(1.0),
+        }
+    }
+
+    fn bool_reg(&mut self, v: Typed) -> RegId {
+        self.convert(v, ScalarType::Bool).reg
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        if self.b.current_terminated() {
+            // Unreachable code after return/break/continue: park it in a
+            // fresh dead block so lowering stays well-formed.
+            let dead = self.b.create_block();
+            self.b.switch_to(dead);
+        }
+        match &s.kind {
+            StmtKind::Empty => Ok(()),
+            StmtKind::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Decl { ty, items } => self.decl(*ty, items),
+            StmtKind::Expr(e) => {
+                self.expr_opt(e)?;
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                if value.is_some() {
+                    return Err(self.err(s.pos, "kernels return void; `return <expr>` is invalid"));
+                }
+                self.b.ret();
+                Ok(())
+            }
+            StmtKind::Break => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(self.err(s.pos, "`break` outside of a loop"));
+                };
+                let target = ctx.break_bb;
+                self.b.jump(target);
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(self.err(s.pos, "`continue` outside of a loop"));
+                };
+                let target = ctx.continue_bb;
+                self.b.jump(target);
+                Ok(())
+            }
+            StmtKind::If { cond, then, els } => self.if_stmt(cond, then, els.as_deref()),
+            StmtKind::While { cond, body } => self.while_stmt(cond, body),
+            StmtKind::DoWhile { body, cond } => self.do_while_stmt(body, cond),
+            StmtKind::For { init, cond, step, body, unroll } => {
+                self.for_stmt(s.pos, init.as_deref(), cond.as_ref(), step.as_ref(), body, *unroll)
+            }
+        }
+    }
+
+    fn decl(&mut self, ty: CType, items: &[DeclItem]) -> Result<(), CompileError> {
+        if ty == CType::Void {
+            return Err(self.err(items[0].pos, "cannot declare void variables"));
+        }
+        let elem = scalar_of(ty);
+        for item in items {
+            if let Some(len) = item.array {
+                let base = self.b.alloc_private(len * elem.size_bytes(), elem);
+                self.declare(&item.name, Binding::PrivArray { base, elem, len }, item.pos)?;
+            } else {
+                let reg = self.b.fresh(Type::Scalar(elem));
+                self.declare(&item.name, Binding::Scalar { reg, ty: elem }, item.pos)?;
+                if let Some(init) = &item.init {
+                    let v = self.expr(init)?;
+                    let v = self.convert(v, elem);
+                    self.b.mov_into(reg, v.reg);
+                } else {
+                    // Deterministic zero-initialisation (stricter than C,
+                    // kinder than UB).
+                    let z = self.zero(elem);
+                    self.b.mov_into(reg, z);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn if_stmt(&mut self, cond: &Expr, then: &Stmt, els: Option<&Stmt>) -> Result<(), CompileError> {
+        let c = self.expr(cond)?;
+        let c = self.bool_reg(Typed { reg: c.reg, ty: c.ty });
+        let then_bb = self.b.create_block();
+        let join_bb = self.b.create_block();
+        let else_bb = if els.is_some() { self.b.create_block() } else { join_bb };
+        self.b.branch(c, then_bb, else_bb);
+        self.b.switch_to(then_bb);
+        self.stmt(then)?;
+        if !self.b.current_terminated() {
+            self.b.jump(join_bb);
+        }
+        if let Some(e) = els {
+            self.b.switch_to(else_bb);
+            self.stmt(e)?;
+            if !self.b.current_terminated() {
+                self.b.jump(join_bb);
+            }
+        }
+        self.b.switch_to(join_bb);
+        Ok(())
+    }
+
+    fn while_stmt(&mut self, cond: &Expr, body: &Stmt) -> Result<(), CompileError> {
+        let header = self.b.create_block();
+        let body_bb = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.jump(header);
+        self.b.switch_to(header);
+        let c = self.expr(cond)?;
+        let c = self.bool_reg(c);
+        self.b.branch(c, body_bb, exit);
+        self.b.switch_to(body_bb);
+        self.loops.push(LoopCtx { break_bb: exit, continue_bb: header });
+        self.stmt(body)?;
+        self.loops.pop();
+        if !self.b.current_terminated() {
+            self.b.jump(header);
+        }
+        self.b.switch_to(exit);
+        Ok(())
+    }
+
+    fn do_while_stmt(&mut self, body: &Stmt, cond: &Expr) -> Result<(), CompileError> {
+        let body_bb = self.b.create_block();
+        let check_bb = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.jump(body_bb);
+        self.b.switch_to(body_bb);
+        self.loops.push(LoopCtx { break_bb: exit, continue_bb: check_bb });
+        self.stmt(body)?;
+        self.loops.pop();
+        if !self.b.current_terminated() {
+            self.b.jump(check_bb);
+        }
+        self.b.switch_to(check_bb);
+        let c = self.expr(cond)?;
+        let c = self.bool_reg(c);
+        self.b.branch(c, body_bb, exit);
+        self.b.switch_to(exit);
+        Ok(())
+    }
+
+    fn for_stmt(
+        &mut self,
+        pos: Pos,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Stmt,
+        unroll: Option<Option<u32>>,
+    ) -> Result<(), CompileError> {
+        let factor = match unroll {
+            None => 1,
+            Some(explicit) => match (self.options.unroll_override, explicit) {
+                (Some(k), _) => k.max(1),
+                (None, Some(k)) => k,
+                (None, None) => {
+                    return Err(self.err(
+                        pos,
+                        "#pragma unroll without a factor requires Options::unroll_override",
+                    ))
+                }
+            },
+        };
+
+        // The init clause scopes its declarations over the whole loop.
+        self.scopes.push(HashMap::new());
+        if let Some(init) = init {
+            self.stmt(init)?;
+        }
+        let header = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.jump(header);
+        self.b.switch_to(header);
+        if let Some(c) = cond {
+            let body_bb = self.b.create_block();
+            let v = self.expr(c)?;
+            let v = self.bool_reg(v);
+            self.b.branch(v, body_bb, exit);
+            self.b.switch_to(body_bb);
+        }
+        // Unrolled copies: body_i ; step_i ; (cond check unless last copy).
+        for copy in 0..factor {
+            let step_bb = self.b.create_block();
+            self.loops.push(LoopCtx { break_bb: exit, continue_bb: step_bb });
+            self.scopes.push(HashMap::new());
+            self.stmt(body)?;
+            self.scopes.pop();
+            self.loops.pop();
+            if !self.b.current_terminated() {
+                self.b.jump(step_bb);
+            }
+            self.b.switch_to(step_bb);
+            if let Some(st) = step {
+                self.expr_opt(st)?;
+            }
+            let last = copy == factor - 1;
+            if last {
+                self.b.jump(header);
+            } else if let Some(c) = cond {
+                let next_bb = self.b.create_block();
+                let v = self.expr(c)?;
+                let v = self.bool_reg(v);
+                self.b.branch(v, next_bb, exit);
+                self.b.switch_to(next_bb);
+            }
+        }
+        self.b.switch_to(exit);
+        self.scopes.pop();
+        Ok(())
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    /// Lower an expression that may be void (a `barrier(...)` call).
+    fn expr_opt(&mut self, e: &Expr) -> Result<Option<Typed>, CompileError> {
+        if let ExprKind::Call { name, .. } = &e.kind {
+            if name == "barrier" || name == "mem_fence" {
+                self.b.barrier();
+                return Ok(None);
+            }
+        }
+        self.expr(e).map(Some)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Typed, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                if i32::try_from(*v).is_ok() {
+                    Ok(Typed { reg: self.b.const_i32(*v as i32), ty: ScalarType::I32 })
+                } else {
+                    Ok(Typed { reg: self.b.const_i64(*v), ty: ScalarType::I64 })
+                }
+            }
+            ExprKind::FloatLit(v, true) => {
+                Ok(Typed { reg: self.b.const_f32(*v as f32), ty: ScalarType::F32 })
+            }
+            ExprKind::FloatLit(v, false) => {
+                Ok(Typed { reg: self.b.const_f64(*v), ty: ScalarType::F64 })
+            }
+            ExprKind::BoolLit(v) => Ok(Typed { reg: self.b.const_bool(*v), ty: ScalarType::Bool }),
+            ExprKind::Ident(name) => match self.lookup(name, e.pos)? {
+                Binding::Scalar { reg, ty } => Ok(Typed { reg, ty }),
+                Binding::Ptr { .. } | Binding::PrivArray { .. } => Err(self.err(
+                    e.pos,
+                    format!("`{name}` is a pointer/array; only indexing (`{name}[i]`) is supported"),
+                )),
+            },
+            ExprKind::Unary { op, expr } => self.unary(e.pos, *op, expr),
+            ExprKind::Binary { op, lhs, rhs } => self.binary(e.pos, *op, lhs, rhs),
+            ExprKind::Assign { op, lhs, rhs } => self.assign(e.pos, *op, lhs, rhs),
+            ExprKind::Ternary { cond, then, els } => self.ternary(cond, then, els),
+            ExprKind::Call { name, args } => self.call(e.pos, name, args),
+            ExprKind::Index { .. } => {
+                let place = self.lvalue(e)?;
+                let Place::Mem { ptr, ty } = place else {
+                    unreachable!("index lvalue is always a memory place")
+                };
+                Ok(Typed { reg: self.b.load(ptr, ty), ty })
+            }
+            ExprKind::Cast { ty, expr } => {
+                if *ty == CType::Void {
+                    return Err(self.err(e.pos, "cannot cast to void"));
+                }
+                let v = self.expr(expr)?;
+                Ok(self.convert(v, scalar_of(*ty)))
+            }
+            ExprKind::PostIncDec { expr, inc } => self.inc_dec(expr, *inc, false),
+            ExprKind::PreIncDec { expr, inc } => self.inc_dec(expr, *inc, true),
+        }
+    }
+
+    fn inc_dec(&mut self, target: &Expr, inc: bool, pre: bool) -> Result<Typed, CompileError> {
+        let place = self.lvalue(target)?;
+        let ty = place.ty();
+        if ty == ScalarType::Bool {
+            return Err(self.err(target.pos, "cannot increment a bool"));
+        }
+        let old = self.read_place(place);
+        // Snapshot the old value: for a register place, `old` aliases the
+        // variable itself and would observe the write below.
+        let snapshot = self.b.fresh(Type::Scalar(ty));
+        self.b.mov_into(snapshot, old);
+        let one = self.one(ty);
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        let new = self.b.bin(op, ty, snapshot, one);
+        self.write_place(place, new);
+        Ok(Typed { reg: if pre { new } else { snapshot }, ty })
+    }
+
+    fn unary(&mut self, pos: Pos, op: UnaryOp, operand: &Expr) -> Result<Typed, CompileError> {
+        let v = self.expr(operand)?;
+        match op {
+            UnaryOp::Plus => Ok(v),
+            UnaryOp::Neg => {
+                let ty = if rank(v.ty) < rank(ScalarType::I32) { ScalarType::I32 } else { v.ty };
+                let v = self.convert(v, ty);
+                Ok(Typed { reg: self.b.un(UnOp::Neg, ty, v.reg), ty })
+            }
+            UnaryOp::Not => {
+                let b = self.bool_reg(v);
+                Ok(Typed { reg: self.b.un(UnOp::Not, ScalarType::Bool, b), ty: ScalarType::Bool })
+            }
+            UnaryOp::BitNot => {
+                if !v.ty.is_int() {
+                    return Err(self.err(pos, "`~` requires an integer operand"));
+                }
+                Ok(Typed { reg: self.b.un(UnOp::Not, v.ty, v.reg), ty: v.ty })
+            }
+        }
+    }
+
+    fn binary(&mut self, pos: Pos, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Result<Typed, CompileError> {
+        if op.is_logical() {
+            return self.logical(op, lhs, rhs);
+        }
+        let a = self.expr(lhs)?;
+        let b = self.expr(rhs)?;
+        let ty = common_type(a.ty, b.ty);
+        let a = self.convert(a, ty);
+        let b = self.convert(b, ty);
+        if op.is_comparison() {
+            let cmp = match op {
+                BinaryOp::Lt => CmpOp::Lt,
+                BinaryOp::Le => CmpOp::Le,
+                BinaryOp::Gt => CmpOp::Gt,
+                BinaryOp::Ge => CmpOp::Ge,
+                BinaryOp::Eq => CmpOp::Eq,
+                BinaryOp::Ne => CmpOp::Ne,
+                _ => unreachable!(),
+            };
+            return Ok(Typed {
+                reg: self.b.cmp(cmp, ty, a.reg, b.reg),
+                ty: ScalarType::Bool,
+            });
+        }
+        let bin = match op {
+            BinaryOp::Add => BinOp::Add,
+            BinaryOp::Sub => BinOp::Sub,
+            BinaryOp::Mul => BinOp::Mul,
+            BinaryOp::Div => BinOp::Div,
+            BinaryOp::Rem => BinOp::Rem,
+            BinaryOp::Shl => BinOp::Shl,
+            BinaryOp::Shr => BinOp::Shr,
+            BinaryOp::BitAnd => BinOp::And,
+            BinaryOp::BitXor => BinOp::Xor,
+            BinaryOp::BitOr => BinOp::Or,
+            _ => unreachable!(),
+        };
+        if matches!(bin, BinOp::Shl | BinOp::Shr | BinOp::And | BinOp::Or | BinOp::Xor)
+            && !ty.is_int()
+        {
+            return Err(self.err(pos, format!("`{}` requires integer operands", op.spelling())));
+        }
+        Ok(Typed { reg: self.b.bin(bin, ty, a.reg, b.reg), ty })
+    }
+
+    /// Short-circuit `&&` / `||`.
+    fn logical(&mut self, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Result<Typed, CompileError> {
+        let a = self.expr(lhs)?;
+        let a = self.bool_reg(a);
+        let result = self.b.fresh(Type::Scalar(ScalarType::Bool));
+        self.b.mov_into(result, a);
+        let rhs_bb = self.b.create_block();
+        let done_bb = self.b.create_block();
+        match op {
+            BinaryOp::LogAnd => self.b.branch(a, rhs_bb, done_bb),
+            BinaryOp::LogOr => self.b.branch(a, done_bb, rhs_bb),
+            _ => unreachable!(),
+        }
+        self.b.switch_to(rhs_bb);
+        let b = self.expr(rhs)?;
+        let b = self.bool_reg(b);
+        self.b.mov_into(result, b);
+        self.b.jump(done_bb);
+        self.b.switch_to(done_bb);
+        Ok(Typed { reg: result, ty: ScalarType::Bool })
+    }
+
+    fn ternary(&mut self, cond: &Expr, then: &Expr, els: &Expr) -> Result<Typed, CompileError> {
+        let c = self.expr(cond)?;
+        let c = self.bool_reg(c);
+        let then_bb = self.b.create_block();
+        let else_bb = self.b.create_block();
+        let done_bb = self.b.create_block();
+        self.b.branch(c, then_bb, else_bb);
+
+        // Lower the THEN arm first to learn the types involved; the common
+        // type is known only after both arms, so lower into temporaries and
+        // convert at the joins.
+        self.b.switch_to(then_bb);
+        let tv = self.expr(then)?;
+        let then_end = self.b.current_block();
+        self.b.switch_to(else_bb);
+        let ev = self.expr(els)?;
+        let else_end = self.b.current_block();
+
+        let ty = common_type(tv.ty, ev.ty);
+        let result = self.b.fresh(Type::Scalar(ty));
+        self.b.switch_to(then_end);
+        let tv = self.convert(tv, ty);
+        self.b.mov_into(result, tv.reg);
+        self.b.jump(done_bb);
+        self.b.switch_to(else_end);
+        let ev = self.convert(ev, ty);
+        self.b.mov_into(result, ev.reg);
+        self.b.jump(done_bb);
+        self.b.switch_to(done_bb);
+        Ok(Typed { reg: result, ty })
+    }
+
+    fn assign(&mut self, _pos: Pos, op: AssignOp, lhs: &Expr, rhs: &Expr) -> Result<Typed, CompileError> {
+        let place = self.lvalue(lhs)?;
+        let ty = place.ty();
+        let value = match op.binary() {
+            None => {
+                let v = self.expr(rhs)?;
+                self.convert(v, ty)
+            }
+            Some(binop) => {
+                let cur = self.read_place(place);
+                let r = self.expr(rhs)?;
+                let cty = common_type(ty, r.ty);
+                let a = self.convert(Typed { reg: cur, ty }, cty);
+                let b = self.convert(r, cty);
+                let bin = match binop {
+                    BinaryOp::Add => BinOp::Add,
+                    BinaryOp::Sub => BinOp::Sub,
+                    BinaryOp::Mul => BinOp::Mul,
+                    BinaryOp::Div => BinOp::Div,
+                    BinaryOp::Rem => BinOp::Rem,
+                    _ => unreachable!("compound assign ops are arithmetic"),
+                };
+                let out = self.b.bin(bin, cty, a.reg, b.reg);
+                self.convert(Typed { reg: out, ty: cty }, ty)
+            }
+        };
+        self.write_place(place, value.reg);
+        Ok(Typed { reg: value.reg, ty })
+    }
+
+    fn read_place(&mut self, place: Place) -> RegId {
+        match place {
+            Place::Reg { reg, .. } => reg,
+            Place::Mem { ptr, ty } => self.b.load(ptr, ty),
+        }
+    }
+
+    fn write_place(&mut self, place: Place, value: RegId) {
+        match place {
+            Place::Reg { reg, .. } => self.b.mov_into(reg, value),
+            Place::Mem { ptr, ty } => self.b.store(ptr, value, ty),
+        }
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Result<Place, CompileError> {
+        match &e.kind {
+            ExprKind::Ident(name) => match self.lookup(name, e.pos)? {
+                Binding::Scalar { reg, ty } => Ok(Place::Reg { reg, ty }),
+                Binding::Ptr { .. } | Binding::PrivArray { .. } => {
+                    Err(self.err(e.pos, format!("cannot assign to pointer/array `{name}` itself")))
+                }
+            },
+            ExprKind::Index { base, index } => {
+                let ExprKind::Ident(name) = &base.kind else {
+                    return Err(self.err(base.pos, "only named pointers/arrays can be indexed"));
+                };
+                let idx = self.expr(index)?;
+                if !idx.ty.is_int() {
+                    return Err(self.err(index.pos, "array index must be an integer"));
+                }
+                match self.lookup(name, base.pos)? {
+                    Binding::Ptr { reg, elem } => {
+                        let ptr = self.b.gep(reg, idx.reg, elem);
+                        Ok(Place::Mem { ptr, ty: elem })
+                    }
+                    Binding::PrivArray { base, elem, len } => {
+                        // Compile-time bounds check for literal indices.
+                        if let ExprKind::IntLit(i) = index.kind {
+                            if i < 0 || i as usize >= len {
+                                return Err(self.err(
+                                    index.pos,
+                                    format!("index {i} out of bounds for `{name}[{len}]`"),
+                                ));
+                            }
+                        }
+                        let ptr = self.b.gep(base, idx.reg, elem);
+                        Ok(Place::Mem { ptr, ty: elem })
+                    }
+                    Binding::Scalar { .. } => {
+                        Err(self.err(base.pos, format!("`{name}` is a scalar and cannot be indexed")))
+                    }
+                }
+            }
+            _ => Err(self.err(e.pos, "expression is not assignable")),
+        }
+    }
+
+    fn call(&mut self, pos: Pos, name: &str, args: &[Expr]) -> Result<Typed, CompileError> {
+        // Work-item geometry queries.
+        let query = match name {
+            "get_global_id" => Some(WiQuery::GlobalId),
+            "get_local_id" => Some(WiQuery::LocalId),
+            "get_group_id" => Some(WiQuery::GroupId),
+            "get_global_size" => Some(WiQuery::GlobalSize),
+            "get_local_size" => Some(WiQuery::LocalSize),
+            "get_num_groups" => Some(WiQuery::NumGroups),
+            _ => None,
+        };
+        if let Some(q) = query {
+            let [arg] = args else {
+                return Err(self.err(pos, format!("{name} takes exactly one argument")));
+            };
+            let ExprKind::IntLit(dim) = arg.kind else {
+                return Err(self.err(arg.pos, format!("{name} requires a literal dimension")));
+            };
+            if !(0..3).contains(&dim) {
+                return Err(self.err(arg.pos, "dimension must be 0, 1 or 2"));
+            }
+            return Ok(Typed { reg: self.b.wi_query(q, dim as u8), ty: ScalarType::I64 });
+        }
+
+        if name == "barrier" || name == "mem_fence" {
+            return Err(self.err(pos, "barrier() is a statement; its value cannot be used"));
+        }
+
+        // Math builtins through the device math library.
+        let builtin = match name {
+            "exp" | "native_exp" => Some(Builtin::Exp),
+            "log" | "native_log" => Some(Builtin::Log),
+            "pow" | "powr" => Some(Builtin::Pow),
+            "sqrt" | "native_sqrt" => Some(Builtin::Sqrt),
+            _ => None,
+        };
+        if let Some(bi) = builtin {
+            if args.len() != bi.arity() {
+                return Err(self.err(pos, format!("{name} takes {} argument(s)", bi.arity())));
+            }
+            let vals: Vec<Typed> =
+                args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+            let mut ty = ScalarType::F64;
+            if vals.iter().all(|v| v.ty == ScalarType::F32) {
+                ty = ScalarType::F32;
+            }
+            let regs: Vec<RegId> = vals.into_iter().map(|v| self.convert(v, ty).reg).collect();
+            return Ok(Typed { reg: self.b.call(bi, ty, &regs), ty });
+        }
+        if name == "pown" {
+            // pow with an integer exponent.
+            let [x, n] = args else {
+                return Err(self.err(pos, "pown takes two arguments"));
+            };
+            let xv = self.expr(x)?;
+            let ty = if xv.ty == ScalarType::F32 { ScalarType::F32 } else { ScalarType::F64 };
+            let xv = self.convert(xv, ty);
+            let nv = self.expr(n)?;
+            let nv = self.convert(nv, ty);
+            return Ok(Typed { reg: self.b.call(Builtin::Pow, ty, &[xv.reg, nv.reg]), ty });
+        }
+
+        // Two-argument min/max family.
+        if matches!(name, "fmax" | "fmin" | "max" | "min") {
+            let [a, b] = args else {
+                return Err(self.err(pos, format!("{name} takes two arguments")));
+            };
+            let av = self.expr(a)?;
+            let bv = self.expr(b)?;
+            let mut ty = common_type(av.ty, bv.ty);
+            if name.starts_with('f') && !ty.is_float() {
+                ty = ScalarType::F64;
+            }
+            let av = self.convert(av, ty);
+            let bv = self.convert(bv, ty);
+            let op = if name.ends_with("max") { BinOp::Max } else { BinOp::Min };
+            return Ok(Typed { reg: self.b.bin(op, ty, av.reg, bv.reg), ty });
+        }
+
+        // One-argument float family.
+        if matches!(name, "fabs" | "abs" | "floor") {
+            let [a] = args else {
+                return Err(self.err(pos, format!("{name} takes one argument")));
+            };
+            let av = self.expr(a)?;
+            let ty = match name {
+                "abs" => {
+                    if !av.ty.is_int() {
+                        return Err(self.err(pos, "abs requires an integer (use fabs)"));
+                    }
+                    av.ty
+                }
+                _ => {
+                    if av.ty.is_float() {
+                        av.ty
+                    } else {
+                        ScalarType::F64
+                    }
+                }
+            };
+            let av = self.convert(av, ty);
+            let op = if name == "floor" { UnOp::Floor } else { UnOp::Abs };
+            return Ok(Typed { reg: self.b.un(op, ty, av.reg), ty });
+        }
+
+        Err(self.err(pos, format!("unknown function `{name}` (user functions are not supported)")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use bop_clir::mathlib::ExactMath;
+    use bop_clir::value::Value;
+
+    fn compile_fn(src: &str) -> bop_clir::ir::Module {
+        let unit = parse(&lex(src).expect("lex")).expect("parse");
+        lower_unit("test.cl", &unit, &Options::default()).expect("lower")
+    }
+
+    fn compile_err(src: &str) -> CompileError {
+        let unit = parse(&lex(src).expect("lex")).expect("parse");
+        lower_unit("test.cl", &unit, &Options::default()).expect_err("expected error")
+    }
+
+    /// Run a 1-arg (out buffer) kernel with `n` items in one group plus the
+    /// given extra scalar args; return the out buffer contents.
+    fn run(src: &str, kernel: &str, n: usize, extra: &[KernelArgValue]) -> Vec<f64> {
+        let m = compile_fn(src);
+        let f = m.kernel(kernel).expect("kernel");
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(n.max(1) * 8);
+        let mut args = vec![KernelArgValue::GlobalBuffer(buf)];
+        args.extend_from_slice(extra);
+        let shape = GroupShape::linear(n, n, 0);
+        let mut wg = WorkGroupRun::new(f, shape, &args, 0).expect("args");
+        wg.run(&mut mem, &ExactMath).expect("run");
+        (0..n).map(|i| mem.read_f64(buf, i)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_conversions() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                int i = 3;
+                double x = i / 2;      // integer division, then convert
+                double y = i / 2.0;    // float division
+                o[0] = x + y * 10.0;
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 1.0 + 15.0);
+    }
+
+    #[test]
+    fn for_loop_with_compound_assign() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                double acc = 0.0;
+                for (int i = 1; i <= 10; i++) { acc += (double)i; }
+                o[0] = acc;
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 55.0);
+    }
+
+    #[test]
+    fn unrolled_loop_matches_rolled() {
+        let src = |pragma: &str| {
+            format!(
+                "__kernel void k(__global double* o) {{
+                    double acc = 0.0;
+                    {pragma}
+                    for (int i = 0; i < 7; i++) {{ acc += (double)(i * i); }}
+                    o[0] = acc;
+                }}"
+            )
+        };
+        let rolled = run(&src(""), "k", 1, &[]);
+        let unrolled = run(&src("#pragma unroll 3"), "k", 1, &[]);
+        assert_eq!(rolled[0], 91.0);
+        assert_eq!(unrolled[0], 91.0, "unrolling must preserve semantics (7 % 3 != 0)");
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                int i = 0; double acc = 0.0;
+                while (true) {
+                    i++;
+                    if (i > 10) break;
+                    if (i % 2 == 0) continue;
+                    acc += (double)i;   // 1+3+5+7+9
+                }
+                o[0] = acc;
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 25.0);
+    }
+
+    #[test]
+    fn ternary_and_logical_short_circuit() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                int divisor = 0;
+                // Division by zero would trap; short-circuit must protect it.
+                bool safe = (divisor != 0) && (10 / divisor > 1);
+                o[0] = safe ? 1.0 : 2.0;
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 2.0);
+    }
+
+    #[test]
+    fn private_array_round_trip() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                double tmp[4];
+                for (int i = 0; i < 4; i++) { tmp[i] = (double)(i * 10); }
+                o[0] = tmp[0] + tmp[1] + tmp[2] + tmp[3];
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 60.0);
+    }
+
+    #[test]
+    fn math_builtins() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                o[0] = pow(2.0, 10.0) + sqrt(16.0) + fmax(1.0, 2.0) + fabs(-3.0) + floor(2.7);
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert!((out[0] - (1024.0 + 4.0 + 2.0 + 3.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_log_on_device() {
+        let out = run(
+            "__kernel void k(__global double* o) { o[0] = log(exp(1.0)); }",
+            "k",
+            1,
+            &[],
+        );
+        assert!((out[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_kernel_arguments() {
+        let out = run(
+            "__kernel void k(__global double* o, double scale, int n) {
+                o[0] = scale * (double)n;
+            }",
+            "k",
+            1,
+            &[
+                KernelArgValue::Scalar(Value::F64(2.5)),
+                KernelArgValue::Scalar(Value::I32(4)),
+            ],
+        );
+        assert_eq!(out[0], 10.0);
+    }
+
+    #[test]
+    fn work_item_ids_per_item() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                size_t gid = get_global_id(0);
+                o[gid] = (double)(gid * 2);
+            }",
+            "k",
+            4,
+            &[],
+        );
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn post_and_pre_increment_values() {
+        let out = run(
+            "__kernel void k(__global double* o) {
+                int i = 5;
+                int a = i++;   // a=5, i=6
+                int b = ++i;   // b=7, i=7
+                o[0] = (double)(a * 100 + b * 10 + i);
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 577.0);
+    }
+
+    // ---- diagnostics ----
+
+    #[test]
+    fn unknown_identifier_diagnosed() {
+        let e = compile_err("__kernel void k(__global double* o) { o[0] = nope; }");
+        assert!(e.to_string().contains("unknown identifier"));
+    }
+
+    #[test]
+    fn helper_functions_rejected() {
+        let e = compile_err("double f(double x) { return x; }");
+        assert!(e.to_string().contains("__kernel"));
+    }
+
+    #[test]
+    fn kernel_returning_value_rejected() {
+        let e = compile_err("__kernel void k(__global double* o) { return 1.0; }");
+        assert!(e.to_string().contains("void"));
+    }
+
+    #[test]
+    fn pointer_param_without_space_rejected() {
+        let e = compile_err("__kernel void k(double* o) { }");
+        assert!(e.to_string().contains("address-space"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = compile_err("__kernel void k(__global double* o) { break; }");
+        assert!(e.to_string().contains("break"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed_but_same_scope_rejected() {
+        // Same scope: error.
+        let e = compile_err("__kernel void k(__global double* o) { int x; double x; }");
+        assert!(e.to_string().contains("already defined"));
+        // Inner scope shadowing: fine.
+        let out = run(
+            "__kernel void k(__global double* o) {
+                double x = 1.0;
+                { double x = 2.0; o[0] = x; }
+                o[0] += x;
+            }",
+            "k",
+            1,
+            &[],
+        );
+        assert_eq!(out[0], 3.0);
+    }
+
+    #[test]
+    fn bitops_on_floats_rejected() {
+        let e = compile_err("__kernel void k(__global double* o) { o[0] = 1.0; double x = 2.0 << 1; }");
+        assert!(e.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn assigning_to_rvalue_rejected() {
+        let e = compile_err("__kernel void k(__global double* o) { (1 + 2) = 3; }");
+        assert!(e.to_string().contains("not assignable"));
+    }
+
+    #[test]
+    fn barrier_value_rejected() {
+        let e = compile_err("__kernel void k(__global double* o) { o[0] = barrier(0); }");
+        assert!(e.to_string().contains("statement"));
+    }
+
+    #[test]
+    fn get_global_id_requires_literal_dim() {
+        let e = compile_err("__kernel void k(__global double* o) { int d = 0; o[get_global_id(d)] = 1.0; }");
+        assert!(e.to_string().contains("literal"));
+    }
+}
+
+#[cfg(test)]
+mod do_while_tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use bop_clir::mathlib::ExactMath;
+
+    fn run_one(src: &str) -> f64 {
+        let unit = parse(&lex(src).expect("lex")).expect("parse");
+        let m = lower_unit("t.cl", &unit, &Options::default()).expect("lower");
+        let f = m.kernel("k").expect("kernel");
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let mut wg = WorkGroupRun::new(
+            f,
+            GroupShape::linear(1, 1, 0),
+            &[KernelArgValue::GlobalBuffer(buf)],
+            0,
+        )
+        .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        mem.read_f64(buf, 0)
+    }
+
+    #[test]
+    fn do_while_runs_body_at_least_once() {
+        let out = run_one(
+            "__kernel void k(__global double* o) {
+                double acc = 0.0;
+                int i = 100;
+                do { acc += 1.0; i++; } while (i < 100);
+                o[0] = acc;
+            }",
+        );
+        assert_eq!(out, 1.0, "body executes once even with a false condition");
+    }
+
+    #[test]
+    fn do_while_loops_until_condition_fails() {
+        let out = run_one(
+            "__kernel void k(__global double* o) {
+                double acc = 0.0;
+                int i = 0;
+                do { acc += (double)i; i++; } while (i < 5);
+                o[0] = acc;
+            }",
+        );
+        assert_eq!(out, 10.0); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn do_while_supports_break_and_continue() {
+        let out = run_one(
+            "__kernel void k(__global double* o) {
+                double acc = 0.0;
+                int i = 0;
+                do {
+                    i++;
+                    if (i % 2 == 0) { continue; }
+                    if (i > 7) { break; }
+                    acc += (double)i;    // 1+3+5+7
+                } while (i < 100);
+                o[0] = acc;
+            }",
+        );
+        assert_eq!(out, 16.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! IR optimisation passes: constant folding and dead-code elimination.
+//!
+//! These mirror the scalar optimisations an HLS compiler applies before
+//! scheduling; they matter for the FPGA resource estimates (a folded
+//! constant costs no DSPs) and keep the dynamic op counts honest.
+
+use bop_clir::eval;
+use bop_clir::ir::{Function, Inst, RegId, Terminator};
+use bop_clir::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Fold instructions whose operands are compile-time constants.
+///
+/// Works per basic block with a forward scan: a register is "known" while
+/// it provably holds a constant within the block; any other write
+/// invalidates it. Folded instructions become [`Inst::Const`]; DCE cleans
+/// up the now-unused inputs.
+pub fn fold_constants(func: &mut Function) {
+    for block in &mut func.blocks {
+        let mut known: HashMap<RegId, Value> = HashMap::new();
+        for inst in &mut block.insts {
+            let folded: Option<Value> = match &*inst {
+                Inst::Const { val, .. } => Some(*val),
+                Inst::Mov { src, .. } => known.get(src).copied(),
+                Inst::Bin { op, ty, a, b, .. } => match (known.get(a), known.get(b)) {
+                    (Some(x), Some(y)) => eval::eval_bin(*op, *ty, *x, *y).ok(),
+                    _ => None,
+                },
+                Inst::Un { op, ty, a, .. } => {
+                    known.get(a).map(|x| eval::eval_un(*op, *ty, *x))
+                }
+                Inst::Cmp { op, ty, a, b, .. } => match (known.get(a), known.get(b)) {
+                    (Some(x), Some(y)) => Some(Value::Bool(eval::eval_cmp(*op, *ty, *x, *y))),
+                    _ => None,
+                },
+                Inst::Select { cond, a, b, .. } => match known.get(cond) {
+                    Some(Value::Bool(true)) => known.get(a).copied(),
+                    Some(Value::Bool(false)) => known.get(b).copied(),
+                    _ => None,
+                },
+                Inst::Cast { a, from, to, .. } => {
+                    known.get(a).map(|x| eval::eval_cast(*x, *from, *to))
+                }
+                // Calls, loads, queries, geps: not folded (queries vary per
+                // item; calls depend on the device math library).
+                _ => None,
+            };
+            if let Some(dst) = inst.dst() {
+                match folded {
+                    Some(val) if !matches!(inst, Inst::Const { .. }) => {
+                        *inst = Inst::Const { dst, val };
+                        known.insert(dst, val);
+                    }
+                    Some(val) => {
+                        known.insert(dst, val);
+                    }
+                    None => {
+                        known.remove(&dst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Remove pure instructions whose results are never read.
+///
+/// "Never read" is a whole-function property (the IR is a register machine,
+/// not SSA, so a register written in one block may be read in another).
+/// Stores and barriers are never removed; loads are pure and removable.
+pub fn eliminate_dead_code(func: &mut Function) {
+    loop {
+        let mut used: HashSet<RegId> = HashSet::new();
+        for block in &func.blocks {
+            for inst in &block.insts {
+                for r in inst.sources() {
+                    used.insert(r);
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &block.term {
+                used.insert(*cond);
+            }
+        }
+        let mut removed = false;
+        for block in &mut func.blocks {
+            let before = block.insts.len();
+            block.insts.retain(|inst| match inst {
+                Inst::Store { .. } | Inst::Barrier => true,
+                other => match other.dst() {
+                    Some(dst) => used.contains(&dst),
+                    None => true,
+                },
+            });
+            removed |= block.insts.len() != before;
+        }
+        if !removed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, Options};
+    use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use bop_clir::mathlib::ExactMath;
+
+    fn compile_opts(src: &str, no_opt: bool) -> bop_clir::ir::Function {
+        let m = compile("t.cl", src, &Options { no_opt, ..Options::default() }).expect("compiles");
+        m.kernel("k").expect("kernel k").clone()
+    }
+
+    fn run_one(func: &bop_clir::ir::Function) -> f64 {
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let shape = GroupShape::linear(1, 1, 0);
+        let mut wg = WorkGroupRun::new(func, shape, &[KernelArgValue::GlobalBuffer(buf)], 0)
+            .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        mem.read_f64(buf, 0)
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_single_const() {
+        let src = "__kernel void k(__global double* o) { o[0] = (1.0 + 2.0) * 4.0 - 2.0; }";
+        let opt = compile_opts(src, false);
+        let unopt = compile_opts(src, true);
+        assert!(opt.inst_count() < unopt.inst_count(), "folding should shrink the kernel");
+        assert_eq!(run_one(&opt), 10.0);
+        assert_eq!(run_one(&unopt), 10.0);
+    }
+
+    #[test]
+    fn folding_preserves_integer_semantics() {
+        let src = "__kernel void k(__global double* o) { o[0] = (double)(7 / 2 + 7 % 2); }";
+        assert_eq!(run_one(&compile_opts(src, false)), 4.0);
+    }
+
+    #[test]
+    fn division_by_zero_not_folded_into_panic() {
+        // The fold must leave the trapping instruction in place, not crash
+        // the compiler.
+        let src = "__kernel void k(__global double* o) { int z = 0; if (false) { int q = 1 / z; o[0] = (double)q; } o[0] = 1.0; }";
+        let f = compile_opts(src, false);
+        assert_eq!(run_one(&f), 1.0);
+    }
+
+    #[test]
+    fn dead_code_removed_but_stores_kept() {
+        let src = "__kernel void k(__global double* o) {
+            double unused = exp(123.0);   // pure, dead
+            o[0] = 5.0;                    // store, live
+        }";
+        let opt = compile_opts(src, false);
+        let unopt = compile_opts(src, true);
+        assert!(opt.inst_count() < unopt.inst_count());
+        // exp must be gone entirely.
+        let has_call = opt
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+        assert!(!has_call, "dead exp call should be eliminated");
+        assert_eq!(run_one(&opt), 5.0);
+    }
+
+    #[test]
+    fn loads_are_removable_but_live_loads_stay() {
+        let src = "__kernel void k(__global double* o) {
+            double dead = o[0];
+            o[0] = 2.0;
+            double live = o[0];
+            o[0] = live + 1.0;
+        }";
+        let f = compile_opts(src, false);
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 1, "dead load removed, live load kept");
+        assert_eq!(run_one(&f), 3.0);
+    }
+
+    #[test]
+    fn cross_block_liveness_respected() {
+        // `x` is written in the entry block and read after the branch; DCE
+        // must not remove the write.
+        let src = "__kernel void k(__global double* o) {
+            double x = 4.0;
+            if (o[0] == 0.0) { x = x + 1.0; }
+            o[0] = x;
+        }";
+        assert_eq!(run_one(&compile_opts(src, false)), 5.0);
+    }
+}
+
+/// Local value numbering: eliminate redundant pure computations within
+/// each basic block (common-subexpression elimination).
+///
+/// The IR is a mutable register machine, so classical CSE needs value
+/// numbers: a replacement `dst = rep` is only valid while the
+/// representative register still holds the value number the expression
+/// produced. Loads are not eliminated (memory may change between them);
+/// math builtins and work-item queries are pure and participate.
+///
+/// Off by default (see [`crate::Options::cse`]): the FPGA resource model
+/// charges hardware per instruction, so enabling CSE changes Table-I-style
+/// resource estimates — the ablation benches quantify by how much.
+pub fn common_subexpression_elimination(func: &mut Function) {
+    use bop_clir::ir::{Builtin, CmpOp, UnOp, WiQuery};
+    use bop_clir::types::ScalarType;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Key {
+        Const(u64, ScalarType),
+        Bin(bop_clir::ir::BinOp, ScalarType, u32, u32),
+        Un(UnOp, ScalarType, u32),
+        Cmp(CmpOp, ScalarType, u32, u32),
+        Select(ScalarType, u32, u32, u32),
+        Cast(ScalarType, ScalarType, u32),
+        Call(Builtin, ScalarType, Vec<u32>),
+        WorkItem(WiQuery, u8),
+        Gep(ScalarType, u32, u32),
+    }
+
+    for block in &mut func.blocks {
+        let mut next_vn: u32 = 0;
+        let mut vn_of: HashMap<RegId, u32> = HashMap::new();
+        let mut table: HashMap<Key, (u32, RegId)> = HashMap::new();
+
+        fn vn(vn_of: &mut HashMap<RegId, u32>, next_vn: &mut u32, r: RegId) -> u32 {
+            *vn_of.entry(r).or_insert_with(|| {
+                *next_vn += 1;
+                *next_vn
+            })
+        }
+
+        for inst in &mut block.insts {
+            let key = match &*inst {
+                Inst::Const { val, .. } => val.scalar_type().map(|ty| {
+                    let bits = match val {
+                        Value::Bool(b) => *b as u64,
+                        Value::I32(x) => *x as u32 as u64,
+                        Value::I64(x) => *x as u64,
+                        Value::F32(x) => x.to_bits() as u64,
+                        Value::F64(x) => x.to_bits(),
+                        Value::Ptr(_) => unreachable!("filtered by scalar_type"),
+                    };
+                    Key::Const(bits, ty)
+                }),
+                Inst::Bin { op, ty, a, b, .. } => {
+                    let (va, vb) =
+                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
+                    Some(Key::Bin(*op, *ty, va, vb))
+                }
+                Inst::Un { op, ty, a, .. } => {
+                    Some(Key::Un(*op, *ty, vn(&mut vn_of, &mut next_vn, *a)))
+                }
+                Inst::Cmp { op, ty, a, b, .. } => {
+                    let (va, vb) =
+                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
+                    Some(Key::Cmp(*op, *ty, va, vb))
+                }
+                Inst::Select { ty, cond, a, b, .. } => {
+                    let vc = vn(&mut vn_of, &mut next_vn, *cond);
+                    let (va, vb) =
+                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
+                    Some(Key::Select(*ty, vc, va, vb))
+                }
+                Inst::Cast { a, from, to, .. } => {
+                    Some(Key::Cast(*from, *to, vn(&mut vn_of, &mut next_vn, *a)))
+                }
+                Inst::Call { func: f, ty, args, .. } => {
+                    let vargs = args.iter().map(|r| vn(&mut vn_of, &mut next_vn, *r)).collect();
+                    Some(Key::Call(*f, *ty, vargs))
+                }
+                Inst::WorkItem { query, dim, .. } => Some(Key::WorkItem(*query, *dim)),
+                Inst::Gep { base, index, elem, .. } => {
+                    let (vb, vi) = (
+                        vn(&mut vn_of, &mut next_vn, *base),
+                        vn(&mut vn_of, &mut next_vn, *index),
+                    );
+                    Some(Key::Gep(*elem, vb, vi))
+                }
+                // Loads, stores, movs and barriers are not value-numbered
+                // expressions.
+                Inst::Load { .. } | Inst::Store { .. } | Inst::Mov { .. } | Inst::Barrier => None,
+            };
+
+            match (key, inst.dst()) {
+                (Some(key), Some(dst)) => {
+                    if let Some(&(expr_vn, rep)) = table.get(&key) {
+                        if rep != dst && vn_of.get(&rep) == Some(&expr_vn) {
+                            // The representative still holds this value.
+                            *inst = Inst::Mov { dst, src: rep };
+                            vn_of.insert(dst, expr_vn);
+                            continue;
+                        }
+                    }
+                    next_vn += 1;
+                    table.insert(key, (next_vn, dst));
+                    vn_of.insert(dst, next_vn);
+                }
+                (None, Some(dst)) => {
+                    // Unknown value (load, mov): give the destination a
+                    // fresh number, invalidating stale representatives.
+                    match inst {
+                        Inst::Mov { src, .. } => {
+                            let v = vn(&mut vn_of, &mut next_vn, *src);
+                            vn_of.insert(dst, v);
+                        }
+                        _ => {
+                            next_vn += 1;
+                            vn_of.insert(dst, next_vn);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod cse_tests {
+    use super::*;
+    use crate::{compile, Options};
+    use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use bop_clir::mathlib::ExactMath;
+    use bop_clir::value::Value as V;
+
+    fn compile_cse(src: &str, cse: bool) -> bop_clir::ir::Function {
+        let m = compile("t.cl", src, &Options { cse, ..Options::default() }).expect("compiles");
+        m.kernel("k").expect("kernel k").clone()
+    }
+
+    fn run_xy(func: &bop_clir::ir::Function, x: f64, y: f64) -> f64 {
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(16);
+        let mut wg = WorkGroupRun::new(
+            func,
+            GroupShape::linear(1, 1, 0),
+            &[
+                KernelArgValue::GlobalBuffer(buf),
+                KernelArgValue::Scalar(V::F64(x)),
+                KernelArgValue::Scalar(V::F64(y)),
+            ],
+            0,
+        )
+        .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        mem.read_f64(buf, 0)
+    }
+
+    const REDUNDANT: &str = "__kernel void k(__global double* o, double x, double y) {
+        o[0] = (x * y + 1.0) + (x * y + 1.0) + exp(x) * exp(x);
+    }";
+
+    #[test]
+    fn cse_removes_duplicate_expressions() {
+        let plain = compile_cse(REDUNDANT, false);
+        let cse = compile_cse(REDUNDANT, true);
+        let count = |f: &bop_clir::ir::Function, pred: &dyn Fn(&Inst) -> bool| {
+            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| pred(i)).count()
+        };
+        let muls = |f: &bop_clir::ir::Function| {
+            count(f, &|i| {
+                matches!(i, Inst::Bin { op: bop_clir::ir::BinOp::Mul, ty, .. } if ty.is_float())
+            })
+        };
+        let exps = |f: &bop_clir::ir::Function| count(f, &|i| matches!(i, Inst::Call { .. }));
+        assert_eq!(muls(&plain), 3, "x*y twice + exp*exp");
+        assert_eq!(muls(&cse), 2, "one x*y eliminated");
+        assert_eq!(exps(&plain), 2);
+        assert_eq!(exps(&cse), 1, "pure exp() deduplicated");
+        // Semantics unchanged.
+        for (x, y) in [(0.5, 2.0), (-1.5, 3.0), (0.0, 0.0)] {
+            assert_eq!(run_xy(&plain, x, y).to_bits(), run_xy(&cse, x, y).to_bits());
+        }
+    }
+
+    #[test]
+    fn cse_respects_mutation_between_uses() {
+        // `a` changes between the two uses of `a * 2.0`: must NOT merge.
+        let src = "__kernel void k(__global double* o, double x, double y) {
+            double a = x;
+            double first = a * 2.0;
+            a = a + y;
+            double second = a * 2.0;
+            o[0] = first + second;
+        }";
+        let plain = compile_cse(src, false);
+        let cse = compile_cse(src, true);
+        for (x, y) in [(1.0, 2.0), (3.0, -1.0)] {
+            let want = x * 2.0 + (x + y) * 2.0;
+            assert_eq!(run_xy(&plain, x, y), want);
+            assert_eq!(run_xy(&cse, x, y), want, "CSE must respect redefinition");
+        }
+    }
+
+    #[test]
+    fn cse_does_not_merge_loads_across_stores() {
+        let src = "__kernel void k(__global double* o, double x, double y) {
+            double a = o[1];
+            o[1] = a + x;
+            double b = o[1];
+            o[0] = a + b;
+        }";
+        let cse = compile_cse(src, true);
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(16);
+        mem.write_f64(buf, 1, 10.0);
+        let mut wg = WorkGroupRun::new(
+            &cse,
+            GroupShape::linear(1, 1, 0),
+            &[
+                KernelArgValue::GlobalBuffer(buf),
+                KernelArgValue::Scalar(V::F64(5.0)),
+                KernelArgValue::Scalar(V::F64(0.0)),
+            ],
+            0,
+        )
+        .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        assert_eq!(mem.read_f64(buf, 0), 10.0 + 15.0, "second load must see the store");
+    }
+
+    #[test]
+    fn cse_shrinks_the_straightforward_kernel() {
+        // The paper kernel recomputes `t * 5` for each parameter load; CSE
+        // should shrink it measurably (the ablation benches quantify the
+        // resource effect).
+        let src = include_str!("../../core/kernels/straightforward.cl").replace("REAL", "double");
+        let m_plain =
+            compile("k.cl", &src, &Options::default()).expect("compiles");
+        let m_cse = compile("k.cl", &src, &Options { cse: true, ..Options::default() })
+            .expect("compiles");
+        let plain = m_plain.kernel("binomial_node").expect("k").inst_count();
+        let cse = m_cse.kernel("binomial_node").expect("k").inst_count();
+        assert!(cse < plain, "CSE should shrink the kernel: {cse} vs {plain}");
+    }
+}
+
+/// Copy propagation: rewrite uses of `Mov` destinations to read the
+/// original register while the copy is still valid, so DCE can remove the
+/// `Mov` itself. Runs after CSE (which introduces the copies).
+pub fn propagate_copies(func: &mut Function) {
+    for block in &mut func.blocks {
+        // dst -> original source (fully resolved through chains).
+        let mut copy_of: HashMap<RegId, RegId> = HashMap::new();
+        for i in 0..block.insts.len() {
+            // Rewrite sources first (uses see the state before this inst).
+            let resolve = |copy_of: &HashMap<RegId, RegId>, r: RegId| {
+                copy_of.get(&r).copied().unwrap_or(r)
+            };
+            let inst = &mut block.insts[i];
+            match inst {
+                Inst::Mov { src, .. } => *src = resolve(&copy_of, *src),
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    *a = resolve(&copy_of, *a);
+                    *b = resolve(&copy_of, *b);
+                }
+                Inst::Un { a, .. } => *a = resolve(&copy_of, *a),
+                Inst::Select { cond, a, b, .. } => {
+                    *cond = resolve(&copy_of, *cond);
+                    *a = resolve(&copy_of, *a);
+                    *b = resolve(&copy_of, *b);
+                }
+                Inst::Cast { a, .. } => *a = resolve(&copy_of, *a),
+                Inst::Call { args, .. } => {
+                    for r in args.iter_mut() {
+                        *r = resolve(&copy_of, *r);
+                    }
+                }
+                Inst::Gep { base, index, .. } => {
+                    *base = resolve(&copy_of, *base);
+                    *index = resolve(&copy_of, *index);
+                }
+                Inst::Load { ptr, .. } => *ptr = resolve(&copy_of, *ptr),
+                Inst::Store { ptr, val, .. } => {
+                    *ptr = resolve(&copy_of, *ptr);
+                    *val = resolve(&copy_of, *val);
+                }
+                Inst::Const { .. } | Inst::WorkItem { .. } | Inst::Barrier => {}
+            }
+            // Then update the copy map with this instruction's effect.
+            if let Some(dst) = block.insts[i].dst() {
+                // Any write invalidates copies *of* dst and copies *from*
+                // dst (its old value is gone).
+                copy_of.remove(&dst);
+                copy_of.retain(|_, src| *src != dst);
+                if let Inst::Mov { dst, src } = &block.insts[i] {
+                    if dst != src {
+                        copy_of.insert(*dst, *src);
+                    }
+                }
+            }
+        }
+        // Rewrite the terminator condition too.
+        if let Terminator::Branch { cond, .. } = &mut block.term {
+            if let Some(src) = copy_of.get(cond) {
+                *cond = *src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod copy_prop_tests {
+    use super::*;
+    use crate::{compile, Options};
+    use bop_clir::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use bop_clir::mathlib::ExactMath;
+    use bop_clir::value::Value as V;
+
+    const REDUNDANT: &str = "__kernel void k(__global double* o, double x, double y) {
+        o[0] = (x * y) + (x * y) * (x * y);
+    }";
+
+    fn movs(f: &bop_clir::ir::Function) -> usize {
+        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Mov { .. })).count()
+    }
+
+    #[test]
+    fn copy_propagation_lets_dce_remove_cse_movs() {
+        let m = compile("t.cl", REDUNDANT, &Options { cse: true, ..Options::default() })
+            .expect("compiles");
+        let f = m.kernel("k").expect("k");
+        // With CSE + copy propagation + DCE, the duplicated x*y collapses
+        // to one Mul and no surviving copies of it.
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: bop_clir::ir::BinOp::Mul, ty, .. } if ty.is_float()))
+            .count();
+        assert_eq!(muls, 2, "x*y shared; one product multiply remains");
+        assert!(movs(f) <= 1, "copies should be propagated away: {}", movs(f));
+        // Semantics check.
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let mut wg = WorkGroupRun::new(
+            f,
+            GroupShape::linear(1, 1, 0),
+            &[
+                KernelArgValue::GlobalBuffer(buf),
+                KernelArgValue::Scalar(V::F64(3.0)),
+                KernelArgValue::Scalar(V::F64(2.0)),
+            ],
+            0,
+        )
+        .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        assert_eq!(mem.read_f64(buf, 0), 6.0 + 36.0);
+    }
+
+    #[test]
+    fn copies_invalidated_by_redefinition() {
+        // `b = a; a = a + 1; o[0] = b;` — b must read the OLD a.
+        let src = "__kernel void k(__global double* o, double x, double y) {
+            double a = x;
+            double b = a;
+            a = a + 1.0;
+            o[0] = b + a;
+        }";
+        let m = compile("t.cl", src, &Options { cse: true, ..Options::default() })
+            .expect("compiles");
+        let f = m.kernel("k").expect("k");
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let mut wg = WorkGroupRun::new(
+            f,
+            GroupShape::linear(1, 1, 0),
+            &[
+                KernelArgValue::GlobalBuffer(buf),
+                KernelArgValue::Scalar(V::F64(5.0)),
+                KernelArgValue::Scalar(V::F64(0.0)),
+            ],
+            0,
+        )
+        .expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        assert_eq!(mem.read_f64(buf, 0), 5.0 + 6.0);
+    }
+}

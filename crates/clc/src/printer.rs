@@ -1,0 +1,418 @@
+//! Pretty-printer: AST back to OpenCL C source.
+//!
+//! Used by tests (parse/print/re-parse round trips) and handy when
+//! debugging generated or transformed kernels. The printer emits fully
+//! parenthesised expressions, so the round trip is exact up to parentheses.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole translation unit.
+pub fn print_unit(unit: &Unit) -> String {
+    let mut out = String::new();
+    for f in &unit.functions {
+        print_function(&mut out, f);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &FunctionDef) {
+    if f.is_kernel {
+        out.push_str("__kernel ");
+    }
+    let _ = write!(out, "{} {}(", f.ret.name(), f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if let Some(space) = p.space {
+            let _ = write!(out, "{} ", space.qualifier());
+        }
+        let _ = write!(out, "{}{} {}", p.base.name(), if p.is_ptr { "*" } else { "" }, p.name);
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match &s.kind {
+        StmtKind::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+        StmtKind::Block(stmts) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for st in stmts {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Decl { ty, items } => {
+            indent(out, level);
+            let _ = write!(out, "{} ", ty.name());
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&item.name);
+                if let Some(n) = item.array {
+                    let _ = write!(out, "[{n}]");
+                }
+                if let Some(init) = &item.init {
+                    out.push_str(" = ");
+                    print_expr(out, init);
+                }
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            indent(out, level);
+            print_expr(out, e);
+            out.push_str(";\n");
+        }
+        StmtKind::If { cond, then, els } => {
+            indent(out, level);
+            out.push_str("if (");
+            print_expr(out, cond);
+            out.push_str(")\n");
+            print_stmt(out, then, level + 1);
+            if let Some(e) = els {
+                indent(out, level);
+                out.push_str("else\n");
+                print_stmt(out, e, level + 1);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            indent(out, level);
+            out.push_str("while (");
+            print_expr(out, cond);
+            out.push_str(")\n");
+            print_stmt(out, body, level + 1);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            indent(out, level);
+            out.push_str("do\n");
+            print_stmt(out, body, level + 1);
+            indent(out, level);
+            out.push_str("while (");
+            print_expr(out, cond);
+            out.push_str(");\n");
+        }
+        StmtKind::For { init, cond, step, body, unroll } => {
+            if let Some(factor) = unroll {
+                indent(out, level);
+                match factor {
+                    Some(n) => {
+                        let _ = writeln!(out, "#pragma unroll {n}");
+                    }
+                    None => out.push_str("#pragma unroll\n"),
+                }
+            }
+            indent(out, level);
+            out.push_str("for (");
+            match init {
+                Some(stmt) => match &stmt.kind {
+                    StmtKind::Decl { ty, items } => {
+                        let _ = write!(out, "{} ", ty.name());
+                        for (i, item) in items.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&item.name);
+                            if let Some(init) = &item.init {
+                                out.push_str(" = ");
+                                print_expr(out, init);
+                            }
+                        }
+                        out.push_str("; ");
+                    }
+                    StmtKind::Expr(e) => {
+                        print_expr(out, e);
+                        out.push_str("; ");
+                    }
+                    other => unreachable!("for-init is decl or expr: {other:?}"),
+                },
+                None => out.push_str("; "),
+            }
+            if let Some(c) = cond {
+                print_expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                print_expr(out, st);
+            }
+            out.push_str(")\n");
+            print_stmt(out, body, level + 1);
+        }
+        StmtKind::Return(Some(e)) => {
+            indent(out, level);
+            out.push_str("return ");
+            print_expr(out, e);
+            out.push_str(";\n");
+        }
+        StmtKind::Return(None) => {
+            indent(out, level);
+            out.push_str("return;\n");
+        }
+        StmtKind::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        StmtKind::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+    }
+}
+
+fn print_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v, f32_suffix) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+            if *f32_suffix {
+                out.push('f');
+            }
+        }
+        ExprKind::BoolLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Ident(name) => out.push_str(name),
+        ExprKind::Unary { op, expr } => {
+            out.push_str(match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Plus => "+",
+                UnaryOp::Not => "!",
+                UnaryOp::BitNot => "~",
+            });
+            out.push('(');
+            print_expr(out, expr);
+            out.push(')');
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(out, lhs);
+            let _ = write!(out, " {} ", op.spelling());
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        ExprKind::Assign { op, lhs, rhs } => {
+            print_expr(out, lhs);
+            out.push_str(match op {
+                AssignOp::Assign => " = ",
+                AssignOp::Add => " += ",
+                AssignOp::Sub => " -= ",
+                AssignOp::Mul => " *= ",
+                AssignOp::Div => " /= ",
+                AssignOp::Rem => " %= ",
+            });
+            print_expr(out, rhs);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            out.push('(');
+            print_expr(out, cond);
+            out.push_str(" ? ");
+            print_expr(out, then);
+            out.push_str(" : ");
+            print_expr(out, els);
+            out.push(')');
+        }
+        ExprKind::Call { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Index { base, index } => {
+            print_expr(out, base);
+            out.push('[');
+            print_expr(out, index);
+            out.push(']');
+        }
+        ExprKind::Cast { ty, expr } => {
+            let _ = write!(out, "({})", ty.name());
+            out.push('(');
+            print_expr(out, expr);
+            out.push(')');
+        }
+        ExprKind::PostIncDec { expr, inc } => {
+            print_expr(out, expr);
+            out.push_str(if *inc { "++" } else { "--" });
+        }
+        ExprKind::PreIncDec { expr, inc } => {
+            out.push_str(if *inc { "++" } else { "--" });
+            out.push('(');
+            print_expr(out, expr);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    /// Strip positions so reparsed ASTs compare equal.
+    fn normalise(mut unit: Unit) -> Unit {
+        fn fix_expr(e: &mut Expr) {
+            e.pos = Default::default();
+            match &mut e.kind {
+                ExprKind::Unary { expr, .. }
+                | ExprKind::Cast { expr, .. }
+                | ExprKind::PostIncDec { expr, .. }
+                | ExprKind::PreIncDec { expr, .. } => fix_expr(expr),
+                ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                    fix_expr(lhs);
+                    fix_expr(rhs);
+                }
+                ExprKind::Ternary { cond, then, els } => {
+                    fix_expr(cond);
+                    fix_expr(then);
+                    fix_expr(els);
+                }
+                ExprKind::Call { args, .. } => args.iter_mut().for_each(fix_expr),
+                ExprKind::Index { base, index } => {
+                    fix_expr(base);
+                    fix_expr(index);
+                }
+                _ => {}
+            }
+        }
+        fn fix_stmt(s: &mut Stmt) {
+            s.pos = Default::default();
+            match &mut s.kind {
+                StmtKind::Block(stmts) => stmts.iter_mut().for_each(fix_stmt),
+                StmtKind::Decl { items, .. } => {
+                    for item in items {
+                        item.pos = Default::default();
+                        if let Some(e) = &mut item.init {
+                            fix_expr(e);
+                        }
+                    }
+                }
+                StmtKind::Expr(e) => fix_expr(e),
+                StmtKind::If { cond, then, els } => {
+                    fix_expr(cond);
+                    fix_stmt(then);
+                    if let Some(e) = els {
+                        fix_stmt(e);
+                    }
+                }
+                StmtKind::While { cond, body } => {
+                    fix_expr(cond);
+                    fix_stmt(body);
+                }
+                StmtKind::DoWhile { body, cond } => {
+                    fix_stmt(body);
+                    fix_expr(cond);
+                }
+                StmtKind::For { init, cond, step, body, .. } => {
+                    if let Some(i) = init {
+                        fix_stmt(i);
+                    }
+                    if let Some(c) = cond {
+                        fix_expr(c);
+                    }
+                    if let Some(st) = step {
+                        fix_expr(st);
+                    }
+                    fix_stmt(body);
+                }
+                StmtKind::Return(Some(e)) => fix_expr(e),
+                _ => {}
+            }
+        }
+        for f in &mut unit.functions {
+            f.pos = Default::default();
+            for p in &mut f.params {
+                p.pos = Default::default();
+            }
+            f.body.iter_mut().for_each(fix_stmt);
+        }
+        unit
+    }
+
+    fn round_trip(src: &str) {
+        let unit = normalise(parse(&lex(src).expect("lex")).expect("parse"));
+        let printed = print_unit(&unit);
+        let reparsed = normalise(parse(&lex(&printed).expect("re-lex")).expect("re-parse"));
+        assert_eq!(unit, reparsed, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        round_trip(
+            "__kernel void k(__global double* o, int n) {
+                o[0] = 1 + 2 * 3 - n / 4 % 5;
+                o[1] = (double)(n << 2) + (n & 7 | 1 ^ 3);
+                o[2] = n > 0 && n < 10 || !(n == 5) ? 1.0 : 2.0;
+                o[3] = pow(2.0, fmax(1.0f, 2.0));
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_statements() {
+        round_trip(
+            "__kernel void k(__global double* o, __local double* l, __constant double* c) {
+                double acc = 0.0, tmp[8];
+                #pragma unroll 2
+                for (int i = 0; i < 16; i++) {
+                    if (i % 2 == 0) { acc += c[i]; } else { continue; }
+                    while (acc > 100.0) { acc /= 2.0; break; }
+                }
+                barrier(0);
+                l[0] = acc;
+                o[0] = l[0];
+                return;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_do_while() {
+        round_trip(
+            "__kernel void k(__global double* o) {
+                int i = 0;
+                do { i++; } while (i < 4);
+                o[0] = (double)i;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_inc_dec_and_compound() {
+        round_trip(
+            "__kernel void k(__global double* o) {
+                int i = 0;
+                i++; --i; i += 3; i *= 2; i %= 5;
+                o[0] = (double)i;
+            }",
+        );
+    }
+}

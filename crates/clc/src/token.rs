@@ -1,0 +1,250 @@
+//! Tokens of the OpenCL C subset.
+
+use crate::diag::Pos;
+use std::fmt;
+
+/// Keywords recognised by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `__kernel` / `kernel`.
+    Kernel,
+    /// `__global` / `global`.
+    Global,
+    /// `__local` / `local`.
+    Local,
+    /// `__private` / `private`.
+    Private,
+    /// `__constant` / `constant`.
+    Constant,
+    /// `const`.
+    Const,
+    /// `restrict`.
+    Restrict,
+    /// `void`.
+    Void,
+    /// `bool`.
+    Bool,
+    /// `int`.
+    Int,
+    /// `uint`.
+    Uint,
+    /// `long`.
+    Long,
+    /// `ulong`.
+    Ulong,
+    /// `size_t`.
+    SizeT,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `for`.
+    For,
+    /// `while`.
+    While,
+    /// `do`.
+    Do,
+    /// `return`.
+    Return,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+}
+
+impl Keyword {
+    /// Look up a keyword by spelling.
+    pub fn from_spelling(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "__kernel" | "kernel" => Keyword::Kernel,
+            "__global" | "global" => Keyword::Global,
+            "__local" | "local" => Keyword::Local,
+            "__private" | "private" => Keyword::Private,
+            "__constant" | "constant" => Keyword::Constant,
+            "const" => Keyword::Const,
+            "restrict" => Keyword::Restrict,
+            "void" => Keyword::Void,
+            "bool" => Keyword::Bool,
+            "int" => Keyword::Int,
+            "uint" => Keyword::Uint,
+            "long" => Keyword::Long,
+            "ulong" => Keyword::Ulong,
+            "size_t" => Keyword::SizeT,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // spellings are self-describing
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Question,
+    Colon,
+}
+
+impl Punct {
+    /// The source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Comma => ",",
+            Punct::Semi => ";",
+            Punct::Star => "*",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::PercentAssign => "%=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Eq => "==",
+            Punct::Ne => "!=",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Not => "!",
+            Punct::Tilde => "~",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+        }
+    }
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword.
+    Keyword(Keyword),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (value, and whether it was suffixed `u`/`l`).
+    IntLit(i64),
+    /// A floating literal (`1.5`, `2e-3`, `1.0f`); bool is the `f` suffix.
+    FloatLit(f64, bool),
+    /// Punctuation.
+    Punct(Punct),
+    /// `#pragma unroll [N]`.
+    PragmaUnroll(Option<u32>),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v, true) => write!(f, "float literal `{v}f`"),
+            TokenKind::FloatLit(v, false) => write!(f, "float literal `{v}`"),
+            TokenKind::Punct(p) => write!(f, "`{}`", p.spelling()),
+            TokenKind::PragmaUnroll(Some(n)) => write!(f, "#pragma unroll {n}"),
+            TokenKind::PragmaUnroll(None) => write!(f, "#pragma unroll"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_handles_both_spellings() {
+        assert_eq!(Keyword::from_spelling("__kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_spelling("kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_spelling("__global"), Some(Keyword::Global));
+        assert_eq!(Keyword::from_spelling("size_t"), Some(Keyword::SizeT));
+        assert_eq!(Keyword::from_spelling("banana"), None);
+    }
+
+    #[test]
+    fn punct_spellings() {
+        assert_eq!(Punct::Shl.spelling(), "<<");
+        assert_eq!(Punct::PlusAssign.spelling(), "+=");
+    }
+}

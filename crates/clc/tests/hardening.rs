@@ -1,0 +1,97 @@
+//! Hardening: the compiler must reject garbage with diagnostics, never
+//! panic, and its diagnostics must carry positions.
+
+use bop_clc::{compile, Options};
+use proptest::prelude::*;
+
+/// A corpus of malformed programs that have each caught (or could catch) a
+/// front-end crash.
+const CORPUS: &[&str] = &[
+    "",
+    "{",
+    "}}}}",
+    "__kernel",
+    "__kernel void",
+    "__kernel void k",
+    "__kernel void k(",
+    "__kernel void k()",
+    "__kernel void k() {",
+    "__kernel void k(__global double* o) { o[ }",
+    "__kernel void k(__global double* o) { o[0] = ; }",
+    "__kernel void k(__global double* o) { for (;;) }",
+    "__kernel void k(__global double* o) { if }",
+    "__kernel void k(__global double* o) { double; }",
+    "__kernel void k(__global double* o) { double x[0]; }",
+    "__kernel void k(__global double* o) { double x[-1]; }",
+    "__kernel void k(__global double* o) { return 5; }",
+    "__kernel void k(__global double* o) { continue; }",
+    "__kernel void k(void v) {}",
+    "__kernel int k(__global double* o) { return 1; }",
+    "kernel kernel kernel",
+    "__kernel void k(__global double* o) { o[0] = pow(1.0); }",
+    "__kernel void k(__global double* o) { o[0] = get_global_id(); }",
+    "__kernel void k(__global double* o) { o[0] = get_global_id(9); }",
+    "__kernel void k(__global double* o) { o[0] = unknown_fn(1.0); }",
+    "__kernel void k(__global double* o) { double x = 1.0 <<< 2; }",
+    "#pragma unroll\n__kernel void k(__global double* o) {}",
+    "__kernel void k(__global double* o) { #pragma unroll 2\n o[0] = 1.0; }",
+    "__kernel void k(__global double* o, __global double* o) {}",
+    "__kernel void k(__global double* o) { x = 1.0; }",
+    "__kernel void k(__global double* o) { o = 0; }",
+    "__kernel void k(__local double s) {}",
+    "void helper() {} __kernel void k(__global double* o) {}",
+    "__kernel void k(__global double* o) { o[0] = 1.0e99999; }",
+    "__kernel void k(__global double* o) { o[0] = 99999999999999999999999999; }",
+    "__kernel void k(__global double* o) { /* unterminated",
+    "__kernel void k(__global double* o) { o[0] = (double); }",
+    "__kernel void k(__global double* o) { barrier(); o[0] = barrier(0); }",
+];
+
+#[test]
+fn malformed_corpus_yields_diagnostics_not_panics() {
+    for (i, src) in CORPUS.iter().enumerate() {
+        let result = std::panic::catch_unwind(|| compile("fuzz.cl", src, &Options::default()));
+        match result {
+            Ok(Err(e)) => {
+                assert!(!e.diags().is_empty(), "case {i}: error without diagnostics");
+            }
+            Ok(Ok(_)) => {
+                // A few corpus entries are actually legal (e.g. barrier with
+                // no args is rejected, but an empty kernel is fine); being
+                // accepted is not a failure as long as nothing panicked.
+            }
+            Err(_) => panic!("case {i} panicked: `{src}`"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII input never panics the front-end.
+    #[test]
+    fn random_text_never_panics(src in "[ -~\\n]{0,200}") {
+        let result = std::panic::catch_unwind(|| compile("fuzz.cl", &src, &Options::default()));
+        prop_assert!(result.is_ok(), "panicked on: `{src}`");
+    }
+
+    /// Structured-ish garbage (keywords and punctuation soup) never panics
+    /// either — this hits the parser far more often than raw ASCII.
+    #[test]
+    fn token_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "__kernel", "void", "k", "(", ")", "{", "}", "[", "]", ";", ",",
+                "double", "int", "for", "if", "else", "while", "return", "break",
+                "=", "+", "-", "*", "/", "<", ">", "==", "&&", "||", "?", ":",
+                "1.0", "42", "x", "o", "__global", "__local", "barrier",
+                "get_global_id", "pow", "#pragma unroll 2\n",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let result = std::panic::catch_unwind(|| compile("fuzz.cl", &src, &Options::default()));
+        prop_assert!(result.is_ok(), "panicked on: `{src}`");
+    }
+}

@@ -1,0 +1,156 @@
+//! Textual dump of the IR, for diagnostics, tests and documentation.
+
+use crate::ir::{BinOp, Block, CmpOp, Function, Inst, Module, Terminator, UnOp};
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_kernel { "kernel" } else { "func" };
+        write!(f, "{kind} @{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} %{}", p.ty, p.name)?;
+        }
+        writeln!(f, ") [regs={}, private={}B]", self.reg_types.len(), self.private_bytes)?;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{bi}:")?;
+            write_block(f, block)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_block(f: &mut fmt::Formatter<'_>, block: &Block) -> fmt::Result {
+    for inst in &block.insts {
+        writeln!(f, "  {}", InstDisplay(inst))?;
+    }
+    match &block.term {
+        Terminator::Jump(t) => writeln!(f, "  jump b{}", t.0),
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            writeln!(f, "  br r{}, b{}, b{}", cond.0, then_bb.0, else_bb.0)
+        }
+        Terminator::Return => writeln!(f, "  ret"),
+    }
+}
+
+struct InstDisplay<'a>(&'a Inst);
+
+impl fmt::Display for InstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Inst::Const { dst, val } => write!(f, "r{} = const {val}", dst.0),
+            Inst::Mov { dst, src } => write!(f, "r{} = r{}", dst.0, src.0),
+            Inst::Bin { op, ty, dst, a, b } => {
+                write!(f, "r{} = {}.{ty} r{}, r{}", dst.0, bin_name(*op), a.0, b.0)
+            }
+            Inst::Un { op, ty, dst, a } => {
+                write!(f, "r{} = {}.{ty} r{}", dst.0, un_name(*op), a.0)
+            }
+            Inst::Cmp { op, ty, dst, a, b } => {
+                write!(f, "r{} = cmp.{}.{ty} r{}, r{}", dst.0, cmp_name(*op), a.0, b.0)
+            }
+            Inst::Select { ty, dst, cond, a, b } => {
+                write!(f, "r{} = select.{ty} r{}, r{}, r{}", dst.0, cond.0, a.0, b.0)
+            }
+            Inst::Cast { dst, a, from, to } => {
+                write!(f, "r{} = cast r{} : {from} -> {to}", dst.0, a.0)
+            }
+            Inst::Call { func, ty, dst, args } => {
+                write!(f, "r{} = {}.{ty}(", dst.0, func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "r{}", a.0)?;
+                }
+                write!(f, ")")
+            }
+            Inst::WorkItem { query, dim, dst } => {
+                write!(f, "r{} = {}({dim})", dst.0, query.name())
+            }
+            Inst::Gep { dst, base, index, elem } => {
+                write!(f, "r{} = gep.{elem} r{}, r{}", dst.0, base.0, index.0)
+            }
+            Inst::Load { dst, ptr, ty } => write!(f, "r{} = load.{ty} r{}", dst.0, ptr.0),
+            Inst::Store { ptr, val, ty } => write!(f, "store.{ty} r{}, r{}", ptr.0, val.0),
+            Inst::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+    }
+}
+
+fn un_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::Abs => "abs",
+        UnOp::Floor => "floor",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.source_name)?;
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::types::{AddressSpace, ScalarType, Type};
+
+    #[test]
+    fn function_dump_is_nonempty_and_structured() {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let gid = b.global_id(0);
+        let x = b.cast(gid, ScalarType::I64, ScalarType::F64);
+        let two = b.const_f64(2.0);
+        let y = b.fmul(two, x, ScalarType::F64);
+        let slot = b.gep(out, gid, ScalarType::F64);
+        b.store(slot, y, ScalarType::F64);
+        b.barrier();
+        b.ret();
+        let f = b.finish().expect("valid");
+        let dump = f.to_string();
+        assert!(dump.contains("kernel @k"));
+        assert!(dump.contains("get_global_id(0)"));
+        assert!(dump.contains("mul.double"));
+        assert!(dump.contains("store.double"));
+        assert!(dump.contains("barrier"));
+        assert!(dump.contains("ret"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Constant evaluation of IR operations.
+//!
+//! These routines define the arithmetic semantics of the IR in one place;
+//! the interpreter executes through them, and the `bop-clc` constant-folding
+//! pass calls them at compile time, so folding can never disagree with
+//! execution.
+
+use crate::ir::{BinOp, CmpOp, UnOp};
+use crate::types::ScalarType;
+use crate::value::Value;
+
+/// Evaluate a binary operation at scalar type `ty`.
+///
+/// # Errors
+/// Returns a message for traps (integer division by zero) and malformed
+/// combinations (bit operations on floats) — verified IR only produces the
+/// former.
+pub fn eval_bin(op: BinOp, ty: ScalarType, a: Value, b: Value) -> Result<Value, String> {
+    if ty.is_float() {
+        if ty == ScalarType::F32 {
+            let (x, y) = (a.as_f64() as f32, b.as_f64() as f32);
+            let out = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                other => return Err(format!("{other:?} on float operands")),
+            };
+            return Ok(Value::F32(out));
+        }
+        let (x, y) = (a.as_f64(), b.as_f64());
+        let out = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            other => return Err(format!("{other:?} on float operands")),
+        };
+        return Ok(Value::F64(out));
+    }
+    if ty == ScalarType::Bool {
+        let (x, y) = (a.as_bool(), b.as_bool());
+        let out = match op {
+            BinOp::And => x && y,
+            BinOp::Or => x || y,
+            BinOp::Xor => x ^ y,
+            other => return Err(format!("{other:?} on bool operands")),
+        };
+        return Ok(Value::Bool(out));
+    }
+    let (x, y) = (a.as_i64(), b.as_i64());
+    let out = match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err("integer division by zero".into());
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err("integer remainder by zero".into());
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    };
+    Ok(Value::int(ty, out))
+}
+
+/// Evaluate a unary operation at scalar type `ty`.
+///
+/// # Panics
+/// Panics on combinations rejected by the verifier (e.g. logical not on a
+/// float).
+pub fn eval_un(op: UnOp, ty: ScalarType, a: Value) -> Value {
+    if ty.is_float() {
+        let x = a.as_f64();
+        let out = match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Floor => x.floor(),
+            UnOp::Not => panic!("logical not on float"),
+        };
+        return Value::float(ty, out);
+    }
+    if ty == ScalarType::Bool {
+        return match op {
+            UnOp::Not => Value::Bool(!a.as_bool()),
+            other => panic!("{other:?} on bool"),
+        };
+    }
+    let x = a.as_i64();
+    let out = match op {
+        UnOp::Neg => x.wrapping_neg(),
+        UnOp::Not => !x,
+        UnOp::Abs => x.wrapping_abs(),
+        UnOp::Floor => x,
+    };
+    Value::int(ty, out)
+}
+
+/// Evaluate a comparison at operand type `ty`.
+pub fn eval_cmp(op: CmpOp, ty: ScalarType, a: Value, b: Value) -> bool {
+    if ty.is_float() {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    } else {
+        let (x, y) = (a.as_i64(), b.as_i64());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+}
+
+/// Evaluate a scalar conversion.
+pub fn eval_cast(a: Value, from: ScalarType, to: ScalarType) -> Value {
+    debug_assert_eq!(a.scalar_type(), Some(from));
+    match (from.is_float(), to.is_float()) {
+        (true, true) => Value::float(to, a.as_f64()),
+        (true, false) => Value::int(to, a.as_f64() as i64),
+        (false, true) => Value::float(to, a.as_i64() as f64),
+        (false, false) => Value::int(to, a.as_i64()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ops_round_at_f32() {
+        let big = Value::F32(1e8);
+        let one = Value::F32(1.0);
+        // 1e8 + 1 is not representable in f32; f64 would keep it.
+        let out = eval_bin(BinOp::Add, ScalarType::F32, big, one).expect("ok");
+        assert_eq!(out, Value::F32(1e8));
+        let out =
+            eval_bin(BinOp::Add, ScalarType::F64, Value::F64(1e8), Value::F64(1.0)).expect("ok");
+        assert_eq!(out, Value::F64(1e8 + 1.0));
+    }
+
+    #[test]
+    fn int_wrapping_and_traps() {
+        let out =
+            eval_bin(BinOp::Add, ScalarType::I32, Value::I32(i32::MAX), Value::I32(1)).expect("ok");
+        assert_eq!(out, Value::I32(i32::MIN));
+        assert!(eval_bin(BinOp::Div, ScalarType::I32, Value::I32(1), Value::I32(0)).is_err());
+        assert!(eval_bin(BinOp::Rem, ScalarType::I64, Value::I64(1), Value::I64(0)).is_err());
+    }
+
+    #[test]
+    fn shift_amounts_masked() {
+        let out = eval_bin(BinOp::Shl, ScalarType::I64, Value::I64(1), Value::I64(65)).expect("ok");
+        assert_eq!(out, Value::I64(2)); // 65 & 63 == 1
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(Value::F64(2.9), ScalarType::F64, ScalarType::I32), Value::I32(2));
+        assert_eq!(eval_cast(Value::I32(-1), ScalarType::I32, ScalarType::F64), Value::F64(-1.0));
+        assert_eq!(eval_cast(Value::I64(1 << 40), ScalarType::I64, ScalarType::I32), Value::I32(0));
+        assert_eq!(eval_cast(Value::Bool(true), ScalarType::Bool, ScalarType::I32), Value::I32(1));
+    }
+
+    #[test]
+    fn comparisons_with_nan() {
+        let nan = Value::F64(f64::NAN);
+        assert!(!eval_cmp(CmpOp::Eq, ScalarType::F64, nan, nan));
+        assert!(eval_cmp(CmpOp::Ne, ScalarType::F64, nan, nan));
+        assert!(!eval_cmp(CmpOp::Lt, ScalarType::F64, nan, Value::F64(1.0)));
+    }
+}

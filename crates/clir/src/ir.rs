@@ -1,0 +1,386 @@
+//! The IR itself: instructions, blocks, functions and modules.
+//!
+//! The IR is a typed register machine (not SSA): every virtual register has
+//! a fixed type recorded in [`Function::reg_types`], and instructions may
+//! overwrite registers, which keeps lowering from a C-like AST trivial.
+//! Control flow is expressed with basic blocks terminated by jumps,
+//! conditional branches or returns. Work-group synchronisation appears as
+//! an explicit [`Inst::Barrier`] instruction, which the interpreter turns
+//! into a suspension point.
+
+use crate::types::{ScalarType, Type};
+use crate::value::Value;
+
+/// Index of a virtual register within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl RegId {
+    /// The register index as a `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The block index as a `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Two-operand arithmetic and logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float or truncating integer).
+    Div,
+    /// Remainder (integer only).
+    Rem,
+    /// Bitwise/logical AND.
+    And,
+    /// Bitwise/logical OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Minimum (`fmin`/`min`).
+    Min,
+    /// Maximum (`fmax`/`max`).
+    Max,
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical/bitwise NOT.
+    Not,
+    /// Absolute value (`fabs`/`abs`).
+    Abs,
+    /// Round towards negative infinity.
+    Floor,
+}
+
+/// Comparison predicates; the result is always `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Math builtins dispatched through a [`crate::mathlib::MathLib`].
+///
+/// These are exactly the operators whose hardware implementation matters in
+/// the paper: the `pow` used by kernel IV.B's leaf initialisation is the
+/// source of the reported ~1e-3 RMSE on the FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `exp(x)`.
+    Exp,
+    /// `log(x)` (natural).
+    Log,
+    /// `pow(x, y)`.
+    Pow,
+    /// `sqrt(x)`.
+    Sqrt,
+}
+
+impl Builtin {
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// The OpenCL C spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Pow => "pow",
+            Builtin::Sqrt => "sqrt",
+        }
+    }
+}
+
+/// Work-item geometry queries (`get_global_id` and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WiQuery {
+    /// `get_global_id(dim)`.
+    GlobalId,
+    /// `get_local_id(dim)`.
+    LocalId,
+    /// `get_group_id(dim)`.
+    GroupId,
+    /// `get_global_size(dim)`.
+    GlobalSize,
+    /// `get_local_size(dim)`.
+    LocalSize,
+    /// `get_num_groups(dim)`.
+    NumGroups,
+}
+
+impl WiQuery {
+    /// The OpenCL C spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            WiQuery::GlobalId => "get_global_id",
+            WiQuery::LocalId => "get_local_id",
+            WiQuery::GroupId => "get_group_id",
+            WiQuery::GlobalSize => "get_global_size",
+            WiQuery::LocalSize => "get_local_size",
+            WiQuery::NumGroups => "get_num_groups",
+        }
+    }
+}
+
+/// A single (non-terminator) instruction.
+///
+/// Field meanings are given per variant; `dst` is always the defined
+/// register, `ty` the operation's scalar type.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields are described in the variant docs
+pub enum Inst {
+    /// `dst = val`.
+    Const { dst: RegId, val: Value },
+    /// `dst = src` (register copy).
+    Mov { dst: RegId, src: RegId },
+    /// `dst = a <op> b` at scalar type `ty`.
+    Bin { op: BinOp, ty: ScalarType, dst: RegId, a: RegId, b: RegId },
+    /// `dst = <op> a` at scalar type `ty`.
+    Un { op: UnOp, ty: ScalarType, dst: RegId, a: RegId },
+    /// `dst = a <cmp> b` at operand type `ty`; `dst` is `Bool`.
+    Cmp { op: CmpOp, ty: ScalarType, dst: RegId, a: RegId, b: RegId },
+    /// `dst = cond ? a : b` at scalar type `ty`.
+    Select { ty: ScalarType, dst: RegId, cond: RegId, a: RegId, b: RegId },
+    /// `dst = (to) a`, a scalar conversion.
+    Cast { dst: RegId, a: RegId, from: ScalarType, to: ScalarType },
+    /// `dst = builtin(args...)` at float type `ty`.
+    Call { func: Builtin, ty: ScalarType, dst: RegId, args: Vec<RegId> },
+    /// `dst = get_*(dim)`; result is `I64`.
+    WorkItem { query: WiQuery, dim: u8, dst: RegId },
+    /// `dst = &base[index]` — pointer displacement by `index` elements of
+    /// `elem`.
+    Gep { dst: RegId, base: RegId, index: RegId, elem: ScalarType },
+    /// `dst = *ptr` at type `ty`.
+    Load { dst: RegId, ptr: RegId, ty: ScalarType },
+    /// `*ptr = val` at type `ty`.
+    Store { ptr: RegId, val: RegId, ty: ScalarType },
+    /// `barrier(...)` — work-group synchronisation point.
+    Barrier,
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn dst(&self) -> Option<RegId> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Call { dst, .. }
+            | Inst::WorkItem { dst, .. }
+            | Inst::Gep { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Store { .. } | Inst::Barrier => None,
+        }
+    }
+
+    /// The registers this instruction reads.
+    pub fn sources(&self) -> Vec<RegId> {
+        match self {
+            Inst::Const { .. } | Inst::WorkItem { .. } | Inst::Barrier => vec![],
+            Inst::Mov { src, .. } => vec![*src],
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => vec![*a, *b],
+            Inst::Un { a, .. } => vec![*a],
+            Inst::Select { cond, a, b, .. } => vec![*cond, *a, *b],
+            Inst::Cast { a, .. } => vec![*a],
+            Inst::Call { args, .. } => args.clone(),
+            Inst::Gep { base, index, .. } => vec![*base, *index],
+            Inst::Load { ptr, .. } => vec![*ptr],
+            Inst::Store { ptr, val, .. } => vec![*ptr, *val],
+        }
+    }
+}
+
+/// Basic-block terminators.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields are described in the variant docs
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a `Bool` register.
+    Branch { cond: RegId, then_bb: BlockId, else_bb: BlockId },
+    /// Return from the kernel (work-item retires).
+    Return,
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions executed in order.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Source-level name (for diagnostics and arg-binding by name).
+    pub name: String,
+    /// Parameter type. Pointer parameters must carry an address space.
+    pub ty: Type,
+}
+
+/// A compiled function. Parameters occupy registers `0..params.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (kernels are looked up by this name).
+    pub name: String,
+    /// Parameters, bound to the first registers.
+    pub params: Vec<Param>,
+    /// Whether this is an entry-point kernel (`__kernel`).
+    pub is_kernel: bool,
+    /// Types of all virtual registers (indexed by [`RegId`]).
+    pub reg_types: Vec<Type>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Bytes of per-work-item private array storage (stack-like arena).
+    pub private_bytes: usize,
+}
+
+impl Function {
+    /// Total number of instructions across all blocks (excluding
+    /// terminators); a convenient size metric for reports.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Whether any block contains a [`Inst::Barrier`].
+    pub fn has_barrier(&self) -> bool {
+        self.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Barrier)))
+    }
+
+    /// The type of a register.
+    ///
+    /// # Panics
+    /// Panics if `reg` is out of range; verified IR never does this.
+    pub fn reg_type(&self, reg: RegId) -> Type {
+        self.reg_types[reg.index()]
+    }
+}
+
+/// A compilation unit: the kernels produced from one source string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Name of the source (for diagnostics).
+    pub source_name: String,
+    /// All functions; kernels are the entry points.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Assemble a module from already-built functions.
+    pub fn from_functions(source_name: &str, functions: Vec<Function>) -> Module {
+        Module { source_name: source_name.to_owned(), functions }
+    }
+
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.is_kernel && f.name == name)
+    }
+
+    /// Iterate over all kernels.
+    pub fn kernels(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter().filter(|f| f.is_kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_arity() {
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::Exp.arity(), 1);
+        assert_eq!(Builtin::Sqrt.name(), "sqrt");
+    }
+
+    #[test]
+    fn inst_dst_and_sources() {
+        let i = Inst::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: RegId(3), a: RegId(1), b: RegId(2) };
+        assert_eq!(i.dst(), Some(RegId(3)));
+        assert_eq!(i.sources(), vec![RegId(1), RegId(2)]);
+        let s = Inst::Store { ptr: RegId(0), val: RegId(1), ty: ScalarType::F64 };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.sources(), vec![RegId(0), RegId(1)]);
+        assert_eq!(Inst::Barrier.sources(), vec![]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(4)).successors(), vec![BlockId(4)]);
+        assert_eq!(Terminator::Return.successors(), vec![]);
+        let br = Terminator::Branch { cond: RegId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn module_kernel_lookup() {
+        let f = Function {
+            name: "k".into(),
+            params: vec![],
+            is_kernel: true,
+            reg_types: vec![],
+            blocks: vec![Block { insts: vec![], term: Terminator::Return }],
+            private_bytes: 0,
+        };
+        let helper = Function { name: "h".into(), is_kernel: false, ..f.clone() };
+        let m = Module::from_functions("t", vec![helper, f]);
+        assert!(m.kernel("k").is_some());
+        assert!(m.kernel("h").is_none());
+        assert_eq!(m.kernels().count(), 1);
+    }
+}

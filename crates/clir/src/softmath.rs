@@ -1,0 +1,303 @@
+//! Software implementations of `exp`, `log` and `pow`, with optional
+//! precision truncation.
+//!
+//! FPGA floating-point cores are not libm: they are polynomial/table
+//! datapaths whose internal precision is a synthesis-time choice. The
+//! paper's central accuracy finding (Section V.C) is that the `pow`
+//! operator produced by Altera's OpenCL compiler 13.0 had an RMSE of ~1e-3
+//! against the software reference, which leaked into kernel IV.B's results
+//! because that kernel initialises the tree leaves on the device.
+//!
+//! This module provides the equivalent substrate: from-scratch
+//! range-reduction + polynomial implementations of the elementary
+//! functions, with a [`quantize`] knob that truncates intermediate
+//! mantissas the way a narrower hardware datapath would. The device math
+//! libraries in [`crate::mathlib`] are built on top of these routines.
+
+/// Round `x` to `bits` mantissa bits (round-to-nearest on the dropped
+/// bits). `bits >= 52` returns `x` unchanged; zero, infinities and NaN are
+/// returned unchanged.
+///
+/// This models a floating-point core whose datapath carries fewer fraction
+/// bits than binary64.
+pub fn quantize(x: f64, bits: u32) -> f64 {
+    if bits >= 52 || x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let drop = 52 - bits;
+    let raw = x.to_bits();
+    let half = 1u64 << (drop - 1);
+    let rounded = raw.wrapping_add(half) & !((1u64 << drop) - 1);
+    f64::from_bits(rounded)
+}
+
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+
+/// `e^x` by range reduction to `x = k·ln2 + r`, `|r| <= ln2/2`, and a
+/// degree-10 Taylor polynomial in `r`. Worst-case relative error at full
+/// precision is below 1e-15.
+pub fn exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    if x > 709.8 {
+        return f64::INFINITY;
+    }
+    if x < -745.0 {
+        return 0.0;
+    }
+    let k = (x * LOG2_E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // Taylor series of e^r around 0, Horner form.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0
+                            + r * (1.0 / 720.0
+                                + r * (1.0 / 5040.0
+                                    + r * (1.0 / 40320.0
+                                        + r * (1.0 / 362880.0
+                                            + r * (1.0 / 3628800.0
+                                                + r * (1.0 / 39916800.0
+                                                    + r * (1.0 / 479001600.0))))))))))));
+    scalbn(p, k as i32)
+}
+
+/// `ln(x)` by mantissa reduction to `[sqrt(1/2), sqrt(2))` and an `atanh`
+/// series. Worst-case relative error at full precision is below 1e-15.
+pub fn log(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    let (m, e) = frexp(x);
+    // m in [0.5, 1); shift to [sqrt(0.5), sqrt(2)).
+    let (m, e) = if m < std::f64::consts::FRAC_1_SQRT_2 { (2.0 * m, e - 1) } else { (m, e) };
+    let s = (m - 1.0) / (m + 1.0);
+    let s2 = s * s;
+    // 2*atanh(s) = ln(m); |s| <= 0.1716 so the series converges fast.
+    let series = s
+        * (2.0
+            + s2 * (2.0 / 3.0
+                + s2 * (2.0 / 5.0
+                    + s2 * (2.0 / 7.0
+                        + s2 * (2.0 / 9.0
+                            + s2 * (2.0 / 11.0
+                                + s2 * (2.0 / 13.0
+                                    + s2 * (2.0 / 15.0 + s2 * (2.0 / 17.0)))))))));
+    e as f64 * (LN2_HI + LN2_LO) + series
+}
+
+/// `x^y` as `exp(y·ln x)` with the usual special cases, optionally
+/// truncating the intermediate logarithm and product to `quant_bits`
+/// mantissa bits.
+///
+/// With `quant_bits = None` this is a full-precision composite `pow`
+/// (relative error ~1e-13 for the argument ranges appearing in lattice
+/// pricing). With `quant_bits = Some(b)` it reproduces a hardware `pow`
+/// core with a `b`-bit internal datapath: the error grows linearly in `y`,
+/// which is exactly why the paper's kernel IV.B — which raises the
+/// up-factor `u` to powers up to ±N — is so sensitive to it.
+pub fn pow(x: f64, y: f64, quant_bits: Option<u32>) -> f64 {
+    // Special cases per IEEE 754 / OpenCL.
+    if y == 0.0 {
+        return 1.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    if x.is_nan() || y.is_nan() {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return if y > 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let y_int = y.fract() == 0.0;
+    let (base, negate) = if x < 0.0 {
+        if !y_int {
+            return f64::NAN;
+        }
+        (-x, (y as i64) % 2 != 0)
+    } else {
+        (x, false)
+    };
+    let mut l = log(base);
+    if let Some(b) = quant_bits {
+        l = quantize(l, b);
+    }
+    let mut t = y * l;
+    if let Some(b) = quant_bits {
+        t = quantize(t, b);
+    }
+    let mut r = exp(t);
+    if let Some(b) = quant_bits {
+        r = quantize(r, b);
+    }
+    if negate {
+        -r
+    } else {
+        r
+    }
+}
+
+/// Decompose `x` into `(mantissa, exponent)` with mantissa in `[0.5, 1)`.
+fn frexp(x: f64) -> (f64, i32) {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: normalise first.
+        let scaled = x * f64::from_bits(0x4330_0000_0000_0000); // 2^52
+        let (m, e) = frexp(scaled);
+        return (m, e - 52);
+    }
+    let e = raw_exp - 1022;
+    let m = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+    (m, e)
+}
+
+/// `x * 2^n` without intermediate overflow for moderate `n`.
+fn scalbn(x: f64, n: i32) -> f64 {
+    let clamped = n.clamp(-2000, 2000);
+    let mut result = x;
+    let mut remaining = clamped;
+    while remaining > 1000 {
+        result *= f64::from_bits(((1023 + 1000) as u64) << 52);
+        remaining -= 1000;
+    }
+    while remaining < -1000 {
+        result *= f64::from_bits(((1023 - 1000) as u64) << 52);
+        remaining += 1000;
+    }
+    result * f64::from_bits(((1023 + remaining) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn exp_matches_std_across_range() {
+        let mut worst: f64 = 0.0;
+        let mut x = -700.0;
+        while x < 700.0 {
+            worst = worst.max(rel_err(exp(x), x.exp()));
+            x += 0.37;
+        }
+        assert!(worst < 1e-14, "worst exp error {worst}");
+    }
+
+    #[test]
+    fn exp_special_cases() {
+        assert_eq!(exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp(800.0), f64::INFINITY);
+        assert_eq!(exp(-800.0), 0.0);
+        assert!(exp(f64::NAN).is_nan());
+        assert_eq!(exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn log_matches_std_across_range() {
+        let mut worst: f64 = 0.0;
+        for i in 1..4000 {
+            let x = i as f64 * 0.37e-2;
+            worst = worst.max(rel_err(log(x), x.ln()));
+        }
+        for i in 1..100 {
+            let x = (i as f64) * 1e50;
+            worst = worst.max(rel_err(log(x), x.ln()));
+        }
+        assert!(worst < 1e-14, "worst log error {worst}");
+    }
+
+    #[test]
+    fn log_special_cases() {
+        assert!(log(-1.0).is_nan());
+        assert_eq!(log(0.0), f64::NEG_INFINITY);
+        assert_eq!(log(f64::INFINITY), f64::INFINITY);
+        assert_eq!(log(1.0), 0.0);
+        // Subnormal input.
+        let tiny = f64::from_bits(1);
+        assert!(rel_err(log(tiny), tiny.ln()) < 1e-13);
+    }
+
+    #[test]
+    fn pow_full_precision_matches_std() {
+        let mut worst: f64 = 0.0;
+        for &x in &[0.5, 0.9, 1.0001, 1.05, 2.0, 10.0, 100.0] {
+            for &y in &[-1024.0, -37.5, -1.0, 0.5, 1.0, 17.0, 512.0, 1024.0] {
+                let got = pow(x, y, None);
+                let want = x.powf(y);
+                if want.is_finite() && want != 0.0 {
+                    worst = worst.max(rel_err(got, want));
+                }
+            }
+        }
+        assert!(worst < 1e-12, "worst pow error {worst}");
+    }
+
+    #[test]
+    fn pow_special_cases() {
+        assert_eq!(pow(2.0, 0.0, None), 1.0);
+        assert_eq!(pow(1.0, 123.4, None), 1.0);
+        assert_eq!(pow(0.0, 2.0, None), 0.0);
+        assert_eq!(pow(0.0, -2.0, None), f64::INFINITY);
+        assert!((pow(-2.0, 3.0, None) + 8.0).abs() < 1e-12, "composite pow on negative base");
+        assert!((pow(-2.0, 2.0, None) - 4.0).abs() < 1e-12);
+        assert!(pow(-2.0, 0.5, None).is_nan());
+        assert!(pow(f64::NAN, 1.0, None).is_nan());
+    }
+
+    #[test]
+    fn quantize_drops_precision_monotonically() {
+        let x = std::f64::consts::PI;
+        assert_eq!(quantize(x, 52), x);
+        assert_eq!(quantize(x, 60), x);
+        let q20 = quantize(x, 20);
+        let q40 = quantize(x, 40);
+        assert!((q40 - x).abs() <= (q20 - x).abs());
+        assert!((q20 - x).abs() < x * 2.0_f64.powi(-19));
+        assert!((q20 - x).abs() > 0.0);
+        assert_eq!(quantize(0.0, 10), 0.0);
+        assert_eq!(quantize(f64::INFINITY, 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantized_pow_error_grows_with_exponent() {
+        // The hardware-pow model must show the paper's failure mode:
+        // error roughly proportional to |y|.
+        let u = 1.0100502512562814; // a typical binomial up-factor
+        let small = rel_err(pow(u, 8.0, Some(20)), u.powf(8.0));
+        let large = rel_err(pow(u, 1000.0, Some(20)), u.powf(1000.0));
+        assert!(large > small, "error must grow with the exponent: {small} vs {large}");
+        assert!(large > 1e-7, "visible error at large exponents: {large}");
+        assert!(rel_err(pow(u, 1000.0, None), u.powf(1000.0)) < 1e-12);
+    }
+
+    #[test]
+    fn frexp_round_trips() {
+        for &x in &[1.0, 0.75, 123.456, 1e-300, 3e300] {
+            let (m, e) = frexp(x);
+            assert!((0.5..1.0).contains(&m), "mantissa {m} for {x}");
+            assert!(rel_err(m * 2f64.powi(e), x) < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Dynamic execution statistics.
+//!
+//! The device performance models in `bop-fpga`, `bop-gpu` and `bop-cpu`
+//! are driven by these counters rather than by hand-written formulas per
+//! kernel: the interpreter counts what actually executed, and the models
+//! convert counts into cycles. `block_execs` is the FPGA-relevant metric
+//! (each basic-block execution of a work-item occupies one slot of the
+//! synthesized pipeline), while the op counters drive the GPU/CPU
+//! throughput models.
+
+use crate::ir::{BinOp, Builtin};
+use crate::types::{AddressSpace, ScalarType};
+
+/// Counts of executed operations by class and width.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpCounts {
+    /// f32 additions/subtractions.
+    pub add32: u64,
+    /// f64 additions/subtractions.
+    pub add64: u64,
+    /// f32 multiplications.
+    pub mul32: u64,
+    /// f64 multiplications.
+    pub mul64: u64,
+    /// f32 divisions / remainders.
+    pub div32: u64,
+    /// f64 divisions / remainders.
+    pub div64: u64,
+    /// f32 min/max.
+    pub minmax32: u64,
+    /// f64 min/max.
+    pub minmax64: u64,
+    /// f32 `exp`/`log` evaluations.
+    pub transc32: u64,
+    /// f64 `exp`/`log` evaluations.
+    pub transc64: u64,
+    /// f32 `pow` evaluations.
+    pub pow32: u64,
+    /// f64 `pow` evaluations.
+    pub pow64: u64,
+    /// f32 `sqrt` evaluations.
+    pub sqrt32: u64,
+    /// f64 `sqrt` evaluations.
+    pub sqrt64: u64,
+    /// Comparisons (any type).
+    pub cmp: u64,
+    /// Selects.
+    pub select: u64,
+    /// Integer/boolean ALU operations (including address arithmetic).
+    pub int_alu: u64,
+    /// Scalar conversions.
+    pub cast: u64,
+    /// Register copies.
+    pub mov: u64,
+    /// Work-item geometry queries.
+    pub wi_query: u64,
+}
+
+impl OpCounts {
+    pub(crate) fn count_bin(&mut self, op: BinOp, ty: ScalarType) {
+        let f32w = ty == ScalarType::F32;
+        if ty.is_float() {
+            match op {
+                BinOp::Add | BinOp::Sub => *pick(f32w, &mut self.add32, &mut self.add64) += 1,
+                BinOp::Mul => *pick(f32w, &mut self.mul32, &mut self.mul64) += 1,
+                BinOp::Div | BinOp::Rem => *pick(f32w, &mut self.div32, &mut self.div64) += 1,
+                BinOp::Min | BinOp::Max => {
+                    *pick(f32w, &mut self.minmax32, &mut self.minmax64) += 1
+                }
+                _ => self.int_alu += 1,
+            }
+        } else {
+            self.int_alu += 1;
+        }
+    }
+
+    pub(crate) fn count_builtin(&mut self, func: Builtin, ty: ScalarType) {
+        let f32w = ty == ScalarType::F32;
+        match func {
+            Builtin::Exp | Builtin::Log => {
+                *pick(f32w, &mut self.transc32, &mut self.transc64) += 1
+            }
+            Builtin::Pow => *pick(f32w, &mut self.pow32, &mut self.pow64) += 1,
+            Builtin::Sqrt => *pick(f32w, &mut self.sqrt32, &mut self.sqrt64) += 1,
+        }
+    }
+
+    /// Simple floating-point operations (add/sub/mul/min/max/cmp-adjacent)
+    /// at the given width, the unit the GPU ALU model charges 1 slot for.
+    pub fn simple_flops(&self, f64_width: bool) -> u64 {
+        if f64_width {
+            self.add64 + self.mul64 + self.minmax64
+        } else {
+            self.add32 + self.mul32 + self.minmax32
+        }
+    }
+
+    /// Expensive floating-point operations (div/transcendental/pow/sqrt) at
+    /// the given width.
+    pub fn hard_flops(&self, f64_width: bool) -> u64 {
+        if f64_width {
+            self.div64 + self.transc64 + self.pow64 + self.sqrt64
+        } else {
+            self.div32 + self.transc32 + self.pow32 + self.sqrt32
+        }
+    }
+
+    /// Total counted operations of any class.
+    pub fn total(&self) -> u64 {
+        self.add32
+            + self.add64
+            + self.mul32
+            + self.mul64
+            + self.div32
+            + self.div64
+            + self.minmax32
+            + self.minmax64
+            + self.transc32
+            + self.transc64
+            + self.pow32
+            + self.pow64
+            + self.sqrt32
+            + self.sqrt64
+            + self.cmp
+            + self.select
+            + self.int_alu
+            + self.cast
+            + self.mov
+            + self.wi_query
+    }
+
+    fn merge(&mut self, other: &OpCounts) {
+        self.add32 += other.add32;
+        self.add64 += other.add64;
+        self.mul32 += other.mul32;
+        self.mul64 += other.mul64;
+        self.div32 += other.div32;
+        self.div64 += other.div64;
+        self.minmax32 += other.minmax32;
+        self.minmax64 += other.minmax64;
+        self.transc32 += other.transc32;
+        self.transc64 += other.transc64;
+        self.pow32 += other.pow32;
+        self.pow64 += other.pow64;
+        self.sqrt32 += other.sqrt32;
+        self.sqrt64 += other.sqrt64;
+        self.cmp += other.cmp;
+        self.select += other.select;
+        self.int_alu += other.int_alu;
+        self.cast += other.cast;
+        self.mov += other.mov;
+        self.wi_query += other.wi_query;
+    }
+}
+
+fn pick<'a>(f32w: bool, a: &'a mut u64, b: &'a mut u64) -> &'a mut u64 {
+    if f32w {
+        a
+    } else {
+        b
+    }
+}
+
+/// Counts and byte volumes of memory accesses by address space.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MemCounts {
+    /// Number of loads from global/constant memory.
+    pub global_loads: u64,
+    /// Bytes loaded from global/constant memory.
+    pub global_load_bytes: u64,
+    /// Number of stores to global memory.
+    pub global_stores: u64,
+    /// Bytes stored to global memory.
+    pub global_store_bytes: u64,
+    /// Number of local-memory loads.
+    pub local_loads: u64,
+    /// Bytes loaded from local memory.
+    pub local_load_bytes: u64,
+    /// Number of local-memory stores.
+    pub local_stores: u64,
+    /// Bytes stored to local memory.
+    pub local_store_bytes: u64,
+    /// Number of private-memory accesses (either direction).
+    pub private_accesses: u64,
+}
+
+impl MemCounts {
+    pub(crate) fn count_load(&mut self, space: AddressSpace, bytes: usize) {
+        match space {
+            AddressSpace::Global | AddressSpace::Constant => {
+                self.global_loads += 1;
+                self.global_load_bytes += bytes as u64;
+            }
+            AddressSpace::Local => {
+                self.local_loads += 1;
+                self.local_load_bytes += bytes as u64;
+            }
+            AddressSpace::Private => self.private_accesses += 1,
+        }
+    }
+
+    pub(crate) fn count_store(&mut self, space: AddressSpace, bytes: usize) {
+        match space {
+            AddressSpace::Global | AddressSpace::Constant => {
+                self.global_stores += 1;
+                self.global_store_bytes += bytes as u64;
+            }
+            AddressSpace::Local => {
+                self.local_stores += 1;
+                self.local_store_bytes += bytes as u64;
+            }
+            AddressSpace::Private => self.private_accesses += 1,
+        }
+    }
+
+    /// Total bytes moved to/from global memory.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_load_bytes + self.global_store_bytes
+    }
+
+    fn merge(&mut self, other: &MemCounts) {
+        self.global_loads += other.global_loads;
+        self.global_load_bytes += other.global_load_bytes;
+        self.global_stores += other.global_stores;
+        self.global_store_bytes += other.global_store_bytes;
+        self.local_loads += other.local_loads;
+        self.local_load_bytes += other.local_load_bytes;
+        self.local_stores += other.local_stores;
+        self.local_store_bytes += other.local_store_bytes;
+        self.private_accesses += other.private_accesses;
+    }
+}
+
+/// All statistics produced by one (or several, merged) work-group runs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Executions of each basic block, summed over work-items. A block
+    /// execution corresponds to one occupancy slot of the FPGA pipeline.
+    pub block_execs: Vec<u64>,
+    /// Work-group barrier releases.
+    pub barriers: u64,
+    /// Work-item execution phases (segments between suspensions).
+    pub item_phases: u64,
+    /// Operation counts by class.
+    pub ops: OpCounts,
+    /// Memory access counts by space.
+    pub mem: MemCounts,
+}
+
+impl ExecStats {
+    /// Statistics for a function with `blocks` basic blocks, all counters
+    /// zero.
+    pub fn with_blocks(blocks: usize) -> ExecStats {
+        ExecStats { block_execs: vec![0; blocks], ..ExecStats::default() }
+    }
+
+    /// Total basic-block executions (pipeline slots).
+    pub fn total_block_execs(&self) -> u64 {
+        self.block_execs.iter().sum()
+    }
+
+    /// Accumulate `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics if the block counts refer to functions with different block
+    /// counts (merging stats of unrelated kernels is a bug).
+    pub fn merge(&mut self, other: &ExecStats) {
+        if self.block_execs.is_empty() {
+            self.block_execs = vec![0; other.block_execs.len()];
+        }
+        assert_eq!(
+            self.block_execs.len(),
+            other.block_execs.len(),
+            "merging stats of different kernels"
+        );
+        for (a, b) in self.block_execs.iter_mut().zip(&other.block_execs) {
+            *a += b;
+        }
+        self.barriers += other.barriers;
+        self.item_phases += other.item_phases;
+        self.ops.merge(&other.ops);
+        self.mem.merge(&other.mem);
+    }
+
+    /// Scale every counter by `k` (used when extrapolating a measured
+    /// per-option profile to a batch of `k` options).
+    pub fn scaled(&self, k: u64) -> ExecStats {
+        let mut out = self.clone();
+        for b in &mut out.block_execs {
+            *b *= k;
+        }
+        out.barriers *= k;
+        out.item_phases *= k;
+        let o = &mut out.ops;
+        for f in [
+            &mut o.add32, &mut o.add64, &mut o.mul32, &mut o.mul64, &mut o.div32, &mut o.div64,
+            &mut o.minmax32, &mut o.minmax64, &mut o.transc32, &mut o.transc64, &mut o.pow32,
+            &mut o.pow64, &mut o.sqrt32, &mut o.sqrt64, &mut o.cmp, &mut o.select,
+            &mut o.int_alu, &mut o.cast, &mut o.mov, &mut o.wi_query,
+        ] {
+            *f *= k;
+        }
+        let m = &mut out.mem;
+        for f in [
+            &mut m.global_loads, &mut m.global_load_bytes, &mut m.global_stores,
+            &mut m.global_store_bytes, &mut m.local_loads, &mut m.local_load_bytes,
+            &mut m.local_stores, &mut m.local_store_bytes, &mut m.private_accesses,
+        ] {
+            *f *= k;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_op_classification() {
+        let mut c = OpCounts::default();
+        c.count_bin(BinOp::Add, ScalarType::F64);
+        c.count_bin(BinOp::Sub, ScalarType::F64);
+        c.count_bin(BinOp::Mul, ScalarType::F32);
+        c.count_bin(BinOp::Max, ScalarType::F64);
+        c.count_bin(BinOp::Add, ScalarType::I64);
+        assert_eq!(c.add64, 2);
+        assert_eq!(c.mul32, 1);
+        assert_eq!(c.minmax64, 1);
+        assert_eq!(c.int_alu, 1);
+        assert_eq!(c.simple_flops(true), 3);
+        assert_eq!(c.simple_flops(false), 1);
+    }
+
+    #[test]
+    fn builtin_classification() {
+        let mut c = OpCounts::default();
+        c.count_builtin(Builtin::Pow, ScalarType::F64);
+        c.count_builtin(Builtin::Exp, ScalarType::F32);
+        c.count_builtin(Builtin::Sqrt, ScalarType::F64);
+        assert_eq!(c.pow64, 1);
+        assert_eq!(c.transc32, 1);
+        assert_eq!(c.hard_flops(true), 2);
+        assert_eq!(c.hard_flops(false), 1);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = ExecStats::with_blocks(2);
+        a.block_execs[0] = 3;
+        a.ops.add64 = 5;
+        a.mem.count_load(AddressSpace::Global, 8);
+        let mut b = ExecStats::with_blocks(2);
+        b.block_execs[1] = 4;
+        b.barriers = 2;
+        a.merge(&b);
+        assert_eq!(a.total_block_execs(), 7);
+        assert_eq!(a.barriers, 2);
+        let s = a.scaled(3);
+        assert_eq!(s.total_block_execs(), 21);
+        assert_eq!(s.ops.add64, 15);
+        assert_eq!(s.mem.global_load_bytes, 24);
+        assert_eq!(s.barriers, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kernels")]
+    fn merging_mismatched_blocks_panics() {
+        let mut a = ExecStats::with_blocks(2);
+        let b = ExecStats::with_blocks(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,343 @@
+//! IR verifier: structural and type checks on [`Function`]s.
+//!
+//! Verification is run by [`crate::builder::FunctionBuilder::finish`] and by
+//! the `bop-clc` lowering, so devices and the interpreter can assume the
+//! invariants checked here (register indices in range, operand types
+//! consistent, branch targets valid).
+
+use crate::ir::{Block, BlockId, Function, Inst, RegId, Terminator};
+use crate::types::{ScalarType, Type};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields (func/block/reg/target/detail) are self-describing
+pub enum VerifyError {
+    /// A register index exceeds `reg_types.len()`.
+    RegOutOfRange { func: String, block: BlockId, reg: RegId },
+    /// A branch or jump targets a non-existent block.
+    BadBlockTarget { func: String, block: BlockId, target: BlockId },
+    /// Operand or destination type does not match the instruction type.
+    TypeMismatch { func: String, block: BlockId, detail: String },
+    /// A function has no blocks.
+    Empty { func: String },
+    /// A kernel parameter has an invalid type (e.g. pointer without
+    /// address space is unrepresentable, but `Bool` params are rejected).
+    BadParam { func: String, param: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::RegOutOfRange { func, block, reg } => {
+                write!(f, "{func}: b{}: register r{} out of range", block.0, reg.0)
+            }
+            VerifyError::BadBlockTarget { func, block, target } => {
+                write!(f, "{func}: b{}: branch to non-existent block b{}", block.0, target.0)
+            }
+            VerifyError::TypeMismatch { func, block, detail } => {
+                write!(f, "{func}: b{}: type mismatch: {detail}", block.0)
+            }
+            VerifyError::Empty { func } => write!(f, "{func}: function has no blocks"),
+            VerifyError::BadParam { func, param } => {
+                write!(f, "{func}: parameter `{param}` has an unsupported type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'f> {
+    func: &'f Function,
+    block: BlockId,
+}
+
+impl<'f> Checker<'f> {
+    fn reg(&self, reg: RegId) -> Result<Type, VerifyError> {
+        self.func.reg_types.get(reg.index()).copied().ok_or(VerifyError::RegOutOfRange {
+            func: self.func.name.clone(),
+            block: self.block,
+            reg,
+        })
+    }
+
+    fn expect_scalar(&self, reg: RegId, want: ScalarType, ctx: &str) -> Result<(), VerifyError> {
+        let ty = self.reg(reg)?;
+        if ty != Type::Scalar(want) {
+            return Err(self.mismatch(format!("{ctx}: r{} is {ty}, expected {want}", reg.0)));
+        }
+        Ok(())
+    }
+
+    fn mismatch(&self, detail: String) -> VerifyError {
+        VerifyError::TypeMismatch { func: self.func.name.clone(), block: self.block, detail }
+    }
+}
+
+/// Verify one function.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    if func.blocks.is_empty() {
+        return Err(VerifyError::Empty { func: func.name.clone() });
+    }
+    for p in &func.params {
+        if p.ty == Type::Scalar(ScalarType::Bool) {
+            return Err(VerifyError::BadParam { func: func.name.clone(), param: p.name.clone() });
+        }
+    }
+    if func.params.len() > func.reg_types.len() {
+        return Err(VerifyError::Empty { func: func.name.clone() });
+    }
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let c = Checker { func, block: BlockId(bi as u32) };
+        verify_block(&c, block)?;
+    }
+    Ok(())
+}
+
+fn verify_block(c: &Checker<'_>, block: &Block) -> Result<(), VerifyError> {
+    for inst in &block.insts {
+        // All referenced registers must exist.
+        for r in inst.sources() {
+            c.reg(r)?;
+        }
+        if let Some(d) = inst.dst() {
+            c.reg(d)?;
+        }
+        verify_inst(c, inst)?;
+    }
+    match &block.term {
+        Terminator::Jump(t) => check_target(c, *t)?,
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            c.expect_scalar(*cond, ScalarType::Bool, "branch condition")?;
+            check_target(c, *then_bb)?;
+            check_target(c, *else_bb)?;
+        }
+        Terminator::Return => {}
+    }
+    Ok(())
+}
+
+fn check_target(c: &Checker<'_>, target: BlockId) -> Result<(), VerifyError> {
+    if target.index() >= c.func.blocks.len() {
+        return Err(VerifyError::BadBlockTarget {
+            func: c.func.name.clone(),
+            block: c.block,
+            target,
+        });
+    }
+    Ok(())
+}
+
+fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
+    match inst {
+        Inst::Const { dst, val } => {
+            let dst_ty = c.reg(*dst)?;
+            let ok = match (dst_ty, val) {
+                (Type::Scalar(s), v) => v.scalar_type() == Some(s),
+                (Type::Ptr(space, _), crate::value::Value::Ptr(p)) => p.space == space,
+                _ => false,
+            };
+            if !ok {
+                return Err(c.mismatch(format!("const {val} into register of type {dst_ty}")));
+            }
+        }
+        Inst::Mov { dst, src } => {
+            if c.reg(*dst)? != c.reg(*src)? {
+                return Err(c.mismatch(format!("mov r{} <- r{} with differing types", dst.0, src.0)));
+            }
+        }
+        Inst::Bin { ty, dst, a, b, .. } => {
+            c.expect_scalar(*a, *ty, "bin lhs")?;
+            c.expect_scalar(*b, *ty, "bin rhs")?;
+            c.expect_scalar(*dst, *ty, "bin dst")?;
+        }
+        Inst::Un { ty, dst, a, .. } => {
+            c.expect_scalar(*a, *ty, "un operand")?;
+            c.expect_scalar(*dst, *ty, "un dst")?;
+        }
+        Inst::Cmp { ty, dst, a, b, .. } => {
+            c.expect_scalar(*a, *ty, "cmp lhs")?;
+            c.expect_scalar(*b, *ty, "cmp rhs")?;
+            c.expect_scalar(*dst, ScalarType::Bool, "cmp dst")?;
+        }
+        Inst::Select { ty, dst, cond, a, b } => {
+            c.expect_scalar(*cond, ScalarType::Bool, "select cond")?;
+            c.expect_scalar(*a, *ty, "select lhs")?;
+            c.expect_scalar(*b, *ty, "select rhs")?;
+            c.expect_scalar(*dst, *ty, "select dst")?;
+        }
+        Inst::Cast { dst, a, from, to } => {
+            c.expect_scalar(*a, *from, "cast source")?;
+            c.expect_scalar(*dst, *to, "cast dst")?;
+        }
+        Inst::Call { func, ty, dst, args } => {
+            if !ty.is_float() {
+                return Err(c.mismatch(format!("{} at non-float type {ty}", func.name())));
+            }
+            if args.len() != func.arity() {
+                return Err(c.mismatch(format!("{} expects {} args, got {}", func.name(), func.arity(), args.len())));
+            }
+            for a in args {
+                c.expect_scalar(*a, *ty, "builtin arg")?;
+            }
+            c.expect_scalar(*dst, *ty, "builtin dst")?;
+        }
+        Inst::WorkItem { dst, .. } => {
+            c.expect_scalar(*dst, ScalarType::I64, "work-item query dst")?;
+        }
+        Inst::Gep { dst, base, index, elem } => {
+            let base_ty = c.reg(*base)?;
+            let idx_ty = c.reg(*index)?;
+            let Type::Ptr(space, _) = base_ty else {
+                return Err(c.mismatch(format!("gep base r{} is not a pointer", base.0)));
+            };
+            if !matches!(idx_ty, Type::Scalar(ScalarType::I32 | ScalarType::I64)) {
+                return Err(c.mismatch(format!("gep index r{} is not an integer", index.0)));
+            }
+            if c.reg(*dst)? != Type::Ptr(space, *elem) {
+                return Err(c.mismatch("gep dst type does not match".into()));
+            }
+        }
+        Inst::Load { dst, ptr, ty } => {
+            let ptr_ty = c.reg(*ptr)?;
+            let Type::Ptr(_, elem) = ptr_ty else {
+                return Err(c.mismatch(format!("load through non-pointer r{}", ptr.0)));
+            };
+            if elem != *ty {
+                return Err(c.mismatch(format!("load of {ty} through pointer to {elem}")));
+            }
+            c.expect_scalar(*dst, *ty, "load dst")?;
+        }
+        Inst::Store { ptr, val, ty } => {
+            let ptr_ty = c.reg(*ptr)?;
+            let Type::Ptr(space, elem) = ptr_ty else {
+                return Err(c.mismatch(format!("store through non-pointer r{}", ptr.0)));
+            };
+            if elem != *ty {
+                return Err(c.mismatch(format!("store of {ty} through pointer to {elem}")));
+            }
+            if space == crate::types::AddressSpace::Constant {
+                return Err(c.mismatch("store to __constant memory".into()));
+            }
+            c.expect_scalar(*val, *ty, "store value")?;
+        }
+        Inst::Barrier => {}
+    }
+    Ok(())
+}
+
+/// Verify every function in a module.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_module(module: &crate::ir::Module) -> Result<(), VerifyError> {
+    for f in &module.functions {
+        verify_function(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Module};
+    use crate::types::AddressSpace;
+    use crate::value::Value;
+
+    fn f64_reg_function(insts: Vec<Inst>, reg_types: Vec<Type>) -> Function {
+        Function {
+            name: "t".into(),
+            params: vec![],
+            is_kernel: true,
+            reg_types,
+            blocks: vec![Block { insts, term: Terminator::Return }],
+            private_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn detects_reg_out_of_range() {
+        let f = f64_reg_function(
+            vec![Inst::Mov { dst: RegId(0), src: RegId(9) }],
+            vec![Type::Scalar(ScalarType::F64)],
+        );
+        match verify_function(&f) {
+            Err(VerifyError::RegOutOfRange { reg: RegId(9), .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_type_mismatch_in_bin() {
+        let f = f64_reg_function(
+            vec![
+                Inst::Const { dst: RegId(0), val: Value::F64(1.0) },
+                Inst::Const { dst: RegId(1), val: Value::I32(1) },
+                Inst::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            ],
+            vec![
+                Type::Scalar(ScalarType::F64),
+                Type::Scalar(ScalarType::I32),
+                Type::Scalar(ScalarType::F64),
+            ],
+        );
+        assert!(matches!(verify_function(&f), Err(VerifyError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let f = Function {
+            name: "t".into(),
+            params: vec![],
+            is_kernel: true,
+            reg_types: vec![],
+            blocks: vec![Block { insts: vec![], term: Terminator::Jump(BlockId(5)) }],
+            private_bytes: 0,
+        };
+        assert!(matches!(verify_function(&f), Err(VerifyError::BadBlockTarget { .. })));
+    }
+
+    #[test]
+    fn detects_store_to_constant() {
+        let f = f64_reg_function(
+            vec![
+                Inst::Const {
+                    dst: RegId(0),
+                    val: Value::Ptr(crate::value::PtrValue::new(AddressSpace::Constant, 0)),
+                },
+                Inst::Const { dst: RegId(1), val: Value::F64(1.0) },
+                Inst::Store { ptr: RegId(0), val: RegId(1), ty: ScalarType::F64 },
+            ],
+            vec![
+                Type::Ptr(AddressSpace::Constant, ScalarType::F64),
+                Type::Scalar(ScalarType::F64),
+            ],
+        );
+        assert!(matches!(verify_function(&f), Err(VerifyError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let f = Function {
+            name: "t".into(),
+            params: vec![],
+            is_kernel: false,
+            reg_types: vec![],
+            blocks: vec![],
+            private_bytes: 0,
+        };
+        assert!(matches!(verify_function(&f), Err(VerifyError::Empty { .. })));
+    }
+
+    #[test]
+    fn verify_module_covers_all_functions() {
+        let good = f64_reg_function(vec![], vec![]);
+        let bad = Function { blocks: vec![], ..good.clone() };
+        let m = Module::from_functions("t", vec![good, bad]);
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on the IR substrate: value encodings, constant
+//! evaluation, quantisation and the softmath routines.
+
+use bop_clir::eval::{eval_bin, eval_cast, eval_cmp};
+use bop_clir::ir::{BinOp, CmpOp};
+use bop_clir::softmath;
+use bop_clir::types::ScalarType;
+use bop_clir::value::Value;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte encode/decode round-trips every scalar value.
+    #[test]
+    fn value_bytes_round_trip(x in any::<f64>(), i in any::<i64>(), j in any::<i32>()) {
+        for v in [Value::F64(x), Value::I64(i), Value::I32(j), Value::F32(x as f32)] {
+            let ty = v.scalar_type().expect("scalar");
+            let decoded = Value::from_le_bytes(ty, &v.to_le_bytes());
+            // NaNs compare unequal; compare bit patterns through re-encoding.
+            prop_assert_eq!(decoded.to_le_bytes(), v.to_le_bytes());
+        }
+    }
+
+    /// eval_bin on F64 agrees with native Rust operators.
+    #[test]
+    fn f64_eval_matches_native(a in -1e12..1e12f64, b in -1e12..1e12f64) {
+        let cases = [
+            (BinOp::Add, a + b),
+            (BinOp::Sub, a - b),
+            (BinOp::Mul, a * b),
+            (BinOp::Min, a.min(b)),
+            (BinOp::Max, a.max(b)),
+        ];
+        for (op, want) in cases {
+            let got = eval_bin(op, ScalarType::F64, Value::F64(a), Value::F64(b))
+                .expect("float ops cannot trap");
+            prop_assert_eq!(got, Value::F64(want));
+        }
+    }
+
+    /// Integer ops wrap exactly like two's-complement.
+    #[test]
+    fn i32_eval_wraps(a in any::<i32>(), b in any::<i32>()) {
+        let cases = [
+            (BinOp::Add, a.wrapping_add(b)),
+            (BinOp::Sub, a.wrapping_sub(b)),
+            (BinOp::Mul, a.wrapping_mul(b)),
+            (BinOp::And, a & b),
+            (BinOp::Or, a | b),
+            (BinOp::Xor, a ^ b),
+            (BinOp::Min, a.min(b)),
+            (BinOp::Max, a.max(b)),
+        ];
+        for (op, want) in cases {
+            let got = eval_bin(op, ScalarType::I32, Value::I32(a), Value::I32(b)).expect("no trap");
+            prop_assert_eq!(got, Value::I32(want), "op {:?}", op);
+        }
+        if b != 0 {
+            let got = eval_bin(BinOp::Div, ScalarType::I32, Value::I32(a), Value::I32(b))
+                .expect("nonzero divisor");
+            prop_assert_eq!(got, Value::I32(a.wrapping_div(b)));
+        } else {
+            prop_assert!(eval_bin(BinOp::Div, ScalarType::I32, Value::I32(a), Value::I32(b)).is_err());
+        }
+    }
+
+    /// Comparisons are consistent with a total order on non-NaN floats.
+    #[test]
+    fn cmp_consistency(a in -1e9..1e9f64, b in -1e9..1e9f64) {
+        let lt = eval_cmp(CmpOp::Lt, ScalarType::F64, Value::F64(a), Value::F64(b));
+        let ge = eval_cmp(CmpOp::Ge, ScalarType::F64, Value::F64(a), Value::F64(b));
+        prop_assert_ne!(lt, ge, "Lt and Ge partition non-NaN comparisons");
+        let eq = eval_cmp(CmpOp::Eq, ScalarType::F64, Value::F64(a), Value::F64(b));
+        prop_assert_eq!(eq, a == b);
+    }
+
+    /// Casting f64 -> i64 -> f64 is the identity on integral values.
+    #[test]
+    fn casts_round_trip_integrals(i in -1_000_000i64..1_000_000) {
+        let f = eval_cast(Value::I64(i), ScalarType::I64, ScalarType::F64);
+        let back = eval_cast(f, ScalarType::F64, ScalarType::I64);
+        prop_assert_eq!(back, Value::I64(i));
+    }
+
+    /// Quantisation: idempotent, monotone in bits, and within a half-ulp
+    /// of the requested precision.
+    #[test]
+    fn quantize_properties(x in -1e15..1e15f64, bits in 4u32..52) {
+        prop_assume!(x != 0.0);
+        let q = softmath::quantize(x, bits);
+        prop_assert_eq!(softmath::quantize(q, bits), q, "idempotent");
+        let rel = ((q - x) / x).abs();
+        prop_assert!(rel <= 2f64.powi(-(bits as i32)), "bits={} rel={}", bits, rel);
+        prop_assert_eq!(q.signum(), x.signum());
+    }
+
+    /// softmath exp/log/pow agree with libm to tight relative error on
+    /// the ranges lattice pricing uses.
+    #[test]
+    fn softmath_tracks_libm(x in 0.2..5.0f64, y in -700.0..700.0f64) {
+        let e = softmath::exp(y * 0.5);
+        let e_ref = (y * 0.5).exp();
+        if e_ref.is_finite() && e_ref > 0.0 {
+            prop_assert!(((e - e_ref) / e_ref).abs() < 1e-13);
+        }
+        let l = softmath::log(x);
+        prop_assert!((l - x.ln()).abs() <= 1e-13 * x.ln().abs().max(1.0));
+        let p = softmath::pow(x, y * 0.01, None);
+        let p_ref = x.powf(y * 0.01);
+        prop_assert!(((p - p_ref) / p_ref).abs() < 1e-12);
+    }
+
+    /// pow with quantisation is exact for the special cases, regardless
+    /// of the datapath width.
+    #[test]
+    fn quantized_pow_special_cases(bits in 4u32..52, x in 0.1..10.0f64) {
+        prop_assert_eq!(softmath::pow(x, 0.0, Some(bits)), 1.0);
+        prop_assert_eq!(softmath::pow(1.0, x, Some(bits)), 1.0);
+        prop_assert_eq!(softmath::pow(0.0, x, Some(bits)), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+// European variant of kernel IV.B — an extension beyond the paper.
+//
+// The paper's Section III.A notes that European options have no early
+// exercise and "can be found analytically"; pricing them on the lattice
+// is nevertheless the cleanest end-to-end validation of the whole stack,
+// because the result must converge to the Black-Scholes closed form.
+// Identical dataflow to binomial_option, with the early-exercise max
+// removed from the backward induction (the leaf payoff remains).
+
+__kernel void binomial_european(
+    __global const REAL* params,
+    __global REAL* results,
+    __local REAL* v,
+    int n_steps
+) {
+    size_t l = get_local_id(0);
+    size_t o = get_group_id(0);
+    REAL s0  = params[o * 6 + 0];
+    REAL K   = params[o * 6 + 1];
+    REAL u   = params[o * 6 + 2];
+    REAL pd  = params[o * 6 + 3];
+    REAL qd  = params[o * 6 + 4];
+    REAL phi = params[o * 6 + 5];
+
+    REAL s = s0 * pow(u, (REAL)(2 * (long)l - (long)n_steps));
+    v[l] = fmax(phi * (s - K), (REAL)0.0);
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    #pragma unroll 2
+    for (long t = (long)n_steps - 1; t >= (long)l; t--) {
+        REAL vup = v[l + 1];
+        REAL vsame = v[l];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        v[l] = pd * vup + qd * vsame; // discounted expectation only
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) {
+        results[o] = v[0];
+    }
+}

@@ -1,0 +1,58 @@
+// Kernel IV.B -- the optimized work-group implementation
+// (paper Section IV.B, Figure 4).
+//
+// One work-group prices one complete option (a full binomial tree); the
+// work-item with local id `l` owns tree row l. Option-constant parameters
+// and the running asset price S live in PRIVATE memory (registers); the
+// shared row of option values V lives in LOCAL memory (M9K blocks on the
+// FPGA) with barrier-synchronised time steps and private temporaries to
+// avoid read/write conflicts. Host interaction is reduced to one
+// parameter write, one NDRange, one result read.
+//
+// The tree leaves are initialised ON THE DEVICE with pow() -- this is the
+// operator whose Altera 13.0 implementation causes the ~1e-3 RMSE the
+// paper reports in Section V.C (kernel IV.A receives host-computed leaves
+// and is immune).
+//
+// Work-item `l` iterates time steps t = N-1 down to l; rows above retire
+// early and stop participating in barriers (hardware barrier semantics;
+// see bop-clir's interpreter documentation).
+//
+// Per-option parameters (6 values): [o*6+0]=S0 [o*6+1]=K [o*6+2]=u
+// [o*6+3]=pd [o*6+4]=qd [o*6+5]=phi. Work-group size must be n_steps+1
+// and the local buffer must hold n_steps+1 REALs.
+
+__kernel void binomial_option(
+    __global const REAL* params,
+    __global REAL* results,
+    __local REAL* v,
+    int n_steps
+) {
+    size_t l = get_local_id(0);
+    size_t o = get_group_id(0);
+    REAL s0  = params[o * 6 + 0];
+    REAL K   = params[o * 6 + 1];
+    REAL u   = params[o * 6 + 2];
+    REAL pd  = params[o * 6 + 3];
+    REAL qd  = params[o * 6 + 4];
+    REAL phi = params[o * 6 + 5];
+
+    // Leaf initialisation: S(N,l) = S0 * u^(2l - N), on the device.
+    REAL s = s0 * pow(u, (REAL)(2 * (long)l - (long)n_steps));
+    v[l] = fmax(phi * (s - K), (REAL)0.0);
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    #pragma unroll 2
+    for (long t = (long)n_steps - 1; t >= (long)l; t--) {
+        REAL vup = v[l + 1];
+        REAL vsame = v[l];
+        s = s * u;                    // S(t,l) = u * S(t+1,l)
+        barrier(CLK_LOCAL_MEM_FENCE); // reads before anyone overwrites
+        REAL cont = pd * vup + qd * vsame;
+        v[l] = fmax(phi * (s - K), cont);
+        barrier(CLK_LOCAL_MEM_FENCE); // writes before the next reads
+    }
+    if (l == 0) {
+        results[o] = v[0];
+    }
+}

@@ -1,0 +1,43 @@
+// Kernel IV.B variant with host-computed leaves -- the fallback the paper
+// proposes in Section V.C in case the 13.0 SP1 compiler does not fix the
+// pow operator: "the values at the leaves will have to be computed on the
+// host and sent to global memory, to be then copied in local memory, to
+// the detriment of speed".
+//
+// Identical to binomial_option except that the leaf asset prices arrive in
+// a GLOBAL buffer written by the host ((n_steps+1) REALs per option), so
+// no pow() is evaluated on the device.
+
+__kernel void binomial_option_hostleaves(
+    __global const REAL* params,
+    __global const REAL* leaf_s,
+    __global REAL* results,
+    __local REAL* v,
+    int n_steps
+) {
+    size_t l = get_local_id(0);
+    size_t o = get_group_id(0);
+    REAL K   = params[o * 6 + 1];
+    REAL u   = params[o * 6 + 2];
+    REAL pd  = params[o * 6 + 3];
+    REAL qd  = params[o * 6 + 4];
+    REAL phi = params[o * 6 + 5];
+
+    REAL s = leaf_s[o * ((size_t)n_steps + 1) + l];
+    v[l] = fmax(phi * (s - K), (REAL)0.0);
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    #pragma unroll 2
+    for (long t = (long)n_steps - 1; t >= (long)l; t--) {
+        REAL vup = v[l + 1];
+        REAL vsame = v[l];
+        s = s * u;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        REAL cont = pd * vup + qd * vsame;
+        v[l] = fmax(phi * (s - K), cont);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) {
+        results[o] = v[0];
+    }
+}

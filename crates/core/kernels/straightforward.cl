@@ -1,0 +1,50 @@
+// Kernel IV.A -- the "straightforward" dataflow implementation
+// (paper Section IV.A, Figure 3).
+//
+// One work-item updates one binomial-tree node. All state streams through
+// GLOBAL memory ping-pong buffers: the kernel reads node (t, j)'s children
+// (level t+1) from the *_in buffers and writes (t, j) into the *_out
+// buffers. The host enqueues one batch of N(N+1)/2 work-items per time
+// step, writes the incoming option's leaves and the per-level parameter
+// ladder before each batch, reads results back after it, and swaps the
+// ping-pong buffers -- so N+1 options are in flight in the tree pipeline.
+//
+// Flattened tree layout: node (t, j), j = 0..=t, lives at flat index
+// t*(t+1)/2 + j; its children at level t+1 are at flat+(t+1) (down, same
+// j) and flat+(t+2) (up, j+1). Leaves (level N) are produced by the host.
+//
+// Per-level parameter ladder (5 values per level, for the option currently
+// traversing that level):  [t*5+0]=K  [t*5+1]=pd  [t*5+2]=qd  [t*5+3]=u
+// [t*5+4]=phi (+1 call / -1 put).
+//
+// Recurrence (paper Equation (1), call sign generalised by phi):
+//   S(t,j) = u * S(t+1,j)
+//   V(t,j) = max(phi*(S(t,j) - K),  pd*V(t+1,j+1) + qd*V(t+1,j))
+
+__kernel void binomial_node(
+    __global const REAL* s_in,
+    __global const REAL* v_in,
+    __global REAL* s_out,
+    __global REAL* v_out,
+    __global const REAL* params,
+    __global const int* level_of,
+    int n_steps
+) {
+    size_t id = get_global_id(0);
+    int t = level_of[id];
+    if (t >= n_steps) {
+        return; // padding work-item (global size rounded up to the work-group size)
+    }
+    size_t dn = id + (size_t)t + 1;
+    size_t up = id + (size_t)t + 2;
+    REAL K   = params[t * 5 + 0];
+    REAL pd  = params[t * 5 + 1];
+    REAL qd  = params[t * 5 + 2];
+    REAL u   = params[t * 5 + 3];
+    REAL phi = params[t * 5 + 4];
+    REAL s = u * s_in[dn];
+    REAL cont = pd * v_in[up] + qd * v_in[dn];
+    REAL ex = phi * (s - K);
+    v_out[id] = fmax(ex, cont);
+    s_out[id] = s;
+}

@@ -1,0 +1,612 @@
+//! The accelerator facade: functional pricing and paper-scale projection.
+
+use crate::hostprog::optimized::OptimizedHost;
+use crate::hostprog::straightforward::StraightforwardHost;
+use crate::kernels::KernelArch;
+use crate::perfmodel::{scale_to_batch, StatsFit, CALIBRATION_STEPS};
+use bop_cpu::Precision;
+use bop_finance::binomial::tree_nodes;
+use bop_finance::types::OptionParams;
+use bop_finance::{metrics, binomial};
+use bop_ocl::queue::RuntimeError;
+use bop_ocl::{BuildError, BuildOptions, BuildReport, CommandQueue, Context, Device, Program};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from constructing or running an accelerator.
+#[derive(Debug)]
+pub enum AcceleratorError {
+    /// The kernel failed to compile or fit on the device.
+    Build(BuildError),
+    /// A command failed at run time.
+    Runtime(RuntimeError),
+    /// Invalid request (empty batch, bad option parameters).
+    Invalid(String),
+}
+
+impl fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorError::Build(e) => write!(f, "{e}"),
+            AcceleratorError::Runtime(e) => write!(f, "{e}"),
+            AcceleratorError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AcceleratorError {}
+
+impl From<BuildError> for AcceleratorError {
+    fn from(e: BuildError) -> AcceleratorError {
+        AcceleratorError::Build(e)
+    }
+}
+
+impl From<RuntimeError> for AcceleratorError {
+    fn from(e: RuntimeError) -> AcceleratorError {
+        AcceleratorError::Runtime(e)
+    }
+}
+
+/// Outcome of a functional pricing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingRun {
+    /// Prices, input order (widened to `f64` for single precision).
+    pub prices: Vec<f64>,
+    /// Simulated wall-clock of the whole command stream, seconds.
+    pub elapsed_s: f64,
+    /// Simulated device-busy time, seconds.
+    pub device_busy_s: f64,
+    /// Device power while running, watts (fitted estimate on the FPGA,
+    /// TDP elsewhere).
+    pub watts: f64,
+    /// Energy consumed, joules.
+    pub joules: f64,
+    /// Throughput, options/second.
+    pub options_per_s: f64,
+    /// Energy efficiency, options/joule (the paper's headline metric).
+    pub options_per_j: f64,
+    /// Lattice-node throughput, nodes/second (Table II's last row).
+    pub nodes_per_s: f64,
+    /// RMSE against the double-precision reference software.
+    pub rmse: f64,
+    /// Maximum absolute error against the reference.
+    pub max_abs_error: f64,
+}
+
+/// Paper-scale performance projection (timing-only replay with fitted
+/// statistics; no functional results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Lattice steps.
+    pub n_steps: usize,
+    /// Batch size projected.
+    pub n_options: usize,
+    /// Simulated time for the batch (post-setup, i.e. marginal), seconds.
+    pub elapsed_s: f64,
+    /// Post-saturation throughput, options/second.
+    pub options_per_s: f64,
+    /// Device power, watts.
+    pub watts: f64,
+    /// Energy efficiency, options/joule.
+    pub options_per_j: f64,
+    /// Node throughput, nodes/second.
+    pub nodes_per_s: f64,
+    /// One-time session setup, seconds (excluded from the marginal rate;
+    /// drives the saturation behaviour of Section V.C).
+    pub session_setup_s: f64,
+    /// Host-to-device traffic, bytes.
+    pub h2d_bytes: u64,
+    /// Device-to-host traffic, bytes.
+    pub d2h_bytes: u64,
+}
+
+impl Projection {
+    /// Throughput including the one-time session setup — what a cold-start
+    /// measurement at this batch size would observe. Approaches
+    /// [`Projection::options_per_s`] as the batch grows; the paper calls
+    /// the knee "device saturation".
+    pub fn throughput_with_setup(&self) -> f64 {
+        self.n_options as f64 / (self.elapsed_s + self.session_setup_s)
+    }
+}
+
+/// An option-pricing accelerator: one device + one kernel architecture +
+/// build options, ready to price batches.
+pub struct Accelerator {
+    device: Arc<dyn Device>,
+    arch: KernelArch,
+    precision: Precision,
+    n_steps: usize,
+    build: BuildOptions,
+    report: BuildReport,
+    read_full: bool,
+    fit_cache: std::sync::OnceLock<StatsFit>,
+}
+
+impl Accelerator {
+    /// Build an accelerator. `build` defaults to the paper's published
+    /// configuration for the architecture (Section V.B).
+    ///
+    /// # Errors
+    /// Returns [`AcceleratorError::Build`] if the kernel does not compile
+    /// or fit.
+    pub fn new(
+        device: Arc<dyn Device>,
+        arch: KernelArch,
+        precision: Precision,
+        n_steps: usize,
+        build: Option<BuildOptions>,
+    ) -> Result<Accelerator, AcceleratorError> {
+        if n_steps < 2 {
+            return Err(AcceleratorError::Invalid("need at least 2 lattice steps".into()));
+        }
+        let build = build.unwrap_or_else(|| arch.paper_build_options());
+        let ctx = Context::new(device.clone());
+        let program = Program::from_source(&ctx, "kernel.cl", &arch.source(precision), &build)?;
+        let report = program.report();
+        Ok(Accelerator {
+            device,
+            arch,
+            precision,
+            n_steps,
+            build,
+            report,
+            read_full: true,
+            fit_cache: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Switch the straightforward host program to the paper's "modified
+    /// version ... with a reduced number of read operations" (root-only
+    /// reads). No effect on the optimized architecture.
+    pub fn with_reduced_reads(mut self) -> Accelerator {
+        self.read_full = false;
+        self
+    }
+
+    /// The build report (Table I shape: resources, Fmax, power).
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// The kernel architecture.
+    pub fn arch(&self) -> KernelArch {
+        self.arch
+    }
+
+    /// The numeric precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The lattice step count.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// The build options in effect.
+    pub fn build_options(&self) -> &BuildOptions {
+        &self.build
+    }
+
+    /// The device this accelerator runs on.
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), AcceleratorError> {
+        let ctx = Context::new(self.device.clone());
+        let queue = CommandQueue::new(&ctx);
+        let program =
+            Program::from_source(&ctx, "kernel.cl", &self.arch.source(self.precision), &self.build)?;
+        Ok((ctx, queue, program))
+    }
+
+    fn run_host(
+        &self,
+        ctx: &Arc<Context>,
+        queue: &CommandQueue,
+        program: &Program,
+        options: &[OptionParams],
+        n_steps: usize,
+    ) -> Result<Vec<f64>, RuntimeError> {
+        match self.arch {
+            KernelArch::Straightforward => StraightforwardHost {
+                n_steps,
+                precision: self.precision,
+                read_full: self.read_full,
+            }
+            .run(ctx, queue, program, options),
+            KernelArch::Optimized | KernelArch::OptimizedEuropean => OptimizedHost {
+                n_steps,
+                precision: self.precision,
+                host_leaves: false,
+                kernel_name: self.arch.kernel_name(),
+            }
+            .run(ctx, queue, program, options),
+            KernelArch::OptimizedHostLeaves => OptimizedHost {
+                n_steps,
+                precision: self.precision,
+                host_leaves: true,
+                kernel_name: self.arch.kernel_name(),
+            }
+            .run(ctx, queue, program, options),
+        }
+    }
+
+    /// Price a batch functionally (full interpretation — feasible up to a
+    /// few hundred thousand node updates; use [`Accelerator::project`] for
+    /// paper-scale batches).
+    ///
+    /// # Errors
+    /// Propagates build and runtime failures; rejects empty or invalid
+    /// batches.
+    pub fn price(&self, options: &[OptionParams]) -> Result<PricingRun, AcceleratorError> {
+        if options.is_empty() {
+            return Err(AcceleratorError::Invalid("empty batch".into()));
+        }
+        for o in options {
+            o.validate().map_err(|e| AcceleratorError::Invalid(e.to_string()))?;
+        }
+        let (ctx, queue, program) = self.fresh_session()?;
+        let prices = self.run_host(&ctx, &queue, &program, options, self.n_steps)?;
+        let elapsed_s = queue.finish();
+        let device_busy_s = queue.device_busy_s();
+        let watts = self.report.power_watts;
+
+        let reference: Vec<f64> =
+            options.iter().map(|o| binomial::price_american_f64(o, self.n_steps)).collect();
+        let rmse = metrics::rmse(&prices, &reference);
+        let max_abs_error = metrics::max_abs_error(&prices, &reference);
+
+        let options_per_s = options.len() as f64 / elapsed_s;
+        let joules = watts * elapsed_s;
+        Ok(PricingRun {
+            prices,
+            elapsed_s,
+            device_busy_s,
+            watts,
+            joules,
+            options_per_s,
+            options_per_j: options_per_s / watts,
+            nodes_per_s: options_per_s * tree_nodes(self.n_steps) as f64,
+            rmse,
+            max_abs_error,
+        })
+    }
+
+    /// Calibrate the per-option statistics model from small functional
+    /// runs at [`CALIBRATION_STEPS`]. The fit is computed once per
+    /// accelerator and cached.
+    ///
+    /// # Errors
+    /// Propagates build and runtime failures.
+    pub fn calibrate(&self) -> Result<StatsFit, AcceleratorError> {
+        if let Some(fit) = self.fit_cache.get() {
+            return Ok(fit.clone());
+        }
+        let mut samples = Vec::with_capacity(3);
+        for &n in &CALIBRATION_STEPS {
+            samples.push(self.measure_per_option(n)?);
+        }
+        let fit = StatsFit::fit(CALIBRATION_STEPS, [&samples[0], &samples[1], &samples[2]]);
+        let _ = self.fit_cache.set(fit.clone());
+        Ok(fit)
+    }
+
+    /// Measure per-option statistics at lattice size `n` with one
+    /// functional run of a single option (kernel op counts are identical
+    /// across options of the same lattice size).
+    ///
+    /// For the straightforward architecture the statistics are per
+    /// *batch* (every batch dispatches the same node grid); for the
+    /// optimized architectures they are per work-group.
+    ///
+    /// # Errors
+    /// Propagates build and runtime failures.
+    pub fn measure_per_option(&self, n: usize) -> Result<bop_clir::stats::ExecStats, AcceleratorError> {
+        let (ctx, queue, program) = self.fresh_session()?;
+        let options = [OptionParams::example()];
+        self.run_host(&ctx, &queue, &program, &options, n)?;
+        let stats = queue
+            .kernel_stats(self.arch.kernel_name())
+            .ok_or_else(|| AcceleratorError::Invalid("no kernel statistics recorded".into()))?;
+        match self.arch {
+            // One option => batches = n; every batch is identical.
+            KernelArch::Straightforward => {
+                let launches = queue.counters().launches;
+                Ok(divide_stats(&stats, launches))
+            }
+            // One option => exactly one work-group.
+            _ => Ok(stats),
+        }
+    }
+
+    /// Project the performance of pricing `n_options` at this
+    /// accelerator's lattice size, paper-style: the full host program is
+    /// replayed against the timing models with fitted statistics, no
+    /// functional interpretation.
+    ///
+    /// # Errors
+    /// Propagates build and runtime failures.
+    pub fn project(&self, n_options: usize) -> Result<Projection, AcceleratorError> {
+        if n_options == 0 {
+            return Err(AcceleratorError::Invalid("empty batch".into()));
+        }
+        let fit = self.calibrate()?;
+        let per_unit = fit.per_option(self.n_steps);
+
+        let (ctx, queue, program) = self.fresh_session()?;
+        let arch = self.arch;
+        let n_steps = self.n_steps;
+        queue.set_timing_only(Box::new(move |_kernel, dispatch| match arch {
+            // Per-batch statistics, independent of the dispatch.
+            KernelArch::Straightforward => per_unit.clone(),
+            // Per-work-group statistics scaled by the group count.
+            _ => scale_to_batch(&per_unit, dispatch.global / (n_steps + 1)),
+        }));
+
+        // Dummy parameter set: in timing-only mode values are never read,
+        // but the host program still derives buffer sizes and command
+        // counts from it.
+        let options = vec![OptionParams::example(); n_options];
+        self.run_host(&ctx, &queue, &program, &options, self.n_steps)?;
+        let elapsed_s = queue.finish();
+        let counters = queue.counters();
+        let watts = self.report.power_watts;
+        let options_per_s = n_options as f64 / elapsed_s;
+        Ok(Projection {
+            n_steps: self.n_steps,
+            n_options,
+            elapsed_s,
+            options_per_s,
+            watts,
+            options_per_j: options_per_s / watts,
+            nodes_per_s: options_per_s * tree_nodes(self.n_steps) as f64,
+            session_setup_s: self.device.info().session_setup_s,
+            h2d_bytes: counters.h2d_bytes,
+            d2h_bytes: counters.d2h_bytes,
+        })
+    }
+}
+
+/// Divide every counter by `k` (for per-batch normalisation).
+fn divide_stats(stats: &bop_clir::stats::ExecStats, k: u64) -> bop_clir::stats::ExecStats {
+    assert!(k > 0, "division by zero batches");
+    let mut out = stats.clone();
+    for b in &mut out.block_execs {
+        *b /= k;
+    }
+    out.barriers /= k;
+    out.item_phases /= k;
+    let o = &mut out.ops;
+    for f in [
+        &mut o.add32, &mut o.add64, &mut o.mul32, &mut o.mul64, &mut o.div32, &mut o.div64,
+        &mut o.minmax32, &mut o.minmax64, &mut o.transc32, &mut o.transc64, &mut o.pow32,
+        &mut o.pow64, &mut o.sqrt32, &mut o.sqrt64, &mut o.cmp, &mut o.select, &mut o.int_alu,
+        &mut o.cast, &mut o.mov, &mut o.wi_query,
+    ] {
+        *f /= k;
+    }
+    let m = &mut out.mem;
+    for f in [
+        &mut m.global_loads, &mut m.global_load_bytes, &mut m.global_stores,
+        &mut m.global_store_bytes, &mut m.local_loads, &mut m.local_load_bytes,
+        &mut m.local_stores, &mut m.local_store_bytes, &mut m.private_accesses,
+    ] {
+        *f /= k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_finance::workload;
+
+    #[test]
+    fn optimized_on_gpu_prices_accurately() {
+        let acc = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            Precision::Double,
+            48,
+            None,
+        )
+        .expect("builds");
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 1);
+        let run = acc.price(&options).expect("prices");
+        assert!(run.rmse < 1e-10, "exact math must match the reference: {}", run.rmse);
+        assert!(run.options_per_s > 0.0);
+        assert!(run.options_per_j > 0.0);
+        assert!(run.joules > 0.0);
+    }
+
+    #[test]
+    fn fpga_optimized_shows_pow_rmse_but_host_leaves_do_not() {
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 2);
+        let buggy = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::Optimized,
+            Precision::Double,
+            64,
+            None,
+        )
+        .expect("builds");
+        let fixed = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::OptimizedHostLeaves,
+            Precision::Double,
+            64,
+            None,
+        )
+        .expect("builds");
+        let run_buggy = buggy.price(&options).expect("prices");
+        let run_fixed = fixed.price(&options).expect("prices");
+        assert!(run_buggy.rmse > 1e-9, "pow bug must show: {}", run_buggy.rmse);
+        assert!(run_fixed.rmse < 1e-12, "host leaves avoid it: {}", run_fixed.rmse);
+    }
+
+    #[test]
+    fn projection_reproduces_throughput_ordering() {
+        // At paper scale the optimized kernel must beat the straightforward
+        // one by orders of magnitude on the same device.
+        let n = 256; // keep the calibration quick
+        let slow = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::Straightforward,
+            Precision::Double,
+            n,
+            None,
+        )
+        .expect("builds");
+        let fast = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::Optimized,
+            Precision::Double,
+            n,
+            None,
+        )
+        .expect("builds");
+        let p_slow = slow.project(64).expect("projects");
+        let p_fast = fast.project(64).expect("projects");
+        assert!(
+            p_fast.options_per_s > p_slow.options_per_s * 10.0,
+            "IV.B must dominate IV.A: {} vs {}",
+            p_fast.options_per_s,
+            p_slow.options_per_s
+        );
+        assert!(p_slow.d2h_bytes > p_fast.d2h_bytes * 100, "IV.A drowns in read-backs");
+    }
+
+    #[test]
+    fn reduced_reads_speed_up_straightforward_projection() {
+        let n = 128;
+        let naive = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Straightforward,
+            Precision::Double,
+            n,
+            None,
+        )
+        .expect("builds");
+        let modified = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Straightforward,
+            Precision::Double,
+            n,
+            None,
+        )
+        .expect("builds")
+        .with_reduced_reads();
+        let p_naive = naive.project(64).expect("projects");
+        let p_mod = modified.project(64).expect("projects");
+        assert!(
+            p_mod.options_per_s > p_naive.options_per_s * 2.0,
+            "reduced reads: {} vs {}",
+            p_mod.options_per_s,
+            p_naive.options_per_s
+        );
+    }
+
+    #[test]
+    fn calibration_fit_validates_on_a_fourth_size() {
+        let acc = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            Precision::Double,
+            crate::perfmodel::VALIDATION_STEPS,
+            None,
+        )
+        .expect("builds");
+        let fit = acc.calibrate().expect("calibrates");
+        let predicted = fit.per_option(crate::perfmodel::VALIDATION_STEPS);
+        let measured = acc.measure_per_option(crate::perfmodel::VALIDATION_STEPS).expect("runs");
+        // The lattice metrics are exactly polynomial; allow rounding slack.
+        let close = |a: u64, b: u64| (a as i64 - b as i64).unsigned_abs() <= 2 + b / 100;
+        assert!(
+            close(predicted.total_block_execs(), measured.total_block_execs()),
+            "block execs: {} vs {}",
+            predicted.total_block_execs(),
+            measured.total_block_execs()
+        );
+        assert!(close(predicted.barriers, measured.barriers), "barriers");
+        assert!(close(predicted.ops.pow64, measured.ops.pow64), "pow count");
+        assert!(
+            close(predicted.mem.local_load_bytes, measured.mem.local_load_bytes),
+            "local bytes"
+        );
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let acc = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            Precision::Double,
+            16,
+            None,
+        )
+        .expect("builds");
+        assert!(matches!(acc.price(&[]), Err(AcceleratorError::Invalid(_))));
+        let mut bad = OptionParams::example();
+        bad.volatility = -1.0;
+        assert!(matches!(acc.price(&[bad]), Err(AcceleratorError::Invalid(_))));
+        assert!(matches!(acc.project(0), Err(AcceleratorError::Invalid(_))));
+        assert!(matches!(
+            Accelerator::new(
+                crate::devices::gpu(),
+                KernelArch::Optimized,
+                Precision::Double,
+                1,
+                None
+            ),
+            Err(AcceleratorError::Invalid(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod fit_failure_tests {
+    use super::*;
+    use crate::kernels::KernelArch;
+
+    #[test]
+    fn paper_kernel_does_not_fit_the_smaller_part() {
+        // The conclusion's "less power consuming FPGA board" idea fails for
+        // the published configuration: the EP4SGX230 rejects it, and the
+        // error names the exhausted resource.
+        let small = bop_fpga::FpgaDevice::with_part(
+            bop_fpga::FpgaPart::ep4sgx230(),
+            bop_clir::mathlib::DeviceMath::altera_13_0(),
+        );
+        let result = Accelerator::new(
+            small,
+            KernelArch::Optimized,
+            Precision::Double,
+            128,
+            None,
+        );
+        match result {
+            Err(AcceleratorError::Build(e)) => {
+                assert!(e.message.contains("does not fit"), "got: {e}");
+            }
+            other => panic!("expected a fit failure, got {:?}", other.map(|_| "ok")),
+        }
+        // A scalar build does fit the smaller part.
+        let small = bop_fpga::FpgaDevice::with_part(
+            bop_fpga::FpgaPart::ep4sgx230(),
+            bop_clir::mathlib::DeviceMath::altera_13_0(),
+        );
+        let scalar = bop_ocl::BuildOptions { simd: 1, compute_units: 1, unroll: Some(1), ..Default::default() };
+        assert!(Accelerator::new(
+            small,
+            KernelArch::Optimized,
+            Precision::Double,
+            128,
+            Some(scalar)
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-accelerator batches — the paper's future-work direction
+//! ("Future work will focus on other hardware architectures supporting the
+//! OpenCL standard, so as to compare their performances to the FPGA
+//! device") taken one step further: run one batch across several devices
+//! at once, split proportionally to each accelerator's measured marginal
+//! rate.
+
+use crate::accelerator::{Accelerator, AcceleratorError, PricingRun};
+use bop_finance::binomial::tree_nodes;
+use bop_finance::types::OptionParams;
+
+/// A set of accelerators pricing one batch cooperatively.
+pub struct MultiAccelerator {
+    accelerators: Vec<Accelerator>,
+}
+
+/// Projection of a cooperative batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterProjection {
+    /// Batch share given to each accelerator, in input order.
+    pub shares: Vec<usize>,
+    /// Per-accelerator batch time, seconds.
+    pub device_times_s: Vec<f64>,
+    /// Batch wall-clock (devices run concurrently): the slowest share.
+    pub elapsed_s: f64,
+    /// Combined throughput, options/s.
+    pub options_per_s: f64,
+    /// Combined power (all devices running), watts.
+    pub watts: f64,
+    /// Combined energy efficiency, options/J.
+    pub options_per_j: f64,
+    /// Combined node throughput, nodes/s.
+    pub nodes_per_s: f64,
+}
+
+impl MultiAccelerator {
+    /// Group accelerators into a cluster.
+    ///
+    /// # Errors
+    /// Rejects empty clusters and mismatched lattice sizes or precisions
+    /// (shares of one batch must be comparable).
+    pub fn new(accelerators: Vec<Accelerator>) -> Result<MultiAccelerator, AcceleratorError> {
+        if accelerators.is_empty() {
+            return Err(AcceleratorError::Invalid("empty cluster".into()));
+        }
+        let n = accelerators[0].n_steps();
+        let p = accelerators[0].precision();
+        if accelerators.iter().any(|a| a.n_steps() != n || a.precision() != p) {
+            return Err(AcceleratorError::Invalid(
+                "cluster members must share lattice size and precision".into(),
+            ));
+        }
+        Ok(MultiAccelerator { accelerators })
+    }
+
+    /// The member accelerators.
+    pub fn members(&self) -> &[Accelerator] {
+        &self.accelerators
+    }
+
+    /// Split `n_options` proportionally to each member's marginal rate
+    /// (measured by projection on a probe batch). Every member gets at
+    /// least one option while options remain; shares sum to `n_options`.
+    ///
+    /// # Errors
+    /// Propagates projection failures.
+    pub fn split(&self, n_options: usize) -> Result<Vec<usize>, AcceleratorError> {
+        let rates: Vec<f64> = self
+            .accelerators
+            .iter()
+            .map(|a| a.project(256).map(|p| p.options_per_s))
+            .collect::<Result<_, _>>()?;
+        let total_rate: f64 = rates.iter().sum();
+        let mut shares: Vec<usize> =
+            rates.iter().map(|r| ((r / total_rate) * n_options as f64).floor() as usize).collect();
+        // Distribute the rounding remainder to the fastest members.
+        let mut remainder = n_options - shares.iter().sum::<usize>();
+        let mut order: Vec<usize> = (0..rates.len()).collect();
+        order.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).expect("finite rates"));
+        for &i in order.iter().cycle().take(rates.len() * 2) {
+            if remainder == 0 {
+                break;
+            }
+            shares[i] += 1;
+            remainder -= 1;
+        }
+        Ok(shares)
+    }
+
+    /// Project a cooperative batch: devices run their shares concurrently.
+    ///
+    /// # Errors
+    /// Propagates projection failures.
+    pub fn project(&self, n_options: usize) -> Result<ClusterProjection, AcceleratorError> {
+        let shares = self.split(n_options)?;
+        let mut device_times_s = Vec::with_capacity(shares.len());
+        let mut watts = 0.0;
+        for (acc, &share) in self.accelerators.iter().zip(&shares) {
+            if share == 0 {
+                device_times_s.push(0.0);
+                continue;
+            }
+            let p = acc.project(share)?;
+            device_times_s.push(p.elapsed_s);
+            watts += p.watts;
+        }
+        let elapsed_s = device_times_s.iter().cloned().fold(0.0, f64::max);
+        let options_per_s = n_options as f64 / elapsed_s;
+        Ok(ClusterProjection {
+            shares,
+            device_times_s,
+            elapsed_s,
+            options_per_s,
+            watts,
+            options_per_j: options_per_s / watts,
+            nodes_per_s: options_per_s * tree_nodes(self.accelerators[0].n_steps()) as f64,
+        })
+    }
+
+    /// Price a batch functionally across the cluster, preserving input
+    /// order.
+    ///
+    /// # Errors
+    /// Propagates member failures.
+    pub fn price(&self, options: &[OptionParams]) -> Result<Vec<PricingRun>, AcceleratorError> {
+        if options.is_empty() {
+            return Err(AcceleratorError::Invalid("empty batch".into()));
+        }
+        let shares = self.split(options.len())?;
+        let mut runs = Vec::with_capacity(shares.len());
+        let mut offset = 0;
+        for (acc, &share) in self.accelerators.iter().zip(&shares) {
+            if share == 0 {
+                continue;
+            }
+            let slice = &options[offset..offset + share];
+            runs.push(acc.price(slice)?);
+            offset += share;
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelArch, Precision};
+
+    fn cluster(n_steps: usize) -> MultiAccelerator {
+        let fpga = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::Optimized,
+            Precision::Double,
+            n_steps,
+            None,
+        )
+        .expect("fpga builds");
+        let gpu = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            Precision::Double,
+            n_steps,
+            None,
+        )
+        .expect("gpu builds");
+        MultiAccelerator::new(vec![fpga, gpu]).expect("cluster")
+    }
+
+    #[test]
+    fn shares_are_proportional_to_speed_and_sum() {
+        let c = cluster(256);
+        let shares = c.split(1000).expect("splits");
+        assert_eq!(shares.iter().sum::<usize>(), 1000);
+        // The GPU is several times faster: it must take the bigger share.
+        assert!(shares[1] > shares[0], "GPU share {} vs FPGA {}", shares[1], shares[0]);
+        assert!(shares[0] > 0, "but the FPGA still contributes");
+    }
+
+    #[test]
+    fn cluster_beats_its_fastest_member() {
+        let c = cluster(256);
+        let combined = c.project(2000).expect("projects");
+        let solo_rates: Vec<f64> = c
+            .members()
+            .iter()
+            .map(|a| a.project(2000).expect("projects").options_per_s)
+            .collect();
+        let best_solo = solo_rates.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            combined.options_per_s > best_solo,
+            "cooperation must add throughput: {} vs best solo {}",
+            combined.options_per_s,
+            best_solo
+        );
+        // Shares are balanced: devices finish within ~25% of each other.
+        let max_t = combined.device_times_s.iter().cloned().fold(0.0, f64::max);
+        let min_t =
+            combined.device_times_s.iter().cloned().filter(|t| *t > 0.0).fold(f64::MAX, f64::min);
+        assert!(max_t / min_t < 1.3, "imbalanced shares: {:?}", combined.device_times_s);
+    }
+
+    #[test]
+    fn cooperative_prices_match_solo_prices() {
+        let c = cluster(48);
+        let options = bop_finance::workload::volatility_curve(
+            &bop_finance::workload::WorkloadConfig::default(),
+            1.0,
+            8,
+            3,
+        );
+        let runs = c.price(&options).expect("prices");
+        let all: Vec<f64> = runs.iter().flat_map(|r| r.prices.clone()).collect();
+        assert_eq!(all.len(), options.len());
+        for (price, option) in all.iter().zip(&options) {
+            let reference = bop_finance::binomial::price_american_f64(option, 48);
+            assert!((price - reference).abs() < 1e-3, "{price} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn mismatched_members_rejected() {
+        let a = Accelerator::new(
+            crate::devices::fpga(),
+            KernelArch::Optimized,
+            Precision::Double,
+            64,
+            None,
+        )
+        .expect("builds");
+        let b = Accelerator::new(
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            Precision::Double,
+            128,
+            None,
+        )
+        .expect("builds");
+        assert!(matches!(
+            MultiAccelerator::new(vec![a, b]),
+            Err(AcceleratorError::Invalid(_))
+        ));
+        assert!(matches!(MultiAccelerator::new(vec![]), Err(AcceleratorError::Invalid(_))));
+    }
+}

@@ -1,0 +1,38 @@
+//! Constructors for the paper's three devices.
+
+use bop_ocl::Device;
+use std::sync::Arc;
+
+/// The Terasic DE4 FPGA board with the Altera 13.0 compiler (buggy `pow`).
+pub fn fpga() -> Arc<dyn Device> {
+    bop_fpga::FpgaDevice::de4()
+}
+
+/// The DE4 with the 13.0 SP1 compiler (accurate `pow`).
+pub fn fpga_sp1() -> Arc<dyn Device> {
+    bop_fpga::FpgaDevice::de4_sp1()
+}
+
+/// The NVIDIA GTX660 development/comparison GPU.
+pub fn gpu() -> Arc<dyn Device> {
+    bop_gpu::GpuDevice::gtx660()
+}
+
+/// The Xeon X5450 host CPU.
+pub fn cpu() -> Arc<dyn Device> {
+    bop_cpu::CpuDevice::x5450()
+}
+
+#[cfg(test)]
+mod tests {
+    use bop_ocl::DeviceKind;
+
+    #[test]
+    fn paper_platform_has_all_three_kinds() {
+        let p = crate::paper_platform();
+        assert!(p.device_by_kind(DeviceKind::Fpga).is_some());
+        assert!(p.device_by_kind(DeviceKind::Gpu).is_some());
+        assert!(p.device_by_kind(DeviceKind::Cpu).is_some());
+        assert_eq!(p.devices().len(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! E3-E6 — Figures 1-4: structural reproductions.
+//!
+//! The paper's figures are diagrams, not data plots; these drivers emit
+//! the same *information content* — the toy binomial tree of Figure 1, the
+//! OpenCL platform hierarchy of Figure 2, the batch pipeline schedule of
+//! Figure 3 and the barrier-phased work-group dataflow of Figure 4 — as
+//! structured data (plus a text rendering in the `bop-bench` binaries).
+
+use crate::accelerator::AcceleratorError;
+use crate::hostprog::optimized::OptimizedHost;
+use crate::hostprog::straightforward::StraightforwardHost;
+use crate::kernels::KernelArch;
+use crate::Precision;
+use bop_finance::binomial::BinomialTree;
+use bop_finance::types::OptionParams;
+use bop_ocl::queue::TraceEntry;
+use bop_ocl::{BuildOptions, CommandQueue, Context, Program};
+
+/// Figure 1: the toy two-step tree of the paper, with S and V at every
+/// node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1 {
+    /// The option being priced.
+    pub option: OptionParams,
+    /// Rows of `(t, j, S, V)`, leaves first (the backward-iteration
+    /// order of the figure).
+    pub nodes: Vec<(usize, usize, f64, f64)>,
+    /// The root price `V(0,0)`.
+    pub price: f64,
+}
+
+/// Build Figure 1's tree (2 steps, like the paper's illustration) for any
+/// option.
+pub fn figure1(option: &OptionParams, n_steps: usize) -> Figure1 {
+    let tree = BinomialTree::build(option, n_steps);
+    let mut nodes = Vec::new();
+    for t in (0..=n_steps).rev() {
+        for j in (0..=t).rev() {
+            nodes.push((t, j, tree.asset(t, j), tree.value(t, j)));
+        }
+    }
+    Figure1 { option: *option, nodes, price: tree.price() }
+}
+
+/// Figure 2: one line of the platform-hierarchy description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2Device {
+    /// Device name.
+    pub name: String,
+    /// Kind.
+    pub kind: bop_ocl::DeviceKind,
+    /// Compute units.
+    pub compute_units: u32,
+    /// Global memory, bytes.
+    pub global_mem_bytes: u64,
+    /// Local memory per work-group, bytes.
+    pub local_mem_bytes: u64,
+    /// Maximum work-group size.
+    pub max_work_group_size: usize,
+    /// Host link peak bandwidth, bytes/s.
+    pub link_peak: f64,
+}
+
+/// Describe the paper's platform (Figure 2's host/device/CU/memory
+/// hierarchy, as data).
+pub fn figure2() -> Vec<Figure2Device> {
+    crate::paper_platform()
+        .devices()
+        .iter()
+        .map(|d| {
+            let i = d.info();
+            Figure2Device {
+                name: i.name.clone(),
+                kind: i.kind,
+                compute_units: i.compute_units,
+                global_mem_bytes: i.global_mem_bytes,
+                local_mem_bytes: i.local_mem_bytes,
+                max_work_group_size: i.max_work_group_size,
+                link_peak: i.link.peak_bytes_per_s,
+            }
+        })
+        .collect()
+}
+
+/// Figure 3: the straightforward pipeline's batch schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure3 {
+    /// Lattice steps (the paper draws N = 2).
+    pub n_steps: usize,
+    /// Options priced.
+    pub n_options: usize,
+    /// For each batch: which option's row is computed at each level
+    /// (`None` = pipeline bubble), levels 0..n_steps-1.
+    pub schedule: Vec<Vec<Option<usize>>>,
+    /// The simulated command trace (writes/launch/reads per batch, with
+    /// ping-pong buffer switches implied between launches).
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Run the straightforward pipeline at figure scale and report its
+/// schedule — options cascading down the flattened tree one level per
+/// batch, exactly the paper's Figure 3.
+///
+/// # Errors
+/// Propagates build/run failures.
+pub fn figure3(n_steps: usize, n_options: usize) -> Result<Figure3, AcceleratorError> {
+    let ctx = Context::new(crate::devices::fpga());
+    let queue = CommandQueue::new(&ctx);
+    queue.enable_trace();
+    let program = Program::from_source(
+        &ctx,
+        "straightforward.cl",
+        &KernelArch::Straightforward.source(Precision::Double),
+        &BuildOptions::paper_straightforward(),
+    )?;
+    let host = StraightforwardHost { n_steps, precision: Precision::Double, read_full: true };
+    let options = vec![OptionParams::example(); n_options];
+    host.run(&ctx, &queue, &program, &options)?;
+
+    // Reconstruct the analytic schedule: at batch b, level t computes
+    // option b + t - n + 1 (when in range).
+    let batches = n_options + n_steps - 1;
+    let schedule = (0..batches)
+        .map(|b| {
+            (0..n_steps)
+                .map(|t| {
+                    let e = b as i64 + t as i64 - n_steps as i64 + 1;
+                    (0..n_options as i64).contains(&e).then_some(e as usize)
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Figure3 { n_steps, n_options, schedule, trace: queue.trace() })
+}
+
+/// Figure 4: the optimized kernel's work-group dataflow, quantified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4 {
+    /// Lattice steps.
+    pub n_steps: usize,
+    /// Work-items in the group (= rows = n_steps + 1).
+    pub work_items: usize,
+    /// Barrier releases during the option (2 per time step + 1 after the
+    /// leaves).
+    pub barriers: u64,
+    /// Local-memory loads (the `V` row reads of the figure).
+    pub local_loads: u64,
+    /// Local-memory stores (the `V` row writes).
+    pub local_stores: u64,
+    /// Global-memory bytes touched (parameters in, one result out).
+    pub global_bytes: u64,
+    /// Private-memory accesses (S and the option parameters live in
+    /// registers — the figure's "private memory" row; zero because the
+    /// compiler keeps scalars out of the private arena entirely).
+    pub private_accesses: u64,
+    /// The option price computed by the group.
+    pub price: f64,
+}
+
+/// Run one work-group of the optimized kernel and report the dataflow
+/// quantities of Figure 4.
+///
+/// # Errors
+/// Propagates build/run failures.
+pub fn figure4(n_steps: usize) -> Result<Figure4, AcceleratorError> {
+    let ctx = Context::new(crate::devices::fpga());
+    let queue = CommandQueue::new(&ctx);
+    let program = Program::from_source(
+        &ctx,
+        "optimized.cl",
+        &KernelArch::Optimized.source(Precision::Double),
+        &BuildOptions::paper_optimized(),
+    )?;
+    let host = OptimizedHost {
+        n_steps,
+        precision: Precision::Double,
+        host_leaves: false,
+        kernel_name: "binomial_option",
+    };
+    let option = OptionParams::example();
+    let prices = host.run(&ctx, &queue, &program, &[option])?;
+    let stats = queue
+        .kernel_stats(KernelArch::Optimized.kernel_name())
+        .ok_or_else(|| AcceleratorError::Invalid("no kernel statistics".into()))?;
+    Ok(Figure4 {
+        n_steps,
+        work_items: n_steps + 1,
+        barriers: stats.barriers,
+        local_loads: stats.mem.local_loads,
+        local_stores: stats.mem.local_stores,
+        global_bytes: stats.mem.global_bytes(),
+        private_accesses: stats.mem.private_accesses,
+        price: prices[0],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_toy_tree_matches_paper_structure() {
+        let fig = figure1(&OptionParams::example(), 2);
+        // 6 nodes for a 2-step tree, leaves first.
+        assert_eq!(fig.nodes.len(), 6);
+        assert_eq!(fig.nodes[0].0, 2, "leaves come first (backward iteration)");
+        assert_eq!(fig.nodes[5], (0, 0, fig.option.spot, fig.price));
+        // The recombination of Figure 1: (2,1) has S = S0.
+        let (_, _, s21, _) =
+            fig.nodes.iter().copied().find(|&(t, j, _, _)| t == 2 && j == 1).expect("node");
+        assert!((s21 - fig.option.spot).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_lists_the_three_devices() {
+        let devs = figure2();
+        assert_eq!(devs.len(), 3);
+        assert!(devs.iter().any(|d| d.kind == bop_ocl::DeviceKind::Fpga));
+        assert!(devs.iter().any(|d| d.kind == bop_ocl::DeviceKind::Gpu && d.compute_units == 5));
+    }
+
+    #[test]
+    fn figure3_schedule_has_n_plus_one_options_in_flight() {
+        let fig = figure3(2, 4).expect("runs");
+        // Paper's exact scenario: N = 2, options 0..3.
+        assert_eq!(fig.schedule.len(), 5); // 4 + 2 - 1 batches
+        assert_eq!(fig.schedule[1], vec![Some(0), Some(1)]);
+        // Fill: first batch has only the newest option in the tree.
+        assert_eq!(fig.schedule[0], vec![None, Some(0)]);
+        // Drain: last batch has only the oldest remaining option.
+        assert_eq!(fig.schedule[4], vec![Some(3), None]);
+        assert!(!fig.trace.is_empty());
+    }
+
+    #[test]
+    fn figure4_dataflow_counts() {
+        let n = 8;
+        let fig = figure4(n).expect("runs");
+        assert_eq!(fig.work_items, 9);
+        // One barrier after the leaves + 2 per time step.
+        assert_eq!(fig.barriers, 1 + 2 * n as u64);
+        // Each live (t, l) iteration loads v[l] and v[l+1] and stores v[l];
+        // plus one leaf store per item and one root read by item 0.
+        let live: u64 = (1..=n as u64).sum(); // n(n+1)/2
+        assert_eq!(fig.local_stores, live + (n as u64 + 1));
+        assert_eq!(fig.local_loads, 2 * live + 1);
+        // Global traffic is tiny: the paper's point about kernel IV.B.
+        assert!(fig.global_bytes < 1024);
+        let reference = bop_finance::binomial::price_american_f64(&OptionParams::example(), n);
+        // Coarse lattices magnify the pow-model error (large u); stay loose.
+        assert!((fig.price - reference).abs() < 5e-3);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment drivers: one module per table/figure of the paper.
+//!
+//! See `DESIGN.md`'s per-experiment index (E1-E10). Each driver returns
+//! structured data; the `bop-bench` binaries render them as the rows/series
+//! the paper reports, and `EXPERIMENTS.md` records paper-vs-measured.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod figures;
+pub mod saturation;
+pub mod table1;
+pub mod table2;
+pub mod usecase;

@@ -1,0 +1,136 @@
+//! E7 — device saturation: throughput vs workload size.
+//!
+//! Section V.C: "All the presented results were sampled after device
+//! saturation ... This saturation typically happens at 10^5 priced
+//! options ... Only the kernel IV.B implemented on the GTX660 has a
+//! saturation at a higher number of options (10^6 ...)". Cold-start
+//! throughput approaches the asymptotic rate as the one-time session
+//! setup (device programming / context + JIT) amortises; the FPGA —
+//! with less setup but also less raw speed — saturates at roughly ten
+//! times fewer options than the GPU, the relationship the paper reports.
+
+use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::kernels::KernelArch;
+use bop_cpu::Precision;
+use std::sync::Arc;
+
+/// One point of the saturation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationPoint {
+    /// Batch size.
+    pub n_options: usize,
+    /// Cold-start throughput (includes session setup), options/s.
+    pub throughput: f64,
+    /// Fraction of the asymptotic (marginal) rate reached, 0..=1.
+    pub of_asymptote: f64,
+}
+
+/// The sweep result for one device/kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationCurve {
+    /// Label, e.g. "IV.B / FPGA".
+    pub label: String,
+    /// Asymptotic (post-saturation) throughput, options/s.
+    pub asymptote: f64,
+    /// Sweep points, ascending batch size.
+    pub points: Vec<SaturationPoint>,
+    /// Smallest swept batch size reaching 95% of the asymptote.
+    pub saturation_at: Option<usize>,
+}
+
+/// Sweep batch sizes for one accelerator configuration.
+///
+/// # Errors
+/// Propagates accelerator failures.
+pub fn sweep(
+    label: &str,
+    device: Arc<dyn bop_ocl::Device>,
+    arch: KernelArch,
+    precision: Precision,
+    n_steps: usize,
+    batch_sizes: &[usize],
+) -> Result<SaturationCurve, AcceleratorError> {
+    let acc = Accelerator::new(device, arch, precision, n_steps, None)?;
+    // The marginal rate is batch-size independent; measure it once on a
+    // mid-sized batch.
+    let asymptote = acc.project(1000)?.options_per_s;
+    let mut points = Vec::with_capacity(batch_sizes.len());
+    for &n in batch_sizes {
+        let p = acc.project(n)?;
+        let throughput = p.throughput_with_setup();
+        points.push(SaturationPoint {
+            n_options: n,
+            throughput,
+            of_asymptote: throughput / asymptote,
+        });
+    }
+    let saturation_at =
+        points.iter().find(|p| p.of_asymptote >= 0.95).map(|p| p.n_options);
+    Ok(SaturationCurve { label: label.to_owned(), asymptote, points, saturation_at })
+}
+
+/// The paper's comparison: kernel IV.B on FPGA vs GPU (double precision).
+///
+/// # Errors
+/// Propagates accelerator failures.
+pub fn fpga_vs_gpu(n_steps: usize) -> Result<(SaturationCurve, SaturationCurve), AcceleratorError> {
+    let sizes: Vec<usize> =
+        [1, 10, 100, 1_000, 2_000, 10_000, 50_000, 100_000, 500_000, 1_000_000].to_vec();
+    let fpga = sweep(
+        "Kernel IV.B / FPGA / double",
+        crate::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        n_steps,
+        &sizes,
+    )?;
+    let gpu = sweep(
+        "Kernel IV.B / GPU / double",
+        crate::devices::gpu(),
+        KernelArch::Optimized,
+        Precision::Double,
+        n_steps,
+        &sizes,
+    )?;
+    Ok((fpga, gpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_monotonically_to_the_asymptote() {
+        let (fpga, gpu) = fpga_vs_gpu(crate::experiments::table2::PAPER_STEPS).expect("sweeps");
+        for curve in [&fpga, &gpu] {
+            for w in curve.points.windows(2) {
+                assert!(
+                    w[1].throughput >= w[0].throughput * 0.999,
+                    "{}: throughput must rise with batch size",
+                    curve.label
+                );
+            }
+            let last = curve.points.last().expect("points");
+            assert!(last.of_asymptote > 0.9, "{}: biggest batch nearly saturated", curve.label);
+            assert!(last.of_asymptote < 1.05);
+        }
+    }
+
+    #[test]
+    fn gpu_needs_a_larger_workload_than_the_fpga() {
+        // The paper: GPU saturation "at a higher number of options
+        // (ten times as many)".
+        let (fpga, gpu) = fpga_vs_gpu(crate::experiments::table2::PAPER_STEPS).expect("sweeps");
+        let f = fpga.saturation_at.expect("fpga saturates in range");
+        let g = gpu.saturation_at.expect("gpu saturates in range");
+        assert!(g > f, "GPU saturates later: {g} vs {f}");
+    }
+
+    #[test]
+    fn small_batches_are_far_from_saturation() {
+        let (fpga, _) = fpga_vs_gpu(crate::experiments::table2::PAPER_STEPS).expect("sweeps");
+        let single = fpga.points.first().expect("points");
+        assert_eq!(single.n_options, 1);
+        assert!(single.of_asymptote < 0.05, "one option cannot amortise setup");
+    }
+}

@@ -1,0 +1,172 @@
+//! E1 — Table I: resource usage of the two kernels on the EP4SGX530.
+
+use crate::kernels::KernelArch;
+use crate::Precision;
+use bop_ocl::{BuildError, BuildOptions, Context, Program};
+
+/// One row/column pair of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Entry {
+    /// Which kernel.
+    pub arch: KernelArch,
+    /// Build options used.
+    pub build: BuildOptions,
+    /// Logic (ALUT) utilization, 0..=1.
+    pub logic_util: f64,
+    /// Registers used.
+    pub registers: u64,
+    /// Block-memory bits used.
+    pub memory_bits: u64,
+    /// M9K blocks used.
+    pub m9k_blocks: u64,
+    /// 18-bit DSP elements used.
+    pub dsp18: u64,
+    /// Kernel clock, Hz.
+    pub clock_hz: f64,
+    /// Estimated power, watts.
+    pub power_watts: f64,
+}
+
+/// The paper's published Table I values, for side-by-side reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Paper {
+    /// Logic utilization.
+    pub logic_util: f64,
+    /// Registers.
+    pub registers: u64,
+    /// Memory bits.
+    pub memory_bits: u64,
+    /// M9K blocks.
+    pub m9k_blocks: u64,
+    /// DSP elements.
+    pub dsp18: u64,
+    /// Clock, Hz.
+    pub clock_hz: f64,
+    /// Power, watts.
+    pub power_watts: f64,
+}
+
+/// Paper values for kernel IV.A (vec x2, replication x3).
+pub fn paper_straightforward() -> Table1Paper {
+    Table1Paper {
+        logic_util: 0.99,
+        registers: 411 * 1024,
+        memory_bits: 10_843 * 1024,
+        m9k_blocks: 1250,
+        dsp18: 586,
+        clock_hz: 98.27e6,
+        power_watts: 15.0,
+    }
+}
+
+/// Paper values for kernel IV.B (unroll x2, vec x4).
+pub fn paper_optimized() -> Table1Paper {
+    Table1Paper {
+        logic_util: 0.66,
+        registers: 245 * 1024,
+        memory_bits: 7_990 * 1024,
+        m9k_blocks: 1118,
+        dsp18: 760,
+        clock_hz: 162.62e6,
+        power_watts: 17.0,
+    }
+}
+
+/// Compile `arch` with its paper build options on the DE4 and report the
+/// fitter results.
+///
+/// # Errors
+/// Returns [`BuildError`] if the kernel fails to compile or fit.
+pub fn fit_kernel(arch: KernelArch) -> Result<Table1Entry, BuildError> {
+    fit_kernel_with(arch, arch.paper_build_options())
+}
+
+/// Compile `arch` with explicit build options.
+///
+/// # Errors
+/// Returns [`BuildError`] if the kernel fails to compile or fit.
+pub fn fit_kernel_with(arch: KernelArch, build: BuildOptions) -> Result<Table1Entry, BuildError> {
+    let ctx = Context::new(crate::devices::fpga());
+    let program = Program::from_source(&ctx, "kernel.cl", &arch.source(Precision::Double), &build)?;
+    let report = program.report();
+    let res = report.resources.ok_or_else(|| BuildError::new("FPGA build has no resources"))?;
+    Ok(Table1Entry {
+        arch,
+        build,
+        logic_util: report.logic_utilization.unwrap_or(0.0),
+        registers: res.registers,
+        memory_bits: res.memory_bits,
+        m9k_blocks: res.m9k_blocks,
+        dsp18: res.dsp18,
+        clock_hz: report.clock_hz,
+        power_watts: report.power_watts,
+    })
+}
+
+/// The complete experiment: both kernels, measured vs paper.
+///
+/// # Errors
+/// Returns [`BuildError`] if either kernel fails to build.
+pub fn run() -> Result<Vec<(Table1Entry, Table1Paper)>, BuildError> {
+    Ok(vec![
+        (fit_kernel(KernelArch::Straightforward)?, paper_straightforward()),
+        (fit_kernel(KernelArch::Optimized)?, paper_optimized()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(measured: f64, paper: f64, rel: f64) -> bool {
+        (measured - paper).abs() <= rel * paper.abs()
+    }
+
+    #[test]
+    fn both_kernels_fit_the_part() {
+        let rows = run().expect("both kernels fit");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn straightforward_uses_more_logic_than_optimized() {
+        // The paper's central Table I contrast: 99% vs 66%.
+        let a = fit_kernel(KernelArch::Straightforward).expect("fits");
+        let b = fit_kernel(KernelArch::Optimized).expect("fits");
+        assert!(
+            a.logic_util > b.logic_util,
+            "IV.A (x6 lanes, LSU-heavy) must use more logic: {} vs {}",
+            a.logic_util,
+            b.logic_util
+        );
+        assert!(a.clock_hz < b.clock_hz, "and therefore close at a lower clock");
+    }
+
+    #[test]
+    fn optimized_uses_more_dsps() {
+        // Table I: 586 vs 760 — the pow core dominates IV.B's DSPs.
+        let a = fit_kernel(KernelArch::Straightforward).expect("fits");
+        let b = fit_kernel(KernelArch::Optimized).expect("fits");
+        assert!(b.dsp18 > a.dsp18, "IV.B carries pow: {} vs {}", b.dsp18, a.dsp18);
+    }
+
+    #[test]
+    fn clocks_and_power_near_paper() {
+        for (measured, paper) in run().expect("fits") {
+            assert!(
+                within(measured.clock_hz, paper.clock_hz, 0.30),
+                "{}: clock {} vs paper {}",
+                measured.arch,
+                measured.clock_hz / 1e6,
+                paper.clock_hz / 1e6
+            );
+            assert!(
+                within(measured.power_watts, paper.power_watts, 0.30),
+                "{}: power {} vs paper {}",
+                measured.arch,
+                measured.power_watts,
+                paper.power_watts
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! E9 — the paper's use case: one 2000-point volatility curve per second
+//! within a trader-workstation power budget (Section I).
+//!
+//! "This work aims at providing an architecture that can price 2000
+//! option values under a second while being powered by the user's
+//! workstation [10 W]." The driver projects the batch time of the paper's
+//! standard workload on kernel IV.B / FPGA, and demonstrates the
+//! downstream computation the batch exists for: recovering the implied
+//! volatility curve from the prices.
+
+use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::kernels::KernelArch;
+use bop_cpu::Precision;
+use bop_finance::types::OptionParams;
+use bop_finance::{implied_vol, workload};
+
+/// The use-case verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UseCaseResult {
+    /// Options in the curve.
+    pub n_options: usize,
+    /// Projected batch time at paper scale, seconds.
+    pub batch_time_s: f64,
+    /// Whether the "under a second" requirement holds.
+    pub under_one_second: bool,
+    /// Device power, watts.
+    pub power_watts: f64,
+    /// Whether the 10 W budget holds (the paper: no, 17 W — "7 W more
+    /// than available").
+    pub within_power_budget: bool,
+    /// Excess power over the budget, watts.
+    pub power_excess_w: f64,
+    /// Implied-vol recovery demonstration: worst absolute error across
+    /// the verified subset.
+    pub implied_vol_max_err: f64,
+}
+
+/// Run the use case: project the 2000-option batch on kernel IV.B / FPGA
+/// at `n_steps`, and verify implied-vol recovery functionally on a subset
+/// of `verify_options` options at a smaller lattice.
+///
+/// # Errors
+/// Propagates accelerator failures.
+pub fn run(
+    n_steps: usize,
+    verify_steps: usize,
+    verify_options: usize,
+) -> Result<UseCaseResult, AcceleratorError> {
+    let n_options = 2000;
+    let acc = Accelerator::new(
+        crate::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        n_steps,
+        None,
+    )?;
+    let projection = acc.project(n_options)?;
+
+    // Functional leg: price a subset, then invert the smile back out of
+    // the prices — the trader's actual computation.
+    let verify_acc = Accelerator::new(
+        crate::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        verify_steps,
+        None,
+    )?;
+    let config = workload::WorkloadConfig { jitter: 0.0, ..Default::default() };
+    let options = workload::volatility_curve(&config, 1.0, verify_options, 99);
+    let run = verify_acc.price(&options)?;
+    let mut max_err = 0f64;
+    for (option, price) in options.iter().zip(&run.prices) {
+        let recovered = implied_vol::implied_volatility(option, *price, |o: &OptionParams| {
+            bop_finance::binomial::price_american_f64(o, verify_steps)
+        })
+        .map_err(|e| AcceleratorError::Invalid(format!("implied vol failed: {e}")))?;
+        max_err = max_err.max((recovered - option.volatility).abs());
+    }
+
+    let batch_time_s = projection.elapsed_s;
+    let power_watts = projection.watts;
+    Ok(UseCaseResult {
+        n_options,
+        batch_time_s,
+        under_one_second: batch_time_s < 1.0,
+        power_watts,
+        within_power_budget: power_watts <= 10.0,
+        power_excess_w: (power_watts - 10.0).max(0.0),
+        implied_vol_max_err: max_err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table2::PAPER_STEPS;
+
+    #[test]
+    fn paper_verdict_reproduced() {
+        let r = run(PAPER_STEPS, 96, 6).expect("runs");
+        // Goal met: 2000 options under a second (paper: ~0.83 s at 2400/s).
+        assert!(r.under_one_second, "batch takes {}s", r.batch_time_s);
+        assert!(r.batch_time_s > 0.5, "but not trivially fast: {}s", r.batch_time_s);
+        // Budget missed: ~17 W against 10 W — "7W more than available".
+        assert!(!r.within_power_budget);
+        assert!(
+            (5.0..9.0).contains(&r.power_excess_w),
+            "the paper's 7 W excess: {}",
+            r.power_excess_w
+        );
+    }
+
+    #[test]
+    fn implied_volatility_recovers_the_smile() {
+        let r = run(256, 96, 6).expect("runs");
+        // Device `pow` inaccuracy perturbs prices, so the recovered vols
+        // carry a small error — but the curve is clearly recovered.
+        assert!(
+            r.implied_vol_max_err < 5e-3,
+            "smile recovery error: {}",
+            r.implied_vol_max_err
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Kernel sources and precision instantiation.
+//!
+//! The `.cl` sources are written against a `REAL` scalar type; this module
+//! instantiates them for `double` or `float` (the paper evaluates both
+//! precisions) by textual substitution — the job OpenCL programs usually
+//! do with `-D` build defines.
+
+use bop_cpu::Precision;
+use std::fmt;
+
+/// The paper's two kernel architectures (plus the Section V.C fallback
+/// variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelArch {
+    /// Section IV.A: one work-item per tree node, global ping-pong
+    /// buffers, one host-driven batch per time step.
+    Straightforward,
+    /// Section IV.B: one work-group per option, one work-item per tree
+    /// row, local-memory V row, device-side leaf initialisation (pow).
+    Optimized,
+    /// Section V.C fallback: kernel IV.B with host-computed leaves,
+    /// avoiding the device `pow` at the cost of extra transfers.
+    OptimizedHostLeaves,
+    /// Extension beyond the paper: kernel IV.B's dataflow with the
+    /// early-exercise max removed — European options, whose lattice price
+    /// must converge to Black-Scholes (the cleanest whole-stack check).
+    OptimizedEuropean,
+}
+
+impl KernelArch {
+    /// The kernel's entry-point name.
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            KernelArch::Straightforward => "binomial_node",
+            KernelArch::Optimized => "binomial_option",
+            KernelArch::OptimizedHostLeaves => "binomial_option_hostleaves",
+            KernelArch::OptimizedEuropean => "binomial_european",
+        }
+    }
+
+    /// The raw (`REAL`-typed) source.
+    pub fn raw_source(self) -> &'static str {
+        match self {
+            KernelArch::Straightforward => include_str!("../kernels/straightforward.cl"),
+            KernelArch::Optimized => include_str!("../kernels/optimized.cl"),
+            KernelArch::OptimizedHostLeaves => include_str!("../kernels/optimized_hostleaves.cl"),
+            KernelArch::OptimizedEuropean => include_str!("../kernels/european.cl"),
+        }
+    }
+
+    /// The source instantiated at `precision`.
+    pub fn source(self, precision: Precision) -> String {
+        let real = match precision {
+            Precision::Double => "double",
+            Precision::Single => "float",
+        };
+        self.raw_source().replace("REAL", real)
+    }
+
+    /// The paper's published build options for this architecture
+    /// (Section V.B): IV.A vectorized x2 + replicated x3; IV.B unrolled
+    /// x2 + vectorized x4.
+    pub fn paper_build_options(self) -> bop_ocl::BuildOptions {
+        match self {
+            KernelArch::Straightforward => bop_ocl::BuildOptions::paper_straightforward(),
+            KernelArch::Optimized
+            | KernelArch::OptimizedHostLeaves
+            | KernelArch::OptimizedEuropean => bop_ocl::BuildOptions::paper_optimized(),
+        }
+    }
+}
+
+impl fmt::Display for KernelArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelArch::Straightforward => "IV.A straightforward",
+            KernelArch::Optimized => "IV.B optimized",
+            KernelArch::OptimizedHostLeaves => "IV.B optimized (host leaves)",
+            KernelArch::OptimizedEuropean => "IV.B optimized (European)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_compile_in_both_precisions() {
+        for arch in [
+            KernelArch::Straightforward,
+            KernelArch::Optimized,
+            KernelArch::OptimizedHostLeaves,
+            KernelArch::OptimizedEuropean,
+        ] {
+            for precision in [Precision::Double, Precision::Single] {
+                let src = arch.source(precision);
+                assert!(!src.contains("REAL"), "substitution incomplete for {arch}");
+                let m = bop_clc::compile("k.cl", &src, &bop_clc::Options::default())
+                    .unwrap_or_else(|e| panic!("{arch} at {precision:?} fails to compile: {e}"));
+                assert!(m.kernel(arch.kernel_name()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_kernel_uses_pow_and_barriers_but_straightforward_does_not() {
+        use bop_clir::ir::{Builtin, Inst};
+        let check = |arch: KernelArch| {
+            let m = bop_clc::compile("k.cl", &arch.source(Precision::Double), &Default::default())
+                .expect("compiles");
+            let f = m.kernel(arch.kernel_name()).expect("kernel").clone();
+            let has_pow = f.blocks.iter().any(|b| {
+                b.insts.iter().any(|i| matches!(i, Inst::Call { func: Builtin::Pow, .. }))
+            });
+            (has_pow, f.has_barrier())
+        };
+        assert_eq!(check(KernelArch::Optimized), (true, true));
+        assert_eq!(check(KernelArch::Straightforward), (false, false));
+        assert_eq!(check(KernelArch::OptimizedHostLeaves), (false, true));
+    }
+
+    #[test]
+    fn paper_build_options_match_section_5b() {
+        let a = KernelArch::Straightforward.paper_build_options();
+        assert_eq!((a.simd, a.compute_units), (2, 3));
+        let b = KernelArch::Optimized.paper_build_options();
+        assert_eq!((b.simd, b.compute_units, b.unroll), (4, 1, Some(2)));
+    }
+}

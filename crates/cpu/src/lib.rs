@@ -1,0 +1,311 @@
+//! # bop-cpu — the Xeon-class CPU model and the reference software
+//!
+//! The paper's baseline platform (Section V.A): one core of a quad-core
+//! Intel Xeon X5450 at 3.0 GHz (120 W TDP), running the reference pricing
+//! software written in C. Here that reference software is the native Rust
+//! lattice pricer from `bop-finance`; this crate adds:
+//!
+//! * [`XeonModel`] — the timing model of the reference software on the
+//!   X5450 (cycles per tree-node update, the only fitted constant,
+//!   anchored on Table II's 116 options/s double / 222 single), and
+//! * [`ReferenceSoftware`] — batch pricing with both the modeled Xeon
+//!   time and the real host wall-clock, used as the accuracy reference
+//!   for every accelerator, plus
+//! * a [`Device`] implementation so the same OpenCL kernels can also run
+//!   on the CPU model (an extension beyond the paper, which used the CPU
+//!   only for the native reference).
+
+use bop_clir::ir::Module;
+use bop_clir::mathlib::{ExactMath, MathLib};
+use bop_clir::stats::ExecStats;
+use bop_finance::binomial::{price_american_f32, price_american_f64, tree_nodes};
+use bop_finance::types::OptionParams;
+use bop_ocl::{
+    BuildError, BuildOptions, BuildReport, Device, DeviceKind, DeviceProgram, Dispatch, LinkModel,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Numeric precision of a pricing run (the paper reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE binary32.
+    Single,
+    /// IEEE binary64.
+    Double,
+}
+
+/// Timing model of the reference software on one Xeon X5450 core.
+///
+/// The cycles-per-node constants are the calibration anchors for the
+/// paper's Table II reference column: 116 options/s (double) and
+/// 222 options/s (single) at 1024 steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XeonModel {
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Cycles per tree-node update in double precision.
+    pub cycles_per_node_f64: f64,
+    /// Cycles per tree-node update in single precision (SSE lets the
+    /// compiler pack twice as many lanes).
+    pub cycles_per_node_f32: f64,
+    /// Package TDP, watts (the paper's energy denominator).
+    pub tdp_watts: f64,
+}
+
+impl Default for XeonModel {
+    fn default() -> XeonModel {
+        XeonModel::x5450()
+    }
+}
+
+impl XeonModel {
+    /// The paper's Xeon X5450 at 3.0 GHz.
+    pub fn x5450() -> XeonModel {
+        XeonModel {
+            clock_hz: 3.0e9,
+            cycles_per_node_f64: 49.3,
+            cycles_per_node_f32: 25.7,
+            tdp_watts: 120.0,
+        }
+    }
+
+    /// Modeled time to price one option on an `n_steps` lattice.
+    pub fn time_per_option_s(&self, n_steps: usize, precision: Precision) -> f64 {
+        let cycles = match precision {
+            Precision::Double => self.cycles_per_node_f64,
+            Precision::Single => self.cycles_per_node_f32,
+        };
+        tree_nodes(n_steps) as f64 * cycles / self.clock_hz
+    }
+
+    /// Modeled post-saturation throughput, options/second.
+    pub fn options_per_s(&self, n_steps: usize, precision: Precision) -> f64 {
+        1.0 / self.time_per_option_s(n_steps, precision)
+    }
+}
+
+/// Result of a reference pricing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceRun {
+    /// Prices, in input order (always `f64`; single-precision runs widen).
+    pub prices: Vec<f64>,
+    /// Modeled Xeon X5450 time, seconds.
+    pub modeled_time_s: f64,
+    /// Actual wall-clock on this host, seconds (for honesty in reports).
+    pub host_time_s: f64,
+}
+
+/// The paper's reference software: the native lattice pricer plus the
+/// Xeon timing model.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceSoftware {
+    /// The CPU being modeled.
+    pub model: XeonModel,
+}
+
+impl ReferenceSoftware {
+    /// Construct with the default X5450 model.
+    pub fn new() -> ReferenceSoftware {
+        ReferenceSoftware::default()
+    }
+
+    /// Price a batch of options on an `n_steps` lattice.
+    ///
+    /// # Panics
+    /// Panics if any option is invalid or `n_steps` is zero.
+    pub fn price_batch(
+        &self,
+        options: &[OptionParams],
+        n_steps: usize,
+        precision: Precision,
+    ) -> ReferenceRun {
+        let start = Instant::now();
+        let prices: Vec<f64> = match precision {
+            Precision::Double => {
+                options.iter().map(|o| price_american_f64(o, n_steps)).collect()
+            }
+            Precision::Single => {
+                options.iter().map(|o| price_american_f32(o, n_steps) as f64).collect()
+            }
+        };
+        let host_time_s = start.elapsed().as_secs_f64();
+        let modeled_time_s =
+            options.len() as f64 * self.model.time_per_option_s(n_steps, precision);
+        ReferenceRun { prices, modeled_time_s, host_time_s }
+    }
+}
+
+/// The Xeon as an OpenCL device (running kernels on the host — an
+/// extension beyond the paper's CPU usage).
+pub struct CpuDevice {
+    info: bop_ocl::device::DeviceInfo,
+    model: XeonModel,
+}
+
+impl CpuDevice {
+    /// The paper's Xeon X5450, one core.
+    pub fn x5450() -> Arc<CpuDevice> {
+        let model = XeonModel::x5450();
+        Arc::new(CpuDevice {
+            info: bop_ocl::device::DeviceInfo {
+                name: "Intel Xeon X5450 (1 core)".into(),
+                kind: DeviceKind::Cpu,
+                compute_units: 1,
+                global_mem_bytes: 8 << 30,
+                local_mem_bytes: 256 << 10,
+                max_work_group_size: 4096,
+                global_bw_bytes_per_s: 6.4e9, // FSB-era memory bandwidth
+                link: LinkModel { peak_bytes_per_s: 6.4e9, efficiency: 0.8, latency_s: 0.5e-6 },
+                command_overhead_s: 2e-6,
+                session_setup_s: 0.05,
+                power_watts: model.tdp_watts,
+            },
+            model,
+        })
+    }
+
+    /// The timing model.
+    pub fn model(&self) -> &XeonModel {
+        &self.model
+    }
+}
+
+impl Device for CpuDevice {
+    fn info(&self) -> &bop_ocl::device::DeviceInfo {
+        &self.info
+    }
+
+    fn compile(
+        &self,
+        module: Arc<Module>,
+        _options: &BuildOptions,
+    ) -> Result<Arc<dyn DeviceProgram>, BuildError> {
+        if module.kernels().next().is_none() {
+            return Err(BuildError::new("module contains no kernels"));
+        }
+        Ok(Arc::new(CpuProgram {
+            module,
+            math: ExactMath,
+            device_name: self.info.name.clone(),
+            model: self.model,
+            mem_bw: self.info.global_bw_bytes_per_s,
+        }))
+    }
+}
+
+/// A CPU-compiled program: scalar single-core timing model.
+pub struct CpuProgram {
+    module: Arc<Module>,
+    math: ExactMath,
+    device_name: String,
+    model: XeonModel,
+    mem_bw: f64,
+}
+
+impl DeviceProgram for CpuProgram {
+    fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    fn math(&self) -> &dyn MathLib {
+        &self.math
+    }
+
+    fn report(&self) -> BuildReport {
+        BuildReport {
+            device: self.device_name.clone(),
+            kernels: self.module.kernels().map(|k| k.name.clone()).collect(),
+            clock_hz: self.model.clock_hz,
+            resources: None,
+            logic_utilization: None,
+            power_watts: self.model.tdp_watts,
+        }
+    }
+
+    fn kernel_time(&self, _kernel: &str, _dispatch: &Dispatch, stats: &ExecStats) -> f64 {
+        let ops = &stats.ops;
+        // Scalar out-of-order core: FP ops ~1.8 cycles effective, hard ops
+        // microcoded, integer/control mostly hidden, memory through caches.
+        let cycles = 1.8 * (ops.simple_flops(true) + ops.simple_flops(false)) as f64
+            + 45.0 * (ops.hard_flops(true) + ops.hard_flops(false)) as f64
+            + 0.7 * (ops.int_alu + ops.cmp + ops.select + ops.cast + ops.mov + ops.wi_query) as f64
+            + 1.2 * (stats.mem.global_loads
+                + stats.mem.global_stores
+                + stats.mem.local_loads
+                + stats.mem.local_stores) as f64;
+        let t_mem = stats.mem.global_bytes() as f64 / self.mem_bw;
+        (cycles / self.model.clock_hz).max(t_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_finance::workload;
+
+    #[test]
+    fn xeon_model_hits_table_two_anchors() {
+        let m = XeonModel::x5450();
+        let dbl = m.options_per_s(1024, Precision::Double);
+        let sgl = m.options_per_s(1024, Precision::Single);
+        assert!((dbl - 116.0).abs() < 2.0, "double anchor: {dbl}");
+        assert!((sgl - 222.0).abs() < 4.0, "single anchor: {sgl}");
+    }
+
+    #[test]
+    fn reference_batch_prices_match_finance_crate() {
+        let sw = ReferenceSoftware::new();
+        let opts = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 5, 1);
+        let run = sw.price_batch(&opts, 128, Precision::Double);
+        assert_eq!(run.prices.len(), 5);
+        for (o, p) in opts.iter().zip(&run.prices) {
+            assert_eq!(*p, price_american_f64(o, 128));
+        }
+        assert!(run.modeled_time_s > 0.0);
+        assert!(run.host_time_s > 0.0);
+    }
+
+    #[test]
+    fn single_precision_is_modeled_faster_but_less_accurate() {
+        let sw = ReferenceSoftware::new();
+        let opts = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 3, 2);
+        let dbl = sw.price_batch(&opts, 256, Precision::Double);
+        let sgl = sw.price_batch(&opts, 256, Precision::Single);
+        assert!(sgl.modeled_time_s < dbl.modeled_time_s);
+        let r = bop_finance::rmse(&sgl.prices, &dbl.prices);
+        assert!(r > 0.0 && r < 0.05, "f32 drift should be visible but small: {r}");
+    }
+
+    #[test]
+    fn cpu_device_runs_kernels() {
+        use bop_ocl::{CommandQueue, Context, Program};
+        let dev = CpuDevice::x5450();
+        let ctx = Context::new(dev);
+        let q = CommandQueue::new(&ctx);
+        let p = Program::from_source(
+            &ctx,
+            "t.cl",
+            "__kernel void k(__global double* o) { o[get_global_id(0)] = 7.0; }",
+            &BuildOptions::default(),
+        )
+        .expect("builds");
+        let buf = ctx.create_buffer(2 * 8);
+        let k = p.kernel("k").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        q.enqueue_nd_range(&k, Dispatch::new(2, 2)).expect("launch");
+        let mut out = [0.0; 2];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        assert_eq!(out, [7.0, 7.0]);
+        assert!(q.device_busy_s() > 0.0);
+    }
+
+    #[test]
+    fn modeled_throughput_scales_with_lattice_squared() {
+        let m = XeonModel::x5450();
+        let t512 = m.time_per_option_s(512, Precision::Double);
+        let t1024 = m.time_per_option_s(1024, Precision::Double);
+        let ratio = t1024 / t512;
+        assert!((ratio - 4.0).abs() < 0.05, "O(n^2) scaling: {ratio}");
+    }
+}

@@ -1,0 +1,330 @@
+//! The Cox-Ross-Rubinstein binomial lattice, in the recurrence form of the
+//! paper's Equation (1).
+//!
+//! With `N` time steps of `dt = T/N`, the asset moves up by
+//! `u = exp(sigma sqrt(dt))` or down by `d = 1/u` per step, with
+//! risk-neutral up-probability `p = (exp(r dt) - d) / (u - d)`. Nodes are
+//! indexed `(t, j)` with `j = 0..=t` and `S(t,j) = S0 u^{2j - t}`. The
+//! option value is computed backward from the leaves:
+//!
+//! ```text
+//! V(N,j) = max(phi (S(N,j) - K), 0)
+//! V(t,j) = max(phi (S(t,j) - K),  pd V(t+1,j+1) + qd V(t+1,j))
+//! ```
+//!
+//! where `pd = e^{-r dt} p` and `qd = e^{-r dt} (1 - p)` — the paper's
+//! `r p` and `r q` pre-discounted probabilities. The European variant
+//! omits the early-exercise max. This module is the reference software of
+//! the paper's Section V.A, in `f64` and `f32`.
+
+use crate::types::{ExerciseStyle, OptionParams};
+
+/// Precomputed lattice coefficients for one option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrrParams {
+    /// Time step, years.
+    pub dt: f64,
+    /// Up factor `u = exp(sigma sqrt(dt))`.
+    pub u: f64,
+    /// Down factor `d = 1/u`.
+    pub d: f64,
+    /// Risk-neutral up probability `p`.
+    pub p: f64,
+    /// Per-step discount factor `exp(-r dt)`.
+    pub discount: f64,
+    /// Pre-discounted up weight `discount * p` (the paper's `r p`).
+    pub pd: f64,
+    /// Pre-discounted down weight `discount * (1 - p)` (the paper's `r q`).
+    pub qd: f64,
+}
+
+impl CrrParams {
+    /// Compute the coefficients for `option` on an `n_steps` lattice.
+    ///
+    /// # Panics
+    /// Panics if `n_steps` is zero or the option is invalid; validate
+    /// first with [`OptionParams::validate`].
+    pub fn from_option(option: &OptionParams, n_steps: usize) -> CrrParams {
+        assert!(n_steps > 0, "lattice needs at least one step");
+        option.validate().expect("invalid option parameters");
+        let dt = option.expiry / n_steps as f64;
+        let u = (option.volatility * dt.sqrt()).exp();
+        let d = 1.0 / u;
+        let growth = ((option.rate - option.dividend_yield) * dt).exp();
+        let p = (growth - d) / (u - d);
+        let discount = (-option.rate * dt).exp();
+        CrrParams { dt, u, d, p, discount, pd: discount * p, qd: discount * (1.0 - p) }
+    }
+
+    /// True when `0 <= p <= 1` — the lattice is arbitrage-free and the
+    /// backward induction is a proper expectation. Violated only for
+    /// extreme rate/volatility combinations at coarse steps.
+    pub fn is_risk_neutral(&self) -> bool {
+        (0.0..=1.0).contains(&self.p)
+    }
+}
+
+/// Price `option` on an `n_steps` CRR lattice in `f64`.
+///
+/// This is the reference implementation every accelerator in the workspace
+/// is validated against.
+///
+/// ```
+/// use bop_finance::{binomial, OptionParams};
+/// let price = binomial::price_american_f64(&OptionParams::example(), 512);
+/// assert!((price - 10.45).abs() < 0.05); // ATM 1y call, sigma 20%, r 5%
+/// ```
+///
+/// # Panics
+/// Panics if `n_steps` is zero or the option is invalid.
+pub fn price_american_f64(option: &OptionParams, n_steps: usize) -> f64 {
+    let c = CrrParams::from_option(option, n_steps);
+    let phi = option.kind.phi();
+    let n = n_steps;
+    // Leaves: V(N,j) for j = 0..=N, S = S0 u^{2j-N}.
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| {
+            let s = option.spot * c.u.powi(2 * j as i32 - n as i32);
+            (phi * (s - option.strike)).max(0.0)
+        })
+        .collect();
+    // Backward induction.
+    let american = option.style == ExerciseStyle::American;
+    // S(t,0) = S0 u^{-t}; track it to avoid pow in the loop.
+    let mut s_low = option.spot * c.u.powi(-(n as i32));
+    let u2 = c.u * c.u;
+    for t in (0..n).rev() {
+        s_low *= c.u; // S(t,0) from S(t+1,0)
+        let mut s = s_low;
+        for j in 0..=t {
+            let cont = c.pd * values[j + 1] + c.qd * values[j];
+            values[j] = if american { (phi * (s - option.strike)).max(cont) } else { cont };
+            s *= u2;
+        }
+    }
+    values[0]
+}
+
+/// Price `option` on an `n_steps` CRR lattice entirely in `f32` — the
+/// single-precision reference column of the paper's Table II.
+///
+/// # Panics
+/// Panics if `n_steps` is zero or the option is invalid.
+pub fn price_american_f32(option: &OptionParams, n_steps: usize) -> f32 {
+    let c = CrrParams::from_option(option, n_steps);
+    let phi = option.kind.phi() as f32;
+    let (spot, strike) = (option.spot as f32, option.strike as f32);
+    let (u, pd, qd) = (c.u as f32, c.pd as f32, c.qd as f32);
+    let n = n_steps;
+    let mut values: Vec<f32> = (0..=n)
+        .map(|j| {
+            let s = spot * u.powi(2 * j as i32 - n as i32);
+            (phi * (s - strike)).max(0.0)
+        })
+        .collect();
+    let american = option.style == ExerciseStyle::American;
+    let mut s_low = spot * u.powi(-(n as i32));
+    let u2 = u * u;
+    for t in (0..n).rev() {
+        s_low *= u;
+        let mut s = s_low;
+        for j in 0..=t {
+            let cont = pd * values[j + 1] + qd * values[j];
+            values[j] = if american { (phi * (s - strike)).max(cont) } else { cont };
+            s *= u2;
+        }
+    }
+    values[0]
+}
+
+/// Number of nodes updated when pricing one option on an `n`-step lattice:
+/// `n (n + 1) / 2` — the "tree nodes" unit of the paper's Table II
+/// throughput row.
+pub fn tree_nodes(n_steps: usize) -> u64 {
+    (n_steps as u64) * (n_steps as u64 + 1) / 2
+}
+
+/// A fully materialised lattice, for inspection and for regenerating the
+/// paper's Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinomialTree {
+    n_steps: usize,
+    /// `S(t,j)` by flat index `t (t + 1) / 2 + j`.
+    asset: Vec<f64>,
+    /// `V(t,j)` by the same flat index.
+    value: Vec<f64>,
+}
+
+impl BinomialTree {
+    /// Build the full tree for `option`.
+    ///
+    /// # Panics
+    /// Panics if `n_steps` is zero or the option is invalid.
+    pub fn build(option: &OptionParams, n_steps: usize) -> BinomialTree {
+        let c = CrrParams::from_option(option, n_steps);
+        let phi = option.kind.phi();
+        let american = option.style == ExerciseStyle::American;
+        let total = (n_steps + 1) * (n_steps + 2) / 2;
+        let mut asset = vec![0.0; total];
+        let mut value = vec![0.0; total];
+        let flat = |t: usize, j: usize| t * (t + 1) / 2 + j;
+        for t in (0..=n_steps).rev() {
+            for j in 0..=t {
+                let s = option.spot * c.u.powi(2 * j as i32 - t as i32);
+                asset[flat(t, j)] = s;
+                let exercise = (phi * (s - option.strike)).max(0.0);
+                value[flat(t, j)] = if t == n_steps {
+                    exercise
+                } else {
+                    let cont = c.pd * value[flat(t + 1, j + 1)] + c.qd * value[flat(t + 1, j)];
+                    if american {
+                        exercise.max(cont)
+                    } else {
+                        cont
+                    }
+                };
+            }
+        }
+        BinomialTree { n_steps, asset, value }
+    }
+
+    /// Number of time steps.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Asset price at node `(t, j)`.
+    ///
+    /// # Panics
+    /// Panics if `j > t` or `t > n_steps`.
+    pub fn asset(&self, t: usize, j: usize) -> f64 {
+        assert!(t <= self.n_steps && j <= t, "node ({t},{j}) outside the tree");
+        self.asset[t * (t + 1) / 2 + j]
+    }
+
+    /// Option value at node `(t, j)`.
+    ///
+    /// # Panics
+    /// Panics if `j > t` or `t > n_steps`.
+    pub fn value(&self, t: usize, j: usize) -> f64 {
+        assert!(t <= self.n_steps && j <= t, "node ({t},{j}) outside the tree");
+        self.value[t * (t + 1) / 2 + j]
+    }
+
+    /// The option price (root value).
+    pub fn price(&self) -> f64 {
+        self.value[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::black_scholes::bs_price;
+    use crate::types::{ExerciseStyle, OptionKind};
+
+    #[test]
+    fn crr_params_are_consistent() {
+        let c = CrrParams::from_option(&OptionParams::example(), 1024);
+        assert!((c.u * c.d - 1.0).abs() < 1e-14, "recombining: u d = 1");
+        assert!(c.is_risk_neutral());
+        assert!((c.pd + c.qd - c.discount).abs() < 1e-14);
+        assert!(c.discount < 1.0);
+    }
+
+    #[test]
+    fn european_converges_to_black_scholes() {
+        let mut opt = OptionParams::example();
+        opt.style = ExerciseStyle::European;
+        let bs = bs_price(&opt);
+        let mut last_err = f64::INFINITY;
+        for n in [64, 256, 1024] {
+            let err = (price_american_f64(&opt, n) - bs).abs();
+            assert!(err < last_err * 1.2, "error should (roughly) shrink with n={n}");
+            last_err = err;
+        }
+        assert!(last_err < 2e-3, "1024-step lattice within 0.2 cents of BS: {last_err}");
+    }
+
+    #[test]
+    fn american_call_no_dividends_equals_european() {
+        let mut amer = OptionParams::example();
+        amer.kind = OptionKind::Call;
+        let mut euro = amer;
+        euro.style = ExerciseStyle::European;
+        let pa = price_american_f64(&amer, 512);
+        let pe = price_american_f64(&euro, 512);
+        assert!((pa - pe).abs() < 1e-10, "no early exercise premium for calls: {pa} vs {pe}");
+    }
+
+    #[test]
+    fn american_put_carries_early_exercise_premium() {
+        let mut amer = OptionParams::example();
+        amer.kind = OptionKind::Put;
+        let mut euro = amer;
+        euro.style = ExerciseStyle::European;
+        let pa = price_american_f64(&amer, 512);
+        let pe = price_american_f64(&euro, 512);
+        assert!(pa > pe + 1e-4, "American put must exceed European: {pa} vs {pe}");
+        // And never below intrinsic.
+        assert!(pa >= amer.intrinsic());
+    }
+
+    #[test]
+    fn deep_itm_put_is_worth_about_intrinsic() {
+        let mut p = OptionParams::example();
+        p.kind = OptionKind::Put;
+        p.strike = 200.0;
+        let price = price_american_f64(&p, 512);
+        assert!(price >= 100.0 - 1e-9);
+        assert!(price < 101.5);
+    }
+
+    #[test]
+    fn f32_tracks_f64_loosely() {
+        let opt = OptionParams::example();
+        let p64 = price_american_f64(&opt, 256);
+        let p32 = price_american_f32(&opt, 256) as f64;
+        assert!((p64 - p32).abs() < 5e-3, "f32 drift too large: {p64} vs {p32}");
+        assert!((p64 - p32).abs() > 0.0, "precisions should differ measurably");
+    }
+
+    #[test]
+    fn tree_matches_flat_pricer_and_figure_one_shape() {
+        let opt = OptionParams::example();
+        let tree = BinomialTree::build(&opt, 16);
+        assert!((tree.price() - price_american_f64(&opt, 16)).abs() < 1e-12);
+        // Figure 1's structural claims: recombining, monotone S in j.
+        assert!((tree.asset(2, 1) - opt.spot).abs() < 1e-12, "up-down returns to S0");
+        for t in 0..=16 {
+            for j in 1..=t {
+                assert!(tree.asset(t, j) > tree.asset(t, j - 1));
+            }
+        }
+        assert_eq!(tree.n_steps(), 16);
+    }
+
+    #[test]
+    fn tree_node_count_formula() {
+        assert_eq!(tree_nodes(1024), 524_800);
+        assert_eq!(tree_nodes(2), 3);
+    }
+
+    #[test]
+    fn price_increases_with_volatility_and_maturity() {
+        let base = OptionParams::example();
+        let p0 = price_american_f64(&base, 256);
+        let mut high_vol = base;
+        high_vol.volatility = 0.4;
+        assert!(price_american_f64(&high_vol, 256) > p0);
+        let mut long_t = base;
+        long_t.expiry = 2.0;
+        assert!(price_american_f64(&long_t, 256) > p0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let _ = price_american_f64(&OptionParams::example(), 0);
+    }
+}

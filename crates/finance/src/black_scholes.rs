@@ -1,0 +1,167 @@
+//! Black-Scholes analytical pricing for European options.
+//!
+//! Used to validate lattice convergence and as the model behind the
+//! implied-volatility use case of the paper's introduction. The normal CDF
+//! is implemented from scratch (series for small arguments, a rational
+//! erfc approximation elsewhere, |error| < 2e-7 — far below the lattice
+//! discretisation error it is compared against) since no external math
+//! crates are used.
+
+use crate::types::{OptionKind, OptionParams};
+
+/// Standard normal cumulative distribution function.
+///
+/// Accuracy is better than 2e-7 absolute over the whole real line (exact
+/// series for |x| < 0.7).
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal probability density function.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Complementary error function: exact series for small arguments, a
+/// rational approximation in the tails (|abs err| < 1.2e-7).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    if z < 0.5 {
+        return 1.0 - erf_small(x);
+    }
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// Taylor/series erf for small arguments (|x| < 0.5), |err| < 1e-16.
+fn erf_small(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for k in 1..30 {
+        term *= -x2 / k as f64;
+        let add = term / (2 * k + 1) as f64;
+        sum += add;
+        if add.abs() < 1e-18 {
+            break;
+        }
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// The Black-Scholes `d1`, `d2` pair.
+fn d1_d2(o: &OptionParams) -> (f64, f64) {
+    let sqrt_t = o.expiry.sqrt();
+    let d1 = ((o.spot / o.strike).ln()
+        + (o.rate - o.dividend_yield + 0.5 * o.volatility * o.volatility) * o.expiry)
+        / (o.volatility * sqrt_t);
+    (d1, d1 - o.volatility * sqrt_t)
+}
+
+/// Black-Scholes price of a **European** option with `option`'s
+/// parameters. The `style` field is ignored (there is no closed form for
+/// American options — that is the paper's whole premise).
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_price(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (d1, d2) = d1_d2(option);
+    let df = (-option.rate * option.expiry).exp();
+    let qf = (-option.dividend_yield * option.expiry).exp();
+    match option.kind {
+        OptionKind::Call => option.spot * qf * norm_cdf(d1) - option.strike * df * norm_cdf(d2),
+        OptionKind::Put => option.strike * df * norm_cdf(-d2) - option.spot * qf * norm_cdf(-d1),
+    }
+}
+
+/// Black-Scholes vega (price sensitivity to volatility), used by the
+/// implied-volatility Newton iteration.
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_vega(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (d1, _) = d1_d2(option);
+    option.spot * (-option.dividend_yield * option.expiry).exp() * norm_pdf(d1) * option.expiry.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ExerciseStyle, OptionKind, OptionParams};
+
+    #[test]
+    fn norm_cdf_reference_points() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((norm_cdf(1.0) - 0.841344746068543).abs() < 1e-6);
+        assert!((norm_cdf(-1.0) - 0.158655253931457).abs() < 1e-6);
+        assert!((norm_cdf(2.0) - 0.977249868051821).abs() < 1e-6);
+        assert!(norm_cdf(8.0) > 1.0 - 1e-14);
+        assert!(norm_cdf(-8.0) < 1e-14);
+    }
+
+    #[test]
+    fn norm_cdf_is_monotone_and_symmetric() {
+        let mut last = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = norm_cdf(x);
+            assert!(v >= last - 1e-12);
+            assert!((v + norm_cdf(-x) - 1.0).abs() < 1e-9, "symmetry at {x}");
+            last = v;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn textbook_call_price() {
+        // Hull's classic example: S=42, K=40, r=0.1, sigma=0.2, T=0.5.
+        let o = OptionParams {
+            spot: 42.0,
+            strike: 40.0,
+            volatility: 0.2,
+            rate: 0.1,
+            expiry: 0.5,
+            dividend_yield: 0.0,
+            kind: OptionKind::Call,
+            style: ExerciseStyle::European,
+        };
+        assert!((bs_price(&o) - 4.759).abs() < 2e-3, "got {}", bs_price(&o));
+        let put = OptionParams { kind: OptionKind::Put, ..o };
+        assert!((bs_price(&put) - 0.808).abs() < 2e-3, "got {}", bs_price(&put));
+    }
+
+    #[test]
+    fn put_call_parity() {
+        let call = OptionParams::example();
+        let put = OptionParams { kind: OptionKind::Put, ..call };
+        let lhs = bs_price(&call) - bs_price(&put);
+        let rhs = call.spot - call.strike * (-call.rate * call.expiry).exp();
+        assert!((lhs - rhs).abs() < 1e-9, "parity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn vega_is_positive_and_peaks_near_the_money() {
+        let atm = OptionParams::example();
+        let mut otm = atm;
+        otm.strike = 160.0;
+        assert!(bs_vega(&atm) > 0.0);
+        assert!(bs_vega(&atm) > bs_vega(&otm));
+    }
+}

@@ -1,0 +1,147 @@
+//! Option sensitivities (Greeks) from the binomial lattice.
+//!
+//! An extension beyond the paper (its use case stops at prices and implied
+//! volatilities), but the natural next thing a trader computes from the
+//! same tree: delta, gamma and theta fall out of the first lattice levels
+//! for free (no extra pricing runs), while vega and rho use symmetric
+//! parameter bumps.
+
+use crate::binomial::{price_american_f64, BinomialTree};
+use crate::types::OptionParams;
+
+/// First- and second-order sensitivities of an option price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Greeks {
+    /// Price, for reference.
+    pub price: f64,
+    /// dV/dS.
+    pub delta: f64,
+    /// d²V/dS².
+    pub gamma: f64,
+    /// dV/dt (per year; negative for long options).
+    pub theta: f64,
+    /// dV/dsigma (per unit of volatility).
+    pub vega: f64,
+    /// dV/dr (per unit of rate).
+    pub rho: f64,
+}
+
+/// Relative bump used for vega/rho finite differences.
+const BUMP: f64 = 1e-4;
+
+/// Compute the Greeks of `option` on an `n_steps` lattice.
+///
+/// Delta, gamma and theta come from the tree itself (the standard
+/// lattice estimators using nodes (1,·) and (2,·)); vega and rho are
+/// central finite differences with re-pricing.
+///
+/// # Panics
+/// Panics if `n_steps < 2` or the option is invalid.
+pub fn lattice_greeks(option: &OptionParams, n_steps: usize) -> Greeks {
+    assert!(n_steps >= 2, "greeks need at least two lattice steps");
+    let tree = BinomialTree::build(option, n_steps);
+    let dt = option.expiry / n_steps as f64;
+
+    let (s_up, s_dn) = (tree.asset(1, 1), tree.asset(1, 0));
+    let (v_up, v_dn) = (tree.value(1, 1), tree.value(1, 0));
+    let delta = (v_up - v_dn) / (s_up - s_dn);
+
+    // Gamma from the three nodes at t = 2.
+    let (s_uu, s_ud, s_dd) = (tree.asset(2, 2), tree.asset(2, 1), tree.asset(2, 0));
+    let (v_uu, v_ud, v_dd) = (tree.value(2, 2), tree.value(2, 1), tree.value(2, 0));
+    let d_up = (v_uu - v_ud) / (s_uu - s_ud);
+    let d_dn = (v_ud - v_dd) / (s_ud - s_dd);
+    let gamma = (d_up - d_dn) / (0.5 * (s_uu - s_dd));
+
+    // Theta: V(2,1) sits at the initial spot, two steps of calendar time
+    // later (the recombining-tree trick).
+    let theta = (v_ud - tree.price()) / (2.0 * dt);
+
+    // Vega and rho by symmetric bumps.
+    let bump_price = |f: &dyn Fn(&mut OptionParams, f64)| {
+        let mut up = *option;
+        f(&mut up, BUMP);
+        let mut dn = *option;
+        f(&mut dn, -BUMP);
+        (price_american_f64(&up, n_steps) - price_american_f64(&dn, n_steps)) / (2.0 * BUMP)
+    };
+    let vega = bump_price(&|o, h| o.volatility += h);
+    let rho = bump_price(&|o, h| o.rate += h);
+
+    Greeks { price: tree.price(), delta, gamma, theta, vega, rho }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::black_scholes::{bs_price, bs_vega};
+    use crate::types::{ExerciseStyle, OptionKind};
+
+    fn european_example() -> OptionParams {
+        OptionParams { style: ExerciseStyle::European, ..OptionParams::example() }
+    }
+
+    #[test]
+    fn delta_bounds_and_signs() {
+        let n = 512;
+        let call = lattice_greeks(&OptionParams::example(), n);
+        assert!((0.0..=1.0).contains(&call.delta), "call delta in [0,1]: {}", call.delta);
+        let mut put = OptionParams::example();
+        put.kind = OptionKind::Put;
+        let put_greeks = lattice_greeks(&put, n);
+        assert!((-1.0..=0.0).contains(&put_greeks.delta), "put delta in [-1,0]");
+        assert!(call.gamma > 0.0, "long options are convex");
+        assert!(put_greeks.gamma > 0.0);
+        assert!(call.theta < 0.0, "time decay");
+        assert!(call.vega > 0.0);
+        assert!(call.rho > 0.0, "call rho positive");
+        assert!(put_greeks.rho < 0.0, "American put rho negative");
+    }
+
+    #[test]
+    fn european_greeks_match_black_scholes() {
+        let o = european_example();
+        let n = 1024;
+        let g = lattice_greeks(&o, n);
+        // Analytic BS delta for a call: e^{-qT} N(d1).
+        let eps = 1e-4;
+        let mut up = o;
+        up.spot += eps;
+        let mut dn = o;
+        dn.spot -= eps;
+        let bs_delta = (bs_price(&up) - bs_price(&dn)) / (2.0 * eps);
+        assert!((g.delta - bs_delta).abs() < 5e-3, "{} vs {}", g.delta, bs_delta);
+        assert!((g.vega - bs_vega(&o)).abs() < 0.2, "{} vs {}", g.vega, bs_vega(&o));
+    }
+
+    #[test]
+    fn deep_itm_call_delta_approaches_one() {
+        let mut o = OptionParams::example();
+        o.strike = 40.0;
+        let g = lattice_greeks(&o, 256);
+        assert!(g.delta > 0.97, "deep ITM delta: {}", g.delta);
+        assert!(g.gamma.abs() < 0.01, "deep ITM gamma vanishes");
+    }
+
+    #[test]
+    fn dividends_create_early_exercise_premium_for_calls() {
+        // Without dividends an American call is European; with a fat
+        // dividend yield, early exercise gains value.
+        let mut with_div = OptionParams::example();
+        with_div.dividend_yield = 0.08;
+        let mut euro = with_div;
+        euro.style = ExerciseStyle::European;
+        let amer_price = price_american_f64(&with_div, 512);
+        let euro_price = price_american_f64(&euro, 512);
+        assert!(
+            amer_price > euro_price + 1e-4,
+            "dividends make American calls worth more: {amer_price} vs {euro_price}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_steps_panics() {
+        let _ = lattice_greeks(&OptionParams::example(), 1);
+    }
+}

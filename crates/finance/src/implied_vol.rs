@@ -1,0 +1,206 @@
+//! Implied-volatility inversion — the paper's motivating use case.
+//!
+//! "When a volatility curve of an option with a specific set of parameters
+//! is known, a trader can replace the constant volatility used to model
+//! the evolution of this option with the computed volatility" (paper,
+//! Section I). Given a market price, this module recovers the volatility
+//! that reproduces it under a pricing function — Newton's method with the
+//! Black-Scholes vega as the slope estimate, bracketed by bisection for
+//! robustness, generic over the pricer so it works with the analytical
+//! model, the native lattice, or an accelerator.
+
+use crate::black_scholes::{bs_price, bs_vega};
+use crate::types::OptionParams;
+use std::fmt;
+
+/// Failure of the implied-volatility search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImpliedVolError {
+    /// The target price is below intrinsic or above the spot — no
+    /// volatility can produce it.
+    PriceOutOfRange {
+        /// The unobtainable target.
+        target: f64,
+        /// Attainable range.
+        bounds: (f64, f64),
+    },
+    /// The iteration failed to converge within the budget.
+    NoConvergence {
+        /// Last bracket width.
+        width: f64,
+    },
+}
+
+impl fmt::Display for ImpliedVolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpliedVolError::PriceOutOfRange { target, bounds } => {
+                write!(f, "price {target} outside attainable range [{}, {}]", bounds.0, bounds.1)
+            }
+            ImpliedVolError::NoConvergence { width } => {
+                write!(f, "no convergence (bracket width {width})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImpliedVolError {}
+
+/// Volatility search bounds.
+const VOL_LO: f64 = 1e-4;
+const VOL_HI: f64 = 4.0;
+const TOLERANCE: f64 = 1e-9;
+const MAX_ITERS: usize = 100;
+
+/// Recover the volatility at which `pricer` reproduces `target_price` for
+/// `option` (its `volatility` field is ignored).
+///
+/// `pricer` is any monotone-in-volatility pricing function — pass
+/// `|o| bs_price(o)` for the analytical model, or an accelerator's batch
+/// pricer for the paper's scenario.
+///
+/// ```
+/// use bop_finance::{bs_price, implied_volatility, ExerciseStyle, OptionParams};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut option = OptionParams::example();
+/// option.style = ExerciseStyle::European;
+/// option.volatility = 0.3;
+/// let market_price = bs_price(&option);
+/// let recovered = implied_volatility(&option, market_price, |o| bs_price(o))?;
+/// assert!((recovered - 0.3).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns [`ImpliedVolError`] when the target price is unattainable or
+/// the search fails to converge.
+pub fn implied_volatility<F>(
+    option: &OptionParams,
+    target_price: f64,
+    mut pricer: F,
+) -> Result<f64, ImpliedVolError>
+where
+    F: FnMut(&OptionParams) -> f64,
+{
+    let at = |vol: f64, pricer: &mut F| {
+        let mut o = *option;
+        o.volatility = vol;
+        pricer(&o)
+    };
+    let hi_price = at(VOL_HI, &mut pricer);
+    // Lattice pricers lose risk-neutrality below sigma^2 < r dt (the CRR
+    // up-probability exceeds 1 and backward induction diverges); probe the
+    // lower bracket upward until the pricer behaves.
+    let mut lo = VOL_LO;
+    let mut lo_price = at(lo, &mut pricer);
+    while !(lo_price.is_finite() && lo_price <= hi_price) && lo < VOL_HI / 8.0 {
+        lo *= 4.0;
+        lo_price = at(lo, &mut pricer);
+    }
+    if target_price < lo_price - TOLERANCE || target_price > hi_price + TOLERANCE {
+        return Err(ImpliedVolError::PriceOutOfRange {
+            target: target_price,
+            bounds: (lo_price, hi_price),
+        });
+    }
+
+    let mut hi = VOL_HI;
+    // Start Newton from the classic Brenner-Subrahmanyam seed.
+    let mut vol = ((2.0 * std::f64::consts::PI / option.expiry).sqrt() * target_price
+        / option.spot)
+        .clamp(0.05, 1.0);
+    for _ in 0..MAX_ITERS {
+        let price = at(vol, &mut pricer);
+        let diff = price - target_price;
+        if diff.abs() < TOLERANCE {
+            return Ok(vol);
+        }
+        if diff > 0.0 {
+            hi = vol;
+        } else {
+            lo = vol;
+        }
+        // Newton step using the analytical vega as slope estimate (a good
+        // preconditioner even when `pricer` is a lattice).
+        let mut o = *option;
+        o.volatility = vol;
+        let vega = bs_vega(&o);
+        let newton = if vega > 1e-12 { vol - diff / vega } else { f64::NAN };
+        vol = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi) // bisection fallback
+        };
+        if hi - lo < 1e-12 {
+            return Ok(vol);
+        }
+    }
+    Err(ImpliedVolError::NoConvergence { width: hi - lo })
+}
+
+/// Convenience: implied volatility under the Black-Scholes model.
+///
+/// # Errors
+/// See [`implied_volatility`].
+pub fn bs_implied_volatility(
+    option: &OptionParams,
+    target_price: f64,
+) -> Result<f64, ImpliedVolError> {
+    implied_volatility(option, target_price, bs_price)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::price_american_f64;
+    use crate::types::{ExerciseStyle, OptionKind};
+
+    #[test]
+    fn round_trip_through_black_scholes() {
+        for true_vol in [0.08, 0.2, 0.55, 1.2] {
+            let mut o = OptionParams::example();
+            o.style = ExerciseStyle::European;
+            o.volatility = true_vol;
+            let price = bs_price(&o);
+            let recovered = bs_implied_volatility(&o, price).expect("solves");
+            assert!(
+                (recovered - true_vol).abs() < 1e-7,
+                "vol {true_vol}: recovered {recovered}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_through_the_lattice() {
+        let mut o = OptionParams::example();
+        o.kind = OptionKind::Put;
+        o.volatility = 0.3;
+        let price = price_american_f64(&o, 256);
+        let recovered =
+            implied_volatility(&o, price, |opt| price_american_f64(opt, 256)).expect("solves");
+        assert!((recovered - 0.3).abs() < 1e-6, "recovered {recovered}");
+    }
+
+    #[test]
+    fn unattainable_price_is_rejected() {
+        let o = OptionParams::example();
+        let err = bs_implied_volatility(&o, 1e4).expect_err("too expensive");
+        assert!(matches!(err, ImpliedVolError::PriceOutOfRange { .. }));
+        let err = bs_implied_volatility(&o, -1.0).expect_err("negative");
+        assert!(matches!(err, ImpliedVolError::PriceOutOfRange { .. }));
+    }
+
+    #[test]
+    fn works_across_moneyness() {
+        for strike in [60.0, 90.0, 100.0, 120.0, 180.0] {
+            let mut o = OptionParams::example();
+            o.style = ExerciseStyle::European;
+            o.strike = strike;
+            o.volatility = 0.25;
+            let price = bs_price(&o);
+            let recovered = bs_implied_volatility(&o, price).expect("solves");
+            assert!((recovered - 0.25).abs() < 1e-6, "strike {strike}: {recovered}");
+        }
+    }
+}

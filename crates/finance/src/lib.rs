@@ -1,0 +1,38 @@
+//! # bop-finance — option pricing mathematics and workloads
+//!
+//! The financial substrate of the DATE 2014 reproduction:
+//!
+//! * [`types`] — option parameter types;
+//! * [`binomial`] — the Cox-Ross-Rubinstein lattice model the paper
+//!   accelerates, in the exact recurrence form of the paper's Equation (1),
+//!   for American and European calls and puts, in `f64` and `f32`;
+//! * [`black_scholes`] — the analytical European price used to validate
+//!   lattice convergence and to drive the implied-volatility use case;
+//! * [`implied_vol`] — the solver behind the paper's motivating scenario
+//!   (a trader extracting a 2000-point volatility curve per second);
+//! * [`workload`] — synthetic market-data generators for that scenario;
+//! * [`metrics`] — RMSE and friends, the accuracy columns of Table II.
+//!
+//! The native pricer here is the "reference software" of the paper's test
+//! environment (Section V.A): every accelerator result is checked against
+//! it, and the CPU row of Table II is built on its timing model in
+//! `bop-cpu`.
+
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod black_scholes;
+pub mod fixedpoint;
+pub mod greeks;
+pub mod implied_vol;
+pub mod metrics;
+pub mod montecarlo;
+pub mod types;
+pub mod workload;
+
+pub use binomial::{price_american_f32, price_american_f64, BinomialTree, CrrParams};
+pub use black_scholes::bs_price;
+pub use greeks::{lattice_greeks, Greeks};
+pub use implied_vol::implied_volatility;
+pub use metrics::{max_abs_error, rmse};
+pub use types::{ExerciseStyle, OptionKind, OptionParams};

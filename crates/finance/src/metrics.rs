@@ -1,0 +1,68 @@
+//! Accuracy metrics — the RMSE column of the paper's Table II.
+
+/// Root-mean-square error between `got` and `reference`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(got: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(got.len(), reference.len(), "rmse over mismatched lengths");
+    assert!(!got.is_empty(), "rmse of an empty set");
+    let sum: f64 = got.iter().zip(reference).map(|(a, b)| (a - b) * (a - b)).sum();
+    (sum / got.len() as f64).sqrt()
+}
+
+/// Largest absolute error between `got` and `reference`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn max_abs_error(got: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(got.len(), reference.len(), "max error over mismatched lengths");
+    assert!(!got.is_empty(), "max error of an empty set");
+    got.iter().zip(reference).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_abs_error(got: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(got.len(), reference.len(), "mean error over mismatched lengths");
+    assert!(!got.is_empty(), "mean error of an empty set");
+    got.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum::<f64>() / got.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_inputs() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&v, &v), 0.0);
+        assert_eq!(max_abs_error(&v, &v), 0.0);
+        assert_eq!(mean_abs_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let got = [1.0, 2.0, 3.0, 4.0];
+        let reference = [1.0, 2.0, 3.0, 2.0]; // single error of 2
+        assert!((rmse(&got, &reference) - 1.0).abs() < 1e-12);
+        assert_eq!(max_abs_error(&got, &reference), 2.0);
+        assert_eq!(mean_abs_error(&got, &reference), 0.5);
+    }
+
+    #[test]
+    fn rmse_dominated_by_outliers_vs_mean() {
+        let got = [0.0, 0.0, 0.0, 10.0];
+        let reference = [0.0; 4];
+        assert!(rmse(&got, &reference) > mean_abs_error(&got, &reference));
+        assert!(rmse(&got, &reference) <= max_abs_error(&got, &reference));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic market-data workloads.
+//!
+//! The paper's use case prices 2000 option values per volatility curve, one
+//! curve per second, "generated from market data and reference prices"
+//! that we do not have. This module builds the closest synthetic
+//! equivalent: strikes laddered across moneyness with a parametric
+//! volatility smile, optionally across several maturities (a surface).
+//! Generation is deterministic per seed.
+
+use crate::types::{ExerciseStyle, OptionKind, OptionParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parametric volatility smile: `sigma(K) = sigma0 + skew m + curv m^2`
+/// with `m = ln(K / S0)`, clamped to a sane band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolatilitySmile {
+    /// At-the-money volatility.
+    pub sigma0: f64,
+    /// Linear skew (negative for equity-like markets).
+    pub skew: f64,
+    /// Smile curvature.
+    pub curvature: f64,
+}
+
+impl VolatilitySmile {
+    /// A typical equity-index smile.
+    pub fn equity() -> VolatilitySmile {
+        VolatilitySmile { sigma0: 0.22, skew: -0.12, curvature: 0.25 }
+    }
+
+    /// The smile volatility at log-moneyness `m`.
+    pub fn vol_at(&self, m: f64) -> f64 {
+        (self.sigma0 + self.skew * m + self.curvature * m * m).clamp(0.02, 2.0)
+    }
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Spot of the underlying.
+    pub spot: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Smile parameters.
+    pub smile: VolatilitySmile,
+    /// Moneyness range: strikes span `spot * exp(±range)`.
+    pub moneyness_range: f64,
+    /// Relative jitter on strikes/vols (models noisy quotes), 0 disables.
+    pub jitter: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            spot: 100.0,
+            rate: 0.03,
+            smile: VolatilitySmile::equity(),
+            moneyness_range: 0.35,
+            jitter: 0.01,
+        }
+    }
+}
+
+/// Generate one volatility curve: `n_options` American calls at a single
+/// maturity with strikes laddered across the moneyness range — the
+/// "2000 option values per volatility curve" batch of the paper's
+/// introduction.
+pub fn volatility_curve(
+    config: &WorkloadConfig,
+    expiry: f64,
+    n_options: usize,
+    seed: u64,
+) -> Vec<OptionParams> {
+    assert!(n_options > 0, "empty workload");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_options)
+        .map(|i| {
+            let frac = if n_options == 1 { 0.5 } else { i as f64 / (n_options - 1) as f64 };
+            let m = (2.0 * frac - 1.0) * config.moneyness_range;
+            let jitter = |rng: &mut StdRng| {
+                if config.jitter > 0.0 {
+                    1.0 + rng.random_range(-config.jitter..config.jitter)
+                } else {
+                    1.0
+                }
+            };
+            let strike = config.spot * m.exp() * jitter(&mut rng);
+            let volatility = config.smile.vol_at(m) * jitter(&mut rng);
+            OptionParams {
+                spot: config.spot,
+                strike,
+                volatility,
+                rate: config.rate,
+                expiry,
+                dividend_yield: 0.0,
+                kind: OptionKind::Call,
+                style: ExerciseStyle::American,
+            }
+        })
+        .collect()
+}
+
+/// Generate a full surface: `maturities.len()` curves of `per_curve`
+/// options each.
+pub fn volatility_surface(
+    config: &WorkloadConfig,
+    maturities: &[f64],
+    per_curve: usize,
+    seed: u64,
+) -> Vec<OptionParams> {
+    maturities
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &t)| volatility_curve(config, t, per_curve, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// The paper's standard batch: 2000 American options, one curve, one year.
+pub fn paper_batch(seed: u64) -> Vec<OptionParams> {
+    volatility_curve(&WorkloadConfig::default(), 1.0, 2000, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_deterministic_per_seed() {
+        let c = WorkloadConfig::default();
+        let a = volatility_curve(&c, 1.0, 100, 7);
+        let b = volatility_curve(&c, 1.0, 100, 7);
+        let other = volatility_curve(&c, 1.0, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn all_generated_options_are_valid() {
+        for opt in paper_batch(42) {
+            opt.validate().expect("generated option must be valid");
+        }
+    }
+
+    #[test]
+    fn paper_batch_has_2000_options() {
+        assert_eq!(paper_batch(1).len(), 2000);
+    }
+
+    #[test]
+    fn strikes_ladder_across_the_range() {
+        let c = WorkloadConfig { jitter: 0.0, ..Default::default() };
+        let opts = volatility_curve(&c, 1.0, 51, 0);
+        assert!(opts.first().expect("nonempty").strike < c.spot * 0.75);
+        assert!(opts.last().expect("nonempty").strike > c.spot * 1.3);
+        for w in opts.windows(2) {
+            assert!(w[1].strike > w[0].strike, "strikes strictly increasing without jitter");
+        }
+    }
+
+    #[test]
+    fn smile_shape_skews_down_and_curves_up() {
+        let s = VolatilitySmile::equity();
+        let atm = s.vol_at(0.0);
+        assert!(s.vol_at(-0.3) > atm, "low strikes richer (skew)");
+        assert!(s.vol_at(0.4) > s.vol_at(0.2), "far wing lifted by curvature");
+        assert!(s.vol_at(-10.0) <= 2.0, "clamped");
+    }
+
+    #[test]
+    fn surface_stacks_curves() {
+        let c = WorkloadConfig::default();
+        let s = volatility_surface(&c, &[0.25, 0.5, 1.0], 10, 3);
+        assert_eq!(s.len(), 30);
+        assert_eq!(s[0].expiry, 0.25);
+        assert_eq!(s[29].expiry, 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the pricing mathematics: no-arbitrage bounds,
+//! monotonicity, convergence and inversion invariants, over random market
+//! parameters.
+
+use bop_finance::binomial::{price_american_f32, price_american_f64};
+use bop_finance::black_scholes::bs_price;
+use bop_finance::implied_vol::implied_volatility;
+use bop_finance::types::{ExerciseStyle, OptionKind, OptionParams};
+use proptest::prelude::*;
+
+fn option_strategy() -> impl Strategy<Value = OptionParams> {
+    (
+        20.0..300.0f64,  // spot
+        20.0..300.0f64,  // strike
+        0.08..0.8f64,    // volatility (bounded away from the CRR p>1 region)
+        0.0..0.08f64,    // rate
+        0.1..2.5f64,     // expiry
+        0.0..0.04f64,    // dividend yield
+        prop::bool::ANY, // call/put
+        prop::bool::ANY, // european/american
+    )
+        .prop_map(
+            |(spot, strike, volatility, rate, expiry, dividend_yield, call, american)| {
+                OptionParams {
+                    spot,
+                    strike,
+                    volatility,
+                    rate,
+                    expiry,
+                    dividend_yield,
+                    kind: if call { OptionKind::Call } else { OptionKind::Put },
+                    style: if american {
+                        ExerciseStyle::American
+                    } else {
+                        ExerciseStyle::European
+                    },
+                }
+            },
+        )
+}
+
+const N: usize = 96;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No-arbitrage bounds: intrinsic <= price <= spot (calls) or strike
+    /// (puts), and prices are never negative.
+    #[test]
+    fn prices_respect_no_arbitrage_bounds(o in option_strategy()) {
+        let p = price_american_f64(&o, N);
+        prop_assert!(p >= -1e-12, "negative price {p}");
+        if o.style == ExerciseStyle::American {
+            prop_assert!(p + 1e-9 >= o.intrinsic(), "below intrinsic: {p} < {}", o.intrinsic());
+        }
+        match o.kind {
+            OptionKind::Call => prop_assert!(p <= o.spot * (1.0 + 1e-12)),
+            OptionKind::Put => prop_assert!(p <= o.strike * (1.0 + 1e-12)),
+        }
+    }
+
+    /// American >= European, always.
+    #[test]
+    fn american_dominates_european(mut o in option_strategy()) {
+        o.style = ExerciseStyle::American;
+        let amer = price_american_f64(&o, N);
+        o.style = ExerciseStyle::European;
+        let euro = price_american_f64(&o, N);
+        prop_assert!(amer + 1e-9 >= euro, "{amer} < {euro}");
+    }
+
+    /// Prices increase with volatility.
+    #[test]
+    fn vega_is_nonnegative(mut o in option_strategy(), bump in 0.01..0.3f64) {
+        let p0 = price_american_f64(&o, N);
+        o.volatility += bump;
+        let p1 = price_american_f64(&o, N);
+        prop_assert!(p1 + 1e-9 >= p0, "price fell with vol: {p0} -> {p1}");
+    }
+
+    /// Calls fall and puts rise with the strike.
+    #[test]
+    fn strike_monotonicity(mut o in option_strategy(), bump in 1.0..40.0f64) {
+        let p0 = price_american_f64(&o, N);
+        o.strike += bump;
+        let p1 = price_american_f64(&o, N);
+        match o.kind {
+            OptionKind::Call => prop_assert!(p1 <= p0 + 1e-9),
+            OptionKind::Put => prop_assert!(p1 + 1e-9 >= p0),
+        }
+    }
+
+    /// The European lattice price converges to Black-Scholes.
+    #[test]
+    fn european_lattice_tracks_black_scholes(mut o in option_strategy()) {
+        o.style = ExerciseStyle::European;
+        let lattice = price_american_f64(&o, 512);
+        let analytic = bs_price(&o);
+        let tolerance = 0.01 * (analytic.abs() + o.spot * 0.01);
+        prop_assert!(
+            (lattice - analytic).abs() < tolerance,
+            "lattice {lattice} vs BS {analytic}"
+        );
+    }
+
+    /// Single precision stays close to double precision.
+    #[test]
+    fn f32_is_a_small_perturbation(o in option_strategy()) {
+        let dbl = price_american_f64(&o, N);
+        let sgl = price_american_f32(&o, N) as f64;
+        prop_assert!((dbl - sgl).abs() < 0.05 + dbl.abs() * 1e-3, "{dbl} vs {sgl}");
+    }
+
+    /// Implied volatility inverts pricing (where vega is meaningful).
+    #[test]
+    fn implied_vol_round_trips(mut o in option_strategy()) {
+        // Stay where the problem is well-conditioned: near-the-money
+        // European options with visible time value.
+        o.style = ExerciseStyle::European;
+        o.strike = o.spot * (0.8 + (o.strike / 300.0) * 0.4);
+        let price = bs_price(&o);
+        prop_assume!(price > 0.05 && price < o.spot * 0.95);
+        let recovered = implied_volatility(&o, price, bs_price);
+        prop_assert!(recovered.is_ok(), "inversion failed: {recovered:?}");
+        let vol = recovered.expect("checked");
+        prop_assert!((vol - o.volatility).abs() < 1e-5, "{} vs {}", vol, o.volatility);
+    }
+
+    /// More lattice steps never blow up and stay in a tight band of the
+    /// fine-lattice answer (Richardson-style sanity).
+    #[test]
+    fn refinement_is_stable(o in option_strategy()) {
+        let coarse = price_american_f64(&o, 64);
+        let fine = price_american_f64(&o, 256);
+        prop_assert!((coarse - fine).abs() < 0.05 + fine.abs() * 0.02, "{coarse} vs {fine}");
+    }
+}

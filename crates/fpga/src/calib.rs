@@ -1,0 +1,85 @@
+//! Frozen calibration constants.
+//!
+//! Per the calibration policy in `DESIGN.md`, the model has exactly two
+//! fitted curves, both anchored once on the paper's Table I and then
+//! reused unchanged for every experiment:
+//!
+//! * **Fmax derating** — `fmax = base / (1 + A·util^B)`, solved from the
+//!   two Table I anchor points (99% utilization → 98.27 MHz, 66% →
+//!   162.62 MHz with a 250 MHz base);
+//! * **Power** — `P = P_static + K·f_MHz·(u_logic + W_DSP·u_dsp +
+//!   W_RAM·u_ram)`, solved from the same two rows (15 W and 17 W).
+//!
+//! Everything else in the resource model is a per-operator cost table
+//! ([`crate::costs`]) with datasheet-plausible values.
+
+/// Fmax derating numerator coefficient `A`.
+pub const FMAX_DERATE_A: f64 = 1.59;
+/// Fmax derating exponent `B`.
+pub const FMAX_DERATE_B: f64 = 2.59;
+
+/// Static power of the powered-up FPGA, watts.
+pub const POWER_STATIC_W: f64 = 4.0;
+/// Dynamic power coefficient `K` (watts per MHz per unit utilization).
+pub const POWER_DYN_K: f64 = 0.1006;
+/// DSP weight in the dynamic-power utilization mix.
+pub const POWER_W_DSP: f64 = 0.13;
+/// Block-RAM weight in the dynamic-power utilization mix.
+pub const POWER_W_RAM: f64 = 0.10;
+
+/// Derated kernel clock for a design at `util` logic utilization.
+pub fn fmax_hz(base_fmax_hz: f64, util: f64) -> f64 {
+    let u = util.clamp(0.0, 1.0);
+    base_fmax_hz / (1.0 + FMAX_DERATE_A * u.powf(FMAX_DERATE_B))
+}
+
+/// Estimated power for a design running at `fmax_hz` with the given
+/// utilizations.
+pub fn power_watts(fmax_hz: f64, util_logic: f64, util_dsp: f64, util_ram: f64) -> f64 {
+    POWER_STATIC_W
+        + POWER_DYN_K
+            * (fmax_hz / 1e6)
+            * (util_logic + POWER_W_DSP * util_dsp + POWER_W_RAM * util_ram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmax_hits_table_one_anchors() {
+        // Kernel IV.A: 99% utilization -> 98.27 MHz.
+        let f_a = fmax_hz(250e6, 0.99);
+        assert!((f_a / 1e6 - 98.27).abs() < 3.0, "IV.A anchor: got {} MHz", f_a / 1e6);
+        // Kernel IV.B: 66% utilization -> 162.62 MHz.
+        let f_b = fmax_hz(250e6, 0.66);
+        assert!((f_b / 1e6 - 162.62).abs() < 3.0, "IV.B anchor: got {} MHz", f_b / 1e6);
+    }
+
+    #[test]
+    fn fmax_monotonically_decreases_with_utilization() {
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            let f = fmax_hz(250e6, i as f64 / 10.0);
+            assert!(f < last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn power_hits_table_one_anchors() {
+        // Kernel IV.A: 99% logic, 57% DSP, 52% RAM at 98.27 MHz -> 15 W.
+        let p_a = power_watts(98.27e6, 0.99, 0.572, 0.523);
+        assert!((p_a - 15.0).abs() < 0.5, "IV.A power anchor: got {p_a} W");
+        // Kernel IV.B: 66% logic, 74% DSP, 39% RAM at 162.62 MHz -> 17 W.
+        let p_b = power_watts(162.62e6, 0.66, 0.742, 0.385);
+        assert!((p_b - 17.0).abs() < 0.5, "IV.B power anchor: got {p_b} W");
+    }
+
+    #[test]
+    fn power_grows_with_clock_and_utilization() {
+        assert!(power_watts(200e6, 0.5, 0.5, 0.5) > power_watts(100e6, 0.5, 0.5, 0.5));
+        assert!(power_watts(100e6, 0.9, 0.5, 0.5) > power_watts(100e6, 0.3, 0.5, 0.5));
+        assert!(power_watts(100e6, 0.0, 0.0, 0.0) >= POWER_STATIC_W);
+    }
+}

@@ -1,0 +1,277 @@
+//! Operator cost library: what each IR operation costs in FPGA fabric.
+//!
+//! Values are datasheet-plausible for Stratix IV floating-point megafunction
+//! cores and Altera OpenCL LSUs (load/store units). The composite `pow`
+//! core (log → multiply → exp) is the paper's problem operator; it is both
+//! the largest datapath block and — in its 13.0 incarnation — the
+//! inaccurate one (modeled in `bop_clir::mathlib::DeviceMath`).
+
+use bop_clir::ir::{BinOp, Builtin, Function, Inst};
+use bop_clir::types::{AddressSpace, ScalarType};
+use bop_ocl::ResourceUsage;
+
+/// Cost of one hardware operator instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCost {
+    /// Combinational ALUTs.
+    pub aluts: u64,
+    /// Flip-flops.
+    pub registers: u64,
+    /// 18-bit DSP elements.
+    pub dsp18: u64,
+    /// Block-memory bits (burst FIFOs, caches).
+    pub memory_bits: u64,
+    /// Pipeline latency, cycles.
+    pub latency: u32,
+}
+
+impl OpCost {
+    const fn new(aluts: u64, registers: u64, dsp18: u64, memory_bits: u64, latency: u32) -> OpCost {
+        OpCost { aluts, registers, dsp18, memory_bits, latency }
+    }
+
+    /// Add into a [`ResourceUsage`] accumulator.
+    pub fn accumulate(&self, acc: &mut ResourceUsage) {
+        acc.aluts += self.aluts;
+        acc.registers += self.registers;
+        acc.dsp18 += self.dsp18;
+        acc.memory_bits += self.memory_bits;
+    }
+}
+
+const F64_ADD: OpCost = OpCost::new(680, 1150, 0, 0, 7);
+const F64_MUL: OpCost = OpCost::new(280, 650, 13, 0, 9);
+const F64_DIV: OpCost = OpCost::new(3100, 5600, 14, 0, 24);
+const F64_CMP: OpCost = OpCost::new(120, 130, 0, 0, 2);
+const F64_EXP: OpCost = OpCost::new(2700, 3900, 20, 18_432, 17);
+const F64_LOG: OpCost = OpCost::new(3100, 4500, 28, 18_432, 21);
+const F64_POW: OpCost = OpCost::new(3600, 8600, 48, 36_864, 49); // log + mul + exp
+const F64_SQRT: OpCost = OpCost::new(2100, 2900, 0, 0, 16);
+
+const INT_ALU: OpCost = OpCost::new(64, 64, 0, 0, 1);
+const INT_MUL: OpCost = OpCost::new(90, 120, 2, 0, 3);
+const CAST: OpCost = OpCost::new(180, 260, 0, 0, 3);
+const SELECT: OpCost = OpCost::new(100, 70, 0, 0, 1);
+
+/// A global-memory load/store unit: burst buffers live in block RAM.
+const GLOBAL_LSU: OpCost = OpCost::new(2450, 4800, 4, 147_456, 12);
+/// A local-memory port into the M9K interconnect.
+const LOCAL_PORT: OpCost = OpCost::new(160, 210, 0, 0, 3);
+/// A private (register-file) access.
+const PRIVATE_PORT: OpCost = OpCost::new(40, 90, 0, 0, 1);
+/// Work-group barrier controller.
+const BARRIER: OpCost = OpCost::new(150, 520, 0, 61_440, 2);
+/// Work-item id generator tap.
+const WI_QUERY: OpCost = OpCost::new(60, 90, 0, 0, 1);
+
+fn scale_f32(c: OpCost) -> OpCost {
+    OpCost {
+        aluts: c.aluts * 2 / 5,
+        registers: c.registers * 2 / 5,
+        dsp18: c.dsp18.div_ceil(3),
+        memory_bits: c.memory_bits / 2,
+        latency: (c.latency * 3).div_ceil(4),
+    }
+}
+
+fn float_cost(base: OpCost, ty: ScalarType) -> OpCost {
+    if ty == ScalarType::F32 {
+        scale_f32(base)
+    } else {
+        base
+    }
+}
+
+/// The hardware cost of one IR instruction instance.
+pub fn inst_cost(inst: &Inst) -> OpCost {
+    match inst {
+        Inst::Const { .. } | Inst::Mov { .. } => OpCost::default(),
+        Inst::Bin { op, ty, .. } => {
+            if ty.is_float() {
+                match op {
+                    BinOp::Add | BinOp::Sub => float_cost(F64_ADD, *ty),
+                    BinOp::Mul => float_cost(F64_MUL, *ty),
+                    BinOp::Div | BinOp::Rem => float_cost(F64_DIV, *ty),
+                    BinOp::Min | BinOp::Max => float_cost(F64_CMP, *ty),
+                    _ => INT_ALU,
+                }
+            } else if *op == BinOp::Mul {
+                INT_MUL
+            } else {
+                INT_ALU
+            }
+        }
+        Inst::Un { ty, .. } => {
+            if ty.is_float() {
+                float_cost(F64_CMP, *ty)
+            } else {
+                INT_ALU
+            }
+        }
+        Inst::Cmp { ty, .. } => {
+            if ty.is_float() {
+                float_cost(F64_CMP, *ty)
+            } else {
+                INT_ALU
+            }
+        }
+        Inst::Select { .. } => SELECT,
+        Inst::Cast { from, to, .. } => {
+            if from.is_float() || to.is_float() {
+                CAST
+            } else {
+                INT_ALU
+            }
+        }
+        Inst::Call { func, ty, .. } => match func {
+            Builtin::Exp => float_cost(F64_EXP, *ty),
+            Builtin::Log => float_cost(F64_LOG, *ty),
+            Builtin::Pow => float_cost(F64_POW, *ty),
+            Builtin::Sqrt => float_cost(F64_SQRT, *ty),
+        },
+        Inst::WorkItem { .. } => WI_QUERY,
+        Inst::Gep { .. } => INT_ALU,
+        Inst::Load { .. } | Inst::Store { .. } => OpCost::default(), // charged per site below
+        Inst::Barrier => BARRIER,
+    }
+}
+
+/// Memory-access sites of a function, by address space. Each *site*
+/// becomes a hardware load/store unit or memory port; SIMD widens sites
+/// rather than duplicating them (vectorized accesses coalesce).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessSites {
+    /// Global/constant-memory LSUs.
+    pub global: u32,
+    /// Local-memory ports.
+    pub local: u32,
+    /// Private register-file ports.
+    pub private: u32,
+}
+
+/// Count access sites and classify pointer address spaces from register
+/// types.
+pub fn access_sites(func: &Function) -> AccessSites {
+    let mut sites = AccessSites::default();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            let ptr = match inst {
+                Inst::Load { ptr, .. } => Some(ptr),
+                Inst::Store { ptr, .. } => Some(ptr),
+                _ => None,
+            };
+            if let Some(ptr) = ptr {
+                match func.reg_type(*ptr) {
+                    bop_clir::types::Type::Ptr(AddressSpace::Global | AddressSpace::Constant, _) => {
+                        sites.global += 1
+                    }
+                    bop_clir::types::Type::Ptr(AddressSpace::Local, _) => sites.local += 1,
+                    bop_clir::types::Type::Ptr(AddressSpace::Private, _) => sites.private += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Cost of the memory interfaces for the counted sites at the given SIMD
+/// width: LSUs widen by `1 + 0.45 (simd - 1)` (coalescing), ports by the
+/// full SIMD factor.
+pub fn memory_cost(sites: AccessSites, simd: u32) -> OpCost {
+    let widen = |c: OpCost, n: u64| OpCost {
+        aluts: c.aluts * n,
+        registers: c.registers * n,
+        dsp18: c.dsp18 * n,
+        memory_bits: c.memory_bits * n,
+        latency: c.latency,
+    };
+    let lsu_scale = (100 + 45 * (simd as u64 - 1)).max(100); // percent
+    let g = widen(GLOBAL_LSU, sites.global as u64 * lsu_scale) ;
+    let g = OpCost {
+        aluts: g.aluts / 100,
+        registers: g.registers / 100,
+        dsp18: g.dsp18 / 100,
+        memory_bits: g.memory_bits / 100,
+        latency: GLOBAL_LSU.latency,
+    };
+    let l = widen(LOCAL_PORT, sites.local as u64 * simd as u64);
+    let p = widen(PRIVATE_PORT, sites.private as u64 * simd as u64);
+    OpCost {
+        aluts: g.aluts + l.aluts + p.aluts,
+        registers: g.registers + l.registers + p.registers,
+        dsp18: g.dsp18,
+        memory_bits: g.memory_bits + l.memory_bits + p.memory_bits,
+        latency: GLOBAL_LSU.latency,
+    }
+}
+
+/// Fixed infrastructure shared by the whole OpenCL design: DDR controller,
+/// PCIe endpoint, kernel dispatcher, constant cache.
+pub const BOARD_INFRA: OpCost = OpCost::new(31_000, 52_000, 8, 3_500_000, 0);
+
+/// Per-compute-unit overhead: work-group dispatcher, id generators,
+/// arbitration into the memory interconnect.
+pub const CU_OVERHEAD: OpCost = OpCost::new(11_500, 17_000, 0, 220_000, 0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_clc::{compile, Options};
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checks the cost table
+    fn pow_is_the_biggest_datapath_operator() {
+        assert!(F64_POW.aluts > F64_MUL.aluts);
+        assert!(F64_POW.aluts > F64_EXP.aluts);
+        assert!(F64_POW.dsp18 > F64_MUL.dsp18);
+        assert!(F64_POW.latency > F64_DIV.latency);
+    }
+
+    #[test]
+    fn f32_costs_less_than_f64() {
+        let f32_mul = scale_f32(F64_MUL);
+        assert!(f32_mul.aluts < F64_MUL.aluts);
+        assert!(f32_mul.dsp18 < F64_MUL.dsp18);
+        assert!(f32_mul.latency <= F64_MUL.latency);
+    }
+
+    #[test]
+    fn access_sites_counted_by_space() {
+        let m = compile(
+            "t.cl",
+            "__kernel void k(__global double* g, __local double* l) {
+                double p[2];
+                size_t i = get_global_id(0);
+                p[0] = g[i];      // 1 global load, 1 private store
+                l[i] = p[0];      // 1 private load, 1 local store
+                g[i] = l[i] + 1.0; // 1 local load, 1 global store
+            }",
+            &Options::default(),
+        )
+        .expect("compiles");
+        let f = m.kernel("k").expect("kernel");
+        let sites = access_sites(f);
+        assert_eq!(sites.global, 2);
+        assert_eq!(sites.local, 2);
+        assert_eq!(sites.private, 2);
+    }
+
+    #[test]
+    fn memory_cost_grows_sublinearly_with_simd_for_lsus() {
+        let sites = AccessSites { global: 4, local: 0, private: 0 };
+        let c1 = memory_cost(sites, 1);
+        let c4 = memory_cost(sites, 4);
+        assert!(c4.aluts > c1.aluts);
+        assert!(c4.aluts < c1.aluts * 4, "coalescing must beat duplication");
+        let local_sites = AccessSites { global: 0, local: 2, private: 0 };
+        let l4 = memory_cost(local_sites, 4);
+        assert_eq!(l4.aluts, memory_cost(local_sites, 1).aluts * 4, "ports duplicate fully");
+    }
+
+    #[test]
+    fn mov_and_const_are_free() {
+        use bop_clir::ir::RegId;
+        assert_eq!(inst_cost(&Inst::Mov { dst: RegId(0), src: RegId(1) }), OpCost::default());
+    }
+}

@@ -1,0 +1,174 @@
+//! The fitter: place the scheduled kernels on a part, derive utilization,
+//! Fmax and power — the `Quartus II Fitter Summary` + `quartus_pow` step
+//! of the paper's flow (Section V.B).
+
+use crate::calib;
+use crate::schedule::KernelSchedule;
+use crate::stratix4::FpgaPart;
+use bop_ocl::{BuildError, BuildOptions, ResourceUsage};
+
+/// Effective fill factor of M9K blocks (designs never pack RAM bits
+/// perfectly; Table I shows ~7.3 kbit of the 9.2 kbit per block in use).
+const M9K_FILL: f64 = 0.78;
+
+/// Assumed per-`__local`-argument allocation: Altera sizes local memories
+/// for the maximum work-group size (here 2048 items x 8 bytes).
+const LOCAL_BYTES_PER_ARG: u64 = 2048 * 8;
+
+/// Result of fitting a module on a part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Total resources, all kernels + infrastructure.
+    pub resources: ResourceUsage,
+    /// ALUT utilization, 0..=1.
+    pub logic_util: f64,
+    /// DSP utilization, 0..=1.
+    pub dsp_util: f64,
+    /// Memory-bit utilization, 0..=1.
+    pub ram_util: f64,
+    /// Achieved kernel clock, Hz.
+    pub fmax_hz: f64,
+    /// Estimated power, watts.
+    pub power_watts: f64,
+}
+
+/// Fit the scheduled kernels with the given build options on `part`.
+///
+/// # Errors
+/// Returns [`BuildError`] when any resource class exceeds the part's
+/// capacity — the simulated "design does not fit" failure that bounds the
+/// paper's vectorization/replication exploration.
+pub fn fit(
+    part: &FpgaPart,
+    schedules: &[(String, KernelSchedule, u32)], // (kernel, schedule, local args)
+    options: &BuildOptions,
+) -> Result<FitResult, BuildError> {
+    let simd = options.simd.max(1) as u64;
+    let cu = options.compute_units.max(1) as u64;
+
+    let mut total = ResourceUsage::default();
+    crate::costs::BOARD_INFRA.accumulate(&mut total);
+
+    for (_, sched, local_args) in schedules {
+        let mut per_cu = ResourceUsage::default();
+        crate::costs::CU_OVERHEAD.accumulate(&mut per_cu);
+        // Datapath duplicates per SIMD lane.
+        per_cu = per_cu.add(&sched.lane_datapath.scale(simd));
+        per_cu.registers += sched.pipeline_registers * simd;
+        // Memory interfaces widen (LSUs) or bank (local ports) with SIMD.
+        let mem = crate::costs::memory_cost(sched.sites, options.simd.max(1));
+        mem.accumulate(&mut per_cu);
+        // Local memories, banked for SIMD ports.
+        let local_bits = *local_args as u64 * LOCAL_BYTES_PER_ARG * 8 * simd;
+        per_cu.memory_bits += local_bits;
+        total = total.add(&per_cu.scale(cu));
+    }
+
+    // Pack memory bits into M9K blocks.
+    total.m9k_blocks += (total.memory_bits as f64 / (9216.0 * M9K_FILL)).ceil() as u64;
+    if total.m9k_blocks > part.m9k_blocks {
+        // Spill the overflow into M144K blocks when available.
+        let spill = total.m9k_blocks - part.m9k_blocks;
+        let m144k = spill.div_ceil(16); // 147456/9216
+        if m144k <= part.m144k_blocks {
+            total.m144k_blocks += m144k;
+            total.m9k_blocks = part.m9k_blocks;
+        }
+    }
+
+    let logic_util = total.aluts as f64 / part.aluts as f64;
+    let dsp_util = total.dsp18 as f64 / part.dsp18 as f64;
+    let ram_util = total.memory_bits as f64 / part.memory_bits as f64;
+    let checks = [
+        ("logic (ALUTs)", total.aluts, part.aluts),
+        ("registers", total.registers, part.registers),
+        ("memory bits", total.memory_bits, part.memory_bits),
+        ("M9K blocks", total.m9k_blocks, part.m9k_blocks),
+        ("DSP 18-bit elements", total.dsp18, part.dsp18),
+    ];
+    for (what, used, cap) in checks {
+        if used > cap {
+            return Err(BuildError::new(format!(
+                "design does not fit on {}: {what} {used} > {cap} \
+                 (simd={}, compute_units={})",
+                part.name, options.simd, options.compute_units
+            )));
+        }
+    }
+
+    let fmax_hz = calib::fmax_hz(part.base_fmax_hz, logic_util);
+    let power_watts = calib::power_watts(fmax_hz, logic_util, dsp_util, ram_util);
+    Ok(FitResult { resources: total, logic_util, dsp_util, ram_util, fmax_hz, power_watts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule;
+    use bop_clc::{compile, Options};
+
+    fn sched(src: &str, locals: u32) -> (String, KernelSchedule, u32) {
+        let m = compile("t.cl", src, &Options::default()).expect("compiles");
+        let f = m.kernel("k").expect("k");
+        ("k".into(), schedule(f), locals)
+    }
+
+    const SMALL: &str = "__kernel void k(__global double* o) {
+        o[get_global_id(0)] = o[get_global_id(0)] * 2.0 + 1.0;
+    }";
+
+    #[test]
+    fn small_kernel_fits_with_headroom() {
+        let part = FpgaPart::ep4sgx530();
+        let fit = fit(&part, &[sched(SMALL, 0)], &BuildOptions::default()).expect("fits");
+        assert!(fit.logic_util < 0.5, "small kernel should leave headroom: {}", fit.logic_util);
+        assert!(fit.fmax_hz > 150e6);
+        assert!(fit.power_watts > calib::POWER_STATIC_W);
+    }
+
+    #[test]
+    fn more_lanes_use_more_resources_and_lower_fmax() {
+        let part = FpgaPart::ep4sgx530();
+        let one = fit(&part, &[sched(SMALL, 0)], &BuildOptions::default()).expect("fits");
+        let opts = BuildOptions { simd: 8, compute_units: 2, ..BuildOptions::default() };
+        let many = fit(&part, &[sched(SMALL, 0)], &opts).expect("fits");
+        assert!(many.resources.aluts > one.resources.aluts);
+        assert!(many.logic_util > one.logic_util);
+        assert!(many.fmax_hz < one.fmax_hz);
+        assert!(many.power_watts > one.power_watts);
+    }
+
+    #[test]
+    fn oversized_design_is_rejected() {
+        // A pow-heavy kernel replicated far beyond the part's capacity.
+        let heavy = "__kernel void k(__global double* o) {
+            size_t g = get_global_id(0);
+            o[g] = pow(o[g], 2.5) + pow(o[g + 1], 3.5) * exp(o[g + 2]) + log(o[g + 3]);
+        }";
+        let part = FpgaPart::ep4sgx530();
+        let opts = BuildOptions { simd: 16, compute_units: 16, ..BuildOptions::default() };
+        let err = fit(&part, &[sched(heavy, 0)], &opts).expect_err("cannot fit");
+        assert!(err.message.contains("does not fit"));
+    }
+
+    #[test]
+    fn smaller_part_rejects_what_bigger_accepts() {
+        let heavy = "__kernel void k(__global double* o) {
+            o[get_global_id(0)] = pow(o[0], 2.5) * exp(o[1]);
+        }";
+        let opts = BuildOptions { simd: 2, compute_units: 3, ..BuildOptions::default() };
+        let big = fit(&FpgaPart::ep4sgx530(), &[sched(heavy, 0)], &opts);
+        let small = fit(&FpgaPart::ep4sgx230(), &[sched(heavy, 0)], &opts);
+        assert!(big.is_ok());
+        assert!(small.is_err());
+    }
+
+    #[test]
+    fn local_arguments_consume_block_ram() {
+        let part = FpgaPart::ep4sgx530();
+        let without = fit(&part, &[sched(SMALL, 0)], &BuildOptions::default()).expect("fits");
+        let with = fit(&part, &[sched(SMALL, 2)], &BuildOptions::default()).expect("fits");
+        assert!(with.resources.memory_bits > without.resources.memory_bits);
+        assert!(with.resources.m9k_blocks > without.resources.m9k_blocks);
+    }
+}

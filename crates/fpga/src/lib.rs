@@ -1,0 +1,38 @@
+//! # bop-fpga — a Stratix IV-class FPGA device model
+//!
+//! This crate stands in for the Quartus II back-end of Altera's OpenCL
+//! flow in the DATE 2014 reproduction. Given a `bop-clir` module and build
+//! options (SIMD vectorization, compute-unit replication — the knobs of
+//! the paper's Section V.B), it produces:
+//!
+//! * a **resource estimate** (ALUTs, registers, block-RAM bits, M9K
+//!   blocks, 18-bit DSP elements) from an operator cost library and a
+//!   pipeline schedule of the kernel datapath — the shape of the paper's
+//!   Table I;
+//! * a **clock estimate** from a fitter-style Fmax derating curve (high
+//!   utilization → congested routing → lower Fmax, the reason the paper's
+//!   99%-full kernel IV.A closed at 98.27 MHz while the 66%-full kernel
+//!   IV.B reached 162.62 MHz);
+//! * a **power estimate** in the style of `quartus_pow` (static + dynamic
+//!   power proportional to clock x switched resources);
+//! * a **timing model**: the synthesized pipeline retires one execution of
+//!   each *work* basic block per cycle per SIMD lane per compute unit, so
+//!   kernel time follows from the interpreter's dynamic block-execution
+//!   counts, bounded by DDR bandwidth.
+//!
+//! Calibration: two free curve parameters (Fmax derating, power
+//! coefficients) are anchored on the paper's Table I and frozen in
+//! [`calib`]; everything else derives from kernel structure. See
+//! `EXPERIMENTS.md` at the workspace root for measured-vs-paper numbers.
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod costs;
+pub mod device;
+pub mod fitter;
+pub mod schedule;
+pub mod stratix4;
+
+pub use device::{FpgaDevice, FpgaProgram};
+pub use stratix4::FpgaPart;

@@ -1,0 +1,209 @@
+//! Pipeline scheduler: ASAP scheduling of each basic block's dataflow.
+//!
+//! The Altera OpenCL compiler turns a kernel body into a deep, stall-free
+//! pipeline that retires one work-item's pass through each block per cycle
+//! (initiation interval II = 1). This module computes, per kernel:
+//!
+//! * the **datapath resources** of a single SIMD lane (every instruction
+//!   becomes a hardware operator),
+//! * the **pipeline depth** (critical path of operator latencies, which
+//!   sets the fill time and contributes pipeline registers), and
+//! * the set of **work blocks** — blocks with datapath work (floating
+//!   point, memory traffic or barriers). Pure control blocks (loop
+//!   headers, unroll guards) compile to counters and predication, so the
+//!   timing model does not charge occupancy slots for them.
+
+use crate::costs::{self, OpCost};
+use bop_clir::ir::{Function, Inst, RegId};
+use bop_ocl::ResourceUsage;
+use std::collections::HashMap;
+
+/// Extra pipeline stages around the datapath (dispatch, alignment,
+/// write-back).
+pub const PIPELINE_GLUE_CYCLES: u32 = 18;
+
+/// The schedule of one kernel at SIMD width 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSchedule {
+    /// Resources of one SIMD lane's datapath (excluding memory interfaces
+    /// and CU overhead; see [`crate::fitter`]).
+    pub lane_datapath: ResourceUsage,
+    /// Pipeline registers added per lane (depth-dependent).
+    pub pipeline_registers: u64,
+    /// Pipeline depth in cycles.
+    pub depth_cycles: u32,
+    /// For each block, whether it does datapath work.
+    pub work_blocks: Vec<bool>,
+    /// Memory access sites (for the fitter's LSU sizing).
+    pub sites: costs::AccessSites,
+}
+
+impl KernelSchedule {
+    /// Largest per-cycle occupancy contributor: `true` if the kernel has
+    /// at least one work block.
+    pub fn has_work(&self) -> bool {
+        self.work_blocks.iter().any(|&w| w)
+    }
+}
+
+/// Does this instruction constitute "datapath work" for occupancy
+/// purposes?
+fn is_work(inst: &Inst) -> bool {
+    match inst {
+        Inst::Bin { ty, .. } | Inst::Un { ty, .. } => ty.is_float(),
+        Inst::Call { .. } | Inst::Load { .. } | Inst::Store { .. } | Inst::Barrier => true,
+        _ => false,
+    }
+}
+
+/// Schedule one kernel.
+pub fn schedule(func: &Function) -> KernelSchedule {
+    let mut lane = ResourceUsage::default();
+    let mut depth: u32 = 0;
+    let mut work_blocks = Vec::with_capacity(func.blocks.len());
+
+    for block in &func.blocks {
+        // ASAP levels: each register's ready time within the block.
+        let mut ready: HashMap<RegId, u32> = HashMap::new();
+        let mut const_regs: std::collections::HashSet<RegId> = std::collections::HashSet::new();
+        let mut block_depth: u32 = 0;
+        let mut has_work = false;
+        for inst in &block.insts {
+            match inst {
+                Inst::Const { dst, .. } => {
+                    const_regs.insert(*dst);
+                }
+                // Copies forward constness (CSE rewrites duplicates to Movs).
+                Inst::Mov { dst, src } if const_regs.contains(src) => {
+                    const_regs.insert(*dst);
+                }
+                _ => {
+                    if let Some(dst) = inst.dst() {
+                        const_regs.remove(&dst);
+                    }
+                }
+            }
+            // Integer multiplies by a literal constant synthesize to
+            // shift-add networks, not DSPs.
+            let const_int_mul = matches!(
+                inst,
+                Inst::Bin { op: bop_clir::ir::BinOp::Mul, ty, a, b, .. }
+                    if ty.is_int() && (const_regs.contains(a) || const_regs.contains(b))
+            );
+            let mut cost: OpCost = costs::inst_cost(inst);
+            if const_int_mul {
+                cost.dsp18 = 0;
+            }
+            cost.accumulate(&mut lane);
+            has_work |= is_work(inst);
+            let start =
+                inst.sources().iter().map(|r| ready.get(r).copied().unwrap_or(0)).max().unwrap_or(0);
+            let latency = match inst {
+                // Memory latencies come from the interface cost table.
+                Inst::Load { .. } | Inst::Store { .. } => 12,
+                _ => cost.latency,
+            };
+            let finish = start + latency;
+            block_depth = block_depth.max(finish);
+            if let Some(dst) = inst.dst() {
+                ready.insert(dst, finish);
+            }
+        }
+        depth = depth.max(block_depth);
+        work_blocks.push(has_work);
+    }
+
+    // Private arrays live in the lane's register file (or RAM when large).
+    if func.private_bytes > 0 {
+        let bits = func.private_bytes as u64 * 8;
+        if func.private_bytes <= 256 {
+            lane.registers += bits;
+        } else {
+            lane.memory_bits += bits;
+            lane.m9k_blocks += bits.div_ceil(9216);
+        }
+    }
+
+    let depth_cycles = depth + PIPELINE_GLUE_CYCLES;
+    // Every live value crosses every stage: approximate pipeline registers
+    // as width (64-bit datapath) x live values x depth fraction.
+    let live_values = func.reg_types.len() as u64;
+    let pipeline_registers = live_values * 64 * (depth_cycles as u64) / 150;
+
+    KernelSchedule {
+        lane_datapath: lane,
+        pipeline_registers,
+        depth_cycles,
+        work_blocks,
+        sites: costs::access_sites(func),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_clc::{compile, Options};
+
+    fn kernel(src: &str) -> bop_clir::ir::Function {
+        compile("t.cl", src, &Options::default()).expect("compiles").kernel("k").expect("k").clone()
+    }
+
+    #[test]
+    fn deeper_math_means_deeper_pipeline() {
+        let shallow = schedule(&kernel(
+            "__kernel void k(__global double* o) { o[get_global_id(0)] = 1.0 + o[0]; }",
+        ));
+        let deep = schedule(&kernel(
+            "__kernel void k(__global double* o) {
+                o[get_global_id(0)] = pow(o[0], 2.0) * exp(o[1]) + log(o[2]);
+            }",
+        ));
+        assert!(deep.depth_cycles > shallow.depth_cycles);
+        assert!(deep.lane_datapath.dsp18 > shallow.lane_datapath.dsp18);
+    }
+
+    #[test]
+    fn dependent_chain_deeper_than_parallel_ops() {
+        // a*b*c*d (serial chain) vs (a*b) and (c*d) stored separately.
+        let chain = schedule(&kernel(
+            "__kernel void k(__global double* o) {
+                o[0] = o[1] * o[2] * o[3] * o[4];
+            }",
+        ));
+        let parallel = schedule(&kernel(
+            "__kernel void k(__global double* o) {
+                o[0] = o[1] * o[2];
+                o[5] = o[3] * o[4];
+            }",
+        ));
+        assert!(chain.depth_cycles > parallel.depth_cycles);
+    }
+
+    #[test]
+    fn control_blocks_are_not_work() {
+        let s = schedule(&kernel(
+            "__kernel void k(__global double* o) {
+                double acc = 0.0;
+                for (int i = 0; i < 10; i++) { acc += o[i]; }
+                o[0] = acc;
+            }",
+        ));
+        let work: usize = s.work_blocks.iter().filter(|&&w| w).count();
+        let control = s.work_blocks.len() - work;
+        assert!(work >= 2, "entry (or exit) and loop body do work");
+        assert!(control >= 2, "loop header and step are control-only");
+    }
+
+    #[test]
+    fn large_private_arrays_go_to_block_ram() {
+        let small = schedule(&kernel(
+            "__kernel void k(__global double* o) { double t[4]; t[0] = 1.0; o[0] = t[0]; }",
+        ));
+        let large = schedule(&kernel(
+            "__kernel void k(__global double* o) { double t[512]; t[0] = 1.0; o[0] = t[0]; }",
+        ));
+        assert_eq!(small.lane_datapath.m9k_blocks, 0);
+        assert!(large.lane_datapath.m9k_blocks > 0);
+        assert!(large.lane_datapath.memory_bits >= 512 * 64);
+    }
+}

@@ -1,0 +1,101 @@
+//! FPGA part database.
+
+/// Capacities of an FPGA part, in the units of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaPart {
+    /// Part name.
+    pub name: String,
+    /// Combinational ALUTs ("logic utilization" denominator).
+    pub aluts: u64,
+    /// Dedicated flip-flops. The paper's Table I reports register usage
+    /// against a 415 K denominator; we keep the same convention.
+    pub registers: u64,
+    /// Block memory bits (M9K + M144K).
+    pub memory_bits: u64,
+    /// M9K blocks (256 x 36 bit).
+    pub m9k_blocks: u64,
+    /// M144K blocks (2048 x 72 bit).
+    pub m144k_blocks: u64,
+    /// 18-bit DSP elements.
+    pub dsp18: u64,
+    /// Best-case kernel clock for a near-empty design, Hz. Altera's
+    /// OpenCL flow on Stratix IV closed small kernels around 240-260 MHz;
+    /// the fitter derates from here with utilization.
+    pub base_fmax_hz: f64,
+}
+
+impl FpgaPart {
+    /// The Stratix IV GX EP4SGX530 on the Terasic DE4, the paper's target.
+    /// Capacities follow the denominators of the paper's Table I
+    /// (registers 415 K, memory bits 20,736 K, M9K 1,280, DSP 1 K).
+    pub fn ep4sgx530() -> FpgaPart {
+        FpgaPart {
+            name: "Stratix IV EP4SGX530".into(),
+            aluts: 212_480,
+            registers: 415 * 1024,
+            memory_bits: 20_736 * 1024,
+            m9k_blocks: 1_280,
+            m144k_blocks: 64,
+            dsp18: 1_024,
+            base_fmax_hz: 250e6,
+        }
+    }
+
+    /// A smaller part (EP4SGX230-class), used by the ablation experiments
+    /// to show designs that no longer fit, and as the "less power consuming
+    /// FPGA board" the paper's conclusion suggests.
+    pub fn ep4sgx230() -> FpgaPart {
+        FpgaPart {
+            name: "Stratix IV EP4SGX230".into(),
+            aluts: 91_200,
+            registers: 182_400,
+            memory_bits: 14_625 * 1024,
+            m9k_blocks: 1_235,
+            m144k_blocks: 22,
+            dsp18: 1_288,
+            base_fmax_hz: 250e6,
+        }
+    }
+}
+
+impl FpgaPart {
+    /// A Stratix V GX A7-class part — the "less power consuming FPGA
+    /// board" direction of the paper's conclusion, one generation newer:
+    /// roughly twice the logic, larger block RAM (modeled in M9K-equivalent
+    /// blocks) and a higher base clock. Note the fitter's derating and
+    /// power curves stay calibrated on the Stratix IV anchors; numbers on
+    /// this part are what-if estimates.
+    pub fn ep5sgxa7() -> FpgaPart {
+        FpgaPart {
+            name: "Stratix V GX A7 (what-if)".into(),
+            aluts: 469_440,
+            registers: 938_880,
+            memory_bits: 52_428_800,
+            m9k_blocks: 5_688,
+            m144k_blocks: 0,
+            dsp18: 1_536,
+            base_fmax_hz: 330e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_part_matches_table_one_denominators() {
+        let p = FpgaPart::ep4sgx530();
+        assert_eq!(p.m9k_blocks, 1280);
+        assert_eq!(p.dsp18, 1024);
+        assert_eq!(p.memory_bits, 21_233_664);
+        assert!(p.aluts > 200_000);
+    }
+
+    #[test]
+    fn smaller_part_is_smaller() {
+        let big = FpgaPart::ep4sgx530();
+        let small = FpgaPart::ep4sgx230();
+        assert!(small.aluts < big.aluts);
+    }
+}

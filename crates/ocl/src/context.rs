@@ -1,0 +1,103 @@
+//! Contexts and buffers.
+
+use crate::device::Device;
+use bop_clir::interp::VecMemory;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A device buffer handle (cheap to clone).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    pub(crate) id: u32,
+    pub(crate) bytes: usize,
+}
+
+impl Buffer {
+    /// Size of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// True if the buffer has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// The runtime handle (stable for the lifetime of the context).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+/// An OpenCL-style context: one device plus its global memory.
+pub struct Context {
+    device: Arc<dyn Device>,
+    pub(crate) mem: Mutex<VecMemory>,
+    allocated: Mutex<u64>,
+}
+
+impl Context {
+    /// Create a context on `device`.
+    pub fn new(device: Arc<dyn Device>) -> Arc<Context> {
+        Arc::new(Context { device, mem: Mutex::new(VecMemory::new()), allocated: Mutex::new(0) })
+    }
+
+    /// The context's device.
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    /// Allocate a zero-initialised global buffer.
+    ///
+    /// # Panics
+    /// Panics if the allocation would exceed the device's global memory
+    /// capacity — the simulated equivalent of `CL_MEM_OBJECT_ALLOCATION_FAILURE`.
+    pub fn create_buffer(self: &Arc<Self>, bytes: usize) -> Buffer {
+        let mut used = self.allocated.lock();
+        let cap = self.device.info().global_mem_bytes;
+        assert!(
+            *used + bytes as u64 <= cap,
+            "device out of global memory: {used} + {bytes} > {cap}"
+        );
+        *used += bytes as u64;
+        let id = self.mem.lock().alloc_global(bytes);
+        Buffer { id, bytes }
+    }
+
+    /// Bytes of global memory currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        *self.allocated.lock()
+    }
+
+    /// Read the full contents of a buffer (host-side debugging helper that
+    /// bypasses the command queue and its timing).
+    pub fn snapshot(&self, buf: &Buffer) -> Vec<u8> {
+        self.mem.lock().global_bytes(buf.id).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::NullDevice;
+
+    #[test]
+    fn buffers_get_distinct_ids_and_accounting() {
+        let ctx = Context::new(Arc::new(NullDevice::default()));
+        let a = ctx.create_buffer(64);
+        let b = ctx.create_buffer(128);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(ctx.allocated_bytes(), 192);
+        assert_eq!(a.len(), 64);
+        assert!(!a.is_empty());
+        assert_eq!(ctx.snapshot(&b).len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of global memory")]
+    fn over_allocation_panics() {
+        let ctx = Context::new(Arc::new(NullDevice::default()));
+        let cap = ctx.device().info().global_mem_bytes;
+        let _too_big = ctx.create_buffer(cap as usize + 1);
+    }
+}

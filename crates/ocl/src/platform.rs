@@ -1,0 +1,60 @@
+//! Platform: the registry of available devices.
+
+use crate::device::{Device, DeviceKind};
+use std::sync::Arc;
+
+/// A platform holding a set of device models, analogous to
+/// `clGetPlatformIDs` + `clGetDeviceIDs`.
+///
+/// The concrete devices (Stratix IV FPGA board, GTX660 GPU, Xeon CPU) are
+/// constructed by their own crates and registered here; `bop-core`
+/// assembles the paper's full test environment with
+/// `bop_core::paper_platform()`.
+#[derive(Default)]
+pub struct Platform {
+    devices: Vec<Arc<dyn Device>>,
+}
+
+impl Platform {
+    /// An empty platform.
+    pub fn new() -> Platform {
+        Platform::default()
+    }
+
+    /// Register a device.
+    pub fn register(&mut self, device: Arc<dyn Device>) {
+        self.devices.push(device);
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Arc<dyn Device>] {
+        &self.devices
+    }
+
+    /// First device of the given kind, if any.
+    pub fn device_by_kind(&self, kind: DeviceKind) -> Option<Arc<dyn Device>> {
+        self.devices.iter().find(|d| d.info().kind == kind).cloned()
+    }
+
+    /// Device by exact name, if any.
+    pub fn device_by_name(&self, name: &str) -> Option<Arc<dyn Device>> {
+        self.devices.iter().find(|d| d.info().name == name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::NullDevice;
+
+    #[test]
+    fn register_and_find() {
+        let mut p = Platform::new();
+        p.register(Arc::new(NullDevice::default()));
+        assert_eq!(p.devices().len(), 1);
+        assert!(p.device_by_kind(DeviceKind::Cpu).is_some());
+        assert!(p.device_by_kind(DeviceKind::Fpga).is_none());
+        assert!(p.device_by_name("null").is_some());
+        assert!(p.device_by_name("missing").is_none());
+    }
+}

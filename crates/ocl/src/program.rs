@@ -1,0 +1,211 @@
+//! Programs and kernels.
+
+use crate::context::{Buffer, Context};
+use crate::device::{BuildError, BuildOptions, BuildReport, DeviceProgram};
+use bop_clir::ir::Module;
+use bop_clir::value::Value;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A program built for the context's device.
+pub struct Program {
+    device_program: Arc<dyn DeviceProgram>,
+}
+
+impl Program {
+    /// Compile OpenCL C `source` and build it for the context's device —
+    /// the `clCreateProgramWithSource` + `clBuildProgram` pair.
+    ///
+    /// # Errors
+    /// Returns [`BuildError`] on front-end diagnostics or device fitting
+    /// failures.
+    pub fn from_source(
+        ctx: &Arc<Context>,
+        source_name: &str,
+        source: &str,
+        options: &BuildOptions,
+    ) -> Result<Program, BuildError> {
+        let clc_options = bop_clc::Options {
+            unroll_override: options.unroll,
+            no_opt: options.no_opt,
+            cse: options.cse,
+        };
+        let module = Arc::new(bop_clc::compile(source_name, source, &clc_options)?);
+        Program::from_module(ctx, module, options)
+    }
+
+    /// Build an already-lowered module for the context's device.
+    ///
+    /// # Errors
+    /// Returns [`BuildError`] on device fitting failures.
+    pub fn from_module(
+        ctx: &Arc<Context>,
+        module: Arc<Module>,
+        options: &BuildOptions,
+    ) -> Result<Program, BuildError> {
+        let device_program = ctx.device().compile(module, options)?;
+        Ok(Program { device_program })
+    }
+
+    /// The device build report (Table I shape).
+    pub fn report(&self) -> BuildReport {
+        self.device_program.report()
+    }
+
+    /// The compiled module.
+    pub fn module(&self) -> &Arc<Module> {
+        self.device_program.module()
+    }
+
+    /// Create a kernel handle by name.
+    ///
+    /// # Errors
+    /// Returns [`BuildError`] if the program has no kernel of that name.
+    pub fn kernel(&self, name: &str) -> Result<Kernel, BuildError> {
+        let func = self
+            .device_program
+            .module()
+            .kernel(name)
+            .ok_or_else(|| BuildError::new(format!("no kernel named `{name}`")))?;
+        let nargs = func.params.len();
+        Ok(Kernel {
+            device_program: self.device_program.clone(),
+            name: name.to_owned(),
+            args: Mutex::new(vec![None; nargs]),
+        })
+    }
+}
+
+/// A kernel argument binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelArg {
+    /// Scalar value.
+    Scalar(Value),
+    /// Global/constant buffer.
+    Buffer(Buffer),
+    /// Work-group local allocation of the given size (the
+    /// `clSetKernelArg(…, size, NULL)` idiom).
+    Local(usize),
+}
+
+/// A kernel handle with argument bindings.
+pub struct Kernel {
+    pub(crate) device_program: Arc<dyn DeviceProgram>,
+    pub(crate) name: String,
+    pub(crate) args: Mutex<Vec<Option<KernelArg>>>,
+}
+
+impl Kernel {
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bind argument `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for the kernel signature.
+    pub fn set_arg(&self, index: usize, arg: KernelArg) {
+        let mut args = self.args.lock();
+        assert!(index < args.len(), "kernel `{}` has {} arguments", self.name, args.len());
+        args[index] = Some(arg);
+    }
+
+    /// Bind a buffer argument.
+    pub fn set_arg_buffer(&self, index: usize, buf: &Buffer) {
+        self.set_arg(index, KernelArg::Buffer(buf.clone()));
+    }
+
+    /// Bind an `f64` scalar argument.
+    pub fn set_arg_f64(&self, index: usize, v: f64) {
+        self.set_arg(index, KernelArg::Scalar(Value::F64(v)));
+    }
+
+    /// Bind an `f32` scalar argument.
+    pub fn set_arg_f32(&self, index: usize, v: f32) {
+        self.set_arg(index, KernelArg::Scalar(Value::F32(v)));
+    }
+
+    /// Bind an `i32` scalar argument.
+    pub fn set_arg_i32(&self, index: usize, v: i32) {
+        self.set_arg(index, KernelArg::Scalar(Value::I32(v)));
+    }
+
+    /// Bind an `i64` scalar argument.
+    pub fn set_arg_i64(&self, index: usize, v: i64) {
+        self.set_arg(index, KernelArg::Scalar(Value::I64(v)));
+    }
+
+    /// Bind a local-memory argument of `bytes` bytes per work-group.
+    pub fn set_arg_local(&self, index: usize, bytes: usize) {
+        self.set_arg(index, KernelArg::Local(bytes));
+    }
+
+    pub(crate) fn bound_args(&self) -> Result<Vec<KernelArg>, BuildError> {
+        let args = self.args.lock();
+        args.iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.clone().ok_or_else(|| {
+                    BuildError::new(format!("kernel `{}`: argument {i} not set", self.name))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::NullDevice;
+    use std::sync::Arc;
+
+    fn ctx() -> Arc<Context> {
+        Context::new(Arc::new(NullDevice::default()))
+    }
+
+    #[test]
+    fn build_and_kernel_lookup() {
+        let ctx = ctx();
+        let p = Program::from_source(
+            &ctx,
+            "t.cl",
+            "__kernel void a(__global double* o) {} __kernel void b(__global double* o) {}",
+            &BuildOptions::default(),
+        )
+        .expect("builds");
+        assert!(p.kernel("a").is_ok());
+        assert!(p.kernel("b").is_ok());
+        assert!(p.kernel("c").is_err());
+        assert_eq!(p.module().kernels().count(), 2);
+    }
+
+    #[test]
+    fn front_end_errors_become_build_errors() {
+        let ctx = ctx();
+        let Err(err) = Program::from_source(&ctx, "t.cl", "not a kernel", &BuildOptions::default())
+        else {
+            panic!("bad source must not build");
+        };
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn unset_args_detected() {
+        let ctx = ctx();
+        let p = Program::from_source(
+            &ctx,
+            "t.cl",
+            "__kernel void k(__global double* o, double x) {}",
+            &BuildOptions::default(),
+        )
+        .expect("builds");
+        let k = p.kernel("k").expect("kernel");
+        k.set_arg_f64(1, 2.0);
+        let err = k.bound_args().expect_err("missing arg 0");
+        assert!(err.message.contains("argument 0"));
+        let buf = ctx.create_buffer(8);
+        k.set_arg_buffer(0, &buf);
+        assert_eq!(k.bound_args().expect("all set").len(), 2);
+    }
+}

@@ -1,0 +1,784 @@
+//! In-order command queue with simulated profiling.
+//!
+//! Commands execute synchronously (functional interpretation through
+//! `bop-clir`) while a simulated clock advances according to the device and
+//! link models: writes and reads cost link latency + bytes/bandwidth,
+//! NDRange launches cost what the device's `kernel_time` model says, and
+//! every command pays the host-side enqueue/synchronisation overhead. This
+//! is the mechanism that reproduces the paper's kernel IV.A collapse: its
+//! host program re-reads a multi-megabyte ping-pong buffer between every
+//! batch, and the simulated clock charges for it.
+
+use crate::context::{Buffer, Context};
+use crate::device::Dispatch;
+use crate::program::{Kernel, KernelArg};
+use bop_clir::interp::{ExecError, GroupShape, KernelArgValue, WorkGroupRun};
+use bop_clir::stats::ExecStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Runtime error from an enqueued command.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Kernel execution failed (trap, out-of-bounds, divergence).
+    Exec(ExecError),
+    /// Invalid command (sizes, unset arguments, capacity violations).
+    Invalid(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+            RuntimeError::Invalid(msg) => write!(f, "invalid command: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ExecError> for RuntimeError {
+    fn from(e: ExecError) -> RuntimeError {
+        RuntimeError::Exec(e)
+    }
+}
+
+/// Simulated `clGetEventProfilingInfo` data, in seconds since queue
+/// creation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilingInfo {
+    /// When the command was enqueued.
+    pub queued_s: f64,
+    /// When the device started executing it.
+    pub start_s: f64,
+    /// When it completed.
+    pub end_s: f64,
+}
+
+impl ProfilingInfo {
+    /// Device-side duration.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// A completed command (execution is synchronous; the event is immediately
+/// in the `CL_COMPLETE` state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Profiling timestamps.
+    pub profiling: ProfilingInfo,
+}
+
+/// Kind of a traced command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Host-to-device buffer write.
+    Write,
+    /// Device-to-host buffer read.
+    Read,
+    /// Device-to-device buffer copy.
+    Copy,
+    /// Device-side buffer fill.
+    Fill,
+    /// NDRange kernel launch.
+    Kernel,
+}
+
+/// One entry of the command trace (used to regenerate the paper's Figure 3
+/// / Figure 4 dataflow descriptions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Payload bytes (transfers) or zero (kernels).
+    pub bytes: u64,
+    /// Kernel name for launches.
+    pub kernel: Option<String>,
+    /// Work-items for launches.
+    pub work_items: u64,
+    /// Simulated start time.
+    pub start_s: f64,
+    /// Simulated end time.
+    pub end_s: f64,
+}
+
+/// Aggregate transfer/launch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Number of write commands.
+    pub writes: u64,
+    /// Bytes moved host-to-device.
+    pub h2d_bytes: u64,
+    /// Number of read commands.
+    pub reads: u64,
+    /// Bytes moved device-to-host.
+    pub d2h_bytes: u64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Total work-items launched.
+    pub work_items: u64,
+}
+
+type StatsModel = dyn Fn(&str, Dispatch) -> ExecStats + Send + Sync;
+
+struct QueueState {
+    now: f64,
+    device_busy_s: f64,
+    counters: QueueCounters,
+    kernel_stats: HashMap<String, ExecStats>,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+/// An in-order command queue with profiling enabled.
+pub struct CommandQueue {
+    ctx: Arc<Context>,
+    state: Mutex<QueueState>,
+    timing_model: Mutex<Option<Box<StatsModel>>>,
+}
+
+impl CommandQueue {
+    /// Create a queue on `ctx` (profiling always on; simulated clock starts
+    /// at zero).
+    pub fn new(ctx: &Arc<Context>) -> CommandQueue {
+        CommandQueue {
+            ctx: ctx.clone(),
+            state: Mutex::new(QueueState {
+                now: 0.0,
+                device_busy_s: 0.0,
+                counters: QueueCounters::default(),
+                kernel_stats: HashMap::new(),
+                trace: None,
+            }),
+            timing_model: Mutex::new(None),
+        }
+    }
+
+    /// Switch to timing-only mode: kernels are not interpreted; their
+    /// dynamic statistics come from `model` (typically a profile fitted at
+    /// small problem sizes — see `bop-core`'s performance model). Buffer
+    /// commands stop copying bytes but still cost transfer time.
+    pub fn set_timing_only(&self, model: Box<StatsModel>) {
+        *self.timing_model.lock() = Some(model);
+    }
+
+    /// Record a [`TraceEntry`] per command from now on.
+    pub fn enable_trace(&self) {
+        self.state.lock().trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty if tracing was never enabled).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.state.lock().trace.clone().unwrap_or_default()
+    }
+
+    /// Simulated time since queue creation, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.state.lock().now
+    }
+
+    /// Simulated time the device spent executing kernels, seconds.
+    pub fn device_busy_s(&self) -> f64 {
+        self.state.lock().device_busy_s
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> QueueCounters {
+        self.state.lock().counters
+    }
+
+    /// Accumulated execution statistics for `kernel` (merged over all its
+    /// launches).
+    pub fn kernel_stats(&self, kernel: &str) -> Option<ExecStats> {
+        self.state.lock().kernel_stats.get(kernel).cloned()
+    }
+
+    /// Wait for completion and return the total simulated elapsed time —
+    /// execution is synchronous, so this just reads the clock.
+    pub fn finish(&self) -> f64 {
+        self.elapsed_s()
+    }
+
+    fn advance(
+        &self,
+        kind: CommandKind,
+        bytes: u64,
+        kernel: Option<&str>,
+        work_items: u64,
+        duration: f64,
+    ) -> Event {
+        let info = self.ctx.device().info();
+        let mut st = self.state.lock();
+        let queued = st.now;
+        let start = queued + info.command_overhead_s;
+        let end = start + duration;
+        st.now = end;
+        if kind == CommandKind::Kernel {
+            st.device_busy_s += duration;
+        }
+        if let Some(trace) = &mut st.trace {
+            trace.push(TraceEntry {
+                kind,
+                bytes,
+                kernel: kernel.map(str::to_owned),
+                work_items,
+                start_s: start,
+                end_s: end,
+            });
+        }
+        Event { profiling: ProfilingInfo { queued_s: queued, start_s: start, end_s: end } }
+    }
+
+    /// Copy `data` into `buf` (`clEnqueueWriteBuffer`).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::Invalid`] if `data` exceeds the buffer size.
+    pub fn enqueue_write_buffer(&self, buf: &Buffer, data: &[u8]) -> Result<Event, RuntimeError> {
+        if data.len() > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "write of {} bytes into buffer of {}",
+                data.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mut mem = self.ctx.mem.lock();
+            mem.global_bytes_mut(buf.id)[..data.len()].copy_from_slice(data);
+        }
+        let t = self.ctx.device().info().link.transfer_time(data.len() as u64);
+        let ev_bytes = data.len() as u64;
+        {
+            let mut st = self.state.lock();
+            st.counters.writes += 1;
+            st.counters.h2d_bytes += ev_bytes;
+        }
+        Ok(self.advance(CommandKind::Write, ev_bytes, None, 0, t))
+    }
+
+    /// Copy `buf` into `out` (`clEnqueueReadBuffer`).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::Invalid`] if `out` exceeds the buffer size.
+    pub fn enqueue_read_buffer(&self, buf: &Buffer, out: &mut [u8]) -> Result<Event, RuntimeError> {
+        if out.len() > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "read of {} bytes from buffer of {}",
+                out.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mem = self.ctx.mem.lock();
+            out.copy_from_slice(&mem.global_bytes(buf.id)[..out.len()]);
+        }
+        let t = self.ctx.device().info().link.transfer_time(out.len() as u64);
+        {
+            let mut st = self.state.lock();
+            st.counters.reads += 1;
+            st.counters.d2h_bytes += out.len() as u64;
+        }
+        Ok(self.advance(CommandKind::Read, out.len() as u64, None, 0, t))
+    }
+
+    /// Write a slice of `f64` values starting at element `offset`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_write_buffer`](Self::enqueue_write_buffer)
+    /// errors.
+    pub fn enqueue_write_f64_at(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        data: &[f64],
+    ) -> Result<Event, RuntimeError> {
+        let byte_off = offset * 8;
+        if byte_off + data.len() * 8 > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "write of {} f64 at offset {offset} into buffer of {} bytes",
+                data.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mut mem = self.ctx.mem.lock();
+            let bytes = mem.global_bytes_mut(buf.id);
+            for (i, v) in data.iter().enumerate() {
+                bytes[byte_off + i * 8..byte_off + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        let nbytes = (data.len() * 8) as u64;
+        let t = self.ctx.device().info().link.transfer_time(nbytes);
+        {
+            let mut st = self.state.lock();
+            st.counters.writes += 1;
+            st.counters.h2d_bytes += nbytes;
+        }
+        Ok(self.advance(CommandKind::Write, nbytes, None, 0, t))
+    }
+
+    /// Write a slice of `f64` values at the start of `buf`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_write_buffer`](Self::enqueue_write_buffer)
+    /// errors.
+    pub fn enqueue_write_f64(&self, buf: &Buffer, data: &[f64]) -> Result<Event, RuntimeError> {
+        self.enqueue_write_f64_at(buf, 0, data)
+    }
+
+    /// Read `out.len()` `f64` values starting at element `offset`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_read_buffer`](Self::enqueue_read_buffer)
+    /// errors.
+    pub fn enqueue_read_f64_at(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        out: &mut [f64],
+    ) -> Result<Event, RuntimeError> {
+        let byte_off = offset * 8;
+        if byte_off + out.len() * 8 > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "read of {} f64 at offset {offset} from buffer of {} bytes",
+                out.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mem = self.ctx.mem.lock();
+            let bytes = mem.global_bytes(buf.id);
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = f64::from_le_bytes(
+                    bytes[byte_off + i * 8..byte_off + i * 8 + 8].try_into().expect("f64"),
+                );
+            }
+        }
+        let nbytes = (out.len() * 8) as u64;
+        let t = self.ctx.device().info().link.transfer_time(nbytes);
+        {
+            let mut st = self.state.lock();
+            st.counters.reads += 1;
+            st.counters.d2h_bytes += nbytes;
+        }
+        Ok(self.advance(CommandKind::Read, nbytes, None, 0, t))
+    }
+
+    /// Read `f64` values from the start of `buf`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_read_buffer`](Self::enqueue_read_buffer)
+    /// errors.
+    pub fn enqueue_read_f64(&self, buf: &Buffer, out: &mut [f64]) -> Result<Event, RuntimeError> {
+        self.enqueue_read_f64_at(buf, 0, out)
+    }
+
+    /// Write a slice of `f32` values starting at element `offset`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_write_buffer`](Self::enqueue_write_buffer)
+    /// errors.
+    pub fn enqueue_write_f32_at(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        data: &[f32],
+    ) -> Result<Event, RuntimeError> {
+        let byte_off = offset * 4;
+        if byte_off + data.len() * 4 > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "write of {} f32 at offset {offset} into buffer of {} bytes",
+                data.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mut mem = self.ctx.mem.lock();
+            let bytes = mem.global_bytes_mut(buf.id);
+            for (i, v) in data.iter().enumerate() {
+                bytes[byte_off + i * 4..byte_off + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        let nbytes = (data.len() * 4) as u64;
+        let t = self.ctx.device().info().link.transfer_time(nbytes);
+        {
+            let mut st = self.state.lock();
+            st.counters.writes += 1;
+            st.counters.h2d_bytes += nbytes;
+        }
+        Ok(self.advance(CommandKind::Write, nbytes, None, 0, t))
+    }
+
+    /// Read `f32` values starting at element `offset`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_read_buffer`](Self::enqueue_read_buffer)
+    /// errors.
+    pub fn enqueue_read_f32_at(
+        &self,
+        buf: &Buffer,
+        offset: usize,
+        out: &mut [f32],
+    ) -> Result<Event, RuntimeError> {
+        let byte_off = offset * 4;
+        if byte_off + out.len() * 4 > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "read of {} f32 at offset {offset} from buffer of {} bytes",
+                out.len(),
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mem = self.ctx.mem.lock();
+            let bytes = mem.global_bytes(buf.id);
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = f32::from_le_bytes(
+                    bytes[byte_off + i * 4..byte_off + i * 4 + 4].try_into().expect("f32"),
+                );
+            }
+        }
+        let nbytes = (out.len() * 4) as u64;
+        let t = self.ctx.device().info().link.transfer_time(nbytes);
+        {
+            let mut st = self.state.lock();
+            st.counters.reads += 1;
+            st.counters.d2h_bytes += nbytes;
+        }
+        Ok(self.advance(CommandKind::Read, nbytes, None, 0, t))
+    }
+
+    /// Write a slice of `i32` values at the start of `buf`.
+    ///
+    /// # Errors
+    /// Propagates [`enqueue_write_buffer`](Self::enqueue_write_buffer)
+    /// errors.
+    pub fn enqueue_write_i32(&self, buf: &Buffer, data: &[i32]) -> Result<Event, RuntimeError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.enqueue_write_buffer(buf, &bytes)
+    }
+
+    /// Copy `bytes` bytes from `src` to `dst` on the device
+    /// (`clEnqueueCopyBuffer`) — no host round-trip, so the cost is the
+    /// device's global-memory bandwidth, not the link.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::Invalid`] on out-of-range copies or when
+    /// `src` and `dst` are the same buffer.
+    pub fn enqueue_copy_buffer(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        bytes: usize,
+    ) -> Result<Event, RuntimeError> {
+        if bytes > src.len() || bytes > dst.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "copy of {bytes} bytes between buffers of {} and {}",
+                src.len(),
+                dst.len()
+            )));
+        }
+        if src.id == dst.id {
+            return Err(RuntimeError::Invalid("copy with overlapping buffers".into()));
+        }
+        if self.timing_model.lock().is_none() {
+            let mut mem = self.ctx.mem.lock();
+            let data = mem.global_bytes(src.id)[..bytes].to_vec();
+            mem.global_bytes_mut(dst.id)[..bytes].copy_from_slice(&data);
+        }
+        // Read + write through device memory.
+        let t = 2.0 * bytes as f64 / self.ctx.device().info().global_bw_bytes_per_s;
+        Ok(self.advance(CommandKind::Copy, bytes as u64, None, 0, t))
+    }
+
+    /// Fill `buf` with a repeated `f64` pattern (`clEnqueueFillBuffer`).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::Invalid`] if `count` elements exceed the
+    /// buffer.
+    pub fn enqueue_fill_f64(
+        &self,
+        buf: &Buffer,
+        value: f64,
+        count: usize,
+    ) -> Result<Event, RuntimeError> {
+        if count * 8 > buf.len() {
+            return Err(RuntimeError::Invalid(format!(
+                "fill of {count} f64 into buffer of {} bytes",
+                buf.len()
+            )));
+        }
+        if self.timing_model.lock().is_none() {
+            let mut mem = self.ctx.mem.lock();
+            let bytes = mem.global_bytes_mut(buf.id);
+            for i in 0..count {
+                bytes[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+        let t = (count * 8) as f64 / self.ctx.device().info().global_bw_bytes_per_s;
+        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, 0, t))
+    }
+
+    /// Launch `kernel` over `dispatch` (`clEnqueueNDRangeKernel`).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] on unset arguments, capacity violations or
+    /// kernel execution failures.
+    pub fn enqueue_nd_range(&self, kernel: &Kernel, dispatch: Dispatch) -> Result<Event, RuntimeError> {
+        let info = self.ctx.device().info().clone();
+        if dispatch.local > info.max_work_group_size {
+            return Err(RuntimeError::Invalid(format!(
+                "work-group size {} exceeds device maximum {}",
+                dispatch.local, info.max_work_group_size
+            )));
+        }
+        let args = kernel.bound_args().map_err(|e| RuntimeError::Invalid(e.message))?;
+        let local_bytes: usize = args
+            .iter()
+            .map(|a| match a {
+                KernelArg::Local(b) => *b,
+                _ => 0,
+            })
+            .sum();
+        if local_bytes as u64 > info.local_mem_bytes {
+            return Err(RuntimeError::Invalid(format!(
+                "work-group needs {local_bytes} bytes of local memory, device has {}",
+                info.local_mem_bytes
+            )));
+        }
+
+        let func = kernel
+            .device_program
+            .module()
+            .kernel(&kernel.name)
+            .ok_or_else(|| RuntimeError::Invalid(format!("kernel `{}` disappeared", kernel.name)))?;
+
+        let stats = if let Some(model) = self.timing_model.lock().as_ref() {
+            model(&kernel.name, dispatch)
+        } else {
+            let mut mem = self.ctx.mem.lock();
+            let mut total = ExecStats::with_blocks(func.blocks.len());
+            for group in 0..dispatch.groups() {
+                mem.clear_locals();
+                let arg_values: Vec<KernelArgValue> = args
+                    .iter()
+                    .map(|a| match a {
+                        KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
+                        KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
+                        KernelArg::Local(bytes) => {
+                            KernelArgValue::LocalBuffer(mem.alloc_local(*bytes))
+                        }
+                    })
+                    .collect();
+                let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
+                let mut run = WorkGroupRun::new(func, shape, &arg_values, 0)?;
+                run.run(&mut *mem, kernel.device_program.math())?;
+                total.merge(run.stats());
+            }
+            total
+        };
+
+        let t = kernel.device_program.kernel_time(&kernel.name, &dispatch, &stats);
+        {
+            let mut st = self.state.lock();
+            st.counters.launches += 1;
+            st.counters.work_items += dispatch.global as u64;
+            st.kernel_stats
+                .entry(kernel.name.clone())
+                .and_modify(|s| s.merge(&stats))
+                .or_insert(stats);
+        }
+        Ok(self.advance(CommandKind::Kernel, 0, Some(&kernel.name), dispatch.global as u64, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BuildOptions;
+    use crate::program::Program;
+    use crate::testutil::NullDevice;
+
+    fn setup(src: &str) -> (Arc<Context>, CommandQueue, Program) {
+        let ctx = Context::new(Arc::new(NullDevice::default()));
+        let q = CommandQueue::new(&ctx);
+        let p = Program::from_source(&ctx, "t.cl", src, &BuildOptions::default()).expect("builds");
+        (ctx, q, p)
+    }
+
+    #[test]
+    fn write_kernel_read_round_trip() {
+        let (ctx, q, p) = setup(
+            "__kernel void twice(__global double* io) {
+                size_t g = get_global_id(0);
+                io[g] = io[g] * 2.0;
+            }",
+        );
+        let buf = ctx.create_buffer(4 * 8);
+        q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        let k = p.kernel("twice").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        q.enqueue_nd_range(&k, Dispatch::new(4, 2)).expect("launch");
+        let mut out = [0.0; 4];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        assert_eq!(out, [2.0, 4.0, 6.0, 8.0]);
+        let c = q.counters();
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.launches, 1);
+        assert_eq!(c.work_items, 4);
+        assert_eq!(c.h2d_bytes, 32);
+    }
+
+    #[test]
+    fn clock_advances_monotonically_with_overheads() {
+        let (ctx, q, p) = setup("__kernel void nop(__global double* io) {}");
+        let buf = ctx.create_buffer(1024 * 8);
+        let e1 = q.enqueue_write_f64(&buf, &vec![0.0; 1024]).expect("write");
+        let k = p.kernel("nop").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        let e2 = q.enqueue_nd_range(&k, Dispatch::new(16, 16)).expect("launch");
+        assert!(e1.profiling.end_s > e1.profiling.start_s);
+        assert!(e2.profiling.queued_s >= e1.profiling.end_s);
+        assert!(e2.profiling.start_s > e2.profiling.queued_s, "command overhead visible");
+        assert!(q.elapsed_s() >= e2.profiling.end_s);
+        assert!(q.device_busy_s() > 0.0);
+        assert!(q.device_busy_s() < q.elapsed_s());
+    }
+
+    #[test]
+    fn local_memory_args_and_stats() {
+        let (ctx, q, p) = setup(
+            "__kernel void rev(__global double* io, __local double* tmp) {
+                size_t l = get_local_id(0);
+                size_t n = get_local_size(0);
+                tmp[l] = io[get_global_id(0)];
+                barrier(1);
+                io[get_global_id(0)] = tmp[n - 1 - l];
+            }",
+        );
+        let buf = ctx.create_buffer(4 * 8);
+        q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        let k = p.kernel("rev").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        k.set_arg_local(1, 4 * 8);
+        q.enqueue_nd_range(&k, Dispatch::new(4, 4)).expect("launch");
+        let mut out = [0.0; 4];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        assert_eq!(out, [4.0, 3.0, 2.0, 1.0]);
+        let stats = q.kernel_stats("rev").expect("stats");
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.mem.local_stores, 4);
+        assert_eq!(stats.mem.local_loads, 4);
+    }
+
+    #[test]
+    fn local_memory_capacity_enforced() {
+        let (ctx, q, p) = setup("__kernel void k(__global double* io, __local double* t) {}");
+        let buf = ctx.create_buffer(8);
+        let k = p.kernel("k").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        let too_much = ctx.device().info().local_mem_bytes as usize + 8;
+        k.set_arg_local(1, too_much);
+        assert!(matches!(
+            q.enqueue_nd_range(&k, Dispatch::new(1, 1)),
+            Err(RuntimeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_transfers_rejected() {
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        let buf = ctx.create_buffer(8);
+        assert!(q.enqueue_write_f64(&buf, &[1.0, 2.0]).is_err());
+        let mut out = [0.0; 2];
+        assert!(q.enqueue_read_f64(&buf, &mut out).is_err());
+    }
+
+    #[test]
+    fn timing_only_mode_skips_execution_but_keeps_time() {
+        let (ctx, q, p) = setup(
+            "__kernel void boom(__global double* io) {
+                io[9999999] = 1.0; // would be out of bounds if executed
+            }",
+        );
+        let buf = ctx.create_buffer(8);
+        let k = p.kernel("boom").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        q.set_timing_only(Box::new(|_, d| {
+            let mut s = ExecStats::with_blocks(1);
+            s.block_execs[0] = d.global as u64;
+            s
+        }));
+        let ev = q.enqueue_nd_range(&k, Dispatch::new(1024, 256)).expect("timing-only launch");
+        assert!(ev.profiling.duration_s() > 0.0);
+        // Writes skip the memcpy too but still cost time.
+        let before = q.elapsed_s();
+        q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+        assert!(q.elapsed_s() > before);
+        assert_eq!(ctx.snapshot(&buf), vec![0u8; 8], "timing-only write copies nothing");
+    }
+
+    #[test]
+    fn trace_records_commands_in_order() {
+        let (ctx, q, p) = setup("__kernel void k(__global double* io) {}");
+        q.enable_trace();
+        let buf = ctx.create_buffer(16);
+        q.enqueue_write_f64(&buf, &[1.0, 2.0]).expect("write");
+        let k = p.kernel("k").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        q.enqueue_nd_range(&k, Dispatch::new(2, 2)).expect("launch");
+        let mut out = [0.0; 2];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        let trace = q.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].kind, CommandKind::Write);
+        assert_eq!(trace[1].kind, CommandKind::Kernel);
+        assert_eq!(trace[1].kernel.as_deref(), Some("k"));
+        assert_eq!(trace[2].kind, CommandKind::Read);
+        assert!(trace[0].end_s <= trace[1].start_s);
+        assert!(trace[1].end_s <= trace[2].start_s);
+    }
+
+    #[test]
+    fn copy_and_fill_operate_on_device_memory() {
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        let a = ctx.create_buffer(4 * 8);
+        let b = ctx.create_buffer(4 * 8);
+        q.enqueue_fill_f64(&a, 2.5, 4).expect("fill");
+        q.enqueue_copy_buffer(&a, &b, 4 * 8).expect("copy");
+        let mut out = [0.0; 4];
+        q.enqueue_read_f64(&b, &mut out).expect("read");
+        assert_eq!(out, [2.5; 4]);
+        // Copies are device-side: no link traffic counted.
+        let c = q.counters();
+        assert_eq!(c.d2h_bytes, 32, "only the final read crosses the link");
+        assert_eq!(c.h2d_bytes, 0);
+    }
+
+    #[test]
+    fn copy_and_fill_bounds_checked() {
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        let a = ctx.create_buffer(8);
+        let b = ctx.create_buffer(8);
+        assert!(q.enqueue_copy_buffer(&a, &b, 16).is_err());
+        assert!(q.enqueue_copy_buffer(&a, &a, 8).is_err(), "overlap rejected");
+        assert!(q.enqueue_fill_f64(&a, 0.0, 2).is_err());
+    }
+
+    #[test]
+    fn work_group_size_limit_enforced() {
+        let (ctx, q, p) = setup("__kernel void k(__global double* io) {}");
+        let buf = ctx.create_buffer(8);
+        let k = p.kernel("k").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        let max = ctx.device().info().max_work_group_size;
+        assert!(matches!(
+            q.enqueue_nd_range(&k, Dispatch::new(max * 2, max * 2)),
+            Err(RuntimeError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Test helpers: a minimal device model for exercising the runtime.
+
+use crate::device::{
+    BuildError, BuildOptions, BuildReport, Device, DeviceInfo, DeviceKind, DeviceProgram,
+    Dispatch, LinkModel,
+};
+use bop_clir::ir::Module;
+use bop_clir::mathlib::{ExactMath, MathLib};
+use bop_clir::stats::ExecStats;
+use std::sync::Arc;
+
+/// A featureless device: exact math, 1 ns per basic-block execution,
+/// generous capacities. Useful for testing the runtime itself and as a
+/// template for real device models.
+pub struct NullDevice {
+    info: DeviceInfo,
+}
+
+impl Default for NullDevice {
+    fn default() -> NullDevice {
+        NullDevice {
+            info: DeviceInfo {
+                name: "null".into(),
+                kind: DeviceKind::Cpu,
+                compute_units: 1,
+                global_mem_bytes: 1 << 30,
+                local_mem_bytes: 48 << 10,
+                max_work_group_size: 1024,
+                global_bw_bytes_per_s: 10e9,
+                link: LinkModel { peak_bytes_per_s: 1e9, efficiency: 1.0, latency_s: 1e-6 },
+                command_overhead_s: 10e-6,
+                session_setup_s: 0.0,
+                power_watts: 10.0,
+            },
+        }
+    }
+}
+
+impl Device for NullDevice {
+    fn info(&self) -> &DeviceInfo {
+        &self.info
+    }
+
+    fn compile(
+        &self,
+        module: Arc<Module>,
+        _options: &BuildOptions,
+    ) -> Result<Arc<dyn DeviceProgram>, BuildError> {
+        Ok(Arc::new(NullProgram { module, math: ExactMath }))
+    }
+}
+
+struct NullProgram {
+    module: Arc<Module>,
+    math: ExactMath,
+}
+
+impl DeviceProgram for NullProgram {
+    fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    fn math(&self) -> &dyn MathLib {
+        &self.math
+    }
+
+    fn report(&self) -> BuildReport {
+        BuildReport {
+            device: "null".into(),
+            kernels: self.module.kernels().map(|k| k.name.clone()).collect(),
+            clock_hz: 1e9,
+            resources: None,
+            logic_utilization: None,
+            power_watts: 10.0,
+        }
+    }
+
+    fn kernel_time(&self, _kernel: &str, _dispatch: &Dispatch, stats: &ExecStats) -> f64 {
+        stats.total_block_execs() as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_device_compiles_and_reports() {
+        let dev = NullDevice::default();
+        let module = Arc::new(
+            bop_clc::compile(
+                "t.cl",
+                "__kernel void k(__global double* o) {}",
+                &bop_clc::Options::default(),
+            )
+            .expect("compiles"),
+        );
+        let prog = dev.compile(module, &BuildOptions::default()).expect("builds");
+        let report = prog.report();
+        assert_eq!(report.kernels, vec!["k".to_string()]);
+        let mut stats = ExecStats::with_blocks(1);
+        stats.block_execs[0] = 1000;
+        let t = prog.kernel_time("k", &Dispatch::new(1, 1), &stats);
+        assert!((t - 1e-6).abs() < 1e-12);
+    }
+}

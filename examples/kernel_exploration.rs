@@ -1,0 +1,70 @@
+//! Design-space exploration: rebuild kernel IV.B with different
+//! vectorization and unroll factors and watch resources, clock, power and
+//! throughput trade off — the Section V.B compilation-iteration loop the
+//! paper describes, plus the conclusion's "pick a smaller board" idea.
+//!
+//! ```sh
+//! cargo run --example kernel_exploration
+//! ```
+
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_fpga::FpgaPart;
+use bop_ocl::BuildOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_steps = 192;
+    println!("kernel IV.B on the Stratix IV EP4SGX530, (simd x unroll) grid:\n");
+    println!(
+        "{:>6}{:>8}{:>10}{:>12}{:>10}{:>14}{:>14}",
+        "simd", "unroll", "logic", "clock MHz", "power W", "options/s", "options/J"
+    );
+    for simd in [1u32, 2, 4, 8, 16] {
+        for unroll in [1u32, 2, 4] {
+            let build =
+                BuildOptions { simd, compute_units: 1, unroll: Some(unroll), ..Default::default() };
+            match Accelerator::new(
+                bop_core::devices::fpga(),
+                KernelArch::Optimized,
+                Precision::Double,
+                n_steps,
+                Some(build),
+            ) {
+                Ok(acc) => {
+                    let report = acc.report().clone();
+                    let projection = acc.project(500)?;
+                    println!(
+                        "{simd:>6}{unroll:>8}{:>9.0}%{:>12.2}{:>10.1}{:>14.0}{:>14.1}",
+                        report.logic_utilization.unwrap_or(0.0) * 100.0,
+                        report.clock_hz / 1e6,
+                        report.power_watts,
+                        projection.options_per_s,
+                        projection.options_per_j
+                    );
+                }
+                Err(e) => {
+                    println!("{simd:>6}{unroll:>8}    {e}");
+                }
+            }
+        }
+    }
+
+    // The conclusion's alternative: a smaller, cheaper part.
+    println!("\nthe paper's configuration (vec 4, unroll 2) on a smaller part:");
+    let small = bop_fpga::FpgaDevice::with_part(
+        FpgaPart::ep4sgx230(),
+        bop_clir::mathlib::DeviceMath::altera_13_0(),
+    );
+    match Accelerator::new(small, KernelArch::Optimized, Precision::Double, n_steps, None) {
+        Ok(acc) => {
+            let r = acc.report();
+            println!(
+                "  fits: {:.0}% logic, {:.2} MHz, {:.1} W",
+                r.logic_utilization.unwrap_or(0.0) * 100.0,
+                r.clock_hz / 1e6,
+                r.power_watts
+            );
+        }
+        Err(e) => println!("  {e}"),
+    }
+    Ok(())
+}

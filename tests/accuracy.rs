@@ -1,0 +1,74 @@
+//! Integration: the Section V.C accuracy story at full paper scale.
+
+use bop_core::experiments::accuracy::pow_operator_rmse;
+use bop_core::experiments::table2::PAPER_STEPS;
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_finance::{workload, OptionParams};
+
+#[test]
+fn full_scale_price_rmse_is_about_1e_minus_3_on_the_buggy_fpga() {
+    // The headline accuracy number of the paper's Table II: kernel IV.B on
+    // the 13.0 FPGA shows an RMSE of ~1e-3 at N = 1024.
+    let acc = Accelerator::new(
+        bop_core::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        PAPER_STEPS,
+        None,
+    )
+    .expect("builds");
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 9);
+    let run = acc.price(&options).expect("prices");
+    assert!(
+        (1e-5..5e-3).contains(&run.rmse),
+        "paper reports ~1e-3 RMSE at paper scale; measured {:.2e}",
+        run.rmse
+    );
+}
+
+#[test]
+fn sp1_compiler_fixes_the_full_scale_rmse() {
+    let acc = Accelerator::new(
+        bop_core::devices::fpga_sp1(),
+        KernelArch::Optimized,
+        Precision::Double,
+        PAPER_STEPS,
+        None,
+    )
+    .expect("builds");
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 9);
+    let run = acc.price(&options).expect("prices");
+    assert!(run.rmse < 1e-9, "SP1 pow is accurate: {:.2e}", run.rmse);
+}
+
+#[test]
+fn pow_operator_rmse_matches_the_paper_order_of_magnitude() {
+    let math = bop_clir::mathlib::DeviceMath::altera_13_0();
+    let rmse = pow_operator_rmse(&math, &OptionParams::example(), 1024);
+    assert!(
+        (3e-4..3e-2).contains(&rmse),
+        "\"This operator shows an RMSE of 1e-3\": measured {rmse:.2e}"
+    );
+}
+
+#[test]
+fn error_grows_with_lattice_depth() {
+    // The mechanism: pow error is proportional to the exponent, i.e. to N.
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 10);
+    let rmse_at = |n: usize| {
+        Accelerator::new(
+            bop_core::devices::fpga(),
+            KernelArch::Optimized,
+            Precision::Double,
+            n,
+            None,
+        )
+        .expect("builds")
+        .price(&options)
+        .expect("prices")
+        .rmse
+    };
+    let small = rmse_at(64);
+    let large = rmse_at(512);
+    assert!(large > small, "price RMSE should grow with N: {small:.2e} vs {large:.2e}");
+}

@@ -1,0 +1,199 @@
+//! End-to-end integration: every kernel architecture on every device, in
+//! both precisions, against the reference software.
+
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_finance::binomial::{price_american_f32, price_american_f64};
+use bop_finance::workload;
+
+fn batch(n: usize, seed: u64) -> Vec<bop_finance::OptionParams> {
+    workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
+}
+
+#[test]
+fn every_arch_on_every_device_prices_correctly() {
+    let n_steps = 48;
+    let options = batch(4, 1);
+    for device_fn in [bop_core::devices::fpga, bop_core::devices::gpu, bop_core::devices::cpu] {
+        for arch in [
+            KernelArch::Straightforward,
+            KernelArch::Optimized,
+            KernelArch::OptimizedHostLeaves,
+        ] {
+            let device = device_fn();
+            let name = device.info().name.clone();
+            let acc = Accelerator::new(device, arch, Precision::Double, n_steps, None)
+                .unwrap_or_else(|e| panic!("{arch} on {name}: {e}"));
+            let run = acc.price(&options).unwrap_or_else(|e| panic!("{arch} on {name}: {e}"));
+            for (price, option) in run.prices.iter().zip(&options) {
+                let reference = price_american_f64(option, n_steps);
+                assert!(
+                    (price - reference).abs() < 5e-3,
+                    "{arch} on {name}: {price} vs {reference}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_kernel_architectures_agree_with_each_other() {
+    // The paper's two implementations compute the same recurrence; on a
+    // device with exact math they must agree to rounding.
+    let n_steps = 64;
+    let options = batch(6, 2);
+    let gpu = bop_core::devices::gpu();
+    let a = Accelerator::new(
+        gpu.clone(),
+        KernelArch::Straightforward,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let b = Accelerator::new(gpu, KernelArch::Optimized, Precision::Double, n_steps, None)
+        .expect("builds");
+    let run_a = a.price(&options).expect("IV.A prices");
+    let run_b = b.price(&options).expect("IV.B prices");
+    for (pa, pb) in run_a.prices.iter().zip(&run_b.prices) {
+        assert!((pa - pb).abs() < 1e-10, "architectures disagree: {pa} vs {pb}");
+    }
+}
+
+#[test]
+fn single_precision_tracks_the_f32_reference() {
+    let n_steps = 64;
+    let options = batch(4, 3);
+    let acc = Accelerator::new(
+        bop_core::devices::gpu(),
+        KernelArch::Optimized,
+        Precision::Single,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let run = acc.price(&options).expect("prices");
+    for (price, option) in run.prices.iter().zip(&options) {
+        let f32_ref = price_american_f32(option, n_steps) as f64;
+        assert!(
+            (price - f32_ref).abs() < 2e-3,
+            "single-precision kernel vs f32 reference: {price} vs {f32_ref}"
+        );
+    }
+    // And it is *measurably different* from the double reference.
+    assert!(run.rmse > 1e-7, "single precision must differ from f64: {}", run.rmse);
+}
+
+#[test]
+fn puts_and_european_payoffs_work_through_the_kernels() {
+    use bop_finance::{ExerciseStyle, OptionKind, OptionParams};
+    let n_steps = 64;
+    let mut put = OptionParams::example();
+    put.kind = OptionKind::Put;
+    let acc = Accelerator::new(
+        bop_core::devices::gpu(),
+        KernelArch::Optimized,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let run = acc.price(&[put]).expect("prices");
+    let reference = price_american_f64(&put, n_steps);
+    assert!((run.prices[0] - reference).abs() < 1e-9, "{} vs {reference}", run.prices[0]);
+    // The kernels implement the American recurrence; the European limit is
+    // the analytics' job — but an American call equals the European one.
+    let mut euro_call = OptionParams::example();
+    euro_call.style = ExerciseStyle::European;
+    let euro = bop_finance::bs_price(&euro_call);
+    let amer_call = acc.price(&[OptionParams::example()]).expect("prices").prices[0];
+    assert!(
+        (amer_call - euro).abs() < 0.05,
+        "American call should track Black-Scholes: {amer_call} vs {euro}"
+    );
+}
+
+#[test]
+fn reduced_read_variant_matches_full_read_prices() {
+    let n_steps = 32;
+    let options = batch(5, 4);
+    let gpu = bop_core::devices::gpu();
+    let naive = Accelerator::new(
+        gpu.clone(),
+        KernelArch::Straightforward,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let modified =
+        Accelerator::new(gpu, KernelArch::Straightforward, Precision::Double, n_steps, None)
+            .expect("builds")
+            .with_reduced_reads();
+    let run_full = naive.price(&options).expect("prices");
+    let run_fast = modified.price(&options).expect("prices");
+    assert_eq!(run_full.prices, run_fast.prices, "read strategy cannot change results");
+    assert!(run_fast.elapsed_s < run_full.elapsed_s, "but it must be faster");
+}
+
+#[test]
+fn european_kernel_converges_to_black_scholes_through_the_whole_stack() {
+    use bop_finance::{bs_price, ExerciseStyle};
+    // The extension kernel prices the discounted expectation only; with
+    // European-style options the reference agrees, and both must approach
+    // the closed form as the lattice refines.
+    let mut options = batch(5, 6);
+    for o in &mut options {
+        o.style = ExerciseStyle::European;
+    }
+    let n_steps = 256;
+    let acc = Accelerator::new(
+        bop_core::devices::gpu(),
+        KernelArch::OptimizedEuropean,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let run = acc.price(&options).expect("prices");
+    assert!(run.rmse < 1e-10, "kernel matches the European lattice reference: {}", run.rmse);
+    for (price, option) in run.prices.iter().zip(&options) {
+        let analytic = bs_price(option);
+        assert!(
+            (price - analytic).abs() < 0.05,
+            "lattice {price} vs Black-Scholes {analytic}"
+        );
+    }
+}
+
+#[test]
+fn european_kernel_differs_from_american_for_puts() {
+    use bop_finance::{ExerciseStyle, OptionKind, OptionParams};
+    let mut put = OptionParams::example();
+    put.kind = OptionKind::Put;
+    put.style = ExerciseStyle::European; // reference style for the European arch
+    let n_steps = 128;
+    let euro = Accelerator::new(
+        bop_core::devices::gpu(),
+        KernelArch::OptimizedEuropean,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let mut amer_put = put;
+    amer_put.style = ExerciseStyle::American;
+    let amer = Accelerator::new(
+        bop_core::devices::gpu(),
+        KernelArch::Optimized,
+        Precision::Double,
+        n_steps,
+        None,
+    )
+    .expect("builds");
+    let p_euro = euro.price(&[put]).expect("prices").prices[0];
+    let p_amer = amer.price(&[amer_put]).expect("prices").prices[0];
+    assert!(
+        p_amer > p_euro + 1e-3,
+        "the early-exercise max must be worth something: {p_amer} vs {p_euro}"
+    );
+}

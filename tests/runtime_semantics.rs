@@ -1,0 +1,168 @@
+//! Integration: OpenCL runtime semantics across the stack — command
+//! ordering, ping-pong buffering, timing-only equivalence, and the
+//! device-memory behaviours the host programs rely on.
+
+use bop_core::{Accelerator, KernelArch, Precision};
+use bop_finance::OptionParams;
+use bop_ocl::device::Dispatch;
+use bop_ocl::queue::CommandKind;
+use bop_ocl::{BuildOptions, CommandQueue, Context, Program};
+
+#[test]
+fn ping_pong_buffers_are_independent() {
+    // Writing through one buffer must never disturb the other — the whole
+    // point of the paper's double buffering.
+    let ctx = Context::new(bop_core::devices::fpga());
+    let q = CommandQueue::new(&ctx);
+    let p = Program::from_source(
+        &ctx,
+        "copy.cl",
+        "__kernel void copy(__global const double* src, __global double* dst) {
+            size_t g = get_global_id(0);
+            dst[g] = src[g] + 1.0;
+        }",
+        &BuildOptions::default(),
+    )
+    .expect("builds");
+    let a = ctx.create_buffer(4 * 8);
+    let b = ctx.create_buffer(4 * 8);
+    q.enqueue_write_f64(&a, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+    let k = p.kernel("copy").expect("kernel");
+    // a -> b, then b -> a: two generations of the pipeline.
+    k.set_arg_buffer(0, &a);
+    k.set_arg_buffer(1, &b);
+    q.enqueue_nd_range(&k, Dispatch::new(4, 4)).expect("launch");
+    k.set_arg_buffer(0, &b);
+    k.set_arg_buffer(1, &a);
+    q.enqueue_nd_range(&k, Dispatch::new(4, 4)).expect("launch");
+    let mut out_a = [0.0; 4];
+    let mut out_b = [0.0; 4];
+    q.enqueue_read_f64(&a, &mut out_a).expect("read");
+    q.enqueue_read_f64(&b, &mut out_b).expect("read");
+    assert_eq!(out_b, [2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(out_a, [3.0, 4.0, 5.0, 6.0]);
+}
+
+#[test]
+fn command_stream_timestamps_are_in_order_and_disjoint() {
+    let acc = Accelerator::new(
+        bop_core::devices::fpga(),
+        KernelArch::Optimized,
+        Precision::Double,
+        32,
+        None,
+    )
+    .expect("builds");
+    let run = acc.price(&[OptionParams::example(); 3]).expect("prices");
+    assert!(run.elapsed_s > 0.0);
+    assert!(run.device_busy_s > 0.0);
+    assert!(run.device_busy_s <= run.elapsed_s, "device time within wall time");
+}
+
+#[test]
+fn timing_only_replay_reproduces_the_functional_command_stream() {
+    // The projection path must issue exactly the commands the functional
+    // path does (same counts, same bytes) — otherwise the Table II numbers
+    // would measure a different program than the one that runs.
+    let n_steps = 32;
+    let options = vec![OptionParams::example(); 5];
+
+    let functional = {
+        let ctx = Context::new(bop_core::devices::fpga());
+        let q = CommandQueue::new(&ctx);
+        q.enable_trace();
+        let p = Program::from_source(
+            &ctx,
+            "k.cl",
+            &KernelArch::Straightforward.source(Precision::Double),
+            &BuildOptions::paper_straightforward(),
+        )
+        .expect("builds");
+        bop_core::hostprog::straightforward::StraightforwardHost {
+            n_steps,
+            precision: Precision::Double,
+            read_full: true,
+        }
+        .run(&ctx, &q, &p, &options)
+        .expect("runs");
+        (q.counters(), q.trace())
+    };
+
+    let timing_only = {
+        let ctx = Context::new(bop_core::devices::fpga());
+        let q = CommandQueue::new(&ctx);
+        q.enable_trace();
+        q.set_timing_only(Box::new(|_, d| {
+            let mut s = bop_clir::stats::ExecStats::with_blocks(4);
+            s.block_execs[0] = d.global as u64;
+            s
+        }));
+        let p = Program::from_source(
+            &ctx,
+            "k.cl",
+            &KernelArch::Straightforward.source(Precision::Double),
+            &BuildOptions::paper_straightforward(),
+        )
+        .expect("builds");
+        bop_core::hostprog::straightforward::StraightforwardHost {
+            n_steps,
+            precision: Precision::Double,
+            read_full: true,
+        }
+        .run(&ctx, &q, &p, &options)
+        .expect("runs");
+        (q.counters(), q.trace())
+    };
+
+    assert_eq!(functional.0.writes, timing_only.0.writes);
+    assert_eq!(functional.0.reads, timing_only.0.reads);
+    assert_eq!(functional.0.launches, timing_only.0.launches);
+    assert_eq!(functional.0.h2d_bytes, timing_only.0.h2d_bytes);
+    assert_eq!(functional.0.d2h_bytes, timing_only.0.d2h_bytes);
+    assert_eq!(functional.1.len(), timing_only.1.len());
+    for (f, t) in functional.1.iter().zip(&timing_only.1) {
+        assert_eq!(f.kind, t.kind);
+        assert_eq!(f.bytes, t.bytes);
+    }
+}
+
+#[test]
+fn kernel_ordering_respects_the_in_order_queue() {
+    let ctx = Context::new(bop_core::devices::gpu());
+    let q = CommandQueue::new(&ctx);
+    q.enable_trace();
+    let p = Program::from_source(
+        &ctx,
+        "inc.cl",
+        "__kernel void inc(__global double* x) { x[0] = x[0] * 2.0 + 1.0; }",
+        &BuildOptions::default(),
+    )
+    .expect("builds");
+    let buf = ctx.create_buffer(8);
+    q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+    let k = p.kernel("inc").expect("kernel");
+    k.set_arg_buffer(0, &buf);
+    for _ in 0..4 {
+        q.enqueue_nd_range(&k, Dispatch::new(1, 1)).expect("launch");
+    }
+    let mut out = [0.0];
+    q.enqueue_read_f64(&buf, &mut out).expect("read");
+    // x -> 3 -> 7 -> 15 -> 31: only correct if launches execute in order.
+    assert_eq!(out[0], 31.0);
+    let trace = q.trace();
+    for w in trace.windows(2) {
+        assert!(w[0].end_s <= w[1].start_s, "commands must not overlap in an in-order queue");
+    }
+    assert_eq!(trace.iter().filter(|t| t.kind == CommandKind::Kernel).count(), 4);
+}
+
+#[test]
+fn device_memory_capacity_is_enforced_per_context() {
+    let ctx = Context::new(bop_core::devices::gpu());
+    let cap = ctx.device().info().global_mem_bytes as usize;
+    let _half = ctx.create_buffer(cap / 2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _too_much = ctx.create_buffer(cap / 2 + 1024);
+    }));
+    assert!(result.is_err(), "exceeding device memory must fail loudly");
+}
