@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate, runnable offline (the workspace has no
+# registry dependencies; crates/devtests, which does, is workspace-
+# excluded and not touched here).
+#
+# Usage: ./ci.sh
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI: all gates passed"

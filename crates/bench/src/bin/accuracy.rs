@@ -1,29 +1,62 @@
 //! Regenerates the Section V.C accuracy experiment (the pow operator).
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{slug, ReportOpts, Stopwatch};
 use bop_clir::mathlib::{DeviceMath, ExactMath};
 use bop_core::experiments::accuracy;
 use bop_finance::OptionParams;
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     let o = OptionParams::example();
-    println!("The pow operator itself (RMSE vs libm over the kernel's leaf arguments):\n");
-    println!("{:>8}{:>18}{:>18}", "N", "Altera 13.0", "13.0 SP1");
-    for n in [64, 128, 256, 512, 1024] {
-        println!(
-            "{n:>8}{:>18.2e}{:>18.2e}",
-            accuracy::pow_operator_rmse(&DeviceMath::altera_13_0(), &o, n),
-            accuracy::pow_operator_rmse(&ExactMath, &o, n),
-        );
-    }
-    println!("\n(paper: \"This operator shows an RMSE of 1e-3, compared with a software reference\")\n");
+    let mut report = ExperimentReport::new("accuracy");
 
-    println!("End-to-end price RMSE (vs the double-precision reference software):\n");
+    if !opts.suppress_human() {
+        println!("The pow operator itself (RMSE vs libm over the kernel's leaf arguments):\n");
+        println!("{:>8}{:>18}{:>18}", "N", "Altera 13.0", "13.0 SP1");
+    }
+    for n in [64, 128, 256, 512, 1024] {
+        let buggy = accuracy::pow_operator_rmse(&DeviceMath::altera_13_0(), &o, n);
+        let fixed = accuracy::pow_operator_rmse(&ExactMath, &o, n);
+        if !opts.suppress_human() {
+            println!("{n:>8}{buggy:>18.2e}{fixed:>18.2e}");
+        }
+        // The paper quotes the operator RMSE of ~1e-3 at its lattice size.
+        let paper = if n == 1024 { Some(1e-3) } else { None };
+        report.push(format!("pow_altera_13_0.rmse.n_{n}"), paper, buggy, "");
+        report.push(format!("pow_13_0_sp1.rmse.n_{n}"), None, fixed, "");
+    }
+    if !opts.suppress_human() {
+        println!("\n(paper: \"This operator shows an RMSE of 1e-3, compared with a software reference\")\n");
+        println!("End-to-end price RMSE (vs the double-precision reference software):\n");
+    }
+
     for n in [96, 192, 384] {
         eprintln!("  pricing functionally at N = {n}...");
         let points = accuracy::run(n, 16).expect("runs");
-        println!("N = {n}:");
-        for p in points {
-            println!("  {:<38} rmse {:>10.2e}   max {:>10.2e}", p.label, p.rmse, p.max_abs_error);
+        if !opts.suppress_human() {
+            println!("N = {n}:");
+        }
+        for p in &points {
+            if !opts.suppress_human() {
+                println!(
+                    "  {:<38} rmse {:>10.2e}   max {:>10.2e}",
+                    p.label, p.rmse, p.max_abs_error
+                );
+            }
+            let s = slug(&p.label);
+            report.push(format!("{s}.rmse.n_{n}"), None, p.rmse, "USD");
+            report.push(format!("{s}.max_abs_error.n_{n}"), None, p.max_abs_error, "USD");
         }
     }
-    println!("\n(paper Table II: kernel IV.B on FPGA ~1e-3; GPU exact; host leaves avoid the bug)");
+    if !opts.suppress_human() {
+        println!(
+            "\n(paper Table II: kernel IV.B on FPGA ~1e-3; GPU exact; host leaves avoid the bug)"
+        );
+    }
+
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

@@ -30,11 +30,11 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
-            "--simd" => args.build.simd = value("--simd")?.parse().map_err(|e| format!("--simd: {e}"))?,
+            "--simd" => {
+                args.build.simd = value("--simd")?.parse().map_err(|e| format!("--simd: {e}"))?
+            }
             "--cu" => {
                 args.build.compute_units =
                     value("--cu")?.parse().map_err(|e| format!("--cu: {e}"))?
@@ -96,7 +96,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let device = bop_fpga::FpgaDevice::with_part(part, bop_clir::mathlib::DeviceMath::altera_13_0());
+    let device =
+        bop_fpga::FpgaDevice::with_part(part, bop_clir::mathlib::DeviceMath::altera_13_0());
     let part_name = device.part().name.clone();
     let caps = device.part().clone();
     let ctx = Context::new(device);
@@ -117,12 +118,37 @@ fn main() -> ExitCode {
     );
     println!("\n;---- Fitter summary ----------------------------------------");
     let pct = |used: u64, cap: u64| 100.0 * used as f64 / cap as f64;
-    println!("; Logic (ALUTs)      : {:>9} / {:>9} ({:.0} %)", res.aluts, caps.aluts, pct(res.aluts, caps.aluts));
-    println!("; Registers          : {:>9} / {:>9} ({:.0} %)", res.registers, caps.registers, pct(res.registers, caps.registers));
-    println!("; Memory bits        : {:>9} / {:>9} ({:.0} %)", res.memory_bits, caps.memory_bits, pct(res.memory_bits, caps.memory_bits));
-    println!("; M9K blocks         : {:>9} / {:>9} ({:.0} %)", res.m9k_blocks, caps.m9k_blocks, pct(res.m9k_blocks, caps.m9k_blocks));
+    println!(
+        "; Logic (ALUTs)      : {:>9} / {:>9} ({:.0} %)",
+        res.aluts,
+        caps.aluts,
+        pct(res.aluts, caps.aluts)
+    );
+    println!(
+        "; Registers          : {:>9} / {:>9} ({:.0} %)",
+        res.registers,
+        caps.registers,
+        pct(res.registers, caps.registers)
+    );
+    println!(
+        "; Memory bits        : {:>9} / {:>9} ({:.0} %)",
+        res.memory_bits,
+        caps.memory_bits,
+        pct(res.memory_bits, caps.memory_bits)
+    );
+    println!(
+        "; M9K blocks         : {:>9} / {:>9} ({:.0} %)",
+        res.m9k_blocks,
+        caps.m9k_blocks,
+        pct(res.m9k_blocks, caps.m9k_blocks)
+    );
     println!("; M144K blocks       : {:>9} / {:>9}", res.m144k_blocks, caps.m144k_blocks);
-    println!("; DSP 18-bit elements: {:>9} / {:>9} ({:.0} %)", res.dsp18, caps.dsp18, pct(res.dsp18, caps.dsp18));
+    println!(
+        "; DSP 18-bit elements: {:>9} / {:>9} ({:.0} %)",
+        res.dsp18,
+        caps.dsp18,
+        pct(res.dsp18, caps.dsp18)
+    );
     println!("; Kernel clock       : {:>12.2} MHz", report.clock_hz / 1e6);
     println!("; Estimated power    : {:>12.1} W", report.power_watts);
     println!("; Kernels            : {}", report.kernels.join(", "));

@@ -1,24 +1,43 @@
 //! Section II's method argument, measured: binomial lattice vs Monte Carlo
 //! error at equal work on a European option.
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_finance::montecarlo;
 use bop_finance::{ExerciseStyle, OptionParams};
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     let option = OptionParams { style: ExerciseStyle::European, ..OptionParams::example() };
-    println!("Lattice vs Monte Carlo at equal work (European ATM call, vs Black-Scholes)\n");
-    println!(
-        "{:>12}{:>16}{:>14}{:>16}{:>16}",
-        "work", "lattice steps", "lattice err", "MC err", "MC std err"
-    );
+    if !opts.suppress_human() {
+        println!("Lattice vs Monte Carlo at equal work (European ATM call, vs Black-Scholes)\n");
+        println!(
+            "{:>12}{:>16}{:>14}{:>16}{:>16}",
+            "work", "lattice steps", "lattice err", "MC err", "MC std err"
+        );
+    }
+    let mut report = ExperimentReport::new("convergence");
     let budgets = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000];
     for p in montecarlo::convergence_comparison(&option, &budgets, 2014) {
         let n_steps = (((2 * p.work) as f64).sqrt() as usize).max(2);
-        println!(
-            "{:>12}{:>16}{:>14.2e}{:>16.2e}{:>16.2e}",
-            p.work, n_steps, p.lattice_error, p.mc_error, p.mc_std_error
-        );
+        if !opts.suppress_human() {
+            println!(
+                "{:>12}{:>16}{:>14.2e}{:>16.2e}{:>16.2e}",
+                p.work, n_steps, p.lattice_error, p.mc_error, p.mc_std_error
+            );
+        }
+        report.push(format!("lattice.error.work_{}", p.work), None, p.lattice_error, "USD");
+        report.push(format!("montecarlo.error.work_{}", p.work), None, p.mc_error, "USD");
+        report.push(format!("montecarlo.std_error.work_{}", p.work), None, p.mc_std_error, "USD");
     }
-    println!("\nBoth scale ~ work^-1/2 at equal work; the lattice wins by a large constant on");
-    println!("this 1-D problem — the paper's Section II rationale for tree methods here, and");
-    println!("for Monte Carlo on high-dimensional/complex models.");
+    if !opts.suppress_human() {
+        println!("\nBoth scale ~ work^-1/2 at equal work; the lattice wins by a large constant on");
+        println!("this 1-D problem — the paper's Section II rationale for tree methods here, and");
+        println!("for Monte Carlo on high-dimensional/complex models.");
+    }
+    report.set_counter("budgets", budgets.len() as u64);
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

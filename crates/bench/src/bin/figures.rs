@@ -1,17 +1,40 @@
 //! Regenerates the paper's Figures 1-4 as text.
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::experiments::figures;
 use bop_finance::OptionParams;
+use bop_obs::ExperimentReport;
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
+    let mut report = ExperimentReport::new("figures");
+    // Positional figure names, with the reporter's flags stripped out.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &raw {
+        if skip_next {
+            skip_next = false;
+        } else if a == "--json-out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            which.push(a.clone());
+        }
+    }
     let all = which.is_empty();
+    let human = !opts.suppress_human();
     let want = |name: &str| all || which.iter().any(|w| w == name);
 
-    if want("figure1") {
+    if human && want("figure1") {
         println!("== Figure 1: binomial tree (N = 2) applied to an American option ==\n");
         let fig = figures::figure1(&OptionParams::example(), 2);
         println!("option: {:?}\n", fig.option);
-        println!("{:>4}{:>4}{:>14}{:>14}   (leaves first: backward iteration)", "t", "j", "S(t,j)", "V(t,j)");
+        println!(
+            "{:>4}{:>4}{:>14}{:>14}   (leaves first: backward iteration)",
+            "t", "j", "S(t,j)", "V(t,j)"
+        );
         for (t, j, s, v) in &fig.nodes {
             println!("{t:>4}{j:>4}{s:>14.4}{v:>14.4}");
         }
@@ -39,7 +62,7 @@ fn main() {
         println!("                              ({})\n", node(2, 0));
     }
 
-    if want("figure2") {
+    if human && want("figure2") {
         println!("== Figure 2: OpenCL platform (host + devices) ==\n");
         println!("HOST");
         for d in figures::figure2() {
@@ -53,7 +76,7 @@ fn main() {
         println!();
     }
 
-    if want("figure3") {
+    if human && want("figure3") {
         println!("== Figure 3: straightforward implementation (N = 2, 4 options) ==\n");
         let fig = figures::figure3(2, 4).expect("runs");
         println!("batch schedule (option index computed at each tree level; '.' = bubble):\n");
@@ -75,7 +98,10 @@ fn main() {
                 None => println!("{:>14}", "-"),
             }
         }
-        println!("\ncommand trace ({} commands; ping-pong switch after every launch):", fig.trace.len());
+        println!(
+            "\ncommand trace ({} commands; ping-pong switch after every launch):",
+            fig.trace.len()
+        );
         for t in fig.trace.iter().take(12) {
             println!(
                 "  {:>9.3} ms  {:?}{}{}",
@@ -89,16 +115,39 @@ fn main() {
     }
 
     if want("figure4") {
-        println!("== Figure 4: optimized kernel dataflow (one work-group) ==\n");
         let n = 8;
         let fig = figures::figure4(n).expect("runs");
-        println!("lattice steps:            {}", fig.n_steps);
-        println!("work-items (tree rows):   {}", fig.work_items);
-        println!("barrier releases:         {} (1 after leaves + 2 per step)", fig.barriers);
-        println!("local-memory loads:       {} (V row reads)", fig.local_loads);
-        println!("local-memory stores:      {} (V row writes)", fig.local_stores);
-        println!("global-memory traffic:    {} bytes (params in, result out)", fig.global_bytes);
-        println!("private-arena accesses:   {} (S and params live in registers)", fig.private_accesses);
-        println!("price computed:           {:.6}", fig.price);
+        if human {
+            println!("== Figure 4: optimized kernel dataflow (one work-group) ==\n");
+            println!("lattice steps:            {}", fig.n_steps);
+            println!("work-items (tree rows):   {}", fig.work_items);
+            println!("barrier releases:         {} (1 after leaves + 2 per step)", fig.barriers);
+            println!("local-memory loads:       {} (V row reads)", fig.local_loads);
+            println!("local-memory stores:      {} (V row writes)", fig.local_stores);
+            println!(
+                "global-memory traffic:    {} bytes (params in, result out)",
+                fig.global_bytes
+            );
+            println!(
+                "private-arena accesses:   {} (S and params live in registers)",
+                fig.private_accesses
+            );
+            println!("price computed:           {:.6}", fig.price);
+        }
+        report.push("figure4.price", None, fig.price, "USD");
+        report.set_counter("figure4.work_items", fig.work_items as u64);
+        report.set_counter("figure4.barriers", fig.barriers);
+        report.set_counter("figure4.local_loads", fig.local_loads);
+        report.set_counter("figure4.local_stores", fig.local_stores);
+        report.set_counter("figure4.global_bytes", fig.global_bytes);
     }
+
+    if want("figure1") {
+        let fig = figures::figure1(&OptionParams::example(), 2);
+        report.push("figure1.price", None, fig.price, "USD");
+        report.set_counter("figure1.nodes", fig.nodes.len() as u64);
+    }
+
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

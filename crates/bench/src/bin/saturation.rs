@@ -1,25 +1,61 @@
 //! Regenerates the Section V.C device-saturation comparison.
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{slug, ReportOpts, Stopwatch};
 use bop_core::experiments::{saturation, table2};
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     eprintln!("sweeping batch sizes at N = {} (timing-only replays)...", table2::PAPER_STEPS);
     let (fpga, gpu) = saturation::fpga_vs_gpu(table2::PAPER_STEPS).expect("sweeps");
-    println!("Device saturation — cold-start throughput vs batch size (kernel IV.B, double)\n");
-    println!("{:>10}{:>26}{:>26}", "options", &fpga.label[12..], &gpu.label[12..]);
-    for (f, g) in fpga.points.iter().zip(&gpu.points) {
+
+    if !opts.suppress_human() {
+        println!("Device saturation — cold-start throughput vs batch size (kernel IV.B, double)\n");
+        println!("{:>10}{:>26}{:>26}", "options", &fpga.label[12..], &gpu.label[12..]);
+        for (f, g) in fpga.points.iter().zip(&gpu.points) {
+            println!(
+                "{:>10}{:>17.0} ({:>3.0}%){:>18.0} ({:>3.0}%)",
+                f.n_options,
+                f.throughput,
+                f.of_asymptote * 100.0,
+                g.throughput,
+                g.of_asymptote * 100.0
+            );
+        }
         println!(
-            "{:>10}{:>17.0} ({:>3.0}%){:>18.0} ({:>3.0}%)",
-            f.n_options,
-            f.throughput,
-            f.of_asymptote * 100.0,
-            g.throughput,
-            g.of_asymptote * 100.0
+            "\nasymptotes: FPGA {:.0} options/s, GPU {:.0} options/s",
+            fpga.asymptote, gpu.asymptote
+        );
+        println!(
+            "95% saturation: FPGA at {:?} options, GPU at {:?} options",
+            fpga.saturation_at, gpu.saturation_at
+        );
+        println!(
+            "(paper: saturation typically at 1e5 options; GTX660 kernel IV.B needs ~10x more)"
         );
     }
-    println!("\nasymptotes: FPGA {:.0} options/s, GPU {:.0} options/s", fpga.asymptote, gpu.asymptote);
-    println!(
-        "95% saturation: FPGA at {:?} options, GPU at {:?} options",
-        fpga.saturation_at, gpu.saturation_at
-    );
-    println!("(paper: saturation typically at 1e5 options; GTX660 kernel IV.B needs ~10x more)");
+
+    let mut report = ExperimentReport::new("saturation");
+    // The paper states devices saturate "typically at 1e5 options"; the
+    // GTX660 discussion implies roughly one order of magnitude more.
+    for (curve, paper_sat) in [(&fpga, Some(1e5)), (&gpu, Some(1e6))] {
+        let s = slug(&curve.label);
+        report.push(format!("{s}.asymptote"), None, curve.asymptote, "options/s");
+        if let Some(at) = curve.saturation_at {
+            report.push(format!("{s}.saturation_at"), paper_sat, at as f64, "options");
+        }
+        for p in &curve.points {
+            report.push(
+                format!("{s}.throughput.batch_{}", p.n_options),
+                None,
+                p.throughput,
+                "options/s",
+            );
+        }
+        report.set_counter(format!("{s}.points"), curve.points.len() as u64);
+    }
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

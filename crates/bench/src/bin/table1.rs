@@ -1,27 +1,89 @@
 //! Regenerates the paper's Table I (resource usage).
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{slug, ReportOpts, Stopwatch};
 use bop_core::experiments::table1;
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     let rows = table1::run().expect("kernels must fit the EP4SGX530");
-    println!("Table I — resource usage on the Stratix IV EP4SGX530 (measured vs paper)\n");
-    println!(
-        "{:<34}{:>18}{:>18}",
-        "", "Kernel IV.A", "Kernel IV.B"
-    );
-    let field = |f: &dyn Fn(&table1::Table1Entry, &table1::Table1Paper) -> String| {
-        rows.iter().map(|(m, p)| f(m, p)).collect::<Vec<_>>()
-    };
-    let lines: Vec<(&str, Vec<String>)> = vec![
-        ("Logic utilization", field(&|m, p| format!("{:.0}% ({:.0}%)", m.logic_util * 100.0, p.logic_util * 100.0))),
-        ("Registers (K)", field(&|m, p| format!("{:.0}K ({:.0}K)", m.registers as f64 / 1024.0, p.registers as f64 / 1024.0))),
-        ("Memory bits (K)", field(&|m, p| format!("{:.0}K ({:.0}K)", m.memory_bits as f64 / 1024.0, p.memory_bits as f64 / 1024.0))),
-        ("M9K blocks", field(&|m, p| format!("{} ({})", m.m9k_blocks, p.m9k_blocks))),
-        ("DSP 18-bit", field(&|m, p| format!("{} ({})", m.dsp18, p.dsp18))),
-        ("Clock (MHz)", field(&|m, p| format!("{:.2} ({:.2})", m.clock_hz / 1e6, p.clock_hz / 1e6))),
-        ("Power (W)", field(&|m, p| format!("{:.1} ({:.1})", m.power_watts, p.power_watts))),
-    ];
-    for (label, cells) in lines {
-        println!("{:<34}{:>18}{:>18}", label, cells[0], cells[1]);
+
+    if !opts.suppress_human() {
+        println!("Table I — resource usage on the Stratix IV EP4SGX530 (measured vs paper)\n");
+        println!("{:<34}{:>18}{:>18}", "", "Kernel IV.A", "Kernel IV.B");
+        let field = |f: &dyn Fn(&table1::Table1Entry, &table1::Table1Paper) -> String| {
+            rows.iter().map(|(m, p)| f(m, p)).collect::<Vec<_>>()
+        };
+        let lines: Vec<(&str, Vec<String>)> = vec![
+            (
+                "Logic utilization",
+                field(&|m, p| {
+                    format!("{:.0}% ({:.0}%)", m.logic_util * 100.0, p.logic_util * 100.0)
+                }),
+            ),
+            (
+                "Registers (K)",
+                field(&|m, p| {
+                    format!(
+                        "{:.0}K ({:.0}K)",
+                        m.registers as f64 / 1024.0,
+                        p.registers as f64 / 1024.0
+                    )
+                }),
+            ),
+            (
+                "Memory bits (K)",
+                field(&|m, p| {
+                    format!(
+                        "{:.0}K ({:.0}K)",
+                        m.memory_bits as f64 / 1024.0,
+                        p.memory_bits as f64 / 1024.0
+                    )
+                }),
+            ),
+            ("M9K blocks", field(&|m, p| format!("{} ({})", m.m9k_blocks, p.m9k_blocks))),
+            ("DSP 18-bit", field(&|m, p| format!("{} ({})", m.dsp18, p.dsp18))),
+            (
+                "Clock (MHz)",
+                field(&|m, p| format!("{:.2} ({:.2})", m.clock_hz / 1e6, p.clock_hz / 1e6)),
+            ),
+            ("Power (W)", field(&|m, p| format!("{:.1} ({:.1})", m.power_watts, p.power_watts))),
+        ];
+        for (label, cells) in lines {
+            println!("{:<34}{:>18}{:>18}", label, cells[0], cells[1]);
+        }
+        println!("\n(parenthesised values: paper Table I)");
     }
-    println!("\n(parenthesised values: paper Table I)");
+
+    let mut report = ExperimentReport::new("table1");
+    for (i, (m, p)) in rows.iter().enumerate() {
+        let s = if i == 0 { slug("kernel IV.A") } else { slug("kernel IV.B") };
+        report.push(format!("{s}.logic_util"), Some(p.logic_util), m.logic_util, "fraction");
+        report.push(
+            format!("{s}.registers"),
+            Some(p.registers as f64),
+            m.registers as f64,
+            "registers",
+        );
+        report.push(
+            format!("{s}.memory_bits"),
+            Some(p.memory_bits as f64),
+            m.memory_bits as f64,
+            "bits",
+        );
+        report.push(
+            format!("{s}.m9k_blocks"),
+            Some(p.m9k_blocks as f64),
+            m.m9k_blocks as f64,
+            "blocks",
+        );
+        report.push(format!("{s}.dsp18"), Some(p.dsp18 as f64), m.dsp18 as f64, "DSPs");
+        report.push(format!("{s}.clock"), Some(p.clock_hz), m.clock_hz, "Hz");
+        report.push(format!("{s}.power"), Some(p.power_watts), m.power_watts, "W");
+    }
+    report.set_counter("kernels", rows.len() as u64);
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

@@ -2,37 +2,73 @@
 //!
 //! Pass `--fast` to run the RMSE measurement at a reduced lattice size
 //! (128 steps instead of the paper's 1024) for a quicker turnaround.
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{slug, ReportOpts, Stopwatch};
 use bop_core::experiments::table2::{self, Table2Config};
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     let fast = std::env::args().any(|a| a == "--fast");
     let config = Table2Config { rmse_steps: if fast { 128 } else { table2::PAPER_STEPS } };
     eprintln!("running Table II (rmse lattice = {} steps)...", config.rmse_steps);
     let mut cols = table2::run(&config).expect("table 2");
     cols.extend(table2::literature_rows());
-    println!("Table II — performances (measured, paper in parentheses)\n");
-    println!(
-        "{:<58}{:>16}{:>11}{:>16}{:>14}",
-        "Platform", "options/s", "RMSE", "options/J", "Mnodes/s"
-    );
-    for c in &cols {
-        let ps = c
-            .paper_options_per_s
-            .map(|v| format!("{:.0} ({:.0})", c.options_per_s, v))
-            .unwrap_or_else(|| format!("{:.0}", c.options_per_s));
-        let pj = match (c.options_per_j.is_nan(), c.paper_options_per_j) {
-            (true, _) => "N/A".to_owned(),
-            (false, Some(v)) => format!("{:.1} ({:.1})", c.options_per_j, v),
-            (false, None) => format!("{:.1}", c.options_per_j),
-        };
-        let rmse = if c.rmse == 0.0 { "0".to_owned() } else { format!("{:.1e}", c.rmse) };
+
+    if !opts.suppress_human() {
+        println!("Table II — performances (measured, paper in parentheses)\n");
         println!(
-            "{:<58}{:>16}{:>11}{:>16}{:>14.0}",
-            c.label,
-            ps,
-            rmse,
-            pj,
-            c.nodes_per_s / 1e6
+            "{:<58}{:>16}{:>11}{:>16}{:>14}",
+            "Platform", "options/s", "RMSE", "options/J", "Mnodes/s"
         );
+        for c in &cols {
+            let ps = c
+                .paper_options_per_s
+                .map(|v| format!("{:.0} ({:.0})", c.options_per_s, v))
+                .unwrap_or_else(|| format!("{:.0}", c.options_per_s));
+            let pj = match (c.options_per_j.is_nan(), c.paper_options_per_j) {
+                (true, _) => "N/A".to_owned(),
+                (false, Some(v)) => format!("{:.1} ({:.1})", c.options_per_j, v),
+                (false, None) => format!("{:.1}", c.options_per_j),
+            };
+            let rmse = if c.rmse == 0.0 { "0".to_owned() } else { format!("{:.1e}", c.rmse) };
+            println!(
+                "{:<58}{:>16}{:>11}{:>16}{:>14.0}",
+                c.label,
+                ps,
+                rmse,
+                pj,
+                c.nodes_per_s / 1e6
+            );
+        }
     }
+
+    let mut report = ExperimentReport::new("table2");
+    for c in &cols {
+        let s = slug(&c.label);
+        report.push(
+            format!("{s}.options_per_s"),
+            c.paper_options_per_s,
+            c.options_per_s,
+            "options/s",
+        );
+        report.push(format!("{s}.rmse"), None, c.rmse, "USD");
+        if !c.options_per_j.is_nan() {
+            report.push(
+                format!("{s}.options_per_j"),
+                c.paper_options_per_j,
+                c.options_per_j,
+                "options/J",
+            );
+        }
+        report.push(format!("{s}.nodes_per_s"), None, c.nodes_per_s, "nodes/s");
+        if !c.watts.is_nan() {
+            report.push(format!("{s}.power"), None, c.watts, "W");
+        }
+    }
+    report.set_counter("columns", cols.len() as u64);
+    report.set_counter("rmse_steps", config.rmse_steps as u64);
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

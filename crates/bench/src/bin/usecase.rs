@@ -1,19 +1,47 @@
 //! The paper's use case: a 2000-option volatility curve per second under
 //! a workstation power budget (Section I + Section V).
+//!
+//! `--json-out <path>` / `--json` emit the machine-readable report.
+use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::experiments::{table2, usecase};
+use bop_obs::ExperimentReport;
 
 fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
     eprintln!("projecting the 2000-option batch at N = {}...", table2::PAPER_STEPS);
     let r = usecase::run(table2::PAPER_STEPS, 96, 6).expect("runs");
-    println!("Use case: one volatility curve (2000 American options) on kernel IV.B / FPGA\n");
-    println!("batch time:             {:.3} s  (goal: < 1 s)  [{}]", r.batch_time_s,
-        if r.under_one_second { "MET" } else { "MISSED" });
-    let budget = if r.within_power_budget {
-        "MET".to_owned()
-    } else {
-        format!("MISSED by {:.1} W", r.power_excess_w)
-    };
-    println!("device power:           {:.1} W  (budget: 10 W) [{budget}]", r.power_watts);
-    println!("implied-vol recovery:   max error {:.2e} on the verified subset", r.implied_vol_max_err);
-    println!("\n(paper: >2000 options/s achieved; power \"7W more than available\" — both reproduced)");
+
+    if !opts.suppress_human() {
+        println!("Use case: one volatility curve (2000 American options) on kernel IV.B / FPGA\n");
+        println!(
+            "batch time:             {:.3} s  (goal: < 1 s)  [{}]",
+            r.batch_time_s,
+            if r.under_one_second { "MET" } else { "MISSED" }
+        );
+        let budget = if r.within_power_budget {
+            "MET".to_owned()
+        } else {
+            format!("MISSED by {:.1} W", r.power_excess_w)
+        };
+        println!("device power:           {:.1} W  (budget: 10 W) [{budget}]", r.power_watts);
+        println!(
+            "implied-vol recovery:   max error {:.2e} on the verified subset",
+            r.implied_vol_max_err
+        );
+        println!("\n(paper: >2000 options/s achieved; power \"7W more than available\" — both reproduced)");
+    }
+
+    let mut report = ExperimentReport::new("usecase");
+    // Paper goal: the 2000-option curve inside one second; paper power:
+    // 17 W, "7W more than available" against the 10 W workstation budget.
+    report.push("fpga_ivb.batch_time", Some(1.0), r.batch_time_s, "s");
+    report.push("fpga_ivb.power", Some(17.0), r.power_watts, "W");
+    report.push("fpga_ivb.power_excess", Some(7.0), r.power_excess_w, "W");
+    report.push("fpga_ivb.implied_vol_max_err", None, r.implied_vol_max_err, "");
+    report.set_counter("options", r.n_options as u64);
+    report.set_counter("goal_met", u64::from(r.under_one_second));
+    report.set_counter("within_power_budget", u64::from(r.within_power_budget));
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
 }

@@ -1,6 +1,7 @@
 //! # bop-bench — the experiment and benchmark harness
 //!
-//! This crate has no library API of its own; it hosts
+//! Besides the small [`reporting`] library shared by the binaries, this
+//! crate hosts
 //!
 //! * one **binary per paper artifact** (see `src/bin/`): `table1`,
 //!   `table2`, `figures`, `saturation`, `accuracy`, `usecase`, `ablation`,
@@ -16,6 +17,8 @@
 //! every artifact these binaries regenerate.
 
 #![warn(missing_docs)]
+
+pub mod reporting;
 
 /// The paper's full citation, for reports and `--help` texts.
 pub const PAPER_CITATION: &str = "V. Mena Morales, P.-H. Horrein, A. Baghdadi, E. Hochapfel, \

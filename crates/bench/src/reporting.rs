@@ -1,0 +1,163 @@
+//! Shared experiment reporting for every `bop-bench` binary.
+//!
+//! Each binary prints its human-readable table as before and, in
+//! addition, assembles one [`ExperimentReport`] (the stable JSON schema
+//! from `bop-obs`). The report's destination is controlled by two flags
+//! common to all binaries:
+//!
+//! * `--json-out <path>` — write the JSON document to `path`;
+//! * `--json` — print the JSON document to stdout *instead of* the
+//!   human table (so stdout stays machine-parseable).
+//!
+//! Typical binary shape:
+//!
+//! ```no_run
+//! let opts = bop_bench::reporting::ReportOpts::from_env();
+//! let timer = bop_bench::reporting::Stopwatch::start();
+//! // ... run the experiment ...
+//! let mut report = bop_obs::ExperimentReport::new("table2");
+//! // ... report.push(...) per metric ...
+//! report.wall_s = timer.elapsed_s();
+//! if !opts.suppress_human() {
+//!     // ... print the human table ...
+//! }
+//! opts.emit(report).expect("emit report");
+//! ```
+
+use bop_obs::ExperimentReport;
+use std::time::Instant;
+
+/// Where an experiment report should go, parsed from the command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReportOpts {
+    /// `--json-out <path>`: write the document here.
+    pub json_out: Option<String>,
+    /// `--json`: print the document to stdout (and silence the table).
+    pub json_stdout: bool,
+}
+
+impl ReportOpts {
+    /// Parse `--json-out <path>` and `--json` from `args` (argv without
+    /// the program name). Unknown flags are ignored — binaries keep
+    /// their own extra flags (`--fast`, figure names, ...).
+    ///
+    /// Exits with status 2 if `--json-out` is passed without a
+    /// following path, to fail fast before an expensive experiment runs.
+    pub fn from_args(args: &[String]) -> ReportOpts {
+        let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --json-out requires a path argument");
+                std::process::exit(2);
+            })
+        });
+        ReportOpts { json_out, json_stdout: args.iter().any(|a| a == "--json") }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> ReportOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ReportOpts::from_args(&args)
+    }
+
+    /// `true` when the human table should be withheld because stdout
+    /// carries the JSON document.
+    pub fn suppress_human(&self) -> bool {
+        self.json_stdout
+    }
+
+    /// Emit `report` to the selected destinations. A no-op when neither
+    /// flag was given.
+    ///
+    /// # Errors
+    /// Propagates I/O failure writing the `--json-out` file.
+    pub fn emit(&self, report: ExperimentReport) -> std::io::Result<()> {
+        let text = report.to_json().to_string();
+        if let Some(path) = &self.json_out {
+            std::fs::write(path, &text)?;
+            eprintln!("report written to {path}");
+        }
+        if self.json_stdout {
+            println!("{text}");
+        }
+        Ok(())
+    }
+}
+
+/// Flatten a human column label into a metric-path segment: lowercase,
+/// alphanumerics kept, every other run of characters collapsed to one
+/// `_` (e.g. `"Kernel IV.B / FPGA / double"` → `"kernel_iv_b_fpga_double"`).
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut gap = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
+/// Minimal wall-clock stopwatch for `wall_s`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_both_flags_and_ignores_others() {
+        let opts = ReportOpts::from_args(&argv(&["--fast", "--json-out", "/tmp/r.json", "--json"]));
+        assert_eq!(opts.json_out.as_deref(), Some("/tmp/r.json"));
+        assert!(opts.json_stdout);
+        assert!(opts.suppress_human());
+
+        let opts = ReportOpts::from_args(&argv(&["figure1"]));
+        assert_eq!(opts, ReportOpts::default());
+        assert!(!opts.suppress_human());
+    }
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(slug("Kernel IV.B / FPGA / double"), "kernel_iv_b_fpga_double");
+        assert_eq!(slug("[9] Jin et al."), "9_jin_et_al");
+        assert_eq!(slug("options/s"), "options_s");
+    }
+
+    #[test]
+    fn emit_writes_a_parseable_document() {
+        let path = std::env::temp_dir().join("bop_bench_reporting_test.json");
+        let mut report = ExperimentReport::new("unit-test");
+        report.push("x.y", Some(1.0), 0.9, "u");
+        let opts =
+            ReportOpts { json_out: Some(path.to_string_lossy().into_owned()), json_stdout: false };
+        opts.emit(report).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let back = ExperimentReport::from_json(&text).expect("valid schema");
+        assert_eq!(back.experiment, "unit-test");
+        assert_eq!(back.rows.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

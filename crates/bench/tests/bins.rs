@@ -17,9 +17,14 @@ fn run(bin: &str, args: &[&str]) -> String {
 #[test]
 fn table1_prints_both_kernels_and_all_rows() {
     let out = run(env!("CARGO_BIN_EXE_table1"), &[]);
-    for needle in
-        ["Kernel IV.A", "Kernel IV.B", "Logic utilization", "DSP 18-bit", "Clock (MHz)", "Power (W)"]
-    {
+    for needle in [
+        "Kernel IV.A",
+        "Kernel IV.B",
+        "Logic utilization",
+        "DSP 18-bit",
+        "Clock (MHz)",
+        "Power (W)",
+    ] {
         assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
     }
 }
@@ -55,20 +60,15 @@ fn aoc_compiles_the_paper_kernel_and_reports_fit() {
     assert!(out.contains("binomial_option"));
     assert!(out.contains("MHz"));
     // IR dump mode.
-    let ir = run(
-        env!("CARGO_BIN_EXE_aoc"),
-        &[kernel, "--define", "REAL=double", "--dump-ir"],
-    );
+    let ir = run(env!("CARGO_BIN_EXE_aoc"), &[kernel, "--define", "REAL=double", "--dump-ir"]);
     assert!(ir.contains("kernel @binomial_option"));
     assert!(ir.contains("pow.double"));
 }
 
 #[test]
 fn aoc_rejects_bad_input_gracefully() {
-    let out = Command::new(env!("CARGO_BIN_EXE_aoc"))
-        .arg("/nonexistent.cl")
-        .output()
-        .expect("spawns");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_aoc")).arg("/nonexistent.cl").output().expect("spawns");
     assert!(!out.status.success());
     let out = Command::new(env!("CARGO_BIN_EXE_aoc")).arg("--help").output().expect("spawns");
     assert!(!out.status.success());
@@ -80,4 +80,26 @@ fn convergence_prints_the_sweep() {
     let out = run(env!("CARGO_BIN_EXE_convergence"), &[]);
     assert!(out.contains("lattice err"));
     assert!(out.contains("MC std err"));
+}
+
+#[test]
+fn json_mode_replaces_the_table_with_the_stable_schema() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &["--json"]);
+    let report = bop_obs::ExperimentReport::from_json(&out).expect("valid schema");
+    assert_eq!(report.experiment, "table1");
+    assert!(report.rows.iter().any(|r| r.paper.is_some()), "paper-vs-measured rows");
+    assert!(!out.contains("Table I"), "--json keeps stdout machine-parseable");
+}
+
+#[test]
+fn json_out_writes_the_report_file() {
+    let path = std::env::temp_dir().join("bop_bench_figures_report.json");
+    let path_s = path.to_string_lossy().into_owned();
+    let out = run(env!("CARGO_BIN_EXE_figures"), &["figure4", "--json-out", &path_s]);
+    assert!(out.contains("Figure 4"), "human output is kept alongside --json-out");
+    let text = std::fs::read_to_string(&path).expect("report file");
+    let report = bop_obs::ExperimentReport::from_json(&text).expect("valid schema");
+    assert_eq!(report.experiment, "figures");
+    assert!(report.counters.contains_key("figure4.barriers"));
+    std::fs::remove_file(&path).ok();
 }

@@ -133,9 +133,8 @@ impl<'s> Lexer<'s> {
         match words.as_slice() {
             ["#pragma", "unroll"] => Ok(Token { kind: TokenKind::PragmaUnroll(None), pos }),
             ["#pragma", "unroll", n] => {
-                let factor: u32 = n
-                    .parse()
-                    .map_err(|_| self.err(pos, format!("invalid unroll factor `{n}`")))?;
+                let factor: u32 =
+                    n.parse().map_err(|_| self.err(pos, format!("invalid unroll factor `{n}`")))?;
                 if factor == 0 {
                     return Err(self.err(pos, "unroll factor must be at least 1"));
                 }
@@ -225,8 +224,9 @@ impl<'s> Lexer<'s> {
                 text.parse().map_err(|_| self.err(pos, format!("bad float literal `{text}`")))?;
             Ok(Token { kind: TokenKind::FloatLit(value, f32_suffix), pos })
         } else {
-            let value: i64 =
-                text.parse().map_err(|_| self.err(pos, format!("integer literal `{text}` overflows")))?;
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.err(pos, format!("integer literal `{text}` overflows")))?;
             self.int_suffix();
             Ok(Token { kind: TokenKind::IntLit(value), pos })
         }
@@ -301,9 +301,7 @@ impl<'s> Lexer<'s> {
             }
             b'&' => two(self, b'&', AndAnd, Amp),
             b'|' => two(self, b'|', OrOr, Pipe),
-            other => {
-                return Err(self.err(pos, format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.err(pos, format!("unexpected character `{}`", other as char))),
         };
         Ok(Token { kind: TokenKind::Punct(p), pos })
     }
@@ -380,7 +378,10 @@ mod tests {
         assert!(lex("#pragma unroll 0\n").is_err());
         assert!(lex("#include <foo>\n").is_err());
         // Unknown pragmas are skipped entirely.
-        assert_eq!(kinds("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx")[0], TokenKind::Ident("x".into()));
+        assert_eq!(
+            kinds("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx")[0],
+            TokenKind::Ident("x".into())
+        );
     }
 
     #[test]

@@ -128,9 +128,12 @@ mod tests {
 
     #[test]
     fn compile_error_carries_position() {
-        let err =
-            compile("t.cl", "__kernel void k(__global double* o) { o[0] = ; }", &Options::default())
-                .expect_err("syntax error");
+        let err = compile(
+            "t.cl",
+            "__kernel void k(__global double* o) { o[0] = ; }",
+            &Options::default(),
+        )
+        .expect_err("syntax error");
         assert!(!err.diags().is_empty());
         assert!(err.diags()[0].pos.line > 0);
     }

@@ -20,7 +20,11 @@ use std::collections::HashMap;
 /// # Errors
 /// Returns the first semantic error encountered (unknown names, type
 /// errors, unsupported constructs).
-pub fn lower_unit(source_name: &str, unit: &Unit, options: &Options) -> Result<Module, CompileError> {
+pub fn lower_unit(
+    source_name: &str,
+    unit: &Unit,
+    options: &Options,
+) -> Result<Module, CompileError> {
     let mut functions = Vec::with_capacity(unit.functions.len());
     for f in &unit.functions {
         functions.push(lower_function(f, options)?);
@@ -180,7 +184,10 @@ impl Lowerer {
     fn declare(&mut self, name: &str, binding: Binding, pos: Pos) -> Result<(), CompileError> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_owned(), binding).is_some() {
-            return Err(CompileError::single(pos, format!("`{name}` is already defined in this scope")));
+            return Err(CompileError::single(
+                pos,
+                format!("`{name}` is already defined in this scope"),
+            ));
         }
         Ok(())
     }
@@ -322,7 +329,12 @@ impl Lowerer {
         Ok(())
     }
 
-    fn if_stmt(&mut self, cond: &Expr, then: &Stmt, els: Option<&Stmt>) -> Result<(), CompileError> {
+    fn if_stmt(
+        &mut self,
+        cond: &Expr,
+        then: &Stmt,
+        els: Option<&Stmt>,
+    ) -> Result<(), CompileError> {
         let c = self.expr(cond)?;
         let c = self.bool_reg(Typed { reg: c.reg, ty: c.ty });
         let then_bb = self.b.create_block();
@@ -488,7 +500,9 @@ impl Lowerer {
                 Binding::Scalar { reg, ty } => Ok(Typed { reg, ty }),
                 Binding::Ptr { .. } | Binding::PrivArray { .. } => Err(self.err(
                     e.pos,
-                    format!("`{name}` is a pointer/array; only indexing (`{name}[i]`) is supported"),
+                    format!(
+                        "`{name}` is a pointer/array; only indexing (`{name}[i]`) is supported"
+                    ),
                 )),
             },
             ExprKind::Unary { op, expr } => self.unary(e.pos, *op, expr),
@@ -555,7 +569,13 @@ impl Lowerer {
         }
     }
 
-    fn binary(&mut self, pos: Pos, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Result<Typed, CompileError> {
+    fn binary(
+        &mut self,
+        pos: Pos,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<Typed, CompileError> {
         if op.is_logical() {
             return self.logical(op, lhs, rhs);
         }
@@ -574,10 +594,7 @@ impl Lowerer {
                 BinaryOp::Ne => CmpOp::Ne,
                 _ => unreachable!(),
             };
-            return Ok(Typed {
-                reg: self.b.cmp(cmp, ty, a.reg, b.reg),
-                ty: ScalarType::Bool,
-            });
+            return Ok(Typed { reg: self.b.cmp(cmp, ty, a.reg, b.reg), ty: ScalarType::Bool });
         }
         let bin = match op {
             BinaryOp::Add => BinOp::Add,
@@ -654,7 +671,13 @@ impl Lowerer {
         Ok(Typed { reg: result, ty })
     }
 
-    fn assign(&mut self, _pos: Pos, op: AssignOp, lhs: &Expr, rhs: &Expr) -> Result<Typed, CompileError> {
+    fn assign(
+        &mut self,
+        _pos: Pos,
+        op: AssignOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<Typed, CompileError> {
         let place = self.lvalue(lhs)?;
         let ty = place.ty();
         let value = match op.binary() {
@@ -733,7 +756,8 @@ impl Lowerer {
                         Ok(Place::Mem { ptr, ty: elem })
                     }
                     Binding::Scalar { .. } => {
-                        Err(self.err(base.pos, format!("`{name}` is a scalar and cannot be indexed")))
+                        Err(self
+                            .err(base.pos, format!("`{name}` is a scalar and cannot be indexed")))
                     }
                 }
             }
@@ -781,8 +805,7 @@ impl Lowerer {
             if args.len() != bi.arity() {
                 return Err(self.err(pos, format!("{name} takes {} argument(s)", bi.arity())));
             }
-            let vals: Vec<Typed> =
-                args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+            let vals: Vec<Typed> = args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
             let mut ty = ScalarType::F64;
             if vals.iter().all(|v| v.ty == ScalarType::F32) {
                 ty = ScalarType::F32;
@@ -999,12 +1022,7 @@ mod tests {
 
     #[test]
     fn exp_log_on_device() {
-        let out = run(
-            "__kernel void k(__global double* o) { o[0] = log(exp(1.0)); }",
-            "k",
-            1,
-            &[],
-        );
+        let out = run("__kernel void k(__global double* o) { o[0] = log(exp(1.0)); }", "k", 1, &[]);
         assert!((out[0] - 1.0).abs() < 1e-12);
     }
 
@@ -1016,10 +1034,7 @@ mod tests {
             }",
             "k",
             1,
-            &[
-                KernelArgValue::Scalar(Value::F64(2.5)),
-                KernelArgValue::Scalar(Value::I32(4)),
-            ],
+            &[KernelArgValue::Scalar(Value::F64(2.5)), KernelArgValue::Scalar(Value::I32(4))],
         );
         assert_eq!(out[0], 10.0);
     }
@@ -1107,7 +1122,8 @@ mod tests {
 
     #[test]
     fn bitops_on_floats_rejected() {
-        let e = compile_err("__kernel void k(__global double* o) { o[0] = 1.0; double x = 2.0 << 1; }");
+        let e =
+            compile_err("__kernel void k(__global double* o) { o[0] = 1.0; double x = 2.0 << 1; }");
         assert!(e.to_string().contains("integer"));
     }
 
@@ -1125,7 +1141,9 @@ mod tests {
 
     #[test]
     fn get_global_id_requires_literal_dim() {
-        let e = compile_err("__kernel void k(__global double* o) { int d = 0; o[get_global_id(d)] = 1.0; }");
+        let e = compile_err(
+            "__kernel void k(__global double* o) { int d = 0; o[get_global_id(d)] = 1.0; }",
+        );
         assert!(e.to_string().contains("literal"));
     }
 }

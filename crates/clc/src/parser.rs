@@ -245,7 +245,9 @@ impl<'t> Parser<'t> {
                 self.expect_punct(Punct::LParen)?;
                 let init = if self.eat_punct(Punct::Semi) {
                     None
-                } else if self.peek_type().is_some() || self.peek_kind() == &TokenKind::Keyword(Keyword::Const) {
+                } else if self.peek_type().is_some()
+                    || self.peek_kind() == &TokenKind::Keyword(Keyword::Const)
+                {
                     Some(Box::new(self.decl_stmt()?))
                 } else {
                     let e = self.expr()?;
@@ -377,7 +379,11 @@ impl<'t> Parser<'t> {
         let els = self.ternary()?;
         Ok(Expr {
             pos,
-            kind: ExprKind::Ternary { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) },
+            kind: ExprKind::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            },
         })
     }
 
@@ -392,7 +398,8 @@ impl<'t> Parser<'t> {
             let pos = self.pos();
             self.bump();
             let rhs = self.binary(prec + 1)?;
-            lhs = Expr { pos, kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) } };
+            lhs =
+                Expr { pos, kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) } };
         }
         Ok(lhs)
     }
@@ -619,7 +626,8 @@ mod tests {
 
     #[test]
     fn ternary_and_assignment_are_right_associative() {
-        let u = parse_src("__kernel void k(__global double* o) { double a; double b; a = b = 1.0; }");
+        let u =
+            parse_src("__kernel void k(__global double* o) { double a; double b; a = b = 1.0; }");
         let StmtKind::Expr(e) = &u.functions[0].body[2].kind else { panic!() };
         let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
         assert!(matches!(rhs.kind, ExprKind::Assign { .. }));
@@ -672,7 +680,8 @@ mod tests {
 
     #[test]
     fn array_initialiser_rejected() {
-        let toks = lex("__kernel void k(__global double* o) { double t[2] = 0.0; }").expect("lexes");
+        let toks =
+            lex("__kernel void k(__global double* o) { double t[2] = 0.0; }").expect("lexes");
         assert!(parse(&toks).is_err());
     }
 

@@ -26,9 +26,7 @@ pub fn fold_constants(func: &mut Function) {
                     (Some(x), Some(y)) => eval::eval_bin(*op, *ty, *x, *y).ok(),
                     _ => None,
                 },
-                Inst::Un { op, ty, a, .. } => {
-                    known.get(a).map(|x| eval::eval_un(*op, *ty, *x))
-                }
+                Inst::Un { op, ty, a, .. } => known.get(a).map(|x| eval::eval_un(*op, *ty, *x)),
                 Inst::Cmp { op, ty, a, b, .. } => match (known.get(a), known.get(b)) {
                     (Some(x), Some(y)) => Some(Value::Bool(eval::eval_cmp(*op, *ty, *x, *y))),
                     _ => None,
@@ -115,8 +113,8 @@ mod tests {
         let mut mem = VecMemory::new();
         let buf = mem.alloc_global(8);
         let shape = GroupShape::linear(1, 1, 0);
-        let mut wg = WorkGroupRun::new(func, shape, &[KernelArgValue::GlobalBuffer(buf)], 0)
-            .expect("args");
+        let mut wg =
+            WorkGroupRun::new(func, shape, &[KernelArgValue::GlobalBuffer(buf)], 0).expect("args");
         wg.run(&mut mem, &ExactMath).expect("runs");
         mem.read_f64(buf, 0)
     }
@@ -156,10 +154,8 @@ mod tests {
         let unopt = compile_opts(src, true);
         assert!(opt.inst_count() < unopt.inst_count());
         // exp must be gone entirely.
-        let has_call = opt
-            .blocks
-            .iter()
-            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+        let has_call =
+            opt.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
         assert!(!has_call, "dead exp call should be eliminated");
         assert_eq!(run_one(&opt), 5.0);
     }
@@ -278,10 +274,8 @@ pub fn common_subexpression_elimination(func: &mut Function) {
                 }
                 Inst::WorkItem { query, dim, .. } => Some(Key::WorkItem(*query, *dim)),
                 Inst::Gep { base, index, elem, .. } => {
-                    let (vb, vi) = (
-                        vn(&mut vn_of, &mut next_vn, *base),
-                        vn(&mut vn_of, &mut next_vn, *index),
-                    );
+                    let (vb, vi) =
+                        (vn(&mut vn_of, &mut next_vn, *base), vn(&mut vn_of, &mut next_vn, *index));
                     Some(Key::Gep(*elem, vb, vi))
                 }
                 // Loads, stores, movs and barriers are not value-numbered
@@ -366,9 +360,10 @@ mod cse_tests {
             f.blocks.iter().flat_map(|b| &b.insts).filter(|i| pred(i)).count()
         };
         let muls = |f: &bop_clir::ir::Function| {
-            count(f, &|i| {
-                matches!(i, Inst::Bin { op: bop_clir::ir::BinOp::Mul, ty, .. } if ty.is_float())
-            })
+            count(
+                f,
+                &|i| matches!(i, Inst::Bin { op: bop_clir::ir::BinOp::Mul, ty, .. } if ty.is_float()),
+            )
         };
         let exps = |f: &bop_clir::ir::Function| count(f, &|i| matches!(i, Inst::Call { .. }));
         assert_eq!(muls(&plain), 3, "x*y twice + exp*exp");
@@ -433,10 +428,9 @@ mod cse_tests {
         // should shrink it measurably (the ablation benches quantify the
         // resource effect).
         let src = include_str!("../../core/kernels/straightforward.cl").replace("REAL", "double");
-        let m_plain =
-            compile("k.cl", &src, &Options::default()).expect("compiles");
-        let m_cse = compile("k.cl", &src, &Options { cse: true, ..Options::default() })
-            .expect("compiles");
+        let m_plain = compile("k.cl", &src, &Options::default()).expect("compiles");
+        let m_cse =
+            compile("k.cl", &src, &Options { cse: true, ..Options::default() }).expect("compiles");
         let plain = m_plain.kernel("binomial_node").expect("k").inst_count();
         let cse = m_cse.kernel("binomial_node").expect("k").inst_count();
         assert!(cse < plain, "CSE should shrink the kernel: {cse} vs {plain}");
@@ -452,9 +446,8 @@ pub fn propagate_copies(func: &mut Function) {
         let mut copy_of: HashMap<RegId, RegId> = HashMap::new();
         for i in 0..block.insts.len() {
             // Rewrite sources first (uses see the state before this inst).
-            let resolve = |copy_of: &HashMap<RegId, RegId>, r: RegId| {
-                copy_of.get(&r).copied().unwrap_or(r)
-            };
+            let resolve =
+                |copy_of: &HashMap<RegId, RegId>, r: RegId| copy_of.get(&r).copied().unwrap_or(r);
             let inst = &mut block.insts[i];
             match inst {
                 Inst::Mov { src, .. } => *src = resolve(&copy_of, *src),
@@ -565,8 +558,8 @@ mod copy_prop_tests {
             a = a + 1.0;
             o[0] = b + a;
         }";
-        let m = compile("t.cl", src, &Options { cse: true, ..Options::default() })
-            .expect("compiles");
+        let m =
+            compile("t.cl", src, &Options { cse: true, ..Options::default() }).expect("compiles");
         let f = m.kernel("k").expect("k");
         let mut mem = VecMemory::new();
         let buf = mem.alloc_global(8);

@@ -4,7 +4,9 @@
 //! and benchmarks use it to create kernels without going through source
 //! text.
 
-use crate::ir::{BinOp, Block, BlockId, Builtin, CmpOp, Function, Inst, Param, RegId, Terminator, UnOp, WiQuery};
+use crate::ir::{
+    BinOp, Block, BlockId, Builtin, CmpOp, Function, Inst, Param, RegId, Terminator, UnOp, WiQuery,
+};
 use crate::types::{AddressSpace, ScalarType, Type};
 use crate::value::{PtrValue, Value};
 use crate::verify::{self, VerifyError};

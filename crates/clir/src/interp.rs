@@ -183,9 +183,7 @@ impl VecMemory {
 
     fn region(&mut self, space: AddressSpace, buffer: u32) -> Option<&mut Vec<u8>> {
         match space {
-            AddressSpace::Global | AddressSpace::Constant => {
-                self.globals.get_mut(buffer as usize)
-            }
+            AddressSpace::Global | AddressSpace::Constant => self.globals.get_mut(buffer as usize),
             AddressSpace::Local => self.locals.get_mut(buffer as usize),
             AddressSpace::Private => None,
         }
@@ -268,7 +266,11 @@ impl GroupShape {
     pub fn linear(global: usize, local: usize, group: usize) -> GroupShape {
         assert!(local > 0, "work-group size must be positive");
         assert_eq!(global % local, 0, "global size must be a multiple of the work-group size");
-        GroupShape { global_size: [global, 1, 1], local_size: [local, 1, 1], group_id: [group, 0, 0] }
+        GroupShape {
+            global_size: [global, 1, 1],
+            local_size: [local, 1, 1],
+            group_id: [group, 0, 0],
+        }
     }
 
     /// Number of work-items in one work-group.
@@ -557,7 +559,8 @@ impl<'f> WorkGroupRun<'f> {
             }
             Inst::Select { ty, dst, cond, a, b } => {
                 let regs = &self.items[item].regs;
-                let out = if regs[cond.index()].as_bool() { regs[a.index()] } else { regs[b.index()] };
+                let out =
+                    if regs[cond.index()].as_bool() { regs[a.index()] } else { regs[b.index()] };
                 debug_assert_eq!(out.scalar_type(), Some(*ty));
                 self.stats.ops.select += 1;
                 self.items[item].regs[dst.index()] = out;
@@ -914,10 +917,7 @@ mod tests {
         b.ret();
         let func = b.finish().expect("valid");
         let shape = GroupShape::linear(1, 1, 0);
-        assert!(matches!(
-            WorkGroupRun::new(&func, shape, &[], 0),
-            Err(ExecError::BadArgs(_))
-        ));
+        assert!(matches!(WorkGroupRun::new(&func, shape, &[], 0), Err(ExecError::BadArgs(_))));
         assert!(matches!(
             WorkGroupRun::new(&func, shape, &[KernelArgValue::Scalar(Value::F64(1.0))], 0),
             Err(ExecError::BadArgs(_))
@@ -925,8 +925,7 @@ mod tests {
     }
 
     #[test]
-    fn private_arrays_are_per_item()
-    {
+    fn private_arrays_are_per_item() {
         // priv[0] = lid; out[gid] = priv[0]
         let mut b = FunctionBuilder::new("priv", true);
         let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
@@ -988,11 +987,8 @@ mod shape_tests {
         let func = b.finish().expect("valid");
 
         // One 4x2x2 work-group covering the whole 4x2x2 NDRange.
-        let shape = GroupShape {
-            global_size: [4, 2, 2],
-            local_size: [4, 2, 2],
-            group_id: [0, 0, 0],
-        };
+        let shape =
+            GroupShape { global_size: [4, 2, 2], local_size: [4, 2, 2], group_id: [0, 0, 0] };
         assert_eq!(shape.items_per_group(), 16);
         assert_eq!(shape.num_groups(), [1, 1, 1]);
         let mut mem = VecMemory::new();

@@ -350,7 +350,13 @@ mod tests {
 
     #[test]
     fn inst_dst_and_sources() {
-        let i = Inst::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: RegId(3), a: RegId(1), b: RegId(2) };
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: ScalarType::F64,
+            dst: RegId(3),
+            a: RegId(1),
+            b: RegId(2),
+        };
         assert_eq!(i.dst(), Some(RegId(3)));
         assert_eq!(i.sources(), vec![RegId(1), RegId(2)]);
         let s = Inst::Store { ptr: RegId(0), val: RegId(1), ty: ScalarType::F64 };

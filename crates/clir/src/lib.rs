@@ -68,6 +68,9 @@ pub mod types;
 pub mod value;
 pub mod verify;
 
-pub use ir::{BinOp, Block, BlockId, Builtin, CmpOp, Function, Inst, Module, Param, RegId, Terminator, UnOp, WiQuery};
+pub use ir::{
+    BinOp, Block, BlockId, Builtin, CmpOp, Function, Inst, Module, Param, RegId, Terminator, UnOp,
+    WiQuery,
+};
 pub use types::{AddressSpace, ScalarType, Type};
 pub use value::{PtrValue, Value};

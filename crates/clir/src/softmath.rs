@@ -38,6 +38,9 @@ const LOG2_E: f64 = std::f64::consts::LOG2_E;
 /// `e^x` by range reduction to `x = k·ln2 + r`, `|r| <= ln2/2`, and a
 /// degree-10 Taylor polynomial in `r`. Worst-case relative error at full
 /// precision is below 1e-15.
+// The deeply nested Horner polynomial makes rustfmt's layout search
+// effectively non-terminating; keep the hand formatting.
+#[rustfmt::skip]
 pub fn exp(x: f64) -> f64 {
     if x.is_nan() {
         return x;
@@ -69,6 +72,8 @@ pub fn exp(x: f64) -> f64 {
 
 /// `ln(x)` by mantissa reduction to `[sqrt(1/2), sqrt(2))` and an `atanh`
 /// series. Worst-case relative error at full precision is below 1e-15.
+// Same rustfmt pathology as `exp` above: skip the nested series.
+#[rustfmt::skip]
 pub fn log(x: f64) -> f64 {
     if x.is_nan() || x < 0.0 {
         return f64::NAN;

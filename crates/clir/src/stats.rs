@@ -64,9 +64,7 @@ impl OpCounts {
                 BinOp::Add | BinOp::Sub => *pick(f32w, &mut self.add32, &mut self.add64) += 1,
                 BinOp::Mul => *pick(f32w, &mut self.mul32, &mut self.mul64) += 1,
                 BinOp::Div | BinOp::Rem => *pick(f32w, &mut self.div32, &mut self.div64) += 1,
-                BinOp::Min | BinOp::Max => {
-                    *pick(f32w, &mut self.minmax32, &mut self.minmax64) += 1
-                }
+                BinOp::Min | BinOp::Max => *pick(f32w, &mut self.minmax32, &mut self.minmax64) += 1,
                 _ => self.int_alu += 1,
             }
         } else {
@@ -77,9 +75,7 @@ impl OpCounts {
     pub(crate) fn count_builtin(&mut self, func: Builtin, ty: ScalarType) {
         let f32w = ty == ScalarType::F32;
         match func {
-            Builtin::Exp | Builtin::Log => {
-                *pick(f32w, &mut self.transc32, &mut self.transc64) += 1
-            }
+            Builtin::Exp | Builtin::Log => *pick(f32w, &mut self.transc32, &mut self.transc64) += 1,
             Builtin::Pow => *pick(f32w, &mut self.pow32, &mut self.pow64) += 1,
             Builtin::Sqrt => *pick(f32w, &mut self.sqrt32, &mut self.sqrt64) += 1,
         }
@@ -293,18 +289,40 @@ impl ExecStats {
         out.item_phases *= k;
         let o = &mut out.ops;
         for f in [
-            &mut o.add32, &mut o.add64, &mut o.mul32, &mut o.mul64, &mut o.div32, &mut o.div64,
-            &mut o.minmax32, &mut o.minmax64, &mut o.transc32, &mut o.transc64, &mut o.pow32,
-            &mut o.pow64, &mut o.sqrt32, &mut o.sqrt64, &mut o.cmp, &mut o.select,
-            &mut o.int_alu, &mut o.cast, &mut o.mov, &mut o.wi_query,
+            &mut o.add32,
+            &mut o.add64,
+            &mut o.mul32,
+            &mut o.mul64,
+            &mut o.div32,
+            &mut o.div64,
+            &mut o.minmax32,
+            &mut o.minmax64,
+            &mut o.transc32,
+            &mut o.transc64,
+            &mut o.pow32,
+            &mut o.pow64,
+            &mut o.sqrt32,
+            &mut o.sqrt64,
+            &mut o.cmp,
+            &mut o.select,
+            &mut o.int_alu,
+            &mut o.cast,
+            &mut o.mov,
+            &mut o.wi_query,
         ] {
             *f *= k;
         }
         let m = &mut out.mem;
         for f in [
-            &mut m.global_loads, &mut m.global_load_bytes, &mut m.global_stores,
-            &mut m.global_store_bytes, &mut m.local_loads, &mut m.local_load_bytes,
-            &mut m.local_stores, &mut m.local_store_bytes, &mut m.private_accesses,
+            &mut m.global_loads,
+            &mut m.global_load_bytes,
+            &mut m.global_stores,
+            &mut m.global_store_bytes,
+            &mut m.local_loads,
+            &mut m.local_load_bytes,
+            &mut m.local_stores,
+            &mut m.local_store_bytes,
+            &mut m.private_accesses,
         ] {
             *f *= k;
         }

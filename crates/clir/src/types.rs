@@ -188,10 +188,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Type::Scalar(ScalarType::F64).to_string(), "double");
-        assert_eq!(
-            Type::ptr(AddressSpace::Local, ScalarType::F32).to_string(),
-            "__local float*"
-        );
+        assert_eq!(Type::ptr(AddressSpace::Local, ScalarType::F32).to_string(), "__local float*");
         assert_eq!(AddressSpace::Constant.to_string(), "__constant");
     }
 }

@@ -159,10 +159,18 @@ impl Value {
     pub fn from_le_bytes(ty: ScalarType, bytes: &[u8]) -> Value {
         match ty {
             ScalarType::Bool => Value::Bool(bytes[0] != 0),
-            ScalarType::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().expect("i32 bytes"))),
-            ScalarType::I64 => Value::I64(i64::from_le_bytes(bytes[..8].try_into().expect("i64 bytes"))),
-            ScalarType::F32 => Value::F32(f32::from_le_bytes(bytes[..4].try_into().expect("f32 bytes"))),
-            ScalarType::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().expect("f64 bytes"))),
+            ScalarType::I32 => {
+                Value::I32(i32::from_le_bytes(bytes[..4].try_into().expect("i32 bytes")))
+            }
+            ScalarType::I64 => {
+                Value::I64(i64::from_le_bytes(bytes[..8].try_into().expect("i64 bytes")))
+            }
+            ScalarType::F32 => {
+                Value::F32(f32::from_le_bytes(bytes[..4].try_into().expect("f32 bytes")))
+            }
+            ScalarType::F64 => {
+                Value::F64(f64::from_le_bytes(bytes[..8].try_into().expect("f64 bytes")))
+            }
         }
     }
 }

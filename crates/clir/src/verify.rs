@@ -147,7 +147,9 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
         }
         Inst::Mov { dst, src } => {
             if c.reg(*dst)? != c.reg(*src)? {
-                return Err(c.mismatch(format!("mov r{} <- r{} with differing types", dst.0, src.0)));
+                return Err(
+                    c.mismatch(format!("mov r{} <- r{} with differing types", dst.0, src.0))
+                );
             }
         }
         Inst::Bin { ty, dst, a, b, .. } => {
@@ -179,7 +181,12 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
                 return Err(c.mismatch(format!("{} at non-float type {ty}", func.name())));
             }
             if args.len() != func.arity() {
-                return Err(c.mismatch(format!("{} expects {} args, got {}", func.name(), func.arity(), args.len())));
+                return Err(c.mismatch(format!(
+                    "{} expects {} args, got {}",
+                    func.name(),
+                    func.arity(),
+                    args.len()
+                )));
             }
             for a in args {
                 c.expect_scalar(*a, *ty, "builtin arg")?;
@@ -277,7 +284,13 @@ mod tests {
             vec![
                 Inst::Const { dst: RegId(0), val: Value::F64(1.0) },
                 Inst::Const { dst: RegId(1), val: Value::I32(1) },
-                Inst::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: ScalarType::F64,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
             ],
             vec![
                 Type::Scalar(ScalarType::F64),
@@ -312,10 +325,7 @@ mod tests {
                 Inst::Const { dst: RegId(1), val: Value::F64(1.0) },
                 Inst::Store { ptr: RegId(0), val: RegId(1), ty: ScalarType::F64 },
             ],
-            vec![
-                Type::Ptr(AddressSpace::Constant, ScalarType::F64),
-                Type::Scalar(ScalarType::F64),
-            ],
+            vec![Type::Ptr(AddressSpace::Constant, ScalarType::F64), Type::Scalar(ScalarType::F64)],
         );
         assert!(matches!(verify_function(&f), Err(VerifyError::TypeMismatch { .. })));
     }

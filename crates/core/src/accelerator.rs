@@ -7,7 +7,8 @@ use crate::perfmodel::{scale_to_batch, StatsFit, CALIBRATION_STEPS};
 use bop_cpu::Precision;
 use bop_finance::binomial::tree_nodes;
 use bop_finance::types::OptionParams;
-use bop_finance::{metrics, binomial};
+use bop_finance::{binomial, metrics};
+use bop_obs::{Json, MetricsRegistry};
 use bop_ocl::queue::RuntimeError;
 use bop_ocl::{BuildError, BuildOptions, BuildReport, CommandQueue, Context, Device, Program};
 use std::fmt;
@@ -122,6 +123,7 @@ pub struct Accelerator {
     report: BuildReport,
     read_full: bool,
     fit_cache: std::sync::OnceLock<StatsFit>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Accelerator {
@@ -154,7 +156,29 @@ impl Accelerator {
             report,
             read_full: true,
             fit_cache: std::sync::OnceLock::new(),
+            metrics: None,
         })
+    }
+
+    /// Publish queue and interpreter metrics of every session this
+    /// accelerator opens into `registry`, and set the device-model gauges
+    /// (power, bandwidth, overheads) immediately.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Accelerator {
+        let info = self.device.info();
+        let d = info.kind.to_string();
+        let labels = [("device", d.as_str())];
+        registry.set_gauge("device.power_watts", &labels, info.power_watts);
+        registry.set_gauge("device.global_bw_bytes_per_s", &labels, info.global_bw_bytes_per_s);
+        registry.set_gauge("device.command_overhead_s", &labels, info.command_overhead_s);
+        registry.set_gauge("device.session_setup_s", &labels, info.session_setup_s);
+        registry.set_gauge("device.compute_units", &labels, f64::from(info.compute_units));
+        registry.set_gauge(
+            "device.kernel_power_watts",
+            &[("device", d.as_str()), ("kernel", self.arch.kernel_name())],
+            self.report.power_watts,
+        );
+        self.metrics = Some(registry);
+        self
     }
 
     /// Switch the straightforward host program to the paper's "modified
@@ -198,8 +222,15 @@ impl Accelerator {
     fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), AcceleratorError> {
         let ctx = Context::new(self.device.clone());
         let queue = CommandQueue::new(&ctx);
-        let program =
-            Program::from_source(&ctx, "kernel.cl", &self.arch.source(self.precision), &self.build)?;
+        if let Some(reg) = &self.metrics {
+            queue.attach_metrics(reg.clone());
+        }
+        let program = Program::from_source(
+            &ctx,
+            "kernel.cl",
+            &self.arch.source(self.precision),
+            &self.build,
+        )?;
         Ok((ctx, queue, program))
     }
 
@@ -243,6 +274,29 @@ impl Accelerator {
     /// Propagates build and runtime failures; rejects empty or invalid
     /// batches.
     pub fn price(&self, options: &[OptionParams]) -> Result<PricingRun, AcceleratorError> {
+        Ok(self.price_inner(options, false)?.0)
+    }
+
+    /// Like [`Accelerator::price`], but with command tracing enabled on
+    /// the session queue; also returns the run's timeline as a Chrome
+    /// trace-event JSON document (host spans, queue commands, barrier
+    /// phases) ready to be written to a file and loaded in Perfetto.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::price`].
+    pub fn price_traced(
+        &self,
+        options: &[OptionParams],
+    ) -> Result<(PricingRun, Json), AcceleratorError> {
+        let (run, trace) = self.price_inner(options, true)?;
+        Ok((run, trace.expect("trace requested")))
+    }
+
+    fn price_inner(
+        &self,
+        options: &[OptionParams],
+        traced: bool,
+    ) -> Result<(PricingRun, Option<Json>), AcceleratorError> {
         if options.is_empty() {
             return Err(AcceleratorError::Invalid("empty batch".into()));
         }
@@ -250,6 +304,9 @@ impl Accelerator {
             o.validate().map_err(|e| AcceleratorError::Invalid(e.to_string()))?;
         }
         let (ctx, queue, program) = self.fresh_session()?;
+        if traced {
+            queue.enable_trace();
+        }
         let prices = self.run_host(&ctx, &queue, &program, options, self.n_steps)?;
         let elapsed_s = queue.finish();
         let device_busy_s = queue.device_busy_s();
@@ -262,18 +319,22 @@ impl Accelerator {
 
         let options_per_s = options.len() as f64 / elapsed_s;
         let joules = watts * elapsed_s;
-        Ok(PricingRun {
-            prices,
-            elapsed_s,
-            device_busy_s,
-            watts,
-            joules,
-            options_per_s,
-            options_per_j: options_per_s / watts,
-            nodes_per_s: options_per_s * tree_nodes(self.n_steps) as f64,
-            rmse,
-            max_abs_error,
-        })
+        let trace = traced.then(|| queue.export_chrome_trace());
+        Ok((
+            PricingRun {
+                prices,
+                elapsed_s,
+                device_busy_s,
+                watts,
+                joules,
+                options_per_s,
+                options_per_j: options_per_s / watts,
+                nodes_per_s: options_per_s * tree_nodes(self.n_steps) as f64,
+                rmse,
+                max_abs_error,
+            },
+            trace,
+        ))
     }
 
     /// Calibrate the per-option statistics model from small functional
@@ -305,7 +366,10 @@ impl Accelerator {
     ///
     /// # Errors
     /// Propagates build and runtime failures.
-    pub fn measure_per_option(&self, n: usize) -> Result<bop_clir::stats::ExecStats, AcceleratorError> {
+    pub fn measure_per_option(
+        &self,
+        n: usize,
+    ) -> Result<bop_clir::stats::ExecStats, AcceleratorError> {
         let (ctx, queue, program) = self.fresh_session()?;
         let options = [OptionParams::example()];
         self.run_host(&ctx, &queue, &program, &options, n)?;
@@ -382,18 +446,40 @@ fn divide_stats(stats: &bop_clir::stats::ExecStats, k: u64) -> bop_clir::stats::
     out.item_phases /= k;
     let o = &mut out.ops;
     for f in [
-        &mut o.add32, &mut o.add64, &mut o.mul32, &mut o.mul64, &mut o.div32, &mut o.div64,
-        &mut o.minmax32, &mut o.minmax64, &mut o.transc32, &mut o.transc64, &mut o.pow32,
-        &mut o.pow64, &mut o.sqrt32, &mut o.sqrt64, &mut o.cmp, &mut o.select, &mut o.int_alu,
-        &mut o.cast, &mut o.mov, &mut o.wi_query,
+        &mut o.add32,
+        &mut o.add64,
+        &mut o.mul32,
+        &mut o.mul64,
+        &mut o.div32,
+        &mut o.div64,
+        &mut o.minmax32,
+        &mut o.minmax64,
+        &mut o.transc32,
+        &mut o.transc64,
+        &mut o.pow32,
+        &mut o.pow64,
+        &mut o.sqrt32,
+        &mut o.sqrt64,
+        &mut o.cmp,
+        &mut o.select,
+        &mut o.int_alu,
+        &mut o.cast,
+        &mut o.mov,
+        &mut o.wi_query,
     ] {
         *f /= k;
     }
     let m = &mut out.mem;
     for f in [
-        &mut m.global_loads, &mut m.global_load_bytes, &mut m.global_stores,
-        &mut m.global_store_bytes, &mut m.local_loads, &mut m.local_load_bytes,
-        &mut m.local_stores, &mut m.local_store_bytes, &mut m.private_accesses,
+        &mut m.global_loads,
+        &mut m.global_load_bytes,
+        &mut m.global_stores,
+        &mut m.global_store_bytes,
+        &mut m.local_loads,
+        &mut m.local_load_bytes,
+        &mut m.local_stores,
+        &mut m.local_store_bytes,
+        &mut m.private_accesses,
     ] {
         *f /= k;
     }
@@ -581,13 +667,7 @@ mod fit_failure_tests {
             bop_fpga::FpgaPart::ep4sgx230(),
             bop_clir::mathlib::DeviceMath::altera_13_0(),
         );
-        let result = Accelerator::new(
-            small,
-            KernelArch::Optimized,
-            Precision::Double,
-            128,
-            None,
-        );
+        let result = Accelerator::new(small, KernelArch::Optimized, Precision::Double, 128, None);
         match result {
             Err(AcceleratorError::Build(e)) => {
                 assert!(e.message.contains("does not fit"), "got: {e}");
@@ -599,7 +679,12 @@ mod fit_failure_tests {
             bop_fpga::FpgaPart::ep4sgx230(),
             bop_clir::mathlib::DeviceMath::altera_13_0(),
         );
-        let scalar = bop_ocl::BuildOptions { simd: 1, compute_units: 1, unroll: Some(1), ..Default::default() };
+        let scalar = bop_ocl::BuildOptions {
+            simd: 1,
+            compute_units: 1,
+            unroll: Some(1),
+            ..Default::default()
+        };
         assert!(Accelerator::new(
             small,
             KernelArch::Optimized,

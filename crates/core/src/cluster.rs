@@ -180,11 +180,8 @@ mod tests {
     fn cluster_beats_its_fastest_member() {
         let c = cluster(256);
         let combined = c.project(2000).expect("projects");
-        let solo_rates: Vec<f64> = c
-            .members()
-            .iter()
-            .map(|a| a.project(2000).expect("projects").options_per_s)
-            .collect();
+        let solo_rates: Vec<f64> =
+            c.members().iter().map(|a| a.project(2000).expect("projects").options_per_s).collect();
         let best_solo = solo_rates.iter().cloned().fold(0.0, f64::max);
         assert!(
             combined.options_per_s > best_solo,
@@ -235,10 +232,7 @@ mod tests {
             None,
         )
         .expect("builds");
-        assert!(matches!(
-            MultiAccelerator::new(vec![a, b]),
-            Err(AcceleratorError::Invalid(_))
-        ));
+        assert!(matches!(MultiAccelerator::new(vec![a, b]), Err(AcceleratorError::Invalid(_))));
         assert!(matches!(MultiAccelerator::new(vec![]), Err(AcceleratorError::Invalid(_))));
     }
 }

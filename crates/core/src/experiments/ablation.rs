@@ -102,8 +102,12 @@ pub fn build_grid(
     let mut grid = Vec::new();
     for &simd in simds {
         for &unroll in unrolls {
-            let build =
-                BuildOptions { simd, compute_units: 1, unroll: Some(unroll), ..BuildOptions::default() };
+            let build = BuildOptions {
+                simd,
+                compute_units: 1,
+                unroll: Some(unroll),
+                ..BuildOptions::default()
+            };
             let acc = match Accelerator::new(
                 crate::devices::fpga(),
                 KernelArch::Optimized,
@@ -206,11 +210,7 @@ mod tests {
         // n = 256, the paper's 14x at N = 1024 (checked by the ablation
         // bench binary at full scale).
         let r = reduced_reads(crate::devices::gpu(), 256, 256).expect("runs");
-        assert!(
-            r.speedup() > 3.0,
-            "reduced reads must be many times faster: {}x",
-            r.speedup()
-        );
+        assert!(r.speedup() > 3.0, "reduced reads must be many times faster: {}x", r.speedup());
     }
 
     #[test]
@@ -400,8 +400,7 @@ pub fn conclusion_whatif(n_steps: usize) -> Result<ConclusionWhatIf, Accelerator
         bop_fpga::FpgaPart::ep5sgxa7(),
         bop_clir::mathlib::DeviceMath::altera_13_0(),
     );
-    let acc =
-        Accelerator::new(device, KernelArch::Optimized, Precision::Double, n_steps, None)?;
+    let acc = Accelerator::new(device, KernelArch::Optimized, Precision::Double, n_steps, None)?;
     let report = acc.report().clone();
     let base = acc.project(2000)?;
     let static_w = bop_fpga::calib::POWER_STATIC_W;

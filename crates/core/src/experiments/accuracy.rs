@@ -94,7 +94,13 @@ pub fn run(n_steps: usize, n_options: usize) -> Result<Vec<AccuracyPoint>, Accel
             n_steps,
             n_options,
         )?,
-        price_accuracy("IV.B / GPU", crate::devices::gpu(), KernelArch::Optimized, n_steps, n_options)?,
+        price_accuracy(
+            "IV.B / GPU",
+            crate::devices::gpu(),
+            KernelArch::Optimized,
+            n_steps,
+            n_options,
+        )?,
     ])
 }
 

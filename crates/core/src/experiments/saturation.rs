@@ -64,8 +64,7 @@ pub fn sweep(
             of_asymptote: throughput / asymptote,
         });
     }
-    let saturation_at =
-        points.iter().find(|p| p.of_asymptote >= 0.95).map(|p| p.n_options);
+    let saturation_at = points.iter().find(|p| p.of_asymptote >= 0.95).map(|p| p.n_options);
     Ok(SaturationCurve { label: label.to_owned(), asymptote, points, saturation_at })
 }
 

@@ -115,10 +115,6 @@ mod tests {
         let r = run(256, 96, 6).expect("runs");
         // Device `pow` inaccuracy perturbs prices, so the recovered vols
         // carry a small error — but the curve is clearly recovered.
-        assert!(
-            r.implied_vol_max_err < 5e-3,
-            "smile recovery error: {}",
-            r.implied_vol_max_err
-        );
+        assert!(r.implied_vol_max_err < 5e-3, "smile recovery error: {}", r.implied_vol_max_err);
     }
 }

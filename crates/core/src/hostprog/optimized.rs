@@ -43,6 +43,20 @@ impl OptimizedHost {
         options: &[OptionParams],
     ) -> Result<Vec<f64>, RuntimeError> {
         assert!(!options.is_empty(), "empty batch");
+        let span =
+            queue.begin_span(&format!("IV.B {} ({} options)", self.kernel_name, options.len()));
+        let result = self.run_inner(ctx, queue, program, options);
+        queue.end_span(span);
+        result
+    }
+
+    fn run_inner(
+        &self,
+        ctx: &Arc<Context>,
+        queue: &CommandQueue,
+        program: &Program,
+        options: &[OptionParams],
+    ) -> Result<Vec<f64>, RuntimeError> {
         let n = self.n_steps;
         let w = real_width(self.precision);
         let wg = n + 1;
@@ -57,9 +71,8 @@ impl OptimizedHost {
         }
         write_reals(queue, &params_buf, 0, &params, self.precision)?;
 
-        let kernel = program
-            .kernel(self.kernel_name)
-            .map_err(|e| RuntimeError::Invalid(e.message))?;
+        let kernel =
+            program.kernel(self.kernel_name).map_err(|e| RuntimeError::Invalid(e.message))?;
 
         if self.host_leaves {
             // Fallback path: leaves computed on the host and shipped over
@@ -118,8 +131,7 @@ mod tests {
             &BuildOptions::default(),
         )
         .expect("builds");
-        let options =
-            workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 11);
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 11);
         let host = OptimizedHost {
             n_steps: n,
             precision: Precision::Double,

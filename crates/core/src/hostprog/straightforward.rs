@@ -55,6 +55,19 @@ impl StraightforwardHost {
         options: &[OptionParams],
     ) -> Result<Vec<f64>, RuntimeError> {
         assert!(!options.is_empty(), "empty batch");
+        let span = queue.begin_span(&format!("IV.A pipeline ({} options)", options.len()));
+        let result = self.run_inner(ctx, queue, program, options);
+        queue.end_span(span);
+        result
+    }
+
+    fn run_inner(
+        &self,
+        ctx: &Arc<Context>,
+        queue: &CommandQueue,
+        program: &Program,
+        options: &[OptionParams],
+    ) -> Result<Vec<f64>, RuntimeError> {
         let n = self.n_steps;
         let w = real_width(self.precision);
         let m_nonleaf = n * (n + 1) / 2;
@@ -84,8 +97,7 @@ impl StraightforwardHost {
         kernel.set_arg_i32(6, n as i32);
 
         // Precompute per-option coefficient blocks once.
-        let coeffs: Vec<[f64; 6]> =
-            options.iter().map(|o| option_coefficients(o, n)).collect();
+        let coeffs: Vec<[f64; 6]> = options.iter().map(|o| option_coefficients(o, n)).collect();
 
         let mut prices = vec![0.0; options.len()];
         let mut scratch_v = vec![0.0; if self.read_full { m_total } else { 1 }];
@@ -93,6 +105,7 @@ impl StraightforwardHost {
         let mut in_idx = 0;
         let batches = options.len() + n - 1;
         for b in 0..batches {
+            let batch_span = queue.begin_span(&format!("batch {b}"));
             let out_idx = 1 - in_idx;
             // (1) incoming option's leaves into the *input* buffer.
             if b < options.len() {
@@ -138,6 +151,7 @@ impl StraightforwardHost {
 
             // Buffer switch between batches (paper Figure 3).
             in_idx = out_idx;
+            queue.end_span(batch_span);
 
             // The freshly computed levels 0..n-1 sit in what is now the
             // input buffer; its leaf region will be overwritten by the
@@ -172,8 +186,7 @@ mod tests {
     #[test]
     fn pipeline_prices_match_reference() {
         let (ctx, queue, program) = setup(crate::devices::gpu());
-        let options =
-            workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 5, 3);
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 5, 3);
         let host =
             StraightforwardHost { n_steps: 24, precision: Precision::Double, read_full: true };
         let prices = host.run(&ctx, &queue, &program, &options).expect("runs");
@@ -190,8 +203,7 @@ mod tests {
     fn fpga_straightforward_is_immune_to_the_pow_bug() {
         // No pow in the kernel: leaves come from the host.
         let (ctx, queue, program) = setup(crate::devices::fpga());
-        let options =
-            workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 3, 5);
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 3, 5);
         let host =
             StraightforwardHost { n_steps: 16, precision: Precision::Double, read_full: true };
         let prices = host.run(&ctx, &queue, &program, &options).expect("runs");

@@ -46,8 +46,8 @@ pub mod kernels;
 pub mod perfmodel;
 
 pub use accelerator::{Accelerator, PricingRun, Projection};
-pub use cluster::MultiAccelerator;
 pub use bop_cpu::Precision;
+pub use cluster::MultiAccelerator;
 pub use kernels::KernelArch;
 
 /// The paper's full test environment (Section V.A): FPGA + GPU + CPU on

@@ -24,13 +24,15 @@ fn to_vec(stats: &ExecStats) -> Vec<f64> {
     let o = &stats.ops;
     let m = &stats.mem;
     let mut v = vec![stats.barriers as f64, stats.item_phases as f64];
-    v.extend([
-        o.add32, o.add64, o.mul32, o.mul64, o.div32, o.div64, o.minmax32, o.minmax64, o.transc32,
-        o.transc64, o.pow32, o.pow64, o.sqrt32, o.sqrt64, o.cmp, o.select, o.int_alu, o.cast,
-        o.mov, o.wi_query,
-    ]
-    .iter()
-    .map(|&x| x as f64));
+    v.extend(
+        [
+            o.add32, o.add64, o.mul32, o.mul64, o.div32, o.div64, o.minmax32, o.minmax64,
+            o.transc32, o.transc64, o.pow32, o.pow64, o.sqrt32, o.sqrt64, o.cmp, o.select,
+            o.int_alu, o.cast, o.mov, o.wi_query,
+        ]
+        .iter()
+        .map(|&x| x as f64),
+    );
     v.extend(
         [
             m.global_loads,
@@ -123,9 +125,8 @@ impl StatsFit {
         );
         let vs: Vec<Vec<f64>> = samples.iter().map(|s| to_vec(s)).collect();
         let x = [ns[0] as f64, ns[1] as f64, ns[2] as f64];
-        let coeffs = (0..vs[0].len())
-            .map(|k| solve_quadratic(x, [vs[0][k], vs[1][k], vs[2][k]]))
-            .collect();
+        let coeffs =
+            (0..vs[0].len()).map(|k| solve_quadratic(x, [vs[0][k], vs[1][k], vs[2][k]])).collect();
         StatsFit { blocks, coeffs }
     }
 

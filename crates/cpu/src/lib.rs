@@ -122,9 +122,7 @@ impl ReferenceSoftware {
     ) -> ReferenceRun {
         let start = Instant::now();
         let prices: Vec<f64> = match precision {
-            Precision::Double => {
-                options.iter().map(|o| price_american_f64(o, n_steps)).collect()
-            }
+            Precision::Double => options.iter().map(|o| price_american_f64(o, n_steps)).collect(),
             Precision::Single => {
                 options.iter().map(|o| price_american_f32(o, n_steps) as f64).collect()
             }
@@ -230,10 +228,11 @@ impl DeviceProgram for CpuProgram {
         let cycles = 1.8 * (ops.simple_flops(true) + ops.simple_flops(false)) as f64
             + 45.0 * (ops.hard_flops(true) + ops.hard_flops(false)) as f64
             + 0.7 * (ops.int_alu + ops.cmp + ops.select + ops.cast + ops.mov + ops.wi_query) as f64
-            + 1.2 * (stats.mem.global_loads
-                + stats.mem.global_stores
-                + stats.mem.local_loads
-                + stats.mem.local_stores) as f64;
+            + 1.2
+                * (stats.mem.global_loads
+                    + stats.mem.global_stores
+                    + stats.mem.local_loads
+                    + stats.mem.local_stores) as f64;
         let t_mem = stats.mem.global_bytes() as f64 / self.mem_bw;
         (cycles / self.model.clock_hz).max(t_mem)
     }

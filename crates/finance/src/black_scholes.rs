@@ -24,6 +24,9 @@ pub fn norm_pdf(x: f64) -> f64 {
 
 /// Complementary error function: exact series for small arguments, a
 /// rational approximation in the tails (|abs err| < 1.2e-7).
+// The nested Abramowitz-Stegun polynomial makes rustfmt's layout search
+// effectively non-terminating; keep the hand formatting.
+#[rustfmt::skip]
 fn erfc(x: f64) -> f64 {
     let z = x.abs();
     if z < 0.5 {
@@ -98,7 +101,10 @@ pub fn bs_price(option: &OptionParams) -> f64 {
 pub fn bs_vega(option: &OptionParams) -> f64 {
     option.validate().expect("invalid option parameters");
     let (d1, _) = d1_d2(option);
-    option.spot * (-option.dividend_yield * option.expiry).exp() * norm_pdf(d1) * option.expiry.sqrt()
+    option.spot
+        * (-option.dividend_yield * option.expiry).exp()
+        * norm_pdf(d1)
+        * option.expiry.sqrt()
 }
 
 #[cfg(test)]

@@ -161,7 +161,11 @@ pub struct FixedPointPoint {
 
 /// Sweep fraction widths for one option, reporting the error curve the
 /// paper's "custom data types" remark implies.
-pub fn precision_sweep(option: &OptionParams, n_steps: usize, widths: &[u32]) -> Vec<FixedPointPoint> {
+pub fn precision_sweep(
+    option: &OptionParams,
+    n_steps: usize,
+    widths: &[u32],
+) -> Vec<FixedPointPoint> {
     let reference = crate::binomial::price_american_f64(option, n_steps);
     widths
         .iter()

@@ -164,10 +164,7 @@ mod tests {
             o.volatility = true_vol;
             let price = bs_price(&o);
             let recovered = bs_implied_volatility(&o, price).expect("solves");
-            assert!(
-                (recovered - true_vol).abs() < 1e-7,
-                "vol {true_vol}: recovered {recovered}"
-            );
+            assert!((recovered - true_vol).abs() < 1e-7, "vol {true_vol}: recovered {recovered}");
         }
     }
 

@@ -27,6 +27,7 @@ pub mod greeks;
 pub mod implied_vol;
 pub mod metrics;
 pub mod montecarlo;
+pub mod rng;
 pub mod types;
 pub mod workload;
 

@@ -19,9 +19,8 @@
 //! is exactly the "harder to implement efficiently" point; the comparison
 //! here uses European options where both methods are straightforward.)
 
+use crate::rng::SplitMix64;
 use crate::types::OptionParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Result of a Monte Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,9 +35,9 @@ pub struct McResult {
 
 /// Sample a standard normal via Box-Muller (no external distributions
 /// crate needed).
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
+fn standard_normal(rng: &mut SplitMix64) -> f64 {
+    let u1 = rng.next_f64_open0();
+    let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -50,7 +49,7 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 pub fn price_european_mc(option: &OptionParams, pairs: usize, seed: u64) -> McResult {
     assert!(pairs > 0, "need at least one antithetic pair");
     option.validate().expect("invalid option parameters");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let drift = (option.rate - option.dividend_yield - 0.5 * option.volatility * option.volatility)
         * option.expiry;
     let vol_sqrt_t = option.volatility * option.expiry.sqrt();
@@ -155,10 +154,7 @@ mod tests {
         let small = price_european_mc(&o, 10_000, 7);
         let large = price_european_mc(&o, 160_000, 7);
         let ratio = small.std_error / large.std_error;
-        assert!(
-            (2.5..6.0).contains(&ratio),
-            "16x paths -> ~4x smaller std error, got {ratio}"
-        );
+        assert!((2.5..6.0).contains(&ratio), "16x paths -> ~4x smaller std error, got {ratio}");
     }
 
     #[test]

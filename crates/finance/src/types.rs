@@ -1,10 +1,9 @@
 //! Option parameter types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Call (right to buy) or put (right to sell).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptionKind {
     /// Right to buy at the strike.
     Call,
@@ -35,7 +34,7 @@ impl fmt::Display for OptionKind {
 /// European (exercise at expiry) or American (exercise any time) — the
 /// latter is what makes the problem lattice-shaped, per the paper's
 /// Section III.A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExerciseStyle {
     /// Exercisable only at expiry.
     European,
@@ -44,7 +43,7 @@ pub enum ExerciseStyle {
 }
 
 /// A vanilla option to price.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptionParams {
     /// Spot price of the underlying, `S0`.
     pub spot: f64,

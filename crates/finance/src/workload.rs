@@ -7,9 +7,8 @@
 //! volatility smile, optionally across several maturities (a surface).
 //! Generation is deterministic per seed.
 
+use crate::rng::SplitMix64;
 use crate::types::{ExerciseStyle, OptionKind, OptionParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A parametric volatility smile: `sigma(K) = sigma0 + skew m + curv m^2`
 /// with `m = ln(K / S0)`, clamped to a sane band.
@@ -73,14 +72,14 @@ pub fn volatility_curve(
     seed: u64,
 ) -> Vec<OptionParams> {
     assert!(n_options > 0, "empty workload");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..n_options)
         .map(|i| {
             let frac = if n_options == 1 { 0.5 } else { i as f64 / (n_options - 1) as f64 };
             let m = (2.0 * frac - 1.0) * config.moneyness_range;
-            let jitter = |rng: &mut StdRng| {
+            let jitter = |rng: &mut SplitMix64| {
                 if config.jitter > 0.0 {
-                    1.0 + rng.random_range(-config.jitter..config.jitter)
+                    1.0 + rng.uniform(-config.jitter, config.jitter)
                 } else {
                     1.0
                 }

@@ -162,9 +162,10 @@ pub fn access_sites(func: &Function) -> AccessSites {
             };
             if let Some(ptr) = ptr {
                 match func.reg_type(*ptr) {
-                    bop_clir::types::Type::Ptr(AddressSpace::Global | AddressSpace::Constant, _) => {
-                        sites.global += 1
-                    }
+                    bop_clir::types::Type::Ptr(
+                        AddressSpace::Global | AddressSpace::Constant,
+                        _,
+                    ) => sites.global += 1,
                     bop_clir::types::Type::Ptr(AddressSpace::Local, _) => sites.local += 1,
                     bop_clir::types::Type::Ptr(AddressSpace::Private, _) => sites.private += 1,
                     _ => {}
@@ -187,7 +188,7 @@ pub fn memory_cost(sites: AccessSites, simd: u32) -> OpCost {
         latency: c.latency,
     };
     let lsu_scale = (100 + 45 * (simd as u64 - 1)).max(100); // percent
-    let g = widen(GLOBAL_LSU, sites.global as u64 * lsu_scale) ;
+    let g = widen(GLOBAL_LSU, sites.global as u64 * lsu_scale);
     let g = OpCost {
         aluts: g.aluts / 100,
         registers: g.registers / 100,

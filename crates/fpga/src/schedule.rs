@@ -96,8 +96,12 @@ pub fn schedule(func: &Function) -> KernelSchedule {
             }
             cost.accumulate(&mut lane);
             has_work |= is_work(inst);
-            let start =
-                inst.sources().iter().map(|r| ready.get(r).copied().unwrap_or(0)).max().unwrap_or(0);
+            let start = inst
+                .sources()
+                .iter()
+                .map(|r| ready.get(r).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
             let latency = match inst {
                 // Memory latencies come from the interface cost table.
                 Inst::Load { .. } | Inst::Store { .. } => 12,

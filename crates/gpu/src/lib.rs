@@ -183,8 +183,8 @@ mod tests {
         let gpu = GpuDevice::gtx660();
         let ctx = Context::new(gpu);
         let q = CommandQueue::new(&ctx);
-        let p = Program::from_source(&ctx, "t.cl", KERNEL, &BuildOptions::default())
-            .expect("builds");
+        let p =
+            Program::from_source(&ctx, "t.cl", KERNEL, &BuildOptions::default()).expect("builds");
         let buf = ctx.create_buffer(4 * 8);
         q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
         let k = p.kernel("k").expect("kernel");

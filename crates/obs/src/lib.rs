@@ -1,0 +1,30 @@
+//! # bop-obs — workspace-wide observability
+//!
+//! The shared observability layer of the DATE 2014 reproduction. Three
+//! pillars, all over the *simulated* timeline (the command queue's
+//! clock), all dependency-free so the workspace builds offline:
+//!
+//! * [`metrics`] — a labeled metrics registry (counters, gauges,
+//!   histograms) populated by the `bop-ocl` command queue, the
+//!   `bop-clir` interpreter, and the device models;
+//! * [`trace`] — structured span tracing with parent/child linkage
+//!   (host-program phases → queue commands → barrier phases),
+//!   exportable as Chrome trace-event JSON that loads in Perfetto;
+//! * [`report`] — the stable machine-readable experiment report schema
+//!   every `bop-bench` binary emits
+//!   (`{experiment, rows: [{metric, paper, measured, unit}], counters,
+//!   wall_s}`);
+//! * [`json`] — the hand-rolled JSON value/writer/parser the other
+//!   modules build on.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Histogram, Labels, MetricsRegistry, Series};
+pub use report::{ExperimentReport, ReportRow};
+pub use trace::{SpanCategory, TraceLog, TraceSpan};

@@ -1,0 +1,306 @@
+//! A labeled metrics registry: counters, gauges and histograms.
+//!
+//! Series are identified by a metric name plus a sorted label set —
+//! `("device", "fpga"), ("kernel", "binomial_option"), ("precision",
+//! "double")` — the shape every metrics backend (Prometheus, OpenMetrics,
+//! statsd tags) understands, so a future exporter is a formatting
+//! exercise. Producers across the workspace publish here: the `bop-ocl`
+//! command queue (command counts, transferred bytes, simulated busy
+//! time), the `bop-clir` interpreter (executed-operation classes via the
+//! [`ExecStats` bridge](crate::metrics::MetricsRegistry)), and the device
+//! models (power, clock, bandwidth characteristics).
+//!
+//! The registry is `Sync` (a `Mutex` around a map) and cheap enough for
+//! the simulator's command rates; it is not a lock-free hot-path design,
+//! and does not need to be — one simulated command is thousands of
+//! interpreted instructions.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A label set: sorted `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// Normalise a label slice into the canonical sorted form.
+fn canon(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels.iter().map(|(k, val)| (k.to_string(), val.to_string())).collect();
+    v.sort();
+    v
+}
+
+/// A histogram with fixed logarithmic buckets (powers of ten from 1e-9
+/// up to 1e+9), plus exact sum/count/min/max. Enough resolution to
+/// distinguish "nanoseconds" from "milliseconds" in simulated durations
+/// and "bytes" from "megabytes" in transfer sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket; the last slot is the overflow
+    /// bucket (`> bounds.last()`).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (NaN when empty).
+    pub min: f64,
+    /// Largest observation (NaN when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        let bounds: Vec<f64> = (-9..=9).map(|e| 10f64.powi(e)).collect();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts, count: 0, sum: 0.0, min: f64::NAN, max: f64::NAN }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = if self.min.is_nan() { value } else { self.min.min(value) };
+        self.max = if self.max.is_nan() { value } else { self.max.max(value) };
+    }
+
+    /// Mean observation (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One exported series: name, labels and current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Series {
+    /// Monotone counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Labels,
+        /// Current total.
+        value: u64,
+    },
+    /// Point-in-time gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Labels,
+        /// Current value.
+        value: f64,
+    },
+    /// Distribution of observations.
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Labels,
+        /// The histogram.
+        hist: Histogram,
+    },
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<(String, Labels), u64>,
+    gauges: BTreeMap<(String, Labels), f64>,
+    hists: BTreeMap<(String, Labels), Histogram>,
+}
+
+/// The registry. Share it as an `Arc<MetricsRegistry>`; every producer
+/// method takes `&self`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the counter `name{labels}` (created at zero on
+    /// first touch).
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry((name.to_string(), canon(labels))).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name{labels}`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert((name.to_string(), canon(labels)), value);
+    }
+
+    /// Add `delta` to the gauge `name{labels}` (created at zero).
+    pub fn add_gauge(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.gauges.entry((name.to_string(), canon(labels))).or_insert(0.0) += delta;
+    }
+
+    /// Record one observation into the histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .hists
+            .entry((name.to_string(), canon(labels)))
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    /// Current value of a counter, zero if never touched.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.get(&(name.to_string(), canon(labels))).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        inner.gauges.get(&(name.to_string(), canon(labels))).copied()
+    }
+
+    /// Snapshot of a histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        let inner = self.inner.lock().unwrap();
+        inner.hists.get(&(name.to_string(), canon(labels))).cloned()
+    }
+
+    /// Sum of a counter across all label sets (e.g. total commands over
+    /// every kind).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.iter().filter(|((n, _), _)| n == name).map(|(_, v)| v).sum()
+    }
+
+    /// Every series, sorted by (name, labels), for export.
+    pub fn snapshot(&self) -> Vec<Series> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for ((name, labels), &value) in &inner.counters {
+            out.push(Series::Counter { name: name.clone(), labels: labels.clone(), value });
+        }
+        for ((name, labels), &value) in &inner.gauges {
+            out.push(Series::Gauge { name: name.clone(), labels: labels.clone(), value });
+        }
+        for ((name, labels), hist) in &inner.hists {
+            out.push(Series::Hist {
+                name: name.clone(),
+                labels: labels.clone(),
+                hist: hist.clone(),
+            });
+        }
+        out
+    }
+
+    /// Export every series as a JSON array:
+    /// `[{type, name, labels: {...}, ...}, ...]`.
+    pub fn to_json(&self) -> Json {
+        let series = self.snapshot();
+        Json::Arr(
+            series
+                .into_iter()
+                .map(|s| {
+                    let labels_json = |labels: &Labels| {
+                        Json::Obj(
+                            labels.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect(),
+                        )
+                    };
+                    match s {
+                        Series::Counter { name, labels, value } => Json::obj([
+                            ("type", Json::str("counter")),
+                            ("name", Json::str(name)),
+                            ("labels", labels_json(&labels)),
+                            ("value", Json::Num(value as f64)),
+                        ]),
+                        Series::Gauge { name, labels, value } => Json::obj([
+                            ("type", Json::str("gauge")),
+                            ("name", Json::str(name)),
+                            ("labels", labels_json(&labels)),
+                            ("value", Json::Num(value)),
+                        ]),
+                        Series::Hist { name, labels, hist } => Json::obj([
+                            ("type", Json::str("histogram")),
+                            ("name", Json::str(name)),
+                            ("labels", labels_json(&labels)),
+                            ("count", Json::Num(hist.count as f64)),
+                            ("sum", Json::Num(hist.sum)),
+                            ("min", Json::Num(hist.min)),
+                            ("max", Json::Num(hist.max)),
+                            ("mean", Json::Num(hist.mean())),
+                        ]),
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = MetricsRegistry::new();
+        r.inc("ocl.commands", &[("kind", "write")], 2);
+        r.inc("ocl.commands", &[("kind", "read")], 1);
+        r.inc("ocl.commands", &[("kind", "write")], 3);
+        assert_eq!(r.counter_value("ocl.commands", &[("kind", "write")]), 5);
+        assert_eq!(r.counter_value("ocl.commands", &[("kind", "read")]), 1);
+        assert_eq!(r.counter_total("ocl.commands"), 6);
+        // Label order must not matter.
+        r.inc("x", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.counter_value("x", &[("b", "2"), ("a", "1")]), 1);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let r = MetricsRegistry::new();
+        r.set_gauge("device.power_watts", &[("device", "fpga")], 17.0);
+        assert_eq!(r.gauge_value("device.power_watts", &[("device", "fpga")]), Some(17.0));
+        r.add_gauge("sim.elapsed_s", &[], 0.5);
+        r.add_gauge("sim.elapsed_s", &[], 0.25);
+        assert_eq!(r.gauge_value("sim.elapsed_s", &[]), Some(0.75));
+        assert_eq!(r.gauge_value("sim.elapsed_s", &[("no", "such")]), None);
+    }
+
+    #[test]
+    fn histograms_track_distribution() {
+        let r = MetricsRegistry::new();
+        for v in [1e-6, 2e-6, 1e-3, 5.0] {
+            r.observe("xfer.seconds", &[("dir", "h2d")], v);
+        }
+        let h = r.histogram("xfer.seconds", &[("dir", "h2d")]).expect("hist");
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 5.001003).abs() < 1e-9);
+        assert_eq!(h.min, 1e-6);
+        assert_eq!(h.max, 5.0);
+        assert!(h.mean() > 1.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn snapshot_and_json_are_deterministic() {
+        let r = MetricsRegistry::new();
+        r.inc("b.counter", &[], 1);
+        r.inc("a.counter", &[("k", "v")], 2);
+        r.set_gauge("g", &[], 1.5);
+        r.observe("h", &[], 0.1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        let json = r.to_json().to_string();
+        let parsed = Json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.as_arr().expect("array").len(), 4);
+        assert_eq!(json, r.to_json().to_string(), "deterministic output");
+    }
+}

@@ -1,0 +1,204 @@
+//! Machine-readable experiment reports.
+//!
+//! Every `bop-bench` binary emits, besides its human-readable table, one
+//! [`ExperimentReport`] with a stable schema:
+//!
+//! ```json
+//! {
+//!   "experiment": "table2",
+//!   "rows": [
+//!     {"metric": "fpga_ivb_double.options_per_s",
+//!      "paper": 2320.0, "measured": 2287.4, "unit": "options/s"}
+//!   ],
+//!   "counters": {"ocl.commands": 42},
+//!   "wall_s": 1.73
+//! }
+//! ```
+//!
+//! `paper` is `null` for metrics with no published reference value (the
+//! paper reports no RMSE for the CPU row, for example). Downstream
+//! tooling diffs `measured` against `paper` without screen-scraping the
+//! tables.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// One metric row: a measured value and, when the paper publishes one,
+/// the reference value to compare against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Dotted metric path, e.g. `"fpga_ivb_double.options_per_s"`.
+    pub metric: String,
+    /// Published value from the paper, if any.
+    pub paper: Option<f64>,
+    /// Value this run produced.
+    pub measured: f64,
+    /// Unit string, e.g. `"options/s"`, `"W"`, `"USD"`.
+    pub unit: String,
+}
+
+impl ReportRow {
+    /// Relative deviation `(measured - paper) / paper`, when a paper
+    /// value exists and is non-zero.
+    pub fn rel_error(&self) -> Option<f64> {
+        match self.paper {
+            Some(p) if p != 0.0 => Some((self.measured - p) / p),
+            _ => None,
+        }
+    }
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExperimentReport {
+    /// Experiment name (matches the binary: `table1`, `table2`, ...).
+    pub experiment: String,
+    /// Metric rows in presentation order.
+    pub rows: Vec<ReportRow>,
+    /// Named counters captured during the run (queue command counts,
+    /// transferred bytes, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Real wall-clock seconds the experiment took to simulate.
+    pub wall_s: f64,
+}
+
+impl ExperimentReport {
+    /// An empty report for `experiment`.
+    pub fn new(experiment: &str) -> ExperimentReport {
+        ExperimentReport { experiment: experiment.to_string(), ..Default::default() }
+    }
+
+    /// Append a row.
+    pub fn push(
+        &mut self,
+        metric: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        unit: &str,
+    ) {
+        self.rows.push(ReportRow {
+            metric: metric.into(),
+            paper,
+            measured,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Record a counter (last write wins).
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Serialise to the stable JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::str(self.experiment.clone())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("metric", Json::str(r.metric.clone())),
+                                ("paper", r.paper.map_or(Json::Null, Json::Num)),
+                                ("measured", Json::Num(r.measured)),
+                                ("unit", Json::str(r.unit.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect(),
+                ),
+            ),
+            ("wall_s", Json::Num(self.wall_s)),
+        ])
+    }
+
+    /// Parse a report back from its JSON form (used by tests and
+    /// downstream tooling).
+    ///
+    /// # Errors
+    /// Returns a message describing the first schema violation.
+    pub fn from_json(text: &str) -> Result<ExperimentReport, String> {
+        let doc = Json::parse(text)?;
+        let experiment =
+            doc.get("experiment").and_then(Json::as_str).ok_or("missing `experiment`")?.to_string();
+        let rows_json = doc.get("rows").and_then(Json::as_arr).ok_or("missing `rows`")?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for (i, row) in rows_json.iter().enumerate() {
+            let metric = row
+                .get("metric")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row {i}: missing `metric`"))?
+                .to_string();
+            let paper = match row.get("paper") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| format!("row {i}: bad `paper`"))?),
+            };
+            let measured = row
+                .get("measured")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing `measured`"))?;
+            let unit = row
+                .get("unit")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row {i}: missing `unit`"))?
+                .to_string();
+            rows.push(ReportRow { metric, paper, measured, unit });
+        }
+        let mut counters = BTreeMap::new();
+        if let Some(Json::Obj(map)) = doc.get("counters") {
+            for (k, v) in map {
+                let n = v.as_f64().ok_or_else(|| format!("counter `{k}`: not a number"))?;
+                counters.insert(k.clone(), n as u64);
+            }
+        }
+        let wall_s = doc.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0);
+        Ok(ExperimentReport { experiment, rows, counters, wall_s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = ExperimentReport::new("table2");
+        r.push("fpga_ivb_double.options_per_s", Some(2320.0), 2287.4, "options/s");
+        r.push("cpu.rmse", None, 1.1e-4, "USD");
+        r.set_counter("ocl.commands", 42);
+        r.wall_s = 1.73;
+
+        let text = r.to_json().to_string();
+        let back = ExperimentReport::from_json(&text).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rel_error_needs_a_paper_value() {
+        let row =
+            ReportRow { metric: "x".into(), paper: Some(100.0), measured: 90.0, unit: "u".into() };
+        assert!((row.rel_error().expect("some") + 0.1).abs() < 1e-12);
+        let row = ReportRow { metric: "x".into(), paper: None, measured: 90.0, unit: "u".into() };
+        assert_eq!(row.rel_error(), None);
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        assert!(ExperimentReport::from_json("{}").is_err());
+        assert!(ExperimentReport::from_json(r#"{"experiment":"x"}"#).is_err());
+        assert!(
+            ExperimentReport::from_json(r#"{"experiment":"x","rows":[{"metric":"m"}]}"#).is_err()
+        );
+        // Minimal valid document.
+        let r = ExperimentReport::from_json(r#"{"experiment":"x","rows":[]}"#).expect("ok");
+        assert_eq!(r.experiment, "x");
+        assert!(r.rows.is_empty());
+    }
+}

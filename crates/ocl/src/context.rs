@@ -2,8 +2,8 @@
 
 use crate::device::Device;
 use bop_clir::interp::VecMemory;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A device buffer handle (cheap to clone).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -53,26 +53,26 @@ impl Context {
     /// Panics if the allocation would exceed the device's global memory
     /// capacity — the simulated equivalent of `CL_MEM_OBJECT_ALLOCATION_FAILURE`.
     pub fn create_buffer(self: &Arc<Self>, bytes: usize) -> Buffer {
-        let mut used = self.allocated.lock();
+        let mut used = self.allocated.lock().unwrap();
         let cap = self.device.info().global_mem_bytes;
         assert!(
             *used + bytes as u64 <= cap,
             "device out of global memory: {used} + {bytes} > {cap}"
         );
         *used += bytes as u64;
-        let id = self.mem.lock().alloc_global(bytes);
+        let id = self.mem.lock().unwrap().alloc_global(bytes);
         Buffer { id, bytes }
     }
 
     /// Bytes of global memory currently allocated.
     pub fn allocated_bytes(&self) -> u64 {
-        *self.allocated.lock()
+        *self.allocated.lock().unwrap()
     }
 
     /// Read the full contents of a buffer (host-side debugging helper that
     /// bypasses the command queue and its timing).
     pub fn snapshot(&self, buf: &Buffer) -> Vec<u8> {
-        self.mem.lock().global_bytes(buf.id).to_vec()
+        self.mem.lock().unwrap().global_bytes(buf.id).to_vec()
     }
 }
 

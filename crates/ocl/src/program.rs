@@ -4,8 +4,8 @@ use crate::context::{Buffer, Context};
 use crate::device::{BuildError, BuildOptions, BuildReport, DeviceProgram};
 use bop_clir::ir::Module;
 use bop_clir::value::Value;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A program built for the context's device.
 pub struct Program {
@@ -106,7 +106,7 @@ impl Kernel {
     /// # Panics
     /// Panics if `index` is out of range for the kernel signature.
     pub fn set_arg(&self, index: usize, arg: KernelArg) {
-        let mut args = self.args.lock();
+        let mut args = self.args.lock().unwrap();
         assert!(index < args.len(), "kernel `{}` has {} arguments", self.name, args.len());
         args[index] = Some(arg);
     }
@@ -142,7 +142,7 @@ impl Kernel {
     }
 
     pub(crate) fn bound_args(&self) -> Result<Vec<KernelArg>, BuildError> {
-        let args = self.args.lock();
+        let args = self.args.lock().unwrap();
         args.iter()
             .enumerate()
             .map(|(i, a)| {

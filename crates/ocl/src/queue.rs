@@ -14,10 +14,11 @@ use crate::device::Dispatch;
 use crate::program::{Kernel, KernelArg};
 use bop_clir::interp::{ExecError, GroupShape, KernelArgValue, WorkGroupRun};
 use bop_clir::stats::ExecStats;
-use parking_lot::Mutex;
+use bop_obs::{Json, MetricsRegistry, SpanCategory, TraceLog, TraceSpan};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Runtime error from an enqueued command.
 #[derive(Debug)]
@@ -87,10 +88,38 @@ pub enum CommandKind {
     Kernel,
 }
 
+impl CommandKind {
+    /// Transfer direction of the command relative to the device: `"h2d"`,
+    /// `"d2h"`, `"device"` (on-device copies/fills) or `"kernel"`.
+    pub fn direction(self) -> &'static str {
+        match self {
+            CommandKind::Write => "h2d",
+            CommandKind::Read => "d2h",
+            CommandKind::Copy | CommandKind::Fill => "device",
+            CommandKind::Kernel => "kernel",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            CommandKind::Write => "write",
+            CommandKind::Read => "read",
+            CommandKind::Copy => "copy",
+            CommandKind::Fill => "fill",
+            CommandKind::Kernel => "kernel",
+        }
+    }
+}
+
 /// One entry of the command trace (used to regenerate the paper's Figure 3
 /// / Figure 4 dataflow descriptions).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
+    /// Span id, unique within this queue (shared counter with host spans).
+    pub span_id: u64,
+    /// Id of the enclosing host span, if the command was enqueued inside
+    /// one (see [`CommandQueue::begin_span`]).
+    pub parent: Option<u64>,
     /// Command kind.
     pub kind: CommandKind,
     /// Payload bytes (transfers) or zero (kernels).
@@ -99,6 +128,26 @@ pub struct TraceEntry {
     pub kernel: Option<String>,
     /// Work-items for launches.
     pub work_items: u64,
+    /// Per-group barrier crossings for launches (drives the barrier-phase
+    /// sub-spans of the Chrome export); zero otherwise.
+    pub barriers: u64,
+    /// Simulated enqueue time.
+    pub queued_s: f64,
+    /// Simulated start time.
+    pub start_s: f64,
+    /// Simulated end time.
+    pub end_s: f64,
+}
+
+/// A completed host-program span (see [`CommandQueue::begin_span`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpan {
+    /// Span id (shared counter with [`TraceEntry::span_id`]).
+    pub id: u64,
+    /// Enclosing host span, if nested.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
     /// Simulated start time.
     pub start_s: f64,
     /// Simulated end time.
@@ -124,12 +173,24 @@ pub struct QueueCounters {
 
 type StatsModel = dyn Fn(&str, Dispatch) -> ExecStats + Send + Sync;
 
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_s: f64,
+}
+
 struct QueueState {
     now: f64,
     device_busy_s: f64,
     counters: QueueCounters,
     kernel_stats: HashMap<String, ExecStats>,
     trace: Option<Vec<TraceEntry>>,
+    trace_cap: Option<usize>,
+    trace_dropped: u64,
+    next_span_id: u64,
+    span_stack: Vec<ActiveSpan>,
+    host_spans: Vec<HostSpan>,
 }
 
 /// An in-order command queue with profiling enabled.
@@ -137,6 +198,7 @@ pub struct CommandQueue {
     ctx: Arc<Context>,
     state: Mutex<QueueState>,
     timing_model: Mutex<Option<Box<StatsModel>>>,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl CommandQueue {
@@ -151,8 +213,14 @@ impl CommandQueue {
                 counters: QueueCounters::default(),
                 kernel_stats: HashMap::new(),
                 trace: None,
+                trace_cap: None,
+                trace_dropped: 0,
+                next_span_id: 0,
+                span_stack: Vec::new(),
+                host_spans: Vec::new(),
             }),
             timing_model: Mutex::new(None),
+            metrics: Mutex::new(None),
         }
     }
 
@@ -161,38 +229,122 @@ impl CommandQueue {
     /// small problem sizes — see `bop-core`'s performance model). Buffer
     /// commands stop copying bytes but still cost transfer time.
     pub fn set_timing_only(&self, model: Box<StatsModel>) {
-        *self.timing_model.lock() = Some(model);
+        *self.timing_model.lock().unwrap() = Some(model);
     }
 
     /// Record a [`TraceEntry`] per command from now on.
     pub fn enable_trace(&self) {
-        self.state.lock().trace = Some(Vec::new());
+        let mut st = self.state.lock().unwrap();
+        if st.trace.is_none() {
+            st.trace = Some(Vec::new());
+        }
+    }
+
+    /// Stop recording and discard the trace (counters keep accumulating).
+    pub fn disable_trace(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.trace = None;
+        st.trace_dropped = 0;
+    }
+
+    /// Drop recorded entries but keep tracing enabled. Span ids keep
+    /// increasing, so entries before and after a clear never collide.
+    pub fn clear_trace(&self) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(trace) = &mut st.trace {
+            trace.clear();
+        }
+        st.trace_dropped = 0;
+    }
+
+    /// Bound the number of retained trace entries; once full, further
+    /// commands are counted in [`trace_dropped`](Self::trace_dropped)
+    /// instead of stored. `None` (the default) keeps everything.
+    pub fn set_trace_cap(&self, cap: Option<usize>) {
+        self.state.lock().unwrap().trace_cap = cap;
+    }
+
+    /// Number of trace entries discarded by the cap since the last
+    /// enable/clear.
+    pub fn trace_dropped(&self) -> u64 {
+        self.state.lock().unwrap().trace_dropped
     }
 
     /// The recorded trace (empty if tracing was never enabled).
     pub fn trace(&self) -> Vec<TraceEntry> {
-        self.state.lock().trace.clone().unwrap_or_default()
+        self.state.lock().unwrap().trace.clone().unwrap_or_default()
+    }
+
+    /// Publish per-command metrics (counts, bytes, simulated durations)
+    /// and per-launch interpreter statistics into `registry` from now on.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock().unwrap() = Some(registry);
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.lock().unwrap().clone()
+    }
+
+    /// Open a host-program span at the current simulated time. Commands
+    /// enqueued before the matching [`end_span`](Self::end_span) carry this
+    /// span's id as their [`TraceEntry::parent`]; nested `begin_span`
+    /// calls produce child spans. Returns the span id.
+    pub fn begin_span(&self, name: &str) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        let id = st.next_span_id;
+        st.next_span_id += 1;
+        let parent = st.span_stack.last().map(|s| s.id);
+        let start_s = st.now;
+        st.span_stack.push(ActiveSpan { id, parent, name: name.to_string(), start_s });
+        id
+    }
+
+    /// Close the host span `id` (and any unclosed spans nested inside it)
+    /// at the current simulated time.
+    pub fn end_span(&self, id: u64) {
+        let mut st = self.state.lock().unwrap();
+        let now = st.now;
+        while let Some(active) = st.span_stack.pop() {
+            let done = active.id == id;
+            let span = HostSpan {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                start_s: active.start_s,
+                end_s: now,
+            };
+            st.host_spans.push(span);
+            if done {
+                return;
+            }
+        }
+    }
+
+    /// Completed host spans, in closing order.
+    pub fn host_spans(&self) -> Vec<HostSpan> {
+        self.state.lock().unwrap().host_spans.clone()
     }
 
     /// Simulated time since queue creation, seconds.
     pub fn elapsed_s(&self) -> f64 {
-        self.state.lock().now
+        self.state.lock().unwrap().now
     }
 
     /// Simulated time the device spent executing kernels, seconds.
     pub fn device_busy_s(&self) -> f64 {
-        self.state.lock().device_busy_s
+        self.state.lock().unwrap().device_busy_s
     }
 
     /// Aggregate counters.
     pub fn counters(&self) -> QueueCounters {
-        self.state.lock().counters
+        self.state.lock().unwrap().counters
     }
 
     /// Accumulated execution statistics for `kernel` (merged over all its
     /// launches).
     pub fn kernel_stats(&self, kernel: &str) -> Option<ExecStats> {
-        self.state.lock().kernel_stats.get(kernel).cloned()
+        self.state.lock().unwrap().kernel_stats.get(kernel).cloned()
     }
 
     /// Wait for completion and return the total simulated elapsed time —
@@ -207,10 +359,12 @@ impl CommandQueue {
         bytes: u64,
         kernel: Option<&str>,
         work_items: u64,
+        barriers: u64,
         duration: f64,
     ) -> Event {
         let info = self.ctx.device().info();
-        let mut st = self.state.lock();
+        let device = info.kind.to_string();
+        let mut st = self.state.lock().unwrap();
         let queued = st.now;
         let start = queued + info.command_overhead_s;
         let end = start + duration;
@@ -218,17 +372,132 @@ impl CommandQueue {
         if kind == CommandKind::Kernel {
             st.device_busy_s += duration;
         }
+        let span_id = st.next_span_id;
+        st.next_span_id += 1;
+        let parent = st.span_stack.last().map(|s| s.id);
+        let cap = st.trace_cap;
         if let Some(trace) = &mut st.trace {
-            trace.push(TraceEntry {
-                kind,
-                bytes,
-                kernel: kernel.map(str::to_owned),
-                work_items,
-                start_s: start,
-                end_s: end,
-            });
+            if cap.is_some_and(|c| trace.len() >= c) {
+                st.trace_dropped += 1;
+            } else {
+                trace.push(TraceEntry {
+                    span_id,
+                    parent,
+                    kind,
+                    bytes,
+                    kernel: kernel.map(str::to_owned),
+                    work_items,
+                    barriers,
+                    queued_s: queued,
+                    start_s: start,
+                    end_s: end,
+                });
+            }
+        }
+        let elapsed = st.now;
+        let busy = st.device_busy_s;
+        drop(st);
+        if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
+            let d = device.as_str();
+            reg.inc("ocl.commands", &[("device", d), ("kind", kind.label())], 1);
+            reg.observe(
+                "ocl.command_seconds",
+                &[("device", d), ("kind", kind.label())],
+                end - queued,
+            );
+            if bytes > 0 {
+                reg.inc("ocl.bytes", &[("device", d), ("dir", kind.direction())], bytes);
+                reg.observe(
+                    "ocl.transfer_bytes",
+                    &[("device", d), ("dir", kind.direction())],
+                    bytes as f64,
+                );
+            }
+            if let Some(name) = kernel {
+                reg.inc("ocl.work_items", &[("device", d), ("kernel", name)], work_items);
+                reg.observe("ocl.kernel_seconds", &[("device", d), ("kernel", name)], duration);
+            }
+            reg.set_gauge("ocl.sim_elapsed_s", &[("device", d)], elapsed);
+            reg.set_gauge("ocl.device_busy_s", &[("device", d)], busy);
         }
         Event { profiling: ProfilingInfo { queued_s: queued, start_s: start, end_s: end } }
+    }
+
+    /// Export the recorded trace — host spans, queue commands and
+    /// synthesized barrier-phase sub-spans — as a Chrome trace-event JSON
+    /// document (loadable in Perfetto / `chrome://tracing`). Times are
+    /// simulated microseconds.
+    pub fn export_chrome_trace(&self) -> Json {
+        let mut st = self.state.lock().unwrap();
+        let mut log = TraceLog::new();
+        for hs in &st.host_spans {
+            log.push(TraceSpan {
+                id: hs.id,
+                parent: hs.parent,
+                name: hs.name.clone(),
+                category: SpanCategory::Host,
+                track: "host".into(),
+                queued_s: hs.start_s,
+                start_s: hs.start_s,
+                end_s: hs.end_s,
+                args: vec![],
+            });
+        }
+        let entries = st.trace.clone().unwrap_or_default();
+        let mut phase_id = st.next_span_id;
+        for e in &entries {
+            let (category, name) = match e.kind {
+                CommandKind::Write => (SpanCategory::TransferH2D, format!("write {} B", e.bytes)),
+                CommandKind::Read => (SpanCategory::TransferD2H, format!("read {} B", e.bytes)),
+                CommandKind::Copy => (SpanCategory::DeviceMem, format!("copy {} B", e.bytes)),
+                CommandKind::Fill => (SpanCategory::DeviceMem, format!("fill {} B", e.bytes)),
+                CommandKind::Kernel => {
+                    (SpanCategory::Kernel, e.kernel.clone().unwrap_or_else(|| "kernel".into()))
+                }
+            };
+            let mut args = vec![("dir".to_string(), e.kind.direction().to_string())];
+            if e.bytes > 0 {
+                args.push(("bytes".into(), e.bytes.to_string()));
+            }
+            if e.work_items > 0 {
+                args.push(("work_items".into(), e.work_items.to_string()));
+            }
+            log.push(TraceSpan {
+                id: e.span_id,
+                parent: e.parent,
+                name,
+                category,
+                track: "queue".into(),
+                queued_s: e.queued_s,
+                start_s: e.start_s,
+                end_s: e.end_s,
+                args,
+            });
+            // Subdivide each kernel launch into its barrier-delimited
+            // phases: `barriers` crossings per group produce barriers + 1
+            // equal phases of the launch interval.
+            if e.kind == CommandKind::Kernel && e.barriers > 0 {
+                let phases = e.barriers + 1;
+                let dt = (e.end_s - e.start_s) / phases as f64;
+                for p in 0..phases {
+                    let t0 = e.start_s + p as f64 * dt;
+                    log.push(TraceSpan {
+                        id: phase_id,
+                        parent: Some(e.span_id),
+                        name: format!("phase {p}"),
+                        category: SpanCategory::BarrierPhase,
+                        track: "barrier phases".into(),
+                        queued_s: t0,
+                        start_s: t0,
+                        end_s: t0 + dt,
+                        args: vec![],
+                    });
+                    phase_id += 1;
+                }
+            }
+        }
+        st.next_span_id = phase_id;
+        log.to_chrome_json()
     }
 
     /// Copy `data` into `buf` (`clEnqueueWriteBuffer`).
@@ -243,18 +512,18 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mut mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mut mem = self.ctx.mem.lock().unwrap();
             mem.global_bytes_mut(buf.id)[..data.len()].copy_from_slice(data);
         }
         let t = self.ctx.device().info().link.transfer_time(data.len() as u64);
         let ev_bytes = data.len() as u64;
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.writes += 1;
             st.counters.h2d_bytes += ev_bytes;
         }
-        Ok(self.advance(CommandKind::Write, ev_bytes, None, 0, t))
+        Ok(self.advance(CommandKind::Write, ev_bytes, None, 0, 0, t))
     }
 
     /// Copy `buf` into `out` (`clEnqueueReadBuffer`).
@@ -269,17 +538,17 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mem = self.ctx.mem.lock().unwrap();
             out.copy_from_slice(&mem.global_bytes(buf.id)[..out.len()]);
         }
         let t = self.ctx.device().info().link.transfer_time(out.len() as u64);
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.reads += 1;
             st.counters.d2h_bytes += out.len() as u64;
         }
-        Ok(self.advance(CommandKind::Read, out.len() as u64, None, 0, t))
+        Ok(self.advance(CommandKind::Read, out.len() as u64, None, 0, 0, t))
     }
 
     /// Write a slice of `f64` values starting at element `offset`.
@@ -301,8 +570,8 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mut mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.global_bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 8..byte_off + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
@@ -311,11 +580,11 @@ impl CommandQueue {
         let nbytes = (data.len() * 8) as u64;
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, 0, t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, 0, 0, t))
     }
 
     /// Write a slice of `f64` values at the start of `buf`.
@@ -346,8 +615,8 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.global_bytes(buf.id);
             for (i, v) in out.iter_mut().enumerate() {
                 *v = f64::from_le_bytes(
@@ -358,11 +627,11 @@ impl CommandQueue {
         let nbytes = (out.len() * 8) as u64;
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, 0, t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, 0, 0, t))
     }
 
     /// Read `f64` values from the start of `buf`.
@@ -393,8 +662,8 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mut mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.global_bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 4..byte_off + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
@@ -403,11 +672,11 @@ impl CommandQueue {
         let nbytes = (data.len() * 4) as u64;
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, 0, t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, 0, 0, t))
     }
 
     /// Read `f32` values starting at element `offset`.
@@ -429,8 +698,8 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.global_bytes(buf.id);
             for (i, v) in out.iter_mut().enumerate() {
                 *v = f32::from_le_bytes(
@@ -441,11 +710,11 @@ impl CommandQueue {
         let nbytes = (out.len() * 4) as u64;
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, 0, t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, 0, 0, t))
     }
 
     /// Write a slice of `i32` values at the start of `buf`.
@@ -484,14 +753,14 @@ impl CommandQueue {
         if src.id == dst.id {
             return Err(RuntimeError::Invalid("copy with overlapping buffers".into()));
         }
-        if self.timing_model.lock().is_none() {
-            let mut mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mut mem = self.ctx.mem.lock().unwrap();
             let data = mem.global_bytes(src.id)[..bytes].to_vec();
             mem.global_bytes_mut(dst.id)[..bytes].copy_from_slice(&data);
         }
         // Read + write through device memory.
         let t = 2.0 * bytes as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Copy, bytes as u64, None, 0, t))
+        Ok(self.advance(CommandKind::Copy, bytes as u64, None, 0, 0, t))
     }
 
     /// Fill `buf` with a repeated `f64` pattern (`clEnqueueFillBuffer`).
@@ -511,15 +780,15 @@ impl CommandQueue {
                 buf.len()
             )));
         }
-        if self.timing_model.lock().is_none() {
-            let mut mem = self.ctx.mem.lock();
+        if self.timing_model.lock().unwrap().is_none() {
+            let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.global_bytes_mut(buf.id);
             for i in 0..count {
                 bytes[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
             }
         }
         let t = (count * 8) as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, 0, t))
+        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, 0, 0, t))
     }
 
     /// Launch `kernel` over `dispatch` (`clEnqueueNDRangeKernel`).
@@ -527,7 +796,11 @@ impl CommandQueue {
     /// # Errors
     /// Returns [`RuntimeError`] on unset arguments, capacity violations or
     /// kernel execution failures.
-    pub fn enqueue_nd_range(&self, kernel: &Kernel, dispatch: Dispatch) -> Result<Event, RuntimeError> {
+    pub fn enqueue_nd_range(
+        &self,
+        kernel: &Kernel,
+        dispatch: Dispatch,
+    ) -> Result<Event, RuntimeError> {
         let info = self.ctx.device().info().clone();
         if dispatch.local > info.max_work_group_size {
             return Err(RuntimeError::Invalid(format!(
@@ -550,16 +823,14 @@ impl CommandQueue {
             )));
         }
 
-        let func = kernel
-            .device_program
-            .module()
-            .kernel(&kernel.name)
-            .ok_or_else(|| RuntimeError::Invalid(format!("kernel `{}` disappeared", kernel.name)))?;
+        let func = kernel.device_program.module().kernel(&kernel.name).ok_or_else(|| {
+            RuntimeError::Invalid(format!("kernel `{}` disappeared", kernel.name))
+        })?;
 
-        let stats = if let Some(model) = self.timing_model.lock().as_ref() {
+        let stats = if let Some(model) = self.timing_model.lock().unwrap().as_ref() {
             model(&kernel.name, dispatch)
         } else {
-            let mut mem = self.ctx.mem.lock();
+            let mut mem = self.ctx.mem.lock().unwrap();
             let mut total = ExecStats::with_blocks(func.blocks.len());
             for group in 0..dispatch.groups() {
                 mem.clear_locals();
@@ -582,8 +853,12 @@ impl CommandQueue {
         };
 
         let t = kernel.device_program.kernel_time(&kernel.name, &dispatch, &stats);
+        let barriers_per_group = stats.barriers / dispatch.groups().max(1) as u64;
+        if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
+            publish_exec_stats(reg, &info.kind.to_string(), &kernel.name, &stats);
+        }
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.counters.launches += 1;
             st.counters.work_items += dispatch.global as u64;
             st.kernel_stats
@@ -591,8 +866,32 @@ impl CommandQueue {
                 .and_modify(|s| s.merge(&stats))
                 .or_insert(stats);
         }
-        Ok(self.advance(CommandKind::Kernel, 0, Some(&kernel.name), dispatch.global as u64, t))
+        Ok(self.advance(
+            CommandKind::Kernel,
+            0,
+            Some(&kernel.name),
+            dispatch.global as u64,
+            barriers_per_group,
+            t,
+        ))
     }
+}
+
+/// The `bop-clir` → `bop-obs` bridge: publish one launch's interpreter
+/// statistics ([`ExecStats`]) as labeled counters.
+fn publish_exec_stats(reg: &MetricsRegistry, device: &str, kernel: &str, stats: &ExecStats) {
+    let labels = [("device", device), ("kernel", kernel)];
+    reg.inc("clir.block_execs", &labels, stats.total_block_execs());
+    reg.inc("clir.barriers", &labels, stats.barriers);
+    reg.inc("clir.item_phases", &labels, stats.item_phases);
+    reg.inc("clir.ops", &labels, stats.ops.total());
+    reg.inc(
+        "clir.flops_simple",
+        &labels,
+        stats.ops.simple_flops(true) + stats.ops.simple_flops(false),
+    );
+    reg.inc("clir.flops_hard", &labels, stats.ops.hard_flops(true) + stats.ops.hard_flops(false));
+    reg.inc("clir.global_mem_bytes", &labels, stats.mem.global_bytes());
 }
 
 #[cfg(test)]
@@ -767,6 +1066,157 @@ mod tests {
         assert!(q.enqueue_copy_buffer(&a, &b, 16).is_err());
         assert!(q.enqueue_copy_buffer(&a, &a, 8).is_err(), "overlap rejected");
         assert!(q.enqueue_fill_f64(&a, 0.0, 2).is_err());
+    }
+
+    #[test]
+    fn trace_cap_disable_and_clear() {
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        q.enable_trace();
+        q.set_trace_cap(Some(2));
+        let buf = ctx.create_buffer(64);
+        for _ in 0..5 {
+            q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+        }
+        assert_eq!(q.trace().len(), 2, "cap retains only the first entries");
+        assert_eq!(q.trace_dropped(), 3);
+        q.clear_trace();
+        assert_eq!(q.trace().len(), 0);
+        assert_eq!(q.trace_dropped(), 0);
+        q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+        assert_eq!(q.trace().len(), 1, "tracing still on after clear");
+        q.disable_trace();
+        q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+        assert!(q.trace().is_empty(), "disable stops and discards");
+        let c = q.counters();
+        assert_eq!(c.writes, 7, "counters unaffected by trace state");
+    }
+
+    #[test]
+    fn host_spans_nest_and_parent_commands() {
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        q.enable_trace();
+        let buf = ctx.create_buffer(64);
+        let outer = q.begin_span("batch");
+        let inner = q.begin_span("step 0");
+        q.enqueue_write_f64(&buf, &[1.0]).expect("write");
+        q.end_span(inner);
+        q.enqueue_write_f64(&buf, &[2.0]).expect("write");
+        q.end_span(outer);
+
+        let spans = q.host_spans();
+        assert_eq!(spans.len(), 2);
+        let inner_span = spans.iter().find(|s| s.id == inner).expect("inner");
+        let outer_span = spans.iter().find(|s| s.id == outer).expect("outer");
+        assert_eq!(inner_span.parent, Some(outer));
+        assert_eq!(outer_span.parent, None);
+        assert!(outer_span.start_s <= inner_span.start_s);
+        assert!(outer_span.end_s >= inner_span.end_s);
+
+        let trace = q.trace();
+        assert_eq!(trace[0].parent, Some(inner), "first write inside the step span");
+        assert_eq!(trace[1].parent, Some(outer), "second write inside the batch span");
+        // Span ids never collide between commands and host spans.
+        let mut ids = vec![outer, inner, trace[0].span_id, trace[1].span_id];
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn end_span_closes_unclosed_children() {
+        let (_ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        let outer = q.begin_span("outer");
+        let _inner = q.begin_span("inner-never-ended");
+        q.end_span(outer);
+        assert_eq!(q.host_spans().len(), 2, "both spans closed");
+    }
+
+    #[test]
+    fn chrome_export_contains_commands_and_barrier_phases() {
+        let (ctx, q, p) = setup(
+            "__kernel void rev(__global double* io, __local double* tmp) {
+                size_t l = get_local_id(0);
+                size_t n = get_local_size(0);
+                tmp[l] = io[get_global_id(0)];
+                barrier(1);
+                io[get_global_id(0)] = tmp[n - 1 - l];
+            }",
+        );
+        q.enable_trace();
+        let buf = ctx.create_buffer(4 * 8);
+        let span = q.begin_span("pricing");
+        q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        let k = p.kernel("rev").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        k.set_arg_local(1, 4 * 8);
+        q.enqueue_nd_range(&k, Dispatch::new(4, 4)).expect("launch");
+        let mut out = [0.0; 4];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        q.end_span(span);
+
+        let doc = q.export_chrome_trace();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"pricing"), "host span exported: {names:?}");
+        assert!(names.contains(&"rev"), "kernel span exported");
+        assert!(names.contains(&"phase 0"), "barrier phase 0");
+        assert!(names.contains(&"phase 1"), "barrier phase 1 (one barrier = two phases)");
+        assert!(names.iter().any(|n| n.starts_with("write")), "h2d span");
+        assert!(names.iter().any(|n| n.starts_with("read")), "d2h span");
+        // Every complete event has non-negative ts and dur.
+        for e in events {
+            if e.get("ph").and_then(Json::as_str) == Some("X") {
+                assert!(e.get("ts").and_then(Json::as_f64).expect("ts") >= 0.0);
+                assert!(e.get("dur").and_then(Json::as_f64).expect("dur") >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn attached_metrics_register_commands_and_exec_stats() {
+        let (ctx, q, p) = setup(
+            "__kernel void twice(__global double* io) {
+                size_t g = get_global_id(0);
+                io[g] = io[g] * 2.0;
+            }",
+        );
+        let reg = Arc::new(MetricsRegistry::new());
+        q.attach_metrics(reg.clone());
+        let buf = ctx.create_buffer(4 * 8);
+        q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        let k = p.kernel("twice").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        q.enqueue_nd_range(&k, Dispatch::new(4, 2)).expect("launch");
+        let mut out = [0.0; 4];
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+
+        let dev = ctx.device().info().kind.to_string();
+        let d = dev.as_str();
+        assert_eq!(
+            q.counters().writes,
+            reg.counter_value("ocl.commands", &[("device", d), ("kind", "write")])
+        );
+        assert_eq!(
+            q.counters().h2d_bytes,
+            reg.counter_value("ocl.bytes", &[("device", d), ("dir", "h2d")])
+        );
+        assert_eq!(
+            q.counters().d2h_bytes,
+            reg.counter_value("ocl.bytes", &[("device", d), ("dir", "d2h")])
+        );
+        assert_eq!(reg.counter_total("ocl.commands"), 3);
+        assert_eq!(reg.counter_value("ocl.work_items", &[("device", d), ("kernel", "twice")]), 4);
+        assert!(reg.counter_value("clir.ops", &[("device", d), ("kernel", "twice")]) > 0);
+        let elapsed = reg.gauge_value("ocl.sim_elapsed_s", &[("device", d)]).expect("gauge");
+        assert!((elapsed - q.elapsed_s()).abs() < 1e-12);
+        let h = reg
+            .histogram("ocl.command_seconds", &[("device", d), ("kind", "write")])
+            .expect("hist");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

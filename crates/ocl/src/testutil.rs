@@ -1,8 +1,8 @@
 //! Test helpers: a minimal device model for exercising the runtime.
 
 use crate::device::{
-    BuildError, BuildOptions, BuildReport, Device, DeviceInfo, DeviceKind, DeviceProgram,
-    Dispatch, LinkModel,
+    BuildError, BuildOptions, BuildReport, Device, DeviceInfo, DeviceKind, DeviceProgram, Dispatch,
+    LinkModel,
 };
 use bop_clir::ir::Module;
 use bop_clir::mathlib::{ExactMath, MathLib};

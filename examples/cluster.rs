@@ -42,9 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  {:<44} {:>10.0} options/s (shares {:?})",
-        "FPGA + GPU cooperative",
-        combined.options_per_s,
-        combined.shares
+        "FPGA + GPU cooperative", combined.options_per_s, combined.shares
     );
     println!(
         "\ncombined power {:.0} W -> {:.1} options/J (the FPGA alone: best J/option; \

@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! # or, to also dump the simulated timeline for chrome://tracing / Perfetto:
+//! cargo run --example quickstart -- --trace-out trace.json
 //! ```
 
 use bop_core::{Accelerator, KernelArch, Precision};
@@ -10,6 +12,15 @@ use bop_finance::binomial::price_american_f64;
 use bop_finance::OptionParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Optional `--trace-out <path>`: write the run's Chrome trace-event
+    // JSON (host spans, queue commands, barrier phases) to `path`.
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).cloned().ok_or("--trace-out needs a path"))
+        .transpose()?;
+
     // The option: an at-the-money one-year American call.
     let option = OptionParams::example();
     println!("pricing {option:?}\n");
@@ -30,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Price it (functional simulation: the kernel really executes, through
     // the compiled IR, with the FPGA's reduced-precision pow).
-    let run = accelerator.price(&[option])?;
+    let (run, trace) = accelerator.price_traced(&[option])?;
+    if let Some(path) = &trace_out {
+        std::fs::write(path, trace.to_string())?;
+        println!("wrote simulated timeline to {path} (load in chrome://tracing)\n");
+    }
     let reference = price_american_f64(&option, n_steps);
     println!("accelerator price  {:.6}", run.prices[0]);
     println!("reference price    {:.6}", reference);
@@ -49,7 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The trader's next step after prices: sensitivities off the same tree.
     let greeks = bop_finance::lattice_greeks(&option, n_steps);
     println!("\ngreeks (lattice estimators):");
-    println!("  delta {:+.4}   gamma {:+.5}   theta {:+.4}/y   vega {:+.3}   rho {:+.3}",
-        greeks.delta, greeks.gamma, greeks.theta, greeks.vega, greeks.rho);
+    println!(
+        "  delta {:+.4}   gamma {:+.5}   theta {:+.4}/y   vega {:+.3}   rho {:+.3}",
+        greeks.delta, greeks.gamma, greeks.theta, greeks.vega, greeks.rho
+    );
     Ok(())
 }

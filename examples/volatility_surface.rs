@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = workload::volatility_curve(&config, 1.0, displayed, 42);
     let run = accelerator.price(&options)?;
 
-    println!(
-        "{:>10}{:>12}{:>12}{:>12}{:>12}",
-        "strike", "price", "true vol", "implied", "error"
-    );
+    println!("{:>10}{:>12}{:>12}{:>12}{:>12}", "strike", "price", "true vol", "implied", "error");
     for (option, price) in options.iter().zip(&run.prices) {
         let implied = implied_vol::implied_volatility(option, *price, |o| {
             bop_finance::binomial::price_american_f64(o, n_steps)

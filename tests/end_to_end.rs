@@ -14,11 +14,9 @@ fn every_arch_on_every_device_prices_correctly() {
     let n_steps = 48;
     let options = batch(4, 1);
     for device_fn in [bop_core::devices::fpga, bop_core::devices::gpu, bop_core::devices::cpu] {
-        for arch in [
-            KernelArch::Straightforward,
-            KernelArch::Optimized,
-            KernelArch::OptimizedHostLeaves,
-        ] {
+        for arch in
+            [KernelArch::Straightforward, KernelArch::Optimized, KernelArch::OptimizedHostLeaves]
+        {
             let device = device_fn();
             let name = device.info().name.clone();
             let acc = Accelerator::new(device, arch, Precision::Double, n_steps, None)
@@ -158,10 +156,7 @@ fn european_kernel_converges_to_black_scholes_through_the_whole_stack() {
     assert!(run.rmse < 1e-10, "kernel matches the European lattice reference: {}", run.rmse);
     for (price, option) in run.prices.iter().zip(&options) {
         let analytic = bs_price(option);
-        assert!(
-            (price - analytic).abs() < 0.05,
-            "lattice {price} vs Black-Scholes {analytic}"
-        );
+        assert!((price - analytic).abs() < 0.05, "lattice {price} vs Black-Scholes {analytic}");
     }
 }
 

@@ -119,12 +119,8 @@ fn vectorization_scales_fpga_throughput_sublinearly_in_clock() {
     // More lanes: more node updates per cycle, but a fuller chip closes at
     // a lower Fmax — the Section V.B compromise.
     let with_simd = |simd: u32| {
-        let build = bop_ocl::BuildOptions {
-            simd,
-            compute_units: 1,
-            unroll: Some(2),
-            ..Default::default()
-        };
+        let build =
+            bop_ocl::BuildOptions { simd, compute_units: 1, unroll: Some(2), ..Default::default() };
         let acc = Accelerator::new(
             bop_core::devices::fpga(),
             KernelArch::Optimized,
