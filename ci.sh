@@ -15,6 +15,13 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+# Release-mode tests exercise the threaded NDRange executor and the
+# overflow-checked buffer arithmetic under optimization (debug builds
+# trap on overflow; release builds wrap, which is where the checked
+# bounds logic matters).
+echo "== cargo test -q --release =="
+cargo test -q --release
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,124 @@
+//! Interpreter-throughput benchmark for the parallel NDRange executor.
+//!
+//! Runs the paper's kernel IV.B host program (one work-group per option,
+//! so a batch is a multi-group dispatch) at several simulation worker
+//! counts, checks that prices, merged `ExecStats`, `QueueCounters` and
+//! the exported Chrome trace are bit-identical to the sequential
+//! executor, and reports the wall-clock speedup. Parallelism is a
+//! wall-clock knob only: the simulated device clock never changes.
+//!
+//! Pass `--fast` for a smaller lattice/batch, `--json-out <path>` /
+//! `--json` for the machine-readable report.
+
+use bop_bench::reporting::{ReportOpts, Stopwatch};
+use bop_core::hostprog::optimized::OptimizedHost;
+use bop_core::{devices, KernelArch, Precision};
+use bop_finance::types::OptionParams;
+use bop_finance::workload;
+use bop_obs::ExperimentReport;
+use bop_ocl::{BuildOptions, CommandQueue, Context, Program};
+
+struct RunResult {
+    wall_s: f64,
+    sim_s: f64,
+    prices: Vec<f64>,
+    stats: Option<bop_clir::stats::ExecStats>,
+    counters: bop_ocl::queue::QueueCounters,
+    chrome: String,
+}
+
+fn run_once(n_steps: usize, options: &[OptionParams], workers: usize) -> RunResult {
+    let arch = KernelArch::Optimized;
+    let ctx = Context::new(devices::gpu());
+    let queue = CommandQueue::new(&ctx);
+    queue.set_workers(workers);
+    queue.enable_trace();
+    let program = Program::from_source(
+        &ctx,
+        "optimized.cl",
+        &arch.source(Precision::Double),
+        &BuildOptions::default(),
+    )
+    .expect("kernel builds");
+    let host = OptimizedHost {
+        n_steps,
+        precision: Precision::Double,
+        host_leaves: false,
+        kernel_name: arch.kernel_name(),
+    };
+    let timer = Stopwatch::start();
+    let prices = host.run(&ctx, &queue, &program, options).expect("pricing runs");
+    let wall_s = timer.elapsed_s();
+    RunResult {
+        wall_s,
+        sim_s: queue.elapsed_s(),
+        prices,
+        stats: queue.kernel_stats(arch.kernel_name()),
+        counters: queue.counters(),
+        chrome: queue.export_chrome_trace().to_string(),
+    }
+}
+
+fn main() {
+    let opts = ReportOpts::from_env();
+    let timer = Stopwatch::start();
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (n_steps, n_options) = if fast { (64, 32) } else { (128, 96) };
+    let options =
+        workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, n_options);
+    eprintln!(
+        "interpreting IV.B: {n_options} options ({n_options} work-groups), {n_steps} steps..."
+    );
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, 4, hw];
+    counts.sort_unstable();
+    counts.dedup();
+
+    // Best of three runs per count, so one scheduling hiccup does not
+    // distort the speedup table.
+    let mut results: Vec<(usize, RunResult)> = Vec::new();
+    for &w in &counts {
+        let mut best: Option<RunResult> = None;
+        for _ in 0..3 {
+            let r = run_once(n_steps, &options, w);
+            if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+                best = Some(r);
+            }
+        }
+        results.push((w, best.expect("at least one run")));
+    }
+
+    let base = &results[0].1;
+    for (w, r) in &results[1..] {
+        assert_eq!(r.prices, base.prices, "prices must not depend on worker count ({w})");
+        assert_eq!(r.stats, base.stats, "ExecStats must not depend on worker count ({w})");
+        assert_eq!(r.counters, base.counters, "counters must not depend on worker count ({w})");
+        assert_eq!(r.chrome, base.chrome, "traces must not depend on worker count ({w})");
+        assert_eq!(r.sim_s, base.sim_s, "simulated time must not depend on worker count ({w})");
+    }
+
+    if !opts.suppress_human() {
+        println!("Interpreter throughput — kernel IV.B, {n_options} groups x {n_steps} steps\n");
+        println!("{:>8}{:>14}{:>10}{:>16}", "workers", "wall [ms]", "speedup", "sim clock [s]");
+        for (w, r) in &results {
+            println!(
+                "{:>8}{:>14.2}{:>10.2}{:>16.6}",
+                w,
+                r.wall_s * 1e3,
+                base.wall_s / r.wall_s,
+                r.sim_s
+            );
+        }
+        println!("\nresults identical across worker counts (prices, stats, counters, trace)");
+    }
+
+    let mut report = ExperimentReport::new("interp_throughput");
+    for (w, r) in &results {
+        report.push(format!("workers_{w}.wall_s"), None, r.wall_s, "s");
+        report.push(format!("workers_{w}.speedup"), None, base.wall_s / r.wall_s, "x");
+    }
+    report.push("sim_elapsed_s", None, base.sim_s, "s");
+    report.wall_s = timer.elapsed_s();
+    opts.emit(report).expect("emit report");
+}

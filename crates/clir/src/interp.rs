@@ -115,8 +115,281 @@ pub trait Memory {
     fn store(&mut self, ptr: PtrValue, val: Value) -> Result<(), MemAccessError>;
 }
 
-/// Simple vector-backed [`Memory`], used by tests, examples and the host
-/// runtime's default executor.
+/// The global-memory arena of one context: the buffers that outlive a
+/// kernel launch and are visible to every work-group.
+///
+/// Splitting globals from the local-memory arenas (see [`LocalArena`])
+/// is what makes parallel work-group execution possible: one
+/// `GlobalArena` is shared across the worker threads of a dispatch
+/// through a [`SharedGlobals`] view while every worker owns its private
+/// local allocator.
+#[derive(Debug, Default)]
+pub struct GlobalArena {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl GlobalArena {
+    /// An empty arena with no buffers.
+    pub fn new() -> GlobalArena {
+        GlobalArena::default()
+    }
+
+    /// Allocate a zeroed buffer of `bytes` bytes, returning its handle.
+    pub fn alloc(&mut self, bytes: usize) -> u32 {
+        self.bufs.push(vec![0; bytes]);
+        self.bufs.len() as u32 - 1
+    }
+
+    /// Raw bytes of a buffer.
+    ///
+    /// # Panics
+    /// Panics if `buf` is not a valid handle.
+    pub fn bytes(&self, buf: u32) -> &[u8] {
+        &self.bufs[buf as usize]
+    }
+
+    /// Mutable raw bytes of a buffer.
+    ///
+    /// # Panics
+    /// Panics if `buf` is not a valid handle.
+    pub fn bytes_mut(&mut self, buf: u32) -> &mut [u8] {
+        &mut self.bufs[buf as usize]
+    }
+
+    /// A thread-shareable view over every buffer of the arena, for the
+    /// duration of one kernel dispatch. The exclusive borrow guarantees
+    /// no other safe access to the arena while the view is alive.
+    pub fn shared(&mut self) -> SharedGlobals<'_> {
+        SharedGlobals {
+            bufs: self
+                .bufs
+                .iter_mut()
+                .map(|b| BufView { ptr: b.as_mut_ptr(), len: b.len() })
+                .collect(),
+            _arena: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The local-memory arena of one worker: `__local` scratch buffers that
+/// live for a single work-group and are re-allocated between groups.
+#[derive(Debug, Default)]
+pub struct LocalArena {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl LocalArena {
+    /// An empty arena with no buffers.
+    pub fn new() -> LocalArena {
+        LocalArena::default()
+    }
+
+    /// Allocate a zeroed buffer of `bytes` bytes, returning its slot.
+    pub fn alloc(&mut self, bytes: usize) -> u32 {
+        self.bufs.push(vec![0; bytes]);
+        self.bufs.len() as u32 - 1
+    }
+
+    /// Drop all allocations (called between work-groups).
+    pub fn clear(&mut self) {
+        self.bufs.clear();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BufView {
+    ptr: *mut u8,
+    len: usize,
+}
+
+/// A view of a [`GlobalArena`] that can be shared across the worker
+/// threads of one parallel dispatch.
+///
+/// # Safety contract
+///
+/// The view is created from `&mut GlobalArena`, so for its whole
+/// lifetime the borrow checker keeps every other (safe) access to the
+/// arena out. Within the dispatch, loads and stores go through raw
+/// pointers with explicit bounds checks; concurrent accesses from
+/// different work-groups are sound as long as no two groups touch the
+/// same bytes with at least one of them writing. OpenCL gives
+/// work-groups no inter-group memory-consistency guarantees, so a
+/// kernel that races across groups is undefined behaviour on real
+/// hardware too — the simulator inherits exactly that contract (and the
+/// sequential-vs-parallel equivalence tests in `tests/parallel_exec.rs`
+/// pin it down for the kernels this repository ships).
+pub struct SharedGlobals<'a> {
+    bufs: Vec<BufView>,
+    _arena: std::marker::PhantomData<&'a mut GlobalArena>,
+}
+
+// SAFETY: the view owns no data; it aliases a GlobalArena that is
+// exclusively borrowed for the view's lifetime. Cross-thread use is
+// restricted to race-free kernels per the contract documented above.
+unsafe impl Send for SharedGlobals<'_> {}
+unsafe impl Sync for SharedGlobals<'_> {}
+
+impl SharedGlobals<'_> {
+    /// Checked byte offset of an access, with the same error text as the
+    /// slice-backed path so parallel and sequential runs fail identically.
+    fn checked_off(
+        &self,
+        view: BufView,
+        ptr: PtrValue,
+        len: usize,
+    ) -> Result<usize, MemAccessError> {
+        usize::try_from(ptr.offset).ok().filter(|o| o + len <= view.len).ok_or_else(|| {
+            MemAccessError {
+                space: ptr.space,
+                buffer: ptr.buffer,
+                offset: ptr.offset,
+                len,
+                reason: format!("out of bounds (size {})", view.len),
+            }
+        })
+    }
+
+    fn view(&self, ptr: PtrValue, len: usize) -> Result<BufView, MemAccessError> {
+        self.bufs.get(ptr.buffer as usize).copied().ok_or_else(|| MemAccessError {
+            space: ptr.space,
+            buffer: ptr.buffer,
+            offset: ptr.offset,
+            len,
+            reason: "unknown buffer".into(),
+        })
+    }
+
+    /// Load a scalar of type `ty` at `ptr`.
+    ///
+    /// # Errors
+    /// Returns [`MemAccessError`] for out-of-bounds or unknown buffers.
+    pub fn load(&self, ptr: PtrValue, ty: ScalarType) -> Result<Value, MemAccessError> {
+        let len = ty.size_bytes();
+        let view = self.view(ptr, len)?;
+        let off = self.checked_off(view, ptr, len)?;
+        let mut raw = [0u8; 8];
+        // SAFETY: `off + len <= view.len` was just checked; reads of
+        // bytes another group concurrently writes are excluded by the
+        // race-freedom contract of the type.
+        unsafe { std::ptr::copy_nonoverlapping(view.ptr.add(off), raw.as_mut_ptr(), len) };
+        Ok(Value::from_le_bytes(ty, &raw[..len]))
+    }
+
+    /// Store `val` at `ptr`.
+    ///
+    /// # Errors
+    /// Returns [`MemAccessError`] for out-of-bounds, unknown or
+    /// read-only buffers.
+    pub fn store(&self, ptr: PtrValue, val: Value) -> Result<(), MemAccessError> {
+        let ty = val.scalar_type().expect("store of scalar");
+        let len = ty.size_bytes();
+        if ptr.space == AddressSpace::Constant {
+            return Err(MemAccessError {
+                space: ptr.space,
+                buffer: ptr.buffer,
+                offset: ptr.offset,
+                len,
+                reason: "store to __constant memory".into(),
+            });
+        }
+        let view = self.view(ptr, len)?;
+        let off = self.checked_off(view, ptr, len)?;
+        let raw = val.to_le_bytes();
+        // SAFETY: bounds checked above; disjointness across groups per
+        // the race-freedom contract of the type.
+        unsafe { std::ptr::copy_nonoverlapping(raw.as_ptr(), view.ptr.add(off), len) };
+        Ok(())
+    }
+}
+
+/// The [`Memory`] of one worker thread of a parallel dispatch: global
+/// and `__constant` accesses go to the dispatch-wide [`SharedGlobals`]
+/// view, local accesses to the worker's private [`LocalArena`].
+pub struct WorkerMemory<'g, 'a> {
+    globals: &'g SharedGlobals<'a>,
+    locals: LocalArena,
+}
+
+impl<'g, 'a> WorkerMemory<'g, 'a> {
+    /// A worker memory with an empty local arena.
+    pub fn new(globals: &'g SharedGlobals<'a>) -> WorkerMemory<'g, 'a> {
+        WorkerMemory { globals, locals: LocalArena::new() }
+    }
+
+    /// Allocate a zeroed local buffer of `bytes` bytes, returning its
+    /// slot.
+    pub fn alloc_local(&mut self, bytes: usize) -> u32 {
+        self.locals.alloc(bytes)
+    }
+
+    /// Drop all local allocations (called between work-groups).
+    pub fn clear_locals(&mut self) {
+        self.locals.clear();
+    }
+}
+
+impl Memory for WorkerMemory<'_, '_> {
+    fn load(&mut self, ptr: PtrValue, ty: ScalarType) -> Result<Value, MemAccessError> {
+        match ptr.space {
+            AddressSpace::Global | AddressSpace::Constant => self.globals.load(ptr, ty),
+            AddressSpace::Local | AddressSpace::Private => {
+                let len = ty.size_bytes();
+                let region = region_of(&mut self.locals.bufs, ptr, len)?;
+                let off = slice_off(region, ptr, len)?;
+                Ok(Value::from_le_bytes(ty, &region[off..off + len]))
+            }
+        }
+    }
+
+    fn store(&mut self, ptr: PtrValue, val: Value) -> Result<(), MemAccessError> {
+        match ptr.space {
+            AddressSpace::Global | AddressSpace::Constant => self.globals.store(ptr, val),
+            AddressSpace::Local | AddressSpace::Private => {
+                let ty = val.scalar_type().expect("store of scalar");
+                let len = ty.size_bytes();
+                let region = region_of(&mut self.locals.bufs, ptr, len)?;
+                let off = slice_off(region, ptr, len)?;
+                region[off..off + len].copy_from_slice(&val.to_le_bytes());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Look a buffer up in a slice-backed arena (`Private` never reaches a
+/// [`Memory`] implementation, so any unmatched space reports an unknown
+/// buffer).
+fn region_of(
+    bufs: &mut [Vec<u8>],
+    ptr: PtrValue,
+    len: usize,
+) -> Result<&mut Vec<u8>, MemAccessError> {
+    let buffer =
+        if ptr.space == AddressSpace::Private { None } else { bufs.get_mut(ptr.buffer as usize) };
+    buffer.ok_or_else(|| MemAccessError {
+        space: ptr.space,
+        buffer: ptr.buffer,
+        offset: ptr.offset,
+        len,
+        reason: "unknown buffer".into(),
+    })
+}
+
+/// Checked byte offset of an access into a slice-backed buffer.
+fn slice_off(region: &[u8], ptr: PtrValue, len: usize) -> Result<usize, MemAccessError> {
+    usize::try_from(ptr.offset).ok().filter(|o| o + len <= region.len()).ok_or_else(|| {
+        MemAccessError {
+            space: ptr.space,
+            buffer: ptr.buffer,
+            offset: ptr.offset,
+            len,
+            reason: format!("out of bounds (size {})", region.len()),
+        }
+    })
+}
+
+/// Simple vector-backed [`Memory`] holding both arenas in one value,
+/// used by tests, examples and single-threaded callers.
 #[derive(Debug, Default)]
 pub struct VecMemory {
     globals: Vec<Vec<u8>>,
@@ -181,11 +454,15 @@ impl VecMemory {
         f64::from_le_bytes(self.globals[buf as usize][off..off + 8].try_into().expect("f64"))
     }
 
-    fn region(&mut self, space: AddressSpace, buffer: u32) -> Option<&mut Vec<u8>> {
+    fn region(
+        &mut self,
+        space: AddressSpace,
+        ptr: PtrValue,
+        len: usize,
+    ) -> Result<&mut Vec<u8>, MemAccessError> {
         match space {
-            AddressSpace::Global | AddressSpace::Constant => self.globals.get_mut(buffer as usize),
-            AddressSpace::Local => self.locals.get_mut(buffer as usize),
-            AddressSpace::Private => None,
+            AddressSpace::Global | AddressSpace::Constant => region_of(&mut self.globals, ptr, len),
+            _ => region_of(&mut self.locals, ptr, len),
         }
     }
 }
@@ -193,22 +470,8 @@ impl VecMemory {
 impl Memory for VecMemory {
     fn load(&mut self, ptr: PtrValue, ty: ScalarType) -> Result<Value, MemAccessError> {
         let len = ty.size_bytes();
-        let region = self.region(ptr.space, ptr.buffer).ok_or_else(|| MemAccessError {
-            space: ptr.space,
-            buffer: ptr.buffer,
-            offset: ptr.offset,
-            len,
-            reason: "unknown buffer".into(),
-        })?;
-        let off = usize::try_from(ptr.offset).ok().filter(|o| o + len <= region.len()).ok_or_else(
-            || MemAccessError {
-                space: ptr.space,
-                buffer: ptr.buffer,
-                offset: ptr.offset,
-                len,
-                reason: format!("out of bounds (size {})", region.len()),
-            },
-        )?;
+        let region = self.region(ptr.space, ptr, len)?;
+        let off = slice_off(region, ptr, len)?;
         Ok(Value::from_le_bytes(ty, &region[off..off + len]))
     }
 
@@ -224,22 +487,8 @@ impl Memory for VecMemory {
                 reason: "store to __constant memory".into(),
             });
         }
-        let region = self.region(ptr.space, ptr.buffer).ok_or_else(|| MemAccessError {
-            space: ptr.space,
-            buffer: ptr.buffer,
-            offset: ptr.offset,
-            len,
-            reason: "unknown buffer".into(),
-        })?;
-        let off = usize::try_from(ptr.offset).ok().filter(|o| o + len <= region.len()).ok_or_else(
-            || MemAccessError {
-                space: ptr.space,
-                buffer: ptr.buffer,
-                offset: ptr.offset,
-                len,
-                reason: format!("out of bounds (size {})", region.len()),
-            },
-        )?;
+        let region = self.region(ptr.space, ptr, len)?;
+        let off = slice_off(region, ptr, len)?;
         region[off..off + len].copy_from_slice(&val.to_le_bytes());
         Ok(())
     }

@@ -124,6 +124,7 @@ pub struct Accelerator {
     read_full: bool,
     fit_cache: std::sync::OnceLock<StatsFit>,
     metrics: Option<Arc<MetricsRegistry>>,
+    workers: Option<usize>,
 }
 
 impl Accelerator {
@@ -157,6 +158,7 @@ impl Accelerator {
             read_full: true,
             fit_cache: std::sync::OnceLock::new(),
             metrics: None,
+            workers: None,
         })
     }
 
@@ -178,6 +180,15 @@ impl Accelerator {
             self.report.power_watts,
         );
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Interpret NDRange work-groups on `workers` threads in every session
+    /// this accelerator opens (default: the queue's `BOP_SIM_WORKERS` /
+    /// available-parallelism heuristic). A wall-clock knob only — prices,
+    /// statistics and the simulated clock are identical for every count.
+    pub fn with_workers(mut self, workers: usize) -> Accelerator {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -222,6 +233,9 @@ impl Accelerator {
     fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), AcceleratorError> {
         let ctx = Context::new(self.device.clone());
         let queue = CommandQueue::new(&ctx);
+        if let Some(workers) = self.workers {
+            queue.set_workers(workers);
+        }
         if let Some(reg) = &self.metrics {
             queue.attach_metrics(reg.clone());
         }

@@ -1,7 +1,7 @@
 //! Contexts and buffers.
 
 use crate::device::Device;
-use bop_clir::interp::VecMemory;
+use bop_clir::interp::GlobalArena;
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -30,16 +30,20 @@ impl Buffer {
 }
 
 /// An OpenCL-style context: one device plus its global memory.
+///
+/// The context holds only the *global* arena — `__local` scratch memory
+/// is owned per worker thread by the queue's NDRange executor, which is
+/// what lets work-groups of one launch run concurrently.
 pub struct Context {
     device: Arc<dyn Device>,
-    pub(crate) mem: Mutex<VecMemory>,
+    pub(crate) mem: Mutex<GlobalArena>,
     allocated: Mutex<u64>,
 }
 
 impl Context {
     /// Create a context on `device`.
     pub fn new(device: Arc<dyn Device>) -> Arc<Context> {
-        Arc::new(Context { device, mem: Mutex::new(VecMemory::new()), allocated: Mutex::new(0) })
+        Arc::new(Context { device, mem: Mutex::new(GlobalArena::new()), allocated: Mutex::new(0) })
     }
 
     /// The context's device.
@@ -60,7 +64,7 @@ impl Context {
             "device out of global memory: {used} + {bytes} > {cap}"
         );
         *used += bytes as u64;
-        let id = self.mem.lock().unwrap().alloc_global(bytes);
+        let id = self.mem.lock().unwrap().alloc(bytes);
         Buffer { id, bytes }
     }
 
@@ -72,7 +76,7 @@ impl Context {
     /// Read the full contents of a buffer (host-side debugging helper that
     /// bypasses the command queue and its timing).
     pub fn snapshot(&self, buf: &Buffer) -> Vec<u8> {
-        self.mem.lock().unwrap().global_bytes(buf.id).to_vec()
+        self.mem.lock().unwrap().bytes(buf.id).to_vec()
     }
 }
 

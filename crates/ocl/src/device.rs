@@ -104,6 +104,26 @@ impl Dispatch {
     pub fn groups(&self) -> usize {
         self.global / self.local
     }
+
+    /// Split `groups` work-group indices into at most `workers` contiguous
+    /// ascending ranges of near-equal size (the first `groups % workers`
+    /// ranges get one extra group). Used by the queue's parallel NDRange
+    /// executor; the contiguous ascending order is what keeps merged
+    /// statistics and error reporting identical to a sequential sweep.
+    pub fn partition_groups(groups: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+        let workers = workers.max(1).min(groups.max(1));
+        let base = groups / workers;
+        let extra = groups % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges.retain(|r| !r.is_empty());
+        ranges
+    }
 }
 
 /// Build options, mirroring the knobs of Altera's OpenCL compiler used in

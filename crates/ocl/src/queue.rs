@@ -12,7 +12,10 @@
 use crate::context::{Buffer, Context};
 use crate::device::Dispatch;
 use crate::program::{Kernel, KernelArg};
-use bop_clir::interp::{ExecError, GroupShape, KernelArgValue, WorkGroupRun};
+use bop_clir::interp::WorkerMemory;
+use bop_clir::interp::{ExecError, GlobalArena, GroupShape, KernelArgValue, WorkGroupRun};
+use bop_clir::ir::Function;
+use bop_clir::mathlib::MathLib;
 use bop_clir::stats::ExecStats;
 use bop_obs::{Json, MetricsRegistry, SpanCategory, TraceLog, TraceSpan};
 use std::collections::HashMap;
@@ -128,9 +131,12 @@ pub struct TraceEntry {
     pub kernel: Option<String>,
     /// Work-items for launches.
     pub work_items: u64,
-    /// Per-group barrier crossings for launches (drives the barrier-phase
-    /// sub-spans of the Chrome export); zero otherwise.
+    /// Exact barrier crossings of the whole launch, summed over every
+    /// work-group (drives the barrier-phase sub-spans of the Chrome
+    /// export); zero for non-kernel commands.
     pub barriers: u64,
+    /// Work-groups of the launch; zero for non-kernel commands.
+    pub groups: u64,
     /// Simulated enqueue time.
     pub queued_s: f64,
     /// Simulated start time.
@@ -173,6 +179,15 @@ pub struct QueueCounters {
 
 type StatsModel = dyn Fn(&str, Dispatch) -> ExecStats + Send + Sync;
 
+/// NDRange geometry of a traced command; all-zero for non-kernel
+/// commands.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaunchShape {
+    work_items: u64,
+    barriers: u64,
+    groups: u64,
+}
+
 struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
@@ -199,6 +214,18 @@ pub struct CommandQueue {
     state: Mutex<QueueState>,
     timing_model: Mutex<Option<Box<StatsModel>>>,
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    workers: Mutex<usize>,
+}
+
+/// Worker-thread count for parallel NDRange interpretation when none is
+/// configured: `BOP_SIM_WORKERS` if set to a positive integer, else the
+/// host's available parallelism.
+fn default_workers() -> usize {
+    std::env::var("BOP_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 impl CommandQueue {
@@ -221,7 +248,21 @@ impl CommandQueue {
             }),
             timing_model: Mutex::new(None),
             metrics: Mutex::new(None),
+            workers: Mutex::new(default_workers()),
         }
+    }
+
+    /// Set the number of worker threads used to interpret the work-groups
+    /// of an NDRange launch (clamped to at least 1). Purely a wall-clock
+    /// knob: results, statistics, counters, traces and the simulated
+    /// device time are identical for every worker count.
+    pub fn set_workers(&self, workers: usize) {
+        *self.workers.lock().unwrap() = workers.max(1);
+    }
+
+    /// The configured NDRange worker-thread count.
+    pub fn workers(&self) -> usize {
+        *self.workers.lock().unwrap()
     }
 
     /// Switch to timing-only mode: kernels are not interpreted; their
@@ -358,10 +399,10 @@ impl CommandQueue {
         kind: CommandKind,
         bytes: u64,
         kernel: Option<&str>,
-        work_items: u64,
-        barriers: u64,
+        launch: LaunchShape,
         duration: f64,
     ) -> Event {
+        let LaunchShape { work_items, barriers, groups } = launch;
         let info = self.ctx.device().info();
         let device = info.kind.to_string();
         let mut st = self.state.lock().unwrap();
@@ -388,6 +429,7 @@ impl CommandQueue {
                     kernel: kernel.map(str::to_owned),
                     work_items,
                     barriers,
+                    groups,
                     queued_s: queued,
                     start_s: start,
                     end_s: end,
@@ -474,10 +516,12 @@ impl CommandQueue {
                 args,
             });
             // Subdivide each kernel launch into its barrier-delimited
-            // phases: `barriers` crossings per group produce barriers + 1
-            // equal phases of the launch interval.
+            // phases. The trace stores the exact launch-wide barrier
+            // total; dividing by the group count (rounding up, so a
+            // remainder still surfaces as a phase) recovers the
+            // per-group crossings that delimit phases.
             if e.kind == CommandKind::Kernel && e.barriers > 0 {
-                let phases = e.barriers + 1;
+                let phases = e.barriers.div_ceil(e.groups.max(1)) + 1;
                 let dt = (e.end_s - e.start_s) / phases as f64;
                 for p in 0..phases {
                     let t0 = e.start_s + p as f64 * dt;
@@ -514,7 +558,7 @@ impl CommandQueue {
         }
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            mem.global_bytes_mut(buf.id)[..data.len()].copy_from_slice(data);
+            mem.bytes_mut(buf.id)[..data.len()].copy_from_slice(data);
         }
         let t = self.ctx.device().info().link.transfer_time(data.len() as u64);
         let ev_bytes = data.len() as u64;
@@ -523,7 +567,7 @@ impl CommandQueue {
             st.counters.writes += 1;
             st.counters.h2d_bytes += ev_bytes;
         }
-        Ok(self.advance(CommandKind::Write, ev_bytes, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Write, ev_bytes, None, LaunchShape::default(), t))
     }
 
     /// Copy `buf` into `out` (`clEnqueueReadBuffer`).
@@ -540,7 +584,7 @@ impl CommandQueue {
         }
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
-            out.copy_from_slice(&mem.global_bytes(buf.id)[..out.len()]);
+            out.copy_from_slice(&mem.bytes(buf.id)[..out.len()]);
         }
         let t = self.ctx.device().info().link.transfer_time(out.len() as u64);
         {
@@ -548,7 +592,7 @@ impl CommandQueue {
             st.counters.reads += 1;
             st.counters.d2h_bytes += out.len() as u64;
         }
-        Ok(self.advance(CommandKind::Read, out.len() as u64, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Read, out.len() as u64, None, LaunchShape::default(), t))
     }
 
     /// Write a slice of `f64` values starting at element `offset`.
@@ -562,17 +606,18 @@ impl CommandQueue {
         offset: usize,
         data: &[f64],
     ) -> Result<Event, RuntimeError> {
-        let byte_off = offset * 8;
-        if byte_off + data.len() * 8 > buf.len() {
-            return Err(RuntimeError::Invalid(format!(
-                "write of {} f64 at offset {offset} into buffer of {} bytes",
-                data.len(),
-                buf.len()
-            )));
-        }
+        let (byte_off, _) = elem_range(offset, data.len(), 8)
+            .filter(|&(_, end)| end <= buf.len())
+            .ok_or_else(|| {
+                RuntimeError::Invalid(format!(
+                    "write of {} f64 at offset {offset} into buffer of {} bytes",
+                    data.len(),
+                    buf.len()
+                ))
+            })?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            let bytes = mem.global_bytes_mut(buf.id);
+            let bytes = mem.bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 8..byte_off + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
             }
@@ -584,7 +629,7 @@ impl CommandQueue {
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t))
     }
 
     /// Write a slice of `f64` values at the start of `buf`.
@@ -607,17 +652,18 @@ impl CommandQueue {
         offset: usize,
         out: &mut [f64],
     ) -> Result<Event, RuntimeError> {
-        let byte_off = offset * 8;
-        if byte_off + out.len() * 8 > buf.len() {
-            return Err(RuntimeError::Invalid(format!(
+        let (byte_off, _) = elem_range(offset, out.len(), 8)
+            .filter(|&(_, end)| end <= buf.len())
+            .ok_or_else(|| {
+            RuntimeError::Invalid(format!(
                 "read of {} f64 at offset {offset} from buffer of {} bytes",
                 out.len(),
                 buf.len()
-            )));
-        }
+            ))
+        })?;
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
-            let bytes = mem.global_bytes(buf.id);
+            let bytes = mem.bytes(buf.id);
             for (i, v) in out.iter_mut().enumerate() {
                 *v = f64::from_le_bytes(
                     bytes[byte_off + i * 8..byte_off + i * 8 + 8].try_into().expect("f64"),
@@ -631,7 +677,7 @@ impl CommandQueue {
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t))
     }
 
     /// Read `f64` values from the start of `buf`.
@@ -654,17 +700,18 @@ impl CommandQueue {
         offset: usize,
         data: &[f32],
     ) -> Result<Event, RuntimeError> {
-        let byte_off = offset * 4;
-        if byte_off + data.len() * 4 > buf.len() {
-            return Err(RuntimeError::Invalid(format!(
-                "write of {} f32 at offset {offset} into buffer of {} bytes",
-                data.len(),
-                buf.len()
-            )));
-        }
+        let (byte_off, _) = elem_range(offset, data.len(), 4)
+            .filter(|&(_, end)| end <= buf.len())
+            .ok_or_else(|| {
+                RuntimeError::Invalid(format!(
+                    "write of {} f32 at offset {offset} into buffer of {} bytes",
+                    data.len(),
+                    buf.len()
+                ))
+            })?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            let bytes = mem.global_bytes_mut(buf.id);
+            let bytes = mem.bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 4..byte_off + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
             }
@@ -676,7 +723,7 @@ impl CommandQueue {
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t))
     }
 
     /// Read `f32` values starting at element `offset`.
@@ -690,17 +737,18 @@ impl CommandQueue {
         offset: usize,
         out: &mut [f32],
     ) -> Result<Event, RuntimeError> {
-        let byte_off = offset * 4;
-        if byte_off + out.len() * 4 > buf.len() {
-            return Err(RuntimeError::Invalid(format!(
+        let (byte_off, _) = elem_range(offset, out.len(), 4)
+            .filter(|&(_, end)| end <= buf.len())
+            .ok_or_else(|| {
+            RuntimeError::Invalid(format!(
                 "read of {} f32 at offset {offset} from buffer of {} bytes",
                 out.len(),
                 buf.len()
-            )));
-        }
+            ))
+        })?;
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
-            let bytes = mem.global_bytes(buf.id);
+            let bytes = mem.bytes(buf.id);
             for (i, v) in out.iter_mut().enumerate() {
                 *v = f32::from_le_bytes(
                     bytes[byte_off + i * 4..byte_off + i * 4 + 4].try_into().expect("f32"),
@@ -714,7 +762,7 @@ impl CommandQueue {
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t))
     }
 
     /// Write a slice of `i32` values at the start of `buf`.
@@ -755,12 +803,12 @@ impl CommandQueue {
         }
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            let data = mem.global_bytes(src.id)[..bytes].to_vec();
-            mem.global_bytes_mut(dst.id)[..bytes].copy_from_slice(&data);
+            let data = mem.bytes(src.id)[..bytes].to_vec();
+            mem.bytes_mut(dst.id)[..bytes].copy_from_slice(&data);
         }
         // Read + write through device memory.
         let t = 2.0 * bytes as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Copy, bytes as u64, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Copy, bytes as u64, None, LaunchShape::default(), t))
     }
 
     /// Fill `buf` with a repeated `f64` pattern (`clEnqueueFillBuffer`).
@@ -774,7 +822,7 @@ impl CommandQueue {
         value: f64,
         count: usize,
     ) -> Result<Event, RuntimeError> {
-        if count * 8 > buf.len() {
+        if count.checked_mul(8).is_none_or(|n| n > buf.len()) {
             return Err(RuntimeError::Invalid(format!(
                 "fill of {count} f64 into buffer of {} bytes",
                 buf.len()
@@ -782,13 +830,13 @@ impl CommandQueue {
         }
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            let bytes = mem.global_bytes_mut(buf.id);
+            let bytes = mem.bytes_mut(buf.id);
             for i in 0..count {
                 bytes[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
             }
         }
         let t = (count * 8) as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, 0, 0, t))
+        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, LaunchShape::default(), t))
     }
 
     /// Launch `kernel` over `dispatch` (`clEnqueueNDRangeKernel`).
@@ -831,32 +879,21 @@ impl CommandQueue {
             model(&kernel.name, dispatch)
         } else {
             let mut mem = self.ctx.mem.lock().unwrap();
-            let mut total = ExecStats::with_blocks(func.blocks.len());
-            for group in 0..dispatch.groups() {
-                mem.clear_locals();
-                let arg_values: Vec<KernelArgValue> = args
-                    .iter()
-                    .map(|a| match a {
-                        KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
-                        KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
-                        KernelArg::Local(bytes) => {
-                            KernelArgValue::LocalBuffer(mem.alloc_local(*bytes))
-                        }
-                    })
-                    .collect();
-                let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
-                let mut run = WorkGroupRun::new(func, shape, &arg_values, 0)?;
-                run.run(&mut *mem, kernel.device_program.math())?;
-                total.merge(run.stats());
-            }
-            total
+            interpret_groups(
+                &mut mem,
+                func,
+                kernel.device_program.math(),
+                &args,
+                dispatch,
+                self.workers(),
+            )?
         };
 
         let t = kernel.device_program.kernel_time(&kernel.name, &dispatch, &stats);
-        let barriers_per_group = stats.barriers / dispatch.groups().max(1) as u64;
         if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
             publish_exec_stats(reg, &info.kind.to_string(), &kernel.name, &stats);
         }
+        let barriers = stats.barriers;
         {
             let mut st = self.state.lock().unwrap();
             st.counters.launches += 1;
@@ -870,11 +907,91 @@ impl CommandQueue {
             CommandKind::Kernel,
             0,
             Some(&kernel.name),
-            dispatch.global as u64,
-            barriers_per_group,
+            LaunchShape {
+                work_items: dispatch.global as u64,
+                barriers,
+                groups: dispatch.groups() as u64,
+            },
             t,
         ))
     }
+}
+
+/// Interpret every work-group of one NDRange launch, fanning contiguous
+/// group ranges out over `workers` scoped threads.
+///
+/// Work-groups share no state by OpenCL semantics (barriers synchronise
+/// only within a group), so groups run concurrently against a
+/// [`SharedGlobals`](bop_clir::interp::SharedGlobals) view of the global
+/// arena while each worker owns its private local-memory allocator. Each
+/// worker merges its groups' [`ExecStats`] in ascending group order and
+/// the chunks are merged in ascending worker order, so the total — and
+/// therefore metrics, traces, `kernel_stats` and the modeled kernel time
+/// — is bit-identical to the sequential path for every worker count.
+/// Errors are deterministic too: chunks are contiguous ascending ranges
+/// and every worker stops at its first failing group, so the error
+/// reported from the lowest-indexed failing worker is the one the
+/// sequential loop would have hit first.
+fn interpret_groups(
+    mem: &mut GlobalArena,
+    func: &Function,
+    math: &dyn MathLib,
+    args: &[KernelArg],
+    dispatch: Dispatch,
+    workers: usize,
+) -> Result<ExecStats, RuntimeError> {
+    let groups = dispatch.groups();
+    let shared = mem.shared();
+    let run_range = |range: std::ops::Range<usize>| -> Result<ExecStats, ExecError> {
+        let mut local = WorkerMemory::new(&shared);
+        let mut total = ExecStats::with_blocks(func.blocks.len());
+        for group in range {
+            local.clear_locals();
+            let arg_values: Vec<KernelArgValue> = args
+                .iter()
+                .map(|a| match a {
+                    KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
+                    KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
+                    KernelArg::Local(bytes) => {
+                        KernelArgValue::LocalBuffer(local.alloc_local(*bytes))
+                    }
+                })
+                .collect();
+            let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
+            let mut run = WorkGroupRun::new(func, shape, &arg_values, 0)?;
+            run.run(&mut local, math)?;
+            total.merge(run.stats());
+        }
+        Ok(total)
+    };
+
+    let workers = workers.max(1).min(groups.max(1));
+    if workers <= 1 {
+        return run_range(0..groups).map_err(RuntimeError::from);
+    }
+
+    let chunks = Dispatch::partition_groups(groups, workers);
+    let results: Vec<Result<ExecStats, ExecError>> = std::thread::scope(|scope| {
+        let run_range = &run_range;
+        let handles: Vec<_> =
+            chunks.into_iter().map(|r| scope.spawn(move || run_range(r))).collect();
+        handles.into_iter().map(|h| h.join().expect("NDRange worker panicked")).collect()
+    });
+    let mut total = ExecStats::with_blocks(func.blocks.len());
+    for chunk in results {
+        total.merge(&chunk?);
+    }
+    Ok(total)
+}
+
+/// Byte offset and exclusive byte end of an element-range access, or
+/// `None` when the arithmetic overflows `usize` — release builds would
+/// otherwise wrap, pass the bounds check, and panic on slice indexing
+/// instead of reporting an invalid command.
+fn elem_range(offset: usize, count: usize, elem: usize) -> Option<(usize, usize)> {
+    let byte_off = offset.checked_mul(elem)?;
+    let end = count.checked_mul(elem).and_then(|n| byte_off.checked_add(n))?;
+    Some((byte_off, end))
 }
 
 /// The `bop-clir` → `bop-obs` bridge: publish one launch's interpreter
