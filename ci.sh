@@ -25,4 +25,11 @@ cargo test -q --release
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+# Smoke-run the serving layer end to end: a bounded, seeded open-loop
+# stream through the batching service, with the JSON report parsed to
+# guard the {experiment, rows, counters, wall_s} schema.
+echo "== serve_load smoke =="
+./target/release/serve_load --requests 40 --rate 5000 --shards 2 --seed 7 --json \
+  | grep -q '"experiment":"serve_load"'
+
 echo "CI: all gates passed"

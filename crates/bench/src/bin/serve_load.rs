@@ -1,0 +1,213 @@
+//! Open-loop load generator for the `bop-serve` pricing service.
+//!
+//! Submits a deterministic request stream at a fixed arrival rate
+//! (open loop: arrivals do not wait for completions, so queue pressure
+//! and typed rejections are observable) against a homogeneous shard
+//! pool, then reports throughput, latency, and the per-shard split.
+//!
+//! ```text
+//! serve_load [--requests N] [--rate R] [--request-options K]
+//!            [--shards S] [--device gpu|fpga|cpu] [--steps N]
+//!            [--max-batch B] [--linger-us U] [--capacity C]
+//!            [--deadline-ms D] [--seed S] [--json] [--json-out <path>]
+//! ```
+use bop_bench::reporting::{ReportOpts, Stopwatch};
+use bop_core::{Accelerator, Error, KernelArch, Precision};
+use bop_finance::workload;
+use bop_obs::ExperimentReport;
+use bop_serve::{PricingService, ServeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct LoadOpts {
+    requests: usize,
+    rate: f64,
+    request_options: usize,
+    shards: usize,
+    device: String,
+    steps: usize,
+    max_batch: usize,
+    linger_us: u64,
+    capacity: usize,
+    deadline_ms: Option<u64>,
+    seed: u64,
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl LoadOpts {
+    fn from_args(args: &[String]) -> LoadOpts {
+        LoadOpts {
+            requests: flag(args, "--requests", 200),
+            rate: flag(args, "--rate", 2000.0),
+            request_options: flag(args, "--request-options", 4),
+            shards: flag(args, "--shards", 2),
+            device: flag(args, "--device", "gpu".to_string()),
+            steps: flag(args, "--steps", 64),
+            max_batch: flag(args, "--max-batch", 32),
+            linger_us: flag(args, "--linger-us", 500),
+            capacity: flag(args, "--capacity", 64),
+            deadline_ms: args
+                .iter()
+                .position(|a| a == "--deadline-ms")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok()),
+            seed: flag(args, "--seed", 42),
+        }
+    }
+}
+
+fn shard(device: &str, steps: usize) -> Accelerator {
+    let dev = match device {
+        "fpga" => bop_core::devices::fpga(),
+        "cpu" => bop_core::devices::cpu(),
+        _ => bop_core::devices::gpu(),
+    };
+    Accelerator::builder(dev)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(steps)
+        .build()
+        .expect("shard builds")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_opts = ReportOpts::from_args(&args);
+    let load = LoadOpts::from_args(&args);
+    let timer = Stopwatch::start();
+
+    eprintln!(
+        "serve_load: {} requests x {} options at {:.0} req/s over {} {} shard(s)...",
+        load.requests, load.request_options, load.rate, load.shards, load.device
+    );
+    let pool: Vec<Accelerator> =
+        (0..load.shards.max(1)).map(|_| shard(&load.device, load.steps)).collect();
+    let service = PricingService::start(
+        pool,
+        ServeConfig {
+            queue_capacity: load.capacity,
+            max_batch: load.max_batch,
+            max_linger: Duration::from_micros(load.linger_us),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let metrics = service.metrics().clone();
+    let service = Arc::new(service);
+
+    // Open loop: request i is due at start + i/rate, whether or not
+    // earlier requests finished. Tickets are awaited on a collector
+    // thread so a slow pool shows up as queue growth, not arrival lag.
+    let deadline = load.deadline_ms.map(Duration::from_millis);
+    let start = Instant::now();
+    let mut rejected_full = 0u64;
+    let mut rejected_other = 0u64;
+    let collector = {
+        let (tx, rx) = std::sync::mpsc::channel::<bop_serve::Ticket>();
+        let handle = std::thread::spawn(move || {
+            let mut ok = 0u64;
+            let mut deadline_exceeded = 0u64;
+            let mut failed = 0u64;
+            for ticket in rx {
+                match ticket.wait() {
+                    Ok(_) => ok += 1,
+                    Err(Error::DeadlineExceeded { .. }) => deadline_exceeded += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            (ok, deadline_exceeded, failed)
+        });
+        (tx, handle)
+    };
+    for i in 0..load.requests {
+        let due = start + Duration::from_secs_f64(i as f64 / load.rate);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let options = workload::volatility_curve(
+            &workload::WorkloadConfig::default(),
+            1.0,
+            load.request_options,
+            load.seed + i as u64,
+        );
+        match service.submit(options, deadline) {
+            Ok(ticket) => collector.0.send(ticket).expect("collector alive"),
+            Err(Error::Rejected(r)) if !r.shutting_down => rejected_full += 1,
+            Err(_) => rejected_other += 1,
+        }
+    }
+    drop(collector.0);
+    let (ok, deadline_exceeded, failed) = collector.1.join().expect("collector joins");
+    let wall_s = timer.elapsed_s();
+    let scheduler_rates: Vec<f64> = service.scheduler().rates().to_vec();
+    Arc::try_unwrap(service).map(PricingService::shutdown).ok().expect("sole owner");
+
+    let accepted = metrics.counter_total("serve.requests.accepted");
+    let latency = metrics.histogram("serve.latency_s", &[]);
+    let batch_hist = metrics.histogram("serve.batch.options", &[]);
+    let options_served = metrics.counter_total("serve.shard.options");
+
+    if !report_opts.suppress_human() {
+        println!("serve_load — open-loop stream over the bop-serve shard pool\n");
+        println!(
+            "  requests: {} accepted, {} rejected (queue full), {} errored",
+            accepted,
+            rejected_full,
+            rejected_other + failed
+        );
+        println!("  outcomes: {ok} completed, {deadline_exceeded} past deadline");
+        println!(
+            "  served {options_served} options in {wall_s:.3} s = {:.0} options/s",
+            options_served as f64 / wall_s
+        );
+        if let Some(l) = &latency {
+            println!("  latency: mean {:.6} s, max {:.6} s", l.mean(), l.max);
+        }
+        if let Some(b) = &batch_hist {
+            println!("  micro-batches: {} dispatched, mean {:.1} options", b.count, b.mean());
+        }
+        println!("\n  per-shard split (calibrated rate -> share of options):");
+        for (i, rate) in scheduler_rates.iter().enumerate() {
+            let label = i.to_string();
+            let served = metrics.counter_value("serve.shard.options", &[("shard", &label)]);
+            println!(
+                "    shard {i}: {rate:>10.0} options/s -> {served} options ({} batches)",
+                metrics.counter_value("serve.shard.batches", &[("shard", &label)]),
+            );
+        }
+    }
+
+    let mut report = ExperimentReport::new("serve_load");
+    report.push("serve.throughput", None, options_served as f64 / wall_s, "options/s");
+    report.push("serve.offered_rate", None, load.rate, "requests/s");
+    if let Some(l) = &latency {
+        report.push("serve.latency.mean", None, l.mean(), "s");
+        report.push("serve.latency.max", None, l.max, "s");
+    }
+    if let Some(b) = &batch_hist {
+        report.push("serve.batch.mean_options", None, b.mean(), "options");
+    }
+    for (i, rate) in scheduler_rates.iter().enumerate() {
+        let label = i.to_string();
+        report.push(format!("serve.shard_{i}.rate"), None, *rate, "options/s");
+        report.set_counter(
+            format!("serve.shard_{i}.options"),
+            metrics.counter_value("serve.shard.options", &[("shard", &label)]),
+        );
+    }
+    report.set_counter("serve.requests.accepted", accepted);
+    report.set_counter("serve.requests.completed", ok);
+    report.set_counter("serve.requests.rejected_full", rejected_full);
+    report.set_counter("serve.requests.deadline_exceeded", deadline_exceeded);
+    report.set_counter("serve.requests.failed", failed + rejected_other);
+    report.set_counter("serve.options.served", options_served);
+    report.wall_s = wall_s;
+    report_opts.emit(report).expect("emit report");
+}

@@ -54,7 +54,7 @@ impl fmt::Display for MemAccessError {
 impl std::error::Error for MemAccessError {}
 
 /// Execution error.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ExecError {
     /// Work-items suspended at different barriers (undefined behaviour in
     /// OpenCL; reported deterministically here).

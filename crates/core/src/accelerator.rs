@@ -1,5 +1,6 @@
 //! The accelerator facade: functional pricing and paper-scale projection.
 
+use crate::error::Error;
 use crate::hostprog::optimized::OptimizedHost;
 use crate::hostprog::straightforward::StraightforwardHost;
 use crate::kernels::KernelArch;
@@ -10,42 +11,133 @@ use bop_finance::types::OptionParams;
 use bop_finance::{binomial, metrics};
 use bop_obs::{Json, MetricsRegistry};
 use bop_ocl::queue::RuntimeError;
-use bop_ocl::{BuildError, BuildOptions, BuildReport, CommandQueue, Context, Device, Program};
-use std::fmt;
+use bop_ocl::{BuildOptions, BuildReport, CommandQueue, Context, Device, Program};
 use std::sync::Arc;
 
-/// Error from constructing or running an accelerator.
-#[derive(Debug)]
-pub enum AcceleratorError {
-    /// The kernel failed to compile or fit on the device.
-    Build(BuildError),
-    /// A command failed at run time.
-    Runtime(RuntimeError),
-    /// Invalid request (empty batch, bad option parameters).
-    Invalid(String),
+/// The complete description of an accelerator, ready to be realised by
+/// [`Accelerator::from_config`]. Usually assembled through
+/// [`Accelerator::builder`]; construct it directly when a configuration
+/// is computed or cloned wholesale (the serving layer builds identical
+/// shards from one config).
+#[derive(Clone)]
+pub struct AcceleratorConfig {
+    /// The device to compile for and run on.
+    pub device: Arc<dyn Device>,
+    /// Kernel architecture (Section IV.A or IV.B).
+    pub arch: KernelArch,
+    /// Numeric precision.
+    pub precision: Precision,
+    /// Lattice step count (≥ 2).
+    pub n_steps: usize,
+    /// Build options; `None` means the paper's published configuration
+    /// for the architecture (Section V.B).
+    pub build: Option<BuildOptions>,
+    /// Metrics registry every session publishes into, if any.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// NDRange interpreter thread count override (wall-clock knob only;
+    /// results are identical for every count).
+    pub workers: Option<usize>,
+    /// Use the paper's "reduced number of read operations" variant of
+    /// the straightforward host program (root-only reads).
+    pub reduced_reads: bool,
 }
 
-impl fmt::Display for AcceleratorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AcceleratorError::Build(e) => write!(f, "{e}"),
-            AcceleratorError::Runtime(e) => write!(f, "{e}"),
-            AcceleratorError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+impl AcceleratorConfig {
+    /// A default configuration for `device`: kernel IV.B
+    /// ([`KernelArch::Optimized`]), double precision, a 64-step lattice
+    /// (small enough for functional runs; raise it for paper-scale
+    /// projections), the paper's build options.
+    pub fn new(device: Arc<dyn Device>) -> AcceleratorConfig {
+        AcceleratorConfig {
+            device,
+            arch: KernelArch::Optimized,
+            precision: Precision::Double,
+            n_steps: 64,
+            build: None,
+            metrics: None,
+            workers: None,
+            reduced_reads: false,
         }
     }
-}
 
-impl std::error::Error for AcceleratorError {}
-
-impl From<BuildError> for AcceleratorError {
-    fn from(e: BuildError) -> AcceleratorError {
-        AcceleratorError::Build(e)
+    /// Realise the configuration.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::from_config`].
+    pub fn build(self) -> Result<Accelerator, Error> {
+        Accelerator::from_config(self)
     }
 }
 
-impl From<RuntimeError> for AcceleratorError {
-    fn from(e: RuntimeError) -> AcceleratorError {
-        AcceleratorError::Runtime(e)
+/// Fluent construction of an [`Accelerator`]; obtained from
+/// [`Accelerator::builder`]. Every knob has a default (see
+/// [`AcceleratorConfig::new`]); finish with [`AcceleratorBuilder::build`].
+#[must_use = "the builder does nothing until `.build()` is called"]
+pub struct AcceleratorBuilder {
+    config: AcceleratorConfig,
+}
+
+impl AcceleratorBuilder {
+    /// Select the kernel architecture.
+    pub fn arch(mut self, arch: KernelArch) -> AcceleratorBuilder {
+        self.config.arch = arch;
+        self
+    }
+
+    /// Select the numeric precision.
+    pub fn precision(mut self, precision: Precision) -> AcceleratorBuilder {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Set the lattice step count (must be ≥ 2).
+    pub fn n_steps(mut self, n_steps: usize) -> AcceleratorBuilder {
+        self.config.n_steps = n_steps;
+        self
+    }
+
+    /// Override the paper's build options.
+    pub fn build_options(mut self, build: BuildOptions) -> AcceleratorBuilder {
+        self.config.build = Some(build);
+        self
+    }
+
+    /// Publish queue and interpreter metrics of every session into
+    /// `registry`; device-model gauges are set as soon as the
+    /// accelerator is built.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> AcceleratorBuilder {
+        self.config.metrics = Some(registry);
+        self
+    }
+
+    /// Interpret NDRange work-groups on `workers` threads (≥ 1 enforced).
+    /// A wall-clock knob only — prices, statistics and the simulated
+    /// clock are identical for every count.
+    pub fn workers(mut self, workers: usize) -> AcceleratorBuilder {
+        self.config.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Switch the straightforward host program to the paper's "modified
+    /// version ... with a reduced number of read operations" (root-only
+    /// reads). No effect on the optimized architecture.
+    pub fn reduced_reads(mut self) -> AcceleratorBuilder {
+        self.config.reduced_reads = true;
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Compile the kernel and produce the accelerator.
+    ///
+    /// # Errors
+    /// [`Error::Invalid`] for a bad lattice size, [`Error::Build`] if
+    /// the kernel does not compile or fit.
+    pub fn build(self) -> Result<Accelerator, Error> {
+        Accelerator::from_config(self.config)
     }
 }
 
@@ -128,26 +220,48 @@ pub struct Accelerator {
 }
 
 impl Accelerator {
-    /// Build an accelerator. `build` defaults to the paper's published
-    /// configuration for the architecture (Section V.B).
+    /// Start building an accelerator for `device` with the defaults of
+    /// [`AcceleratorConfig::new`].
+    ///
+    /// ```
+    /// # fn main() -> Result<(), bop_core::Error> {
+    /// let acc = bop_core::Accelerator::builder(bop_core::devices::gpu())
+    ///     .arch(bop_core::KernelArch::Optimized)
+    ///     .n_steps(48)
+    ///     .build()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder(device: Arc<dyn Device>) -> AcceleratorBuilder {
+        AcceleratorBuilder { config: AcceleratorConfig::new(device) }
+    }
+
+    /// Realise a complete [`AcceleratorConfig`].
     ///
     /// # Errors
-    /// Returns [`AcceleratorError::Build`] if the kernel does not compile
-    /// or fit.
-    pub fn new(
-        device: Arc<dyn Device>,
-        arch: KernelArch,
-        precision: Precision,
-        n_steps: usize,
-        build: Option<BuildOptions>,
-    ) -> Result<Accelerator, AcceleratorError> {
+    /// [`Error::Invalid`] for a bad lattice size, [`Error::Build`] if the
+    /// kernel does not compile or fit.
+    pub fn from_config(config: AcceleratorConfig) -> Result<Accelerator, Error> {
+        let AcceleratorConfig {
+            device,
+            arch,
+            precision,
+            n_steps,
+            build,
+            metrics,
+            workers,
+            reduced_reads,
+        } = config;
         if n_steps < 2 {
-            return Err(AcceleratorError::Invalid("need at least 2 lattice steps".into()));
+            return Err(Error::Invalid("need at least 2 lattice steps".into()));
         }
         let build = build.unwrap_or_else(|| arch.paper_build_options());
         let ctx = Context::new(device.clone());
         let program = Program::from_source(&ctx, "kernel.cl", &arch.source(precision), &build)?;
         let report = program.report();
+        if let Some(registry) = &metrics {
+            publish_device_gauges(registry, &device, arch, &report);
+        }
         Ok(Accelerator {
             device,
             arch,
@@ -155,30 +269,44 @@ impl Accelerator {
             n_steps,
             build,
             report,
-            read_full: true,
+            read_full: !reduced_reads,
             fit_cache: std::sync::OnceLock::new(),
-            metrics: None,
-            workers: None,
+            metrics,
+            workers: workers.map(|w| w.max(1)),
         })
+    }
+
+    /// Build an accelerator from positional arguments. `build` defaults
+    /// to the paper's published configuration for the architecture
+    /// (Section V.B).
+    ///
+    /// # Errors
+    /// Returns [`Error::Build`] if the kernel does not compile or fit.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Accelerator::builder(device).arch(..).precision(..).n_steps(..).build()`"
+    )]
+    pub fn new(
+        device: Arc<dyn Device>,
+        arch: KernelArch,
+        precision: Precision,
+        n_steps: usize,
+        build: Option<BuildOptions>,
+    ) -> Result<Accelerator, Error> {
+        let mut config = AcceleratorConfig::new(device);
+        config.arch = arch;
+        config.precision = precision;
+        config.n_steps = n_steps;
+        config.build = build;
+        Accelerator::from_config(config)
     }
 
     /// Publish queue and interpreter metrics of every session this
     /// accelerator opens into `registry`, and set the device-model gauges
     /// (power, bandwidth, overheads) immediately.
+    #[deprecated(since = "0.2.0", note = "use `AcceleratorBuilder::metrics`")]
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Accelerator {
-        let info = self.device.info();
-        let d = info.kind.to_string();
-        let labels = [("device", d.as_str())];
-        registry.set_gauge("device.power_watts", &labels, info.power_watts);
-        registry.set_gauge("device.global_bw_bytes_per_s", &labels, info.global_bw_bytes_per_s);
-        registry.set_gauge("device.command_overhead_s", &labels, info.command_overhead_s);
-        registry.set_gauge("device.session_setup_s", &labels, info.session_setup_s);
-        registry.set_gauge("device.compute_units", &labels, f64::from(info.compute_units));
-        registry.set_gauge(
-            "device.kernel_power_watts",
-            &[("device", d.as_str()), ("kernel", self.arch.kernel_name())],
-            self.report.power_watts,
-        );
+        publish_device_gauges(&registry, &self.device, self.arch, &self.report);
         self.metrics = Some(registry);
         self
     }
@@ -187,6 +315,7 @@ impl Accelerator {
     /// this accelerator opens (default: the queue's `BOP_SIM_WORKERS` /
     /// available-parallelism heuristic). A wall-clock knob only — prices,
     /// statistics and the simulated clock are identical for every count.
+    #[deprecated(since = "0.2.0", note = "use `AcceleratorBuilder::workers`")]
     pub fn with_workers(mut self, workers: usize) -> Accelerator {
         self.workers = Some(workers.max(1));
         self
@@ -195,6 +324,7 @@ impl Accelerator {
     /// Switch the straightforward host program to the paper's "modified
     /// version ... with a reduced number of read operations" (root-only
     /// reads). No effect on the optimized architecture.
+    #[deprecated(since = "0.2.0", note = "use `AcceleratorBuilder::reduced_reads`")]
     pub fn with_reduced_reads(mut self) -> Accelerator {
         self.read_full = false;
         self
@@ -230,7 +360,7 @@ impl Accelerator {
         &self.device
     }
 
-    fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), AcceleratorError> {
+    fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), Error> {
         let ctx = Context::new(self.device.clone());
         let queue = CommandQueue::new(&ctx);
         if let Some(workers) = self.workers {
@@ -287,7 +417,7 @@ impl Accelerator {
     /// # Errors
     /// Propagates build and runtime failures; rejects empty or invalid
     /// batches.
-    pub fn price(&self, options: &[OptionParams]) -> Result<PricingRun, AcceleratorError> {
+    pub fn price(&self, options: &[OptionParams]) -> Result<PricingRun, Error> {
         Ok(self.price_inner(options, false)?.0)
     }
 
@@ -298,10 +428,7 @@ impl Accelerator {
     ///
     /// # Errors
     /// Same as [`Accelerator::price`].
-    pub fn price_traced(
-        &self,
-        options: &[OptionParams],
-    ) -> Result<(PricingRun, Json), AcceleratorError> {
+    pub fn price_traced(&self, options: &[OptionParams]) -> Result<(PricingRun, Json), Error> {
         let (run, trace) = self.price_inner(options, true)?;
         Ok((run, trace.expect("trace requested")))
     }
@@ -310,12 +437,12 @@ impl Accelerator {
         &self,
         options: &[OptionParams],
         traced: bool,
-    ) -> Result<(PricingRun, Option<Json>), AcceleratorError> {
+    ) -> Result<(PricingRun, Option<Json>), Error> {
         if options.is_empty() {
-            return Err(AcceleratorError::Invalid("empty batch".into()));
+            return Err(Error::Invalid("empty batch".into()));
         }
         for o in options {
-            o.validate().map_err(|e| AcceleratorError::Invalid(e.to_string()))?;
+            o.validate().map_err(|e| Error::Invalid(e.to_string()))?;
         }
         let (ctx, queue, program) = self.fresh_session()?;
         if traced {
@@ -357,7 +484,7 @@ impl Accelerator {
     ///
     /// # Errors
     /// Propagates build and runtime failures.
-    pub fn calibrate(&self) -> Result<StatsFit, AcceleratorError> {
+    pub fn calibrate(&self) -> Result<StatsFit, Error> {
         if let Some(fit) = self.fit_cache.get() {
             return Ok(fit.clone());
         }
@@ -380,16 +507,13 @@ impl Accelerator {
     ///
     /// # Errors
     /// Propagates build and runtime failures.
-    pub fn measure_per_option(
-        &self,
-        n: usize,
-    ) -> Result<bop_clir::stats::ExecStats, AcceleratorError> {
+    pub fn measure_per_option(&self, n: usize) -> Result<bop_clir::stats::ExecStats, Error> {
         let (ctx, queue, program) = self.fresh_session()?;
         let options = [OptionParams::example()];
         self.run_host(&ctx, &queue, &program, &options, n)?;
         let stats = queue
             .kernel_stats(self.arch.kernel_name())
-            .ok_or_else(|| AcceleratorError::Invalid("no kernel statistics recorded".into()))?;
+            .ok_or_else(|| Error::Invalid("no kernel statistics recorded".into()))?;
         match self.arch {
             // One option => batches = n; every batch is identical.
             KernelArch::Straightforward => {
@@ -408,9 +532,9 @@ impl Accelerator {
     ///
     /// # Errors
     /// Propagates build and runtime failures.
-    pub fn project(&self, n_options: usize) -> Result<Projection, AcceleratorError> {
+    pub fn project(&self, n_options: usize) -> Result<Projection, Error> {
         if n_options == 0 {
-            return Err(AcceleratorError::Invalid("empty batch".into()));
+            return Err(Error::Invalid("empty batch".into()));
         }
         let fit = self.calibrate()?;
         let per_unit = fit.per_option(self.n_steps);
@@ -447,6 +571,29 @@ impl Accelerator {
             d2h_bytes: counters.d2h_bytes,
         })
     }
+}
+
+/// Set the device-model gauges (power, bandwidth, overheads) that
+/// describe `device` and the compiled kernel in `registry`.
+fn publish_device_gauges(
+    registry: &MetricsRegistry,
+    device: &Arc<dyn Device>,
+    arch: KernelArch,
+    report: &BuildReport,
+) {
+    let info = device.info();
+    let d = info.kind.to_string();
+    let labels = [("device", d.as_str())];
+    registry.set_gauge("device.power_watts", &labels, info.power_watts);
+    registry.set_gauge("device.global_bw_bytes_per_s", &labels, info.global_bw_bytes_per_s);
+    registry.set_gauge("device.command_overhead_s", &labels, info.command_overhead_s);
+    registry.set_gauge("device.session_setup_s", &labels, info.session_setup_s);
+    registry.set_gauge("device.compute_units", &labels, f64::from(info.compute_units));
+    registry.set_gauge(
+        "device.kernel_power_watts",
+        &[("device", d.as_str()), ("kernel", arch.kernel_name())],
+        report.power_watts,
+    );
 }
 
 /// Divide every counter by `k` (for per-batch normalisation).
@@ -507,14 +654,12 @@ mod tests {
 
     #[test]
     fn optimized_on_gpu_prices_accurately() {
-        let acc = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Optimized,
-            Precision::Double,
-            48,
-            None,
-        )
-        .expect("builds");
+        let acc = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(48)
+            .build()
+            .expect("builds");
         let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 1);
         let run = acc.price(&options).expect("prices");
         assert!(run.rmse < 1e-10, "exact math must match the reference: {}", run.rmse);
@@ -526,22 +671,18 @@ mod tests {
     #[test]
     fn fpga_optimized_shows_pow_rmse_but_host_leaves_do_not() {
         let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 2);
-        let buggy = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            64,
-            None,
-        )
-        .expect("builds");
-        let fixed = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::OptimizedHostLeaves,
-            Precision::Double,
-            64,
-            None,
-        )
-        .expect("builds");
+        let buggy = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
+            .expect("builds");
+        let fixed = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::OptimizedHostLeaves)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
+            .expect("builds");
         let run_buggy = buggy.price(&options).expect("prices");
         let run_fixed = fixed.price(&options).expect("prices");
         assert!(run_buggy.rmse > 1e-9, "pow bug must show: {}", run_buggy.rmse);
@@ -553,22 +694,18 @@ mod tests {
         // At paper scale the optimized kernel must beat the straightforward
         // one by orders of magnitude on the same device.
         let n = 256; // keep the calibration quick
-        let slow = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::Straightforward,
-            Precision::Double,
-            n,
-            None,
-        )
-        .expect("builds");
-        let fast = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            n,
-            None,
-        )
-        .expect("builds");
+        let slow = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::Straightforward)
+            .precision(Precision::Double)
+            .n_steps(n)
+            .build()
+            .expect("builds");
+        let fast = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(n)
+            .build()
+            .expect("builds");
         let p_slow = slow.project(64).expect("projects");
         let p_fast = fast.project(64).expect("projects");
         assert!(
@@ -583,23 +720,19 @@ mod tests {
     #[test]
     fn reduced_reads_speed_up_straightforward_projection() {
         let n = 128;
-        let naive = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Straightforward,
-            Precision::Double,
-            n,
-            None,
-        )
-        .expect("builds");
-        let modified = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Straightforward,
-            Precision::Double,
-            n,
-            None,
-        )
-        .expect("builds")
-        .with_reduced_reads();
+        let naive = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Straightforward)
+            .precision(Precision::Double)
+            .n_steps(n)
+            .build()
+            .expect("builds");
+        let modified = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Straightforward)
+            .precision(Precision::Double)
+            .n_steps(n)
+            .reduced_reads()
+            .build()
+            .expect("builds");
         let p_naive = naive.project(64).expect("projects");
         let p_mod = modified.project(64).expect("projects");
         assert!(
@@ -612,14 +745,12 @@ mod tests {
 
     #[test]
     fn calibration_fit_validates_on_a_fourth_size() {
-        let acc = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Optimized,
-            Precision::Double,
-            crate::perfmodel::VALIDATION_STEPS,
-            None,
-        )
-        .expect("builds");
+        let acc = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(crate::perfmodel::VALIDATION_STEPS)
+            .build()
+            .expect("builds");
         let fit = acc.calibrate().expect("calibrates");
         let predicted = fit.per_option(crate::perfmodel::VALIDATION_STEPS);
         let measured = acc.measure_per_option(crate::perfmodel::VALIDATION_STEPS).expect("runs");
@@ -641,29 +772,75 @@ mod tests {
 
     #[test]
     fn invalid_requests_rejected() {
-        let acc = Accelerator::new(
+        let acc = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(16)
+            .build()
+            .expect("builds");
+        assert!(matches!(acc.price(&[]), Err(Error::Invalid(_))));
+        let mut bad = OptionParams::example();
+        bad.volatility = -1.0;
+        assert!(matches!(acc.price(&[bad]), Err(Error::Invalid(_))));
+        assert!(matches!(acc.project(0), Err(Error::Invalid(_))));
+        assert!(matches!(
+            Accelerator::builder(crate::devices::gpu())
+                .arch(KernelArch::Optimized)
+                .precision(Precision::Double)
+                .n_steps(1)
+                .build(),
+            Err(Error::Invalid(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+    use bop_finance::workload;
+
+    #[test]
+    fn builder_defaults_are_the_documented_ones() {
+        let b = Accelerator::builder(crate::devices::gpu());
+        let c = b.config();
+        assert_eq!(c.arch, KernelArch::Optimized);
+        assert_eq!(c.precision, Precision::Double);
+        assert_eq!(c.n_steps, 64);
+        assert!(c.build.is_none() && c.metrics.is_none() && c.workers.is_none());
+        assert!(!c.reduced_reads);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn config_clone_builds_an_identical_shard() {
+        let mut config = AcceleratorConfig::new(crate::devices::gpu());
+        config.n_steps = 32;
+        let a = config.clone().build().expect("builds");
+        let b = config.build().expect("builds");
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 9);
+        let run_a = a.price(&options).expect("prices");
+        let run_b = b.price(&options).expect("prices");
+        assert_eq!(run_a.prices, run_b.prices, "clones are bit-identical");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_matches_the_builder() {
+        let via_shim = Accelerator::new(
             crate::devices::gpu(),
             KernelArch::Optimized,
             Precision::Double,
-            16,
+            32,
             None,
         )
         .expect("builds");
-        assert!(matches!(acc.price(&[]), Err(AcceleratorError::Invalid(_))));
-        let mut bad = OptionParams::example();
-        bad.volatility = -1.0;
-        assert!(matches!(acc.price(&[bad]), Err(AcceleratorError::Invalid(_))));
-        assert!(matches!(acc.project(0), Err(AcceleratorError::Invalid(_))));
-        assert!(matches!(
-            Accelerator::new(
-                crate::devices::gpu(),
-                KernelArch::Optimized,
-                Precision::Double,
-                1,
-                None
-            ),
-            Err(AcceleratorError::Invalid(_))
-        ));
+        let via_builder =
+            Accelerator::builder(crate::devices::gpu()).n_steps(32).build().expect("builds");
+        let options = [OptionParams::example()];
+        assert_eq!(
+            via_shim.price(&options).expect("prices").prices,
+            via_builder.price(&options).expect("prices").prices,
+        );
     }
 }
 
@@ -681,9 +858,13 @@ mod fit_failure_tests {
             bop_fpga::FpgaPart::ep4sgx230(),
             bop_clir::mathlib::DeviceMath::altera_13_0(),
         );
-        let result = Accelerator::new(small, KernelArch::Optimized, Precision::Double, 128, None);
+        let result = Accelerator::builder(small)
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(128)
+            .build();
         match result {
-            Err(AcceleratorError::Build(e)) => {
+            Err(Error::Build(e)) => {
                 assert!(e.message.contains("does not fit"), "got: {e}");
             }
             other => panic!("expected a fit failure, got {:?}", other.map(|_| "ok")),
@@ -699,13 +880,12 @@ mod fit_failure_tests {
             unroll: Some(1),
             ..Default::default()
         };
-        assert!(Accelerator::new(
-            small,
-            KernelArch::Optimized,
-            Precision::Double,
-            128,
-            Some(scalar)
-        )
-        .is_ok());
+        assert!(Accelerator::builder(small)
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(128)
+            .build_options(scalar)
+            .build()
+            .is_ok());
     }
 }

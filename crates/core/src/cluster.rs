@@ -5,13 +5,81 @@
 //! at once, split proportionally to each accelerator's measured marginal
 //! rate.
 
-use crate::accelerator::{Accelerator, AcceleratorError, PricingRun};
+use crate::accelerator::{Accelerator, PricingRun};
+use crate::error::Error;
 use bop_finance::binomial::tree_nodes;
 use bop_finance::types::OptionParams;
 
 /// A set of accelerators pricing one batch cooperatively.
 pub struct MultiAccelerator {
     accelerators: Vec<Accelerator>,
+}
+
+/// Split `n_options` across members proportionally to their `rates`
+/// (options/s). This is the scheduling core shared by
+/// [`MultiAccelerator::split`] and the `bop-serve` shard pool.
+///
+/// Guarantees:
+/// * shares sum to exactly `n_options`;
+/// * while options remain, every member gets at least one — when
+///   `n_options < rates.len()`, the fastest `n_options` members get one
+///   each;
+/// * non-finite or non-positive rates are tolerated: if *every* rate is
+///   degenerate (zero, negative, NaN, infinite) the split falls back to
+///   equal shares rather than dividing by zero.
+pub fn weighted_shares(rates: &[f64], n_options: usize) -> Vec<usize> {
+    let members = rates.len();
+    if members == 0 {
+        return Vec::new();
+    }
+    // Sanitize: a degenerate rate contributes no weight; a fully
+    // degenerate cluster splits equally.
+    let sane: Vec<f64> =
+        rates.iter().map(|&r| if r.is_finite() && r > 0.0 { r } else { 0.0 }).collect();
+    let total: f64 = sane.iter().sum();
+    let weights: Vec<f64> = if total > 0.0 { sane } else { vec![1.0; members] };
+    let total: f64 = weights.iter().sum();
+
+    // Fastest-first order (stable on ties by index).
+    let mut order: Vec<usize> = (0..members).collect();
+    order.sort_by(|&a, &b| {
+        weights[b].partial_cmp(&weights[a]).expect("sanitized weights are finite").then(a.cmp(&b))
+    });
+
+    if n_options < members {
+        // Too few options to go around: the fastest n_options members
+        // take one each.
+        let mut shares = vec![0; members];
+        for &i in order.iter().take(n_options) {
+            shares[i] = 1;
+        }
+        return shares;
+    }
+
+    let mut shares: Vec<usize> =
+        weights.iter().map(|&w| ((w / total) * n_options as f64).floor() as usize).collect();
+    // Distribute the rounding remainder to the fastest members; the floor
+    // sum never exceeds n_options, so this terminates.
+    let mut remainder = n_options - shares.iter().sum::<usize>();
+    for &i in order.iter().cycle() {
+        if remainder == 0 {
+            break;
+        }
+        shares[i] += 1;
+        remainder -= 1;
+    }
+    // Every member gets at least one: donate from the largest share.
+    for i in 0..members {
+        while shares[i] == 0 {
+            let donor = (0..members).max_by_key(|&j| shares[j]).expect("non-empty");
+            if shares[donor] <= 1 {
+                break; // nothing left to donate (cannot happen: n_options >= members)
+            }
+            shares[donor] -= 1;
+            shares[i] += 1;
+        }
+    }
+    shares
 }
 
 /// Projection of a cooperative batch.
@@ -39,14 +107,14 @@ impl MultiAccelerator {
     /// # Errors
     /// Rejects empty clusters and mismatched lattice sizes or precisions
     /// (shares of one batch must be comparable).
-    pub fn new(accelerators: Vec<Accelerator>) -> Result<MultiAccelerator, AcceleratorError> {
+    pub fn new(accelerators: Vec<Accelerator>) -> Result<MultiAccelerator, Error> {
         if accelerators.is_empty() {
-            return Err(AcceleratorError::Invalid("empty cluster".into()));
+            return Err(Error::Invalid("empty cluster".into()));
         }
         let n = accelerators[0].n_steps();
         let p = accelerators[0].precision();
         if accelerators.iter().any(|a| a.n_steps() != n || a.precision() != p) {
-            return Err(AcceleratorError::Invalid(
+            return Err(Error::Invalid(
                 "cluster members must share lattice size and precision".into(),
             ));
         }
@@ -64,40 +132,29 @@ impl MultiAccelerator {
     ///
     /// # Errors
     /// Propagates projection failures.
-    pub fn split(&self, n_options: usize) -> Result<Vec<usize>, AcceleratorError> {
+    pub fn split(&self, n_options: usize) -> Result<Vec<usize>, Error> {
         let rates: Vec<f64> = self
             .accelerators
             .iter()
             .map(|a| a.project(256).map(|p| p.options_per_s))
             .collect::<Result<_, _>>()?;
-        let total_rate: f64 = rates.iter().sum();
-        let mut shares: Vec<usize> =
-            rates.iter().map(|r| ((r / total_rate) * n_options as f64).floor() as usize).collect();
-        // Distribute the rounding remainder to the fastest members.
-        let mut remainder = n_options - shares.iter().sum::<usize>();
-        let mut order: Vec<usize> = (0..rates.len()).collect();
-        order.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).expect("finite rates"));
-        for &i in order.iter().cycle().take(rates.len() * 2) {
-            if remainder == 0 {
-                break;
-            }
-            shares[i] += 1;
-            remainder -= 1;
-        }
-        Ok(shares)
+        Ok(weighted_shares(&rates, n_options))
     }
 
     /// Project a cooperative batch: devices run their shares concurrently.
     ///
     /// # Errors
     /// Propagates projection failures.
-    pub fn project(&self, n_options: usize) -> Result<ClusterProjection, AcceleratorError> {
+    pub fn project(&self, n_options: usize) -> Result<ClusterProjection, Error> {
         let shares = self.split(n_options)?;
         let mut device_times_s = Vec::with_capacity(shares.len());
         let mut watts = 0.0;
         for (acc, &share) in self.accelerators.iter().zip(&shares) {
             if share == 0 {
+                // Idle members still burn power: the doc promises "all
+                // devices running", so count the device's draw either way.
                 device_times_s.push(0.0);
+                watts += acc.report().power_watts;
                 continue;
             }
             let p = acc.project(share)?;
@@ -122,9 +179,9 @@ impl MultiAccelerator {
     ///
     /// # Errors
     /// Propagates member failures.
-    pub fn price(&self, options: &[OptionParams]) -> Result<Vec<PricingRun>, AcceleratorError> {
+    pub fn price(&self, options: &[OptionParams]) -> Result<Vec<PricingRun>, Error> {
         if options.is_empty() {
-            return Err(AcceleratorError::Invalid("empty batch".into()));
+            return Err(Error::Invalid("empty batch".into()));
         }
         let shares = self.split(options.len())?;
         let mut runs = Vec::with_capacity(shares.len());
@@ -147,22 +204,18 @@ mod tests {
     use crate::{KernelArch, Precision};
 
     fn cluster(n_steps: usize) -> MultiAccelerator {
-        let fpga = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            n_steps,
-            None,
-        )
-        .expect("fpga builds");
-        let gpu = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Optimized,
-            Precision::Double,
-            n_steps,
-            None,
-        )
-        .expect("gpu builds");
+        let fpga = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(n_steps)
+            .build()
+            .expect("fpga builds");
+        let gpu = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(n_steps)
+            .build()
+            .expect("gpu builds");
         MultiAccelerator::new(vec![fpga, gpu]).expect("cluster")
     }
 
@@ -215,24 +268,110 @@ mod tests {
     }
 
     #[test]
+    fn single_member_cluster_takes_the_whole_batch() {
+        let solo = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
+            .expect("builds");
+        let c = MultiAccelerator::new(vec![solo]).expect("cluster");
+        assert_eq!(c.split(17).expect("splits"), vec![17]);
+        let p = c.project(17).expect("projects");
+        assert_eq!(p.shares, vec![17]);
+        assert!(p.watts > 0.0 && p.options_per_s > 0.0);
+    }
+
+    #[test]
+    fn wildly_asymmetric_rates_still_give_everyone_work() {
+        // A rate ratio of 10^6 floors the slow member to zero; the
+        // min-one rule must still hand it an option.
+        let shares = weighted_shares(&[1.0, 1e6], 100);
+        assert_eq!(shares.iter().sum::<usize>(), 100);
+        assert_eq!(shares[0], 1, "slow member still gets one option");
+        assert_eq!(shares[1], 99);
+    }
+
+    #[test]
+    fn fewer_options_than_members_feeds_the_fastest() {
+        let shares = weighted_shares(&[5.0, 100.0, 50.0, 1.0], 2);
+        assert_eq!(shares, vec![0, 1, 1, 0], "fastest two members get one each");
+        // Through the cluster API as well: two members, one option.
+        let c = cluster(48);
+        let shares = c.split(1).expect("splits");
+        assert_eq!(shares.iter().sum::<usize>(), 1);
+        let runs = c.price(&[bop_finance::types::OptionParams::example()]).expect("prices");
+        assert_eq!(runs.iter().map(|r| r.prices.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn degenerate_rates_fall_back_to_equal_shares() {
+        assert_eq!(weighted_shares(&[0.0, 0.0, 0.0], 9), vec![3, 3, 3]);
+        assert_eq!(weighted_shares(&[f64::NAN, f64::NAN], 4), vec![2, 2]);
+        assert_eq!(weighted_shares(&[f64::INFINITY, f64::INFINITY], 2), vec![1, 1]);
+        // A single sane rate takes everything the floor gives it, but the
+        // degenerate member still gets its minimum one.
+        assert_eq!(weighted_shares(&[0.0, 10.0], 5), vec![1, 4]);
+    }
+
+    #[test]
+    fn shares_always_sum_to_the_batch_size() {
+        // Property sweep across rate shapes and batch sizes, including
+        // n_options < members and n_options == 0.
+        let rate_sets: [&[f64]; 5] = [
+            &[1.0],
+            &[1.0, 2.0, 3.0],
+            &[1e-9, 1e9],
+            &[0.0, 5.0, f64::NAN, 5.0],
+            &[7.0, 7.0, 7.0, 7.0, 7.0],
+        ];
+        for rates in rate_sets {
+            for n in [0usize, 1, 2, 3, 7, 100, 1001] {
+                let shares = weighted_shares(rates, n);
+                assert_eq!(shares.len(), rates.len());
+                assert_eq!(shares.iter().sum::<usize>(), n, "rates {rates:?} n {n} -> {shares:?}");
+                if n >= rates.len() {
+                    assert!(
+                        shares.iter().all(|&s| s > 0),
+                        "min-one violated: rates {rates:?} n {n} -> {shares:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_members_still_count_toward_cluster_power() {
+        // One option on a two-member cluster: one share is zero, yet the
+        // projection's watts must cover both devices ("all devices
+        // running").
+        let c = cluster(48);
+        let p = c.project(1).expect("projects");
+        assert_eq!(p.shares.iter().sum::<usize>(), 1);
+        let full_draw: f64 = c.members().iter().map(|a| a.report().power_watts).sum();
+        assert!(
+            (p.watts - full_draw).abs() < 1e-9,
+            "cluster watts {} must equal all-device draw {}",
+            p.watts,
+            full_draw
+        );
+    }
+
+    #[test]
     fn mismatched_members_rejected() {
-        let a = Accelerator::new(
-            crate::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            64,
-            None,
-        )
-        .expect("builds");
-        let b = Accelerator::new(
-            crate::devices::gpu(),
-            KernelArch::Optimized,
-            Precision::Double,
-            128,
-            None,
-        )
-        .expect("builds");
-        assert!(matches!(MultiAccelerator::new(vec![a, b]), Err(AcceleratorError::Invalid(_))));
-        assert!(matches!(MultiAccelerator::new(vec![]), Err(AcceleratorError::Invalid(_))));
+        let a = Accelerator::builder(crate::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
+            .expect("builds");
+        let b = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(128)
+            .build()
+            .expect("builds");
+        assert!(matches!(MultiAccelerator::new(vec![a, b]), Err(Error::Invalid(_))));
+        assert!(matches!(MultiAccelerator::new(vec![]), Err(Error::Invalid(_))));
     }
 }

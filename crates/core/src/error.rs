@@ -1,0 +1,138 @@
+//! The single error type of the pricing stack.
+//!
+//! Every fallible operation in `bop-core` — and in the serving layer
+//! built on top of it (`bop-serve`) — reports through [`Error`]. The
+//! build- and run-time variants carry their underlying cause and expose
+//! it through [`std::error::Error::source`], so callers can walk the
+//! chain (`Error` → [`BuildError`] / [`RuntimeError`] → interpreter
+//! faults) instead of parsing display strings. The admission-control
+//! variants ([`Error::Rejected`], [`Error::DeadlineExceeded`]) are
+//! structured, not stringly typed: a load shedder can read queue depth
+//! and capacity straight off the rejection.
+
+use bop_ocl::queue::RuntimeError;
+use bop_ocl::BuildError;
+use std::fmt;
+
+/// Error from building or running an accelerator, or from the serving
+/// layer's admission control.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// The kernel failed to compile or fit on the device.
+    Build(BuildError),
+    /// A command failed at run time.
+    Runtime(RuntimeError),
+    /// Invalid request (empty batch, bad option parameters, mismatched
+    /// cluster members).
+    Invalid(String),
+    /// The service declined the request because its bounded submission
+    /// queue was full (or it was shutting down).
+    Rejected(Rejection),
+    /// The request's deadline passed before a shard picked it up.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when dropped,
+        /// seconds.
+        missed_by_s: f64,
+    },
+}
+
+/// Details of a [`Error::Rejected`] admission failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Requests queued at the time of rejection.
+    pub depth: usize,
+    /// The queue's configured capacity, in requests.
+    pub capacity: usize,
+    /// `true` when the rejection was due to shutdown, not queue depth.
+    pub shutting_down: bool,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.shutting_down {
+            write!(f, "service is shutting down")
+        } else {
+            write!(f, "queue full: {} of {} request slots in use", self.depth, self.capacity)
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            Error::Rejected(r) => write!(f, "request rejected: {r}"),
+            Error::DeadlineExceeded { missed_by_s } => {
+                write!(f, "deadline exceeded by {missed_by_s:.6} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Invalid(_) | Error::Rejected(_) | Error::DeadlineExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Error {
+        Error::Build(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Error {
+        Error::Runtime(e)
+    }
+}
+
+/// The pre-0.2 name of [`Error`].
+#[deprecated(since = "0.2.0", note = "renamed to `bop_core::Error`")]
+pub type AcceleratorError = Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as StdError;
+
+    #[test]
+    fn build_and_runtime_errors_chain_through_source() {
+        let e = Error::from(BuildError::new("LUTs exhausted"));
+        let src = e.source().expect("build cause");
+        assert!(src.downcast_ref::<BuildError>().expect("BuildError").message.contains("LUTs"));
+
+        let e = Error::from(RuntimeError::Invalid("unset kernel arg".into()));
+        let src = e.source().expect("runtime cause");
+        assert!(src.downcast_ref::<RuntimeError>().is_some());
+
+        for e in [
+            Error::Invalid("x".into()),
+            Error::Rejected(Rejection { depth: 4, capacity: 4, shutting_down: false }),
+            Error::DeadlineExceeded { missed_by_s: 0.25 },
+        ] {
+            assert!(e.source().is_none(), "{e} has no cause");
+        }
+    }
+
+    #[test]
+    fn rejection_display_names_the_pressure() {
+        let full = Rejection { depth: 8, capacity: 8, shutting_down: false };
+        assert!(full.to_string().contains("8 of 8"));
+        let closing = Rejection { depth: 0, capacity: 8, shutting_down: true };
+        assert!(closing.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_resolves() {
+        let e: AcceleratorError = Error::Invalid("legacy name".into());
+        assert!(matches!(e, Error::Invalid(_)));
+    }
+}

@@ -11,7 +11,8 @@
 //!   frequency or parallelism levels can be lowered to reduce energy
 //!   consumption" toward the 10 W budget.
 
-use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::accelerator::Accelerator;
+use crate::error::Error;
 use crate::kernels::KernelArch;
 use bop_cpu::Precision;
 use bop_ocl::BuildOptions;
@@ -44,18 +45,19 @@ pub fn reduced_reads(
     device: Arc<dyn bop_ocl::Device>,
     n_steps: usize,
     n_options: usize,
-) -> Result<ReducedReadsResult, AcceleratorError> {
+) -> Result<ReducedReadsResult, Error> {
     let name = device.info().name.clone();
-    let naive = Accelerator::new(
-        device.clone(),
-        KernelArch::Straightforward,
-        Precision::Double,
-        n_steps,
-        None,
-    )?;
-    let modified =
-        Accelerator::new(device, KernelArch::Straightforward, Precision::Double, n_steps, None)?
-            .with_reduced_reads();
+    let naive = Accelerator::builder(device.clone())
+        .arch(KernelArch::Straightforward)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
+    let modified = Accelerator::builder(device)
+        .arch(KernelArch::Straightforward)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .reduced_reads()
+        .build()?;
     Ok(ReducedReadsResult {
         device: name,
         naive_options_per_s: naive.project(n_options)?.options_per_s,
@@ -98,7 +100,7 @@ pub fn build_grid(
     n_options: usize,
     simds: &[u32],
     unrolls: &[u32],
-) -> Result<Vec<GridPoint>, AcceleratorError> {
+) -> Result<Vec<GridPoint>, Error> {
     let mut grid = Vec::new();
     for &simd in simds {
         for &unroll in unrolls {
@@ -108,15 +110,15 @@ pub fn build_grid(
                 unroll: Some(unroll),
                 ..BuildOptions::default()
             };
-            let acc = match Accelerator::new(
-                crate::devices::fpga(),
-                KernelArch::Optimized,
-                Precision::Double,
-                n_steps,
-                Some(build.clone()),
-            ) {
+            let acc = match Accelerator::builder(crate::devices::fpga())
+                .arch(KernelArch::Optimized)
+                .precision(Precision::Double)
+                .n_steps(n_steps)
+                .build_options(build.clone())
+                .build()
+            {
                 Ok(acc) => acc,
-                Err(AcceleratorError::Build(_)) => {
+                Err(Error::Build(_)) => {
                     grid.push(GridPoint { build, outcome: None });
                     continue;
                 }
@@ -167,14 +169,12 @@ pub fn frequency_sweep(
     n_steps: usize,
     n_options: usize,
     fractions: &[f64],
-) -> Result<Vec<FrequencyPoint>, AcceleratorError> {
-    let acc = Accelerator::new(
-        crate::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )?;
+) -> Result<Vec<FrequencyPoint>, Error> {
+    let acc = Accelerator::builder(crate::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
     let report = acc.report().clone();
     let base = acc.project(n_options)?;
     let static_w = bop_fpga::calib::POWER_STATIC_W;
@@ -272,7 +272,7 @@ pub struct CseAblation {
 ///
 /// # Errors
 /// Propagates build failures.
-pub fn cse_ablation() -> Result<Vec<CseAblation>, AcceleratorError> {
+pub fn cse_ablation() -> Result<Vec<CseAblation>, Error> {
     use crate::experiments::table1::fit_kernel_with;
     let mut out = Vec::new();
     for arch in [KernelArch::Straightforward, KernelArch::Optimized] {
@@ -337,7 +337,7 @@ pub struct FixedPointAblation {
 ///
 /// # Errors
 /// Propagates build failures.
-pub fn fixed_point(n_steps: usize) -> Result<FixedPointAblation, AcceleratorError> {
+pub fn fixed_point(n_steps: usize) -> Result<FixedPointAblation, Error> {
     let sweep = bop_finance::fixedpoint::precision_sweep(
         &bop_finance::types::OptionParams::example(),
         n_steps,
@@ -395,12 +395,16 @@ pub struct ConclusionWhatIf {
 ///
 /// # Errors
 /// Propagates build/projection failures.
-pub fn conclusion_whatif(n_steps: usize) -> Result<ConclusionWhatIf, AcceleratorError> {
+pub fn conclusion_whatif(n_steps: usize) -> Result<ConclusionWhatIf, Error> {
     let device = bop_fpga::FpgaDevice::with_part(
         bop_fpga::FpgaPart::ep5sgxa7(),
         bop_clir::mathlib::DeviceMath::altera_13_0(),
     );
-    let acc = Accelerator::new(device, KernelArch::Optimized, Precision::Double, n_steps, None)?;
+    let acc = Accelerator::builder(device)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
     let report = acc.report().clone();
     let base = acc.project(2000)?;
     let static_w = bop_fpga::calib::POWER_STATIC_W;

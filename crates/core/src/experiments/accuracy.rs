@@ -8,7 +8,8 @@
 //! end-to-end price RMSE versus the lattice size, for the 13.0 FPGA, the
 //! anticipated 13.0 SP1 FPGA, the GPU, and the host-leaves fallback.
 
-use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::accelerator::Accelerator;
+use crate::error::Error;
 use crate::kernels::KernelArch;
 use bop_clir::mathlib::MathLib;
 use bop_cpu::Precision;
@@ -54,8 +55,12 @@ pub fn price_accuracy(
     arch: KernelArch,
     n_steps: usize,
     n_options: usize,
-) -> Result<AccuracyPoint, AcceleratorError> {
-    let acc = Accelerator::new(device, arch, Precision::Double, n_steps, None)?;
+) -> Result<AccuracyPoint, Error> {
+    let acc = Accelerator::builder(device)
+        .arch(arch)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
     let options =
         workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n_options, 7);
     let run = acc.price(&options)?;
@@ -71,7 +76,7 @@ pub fn price_accuracy(
 ///
 /// # Errors
 /// Propagates accelerator failures.
-pub fn run(n_steps: usize, n_options: usize) -> Result<Vec<AccuracyPoint>, AcceleratorError> {
+pub fn run(n_steps: usize, n_options: usize) -> Result<Vec<AccuracyPoint>, Error> {
     Ok(vec![
         price_accuracy(
             "IV.B / FPGA 13.0 (reduced pow)",

@@ -6,7 +6,7 @@
 //! Figure 3 and the barrier-phased work-group dataflow of Figure 4 — as
 //! structured data (plus a text rendering in the `bop-bench` binaries).
 
-use crate::accelerator::AcceleratorError;
+use crate::error::Error;
 use crate::hostprog::optimized::OptimizedHost;
 use crate::hostprog::straightforward::StraightforwardHost;
 use crate::kernels::KernelArch;
@@ -103,7 +103,7 @@ pub struct Figure3 {
 ///
 /// # Errors
 /// Propagates build/run failures.
-pub fn figure3(n_steps: usize, n_options: usize) -> Result<Figure3, AcceleratorError> {
+pub fn figure3(n_steps: usize, n_options: usize) -> Result<Figure3, Error> {
     let ctx = Context::new(crate::devices::fpga());
     let queue = CommandQueue::new(&ctx);
     queue.enable_trace();
@@ -162,7 +162,7 @@ pub struct Figure4 {
 ///
 /// # Errors
 /// Propagates build/run failures.
-pub fn figure4(n_steps: usize) -> Result<Figure4, AcceleratorError> {
+pub fn figure4(n_steps: usize) -> Result<Figure4, Error> {
     let ctx = Context::new(crate::devices::fpga());
     let queue = CommandQueue::new(&ctx);
     let program = Program::from_source(
@@ -181,7 +181,7 @@ pub fn figure4(n_steps: usize) -> Result<Figure4, AcceleratorError> {
     let prices = host.run(&ctx, &queue, &program, &[option])?;
     let stats = queue
         .kernel_stats(KernelArch::Optimized.kernel_name())
-        .ok_or_else(|| AcceleratorError::Invalid("no kernel statistics".into()))?;
+        .ok_or_else(|| Error::Invalid("no kernel statistics".into()))?;
     Ok(Figure4 {
         n_steps,
         work_items: n_steps + 1,

@@ -9,7 +9,8 @@
 //! with less setup but also less raw speed — saturates at roughly ten
 //! times fewer options than the GPU, the relationship the paper reports.
 
-use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::accelerator::Accelerator;
+use crate::error::Error;
 use crate::kernels::KernelArch;
 use bop_cpu::Precision;
 use std::sync::Arc;
@@ -49,8 +50,9 @@ pub fn sweep(
     precision: Precision,
     n_steps: usize,
     batch_sizes: &[usize],
-) -> Result<SaturationCurve, AcceleratorError> {
-    let acc = Accelerator::new(device, arch, precision, n_steps, None)?;
+) -> Result<SaturationCurve, Error> {
+    let acc =
+        Accelerator::builder(device).arch(arch).precision(precision).n_steps(n_steps).build()?;
     // The marginal rate is batch-size independent; measure it once on a
     // mid-sized batch.
     let asymptote = acc.project(1000)?.options_per_s;
@@ -72,7 +74,7 @@ pub fn sweep(
 ///
 /// # Errors
 /// Propagates accelerator failures.
-pub fn fpga_vs_gpu(n_steps: usize) -> Result<(SaturationCurve, SaturationCurve), AcceleratorError> {
+pub fn fpga_vs_gpu(n_steps: usize) -> Result<(SaturationCurve, SaturationCurve), Error> {
     let sizes: Vec<usize> =
         [1, 10, 100, 1_000, 2_000, 10_000, 50_000, 100_000, 500_000, 1_000_000].to_vec();
     let fpga = sweep(

@@ -2,7 +2,8 @@
 //! kernel/platform/precision combination, plus the reference software and
 //! the literature comparison rows.
 
-use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::accelerator::Accelerator;
+use crate::error::Error;
 use crate::kernels::KernelArch;
 use bop_cpu::{Precision, ReferenceSoftware, XeonModel};
 use bop_finance::binomial::tree_nodes;
@@ -53,8 +54,12 @@ fn accelerator_column(
     precision: Precision,
     rmse_steps: usize,
     paper: (Option<f64>, Option<f64>),
-) -> Result<Table2Column, AcceleratorError> {
-    let acc = Accelerator::new(device.clone(), arch, precision, PAPER_STEPS, None)?;
+) -> Result<Table2Column, Error> {
+    let acc = Accelerator::builder(device.clone())
+        .arch(arch)
+        .precision(precision)
+        .n_steps(PAPER_STEPS)
+        .build()?;
     // IV.A is slow even to replay: scale the projected batch down (its
     // timing is per-batch linear, so the marginal rate is unaffected).
     let batch = match arch {
@@ -72,7 +77,8 @@ fn accelerator_column(
         KernelArch::Straightforward => rmse_steps.min(192),
         _ => rmse_steps,
     };
-    let rmse_acc = Accelerator::new(device, arch, precision, rmse_steps, None)?;
+    let rmse_acc =
+        Accelerator::builder(device).arch(arch).precision(precision).n_steps(rmse_steps).build()?;
     let options =
         workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, RMSE_OPTIONS, 2014);
     let run = rmse_acc.price(&options)?;
@@ -158,7 +164,7 @@ impl Default for Table2Config {
 ///
 /// # Errors
 /// Propagates accelerator failures.
-pub fn run(config: &Table2Config) -> Result<Vec<Table2Column>, AcceleratorError> {
+pub fn run(config: &Table2Config) -> Result<Vec<Table2Column>, Error> {
     let n = config.rmse_steps;
     Ok(vec![
         accelerator_column(

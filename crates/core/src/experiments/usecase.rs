@@ -8,7 +8,8 @@
 //! downstream computation the batch exists for: recovering the implied
 //! volatility curve from the prices.
 
-use crate::accelerator::{Accelerator, AcceleratorError};
+use crate::accelerator::Accelerator;
+use crate::error::Error;
 use crate::kernels::KernelArch;
 use bop_cpu::Precision;
 use bop_finance::types::OptionParams;
@@ -45,26 +46,22 @@ pub fn run(
     n_steps: usize,
     verify_steps: usize,
     verify_options: usize,
-) -> Result<UseCaseResult, AcceleratorError> {
+) -> Result<UseCaseResult, Error> {
     let n_options = 2000;
-    let acc = Accelerator::new(
-        crate::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )?;
+    let acc = Accelerator::builder(crate::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
     let projection = acc.project(n_options)?;
 
     // Functional leg: price a subset, then invert the smile back out of
     // the prices — the trader's actual computation.
-    let verify_acc = Accelerator::new(
-        crate::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        verify_steps,
-        None,
-    )?;
+    let verify_acc = Accelerator::builder(crate::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(verify_steps)
+        .build()?;
     let config = workload::WorkloadConfig { jitter: 0.0, ..Default::default() };
     let options = workload::volatility_curve(&config, 1.0, verify_options, 99);
     let run = verify_acc.price(&options)?;
@@ -73,7 +70,7 @@ pub fn run(
         let recovered = implied_vol::implied_volatility(option, *price, |o: &OptionParams| {
             bop_finance::binomial::price_american_f64(o, verify_steps)
         })
-        .map_err(|e| AcceleratorError::Invalid(format!("implied vol failed: {e}")))?;
+        .map_err(|e| Error::Invalid(format!("implied vol failed: {e}")))?;
         max_err = max_err.max((recovered - option.volatility).abs());
     }
 

@@ -27,7 +27,11 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let fpga = bop_core::devices::fpga();
-//! let acc = Accelerator::new(fpga, KernelArch::Optimized, Precision::Double, 64, None)?;
+//! let acc = Accelerator::builder(fpga)
+//!     .arch(KernelArch::Optimized)
+//!     .precision(Precision::Double)
+//!     .n_steps(64)
+//!     .build()?;
 //! let run = acc.price(&[OptionParams::example()])?;
 //! let reference = bop_finance::binomial::price_american_f64(&OptionParams::example(), 64);
 //! assert!((run.prices[0] - reference).abs() < 1e-3);
@@ -40,14 +44,16 @@
 pub mod accelerator;
 pub mod cluster;
 pub mod devices;
+pub mod error;
 pub mod experiments;
 pub mod hostprog;
 pub mod kernels;
 pub mod perfmodel;
 
-pub use accelerator::{Accelerator, PricingRun, Projection};
+pub use accelerator::{Accelerator, AcceleratorBuilder, AcceleratorConfig, PricingRun, Projection};
 pub use bop_cpu::Precision;
-pub use cluster::MultiAccelerator;
+pub use cluster::{weighted_shares, MultiAccelerator};
+pub use error::{Error, Rejection};
 pub use kernels::KernelArch;
 
 /// The paper's full test environment (Section V.A): FPGA + GPU + CPU on

@@ -32,7 +32,7 @@ fn host_leaves_fallback(c: &mut Criterion) {
         ("host_leaves", KernelArch::OptimizedHostLeaves),
     ] {
         let acc =
-            Accelerator::new(bop_core::devices::fpga(), arch, Precision::Double, 64, None)
+            Accelerator::builder(bop_core::devices::fpga()).arch(arch).precision(Precision::Double).n_steps(64).build()
                 .expect("builds");
         g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
     }

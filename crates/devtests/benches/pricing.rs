@@ -15,7 +15,7 @@ fn functional_pricing(c: &mut Criterion) {
         ("gpu", bop_core::devices::gpu()),
         ("cpu", bop_core::devices::cpu()),
     ] {
-        let acc = Accelerator::new(device, KernelArch::Optimized, Precision::Double, 64, None)
+        let acc = Accelerator::builder(device).arch(KernelArch::Optimized).precision(Precision::Double).n_steps(64).build()
             .expect("builds");
         g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
     }
@@ -25,13 +25,7 @@ fn functional_pricing(c: &mut Criterion) {
 fn projection(c: &mut Criterion) {
     let mut g = c.benchmark_group("project_paper_scale");
     g.sample_size(10);
-    let acc = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        1023,
-        None,
-    )
+    let acc = Accelerator::builder(bop_core::devices::fpga()).arch(KernelArch::Optimized).precision(Precision::Double).n_steps(1023).build()
     .expect("builds");
     // Warm the calibration cache so the bench measures the replay.
     acc.calibrate().expect("calibrates");

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 /// Runtime error from an enqueued command.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum RuntimeError {
     /// Kernel execution failed (trap, out-of-bounds, divergence).
     Exec(ExecError),

@@ -1,0 +1,83 @@
+//! Service knobs: queue bound, batching policy, calibration probe.
+
+use std::time::Duration;
+
+/// Configuration of a [`crate::PricingService`].
+///
+/// | knob | meaning | default |
+/// |------|---------|---------|
+/// | `queue_capacity` | max queued requests before typed rejection | 64 |
+/// | `max_batch` | micro-batch target, in options | 32 |
+/// | `max_linger` | max wait of the oldest queued request | 2 ms |
+/// | `probe_batch` | batch size used to calibrate shard rates | 256 |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum number of requests held in the submission queue. A submit
+    /// beyond this bound returns [`bop_core::Error::Rejected`].
+    pub queue_capacity: usize,
+    /// Micro-batch target size in options. The batcher dispatches as
+    /// soon as this many options are queued (requests are split at batch
+    /// boundaries and reassembled transparently).
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request may linger before the
+    /// batcher dispatches a partial batch.
+    pub max_linger: Duration,
+    /// Probe batch size for calibrating each shard's marginal rate at
+    /// startup (the rates feed the scheduler's backlog/rate policy).
+    pub probe_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 32,
+            max_linger: Duration::from_millis(2),
+            probe_batch: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    /// [`bop_core::Error::Invalid`] on a zero capacity, batch size, or
+    /// probe size.
+    pub fn validate(&self) -> Result<(), bop_core::Error> {
+        if self.queue_capacity == 0 {
+            return Err(bop_core::Error::Invalid("queue_capacity must be at least 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(bop_core::Error::Invalid("max_batch must be at least 1".into()));
+        }
+        if self.probe_batch == 0 {
+            return Err(bop_core::Error::Invalid("probe_batch must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.queue_capacity, 64);
+        assert_eq!(c.max_batch, 32);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for cfg in [
+            ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+            ServeConfig { max_batch: 0, ..ServeConfig::default() },
+            ServeConfig { probe_batch: 0, ..ServeConfig::default() },
+        ] {
+            assert!(matches!(cfg.validate(), Err(bop_core::Error::Invalid(_))));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # bop-serve — a batching pricing service over a sharded accelerator pool
+//!
+//! The paper prices *batches*: its kernels amortize transfer and launch
+//! cost over thousands of options, and the energy story (options/J) only
+//! holds at batch scale. A real trading system, however, sees a stream of
+//! small requests. This crate bridges the two: it accepts individual
+//! pricing requests, coalesces them into micro-batches, and dispatches
+//! the batches across a pool of [`Accelerator`] shards scheduled by their
+//! calibrated marginal rates — the same rates that drive
+//! [`bop_core::weighted_shares`] in the offline cluster splitter.
+//!
+//! ```text
+//!  submit() ──► bounded queue ──► micro-batcher ──► shard scheduler
+//!    │            (capacity,        (max_batch,       (argmin of
+//!    │             typed reject)     max_linger)       backlog/rate)
+//!    ▼                                                     │
+//!  Ticket ◄───────── price aggregation ◄────────── shard workers
+//! ```
+//!
+//! Design points, each load-bearing for a test in `tests/serve.rs`:
+//!
+//! * **Backpressure is typed, never blocking.** A full queue returns
+//!   [`Error::Rejected`] with the observed depth and capacity; callers
+//!   decide whether to retry, shed, or route elsewhere.
+//! * **Requests linger in the queue.** The batcher only extracts work
+//!   when a full batch is ready, the oldest request has waited
+//!   `max_linger`, or the service is shutting down. Until then requests
+//!   count against `queue_capacity`, which makes rejection deterministic.
+//! * **Batching never changes prices.** Per-option prices are
+//!   independent of batch composition (each work-group prices one
+//!   option), so any batching policy is bit-identical to a direct
+//!   [`Accelerator::price`] call on the same device.
+//! * **Deadlines are enforced at dispatch.** An expired request fails
+//!   with [`Error::DeadlineExceeded`] instead of wasting shard time.
+//! * **Shutdown drains.** [`PricingService::shutdown`] flushes every
+//!   queued request through the shards before the workers exit.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bop_core::{Accelerator, KernelArch, Precision};
+//! use bop_finance::OptionParams;
+//! use bop_serve::{PricingService, ServeConfig};
+//!
+//! # fn main() -> Result<(), bop_core::Error> {
+//! let shards = (0..2)
+//!     .map(|_| {
+//!         Accelerator::builder(bop_core::devices::gpu())
+//!             .arch(KernelArch::Optimized)
+//!             .precision(Precision::Double)
+//!             .n_steps(64)
+//!             .build()
+//!     })
+//!     .collect::<Result<Vec<_>, _>>()?;
+//! let service = PricingService::start(shards, ServeConfig::default())?;
+//! let ticket = service.submit(vec![OptionParams::example()], None)?;
+//! let prices = ticket.wait()?;
+//! assert_eq!(prices.len(), 1);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod scheduler;
+pub mod service;
+
+pub use bop_core::{Accelerator, Error, Rejection};
+pub use config::ServeConfig;
+pub use scheduler::ShardScheduler;
+pub use service::{PricingService, Ticket};

@@ -1,0 +1,124 @@
+//! Rate-aware shard selection.
+//!
+//! The offline cluster splitter ([`bop_core::weighted_shares`]) divides a
+//! known batch proportionally to rates. A service cannot do that — work
+//! arrives one micro-batch at a time — so the online equivalent picks,
+//! per batch, the shard whose *completion horizon* `(backlog + batch) /
+//! rate` is smallest. Over a steady stream this converges to the same
+//! rate-proportional division the offline splitter computes.
+
+use std::sync::Mutex;
+
+/// Online scheduler over a pool of shards with calibrated rates.
+pub struct ShardScheduler {
+    rates: Vec<f64>,
+    pending: Mutex<Vec<u64>>,
+}
+
+impl ShardScheduler {
+    /// Build a scheduler from per-shard rates (options/s). Non-finite or
+    /// non-positive rates are tolerated with the same fallback as
+    /// [`bop_core::weighted_shares`]: if every rate is degenerate, the
+    /// shards are treated as equally fast.
+    pub fn new(rates: Vec<f64>) -> ShardScheduler {
+        let sane: Vec<f64> =
+            rates.iter().map(|&r| if r.is_finite() && r > 0.0 { r } else { 0.0 }).collect();
+        let total: f64 = sane.iter().sum();
+        let rates = if total > 0.0 {
+            // A degenerate shard in an otherwise sane pool gets a tiny
+            // but non-zero rate so it is last-resort rather than dead.
+            let floor = sane.iter().cloned().filter(|&r| r > 0.0).fold(f64::MAX, f64::min) * 1e-6;
+            sane.iter().map(|&r| if r > 0.0 { r } else { floor }).collect()
+        } else {
+            vec![1.0; sane.len()]
+        };
+        let pending = Mutex::new(vec![0; rates.len()]);
+        ShardScheduler { rates, pending }
+    }
+
+    /// Calibrated rates, options/s, in shard order.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Current backlog per shard, in options.
+    pub fn backlog(&self) -> Vec<u64> {
+        self.pending.lock().expect("scheduler lock").clone()
+    }
+
+    /// Choose the shard with the smallest completion horizon for a batch
+    /// of `n_options`, and record the batch against its backlog.
+    ///
+    /// # Panics
+    /// Panics on an empty pool (the service constructor forbids it).
+    pub fn pick(&self, n_options: usize) -> usize {
+        let mut pending = self.pending.lock().expect("scheduler lock");
+        let best = (0..self.rates.len())
+            .min_by(|&a, &b| {
+                let ha = (pending[a] + n_options as u64) as f64 / self.rates[a];
+                let hb = (pending[b] + n_options as u64) as f64 / self.rates[b];
+                ha.partial_cmp(&hb).expect("finite horizons").then(a.cmp(&b))
+            })
+            .expect("non-empty pool");
+        pending[best] += n_options as u64;
+        best
+    }
+
+    /// Mark `n_options` completed on `shard`, freeing its backlog.
+    pub fn complete(&self, shard: usize, n_options: usize) {
+        let mut pending = self.pending.lock().expect("scheduler lock");
+        pending[shard] = pending[shard].saturating_sub(n_options as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_pick_goes_to_the_fastest_shard() {
+        let s = ShardScheduler::new(vec![100.0, 2500.0, 700.0]);
+        assert_eq!(s.pick(8), 1);
+    }
+
+    #[test]
+    fn backlog_steers_work_away_from_a_busy_shard() {
+        let s = ShardScheduler::new(vec![1000.0, 1000.0]);
+        assert_eq!(s.pick(10), 0, "ties break to the lowest index");
+        assert_eq!(s.pick(10), 1, "the loaded shard is passed over");
+        s.complete(0, 10);
+        assert_eq!(s.pick(10), 0, "completion frees the shard");
+        assert_eq!(s.backlog(), vec![10, 10]);
+    }
+
+    #[test]
+    fn saturated_stream_converges_to_the_offline_split() {
+        // 3:1 rates; dispatch 400 options in batches of 4 while every
+        // shard keeps its backlog (a saturated pool). Equalizing the
+        // completion horizons divides the work like the offline
+        // weighted_shares split, within one batch.
+        let s = ShardScheduler::new(vec![300.0, 100.0]);
+        let mut totals = [0usize; 2];
+        for _ in 0..100 {
+            totals[s.pick(4)] += 4;
+        }
+        let offline = bop_core::weighted_shares(&[300.0, 100.0], 400);
+        assert!(
+            (totals[0] as i64 - offline[0] as i64).unsigned_abs() <= 4,
+            "online {totals:?} vs offline {offline:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_rates_do_not_divide_by_zero() {
+        let s = ShardScheduler::new(vec![0.0, f64::NAN]);
+        assert_eq!(s.rates(), &[1.0, 1.0]);
+        let shard = s.pick(1);
+        assert!(shard < 2);
+        // A single dead shard in a sane pool stays schedulable, but only
+        // as a last resort.
+        let s = ShardScheduler::new(vec![0.0, 500.0]);
+        assert!(s.rates()[0] > 0.0 && s.rates()[0] < s.rates()[1]);
+        assert_eq!(s.pick(4), 1);
+    }
+}

@@ -1,0 +1,595 @@
+//! The service itself: bounded submission queue, micro-batcher thread,
+//! one worker thread per shard, and price reassembly.
+//!
+//! Threading model:
+//!
+//! * `submit` runs on the caller's thread. It either enqueues the
+//!   request (bounded queue, never blocks) or returns a typed
+//!   rejection.
+//! * The **batcher** thread sleeps until a full batch's worth of options
+//!   is queued, the oldest request has lingered `max_linger`, or
+//!   shutdown starts; it then extracts one micro-batch (splitting
+//!   requests at the boundary), picks a shard by completion horizon, and
+//!   hands the batch over.
+//! * Each **shard worker** owns one [`Accelerator`]. It drops
+//!   past-deadline chunks with [`Error::DeadlineExceeded`], prices the
+//!   rest in a single `price` call, and scatters results back through
+//!   each request's aggregator.
+
+use crate::config::ServeConfig;
+use crate::scheduler::ShardScheduler;
+use bop_core::{Accelerator, Error, Rejection};
+use bop_finance::OptionParams;
+use bop_obs::MetricsRegistry;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Per-request reassembly state: chunks report back here, callers wait
+/// here.
+struct Aggregator {
+    submitted_at: Instant,
+    state: Mutex<AggState>,
+    done: Condvar,
+}
+
+struct AggState {
+    prices: Vec<f64>,
+    /// Options not yet priced or failed; 0 means the request finished.
+    remaining: usize,
+    /// First error wins; later chunks only decrement `remaining`.
+    error: Option<Error>,
+}
+
+impl Aggregator {
+    fn new(n_options: usize) -> Aggregator {
+        Aggregator {
+            submitted_at: Instant::now(),
+            state: Mutex::new(AggState {
+                prices: vec![0.0; n_options],
+                remaining: n_options,
+                error: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Record a priced chunk. Returns the request's final outcome when
+    /// this was the last outstanding chunk.
+    fn fill(&self, offset: usize, prices: &[f64]) -> Option<Result<(), Error>> {
+        let mut st = self.state.lock().expect("aggregator lock");
+        st.prices[offset..offset + prices.len()].copy_from_slice(prices);
+        st.remaining -= prices.len();
+        self.maybe_finish(&st)
+    }
+
+    /// Record a failed chunk of `n_options`.
+    fn fail(&self, n_options: usize, error: Error) -> Option<Result<(), Error>> {
+        let mut st = self.state.lock().expect("aggregator lock");
+        if st.error.is_none() {
+            st.error = Some(error);
+        }
+        st.remaining -= n_options;
+        self.maybe_finish(&st)
+    }
+
+    fn maybe_finish(&self, st: &AggState) -> Option<Result<(), Error>> {
+        if st.remaining > 0 {
+            return None;
+        }
+        self.done.notify_all();
+        Some(match &st.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        })
+    }
+
+    fn wait(&self) -> Result<Vec<f64>, Error> {
+        let mut st = self.state.lock().expect("aggregator lock");
+        while st.remaining > 0 {
+            st = self.done.wait(st).expect("aggregator lock");
+        }
+        match &st.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(std::mem::take(&mut st.prices)),
+        }
+    }
+}
+
+/// Handle to a submitted request.
+///
+/// Dropping the ticket abandons the result (the request still runs and
+/// is counted in the metrics); [`Ticket::wait`] blocks until the
+/// request's prices — in submission order — are ready.
+pub struct Ticket {
+    agg: Arc<Aggregator>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.agg.state.lock().expect("aggregator lock");
+        f.debug_struct("Ticket")
+            .field("n_options", &st.prices.len())
+            .field("remaining", &st.remaining)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the request finishes.
+    ///
+    /// # Errors
+    /// [`Error::DeadlineExceeded`] if the request outlived its deadline
+    /// in the queue; any shard pricing error otherwise.
+    pub fn wait(self) -> Result<Vec<f64>, Error> {
+        self.agg.wait()
+    }
+}
+
+/// A slice of one request, bound for a single micro-batch.
+struct Chunk {
+    options: Vec<OptionParams>,
+    /// Offset of this chunk inside its request's price vector.
+    offset: usize,
+    deadline: Option<Instant>,
+    agg: Arc<Aggregator>,
+}
+
+struct Batch {
+    chunks: Vec<Chunk>,
+    n_options: usize,
+}
+
+struct PendingRequest {
+    options: Vec<OptionParams>,
+    /// Options before `cursor` have already been extracted into batches.
+    cursor: usize,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
+    agg: Arc<Aggregator>,
+}
+
+struct QueueState {
+    queue: VecDeque<PendingRequest>,
+    queued_options: usize,
+    shutting_down: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+struct ShardQueue {
+    state: Mutex<ShardQueueState>,
+    ready: Condvar,
+}
+
+struct ShardQueueState {
+    batches: VecDeque<Batch>,
+    closed: bool,
+}
+
+impl ShardQueue {
+    fn new() -> ShardQueue {
+        ShardQueue {
+            state: Mutex::new(ShardQueueState { batches: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, batch: Batch) {
+        let mut st = self.state.lock().expect("shard queue lock");
+        st.batches.push_back(batch);
+        self.ready.notify_one();
+    }
+
+    /// Blocking pop; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Batch> {
+        let mut st = self.state.lock().expect("shard queue lock");
+        loop {
+            if let Some(batch) = st.batches.pop_front() {
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("shard queue lock");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("shard queue lock");
+        st.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running pricing service. See the crate docs for the pipeline.
+pub struct PricingService {
+    shared: Arc<Shared>,
+    scheduler: Arc<ShardScheduler>,
+    metrics: Arc<MetricsRegistry>,
+    shard_queues: Vec<Arc<ShardQueue>>,
+    batcher: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl PricingService {
+    /// Start a service over `shards` with a fresh metrics registry.
+    ///
+    /// # Errors
+    /// [`Error::Invalid`] on an empty pool, mismatched lattices, or bad
+    /// config; calibration failures propagate.
+    pub fn start(shards: Vec<Accelerator>, config: ServeConfig) -> Result<PricingService, Error> {
+        PricingService::start_with_metrics(shards, config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Start a service publishing into an existing metrics registry.
+    ///
+    /// # Errors
+    /// As [`PricingService::start`].
+    pub fn start_with_metrics(
+        shards: Vec<Accelerator>,
+        config: ServeConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<PricingService, Error> {
+        config.validate()?;
+        if shards.is_empty() {
+            return Err(Error::Invalid("empty shard pool".into()));
+        }
+        let n = shards[0].n_steps();
+        let p = shards[0].precision();
+        if shards.iter().any(|a| a.n_steps() != n || a.precision() != p) {
+            return Err(Error::Invalid("shards must share lattice size and precision".into()));
+        }
+        // Calibrate each shard's marginal rate on the probe batch — the
+        // same rates MultiAccelerator::split uses to divide a batch.
+        let rates: Vec<f64> = shards
+            .iter()
+            .map(|a| a.project(config.probe_batch).map(|p| p.options_per_s))
+            .collect::<Result<_, _>>()?;
+        for (i, rate) in rates.iter().enumerate() {
+            metrics.set_gauge(
+                "serve.shard.rate_options_per_s",
+                &[("shard", &i.to_string())],
+                *rate,
+            );
+        }
+        let scheduler = Arc::new(ShardScheduler::new(rates));
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                queued_options: 0,
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let shard_queues: Vec<Arc<ShardQueue>> =
+            shards.iter().map(|_| Arc::new(ShardQueue::new())).collect();
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, acc)| {
+                let queue = shard_queues[i].clone();
+                let scheduler = scheduler.clone();
+                let metrics = metrics.clone();
+                thread::spawn(move || worker_loop(i, acc, &queue, &scheduler, &metrics))
+            })
+            .collect();
+        let batcher = {
+            let shared = shared.clone();
+            let scheduler = scheduler.clone();
+            let shard_queues = shard_queues.clone();
+            let metrics = metrics.clone();
+            thread::spawn(move || batcher_loop(&shared, &scheduler, &shard_queues, &metrics))
+        };
+        Ok(PricingService {
+            shared,
+            scheduler,
+            metrics,
+            shard_queues,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// Submit a pricing request; never blocks.
+    ///
+    /// `deadline`, when given, is measured from now: a request still
+    /// undispatched past it fails with [`Error::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// [`Error::Rejected`] when the queue is full or the service is
+    /// shutting down; [`Error::Invalid`] on an empty request.
+    pub fn submit(
+        &self,
+        options: Vec<OptionParams>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Error> {
+        if options.is_empty() {
+            return Err(Error::Invalid("empty request".into()));
+        }
+        let n_options = options.len();
+        let mut st = self.shared.state.lock().expect("service lock");
+        if st.shutting_down {
+            self.metrics.inc("serve.requests.rejected", &[("reason", "shutdown")], 1);
+            return Err(Error::Rejected(Rejection {
+                depth: st.queue.len(),
+                capacity: self.shared.config.queue_capacity,
+                shutting_down: true,
+            }));
+        }
+        if st.queue.len() >= self.shared.config.queue_capacity {
+            self.metrics.inc("serve.requests.rejected", &[("reason", "full")], 1);
+            return Err(Error::Rejected(Rejection {
+                depth: st.queue.len(),
+                capacity: self.shared.config.queue_capacity,
+                shutting_down: false,
+            }));
+        }
+        let agg = Arc::new(Aggregator::new(n_options));
+        st.queue.push_back(PendingRequest {
+            options,
+            cursor: 0,
+            deadline: deadline.map(|d| Instant::now() + d),
+            enqueued_at: Instant::now(),
+            agg: agg.clone(),
+        });
+        st.queued_options += n_options;
+        self.metrics.inc("serve.requests.accepted", &[], 1);
+        publish_queue_gauges(&self.metrics, &st);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { agg })
+    }
+
+    /// Submit and wait: the synchronous convenience path.
+    ///
+    /// # Errors
+    /// As [`PricingService::submit`] and [`Ticket::wait`].
+    pub fn price(&self, options: Vec<OptionParams>) -> Result<Vec<f64>, Error> {
+        self.submit(options, None)?.wait()
+    }
+
+    /// The service's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The shard scheduler (rates and live backlog).
+    pub fn scheduler(&self) -> &ShardScheduler {
+        &self.scheduler
+    }
+
+    /// Number of shards in the pool.
+    pub fn n_shards(&self) -> usize {
+        self.shard_queues.len()
+    }
+
+    /// Stop accepting work, drain every queued request through the
+    /// shards, and join all threads. Equivalent to dropping the service,
+    /// but explicit at call sites.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            if st.shutting_down && self.batcher.is_none() {
+                return;
+            }
+            st.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        // The batcher exits only once the submission queue is drained;
+        // closing the shard queues now lets workers finish the backlog.
+        for queue in &self.shard_queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.metrics.set_gauge("serve.queue.depth", &[], 0.0);
+        self.metrics.set_gauge("serve.queue.options", &[], 0.0);
+    }
+}
+
+impl Drop for PricingService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn publish_queue_gauges(metrics: &MetricsRegistry, st: &QueueState) {
+    metrics.set_gauge("serve.queue.depth", &[], st.queue.len() as f64);
+    metrics.set_gauge("serve.queue.options", &[], st.queued_options as f64);
+}
+
+/// Extract up to `max_batch` options from the queue front, splitting the
+/// boundary request if needed.
+fn extract(st: &mut QueueState, max_batch: usize) -> Batch {
+    let mut chunks = Vec::new();
+    let mut n_options = 0;
+    while n_options < max_batch {
+        let Some(req) = st.queue.front_mut() else { break };
+        let take = (req.options.len() - req.cursor).min(max_batch - n_options);
+        chunks.push(Chunk {
+            options: req.options[req.cursor..req.cursor + take].to_vec(),
+            offset: req.cursor,
+            deadline: req.deadline,
+            agg: req.agg.clone(),
+        });
+        req.cursor += take;
+        n_options += take;
+        st.queued_options -= take;
+        if req.cursor == req.options.len() {
+            st.queue.pop_front();
+        }
+    }
+    Batch { chunks, n_options }
+}
+
+fn batcher_loop(
+    shared: &Shared,
+    scheduler: &ShardScheduler,
+    shard_queues: &[Arc<ShardQueue>],
+    metrics: &MetricsRegistry,
+) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("service lock");
+            loop {
+                if st.queue.is_empty() {
+                    if st.shutting_down {
+                        return; // fully drained
+                    }
+                    st = shared.work_ready.wait(st).expect("service lock");
+                    continue;
+                }
+                let oldest = st.queue.front().expect("non-empty").enqueued_at;
+                if st.queued_options >= shared.config.max_batch
+                    || oldest.elapsed() >= shared.config.max_linger
+                    || st.shutting_down
+                {
+                    break;
+                }
+                let linger_left = shared.config.max_linger.saturating_sub(oldest.elapsed());
+                let (guard, _) =
+                    shared.work_ready.wait_timeout(st, linger_left).expect("service lock");
+                st = guard;
+            }
+            let batch = extract(&mut st, shared.config.max_batch);
+            publish_queue_gauges(metrics, &st);
+            batch
+        };
+        metrics.observe("serve.batch.options", &[], batch.n_options as f64);
+        let shard = scheduler.pick(batch.n_options);
+        shard_queues[shard].push(batch);
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    accelerator: Accelerator,
+    queue: &ShardQueue,
+    scheduler: &ShardScheduler,
+    metrics: &MetricsRegistry,
+) {
+    let label = shard.to_string();
+    while let Some(batch) = queue.pop() {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.chunks.len());
+        for chunk in batch.chunks {
+            match chunk.deadline {
+                Some(deadline) if now > deadline => {
+                    let missed_by_s = (now - deadline).as_secs_f64();
+                    let outcome = chunk
+                        .agg
+                        .fail(chunk.options.len(), Error::DeadlineExceeded { missed_by_s });
+                    record_finish(outcome, &chunk.agg, metrics);
+                }
+                _ => live.push(chunk),
+            }
+        }
+        if !live.is_empty() {
+            let options: Vec<OptionParams> =
+                live.iter().flat_map(|c| c.options.iter().copied()).collect();
+            match accelerator.price(&options) {
+                Ok(run) => {
+                    let mut offset = 0;
+                    for chunk in &live {
+                        let prices = &run.prices[offset..offset + chunk.options.len()];
+                        offset += chunk.options.len();
+                        record_finish(chunk.agg.fill(chunk.offset, prices), &chunk.agg, metrics);
+                    }
+                    metrics.inc("serve.shard.options", &[("shard", &label)], options.len() as u64);
+                    metrics.inc("serve.shard.batches", &[("shard", &label)], 1);
+                }
+                Err(error) => {
+                    for chunk in &live {
+                        record_finish(
+                            chunk.agg.fail(chunk.options.len(), error.clone()),
+                            &chunk.agg,
+                            metrics,
+                        );
+                    }
+                }
+            }
+        }
+        scheduler.complete(shard, batch.n_options);
+    }
+}
+
+fn record_finish(outcome: Option<Result<(), Error>>, agg: &Aggregator, metrics: &MetricsRegistry) {
+    match outcome {
+        None => {}
+        Some(Ok(())) => {
+            metrics.inc("serve.requests.completed", &[], 1);
+            metrics.observe("serve.latency_s", &[], agg.submitted_at.elapsed().as_secs_f64());
+        }
+        Some(Err(Error::DeadlineExceeded { .. })) => {
+            metrics.inc("serve.requests.deadline_exceeded", &[], 1);
+        }
+        Some(Err(_)) => {
+            metrics.inc("serve.requests.failed", &[], 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_reassembles_out_of_order_chunks() {
+        let agg = Aggregator::new(5);
+        assert!(agg.fill(3, &[4.0, 5.0]).is_none());
+        let outcome = agg.fill(0, &[1.0, 2.0, 3.0]).expect("finished");
+        assert!(outcome.is_ok());
+        assert_eq!(agg.wait().expect("ok"), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn first_chunk_error_wins_and_poisons_the_request() {
+        let agg = Aggregator::new(4);
+        assert!(agg.fail(2, Error::DeadlineExceeded { missed_by_s: 0.5 }).is_none());
+        let outcome = agg.fill(2, &[1.0, 2.0]).expect("finished");
+        assert!(matches!(outcome, Err(Error::DeadlineExceeded { .. })));
+        assert!(
+            matches!(agg.wait(), Err(Error::DeadlineExceeded { missed_by_s }) if missed_by_s == 0.5)
+        );
+    }
+
+    #[test]
+    fn extract_splits_requests_at_the_batch_boundary() {
+        let mk = |n: usize| PendingRequest {
+            options: vec![bop_finance::OptionParams::example(); n],
+            cursor: 0,
+            deadline: None,
+            enqueued_at: Instant::now(),
+            agg: Arc::new(Aggregator::new(n)),
+        };
+        let mut st = QueueState {
+            queue: VecDeque::from([mk(3), mk(4)]),
+            queued_options: 7,
+            shutting_down: false,
+        };
+        let batch = extract(&mut st, 5);
+        assert_eq!(batch.n_options, 5);
+        assert_eq!(batch.chunks.len(), 2, "request two is split");
+        assert_eq!(batch.chunks[1].offset, 0);
+        assert_eq!(st.queue.len(), 1, "split request stays queued");
+        assert_eq!(st.queued_options, 2);
+        let rest = extract(&mut st, 5);
+        assert_eq!(rest.n_options, 2);
+        assert_eq!(rest.chunks[0].offset, 2, "tail chunk remembers its offset");
+        assert!(st.queue.is_empty());
+    }
+}

@@ -10,20 +10,16 @@ use bop_core::{Accelerator, KernelArch, MultiAccelerator, Precision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_steps = 256;
-    let fpga = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )?;
-    let gpu = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )?;
+    let fpga = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
+    let gpu = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
     let solo: Vec<(String, f64)> = [&fpga, &gpu]
         .iter()
         .map(|a| {

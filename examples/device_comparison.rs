@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Kernel IV.B / Terasic DE4 (FPGA)", bop_core::devices::fpga()),
         ("Kernel IV.B / GTX660 (GPU)", bop_core::devices::gpu()),
     ] {
-        let acc =
-            Accelerator::new(device, KernelArch::Optimized, Precision::Double, n_steps, None)?;
+        let acc = Accelerator::builder(device)
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(n_steps)
+            .build()?;
         let projection = acc.project(batch)?;
         let run = acc.price(&options)?;
         println!(

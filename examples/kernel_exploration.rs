@@ -22,13 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for unroll in [1u32, 2, 4] {
             let build =
                 BuildOptions { simd, compute_units: 1, unroll: Some(unroll), ..Default::default() };
-            match Accelerator::new(
-                bop_core::devices::fpga(),
-                KernelArch::Optimized,
-                Precision::Double,
-                n_steps,
-                Some(build),
-            ) {
+            match Accelerator::builder(bop_core::devices::fpga())
+                .arch(KernelArch::Optimized)
+                .precision(Precision::Double)
+                .n_steps(n_steps)
+                .build_options(build)
+                .build()
+            {
                 Ok(acc) => {
                     let report = acc.report().clone();
                     let projection = acc.project(500)?;
@@ -54,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FpgaPart::ep4sgx230(),
         bop_clir::mathlib::DeviceMath::altera_13_0(),
     );
-    match Accelerator::new(small, KernelArch::Optimized, Precision::Double, n_steps, None) {
+    match Accelerator::builder(small)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+    {
         Ok(acc) => {
             let r = acc.report();
             println!(

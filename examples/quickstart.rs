@@ -29,8 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // with the published build options (unroll x2, vectorization x4).
     let n_steps = 256;
     let fpga = bop_core::devices::fpga();
-    let accelerator =
-        Accelerator::new(fpga, KernelArch::Optimized, Precision::Double, n_steps, None)?;
+    let accelerator = Accelerator::builder(fpga)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
 
     // The build report is the Table I story in miniature.
     let report = accelerator.report();

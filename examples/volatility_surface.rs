@@ -17,8 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let displayed = 9;
 
     let fpga = bop_core::devices::fpga();
-    let accelerator =
-        Accelerator::new(fpga, KernelArch::Optimized, Precision::Double, n_steps, None)?;
+    let accelerator = Accelerator::builder(fpga)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()?;
 
     // Check the trader's latency budget at paper scale first.
     let projection = accelerator.project(2000)?;

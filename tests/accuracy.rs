@@ -9,14 +9,12 @@ use bop_finance::{workload, OptionParams};
 fn full_scale_price_rmse_is_about_1e_minus_3_on_the_buggy_fpga() {
     // The headline accuracy number of the paper's Table II: kernel IV.B on
     // the 13.0 FPGA shows an RMSE of ~1e-3 at N = 1024.
-    let acc = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        PAPER_STEPS,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(PAPER_STEPS)
+        .build()
+        .expect("builds");
     let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 9);
     let run = acc.price(&options).expect("prices");
     assert!(
@@ -28,14 +26,12 @@ fn full_scale_price_rmse_is_about_1e_minus_3_on_the_buggy_fpga() {
 
 #[test]
 fn sp1_compiler_fixes_the_full_scale_rmse() {
-    let acc = Accelerator::new(
-        bop_core::devices::fpga_sp1(),
-        KernelArch::Optimized,
-        Precision::Double,
-        PAPER_STEPS,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::fpga_sp1())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(PAPER_STEPS)
+        .build()
+        .expect("builds");
     let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 9);
     let run = acc.price(&options).expect("prices");
     assert!(run.rmse < 1e-9, "SP1 pow is accurate: {:.2e}", run.rmse);

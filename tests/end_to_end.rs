@@ -19,7 +19,11 @@ fn every_arch_on_every_device_prices_correctly() {
         {
             let device = device_fn();
             let name = device.info().name.clone();
-            let acc = Accelerator::new(device, arch, Precision::Double, n_steps, None)
+            let acc = Accelerator::builder(device)
+                .arch(arch)
+                .precision(Precision::Double)
+                .n_steps(n_steps)
+                .build()
                 .unwrap_or_else(|e| panic!("{arch} on {name}: {e}"));
             let run = acc.price(&options).unwrap_or_else(|e| panic!("{arch} on {name}: {e}"));
             for (price, option) in run.prices.iter().zip(&options) {
@@ -40,15 +44,17 @@ fn both_kernel_architectures_agree_with_each_other() {
     let n_steps = 64;
     let options = batch(6, 2);
     let gpu = bop_core::devices::gpu();
-    let a = Accelerator::new(
-        gpu.clone(),
-        KernelArch::Straightforward,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
-    let b = Accelerator::new(gpu, KernelArch::Optimized, Precision::Double, n_steps, None)
+    let a = Accelerator::builder(gpu.clone())
+        .arch(KernelArch::Straightforward)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
+    let b = Accelerator::builder(gpu)
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
         .expect("builds");
     let run_a = a.price(&options).expect("IV.A prices");
     let run_b = b.price(&options).expect("IV.B prices");
@@ -61,14 +67,12 @@ fn both_kernel_architectures_agree_with_each_other() {
 fn single_precision_tracks_the_f32_reference() {
     let n_steps = 64;
     let options = batch(4, 3);
-    let acc = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Single,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Single)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let run = acc.price(&options).expect("prices");
     for (price, option) in run.prices.iter().zip(&options) {
         let f32_ref = price_american_f32(option, n_steps) as f64;
@@ -87,14 +91,12 @@ fn puts_and_european_payoffs_work_through_the_kernels() {
     let n_steps = 64;
     let mut put = OptionParams::example();
     put.kind = OptionKind::Put;
-    let acc = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let run = acc.price(&[put]).expect("prices");
     let reference = price_american_f64(&put, n_steps);
     assert!((run.prices[0] - reference).abs() < 1e-9, "{} vs {reference}", run.prices[0]);
@@ -115,18 +117,19 @@ fn reduced_read_variant_matches_full_read_prices() {
     let n_steps = 32;
     let options = batch(5, 4);
     let gpu = bop_core::devices::gpu();
-    let naive = Accelerator::new(
-        gpu.clone(),
-        KernelArch::Straightforward,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
-    let modified =
-        Accelerator::new(gpu, KernelArch::Straightforward, Precision::Double, n_steps, None)
-            .expect("builds")
-            .with_reduced_reads();
+    let naive = Accelerator::builder(gpu.clone())
+        .arch(KernelArch::Straightforward)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
+    let modified = Accelerator::builder(gpu)
+        .arch(KernelArch::Straightforward)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .reduced_reads()
+        .build()
+        .expect("builds");
     let run_full = naive.price(&options).expect("prices");
     let run_fast = modified.price(&options).expect("prices");
     assert_eq!(run_full.prices, run_fast.prices, "read strategy cannot change results");
@@ -144,14 +147,12 @@ fn european_kernel_converges_to_black_scholes_through_the_whole_stack() {
         o.style = ExerciseStyle::European;
     }
     let n_steps = 256;
-    let acc = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::OptimizedEuropean,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::OptimizedEuropean)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let run = acc.price(&options).expect("prices");
     assert!(run.rmse < 1e-10, "kernel matches the European lattice reference: {}", run.rmse);
     for (price, option) in run.prices.iter().zip(&options) {
@@ -167,24 +168,20 @@ fn european_kernel_differs_from_american_for_puts() {
     put.kind = OptionKind::Put;
     put.style = ExerciseStyle::European; // reference style for the European arch
     let n_steps = 128;
-    let euro = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::OptimizedEuropean,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let euro = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::OptimizedEuropean)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let mut amer_put = put;
     amer_put.style = ExerciseStyle::American;
-    let amer = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let amer = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let p_euro = euro.price(&[put]).expect("prices").prices[0];
     let p_amer = amer.price(&[amer_put]).expect("prices").prices[0];
     assert!(

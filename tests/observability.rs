@@ -14,7 +14,11 @@ use bop_ocl::queue::{CommandKind, TraceEntry};
 use std::sync::Arc;
 
 fn traced_run(arch: KernelArch, n_steps: usize, n_options: usize) -> (Vec<TraceEntry>, Json) {
-    let acc = Accelerator::new(bop_core::devices::fpga(), arch, Precision::Double, n_steps, None)
+    let acc = Accelerator::builder(bop_core::devices::fpga())
+        .arch(arch)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
         .expect("builds");
     let options = vec![OptionParams::example(); n_options];
     // price_traced leaves the trace on a queue we no longer hold, so
@@ -207,14 +211,12 @@ fn host_spans_bracket_their_commands() {
 
 #[test]
 fn trace_cap_disable_and_clear_control_retention() {
-    let acc = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Double,
-        16,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(16)
+        .build()
+        .expect("builds");
     // Traced runs retain entries; plain runs on a fresh queue do not.
     let (_, chrome) = acc.price_traced(&[OptionParams::example()]).expect("prices");
     assert!(!chrome.get("traceEvents").and_then(Json::as_arr).expect("events").is_empty());
@@ -253,15 +255,13 @@ fn trace_cap_disable_and_clear_control_retention() {
 #[test]
 fn metrics_registry_sees_the_whole_run() {
     let registry = Arc::new(MetricsRegistry::new());
-    let acc = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        32,
-        None,
-    )
-    .expect("builds")
-    .with_metrics(registry.clone());
+    let acc = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(32)
+        .metrics(registry.clone())
+        .build()
+        .expect("builds");
     acc.price(&[OptionParams::example(), OptionParams::example()]).expect("prices");
 
     // Device gauges are set immediately at attach time (DE4 TDP: 17 W).

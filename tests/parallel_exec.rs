@@ -229,17 +229,14 @@ fn copy_and_fill_bounds() {
 #[test]
 fn accelerator_worker_knob_is_wall_clock_only() {
     let price = |workers: Option<usize>| {
-        let mut acc = bop_core::Accelerator::new(
-            devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            32,
-            None,
-        )
-        .expect("builds");
+        let mut builder = bop_core::Accelerator::builder(devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(32);
         if let Some(w) = workers {
-            acc = acc.with_workers(w);
+            builder = builder.workers(w);
         }
+        let acc = builder.build().expect("builds");
         acc.price(&[OptionParams::example(); 6]).expect("prices")
     };
     let seq = price(Some(1));

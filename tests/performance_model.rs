@@ -65,14 +65,12 @@ fn projected_throughputs_track_paper_table_two() {
     // The full per-column assertions (ordering, factor-2 magnitude) run in
     // bop-core's unit tests at a reduced RMSE lattice; here, spot-check
     // the two headline throughput anchors at full lattice size.
-    let fpga = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        table2::PAPER_STEPS,
-        None,
-    )
-    .expect("builds");
+    let fpga = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(table2::PAPER_STEPS)
+        .build()
+        .expect("builds");
     let projection = fpga.project(2000).expect("projects");
     let ratio = projection.options_per_s / 2400.0;
     assert!(
@@ -93,17 +91,15 @@ fn projected_throughputs_track_paper_table_two() {
 fn throughput_scales_inversely_with_tree_area() {
     // Halving N quarters the work: throughput should roughly quadruple.
     let rate_at = |n: usize| {
-        Accelerator::new(
-            bop_core::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            n,
-            None,
-        )
-        .expect("builds")
-        .project(500)
-        .expect("projects")
-        .options_per_s
+        Accelerator::builder(bop_core::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(n)
+            .build()
+            .expect("builds")
+            .project(500)
+            .expect("projects")
+            .options_per_s
     };
     let slow = rate_at(512);
     let fast = rate_at(256);
@@ -121,14 +117,13 @@ fn vectorization_scales_fpga_throughput_sublinearly_in_clock() {
     let with_simd = |simd: u32| {
         let build =
             bop_ocl::BuildOptions { simd, compute_units: 1, unroll: Some(2), ..Default::default() };
-        let acc = Accelerator::new(
-            bop_core::devices::fpga(),
-            KernelArch::Optimized,
-            Precision::Double,
-            256,
-            Some(build),
-        )
-        .expect("builds");
+        let acc = Accelerator::builder(bop_core::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(256)
+            .build_options(build)
+            .build()
+            .expect("builds");
         let report = acc.report().clone();
         (acc.project(500).expect("projects").options_per_s, report.clock_hz)
     };
@@ -145,14 +140,12 @@ fn projection_and_functional_timing_agree_at_small_scale() {
     // must match the simulated-clock throughput of a real run (same
     // models, same command stream).
     let n_steps = 64;
-    let acc = Accelerator::new(
-        bop_core::devices::gpu(),
-        KernelArch::Optimized,
-        Precision::Double,
-        n_steps,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build()
+        .expect("builds");
     let options = vec![bop_finance::OptionParams::example(); 16];
     let functional = acc.price(&options).expect("prices");
     let projected = acc.project(16).expect("projects");

@@ -45,14 +45,12 @@ fn ping_pong_buffers_are_independent() {
 
 #[test]
 fn command_stream_timestamps_are_in_order_and_disjoint() {
-    let acc = Accelerator::new(
-        bop_core::devices::fpga(),
-        KernelArch::Optimized,
-        Precision::Double,
-        32,
-        None,
-    )
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(32)
+        .build()
+        .expect("builds");
     let run = acc.price(&[OptionParams::example(); 3]).expect("prices");
     assert!(run.elapsed_s > 0.0);
     assert!(run.device_busy_s > 0.0);
