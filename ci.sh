@@ -32,4 +32,11 @@ echo "== serve_load smoke =="
 ./target/release/serve_load --requests 40 --rate 5000 --shards 2 --seed 7 --json \
   | grep -q '"experiment":"serve_load"'
 
+# Smoke-run both kernel execution engines against each other: the run
+# asserts bit-identical prices/stats/counters/traces internally and
+# prints the determinism marker only when every comparison held.
+echo "== interp_throughput engine determinism smoke =="
+./target/release/interp_throughput --fast --engine both --json 2>&1 \
+  | grep -q 'determinism check: PASS'
+
 echo "CI: all gates passed"

@@ -17,6 +17,7 @@ struct Args {
     build: BuildOptions,
     defines: Vec<(String, String)>,
     dump_ir: bool,
+    dump_bytecode: bool,
     part: String,
 }
 
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         build: BuildOptions::default(),
         defines: Vec::new(),
         dump_ir: false,
+        dump_bytecode: false,
         part: "ep4sgx530".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
             "--cse" => args.build.cse = true,
             "--no-opt" => args.build.no_opt = true,
             "--dump-ir" => args.dump_ir = true,
+            "--dump-bytecode" => args.dump_bytecode = true,
             "--part" => args.part = value("--part")?,
             "--define" | "-D" => {
                 let d = value("--define")?;
@@ -56,8 +59,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: aoc <file.cl> [--simd N] [--cu N] [--unroll N] \
-                            [--cse] [--no-opt] [--dump-ir] [--part ep4sgx530|ep4sgx230] \
-                            [--define NAME=VALUE]..."
+                            [--cse] [--no-opt] [--dump-ir] [--dump-bytecode] \
+                            [--part ep4sgx530|ep4sgx230] [--define NAME=VALUE]..."
                     .into())
             }
             other if !other.starts_with('-') && args.path.is_empty() => args.path = a,
@@ -153,9 +156,20 @@ fn main() -> ExitCode {
     println!("; Estimated power    : {:>12.1} W", report.power_watts);
     println!("; Kernels            : {}", report.kernels.join(", "));
 
+    println!("\n;---- Optimisation passes -----------------------------------");
+    print!("{}", program.pass_report());
+
     if args.dump_ir {
         println!("\n;---- Lowered IR --------------------------------------------");
         print!("{}", program.module());
+    }
+    if args.dump_bytecode {
+        println!("\n;---- Register bytecode -------------------------------------");
+        for name in &report.kernels {
+            if let Some(compiled) = program.compiled_kernel(name) {
+                print!("{compiled}");
+            }
+        }
     }
     ExitCode::SUCCESS
 }

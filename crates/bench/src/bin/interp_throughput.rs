@@ -2,13 +2,16 @@
 //!
 //! Runs the paper's kernel IV.B host program (one work-group per option,
 //! so a batch is a multi-group dispatch) at several simulation worker
-//! counts, checks that prices, merged `ExecStats`, `QueueCounters` and
-//! the exported Chrome trace are bit-identical to the sequential
-//! executor, and reports the wall-clock speedup. Parallelism is a
-//! wall-clock knob only: the simulated device clock never changes.
+//! counts on the selected execution engine(s), checks that prices,
+//! merged `ExecStats`, `QueueCounters` and the exported Chrome trace are
+//! bit-identical across worker counts *and* across the tree-walking and
+//! bytecode engines, and reports the wall-clock speedups. Both knobs are
+//! wall-clock only: the simulated device clock never changes.
 //!
-//! Pass `--fast` for a smaller lattice/batch, `--json-out <path>` /
-//! `--json` for the machine-readable report.
+//! Pass `--engine walk|bytecode|both` (default `both`) to pick the
+//! engine(s), `--fast` for a smaller lattice/batch, `--json-out <path>` /
+//! `--json` for the machine-readable report. On success the determinism
+//! check prints `determinism check: PASS` to stderr (grepped by CI).
 
 use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::hostprog::optimized::OptimizedHost;
@@ -16,7 +19,7 @@ use bop_core::{devices, KernelArch, Precision};
 use bop_finance::types::OptionParams;
 use bop_finance::workload;
 use bop_obs::ExperimentReport;
-use bop_ocl::{BuildOptions, CommandQueue, Context, Program};
+use bop_ocl::{BuildOptions, CommandQueue, Context, Engine, Program};
 
 struct RunResult {
     wall_s: f64,
@@ -27,11 +30,12 @@ struct RunResult {
     chrome: String,
 }
 
-fn run_once(n_steps: usize, options: &[OptionParams], workers: usize) -> RunResult {
+fn run_once(n_steps: usize, options: &[OptionParams], workers: usize, engine: Engine) -> RunResult {
     let arch = KernelArch::Optimized;
     let ctx = Context::new(devices::gpu());
     let queue = CommandQueue::new(&ctx);
     queue.set_workers(workers);
+    queue.set_engine(engine);
     queue.enable_trace();
     let program = Program::from_source(
         &ctx,
@@ -59,15 +63,57 @@ fn run_once(n_steps: usize, options: &[OptionParams], workers: usize) -> RunResu
     }
 }
 
+fn sweep(
+    n_steps: usize,
+    options: &[OptionParams],
+    counts: &[usize],
+    engine: Engine,
+) -> Vec<(usize, RunResult)> {
+    // Best of three runs per count, so one scheduling hiccup does not
+    // distort the speedup table.
+    let mut results = Vec::new();
+    for &w in counts {
+        let mut best: Option<RunResult> = None;
+        for _ in 0..3 {
+            let r = run_once(n_steps, options, w, engine);
+            if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+                best = Some(r);
+            }
+        }
+        results.push((w, best.expect("at least one run")));
+    }
+    results
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = ReportOpts::from_env();
     let timer = Stopwatch::start();
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = args.iter().any(|a| a == "--fast");
+    let engines: Vec<Engine> = match args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("both")
+    {
+        "both" => vec![Engine::Walk, Engine::Bytecode],
+        other => match bop_ocl::queue::parse_engine(other) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("--engine expects walk|bytecode|both, got `{other}`");
+                std::process::exit(2);
+            }
+        },
+    };
     let (n_steps, n_options) = if fast { (64, 32) } else { (128, 96) };
     let options =
         workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, n_options);
+    let names: Vec<String> = engines.iter().map(|e| e.to_string()).collect();
     eprintln!(
-        "interpreting IV.B: {n_options} options ({n_options} work-groups), {n_steps} steps..."
+        "interpreting IV.B: {n_options} options ({n_options} work-groups), {n_steps} steps, \
+         engine(s): {}...",
+        names.join(", ")
     );
 
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -75,50 +121,84 @@ fn main() {
     counts.sort_unstable();
     counts.dedup();
 
-    // Best of three runs per count, so one scheduling hiccup does not
-    // distort the speedup table.
-    let mut results: Vec<(usize, RunResult)> = Vec::new();
-    for &w in &counts {
-        let mut best: Option<RunResult> = None;
-        for _ in 0..3 {
-            let r = run_once(n_steps, &options, w);
-            if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
-                best = Some(r);
-            }
-        }
-        results.push((w, best.expect("at least one run")));
-    }
+    let sweeps: Vec<(Engine, Vec<(usize, RunResult)>)> =
+        engines.iter().map(|&e| (e, sweep(n_steps, &options, &counts, e))).collect();
 
-    let base = &results[0].1;
-    for (w, r) in &results[1..] {
-        assert_eq!(r.prices, base.prices, "prices must not depend on worker count ({w})");
-        assert_eq!(r.stats, base.stats, "ExecStats must not depend on worker count ({w})");
-        assert_eq!(r.counters, base.counters, "counters must not depend on worker count ({w})");
-        assert_eq!(r.chrome, base.chrome, "traces must not depend on worker count ({w})");
-        assert_eq!(r.sim_s, base.sim_s, "simulated time must not depend on worker count ({w})");
+    // Determinism: bit-identical across worker counts within an engine,
+    // and across engines at every worker count.
+    let reference = &sweeps[0].1[0].1;
+    for (engine, results) in &sweeps {
+        for (w, r) in results {
+            let at = format!("engine {engine}, {w} worker(s)");
+            assert_eq!(r.prices, reference.prices, "prices must be bit-identical ({at})");
+            assert_eq!(r.stats, reference.stats, "ExecStats must be bit-identical ({at})");
+            assert_eq!(r.counters, reference.counters, "counters must be bit-identical ({at})");
+            assert_eq!(r.chrome, reference.chrome, "traces must be bit-identical ({at})");
+            assert_eq!(r.sim_s, reference.sim_s, "simulated time must be bit-identical ({at})");
+        }
     }
+    eprintln!(
+        "determinism check: PASS — prices, stats, counters and traces bit-identical \
+         across {} engine(s) and {} worker count(s)",
+        sweeps.len(),
+        counts.len()
+    );
+
+    // Cross-engine speedup at each worker count (walk wall / bytecode wall).
+    let speedups: Option<Vec<(usize, f64)>> = (sweeps.len() == 2).then(|| {
+        sweeps[0]
+            .1
+            .iter()
+            .zip(&sweeps[1].1)
+            .map(|((w, walk), (_, bc))| (*w, walk.wall_s / bc.wall_s))
+            .collect()
+    });
 
     if !opts.suppress_human() {
         println!("Interpreter throughput — kernel IV.B, {n_options} groups x {n_steps} steps\n");
-        println!("{:>8}{:>14}{:>10}{:>16}", "workers", "wall [ms]", "speedup", "sim clock [s]");
-        for (w, r) in &results {
-            println!(
-                "{:>8}{:>14.2}{:>10.2}{:>16.6}",
-                w,
-                r.wall_s * 1e3,
-                base.wall_s / r.wall_s,
-                r.sim_s
-            );
+        for (engine, results) in &sweeps {
+            let base = &results[0].1;
+            println!("engine: {engine}");
+            println!("{:>8}{:>14}{:>10}{:>16}", "workers", "wall [ms]", "speedup", "sim clock [s]");
+            for (w, r) in results {
+                println!(
+                    "{:>8}{:>14.2}{:>10.2}{:>16.6}",
+                    w,
+                    r.wall_s * 1e3,
+                    base.wall_s / r.wall_s,
+                    r.sim_s
+                );
+            }
+            println!();
         }
-        println!("\nresults identical across worker counts (prices, stats, counters, trace)");
+        if let Some(speedups) = &speedups {
+            println!("bytecode vs tree-walk (same worker count):");
+            for (w, s) in speedups {
+                println!("{:>8} workers: {s:.2}x", w);
+            }
+            println!();
+        }
+        println!(
+            "results identical across engines and worker counts (prices, stats, counters, trace)"
+        );
     }
 
     let mut report = ExperimentReport::new("interp_throughput");
-    for (w, r) in &results {
-        report.push(format!("workers_{w}.wall_s"), None, r.wall_s, "s");
-        report.push(format!("workers_{w}.speedup"), None, base.wall_s / r.wall_s, "x");
+    for (engine, results) in &sweeps {
+        let base = &results[0].1;
+        for (w, r) in results {
+            report.push(format!("{engine}.workers_{w}.wall_s"), None, r.wall_s, "s");
+            report.push(format!("{engine}.workers_{w}.speedup"), None, base.wall_s / r.wall_s, "x");
+        }
     }
-    report.push("sim_elapsed_s", None, base.sim_s, "s");
+    if let Some(speedups) = &speedups {
+        for (w, s) in speedups {
+            report.push(format!("bytecode.speedup_vs_walk.workers_{w}"), None, *s, "x");
+        }
+        // Headline: single-worker, pure interpreter throughput.
+        report.push("bytecode.speedup_vs_walk", None, speedups[0].1, "x");
+    }
+    report.push("sim_elapsed_s", None, reference.sim_s, "s");
     report.wall_s = timer.elapsed_s();
     opts.emit(report).expect("emit report");
 }

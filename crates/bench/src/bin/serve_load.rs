@@ -63,18 +63,19 @@ impl LoadOpts {
     }
 }
 
-fn shard(device: &str, steps: usize) -> Accelerator {
+fn shard_pool(device: &str, steps: usize, n: usize) -> Vec<Accelerator> {
     let dev = match device {
         "fpga" => bop_core::devices::fpga(),
         "cpu" => bop_core::devices::cpu(),
         _ => bop_core::devices::gpu(),
     };
+    // One compile for the whole pool: the shards share the program.
     Accelerator::builder(dev)
         .arch(KernelArch::Optimized)
         .precision(Precision::Double)
         .n_steps(steps)
-        .build()
-        .expect("shard builds")
+        .build_pool(n)
+        .expect("shard pool builds")
 }
 
 fn main() {
@@ -87,8 +88,7 @@ fn main() {
         "serve_load: {} requests x {} options at {:.0} req/s over {} {} shard(s)...",
         load.requests, load.request_options, load.rate, load.shards, load.device
     );
-    let pool: Vec<Accelerator> =
-        (0..load.shards.max(1)).map(|_| shard(&load.device, load.steps)).collect();
+    let pool: Vec<Accelerator> = shard_pool(&load.device, load.steps, load.shards.max(1));
     let service = PricingService::start(
         pool,
         ServeConfig {

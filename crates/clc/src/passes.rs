@@ -1,64 +1,27 @@
-//! IR optimisation passes: constant folding and dead-code elimination.
+//! IR optimisation passes: constant folding, DCE, CSE, copy propagation.
 //!
 //! These mirror the scalar optimisations an HLS compiler applies before
 //! scheduling; they matter for the FPGA resource estimates (a folded
 //! constant costs no DSPs) and keep the dynamic op counts honest.
+//!
+//! The implementations live in [`bop_clir::passes`] — the same code backs
+//! both this front-end (cleaning up freshly-lowered IR) and the runtime's
+//! named pass pipeline (re-optimising modules before bytecode emission).
+//! The wrappers here keep the front-end's historical API; the tests below
+//! pin the semantics of the shared implementations through [`crate::compile`].
 
-use bop_clir::eval;
-use bop_clir::ir::{Function, Inst, RegId, Terminator};
-use bop_clir::value::Value;
-use std::collections::{HashMap, HashSet};
+use bop_clir::ir::Function;
+#[cfg(test)]
+use bop_clir::ir::Inst;
 
 /// Fold instructions whose operands are compile-time constants.
 ///
 /// Works per basic block with a forward scan: a register is "known" while
 /// it provably holds a constant within the block; any other write
-/// invalidates it. Folded instructions become [`Inst::Const`]; DCE cleans
-/// up the now-unused inputs.
+/// invalidates it. Folded instructions become [`bop_clir::ir::Inst::Const`];
+/// DCE cleans up the now-unused inputs.
 pub fn fold_constants(func: &mut Function) {
-    for block in &mut func.blocks {
-        let mut known: HashMap<RegId, Value> = HashMap::new();
-        for inst in &mut block.insts {
-            let folded: Option<Value> = match &*inst {
-                Inst::Const { val, .. } => Some(*val),
-                Inst::Mov { src, .. } => known.get(src).copied(),
-                Inst::Bin { op, ty, a, b, .. } => match (known.get(a), known.get(b)) {
-                    (Some(x), Some(y)) => eval::eval_bin(*op, *ty, *x, *y).ok(),
-                    _ => None,
-                },
-                Inst::Un { op, ty, a, .. } => known.get(a).map(|x| eval::eval_un(*op, *ty, *x)),
-                Inst::Cmp { op, ty, a, b, .. } => match (known.get(a), known.get(b)) {
-                    (Some(x), Some(y)) => Some(Value::Bool(eval::eval_cmp(*op, *ty, *x, *y))),
-                    _ => None,
-                },
-                Inst::Select { cond, a, b, .. } => match known.get(cond) {
-                    Some(Value::Bool(true)) => known.get(a).copied(),
-                    Some(Value::Bool(false)) => known.get(b).copied(),
-                    _ => None,
-                },
-                Inst::Cast { a, from, to, .. } => {
-                    known.get(a).map(|x| eval::eval_cast(*x, *from, *to))
-                }
-                // Calls, loads, queries, geps: not folded (queries vary per
-                // item; calls depend on the device math library).
-                _ => None,
-            };
-            if let Some(dst) = inst.dst() {
-                match folded {
-                    Some(val) if !matches!(inst, Inst::Const { .. }) => {
-                        *inst = Inst::Const { dst, val };
-                        known.insert(dst, val);
-                    }
-                    Some(val) => {
-                        known.insert(dst, val);
-                    }
-                    None => {
-                        known.remove(&dst);
-                    }
-                }
-            }
-        }
-    }
+    bop_clir::passes::fold_constants_in(func);
 }
 
 /// Remove pure instructions whose results are never read.
@@ -67,34 +30,30 @@ pub fn fold_constants(func: &mut Function) {
 /// not SSA, so a register written in one block may be read in another).
 /// Stores and barriers are never removed; loads are pure and removable.
 pub fn eliminate_dead_code(func: &mut Function) {
-    loop {
-        let mut used: HashSet<RegId> = HashSet::new();
-        for block in &func.blocks {
-            for inst in &block.insts {
-                for r in inst.sources() {
-                    used.insert(r);
-                }
-            }
-            if let Terminator::Branch { cond, .. } = &block.term {
-                used.insert(*cond);
-            }
-        }
-        let mut removed = false;
-        for block in &mut func.blocks {
-            let before = block.insts.len();
-            block.insts.retain(|inst| match inst {
-                Inst::Store { .. } | Inst::Barrier => true,
-                other => match other.dst() {
-                    Some(dst) => used.contains(&dst),
-                    None => true,
-                },
-            });
-            removed |= block.insts.len() != before;
-        }
-        if !removed {
-            return;
-        }
-    }
+    bop_clir::passes::eliminate_dead_code_in(func);
+}
+
+/// Local value numbering: eliminate redundant pure computations within
+/// each basic block (common-subexpression elimination).
+///
+/// The IR is a mutable register machine, so classical CSE needs value
+/// numbers: a replacement `dst = rep` is only valid while the
+/// representative register still holds the value number the expression
+/// produced. Loads are not eliminated (memory may change between them);
+/// math builtins and work-item queries are pure and participate.
+///
+/// Off by default (see [`crate::Options::cse`]): the FPGA resource model
+/// charges hardware per instruction, so enabling CSE changes Table-I-style
+/// resource estimates — the ablation benches quantify by how much.
+pub fn common_subexpression_elimination(func: &mut Function) {
+    bop_clir::passes::local_cse_in(func);
+}
+
+/// Copy propagation: rewrite uses of `Mov` destinations to read the
+/// original register while the copy is still valid, so DCE can remove the
+/// `Mov` itself. Runs after CSE (which introduces the copies).
+pub fn propagate_copies(func: &mut Function) {
+    bop_clir::passes::propagate_copies_in(func);
 }
 
 #[cfg(test)]
@@ -189,131 +148,6 @@ mod tests {
             o[0] = x;
         }";
         assert_eq!(run_one(&compile_opts(src, false)), 5.0);
-    }
-}
-
-/// Local value numbering: eliminate redundant pure computations within
-/// each basic block (common-subexpression elimination).
-///
-/// The IR is a mutable register machine, so classical CSE needs value
-/// numbers: a replacement `dst = rep` is only valid while the
-/// representative register still holds the value number the expression
-/// produced. Loads are not eliminated (memory may change between them);
-/// math builtins and work-item queries are pure and participate.
-///
-/// Off by default (see [`crate::Options::cse`]): the FPGA resource model
-/// charges hardware per instruction, so enabling CSE changes Table-I-style
-/// resource estimates — the ablation benches quantify by how much.
-pub fn common_subexpression_elimination(func: &mut Function) {
-    use bop_clir::ir::{Builtin, CmpOp, UnOp, WiQuery};
-    use bop_clir::types::ScalarType;
-
-    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-    enum Key {
-        Const(u64, ScalarType),
-        Bin(bop_clir::ir::BinOp, ScalarType, u32, u32),
-        Un(UnOp, ScalarType, u32),
-        Cmp(CmpOp, ScalarType, u32, u32),
-        Select(ScalarType, u32, u32, u32),
-        Cast(ScalarType, ScalarType, u32),
-        Call(Builtin, ScalarType, Vec<u32>),
-        WorkItem(WiQuery, u8),
-        Gep(ScalarType, u32, u32),
-    }
-
-    for block in &mut func.blocks {
-        let mut next_vn: u32 = 0;
-        let mut vn_of: HashMap<RegId, u32> = HashMap::new();
-        let mut table: HashMap<Key, (u32, RegId)> = HashMap::new();
-
-        fn vn(vn_of: &mut HashMap<RegId, u32>, next_vn: &mut u32, r: RegId) -> u32 {
-            *vn_of.entry(r).or_insert_with(|| {
-                *next_vn += 1;
-                *next_vn
-            })
-        }
-
-        for inst in &mut block.insts {
-            let key = match &*inst {
-                Inst::Const { val, .. } => val.scalar_type().map(|ty| {
-                    let bits = match val {
-                        Value::Bool(b) => *b as u64,
-                        Value::I32(x) => *x as u32 as u64,
-                        Value::I64(x) => *x as u64,
-                        Value::F32(x) => x.to_bits() as u64,
-                        Value::F64(x) => x.to_bits(),
-                        Value::Ptr(_) => unreachable!("filtered by scalar_type"),
-                    };
-                    Key::Const(bits, ty)
-                }),
-                Inst::Bin { op, ty, a, b, .. } => {
-                    let (va, vb) =
-                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
-                    Some(Key::Bin(*op, *ty, va, vb))
-                }
-                Inst::Un { op, ty, a, .. } => {
-                    Some(Key::Un(*op, *ty, vn(&mut vn_of, &mut next_vn, *a)))
-                }
-                Inst::Cmp { op, ty, a, b, .. } => {
-                    let (va, vb) =
-                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
-                    Some(Key::Cmp(*op, *ty, va, vb))
-                }
-                Inst::Select { ty, cond, a, b, .. } => {
-                    let vc = vn(&mut vn_of, &mut next_vn, *cond);
-                    let (va, vb) =
-                        (vn(&mut vn_of, &mut next_vn, *a), vn(&mut vn_of, &mut next_vn, *b));
-                    Some(Key::Select(*ty, vc, va, vb))
-                }
-                Inst::Cast { a, from, to, .. } => {
-                    Some(Key::Cast(*from, *to, vn(&mut vn_of, &mut next_vn, *a)))
-                }
-                Inst::Call { func: f, ty, args, .. } => {
-                    let vargs = args.iter().map(|r| vn(&mut vn_of, &mut next_vn, *r)).collect();
-                    Some(Key::Call(*f, *ty, vargs))
-                }
-                Inst::WorkItem { query, dim, .. } => Some(Key::WorkItem(*query, *dim)),
-                Inst::Gep { base, index, elem, .. } => {
-                    let (vb, vi) =
-                        (vn(&mut vn_of, &mut next_vn, *base), vn(&mut vn_of, &mut next_vn, *index));
-                    Some(Key::Gep(*elem, vb, vi))
-                }
-                // Loads, stores, movs and barriers are not value-numbered
-                // expressions.
-                Inst::Load { .. } | Inst::Store { .. } | Inst::Mov { .. } | Inst::Barrier => None,
-            };
-
-            match (key, inst.dst()) {
-                (Some(key), Some(dst)) => {
-                    if let Some(&(expr_vn, rep)) = table.get(&key) {
-                        if rep != dst && vn_of.get(&rep) == Some(&expr_vn) {
-                            // The representative still holds this value.
-                            *inst = Inst::Mov { dst, src: rep };
-                            vn_of.insert(dst, expr_vn);
-                            continue;
-                        }
-                    }
-                    next_vn += 1;
-                    table.insert(key, (next_vn, dst));
-                    vn_of.insert(dst, next_vn);
-                }
-                (None, Some(dst)) => {
-                    // Unknown value (load, mov): give the destination a
-                    // fresh number, invalidating stale representatives.
-                    match inst {
-                        Inst::Mov { src, .. } => {
-                            let v = vn(&mut vn_of, &mut next_vn, *src);
-                            vn_of.insert(dst, v);
-                        }
-                        _ => {
-                            next_vn += 1;
-                            vn_of.insert(dst, next_vn);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
     }
 }
 
@@ -434,69 +268,6 @@ mod cse_tests {
         let plain = m_plain.kernel("binomial_node").expect("k").inst_count();
         let cse = m_cse.kernel("binomial_node").expect("k").inst_count();
         assert!(cse < plain, "CSE should shrink the kernel: {cse} vs {plain}");
-    }
-}
-
-/// Copy propagation: rewrite uses of `Mov` destinations to read the
-/// original register while the copy is still valid, so DCE can remove the
-/// `Mov` itself. Runs after CSE (which introduces the copies).
-pub fn propagate_copies(func: &mut Function) {
-    for block in &mut func.blocks {
-        // dst -> original source (fully resolved through chains).
-        let mut copy_of: HashMap<RegId, RegId> = HashMap::new();
-        for i in 0..block.insts.len() {
-            // Rewrite sources first (uses see the state before this inst).
-            let resolve =
-                |copy_of: &HashMap<RegId, RegId>, r: RegId| copy_of.get(&r).copied().unwrap_or(r);
-            let inst = &mut block.insts[i];
-            match inst {
-                Inst::Mov { src, .. } => *src = resolve(&copy_of, *src),
-                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
-                    *a = resolve(&copy_of, *a);
-                    *b = resolve(&copy_of, *b);
-                }
-                Inst::Un { a, .. } => *a = resolve(&copy_of, *a),
-                Inst::Select { cond, a, b, .. } => {
-                    *cond = resolve(&copy_of, *cond);
-                    *a = resolve(&copy_of, *a);
-                    *b = resolve(&copy_of, *b);
-                }
-                Inst::Cast { a, .. } => *a = resolve(&copy_of, *a),
-                Inst::Call { args, .. } => {
-                    for r in args.iter_mut() {
-                        *r = resolve(&copy_of, *r);
-                    }
-                }
-                Inst::Gep { base, index, .. } => {
-                    *base = resolve(&copy_of, *base);
-                    *index = resolve(&copy_of, *index);
-                }
-                Inst::Load { ptr, .. } => *ptr = resolve(&copy_of, *ptr),
-                Inst::Store { ptr, val, .. } => {
-                    *ptr = resolve(&copy_of, *ptr);
-                    *val = resolve(&copy_of, *val);
-                }
-                Inst::Const { .. } | Inst::WorkItem { .. } | Inst::Barrier => {}
-            }
-            // Then update the copy map with this instruction's effect.
-            if let Some(dst) = block.insts[i].dst() {
-                // Any write invalidates copies *of* dst and copies *from*
-                // dst (its old value is gone).
-                copy_of.remove(&dst);
-                copy_of.retain(|_, src| *src != dst);
-                if let Inst::Mov { dst, src } = &block.insts[i] {
-                    if dst != src {
-                        copy_of.insert(*dst, *src);
-                    }
-                }
-            }
-        }
-        // Rewrite the terminator condition too.
-        if let Terminator::Branch { cond, .. } = &mut block.term {
-            if let Some(src) = copy_of.get(cond) {
-                *cond = *src;
-            }
-        }
     }
 }
 

@@ -1,0 +1,1091 @@
+//! Register bytecode: a compiled execution engine for kernels.
+//!
+//! The tree-walking interpreter in [`crate::interp`] re-fetches every
+//! instruction through two levels of `Vec` indexing and re-resolves block
+//! targets on every loop iteration — per-node overhead the real `aoc`
+//! offline compiler would have compiled away. This module flattens a
+//! verified [`Function`] once into a [`CompiledKernel`]: a linear stream
+//! of register-machine ops with pre-resolved jump offsets, an interned
+//! constant pool and specialized opcodes for the hot double-precision
+//! arithmetic of the pricing kernels. [`BytecodeRun`] then executes it
+//! with a compact dispatch loop.
+//!
+//! The engine is observationally identical to the tree-walker by
+//! construction: same argument-binding errors, same [`ExecStats`]
+//! counting (down to the order of count-vs-trap), same step-budget
+//! accounting (one step per fetched position, terminators included), and
+//! the same barrier-suspension protocol — divergence errors report
+//! original `(block, instruction)` positions via a side table. The
+//! differential suite in `tests/compile_pipeline.rs` and the proptests in
+//! `crates/devtests` pin this contract down.
+
+use crate::eval::{eval_bin, eval_cast, eval_cmp, eval_un};
+use crate::interp::{
+    private_oob, ExecError, GroupShape, KernelArgValue, Memory, DEFAULT_STEP_LIMIT,
+};
+use crate::ir::{BinOp, Builtin, CmpOp, Function, Inst, Param, Terminator, UnOp, WiQuery};
+use crate::mathlib::MathLib;
+use crate::stats::ExecStats;
+use crate::types::{AddressSpace, ScalarType, Type};
+use crate::value::{PtrValue, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One flattened instruction. Register and constant-pool indices are
+/// pre-resolved `u32`s; jump targets are program counters.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// `r[dst] = consts[idx]`.
+    Const {
+        dst: u32,
+        idx: u32,
+    },
+    /// `r[dst] = r[src]`.
+    Mov {
+        dst: u32,
+        src: u32,
+    },
+    /// Specialized `f64` arithmetic (the hot path of both paper kernels).
+    AddF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    SubF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MulF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    DivF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MinF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MaxF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `i64` addition (loop counters, index arithmetic).
+    AddI64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Generic two-operand op, evaluated through [`eval_bin`] so trap
+    /// messages match the tree-walker exactly.
+    Bin {
+        op: BinOp,
+        ty: ScalarType,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Un {
+        op: UnOp,
+        ty: ScalarType,
+        dst: u32,
+        a: u32,
+    },
+    Cmp {
+        op: CmpOp,
+        ty: ScalarType,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Select {
+        ty: ScalarType,
+        dst: u32,
+        cond: u32,
+        a: u32,
+        b: u32,
+    },
+    Cast {
+        dst: u32,
+        a: u32,
+        from: ScalarType,
+        to: ScalarType,
+    },
+    /// One-argument math builtin (`exp`, `log`, `sqrt`).
+    Call1 {
+        func: Builtin,
+        ty: ScalarType,
+        dst: u32,
+        a: u32,
+    },
+    /// `pow(a, b)`.
+    Pow {
+        ty: ScalarType,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    WorkItem {
+        query: WiQuery,
+        dim: u8,
+        dst: u32,
+    },
+    Gep {
+        dst: u32,
+        base: u32,
+        index: u32,
+        elem: ScalarType,
+    },
+    Load {
+        dst: u32,
+        ptr: u32,
+        ty: ScalarType,
+    },
+    Store {
+        ptr: u32,
+        val: u32,
+        ty: ScalarType,
+    },
+    Barrier,
+    /// Unconditional jump to `target` (pc); `block` is the destination
+    /// block id, charged to `block_execs`.
+    Jump {
+        target: u32,
+        block: u32,
+    },
+    /// Conditional branch; targets are pcs, blocks are the destination
+    /// block ids.
+    Branch {
+        cond: u32,
+        then_target: u32,
+        then_block: u32,
+        else_target: u32,
+        else_block: u32,
+    },
+    Return,
+}
+
+/// Interning key for the constant pool. [`Value`] itself is not `Eq`
+/// (floats), so constants are keyed on their bit patterns: `2.0` and
+/// `2.0` share a slot, `0.0` and `-0.0` do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Bool(bool),
+    I32(i32),
+    I64(i64),
+    F32(u32),
+    F64(u64),
+    Ptr(AddressSpace, u32, i64),
+}
+
+impl ConstKey {
+    fn of(v: Value) -> ConstKey {
+        match v {
+            Value::Bool(b) => ConstKey::Bool(b),
+            Value::I32(x) => ConstKey::I32(x),
+            Value::I64(x) => ConstKey::I64(x),
+            Value::F32(x) => ConstKey::F32(x.to_bits()),
+            Value::F64(x) => ConstKey::F64(x.to_bits()),
+            Value::Ptr(p) => ConstKey::Ptr(p.space, p.buffer, p.offset),
+        }
+    }
+}
+
+/// A kernel flattened to linear bytecode, ready for repeated dispatch.
+///
+/// Compilation is infallible on verified IR; build it once per kernel
+/// (the OpenCL-style runtime caches it in the program object) and run it
+/// many times via [`BytecodeRun`]. The `Display` impl renders a
+/// disassembly listing (the `aoc` bench bin's `--dump-bytecode`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    name: String,
+    params: Vec<Param>,
+    reg_types: Vec<Type>,
+    code: Vec<Op>,
+    consts: Vec<Value>,
+    block_starts: Vec<u32>,
+    /// `(block, instruction)` source position of every pc, for error
+    /// reports that must match the tree-walker.
+    pos_of_pc: Vec<(u32, u32)>,
+    private_bytes: usize,
+}
+
+impl CompiledKernel {
+    /// Flatten `func` into bytecode. The function must be verified
+    /// (see [`crate::verify::verify_function`]); compilation itself
+    /// cannot fail.
+    pub fn compile(func: &Function) -> CompiledKernel {
+        let mut code: Vec<Op> = Vec::with_capacity(func.inst_count() + func.blocks.len());
+        let mut pos_of_pc: Vec<(u32, u32)> = Vec::with_capacity(code.capacity());
+        let mut consts: Vec<Value> = Vec::new();
+        let mut intern: HashMap<ConstKey, u32> = HashMap::new();
+        let mut block_starts: Vec<u32> = Vec::with_capacity(func.blocks.len());
+
+        let mut intern_const = |val: Value| -> u32 {
+            *intern.entry(ConstKey::of(val)).or_insert_with(|| {
+                consts.push(val);
+                consts.len() as u32 - 1
+            })
+        };
+
+        for (bi, block) in func.blocks.iter().enumerate() {
+            block_starts.push(code.len() as u32);
+            for (ii, inst) in block.insts.iter().enumerate() {
+                pos_of_pc.push((bi as u32, ii as u32));
+                let r = |r: crate::ir::RegId| r.0;
+                code.push(match inst {
+                    Inst::Const { dst, val } => Op::Const { dst: r(*dst), idx: intern_const(*val) },
+                    Inst::Mov { dst, src } => Op::Mov { dst: r(*dst), src: r(*src) },
+                    Inst::Bin { op, ty, dst, a, b } => {
+                        let (dst, a, b) = (r(*dst), r(*a), r(*b));
+                        match (op, ty) {
+                            (BinOp::Add, ScalarType::F64) => Op::AddF64 { dst, a, b },
+                            (BinOp::Sub, ScalarType::F64) => Op::SubF64 { dst, a, b },
+                            (BinOp::Mul, ScalarType::F64) => Op::MulF64 { dst, a, b },
+                            (BinOp::Div, ScalarType::F64) => Op::DivF64 { dst, a, b },
+                            (BinOp::Min, ScalarType::F64) => Op::MinF64 { dst, a, b },
+                            (BinOp::Max, ScalarType::F64) => Op::MaxF64 { dst, a, b },
+                            (BinOp::Add, ScalarType::I64) => Op::AddI64 { dst, a, b },
+                            _ => Op::Bin { op: *op, ty: *ty, dst, a, b },
+                        }
+                    }
+                    Inst::Un { op, ty, dst, a } => {
+                        Op::Un { op: *op, ty: *ty, dst: r(*dst), a: r(*a) }
+                    }
+                    Inst::Cmp { op, ty, dst, a, b } => {
+                        Op::Cmp { op: *op, ty: *ty, dst: r(*dst), a: r(*a), b: r(*b) }
+                    }
+                    Inst::Select { ty, dst, cond, a, b } => {
+                        Op::Select { ty: *ty, dst: r(*dst), cond: r(*cond), a: r(*a), b: r(*b) }
+                    }
+                    Inst::Cast { dst, a, from, to } => {
+                        Op::Cast { dst: r(*dst), a: r(*a), from: *from, to: *to }
+                    }
+                    Inst::Call { func: f, ty, dst, args } => match f {
+                        Builtin::Pow => {
+                            Op::Pow { ty: *ty, dst: r(*dst), a: r(args[0]), b: r(args[1]) }
+                        }
+                        _ => Op::Call1 { func: *f, ty: *ty, dst: r(*dst), a: r(args[0]) },
+                    },
+                    Inst::WorkItem { query, dim, dst } => {
+                        Op::WorkItem { query: *query, dim: *dim, dst: r(*dst) }
+                    }
+                    Inst::Gep { dst, base, index, elem } => {
+                        Op::Gep { dst: r(*dst), base: r(*base), index: r(*index), elem: *elem }
+                    }
+                    Inst::Load { dst, ptr, ty } => Op::Load { dst: r(*dst), ptr: r(*ptr), ty: *ty },
+                    Inst::Store { ptr, val, ty } => {
+                        Op::Store { ptr: r(*ptr), val: r(*val), ty: *ty }
+                    }
+                    Inst::Barrier => Op::Barrier,
+                });
+            }
+            pos_of_pc.push((bi as u32, block.insts.len() as u32));
+            code.push(match &block.term {
+                Terminator::Jump(t) => Op::Jump { target: 0, block: t.0 },
+                Terminator::Branch { cond, then_bb, else_bb } => Op::Branch {
+                    cond: cond.0,
+                    then_target: 0,
+                    then_block: then_bb.0,
+                    else_target: 0,
+                    else_block: else_bb.0,
+                },
+                Terminator::Return => Op::Return,
+            });
+        }
+
+        // Resolve block ids to program counters.
+        for op in &mut code {
+            match op {
+                Op::Jump { target, block } => *target = block_starts[*block as usize],
+                Op::Branch { then_target, then_block, else_target, else_block, .. } => {
+                    *then_target = block_starts[*then_block as usize];
+                    *else_target = block_starts[*else_block as usize];
+                }
+                _ => {}
+            }
+        }
+
+        CompiledKernel {
+            name: func.name.clone(),
+            params: func.params.clone(),
+            reg_types: func.reg_types.clone(),
+            code,
+            consts,
+            block_starts,
+            pos_of_pc,
+            private_bytes: func.private_bytes,
+        }
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of flattened ops (instructions plus terminators).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of interned constants in the pool.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Number of basic blocks in the source function.
+    pub fn num_blocks(&self) -> usize {
+        self.block_starts.len()
+    }
+
+    fn pos(&self, pc: usize) -> (usize, usize) {
+        let (b, i) = self.pos_of_pc[pc];
+        (b as usize, i as usize)
+    }
+}
+
+fn reg_list(f: &mut fmt::Formatter<'_>, regs: &[u32]) -> fmt::Result {
+    for (i, r) in regs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "r{r}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for CompiledKernel {
+    /// Disassembly listing: constant pool, then the op stream with pc
+    /// labels and block markers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use crate::display::{bin_name, cmp_name, un_name};
+        write!(f, "bytecode @{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} %{}", p.ty, p.name)?;
+        }
+        writeln!(
+            f,
+            ") [ops={}, regs={}, consts={}, private={}B]",
+            self.code.len(),
+            self.reg_types.len(),
+            self.consts.len(),
+            self.private_bytes
+        )?;
+        for (i, c) in self.consts.iter().enumerate() {
+            writeln!(f, "  c{i} = {c}")?;
+        }
+        for (pc, op) in self.code.iter().enumerate() {
+            if let Some(bi) = self.block_starts.iter().position(|&s| s as usize == pc) {
+                writeln!(f, "b{bi}:")?;
+            }
+            write!(f, "  {pc:04}  ")?;
+            match op {
+                Op::Const { dst, idx } => {
+                    write!(f, "r{dst} = const c{idx} ; {}", self.consts[*idx as usize])?
+                }
+                Op::Mov { dst, src } => write!(f, "r{dst} = r{src}")?,
+                Op::AddF64 { dst, a, b } => write!(f, "r{dst} = add.double r{a}, r{b}")?,
+                Op::SubF64 { dst, a, b } => write!(f, "r{dst} = sub.double r{a}, r{b}")?,
+                Op::MulF64 { dst, a, b } => write!(f, "r{dst} = mul.double r{a}, r{b}")?,
+                Op::DivF64 { dst, a, b } => write!(f, "r{dst} = div.double r{a}, r{b}")?,
+                Op::MinF64 { dst, a, b } => write!(f, "r{dst} = min.double r{a}, r{b}")?,
+                Op::MaxF64 { dst, a, b } => write!(f, "r{dst} = max.double r{a}, r{b}")?,
+                Op::AddI64 { dst, a, b } => write!(f, "r{dst} = add.long r{a}, r{b}")?,
+                Op::Bin { op, ty, dst, a, b } => {
+                    write!(f, "r{dst} = {}.{ty} r{a}, r{b}", bin_name(*op))?
+                }
+                Op::Un { op, ty, dst, a } => write!(f, "r{dst} = {}.{ty} r{a}", un_name(*op))?,
+                Op::Cmp { op, ty, dst, a, b } => {
+                    write!(f, "r{dst} = cmp.{}.{ty} r{a}, r{b}", cmp_name(*op))?
+                }
+                Op::Select { ty, dst, cond, a, b } => {
+                    write!(f, "r{dst} = select.{ty} r{cond}, r{a}, r{b}")?
+                }
+                Op::Cast { dst, a, from, to } => {
+                    write!(f, "r{dst} = cast r{a} : {from} -> {to}")?
+                }
+                Op::Call1 { func, ty, dst, a } => {
+                    write!(f, "r{dst} = {}.{ty}(", func.name())?;
+                    reg_list(f, &[*a])?;
+                    write!(f, ")")?
+                }
+                Op::Pow { ty, dst, a, b } => {
+                    write!(f, "r{dst} = pow.{ty}(")?;
+                    reg_list(f, &[*a, *b])?;
+                    write!(f, ")")?
+                }
+                Op::WorkItem { query, dim, dst } => {
+                    write!(f, "r{dst} = {}({dim})", query.name())?
+                }
+                Op::Gep { dst, base, index, elem } => {
+                    write!(f, "r{dst} = gep.{elem} r{base}, r{index}")?
+                }
+                Op::Load { dst, ptr, ty } => write!(f, "r{dst} = load.{ty} r{ptr}")?,
+                Op::Store { ptr, val, ty } => write!(f, "store.{ty} r{ptr}, r{val}")?,
+                Op::Barrier => write!(f, "barrier")?,
+                Op::Jump { target, block } => write!(f, "jump @{target:04} (b{block})")?,
+                Op::Branch { cond, then_target, then_block, else_target, else_block } => write!(
+                    f,
+                    "br r{cond}, @{then_target:04} (b{then_block}), @{else_target:04} (b{else_block})"
+                )?,
+                Op::Return => write!(f, "ret")?,
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BcStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+struct BcItem {
+    pc: usize,
+    regs: Vec<Value>,
+    private: Vec<u8>,
+    status: BcStatus,
+    /// Precomputed 3-D local id (saves two divisions per geometry query).
+    lid: [usize; 3],
+}
+
+/// Executes the work-items of one work-group over a [`CompiledKernel`].
+///
+/// Drop-in replacement for [`crate::interp::WorkGroupRun`]: same
+/// constructor contract, same `run`/`stats`/`into_stats` API, and
+/// bit-identical observable behaviour.
+pub struct BytecodeRun<'k> {
+    kernel: &'k CompiledKernel,
+    shape: GroupShape,
+    items: Vec<BcItem>,
+    stats: ExecStats,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl<'k> BytecodeRun<'k> {
+    /// Prepare a run of `kernel` for the group described by `shape`, with
+    /// kernel arguments `args`. `step_limit` of 0 selects
+    /// [`DEFAULT_STEP_LIMIT`].
+    ///
+    /// # Errors
+    /// Returns [`ExecError::BadArgs`] if `args` does not match the kernel
+    /// signature (same messages as the tree-walker).
+    pub fn new(
+        kernel: &'k CompiledKernel,
+        shape: GroupShape,
+        args: &[KernelArgValue],
+        step_limit: u64,
+    ) -> Result<BytecodeRun<'k>, ExecError> {
+        if args.len() != kernel.params.len() {
+            return Err(ExecError::BadArgs(format!(
+                "kernel `{}` takes {} arguments, {} supplied",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        let mut bound = Vec::with_capacity(args.len());
+        for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
+            let v = match (*arg, param.ty) {
+                (KernelArgValue::Scalar(v), Type::Scalar(want)) => {
+                    if v.scalar_type() != Some(want) {
+                        return Err(ExecError::BadArgs(format!(
+                            "argument {i} (`{}`): expected {want}, got {v:?}",
+                            param.name
+                        )));
+                    }
+                    v
+                }
+                (KernelArgValue::GlobalBuffer(b), Type::Ptr(space, _))
+                    if matches!(space, AddressSpace::Global | AddressSpace::Constant) =>
+                {
+                    Value::Ptr(PtrValue::new(space, b))
+                }
+                (KernelArgValue::LocalBuffer(slot), Type::Ptr(AddressSpace::Local, _)) => {
+                    Value::Ptr(PtrValue::new(AddressSpace::Local, slot))
+                }
+                _ => {
+                    return Err(ExecError::BadArgs(format!(
+                        "argument {i} (`{}`): {arg:?} does not match parameter type {}",
+                        param.name, param.ty
+                    )))
+                }
+            };
+            bound.push(v);
+        }
+
+        let n = shape.items_per_group();
+        let mut items = Vec::with_capacity(n);
+        for item in 0..n {
+            let mut regs: Vec<Value> = kernel
+                .reg_types
+                .iter()
+                .map(|ty| match ty {
+                    Type::Scalar(ScalarType::Bool) => Value::Bool(false),
+                    Type::Scalar(ScalarType::I32) => Value::I32(0),
+                    Type::Scalar(ScalarType::I64) => Value::I64(0),
+                    Type::Scalar(ScalarType::F32) => Value::F32(0.0),
+                    Type::Scalar(ScalarType::F64) => Value::F64(0.0),
+                    Type::Ptr(space, _) => Value::Ptr(PtrValue::new(*space, u32::MAX)),
+                })
+                .collect();
+            regs[..bound.len()].copy_from_slice(&bound);
+            items.push(BcItem {
+                pc: 0,
+                regs,
+                private: vec![0; kernel.private_bytes],
+                status: BcStatus::Running,
+                lid: shape.local_id(item),
+            });
+        }
+        let mut stats = ExecStats::with_blocks(kernel.block_starts.len());
+        // Every live item enters block 0.
+        stats.block_execs[0] += n as u64;
+        Ok(BytecodeRun {
+            kernel,
+            shape,
+            items,
+            stats,
+            steps: 0,
+            step_limit: if step_limit == 0 { DEFAULT_STEP_LIMIT } else { step_limit },
+        })
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Consume the run and return its statistics.
+    pub fn into_stats(self) -> ExecStats {
+        self.stats
+    }
+
+    /// Run the whole group to completion.
+    ///
+    /// # Errors
+    /// Propagates memory errors, traps, barrier divergence and step-limit
+    /// exhaustion, with the same payloads as the tree-walker.
+    pub fn run(&mut self, mem: &mut dyn Memory, math: &dyn MathLib) -> Result<(), ExecError> {
+        loop {
+            let mut any_running = false;
+            for item in 0..self.items.len() {
+                if self.items[item].status == BcStatus::Running {
+                    any_running = true;
+                    self.run_item(item, mem, math)?;
+                }
+            }
+            let live: Vec<usize> =
+                (0..self.items.len()).filter(|&i| self.items[i].status != BcStatus::Done).collect();
+            if live.is_empty() {
+                return Ok(());
+            }
+            // All live items are now suspended at barriers.
+            let pos = self.kernel.pos(self.items[live[0]].pc);
+            for &i in &live[1..] {
+                let p = self.kernel.pos(self.items[i].pc);
+                if p != pos {
+                    return Err(ExecError::BarrierDivergence { a: pos, b: p });
+                }
+            }
+            if !any_running {
+                // Defensive: should be unreachable, barrier release below
+                // always makes progress.
+                return Err(ExecError::Trap("scheduler made no progress".into()));
+            }
+            // Release the barrier: step every live item past it.
+            self.stats.barriers += 1;
+            for &i in &live {
+                let it = &mut self.items[i];
+                it.pc += 1;
+                it.status = BcStatus::Running;
+            }
+        }
+    }
+
+    /// Execute `item` until it retires or reaches a barrier.
+    fn run_item(
+        &mut self,
+        item: usize,
+        mem: &mut dyn Memory,
+        math: &dyn MathLib,
+    ) -> Result<(), ExecError> {
+        self.stats.item_phases += 1;
+        let code = &self.kernel.code[..];
+        let consts = &self.kernel.consts[..];
+        let stats = &mut self.stats;
+        let steps = &mut self.steps;
+        let step_limit = self.step_limit;
+        let shape = &self.shape;
+        let it = &mut self.items[item];
+        loop {
+            *steps += 1;
+            if *steps > step_limit {
+                return Err(ExecError::StepLimitExceeded);
+            }
+            match &code[it.pc] {
+                Op::Const { dst, idx } => {
+                    it.regs[*dst as usize] = consts[*idx as usize];
+                }
+                Op::Mov { dst, src } => {
+                    stats.ops.mov += 1;
+                    it.regs[*dst as usize] = it.regs[*src as usize];
+                }
+                Op::AddF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64() + it.regs[*b as usize].as_f64();
+                    stats.ops.add64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::SubF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64() - it.regs[*b as usize].as_f64();
+                    stats.ops.add64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::MulF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64() * it.regs[*b as usize].as_f64();
+                    stats.ops.mul64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::DivF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64() / it.regs[*b as usize].as_f64();
+                    stats.ops.div64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::MinF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64().min(it.regs[*b as usize].as_f64());
+                    stats.ops.minmax64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::MaxF64 { dst, a, b } => {
+                    let out = it.regs[*a as usize].as_f64().max(it.regs[*b as usize].as_f64());
+                    stats.ops.minmax64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::AddI64 { dst, a, b } => {
+                    let out =
+                        it.regs[*a as usize].as_i64().wrapping_add(it.regs[*b as usize].as_i64());
+                    stats.ops.int_alu += 1;
+                    it.regs[*dst as usize] = Value::I64(out);
+                }
+                Op::Bin { op, ty, dst, a, b } => {
+                    let (va, vb) = (it.regs[*a as usize], it.regs[*b as usize]);
+                    let out = eval_bin(*op, *ty, va, vb).map_err(ExecError::Trap)?;
+                    stats.ops.count_bin(*op, *ty);
+                    it.regs[*dst as usize] = out;
+                }
+                Op::Un { op, ty, dst, a } => {
+                    let out = eval_un(*op, *ty, it.regs[*a as usize]);
+                    stats.ops.int_alu += 1;
+                    it.regs[*dst as usize] = out;
+                }
+                Op::Cmp { op, ty, dst, a, b } => {
+                    let out = eval_cmp(*op, *ty, it.regs[*a as usize], it.regs[*b as usize]);
+                    stats.ops.cmp += 1;
+                    it.regs[*dst as usize] = Value::Bool(out);
+                }
+                Op::Select { ty, dst, cond, a, b } => {
+                    let out = if it.regs[*cond as usize].as_bool() {
+                        it.regs[*a as usize]
+                    } else {
+                        it.regs[*b as usize]
+                    };
+                    debug_assert_eq!(out.scalar_type(), Some(*ty));
+                    stats.ops.select += 1;
+                    it.regs[*dst as usize] = out;
+                }
+                Op::Cast { dst, a, from, to } => {
+                    stats.ops.cast += 1;
+                    it.regs[*dst as usize] = eval_cast(it.regs[*a as usize], *from, *to);
+                }
+                Op::Call1 { func, ty, dst, a } => {
+                    let x = it.regs[*a as usize].as_f64();
+                    let out = match func {
+                        Builtin::Exp => math.exp64(x),
+                        Builtin::Log => math.log64(x),
+                        Builtin::Sqrt => math.sqrt64(x),
+                        Builtin::Pow => unreachable!("pow lowered to Op::Pow"),
+                    };
+                    let out = if *ty == ScalarType::F32 {
+                        let x32 = x as f32;
+                        Value::F32(match func {
+                            Builtin::Exp => math.exp32(x32),
+                            Builtin::Log => math.log32(x32),
+                            Builtin::Sqrt => math.sqrt32(x32),
+                            Builtin::Pow => unreachable!("pow lowered to Op::Pow"),
+                        })
+                    } else {
+                        Value::F64(out)
+                    };
+                    stats.ops.count_builtin(*func, *ty);
+                    it.regs[*dst as usize] = out;
+                }
+                Op::Pow { ty, dst, a, b } => {
+                    let x = it.regs[*a as usize].as_f64();
+                    let y = it.regs[*b as usize].as_f64();
+                    let out = if *ty == ScalarType::F32 {
+                        Value::F32(math.pow32(x as f32, y as f32))
+                    } else {
+                        Value::F64(math.pow64(x, y))
+                    };
+                    stats.ops.count_builtin(Builtin::Pow, *ty);
+                    it.regs[*dst as usize] = out;
+                }
+                Op::WorkItem { query, dim, dst } => {
+                    let dim = *dim as usize;
+                    let out = match query {
+                        WiQuery::GlobalId => {
+                            shape.group_id[dim] * shape.local_size[dim] + it.lid[dim]
+                        }
+                        WiQuery::LocalId => it.lid[dim],
+                        WiQuery::GroupId => shape.group_id[dim],
+                        WiQuery::GlobalSize => shape.global_size[dim],
+                        WiQuery::LocalSize => shape.local_size[dim],
+                        WiQuery::NumGroups => shape.num_groups()[dim],
+                    };
+                    stats.ops.wi_query += 1;
+                    it.regs[*dst as usize] = Value::I64(out as i64);
+                }
+                Op::Gep { dst, base, index, elem } => {
+                    let p = it.regs[*base as usize].as_ptr();
+                    let idx = it.regs[*index as usize].as_i64();
+                    stats.ops.int_alu += 1;
+                    it.regs[*dst as usize] = Value::Ptr(p.offset_by(idx, *elem));
+                }
+                Op::Load { dst, ptr, ty } => {
+                    let p = it.regs[*ptr as usize].as_ptr();
+                    let v = if p.space == AddressSpace::Private {
+                        bc_private_load(&it.private, p, *ty)?
+                    } else {
+                        mem.load(p, *ty)?
+                    };
+                    stats.mem.count_load(p.space, ty.size_bytes());
+                    it.regs[*dst as usize] = v;
+                }
+                Op::Store { ptr, val, ty } => {
+                    let p = it.regs[*ptr as usize].as_ptr();
+                    let v = it.regs[*val as usize];
+                    debug_assert_eq!(v.scalar_type(), Some(*ty));
+                    if p.space == AddressSpace::Private {
+                        bc_private_store(&mut it.private, p, v)?;
+                    } else {
+                        mem.store(p, v)?;
+                    }
+                    stats.mem.count_store(p.space, ty.size_bytes());
+                }
+                Op::Barrier => {
+                    it.status = BcStatus::AtBarrier;
+                    return Ok(());
+                }
+                Op::Jump { target, block } => {
+                    stats.block_execs[*block as usize] += 1;
+                    it.pc = *target as usize;
+                    continue;
+                }
+                Op::Branch { cond, then_target, then_block, else_target, else_block } => {
+                    let (target, block) = if it.regs[*cond as usize].as_bool() {
+                        (*then_target, *then_block)
+                    } else {
+                        (*else_target, *else_block)
+                    };
+                    stats.block_execs[block as usize] += 1;
+                    it.pc = target as usize;
+                    continue;
+                }
+                Op::Return => {
+                    it.status = BcStatus::Done;
+                    return Ok(());
+                }
+            }
+            it.pc += 1;
+        }
+    }
+}
+
+fn bc_private_load(arena: &[u8], p: PtrValue, ty: ScalarType) -> Result<Value, ExecError> {
+    let len = ty.size_bytes();
+    let off = usize::try_from(p.offset)
+        .ok()
+        .filter(|o| o + len <= arena.len())
+        .ok_or_else(|| private_oob(p, len, arena.len()))?;
+    Ok(Value::from_le_bytes(ty, &arena[off..off + len]))
+}
+
+fn bc_private_store(arena: &mut [u8], p: PtrValue, v: Value) -> Result<(), ExecError> {
+    let len = v.scalar_type().expect("scalar").size_bytes();
+    let alen = arena.len();
+    let off = usize::try_from(p.offset)
+        .ok()
+        .filter(|o| o + len <= alen)
+        .ok_or_else(|| private_oob(p, len, alen))?;
+    arena[off..off + len].copy_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{VecMemory, WorkGroupRun};
+    use crate::mathlib::ExactMath;
+
+    /// Run `func` under both engines over the same NDRange with
+    /// identically initialised memories; return both memories and stats.
+    fn run_both(
+        func: &Function,
+        global: usize,
+        local: usize,
+        init: impl Fn(&mut VecMemory) -> Vec<KernelArgValue>,
+    ) -> ((VecMemory, ExecStats), (VecMemory, ExecStats)) {
+        let compiled = CompiledKernel::compile(func);
+        let mut walk_mem = VecMemory::new();
+        let walk_args = init(&mut walk_mem);
+        let mut walk_stats = ExecStats::with_blocks(func.blocks.len());
+        let mut bc_mem = VecMemory::new();
+        let bc_args = init(&mut bc_mem);
+        let mut bc_stats = ExecStats::with_blocks(func.blocks.len());
+        for group in 0..global / local {
+            let shape = GroupShape::linear(global, local, group);
+            let mut w = WorkGroupRun::new(func, shape, &walk_args, 0).expect("walk args");
+            w.run(&mut walk_mem, &ExactMath).expect("walk runs");
+            walk_stats.merge(w.stats());
+            let mut b = BytecodeRun::new(&compiled, shape, &bc_args, 0).expect("bc args");
+            b.run(&mut bc_mem, &ExactMath).expect("bc runs");
+            bc_stats.merge(b.stats());
+        }
+        ((walk_mem, walk_stats), (bc_mem, bc_stats))
+    }
+
+    /// Looping kernel with barrier, local exchange, math call and private
+    /// storage — exercises every structural feature at once.
+    fn busy_kernel() -> Function {
+        use crate::ir::BinOp;
+        let mut b = FunctionBuilder::new("busy", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let loc = b.param("l", Type::ptr(AddressSpace::Local, ScalarType::F64));
+        let priv_slot = b.alloc_private(8, ScalarType::F64);
+        let lid = b.local_id(0);
+        let lid_f = b.cast(lid, ScalarType::I64, ScalarType::F64);
+        // priv[0] = exp(lid / 8.0)
+        let eight = b.const_f64(8.0);
+        let frac = b.fdiv(lid_f, eight, ScalarType::F64);
+        let e = b.call(Builtin::Exp, ScalarType::F64, &[frac]);
+        b.store(priv_slot, e, ScalarType::F64);
+        // l[lid] = lid; barrier; v = l[(lid+1)%n]
+        let slot = b.gep(loc, lid, ScalarType::F64);
+        b.store(slot, lid_f, ScalarType::F64);
+        b.barrier();
+        let one = b.const_i64(1);
+        let n = b.wi_query(WiQuery::LocalSize, 0);
+        let lp1 = b.bin(BinOp::Add, ScalarType::I64, lid, one);
+        let idx = b.bin(BinOp::Rem, ScalarType::I64, lp1, n);
+        let nslot = b.gep(loc, idx, ScalarType::F64);
+        let v = b.load(nslot, ScalarType::F64);
+        // acc = sum_{i=0}^{lid} i  (data-dependent trip count)
+        let acc = b.fresh(Type::Scalar(ScalarType::F64));
+        let zf = b.const_f64(0.0);
+        b.mov_into(acc, zf);
+        let i = b.fresh(Type::Scalar(ScalarType::I64));
+        let z = b.const_i64(0);
+        b.mov_into(i, z);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        let cond = b.cmp(CmpOp::Le, ScalarType::I64, i, lid);
+        b.branch(cond, body, exit);
+        b.switch_to(body);
+        let i_f = b.cast(i, ScalarType::I64, ScalarType::F64);
+        let newacc = b.fadd(acc, i_f, ScalarType::F64);
+        b.mov_into(acc, newacc);
+        let newi = b.bin(BinOp::Add, ScalarType::I64, i, one);
+        b.mov_into(i, newi);
+        b.jump(header);
+        b.switch_to(exit);
+        // out[gid] = acc + v + priv[0]
+        let pv = b.load(priv_slot, ScalarType::F64);
+        let s1 = b.fadd(acc, v, ScalarType::F64);
+        let s2 = b.fadd(s1, pv, ScalarType::F64);
+        let gid = b.global_id(0);
+        let oslot = b.gep(out, gid, ScalarType::F64);
+        b.store(oslot, s2, ScalarType::F64);
+        b.ret();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn bytecode_matches_walker_bit_for_bit() {
+        let func = busy_kernel();
+        let ((wm, ws), (bm, bs)) = run_both(&func, 8, 4, |mem| {
+            let buf = mem.alloc_global(8 * 8);
+            let l = mem.alloc_local(4 * 8);
+            vec![KernelArgValue::GlobalBuffer(buf), KernelArgValue::LocalBuffer(l)]
+        });
+        assert_eq!(wm.global_bytes(0), bm.global_bytes(0), "bit-identical output buffers");
+        assert_eq!(ws, bs, "identical ExecStats (blocks, ops, mem, barriers, phases)");
+        assert!(ws.barriers > 0 && ws.ops.transc64 > 0, "kernel actually exercised features");
+    }
+
+    #[test]
+    fn trap_messages_match_walker() {
+        // out[0] = 1 / 0 (integer) — both engines must trap identically.
+        use crate::ir::BinOp;
+        let mut b = FunctionBuilder::new("div0", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let one = b.const_i64(1);
+        let zero = b.const_i64(0);
+        let q = b.bin(BinOp::Div, ScalarType::I64, one, zero);
+        let qf = b.cast(q, ScalarType::I64, ScalarType::F64);
+        let z2 = b.const_i64(0);
+        let slot = b.gep(out, z2, ScalarType::F64);
+        b.store(slot, qf, ScalarType::F64);
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        let shape = GroupShape::linear(1, 1, 0);
+
+        let mut wm = VecMemory::new();
+        let wbuf = wm.alloc_global(8);
+        let mut w = WorkGroupRun::new(&func, shape, &[KernelArgValue::GlobalBuffer(wbuf)], 0)
+            .expect("args");
+        let werr = w.run(&mut wm, &ExactMath).expect_err("walker traps");
+
+        let mut bm = VecMemory::new();
+        let bbuf = bm.alloc_global(8);
+        let mut bc = BytecodeRun::new(&compiled, shape, &[KernelArgValue::GlobalBuffer(bbuf)], 0)
+            .expect("args");
+        let berr = bc.run(&mut bm, &ExactMath).expect_err("bytecode traps");
+        assert_eq!(werr.to_string(), berr.to_string());
+        assert!(berr.to_string().contains("integer division by zero"));
+    }
+
+    #[test]
+    fn divergence_positions_match_walker() {
+        let mut b = FunctionBuilder::new("div", true);
+        let _out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let lid = b.local_id(0);
+        let zero = b.const_i64(0);
+        let cond = b.cmp(CmpOp::Eq, ScalarType::I64, lid, zero);
+        let t = b.create_block();
+        let e = b.create_block();
+        let join = b.create_block();
+        b.branch(cond, t, e);
+        b.switch_to(t);
+        b.barrier();
+        b.jump(join);
+        b.switch_to(e);
+        b.barrier();
+        b.jump(join);
+        b.switch_to(join);
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        let shape = GroupShape::linear(2, 2, 0);
+
+        let run_engine = |walk: bool| -> ExecError {
+            let mut mem = VecMemory::new();
+            let buf = mem.alloc_global(8);
+            let args = [KernelArgValue::GlobalBuffer(buf)];
+            if walk {
+                let mut r = WorkGroupRun::new(&func, shape, &args, 0).expect("args");
+                r.run(&mut mem, &ExactMath).expect_err("diverges")
+            } else {
+                let mut r = BytecodeRun::new(&compiled, shape, &args, 0).expect("args");
+                r.run(&mut mem, &ExactMath).expect_err("diverges")
+            }
+        };
+        let (we, be) = (run_engine(true), run_engine(false));
+        assert_eq!(we.to_string(), be.to_string(), "same (block, inst) positions reported");
+        assert!(matches!(be, ExecError::BarrierDivergence { .. }));
+    }
+
+    #[test]
+    fn step_limit_applies_identically() {
+        let mut b = FunctionBuilder::new("spin", true);
+        let _p = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let header = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.jump(header);
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        let shape = GroupShape::linear(1, 1, 0);
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let mut r = BytecodeRun::new(&compiled, shape, &[KernelArgValue::GlobalBuffer(buf)], 500)
+            .expect("args");
+        assert!(matches!(r.run(&mut mem, &ExactMath), Err(ExecError::StepLimitExceeded)));
+    }
+
+    #[test]
+    fn bad_args_rejected_with_walker_messages() {
+        let mut b = FunctionBuilder::new("k", true);
+        let _p = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        let shape = GroupShape::linear(1, 1, 0);
+        let walker_err = match WorkGroupRun::new(&func, shape, &[], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("walker accepted bad args"),
+        };
+        let bc_err = match BytecodeRun::new(&compiled, shape, &[], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("bytecode accepted bad args"),
+        };
+        assert_eq!(walker_err.to_string(), bc_err.to_string());
+        assert!(matches!(
+            BytecodeRun::new(&compiled, shape, &[KernelArgValue::Scalar(Value::F64(1.0))], 0),
+            Err(ExecError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn constants_are_interned_by_bits() {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let a = b.const_f64(2.0);
+        let c = b.const_f64(2.0); // same bits: shares a pool slot
+        let d = b.const_f64(3.0);
+        let s = b.fadd(a, c, ScalarType::F64);
+        let s2 = b.fadd(s, d, ScalarType::F64);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, s2, ScalarType::F64);
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        // Pool: 2.0, 3.0, 0i64 — the duplicate 2.0 is interned away.
+        assert_eq!(compiled.const_count(), 3);
+        assert_eq!(compiled.num_blocks(), 1);
+    }
+
+    #[test]
+    fn disassembly_lists_pool_blocks_and_jumps() {
+        let func = busy_kernel();
+        let compiled = CompiledKernel::compile(&func);
+        let dump = compiled.to_string();
+        assert!(dump.contains("bytecode @busy("));
+        assert!(dump.contains("c0 ="), "constant pool listed");
+        assert!(dump.contains("b0:"), "block labels present");
+        assert!(dump.contains("jump @"), "resolved jump offsets shown");
+        assert!(dump.contains("br r"), "branches shown");
+        assert!(dump.contains("barrier"));
+        assert!(dump.contains("exp.double("), "builtin call shown");
+        assert!(dump.contains("ret"));
+    }
+}

@@ -80,7 +80,7 @@ impl fmt::Display for InstDisplay<'_> {
     }
 }
 
-fn bin_name(op: BinOp) -> &'static str {
+pub(crate) fn bin_name(op: BinOp) -> &'static str {
     match op {
         BinOp::Add => "add",
         BinOp::Sub => "sub",
@@ -97,7 +97,7 @@ fn bin_name(op: BinOp) -> &'static str {
     }
 }
 
-fn un_name(op: UnOp) -> &'static str {
+pub(crate) fn un_name(op: UnOp) -> &'static str {
     match op {
         UnOp::Neg => "neg",
         UnOp::Not => "not",
@@ -106,7 +106,7 @@ fn un_name(op: UnOp) -> &'static str {
     }
 }
 
-fn cmp_name(op: CmpOp) -> &'static str {
+pub(crate) fn cmp_name(op: CmpOp) -> &'static str {
     match op {
         CmpOp::Eq => "eq",
         CmpOp::Ne => "ne",

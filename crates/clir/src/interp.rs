@@ -920,7 +920,7 @@ impl<'f> WorkGroupRun<'f> {
     }
 }
 
-fn private_oob(p: PtrValue, len: usize, size: usize) -> ExecError {
+pub(crate) fn private_oob(p: PtrValue, len: usize, size: usize) -> ExecError {
     ExecError::Mem(MemAccessError {
         space: AddressSpace::Private,
         buffer: 0,

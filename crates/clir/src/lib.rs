@@ -5,7 +5,12 @@
 //! together with
 //!
 //! * a work-group **interpreter** with faithful barrier suspension semantics
-//!   ([`interp`]),
+//!   ([`interp`]), and a compiled **bytecode engine** ([`bytecode`]) that is
+//!   bit-identical to it but replaces tree-walking with a linear dispatch
+//!   loop,
+//! * an optimizing **pass pipeline** ([`passes`]: constant folding, DCE,
+//!   local CSE, branch simplification) standing in for the scalar cleanups
+//!   of the offline `aoc` compiler,
 //! * pluggable **device math libraries** ([`mathlib`]) including a
 //!   reduced-precision library that reproduces the paper's FPGA `pow`
 //!   operator inaccuracy (Section V.C of the paper),
@@ -57,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod bytecode;
 pub mod display;
 pub mod eval;
 pub mod interp;
 pub mod ir;
 pub mod mathlib;
+pub mod passes;
 pub mod softmath;
 pub mod stats;
 pub mod types;

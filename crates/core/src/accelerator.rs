@@ -11,7 +11,7 @@ use bop_finance::types::OptionParams;
 use bop_finance::{binomial, metrics};
 use bop_obs::{Json, MetricsRegistry};
 use bop_ocl::queue::RuntimeError;
-use bop_ocl::{BuildOptions, BuildReport, CommandQueue, Context, Device, Program};
+use bop_ocl::{BuildOptions, BuildReport, CommandQueue, Context, Device, Engine, Program};
 use std::sync::Arc;
 
 /// The complete description of an accelerator, ready to be realised by
@@ -37,6 +37,13 @@ pub struct AcceleratorConfig {
     /// NDRange interpreter thread count override (wall-clock knob only;
     /// results are identical for every count).
     pub workers: Option<usize>,
+    /// Kernel execution engine override (`None` = the queue default:
+    /// `BOP_SIM_ENGINE`, else bytecode). A wall-clock knob only — both
+    /// engines are bit-identical.
+    pub engine: Option<Engine>,
+    /// Per-work-group instruction budget override (`None` = the queue
+    /// default: `BOP_SIM_STEP_LIMIT`, else the interpreter default).
+    pub step_limit: Option<u64>,
     /// Use the paper's "reduced number of read operations" variant of
     /// the straightforward host program (root-only reads).
     pub reduced_reads: bool,
@@ -56,6 +63,8 @@ impl AcceleratorConfig {
             build: None,
             metrics: None,
             workers: None,
+            engine: None,
+            step_limit: None,
             reduced_reads: false,
         }
     }
@@ -66,6 +75,27 @@ impl AcceleratorConfig {
     /// Same as [`Accelerator::from_config`].
     pub fn build(self) -> Result<Accelerator, Error> {
         Accelerator::from_config(self)
+    }
+
+    /// Realise the configuration `n` times, compiling the kernel **once**:
+    /// the first accelerator is built from the config and the rest are
+    /// clones sharing its compiled program. This is how the serving layer
+    /// builds identical shards without paying per-shard compilation.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::from_config`]; rejects `n == 0`.
+    pub fn build_pool(self, n: usize) -> Result<Vec<Accelerator>, Error> {
+        if n == 0 {
+            return Err(Error::Invalid("a pool needs at least one shard".into()));
+        }
+        let first = Accelerator::from_config(self)?;
+        let mut pool = Vec::with_capacity(n);
+        for _ in 1..n {
+            pool.push(first.clone());
+        }
+        pool.push(first);
+        pool.rotate_right(1);
+        Ok(pool)
     }
 }
 
@@ -118,6 +148,24 @@ impl AcceleratorBuilder {
         self
     }
 
+    /// Select the kernel execution engine for every session this
+    /// accelerator opens (default: the queue's `BOP_SIM_ENGINE` /
+    /// bytecode heuristic). A wall-clock knob only — prices, statistics
+    /// and the simulated clock are identical on both engines.
+    pub fn engine(mut self, engine: Engine) -> AcceleratorBuilder {
+        self.config.engine = Some(engine);
+        self
+    }
+
+    /// Bound the instructions any single work-group may execute (0 = the
+    /// interpreter default; sessions default to the queue's
+    /// `BOP_SIM_STEP_LIMIT` heuristic). Exceeding the budget fails the
+    /// pricing run instead of hanging on a runaway kernel.
+    pub fn step_limit(mut self, step_limit: u64) -> AcceleratorBuilder {
+        self.config.step_limit = Some(step_limit);
+        self
+    }
+
     /// Switch the straightforward host program to the paper's "modified
     /// version ... with a reduced number of read operations" (root-only
     /// reads). No effect on the optimized architecture.
@@ -138,6 +186,15 @@ impl AcceleratorBuilder {
     /// the kernel does not compile or fit.
     pub fn build(self) -> Result<Accelerator, Error> {
         Accelerator::from_config(self.config)
+    }
+
+    /// Compile the kernel once and produce `n` accelerators sharing the
+    /// compiled program (see [`AcceleratorConfig::build_pool`]).
+    ///
+    /// # Errors
+    /// Same as [`AcceleratorBuilder::build`]; rejects `n == 0`.
+    pub fn build_pool(self, n: usize) -> Result<Vec<Accelerator>, Error> {
+        self.config.build_pool(n)
     }
 }
 
@@ -206,17 +263,53 @@ impl Projection {
 
 /// An option-pricing accelerator: one device + one kernel architecture +
 /// build options, ready to price batches.
+///
+/// The kernel is compiled **once**, when the accelerator is built; every
+/// session ([`Accelerator::price`], [`Accelerator::project`], …) reuses
+/// the cached [`Program`] — including its optimised module and register
+/// bytecode. Cloning an accelerator (see
+/// [`AcceleratorConfig::build_pool`]) shares the same compiled program
+/// across the clones.
 pub struct Accelerator {
     device: Arc<dyn Device>,
     arch: KernelArch,
     precision: Precision,
     n_steps: usize,
     build: BuildOptions,
+    program: Program,
     report: BuildReport,
     read_full: bool,
     fit_cache: std::sync::OnceLock<StatsFit>,
     metrics: Option<Arc<MetricsRegistry>>,
     workers: Option<usize>,
+    engine: Option<Engine>,
+    step_limit: Option<u64>,
+}
+
+impl Clone for Accelerator {
+    /// Clones share the compiled program (reference-counted) and the
+    /// calibration fit computed so far.
+    fn clone(&self) -> Accelerator {
+        let fit_cache = std::sync::OnceLock::new();
+        if let Some(fit) = self.fit_cache.get() {
+            let _ = fit_cache.set(fit.clone());
+        }
+        Accelerator {
+            device: self.device.clone(),
+            arch: self.arch,
+            precision: self.precision,
+            n_steps: self.n_steps,
+            build: self.build.clone(),
+            program: self.program.clone(),
+            report: self.report.clone(),
+            read_full: self.read_full,
+            fit_cache,
+            metrics: self.metrics.clone(),
+            workers: self.workers,
+            engine: self.engine,
+            step_limit: self.step_limit,
+        }
+    }
 }
 
 impl Accelerator {
@@ -250,6 +343,8 @@ impl Accelerator {
             build,
             metrics,
             workers,
+            engine,
+            step_limit,
             reduced_reads,
         } = config;
         if n_steps < 2 {
@@ -257,7 +352,13 @@ impl Accelerator {
         }
         let build = build.unwrap_or_else(|| arch.paper_build_options());
         let ctx = Context::new(device.clone());
-        let program = Program::from_source(&ctx, "kernel.cl", &arch.source(precision), &build)?;
+        let program = Program::from_source_with_metrics(
+            &ctx,
+            "kernel.cl",
+            &arch.source(precision),
+            &build,
+            metrics.as_deref(),
+        )?;
         let report = program.report();
         if let Some(registry) = &metrics {
             publish_device_gauges(registry, &device, arch, &report);
@@ -268,11 +369,14 @@ impl Accelerator {
             precision,
             n_steps,
             build,
+            program,
             report,
             read_full: !reduced_reads,
             fit_cache: std::sync::OnceLock::new(),
             metrics,
             workers: workers.map(|w| w.max(1)),
+            engine,
+            step_limit,
         })
     }
 
@@ -330,9 +434,15 @@ impl Accelerator {
         self
     }
 
-    /// The build report (Table I shape: resources, Fmax, power).
+    /// The build report (Table I shape: resources, Fmax, power, pass
+    /// pipeline).
     pub fn report(&self) -> &BuildReport {
         &self.report
+    }
+
+    /// The compiled program every session of this accelerator shares.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The kernel architecture.
@@ -366,16 +476,18 @@ impl Accelerator {
         if let Some(workers) = self.workers {
             queue.set_workers(workers);
         }
+        if let Some(engine) = self.engine {
+            queue.set_engine(engine);
+        }
+        if let Some(step_limit) = self.step_limit {
+            queue.set_step_limit(step_limit);
+        }
         if let Some(reg) = &self.metrics {
             queue.attach_metrics(reg.clone());
         }
-        let program = Program::from_source(
-            &ctx,
-            "kernel.cl",
-            &self.arch.source(self.precision),
-            &self.build,
-        )?;
-        Ok((ctx, queue, program))
+        // The program was compiled when the accelerator was built; every
+        // session shares it (fresh memory comes from the session context).
+        Ok((ctx, queue, self.program.clone()))
     }
 
     fn run_host(

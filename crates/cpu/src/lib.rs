@@ -218,6 +218,7 @@ impl DeviceProgram for CpuProgram {
             resources: None,
             logic_utilization: None,
             power_watts: self.model.tdp_watts,
+            passes: None,
         }
     }
 

@@ -27,13 +27,15 @@ fn host_leaves_fallback(c: &mut Criterion) {
     let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 4);
     let mut g = c.benchmark_group("fallback_n64");
     g.sample_size(20);
-    for (name, arch) in [
-        ("device_pow", KernelArch::Optimized),
-        ("host_leaves", KernelArch::OptimizedHostLeaves),
-    ] {
-        let acc =
-            Accelerator::builder(bop_core::devices::fpga()).arch(arch).precision(Precision::Double).n_steps(64).build()
-                .expect("builds");
+    for (name, arch) in
+        [("device_pow", KernelArch::Optimized), ("host_leaves", KernelArch::OptimizedHostLeaves)]
+    {
+        let acc = Accelerator::builder(bop_core::devices::fpga())
+            .arch(arch)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
+            .expect("builds");
         g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
     }
     g.finish();

@@ -15,7 +15,11 @@ fn functional_pricing(c: &mut Criterion) {
         ("gpu", bop_core::devices::gpu()),
         ("cpu", bop_core::devices::cpu()),
     ] {
-        let acc = Accelerator::builder(device).arch(KernelArch::Optimized).precision(Precision::Double).n_steps(64).build()
+        let acc = Accelerator::builder(device)
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .build()
             .expect("builds");
         g.bench_function(name, |b| b.iter(|| black_box(acc.price(&options).expect("prices"))));
     }
@@ -25,8 +29,12 @@ fn functional_pricing(c: &mut Criterion) {
 fn projection(c: &mut Criterion) {
     let mut g = c.benchmark_group("project_paper_scale");
     g.sample_size(10);
-    let acc = Accelerator::builder(bop_core::devices::fpga()).arch(KernelArch::Optimized).precision(Precision::Double).n_steps(1023).build()
-    .expect("builds");
+    let acc = Accelerator::builder(bop_core::devices::fpga())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(1023)
+        .build()
+        .expect("builds");
     // Warm the calibration cache so the bench measures the replay.
     acc.calibrate().expect("calibrates");
     g.bench_function("fpga_iv_b_2000_options", |b| {

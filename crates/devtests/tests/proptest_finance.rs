@@ -29,11 +29,7 @@ fn option_strategy() -> impl Strategy<Value = OptionParams> {
                     expiry,
                     dividend_yield,
                     kind: if call { OptionKind::Call } else { OptionKind::Put },
-                    style: if american {
-                        ExerciseStyle::American
-                    } else {
-                        ExerciseStyle::European
-                    },
+                    style: if american { ExerciseStyle::American } else { ExerciseStyle::European },
                 }
             },
         )

@@ -70,11 +70,7 @@ impl FExpr {
 }
 
 fn fexpr_strategy() -> impl Strategy<Value = FExpr> {
-    let leaf = prop_oneof![
-        (-8.0..8.0f64).prop_map(FExpr::Lit),
-        Just(FExpr::X),
-        Just(FExpr::Y),
-    ];
+    let leaf = prop_oneof![(-8.0..8.0f64).prop_map(FExpr::Lit), Just(FExpr::X), Just(FExpr::Y),];
     leaf.prop_recursive(5, 48, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(a.into(), b.into())),
@@ -84,17 +80,19 @@ fn fexpr_strategy() -> impl Strategy<Value = FExpr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Min(a.into(), b.into())),
             inner.clone().prop_map(|a| FExpr::Abs(a.into())),
             inner.clone().prop_map(|a| FExpr::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| FExpr::Ternary(c.into(), t.into(), e.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| FExpr::Ternary(
+                c.into(),
+                t.into(),
+                e.into()
+            )),
         ]
     })
 }
 
 /// Compile a one-statement kernel and run a single work-item.
 fn run_kernel(body: &str, x: f64, y: f64, no_opt: bool) -> f64 {
-    let src = format!(
-        "__kernel void k(__global double* o, double x, double y) {{ o[0] = {body}; }}"
-    );
+    let src =
+        format!("__kernel void k(__global double* o, double x, double y) {{ o[0] = {body}; }}");
     let module = compile("prop.cl", &src, &Options { no_opt, ..Options::default() })
         .unwrap_or_else(|e| panic!("compile failed for `{body}`: {e}"));
     let func = module.kernel("k").expect("kernel");

@@ -189,6 +189,7 @@ impl DeviceProgram for FpgaProgram {
             resources: Some(self.fit.resources),
             logic_utilization: Some(self.fit.logic_util),
             power_watts: self.fit.power_watts,
+            passes: None,
         }
     }
 

@@ -136,6 +136,7 @@ impl DeviceProgram for GpuProgram {
             resources: None,
             logic_utilization: None,
             power_watts: self.tdp,
+            passes: None,
         }
     }
 

@@ -6,7 +6,10 @@
 //!
 //! * [`metrics`] — a labeled metrics registry (counters, gauges,
 //!   histograms) populated by the `bop-ocl` command queue, the
-//!   `bop-clir` interpreter, and the device models;
+//!   `bop-clir` interpreter, and the device models; program builds
+//!   contribute the `compile.*` histogram family (frontend, pass
+//!   pipeline, device compile, bytecode emission and total seconds,
+//!   labelled by device);
 //! * [`trace`] — structured span tracing with parent/child linkage
 //!   (host-program phases → queue commands → barrier phases),
 //!   exportable as Chrome trace-event JSON that loads in Perfetto;

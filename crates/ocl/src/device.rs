@@ -229,6 +229,10 @@ pub struct BuildReport {
     pub logic_utilization: Option<f64>,
     /// Estimated device power while running this program, watts.
     pub power_watts: f64,
+    /// Per-pass statistics of the runtime optimisation pipeline that ran
+    /// before device compilation ([`crate::Program`] fills this in; device
+    /// models leave it `None`).
+    pub passes: Option<bop_clir::passes::PipelineReport>,
 }
 
 /// Error from compiling or fitting a program on a device.
@@ -236,12 +240,23 @@ pub struct BuildReport {
 pub struct BuildError {
     /// Explanation (front-end diagnostics or fitter failures).
     pub message: String,
+    source: Option<Arc<dyn std::error::Error + Send + Sync>>,
 }
 
 impl BuildError {
     /// Construct from any displayable cause.
     pub fn new(message: impl Into<String>) -> BuildError {
-        BuildError { message: message.into() }
+        BuildError { message: message.into(), source: None }
+    }
+
+    /// Construct with an underlying structured cause, preserved through
+    /// [`std::error::Error::source`] so callers can downcast (e.g. to
+    /// [`bop_clir::verify::VerifyError`] when a pass produced invalid IR).
+    pub fn with_source(
+        message: impl Into<String>,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> BuildError {
+        BuildError { message: message.into(), source: Some(Arc::new(source)) }
     }
 }
 
@@ -251,11 +266,21 @@ impl fmt::Display for BuildError {
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source.as_ref().map(|e| &**e as &(dyn std::error::Error + 'static))
+    }
+}
 
 impl From<bop_clc::CompileError> for BuildError {
     fn from(e: bop_clc::CompileError) -> BuildError {
         BuildError::new(e.to_string())
+    }
+}
+
+impl From<bop_clir::verify::VerifyError> for BuildError {
+    fn from(e: bop_clir::verify::VerifyError) -> BuildError {
+        BuildError::with_source(format!("pass pipeline produced invalid IR: {e}"), e)
     }
 }
 

@@ -8,11 +8,16 @@
 //! pipelines and timing/power models.
 //!
 //! Execution is functional **and** timed: enqueued commands run the kernels
-//! through the `bop-clir` interpreter (so results, and result *errors* like
+//! through the `bop-clir` engines (so results, and result *errors* like
 //! the FPGA `pow` inaccuracy, are real) while a simulated clock advances
 //! according to the device's performance model and the host-device link
 //! model. Events expose the simulated timestamps the way
 //! `clGetEventProfilingInfo` would.
+//!
+//! Programs are optimised by the runtime pass pipeline and flattened to
+//! register bytecode at build time; launches execute on the bytecode
+//! engine by default ([`queue::Engine`], `BOP_SIM_ENGINE`), with the
+//! tree-walking interpreter available as the bit-identical reference.
 //!
 //! For paper-scale workloads (10^9 tree nodes) functional interpretation is
 //! replaced by a caller-supplied statistics model
@@ -66,4 +71,4 @@ pub use device::{
 };
 pub use platform::Platform;
 pub use program::{Kernel, KernelArg, Program};
-pub use queue::{CommandQueue, Event, ProfilingInfo};
+pub use queue::{CommandQueue, Engine, Event, ProfilingInfo};

@@ -2,14 +2,30 @@
 
 use crate::context::{Buffer, Context};
 use crate::device::{BuildError, BuildOptions, BuildReport, DeviceProgram};
+use bop_clir::bytecode::CompiledKernel;
 use bop_clir::ir::Module;
+use bop_clir::passes::{Pipeline, PipelineReport};
 use bop_clir::value::Value;
+use bop_obs::MetricsRegistry;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A program built for the context's device.
+///
+/// Building runs the front-end (for sources), then the runtime
+/// optimisation [`Pipeline`] selected by the build options, verifies the
+/// post-pass IR, compiles it for the device, and finally flattens every
+/// kernel to register [bytecode](bop_clir::bytecode) — compiled once here
+/// and cached, so sessions and shards that clone the program share the
+/// same compiled kernels. Cloning is cheap (the compiled artifacts are
+/// reference-counted).
+#[derive(Clone)]
 pub struct Program {
     device_program: Arc<dyn DeviceProgram>,
+    compiled: Arc<HashMap<String, Arc<CompiledKernel>>>,
+    pass_report: Arc<PipelineReport>,
 }
 
 impl Program {
@@ -25,36 +41,119 @@ impl Program {
         source: &str,
         options: &BuildOptions,
     ) -> Result<Program, BuildError> {
+        Program::from_source_with_metrics(ctx, source_name, source, options, None)
+    }
+
+    /// Like [`Program::from_source`], publishing `compile.*` timing
+    /// histograms (front-end, pass pipeline, device compile, bytecode
+    /// emission and total, in seconds) into `metrics`.
+    ///
+    /// # Errors
+    /// Same as [`Program::from_source`].
+    pub fn from_source_with_metrics(
+        ctx: &Arc<Context>,
+        source_name: &str,
+        source: &str,
+        options: &BuildOptions,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<Program, BuildError> {
+        let total = Instant::now();
         let clc_options = bop_clc::Options {
             unroll_override: options.unroll,
             no_opt: options.no_opt,
             cse: options.cse,
         };
-        let module = Arc::new(bop_clc::compile(source_name, source, &clc_options)?);
-        Program::from_module(ctx, module, options)
+        let t = Instant::now();
+        let module = bop_clc::compile(source_name, source, &clc_options)?;
+        let frontend_s = t.elapsed().as_secs_f64();
+        Program::build(ctx, module, options, metrics, frontend_s, total)
     }
 
-    /// Build an already-lowered module for the context's device.
+    /// Build an already-lowered module for the context's device. The
+    /// runtime pass pipeline, post-pass verification and bytecode
+    /// compilation run exactly as in [`Program::from_source`].
     ///
     /// # Errors
-    /// Returns [`BuildError`] on device fitting failures.
+    /// Returns [`BuildError`] on device fitting failures or when the pass
+    /// pipeline produces invalid IR.
     pub fn from_module(
         ctx: &Arc<Context>,
         module: Arc<Module>,
         options: &BuildOptions,
     ) -> Result<Program, BuildError> {
-        let device_program = ctx.device().compile(module, options)?;
-        Ok(Program { device_program })
+        let module = Arc::try_unwrap(module).unwrap_or_else(|m| (*m).clone());
+        Program::build(ctx, module, options, None, 0.0, Instant::now())
     }
 
-    /// The device build report (Table I shape).
+    fn build(
+        ctx: &Arc<Context>,
+        module: Module,
+        options: &BuildOptions,
+        metrics: Option<&MetricsRegistry>,
+        frontend_s: f64,
+        total: Instant,
+    ) -> Result<Program, BuildError> {
+        // Re-optimise with the named pipeline matching the build options
+        // (idempotent over the front-end's own cleanups), then refuse to
+        // hand the device — or the bytecode compiler, which assumes
+        // verified IR — anything a pass broke.
+        let t = Instant::now();
+        let pipeline = Pipeline::for_options(options.no_opt, options.cse);
+        let (module, pass_report) = pipeline.run(module);
+        bop_clir::verify::verify_module(&module)?;
+        let passes_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let device_program = ctx.device().compile(Arc::new(module), options)?;
+        let device_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let compiled: HashMap<String, Arc<CompiledKernel>> = device_program
+            .module()
+            .kernels()
+            .map(|k| (k.name.clone(), Arc::new(CompiledKernel::compile(k))))
+            .collect();
+        let bytecode_s = t.elapsed().as_secs_f64();
+
+        if let Some(reg) = metrics {
+            let device = ctx.device().info().kind.to_string();
+            let labels = [("device", device.as_str())];
+            reg.observe("compile.frontend_seconds", &labels, frontend_s);
+            reg.observe("compile.passes_seconds", &labels, passes_s);
+            reg.observe("compile.device_seconds", &labels, device_s);
+            reg.observe("compile.bytecode_seconds", &labels, bytecode_s);
+            reg.observe("compile.total_seconds", &labels, total.elapsed().as_secs_f64());
+        }
+        Ok(Program {
+            device_program,
+            compiled: Arc::new(compiled),
+            pass_report: Arc::new(pass_report),
+        })
+    }
+
+    /// The device build report (Table I shape), with
+    /// [`BuildReport::passes`] filled in from the runtime pipeline.
     pub fn report(&self) -> BuildReport {
-        self.device_program.report()
+        let mut report = self.device_program.report();
+        report.passes = Some((*self.pass_report).clone());
+        report
+    }
+
+    /// Per-pass statistics of the optimisation pipeline this program was
+    /// built with.
+    pub fn pass_report(&self) -> &PipelineReport {
+        &self.pass_report
     }
 
     /// The compiled module.
     pub fn module(&self) -> &Arc<Module> {
         self.device_program.module()
+    }
+
+    /// The cached register-bytecode form of kernel `name`, if present
+    /// (every kernel of the module is compiled at build time).
+    pub fn compiled_kernel(&self, name: &str) -> Option<&Arc<CompiledKernel>> {
+        self.compiled.get(name)
     }
 
     /// Create a kernel handle by name.
@@ -70,6 +169,7 @@ impl Program {
         let nargs = func.params.len();
         Ok(Kernel {
             device_program: self.device_program.clone(),
+            compiled: self.compiled.get(name).cloned(),
             name: name.to_owned(),
             args: Mutex::new(vec![None; nargs]),
         })
@@ -91,6 +191,7 @@ pub enum KernelArg {
 /// A kernel handle with argument bindings.
 pub struct Kernel {
     pub(crate) device_program: Arc<dyn DeviceProgram>,
+    pub(crate) compiled: Option<Arc<CompiledKernel>>,
     pub(crate) name: String,
     pub(crate) args: Mutex<Vec<Option<KernelArg>>>,
 }

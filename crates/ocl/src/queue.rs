@@ -12,6 +12,7 @@
 use crate::context::{Buffer, Context};
 use crate::device::Dispatch;
 use crate::program::{Kernel, KernelArg};
+use bop_clir::bytecode::{BytecodeRun, CompiledKernel};
 use bop_clir::interp::WorkerMemory;
 use bop_clir::interp::{ExecError, GlobalArena, GroupShape, KernelArgValue, WorkGroupRun};
 use bop_clir::ir::Function;
@@ -22,6 +23,59 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::sync::Mutex;
+
+/// Which kernel execution engine an NDRange launch uses. Both engines are
+/// bit-identical — same prices, statistics, counters, traces and error
+/// messages; the bytecode engine is simply faster wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The `bop-clir` tree-walking interpreter ([`WorkGroupRun`]) — the
+    /// reference engine.
+    Walk,
+    /// The compiled register-bytecode engine ([`BytecodeRun`]); falls back
+    /// to the walker for kernels with no cached bytecode.
+    #[default]
+    Bytecode,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Walk => "walk",
+            Engine::Bytecode => "bytecode",
+        })
+    }
+}
+
+/// Parse an engine name as accepted by `BOP_SIM_ENGINE`: `walk` (or
+/// `tree`) and `bytecode` (or `bc`), case-insensitive.
+pub fn parse_engine(s: &str) -> Option<Engine> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "walk" | "tree" => Some(Engine::Walk),
+        "bytecode" | "bc" => Some(Engine::Bytecode),
+        _ => None,
+    }
+}
+
+/// Engine used when none is configured: `BOP_SIM_ENGINE` if set to a name
+/// [`parse_engine`] accepts, else the bytecode engine.
+fn default_engine() -> Engine {
+    std::env::var("BOP_SIM_ENGINE").ok().and_then(|v| parse_engine(&v)).unwrap_or_default()
+}
+
+/// Parse a step-limit value as accepted by `BOP_SIM_STEP_LIMIT`: a
+/// non-negative integer, where 0 selects the interpreter default
+/// ([`bop_clir::interp::DEFAULT_STEP_LIMIT`]).
+pub fn parse_step_limit(s: &str) -> Option<u64> {
+    s.trim().parse::<u64>().ok()
+}
+
+/// Per-work-group instruction budget used when none is configured:
+/// `BOP_SIM_STEP_LIMIT` if set to an integer, else 0 (the interpreter
+/// default).
+fn default_step_limit() -> u64 {
+    std::env::var("BOP_SIM_STEP_LIMIT").ok().and_then(|v| parse_step_limit(&v)).unwrap_or(0)
+}
 
 /// Runtime error from an enqueued command.
 #[derive(Debug, Clone)]
@@ -215,6 +269,8 @@ pub struct CommandQueue {
     timing_model: Mutex<Option<Box<StatsModel>>>,
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
     workers: Mutex<usize>,
+    engine: Mutex<Engine>,
+    step_limit: Mutex<u64>,
 }
 
 /// Worker-thread count for parallel NDRange interpretation when none is
@@ -249,7 +305,37 @@ impl CommandQueue {
             timing_model: Mutex::new(None),
             metrics: Mutex::new(None),
             workers: Mutex::new(default_workers()),
+            engine: Mutex::new(default_engine()),
+            step_limit: Mutex::new(default_step_limit()),
         }
+    }
+
+    /// Select the kernel execution engine for NDRange launches (default:
+    /// `BOP_SIM_ENGINE`, else the bytecode engine). Purely a wall-clock
+    /// knob: both engines produce bit-identical results, statistics,
+    /// counters, traces and errors.
+    pub fn set_engine(&self, engine: Engine) {
+        *self.engine.lock().unwrap() = engine;
+    }
+
+    /// The configured kernel execution engine.
+    pub fn engine(&self) -> Engine {
+        *self.engine.lock().unwrap()
+    }
+
+    /// Set the per-work-group instruction budget for NDRange launches;
+    /// 0 (the default, overridable via `BOP_SIM_STEP_LIMIT`) selects the
+    /// interpreter's [`bop_clir::interp::DEFAULT_STEP_LIMIT`]. Exceeding
+    /// the budget fails the launch with
+    /// [`ExecError::StepLimitExceeded`](bop_clir::interp::ExecError).
+    pub fn set_step_limit(&self, step_limit: u64) {
+        *self.step_limit.lock().unwrap() = step_limit;
+    }
+
+    /// The configured per-work-group instruction budget (0 = interpreter
+    /// default).
+    pub fn step_limit(&self) -> u64 {
+        *self.step_limit.lock().unwrap()
     }
 
     /// Set the number of worker threads used to interpret the work-groups
@@ -882,10 +968,13 @@ impl CommandQueue {
             interpret_groups(
                 &mut mem,
                 func,
+                kernel.compiled.as_deref(),
                 kernel.device_program.math(),
                 &args,
                 dispatch,
                 self.workers(),
+                self.engine(),
+                self.step_limit(),
             )?
         };
 
@@ -932,13 +1021,21 @@ impl CommandQueue {
 /// and every worker stops at its first failing group, so the error
 /// reported from the lowest-indexed failing worker is the one the
 /// sequential loop would have hit first.
+///
+/// Each group runs on the selected [`Engine`]: the compiled bytecode when
+/// available (and `engine` asks for it), else the tree-walker. The two
+/// are bit-identical, so the choice never changes results or statistics.
+#[allow(clippy::too_many_arguments)]
 fn interpret_groups(
     mem: &mut GlobalArena,
     func: &Function,
+    compiled: Option<&CompiledKernel>,
     math: &dyn MathLib,
     args: &[KernelArg],
     dispatch: Dispatch,
     workers: usize,
+    engine: Engine,
+    step_limit: u64,
 ) -> Result<ExecStats, RuntimeError> {
     let groups = dispatch.groups();
     let shared = mem.shared();
@@ -958,9 +1055,18 @@ fn interpret_groups(
                 })
                 .collect();
             let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
-            let mut run = WorkGroupRun::new(func, shape, &arg_values, 0)?;
-            run.run(&mut local, math)?;
-            total.merge(run.stats());
+            match (engine, compiled) {
+                (Engine::Bytecode, Some(bc)) => {
+                    let mut run = BytecodeRun::new(bc, shape, &arg_values, step_limit)?;
+                    run.run(&mut local, math)?;
+                    total.merge(run.stats());
+                }
+                _ => {
+                    let mut run = WorkGroupRun::new(func, shape, &arg_values, step_limit)?;
+                    run.run(&mut local, math)?;
+                    total.merge(run.stats());
+                }
+            }
         }
         Ok(total)
     };

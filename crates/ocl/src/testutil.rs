@@ -72,6 +72,7 @@ impl DeviceProgram for NullProgram {
             resources: None,
             logic_utilization: None,
             power_watts: 10.0,
+            passes: None,
         }
     }
 

@@ -43,15 +43,12 @@
 //! use bop_serve::{PricingService, ServeConfig};
 //!
 //! # fn main() -> Result<(), bop_core::Error> {
-//! let shards = (0..2)
-//!     .map(|_| {
-//!         Accelerator::builder(bop_core::devices::gpu())
-//!             .arch(KernelArch::Optimized)
-//!             .precision(Precision::Double)
-//!             .n_steps(64)
-//!             .build()
-//!     })
-//!     .collect::<Result<Vec<_>, _>>()?;
+//! // `build_pool` compiles the kernel once; the shards share the program.
+//! let shards = Accelerator::builder(bop_core::devices::gpu())
+//!     .arch(KernelArch::Optimized)
+//!     .precision(Precision::Double)
+//!     .n_steps(64)
+//!     .build_pool(2)?;
 //! let service = PricingService::start(shards, ServeConfig::default())?;
 //! let ticket = service.submit(vec![OptionParams::example()], None)?;
 //! let prices = ticket.wait()?;

@@ -1,0 +1,281 @@
+//! Integration: the compile pipeline (passes -> verify -> bytecode) and
+//! the engine-equivalence contract.
+//!
+//! The tree-walking interpreter is the reference semantics; the register
+//! bytecode engine is the default hot path. The first half pins down the
+//! differential guarantee — both of the paper's host programs on all
+//! three device models must produce bit-identical prices, merged
+//! `ExecStats`, `QueueCounters` and exported traces on either engine at
+//! any worker count. The second half covers the knobs and failure modes
+//! around the pipeline: engine/step-limit selection (builder and env
+//! syntax), the structured error for pass-corrupted IR, compile metrics,
+//! and program sharing across pooled shards.
+
+use bop_core::hostprog::optimized::OptimizedHost;
+use bop_core::hostprog::straightforward::StraightforwardHost;
+use bop_core::{devices, Accelerator, KernelArch, Precision};
+use bop_finance::types::OptionParams;
+use bop_ocl::queue::{parse_engine, parse_step_limit};
+use bop_ocl::{BuildOptions, CommandQueue, Context, Device, Engine, Program};
+use std::sync::Arc;
+
+struct Outcome {
+    prices: Vec<f64>,
+    stats: Option<bop_clir::stats::ExecStats>,
+    counters: bop_ocl::queue::QueueCounters,
+    chrome: String,
+    sim_s: f64,
+}
+
+fn run_host(device: Arc<dyn Device>, arch: KernelArch, engine: Engine, workers: usize) -> Outcome {
+    let ctx = Context::new(device);
+    let queue = CommandQueue::new(&ctx);
+    queue.set_workers(workers);
+    queue.set_engine(engine);
+    queue.enable_trace();
+    let program = Program::from_source(
+        &ctx,
+        "kernel.cl",
+        &arch.source(Precision::Double),
+        &BuildOptions::default(),
+    )
+    .expect("kernel builds");
+    let options = vec![OptionParams::example(); 5];
+    let n_steps = 24;
+    let prices = match arch {
+        KernelArch::Straightforward => {
+            StraightforwardHost { n_steps, precision: Precision::Double, read_full: true }
+                .run(&ctx, &queue, &program, &options)
+        }
+        _ => OptimizedHost {
+            n_steps,
+            precision: Precision::Double,
+            host_leaves: false,
+            kernel_name: arch.kernel_name(),
+        }
+        .run(&ctx, &queue, &program, &options),
+    }
+    .expect("host program runs");
+    Outcome {
+        prices,
+        stats: queue.kernel_stats(arch.kernel_name()),
+        counters: queue.counters(),
+        chrome: queue.export_chrome_trace().to_string(),
+        sim_s: queue.elapsed_s(),
+    }
+}
+
+#[test]
+fn bytecode_engine_is_bit_identical_to_the_tree_walker() {
+    let archs = [KernelArch::Straightforward, KernelArch::Optimized];
+    let device_of = [devices::fpga, devices::gpu, devices::cpu];
+    for arch in archs {
+        for make in device_of {
+            let reference = run_host(make(), arch, Engine::Walk, 1);
+            for workers in [1, 3] {
+                let bc = run_host(make(), arch, Engine::Bytecode, workers);
+                let what = format!("{arch:?} on {:?}, {workers} worker(s)", make().info().kind);
+                assert_eq!(bc.prices, reference.prices, "prices differ: {what}");
+                assert_eq!(bc.stats, reference.stats, "kernel stats differ: {what}");
+                assert_eq!(bc.counters, reference.counters, "counters differ: {what}");
+                assert_eq!(bc.chrome, reference.chrome, "chrome export differs: {what}");
+                assert_eq!(bc.sim_s, reference.sim_s, "simulated clock differs: {what}");
+            }
+            assert!(reference.stats.is_some(), "launches must record kernel stats");
+        }
+    }
+}
+
+#[test]
+fn engine_knob_round_trips_and_env_syntax_parses() {
+    let ctx = Context::new(devices::gpu());
+    let queue = CommandQueue::new(&ctx);
+    assert_eq!(queue.engine(), Engine::default(), "queue starts on the default engine");
+    queue.set_engine(Engine::Walk);
+    assert_eq!(queue.engine(), Engine::Walk);
+    queue.set_engine(Engine::Bytecode);
+    assert_eq!(queue.engine(), Engine::Bytecode);
+    assert_eq!(Engine::default(), Engine::Bytecode, "bytecode is the default hot path");
+
+    // The BOP_SIM_ENGINE value syntax.
+    for (s, want) in [
+        ("walk", Some(Engine::Walk)),
+        ("tree", Some(Engine::Walk)),
+        ("Bytecode", Some(Engine::Bytecode)),
+        (" bc ", Some(Engine::Bytecode)),
+        ("llvm", None),
+        ("", None),
+    ] {
+        assert_eq!(parse_engine(s), want, "parse_engine({s:?})");
+    }
+    // The BOP_SIM_STEP_LIMIT value syntax.
+    assert_eq!(parse_step_limit("1000"), Some(1000));
+    assert_eq!(parse_step_limit(" 0 "), Some(0));
+    assert_eq!(parse_step_limit("-3"), None);
+    assert_eq!(parse_step_limit("lots"), None);
+}
+
+#[test]
+fn step_limit_traps_runaway_kernels_and_lifts_on_raise() {
+    let build = |limit: Option<u64>| {
+        let mut b = Accelerator::builder(devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(48);
+        if let Some(l) = limit {
+            b = b.step_limit(l);
+        }
+        b.build().expect("builds")
+    };
+    let options = [OptionParams::example(); 2];
+
+    // A 48-step lattice runs far more than 100 instructions per group:
+    // the tight budget must fail the run with the typed trap, not hang
+    // or panic.
+    let err = build(Some(100)).price(&options).expect_err("budget must trap");
+    assert!(
+        err.to_string().contains("instruction budget exhausted"),
+        "step-limit trap is typed and named: {err}"
+    );
+
+    // Raising the budget (and the interpreter default, limit 0) lets the
+    // same workload through, with identical prices.
+    let raised = build(Some(50_000_000)).price(&options).expect("raised budget passes");
+    let default = build(None).price(&options).expect("default budget passes");
+    assert_eq!(raised.prices, default.prices, "the budget is a wall-clock knob only");
+
+    // Both engines enforce the same budget semantics.
+    let walk_err = Accelerator::builder(devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(48)
+        .engine(Engine::Walk)
+        .step_limit(100)
+        .build()
+        .expect("builds")
+        .price(&options)
+        .expect_err("walker traps too");
+    assert_eq!(err.to_string(), walk_err.to_string(), "identical trap report on both engines");
+}
+
+#[test]
+fn accelerator_engine_knob_is_wall_clock_only() {
+    let price = |engine: Option<Engine>| {
+        let mut b = Accelerator::builder(devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(32);
+        if let Some(e) = engine {
+            b = b.engine(e);
+        }
+        b.build().expect("builds").price(&[OptionParams::example(); 4]).expect("prices")
+    };
+    let walk = price(Some(Engine::Walk));
+    let bytecode = price(Some(Engine::Bytecode));
+    let auto = price(None);
+    assert_eq!(walk.prices, bytecode.prices, "prices independent of engine");
+    assert_eq!(walk.elapsed_s, bytecode.elapsed_s, "simulated time independent of engine");
+    assert_eq!(auto.prices, bytecode.prices, "default engine gives the same prices");
+}
+
+#[test]
+fn pass_corrupted_ir_surfaces_as_a_structured_build_error() {
+    // An empty kernel function is invalid IR (the verifier rejects
+    // block-less functions); feeding it through the program build must
+    // produce a typed error whose source chain reaches the verifier —
+    // not a panic, not a bare string.
+    use bop_clir::ir::{Function, Module};
+    let module = Module::from_functions(
+        "broken.cl",
+        vec![Function {
+            name: "empty".into(),
+            params: vec![],
+            is_kernel: true,
+            reg_types: vec![],
+            blocks: vec![],
+            private_bytes: 0,
+        }],
+    );
+    let ctx = Context::new(devices::gpu());
+    let build_err = match Program::from_module(&ctx, Arc::new(module), &BuildOptions::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("invalid IR must not build"),
+    };
+    assert!(
+        build_err.message.contains("pass pipeline produced invalid IR"),
+        "message names the pipeline: {}",
+        build_err.message
+    );
+    let source = std::error::Error::source(&build_err).expect("source chain present");
+    let verify = source
+        .downcast_ref::<bop_clir::verify::VerifyError>()
+        .expect("source is the verifier error");
+    assert!(matches!(verify, bop_clir::verify::VerifyError::Empty { .. }));
+
+    // And it maps into the crate-level error as Error::Build, keeping
+    // the chain.
+    let core_err = bop_core::Error::from(build_err);
+    match core_err {
+        bop_core::Error::Build(e) => {
+            assert!(std::error::Error::source(&e).is_some(), "chain survives the wrap");
+        }
+        other => panic!("expected Error::Build, got {other}"),
+    }
+}
+
+#[test]
+fn compile_metrics_and_pass_report_are_published() {
+    let metrics = Arc::new(bop_obs::MetricsRegistry::new());
+    let acc = Accelerator::builder(devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(16)
+        .metrics(metrics.clone())
+        .build()
+        .expect("builds");
+
+    // Compilation happened exactly once, timed end to end.
+    let labels = [("device", "GPU")];
+    for name in [
+        "compile.frontend_seconds",
+        "compile.passes_seconds",
+        "compile.device_seconds",
+        "compile.bytecode_seconds",
+        "compile.total_seconds",
+    ] {
+        let h = metrics.histogram(name, &labels).unwrap_or_else(|| panic!("{name} published"));
+        assert_eq!(h.count, 1, "{name} observed once");
+    }
+
+    // The build report carries the pass pipeline statistics.
+    let report = acc.program().report();
+    let passes = report.passes.expect("report carries pass stats");
+    assert_eq!(passes.pipeline, acc.program().pass_report().pipeline);
+    assert!(!passes.passes.is_empty(), "standard pipeline ran at least one pass");
+}
+
+#[test]
+fn pooled_shards_share_one_compiled_program() {
+    let pool = Accelerator::builder(devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(16)
+        .build_pool(3)
+        .expect("pool builds");
+    assert_eq!(pool.len(), 3);
+    let name = KernelArch::Optimized.kernel_name();
+    let first = pool[0].program().compiled_kernel(name).expect("kernel compiled");
+    for shard in &pool[1..] {
+        let other = shard.program().compiled_kernel(name).expect("kernel compiled");
+        assert!(Arc::ptr_eq(first, other), "shards share the cached bytecode");
+        assert!(
+            Arc::ptr_eq(pool[0].program().module(), shard.program().module()),
+            "shards share the compiled module"
+        );
+    }
+    // Shared programs still price independently and identically.
+    let options = [OptionParams::example(); 3];
+    let a = pool[0].price(&options).expect("prices");
+    let b = pool[2].price(&options).expect("prices");
+    assert_eq!(a.prices, b.prices);
+}

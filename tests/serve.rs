@@ -17,6 +17,17 @@ fn gpu_shard(n_steps: usize) -> Accelerator {
         .expect("shard builds")
 }
 
+/// A pool built the way the serving layer is meant to: one compile,
+/// every shard sharing the cached program.
+fn gpu_pool(n_steps: usize, n: usize) -> Vec<Accelerator> {
+    Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .build_pool(n)
+        .expect("pool builds")
+}
+
 fn batch(n: usize, seed: u64) -> Vec<OptionParams> {
     workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
 }
@@ -29,7 +40,7 @@ fn served_prices_are_bit_identical_to_direct_pricing() {
     // boundaries.
     let n_steps = 48;
     let service = PricingService::start(
-        vec![gpu_shard(n_steps), gpu_shard(n_steps), gpu_shard(n_steps)],
+        gpu_pool(n_steps, 3),
         ServeConfig {
             max_batch: 5,
             max_linger: Duration::from_millis(1),
@@ -136,7 +147,7 @@ fn generous_deadlines_do_not_fire() {
 #[test]
 fn metrics_cover_the_whole_pipeline() {
     let service = PricingService::start(
-        vec![gpu_shard(32), gpu_shard(32)],
+        gpu_pool(32, 2),
         ServeConfig {
             max_batch: 4,
             max_linger: Duration::from_millis(1),
@@ -194,7 +205,7 @@ fn concurrent_submitters_all_get_their_own_prices() {
     use std::sync::Arc;
     let service = Arc::new(
         PricingService::start(
-            vec![gpu_shard(32), gpu_shard(32)],
+            gpu_pool(32, 2),
             ServeConfig { max_batch: 8, ..ServeConfig::default() },
         )
         .expect("starts"),
