@@ -9,12 +9,19 @@
 //! serve_load [--requests N] [--rate R] [--request-options K]
 //!            [--shards S] [--device gpu|fpga|cpu] [--steps N]
 //!            [--max-batch B] [--linger-us U] [--capacity C]
-//!            [--deadline-ms D] [--seed S] [--json] [--json-out <path>]
+//!            [--deadline-ms D] [--seed S] [--faults RATE]
+//!            [--fault-seed S] [--json] [--json-out <path>]
 //! ```
+//!
+//! `--faults RATE` arms the simulator's deterministic fault-injection
+//! layer on every shard (per-shard seeds derived from `--fault-seed`),
+//! reports availability under the degraded pool, and replays a seeded
+//! closed-loop campaign twice to verify the faults are reproducible
+//! (`fault determinism check: PASS` on stderr).
 use bop_bench::reporting::{ReportOpts, Stopwatch};
-use bop_core::{Accelerator, Error, KernelArch, Precision};
+use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
 use bop_finance::workload;
-use bop_obs::ExperimentReport;
+use bop_obs::{ExperimentReport, MetricsRegistry};
 use bop_serve::{PricingService, ServeConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,6 +38,8 @@ struct LoadOpts {
     capacity: usize,
     deadline_ms: Option<u64>,
     seed: u64,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -59,21 +68,31 @@ impl LoadOpts {
                 .and_then(|i| args.get(i + 1))
                 .and_then(|v| v.parse().ok()),
             seed: flag(args, "--seed", 42),
+            fault_rate: flag(args, "--faults", 0.0),
+            fault_seed: flag(args, "--fault-seed", 1234),
         }
     }
 }
 
-fn shard_pool(device: &str, steps: usize, n: usize) -> Vec<Accelerator> {
+fn shard_pool(
+    device: &str,
+    steps: usize,
+    n: usize,
+    metrics: &Arc<MetricsRegistry>,
+) -> Vec<Accelerator> {
     let dev = match device {
         "fpga" => bop_core::devices::fpga(),
         "cpu" => bop_core::devices::cpu(),
         _ => bop_core::devices::gpu(),
     };
-    // One compile for the whole pool: the shards share the program.
+    // One compile for the whole pool: the shards share the program, and
+    // the service's registry, so queue-level `fault.*` counters land in
+    // the same report as the `serve.*` ones.
     Accelerator::builder(dev)
         .arch(KernelArch::Optimized)
         .precision(Precision::Double)
         .n_steps(steps)
+        .metrics(metrics.clone())
         .build_pool(n)
         .expect("shard pool builds")
 }
@@ -85,11 +104,33 @@ fn main() {
     let timer = Stopwatch::start();
 
     eprintln!(
-        "serve_load: {} requests x {} options at {:.0} req/s over {} {} shard(s)...",
-        load.requests, load.request_options, load.rate, load.shards, load.device
+        "serve_load: {} requests x {} options at {:.0} req/s over {} {} shard(s){}...",
+        load.requests,
+        load.request_options,
+        load.rate,
+        load.shards,
+        load.device,
+        if load.fault_rate > 0.0 {
+            format!(", faults at rate {} (seed {})", load.fault_rate, load.fault_seed)
+        } else {
+            String::new()
+        }
     );
-    let pool: Vec<Accelerator> = shard_pool(&load.device, load.steps, load.shards.max(1));
-    let service = PricingService::start(
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut pool: Vec<Accelerator> =
+        shard_pool(&load.device, load.steps, load.shards.max(1), &metrics);
+    if load.fault_rate > 0.0 {
+        // Distinct per-shard seeds: the shards fail independently, the
+        // way a real degraded pool would.
+        pool = pool
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.with_fault_plan(FaultPlan::new(load.fault_rate, load.fault_seed + i as u64))
+            })
+            .collect();
+    }
+    let service = PricingService::start_with_metrics(
         pool,
         ServeConfig {
             queue_capacity: load.capacity,
@@ -97,9 +138,9 @@ fn main() {
             max_linger: Duration::from_micros(load.linger_us),
             ..ServeConfig::default()
         },
+        metrics.clone(),
     )
     .expect("service starts");
-    let metrics = service.metrics().clone();
     let service = Arc::new(service);
 
     // Open loop: request i is due at start + i/rate, whether or not
@@ -163,6 +204,19 @@ fn main() {
             rejected_other + failed
         );
         println!("  outcomes: {ok} completed, {deadline_exceeded} past deadline");
+        if load.fault_rate > 0.0 {
+            println!(
+                "  serve.availability: {:.4} ({ok} of {accepted} accepted requests served)",
+                if accepted > 0 { ok as f64 / accepted as f64 } else { 0.0 }
+            );
+            println!(
+                "  degraded-mode traffic: {} retries, {} redispatched, {} quarantined, {} batches failed",
+                metrics.counter_total("serve.retries"),
+                metrics.counter_total("serve.redispatched"),
+                metrics.counter_total("serve.quarantined"),
+                metrics.counter_total("serve.failed"),
+            );
+        }
         println!(
             "  served {options_served} options in {wall_s:.3} s = {:.0} options/s",
             options_served as f64 / wall_s
@@ -208,6 +262,70 @@ fn main() {
     report.set_counter("serve.requests.deadline_exceeded", deadline_exceeded);
     report.set_counter("serve.requests.failed", failed + rejected_other);
     report.set_counter("serve.options.served", options_served);
+    if load.fault_rate > 0.0 {
+        let availability = if accepted > 0 { ok as f64 / accepted as f64 } else { 0.0 };
+        report.push("serve.availability", None, availability, "fraction");
+        report.push("serve.fault_rate", None, load.fault_rate, "probability");
+        report.set_counter("serve.retries", metrics.counter_total("serve.retries"));
+        report.set_counter("serve.redispatched", metrics.counter_total("serve.redispatched"));
+        report.set_counter("serve.quarantined", metrics.counter_total("serve.quarantined"));
+        report.set_counter("serve.failed", metrics.counter_total("serve.failed"));
+        report.set_counter("fault.injected", metrics.counter_total("fault.injected"));
+    }
     report.wall_s = wall_s;
     report_opts.emit(report).expect("emit report");
+
+    if load.fault_rate > 0.0 {
+        // Replay a seeded single-shard closed-loop campaign twice: same
+        // plan, same requests — the outcomes (prices bit-for-bit, fault
+        // messages verbatim) must match exactly.
+        let deterministic = fault_campaign(&load) == fault_campaign(&load);
+        eprintln!("fault determinism check: {}", if deterministic { "PASS" } else { "FAIL" });
+        if !deterministic {
+            std::process::exit(3);
+        }
+        if ok == 0 {
+            eprintln!("serve_load: pool served nothing under faults (rate {})", load.fault_rate);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One deterministic closed-loop campaign: a single faulty shard,
+/// sequential submit-and-wait, request size pinned to the micro-batch
+/// size. Returns a transcript of every outcome for replay comparison.
+fn fault_campaign(load: &LoadOpts) -> Vec<String> {
+    let shard = shard_pool(&load.device, load.steps, 1, &Arc::new(MetricsRegistry::new()))
+        .pop()
+        .expect("one shard")
+        .with_fault_plan(FaultPlan::new(load.fault_rate, load.fault_seed));
+    let service = PricingService::start(
+        vec![shard],
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let outcomes = (0..8)
+        .map(|i| {
+            let options = workload::volatility_curve(
+                &workload::WorkloadConfig::default(),
+                1.0,
+                4,
+                load.seed + 7000 + i,
+            );
+            match service.price(options) {
+                Ok(prices) => {
+                    let bits: Vec<String> =
+                        prices.iter().map(|p| p.to_bits().to_string()).collect();
+                    format!("ok:{}", bits.join(","))
+                }
+                Err(e) => format!("err:{e}"),
+            }
+        })
+        .collect();
+    service.shutdown();
+    outcomes
 }

@@ -90,6 +90,27 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Message prefix marking traps that were *injected* by the simulator's
+/// fault layer rather than raised by executing kernel code. Both engines
+/// report genuine traps without this prefix, so the runtime can tell a
+/// deterministic arithmetic trap (never worth retrying) from a spurious
+/// injected one.
+pub const INJECTED_TRAP_PREFIX: &str = "injected:";
+
+impl ExecError {
+    /// A spurious trap injected by a fault plan, marked with
+    /// [`INJECTED_TRAP_PREFIX`] so it is distinguishable from traps the
+    /// kernel actually raised.
+    pub fn injected_trap(detail: &str) -> ExecError {
+        ExecError::Trap(format!("{INJECTED_TRAP_PREFIX} {detail}"))
+    }
+
+    /// True when this error is a trap injected via [`ExecError::injected_trap`].
+    pub fn is_injected(&self) -> bool {
+        matches!(self, ExecError::Trap(msg) if msg.starts_with(INJECTED_TRAP_PREFIX))
+    }
+}
+
 impl From<MemAccessError> for ExecError {
     fn from(e: MemAccessError) -> ExecError {
         ExecError::Mem(e)

@@ -11,7 +11,10 @@ use bop_finance::types::OptionParams;
 use bop_finance::{binomial, metrics};
 use bop_obs::{Json, MetricsRegistry};
 use bop_ocl::queue::RuntimeError;
-use bop_ocl::{BuildOptions, BuildReport, CommandQueue, Context, Device, Engine, Program};
+use bop_ocl::{
+    BuildOptions, BuildReport, CommandQueue, Context, Device, Engine, FaultPlan, Program,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The complete description of an accelerator, ready to be realised by
@@ -47,6 +50,11 @@ pub struct AcceleratorConfig {
     /// Use the paper's "reduced number of read operations" variant of
     /// the straightforward host program (root-only reads).
     pub reduced_reads: bool,
+    /// Deterministic fault-injection plan for pricing sessions (`None` =
+    /// the `BOP_SIM_FAULTS` environment default, which itself defaults
+    /// to no injection). Applies to [`Accelerator::price`] paths only;
+    /// calibration and projection always run fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl AcceleratorConfig {
@@ -66,6 +74,7 @@ impl AcceleratorConfig {
             engine: None,
             step_limit: None,
             reduced_reads: false,
+            faults: None,
         }
     }
 
@@ -171,6 +180,17 @@ impl AcceleratorBuilder {
     /// reads). No effect on the optimized architecture.
     pub fn reduced_reads(mut self) -> AcceleratorBuilder {
         self.config.reduced_reads = true;
+        self
+    }
+
+    /// Inject deterministic faults into every pricing session according
+    /// to `plan` (default: the `BOP_SIM_FAULTS` environment knob, which
+    /// itself defaults to no injection). Each session re-seeds the
+    /// plan's decision stream from a per-accelerator session counter, so
+    /// retried batches see fresh — but reproducible — faults.
+    /// Calibration and projection sessions always run fault-free.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> AcceleratorBuilder {
+        self.config.faults = Some(plan);
         self
     }
 
@@ -284,11 +304,18 @@ pub struct Accelerator {
     workers: Option<usize>,
     engine: Option<Engine>,
     step_limit: Option<u64>,
+    faults: Option<FaultPlan>,
+    /// Pricing sessions opened so far; seeds the per-session fault
+    /// stream so a retry draws fresh (still deterministic) faults.
+    fault_sessions: AtomicU64,
 }
 
 impl Clone for Accelerator {
     /// Clones share the compiled program (reference-counted) and the
-    /// calibration fit computed so far.
+    /// calibration fit computed so far. The fault-session counter starts
+    /// fresh: a clone replays the same deterministic fault sequence as a
+    /// fresh accelerator with the same plan (re-seed per shard with
+    /// [`Accelerator::with_fault_plan`] to decorrelate shards).
     fn clone(&self) -> Accelerator {
         let fit_cache = std::sync::OnceLock::new();
         if let Some(fit) = self.fit_cache.get() {
@@ -308,6 +335,8 @@ impl Clone for Accelerator {
             workers: self.workers,
             engine: self.engine,
             step_limit: self.step_limit,
+            faults: self.faults,
+            fault_sessions: AtomicU64::new(0),
         }
     }
 }
@@ -346,10 +375,24 @@ impl Accelerator {
             engine,
             step_limit,
             reduced_reads,
+            faults,
         } = config;
         if n_steps < 2 {
             return Err(Error::Invalid("need at least 2 lattice steps".into()));
         }
+        // Resolve the fault plan strictly: an explicit plan must be
+        // valid, and a set-but-malformed BOP_SIM_FAULTS is a structured
+        // configuration error, never a silently ignored knob.
+        let faults = match faults {
+            Some(plan) => {
+                plan.validate()
+                    .map_err(|cause| Error::Config { var: "fault_plan".into(), cause })?;
+                Some(plan)
+            }
+            None => FaultPlan::from_env()
+                .map_err(|cause| Error::Config { var: "BOP_SIM_FAULTS".into(), cause })?,
+        };
+        let faults = faults.filter(FaultPlan::is_active);
         let build = build.unwrap_or_else(|| arch.paper_build_options());
         let ctx = Context::new(device.clone());
         let program = Program::from_source_with_metrics(
@@ -377,6 +420,8 @@ impl Accelerator {
             workers: workers.map(|w| w.max(1)),
             engine,
             step_limit,
+            faults,
+            fault_sessions: AtomicU64::new(0),
         })
     }
 
@@ -470,7 +515,31 @@ impl Accelerator {
         &self.device
     }
 
-    fn fresh_session(&self) -> Result<(Arc<Context>, CommandQueue, Program), Error> {
+    /// Replace the fault plan (typically to re-seed per shard: the
+    /// serving layer derives one plan per shard from a base seed so
+    /// shards fail independently but reproducibly). Resets the session
+    /// counter, so the new plan's fault sequence starts from scratch.
+    /// An inert plan ([`FaultPlan::none`]) disables injection.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Accelerator {
+        self.faults = Some(plan).filter(FaultPlan::is_active);
+        self.fault_sessions = AtomicU64::new(0);
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+
+    /// Open a fresh context + queue on the shared program.
+    /// `inject_faults` arms the accelerator's fault plan on the session
+    /// queue (re-seeded per session); pricing paths pass `true`, while
+    /// calibration/projection pass `false` — operator tooling must stay
+    /// deterministic and fault-free even on a faulty fleet.
+    fn fresh_session(
+        &self,
+        inject_faults: bool,
+    ) -> Result<(Arc<Context>, CommandQueue, Program), Error> {
         let ctx = Context::new(self.device.clone());
         let queue = CommandQueue::new(&ctx);
         if let Some(workers) = self.workers {
@@ -484,6 +553,12 @@ impl Accelerator {
         }
         if let Some(reg) = &self.metrics {
             queue.attach_metrics(reg.clone());
+        }
+        if inject_faults {
+            if let Some(plan) = self.faults {
+                let session = self.fault_sessions.fetch_add(1, Ordering::Relaxed);
+                queue.set_fault_plan(plan.for_session(session));
+            }
         }
         // The program was compiled when the accelerator was built; every
         // session shares it (fresh memory comes from the session context).
@@ -556,7 +631,7 @@ impl Accelerator {
         for o in options {
             o.validate().map_err(|e| Error::Invalid(e.to_string()))?;
         }
-        let (ctx, queue, program) = self.fresh_session()?;
+        let (ctx, queue, program) = self.fresh_session(true)?;
         if traced {
             queue.enable_trace();
         }
@@ -620,7 +695,7 @@ impl Accelerator {
     /// # Errors
     /// Propagates build and runtime failures.
     pub fn measure_per_option(&self, n: usize) -> Result<bop_clir::stats::ExecStats, Error> {
-        let (ctx, queue, program) = self.fresh_session()?;
+        let (ctx, queue, program) = self.fresh_session(false)?;
         let options = [OptionParams::example()];
         self.run_host(&ctx, &queue, &program, &options, n)?;
         let stats = queue
@@ -651,7 +726,7 @@ impl Accelerator {
         let fit = self.calibrate()?;
         let per_unit = fit.per_option(self.n_steps);
 
-        let (ctx, queue, program) = self.fresh_session()?;
+        let (ctx, queue, program) = self.fresh_session(false)?;
         let arch = self.arch;
         let n_steps = self.n_steps;
         queue.set_timing_only(Box::new(move |_kernel, dispatch| match arch {
@@ -880,6 +955,80 @@ mod tests {
             close(predicted.mem.local_load_bytes, measured.mem.local_load_bytes),
             "local bytes"
         );
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_leave_successful_prices_exact() {
+        let build = |plan: Option<FaultPlan>| {
+            let mut b = Accelerator::builder(crate::devices::gpu())
+                .arch(KernelArch::Optimized)
+                .precision(Precision::Double)
+                .n_steps(24);
+            if let Some(plan) = plan {
+                b = b.fault_plan(plan);
+            }
+            b.build().expect("builds")
+        };
+        let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, 3);
+        let reference = build(None).price(&options).expect("fault-free prices");
+
+        // An inert plan is bit-identical to no plan at all.
+        let none = build(Some(FaultPlan::none())).price(&options).expect("prices");
+        assert_eq!(none.prices, reference.prices);
+        assert_eq!(none.elapsed_s, reference.elapsed_s);
+
+        // A faulty accelerator, attempted repeatedly, must reproduce the
+        // same outcome sequence run to run — and every success must be
+        // bit-identical to the fault-free prices.
+        let campaign = || {
+            let acc = build(Some(FaultPlan::new(0.05, 77)));
+            (0..10)
+                .map(|_| match acc.price(&options) {
+                    Ok(run) => {
+                        assert_eq!(run.prices, reference.prices, "survivors are exact");
+                        "ok".to_string()
+                    }
+                    Err(e) => {
+                        assert!(e.is_retryable(), "injected faults are typed: {e}");
+                        e.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = campaign();
+        assert_eq!(first, campaign(), "same seed, same outcome sequence");
+        assert!(first.iter().any(|o| o == "ok"), "rate 0.05 lets some sessions through");
+        assert!(first.iter().any(|o| o != "ok"), "10 sessions at rate 0.05 hit some fault");
+    }
+
+    #[test]
+    fn malformed_fault_plan_is_a_structured_config_error() {
+        let mut config = AcceleratorConfig::new(crate::devices::gpu());
+        config.n_steps = 16;
+        config.faults = Some(FaultPlan { rate: 7.5, ..FaultPlan::none() });
+        match config.build() {
+            Err(Error::Config { var, cause }) => {
+                assert_eq!(var, "fault_plan");
+                assert!(cause.message.contains("[0, 1]"), "{cause}");
+            }
+            other => panic!("expected Error::Config, got {:?}", other.map(|_| "ok")),
+        }
+    }
+
+    #[test]
+    fn calibration_and_projection_ignore_fault_plans() {
+        // Even a rate-1.0 plan must not touch operator tooling: the
+        // model fit and the paper-scale projection run fault-free.
+        let faulty = Accelerator::builder(crate::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .fault_plan(FaultPlan::new(1.0, 9))
+            .build()
+            .expect("builds");
+        let p = faulty.project(32).expect("projection is fault-free");
+        assert!(p.options_per_s > 0.0);
+        faulty.price(&[OptionParams::example()]).expect_err("pricing does inject");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! and capacity straight off the rejection.
 
 use bop_ocl::queue::RuntimeError;
-use bop_ocl::BuildError;
+use bop_ocl::{BuildError, FaultParseError, InjectedFault};
 use std::fmt;
 
 /// Error from building or running an accelerator, or from the serving
@@ -33,6 +33,24 @@ pub enum Error {
         /// How far past the deadline the request was when dropped,
         /// seconds.
         missed_by_s: f64,
+    },
+    /// A command was killed by the simulator's fault-injection layer
+    /// (see [`bop_ocl::FaultPlan`]). Transient by construction — the
+    /// serving layer treats exactly this variant as retryable.
+    #[non_exhaustive]
+    Fault {
+        /// The injected fault; its `source()` chains to the engine-level
+        /// trap for spurious-trap sites.
+        fault: InjectedFault,
+    },
+    /// A configuration knob (builder argument or environment variable
+    /// such as `BOP_SIM_FAULTS`) was malformed.
+    #[non_exhaustive]
+    Config {
+        /// The knob that failed to parse (e.g. `"BOP_SIM_FAULTS"`).
+        var: String,
+        /// Why it was rejected.
+        cause: FaultParseError,
     },
 }
 
@@ -67,6 +85,8 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded { missed_by_s } => {
                 write!(f, "deadline exceeded by {missed_by_s:.6} s")
             }
+            Error::Fault { fault } => write!(f, "{fault}"),
+            Error::Config { var, cause } => write!(f, "invalid {var}: {cause}"),
         }
     }
 }
@@ -76,6 +96,8 @@ impl std::error::Error for Error {
         match self {
             Error::Build(e) => Some(e),
             Error::Runtime(e) => Some(e),
+            Error::Fault { fault } => Some(fault),
+            Error::Config { cause, .. } => Some(cause),
             Error::Invalid(_) | Error::Rejected(_) | Error::DeadlineExceeded { .. } => None,
         }
     }
@@ -89,7 +111,22 @@ impl From<BuildError> for Error {
 
 impl From<RuntimeError> for Error {
     fn from(e: RuntimeError) -> Error {
-        Error::Runtime(e)
+        match e {
+            // Injected faults get their own top-level variant so retry
+            // policies can match them without digging through the chain.
+            RuntimeError::Fault(fault) => Error::Fault { fault },
+            other => Error::Runtime(other),
+        }
+    }
+}
+
+impl Error {
+    /// True for errors that are transient by construction (today:
+    /// injected faults) and therefore worth retrying. Genuine runtime
+    /// errors — real traps, invalid commands — are deterministic and are
+    /// not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Fault { .. })
     }
 }
 
@@ -119,6 +156,35 @@ mod tests {
         ] {
             assert!(e.source().is_none(), "{e} has no cause");
         }
+    }
+
+    #[test]
+    fn fault_and_config_variants_chain_and_classify() {
+        // An injected runtime fault maps to the dedicated retryable
+        // variant, keeping the cause chain.
+        let fault = InjectedFault {
+            site: bop_ocl::FaultSite::TransferD2H,
+            detail: "bit flip detected".into(),
+            cause: None,
+        };
+        let e = Error::from(RuntimeError::Fault(fault));
+        assert!(e.is_retryable());
+        assert!(matches!(e, Error::Fault { .. }));
+        let src = e.source().expect("fault cause");
+        assert!(src.downcast_ref::<InjectedFault>().is_some());
+
+        // Config errors carry the knob name and the parse cause.
+        let cause = bop_ocl::FaultPlan::parse("rate=lots").expect_err("malformed");
+        let e = Error::Config { var: "BOP_SIM_FAULTS".into(), cause };
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("BOP_SIM_FAULTS"), "{e}");
+        let src = e.source().expect("config cause");
+        assert!(src.downcast_ref::<FaultParseError>().is_some());
+
+        // Non-fault runtime errors stay on the Runtime variant.
+        let e = Error::from(RuntimeError::Invalid("bad".into()));
+        assert!(!e.is_retryable());
+        assert!(matches!(e, Error::Runtime(_)));
     }
 
     #[test]

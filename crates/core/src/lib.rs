@@ -52,6 +52,7 @@ pub mod perfmodel;
 
 pub use accelerator::{Accelerator, AcceleratorBuilder, AcceleratorConfig, PricingRun, Projection};
 pub use bop_cpu::Precision;
+pub use bop_ocl::{FaultPlan, FaultSite, FaultSites, InjectedFault};
 pub use cluster::{weighted_shares, MultiAccelerator};
 pub use error::{Error, Rejection};
 pub use kernels::KernelArch;

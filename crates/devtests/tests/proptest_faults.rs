@@ -1,0 +1,103 @@
+//! Property tests on the fault-injection layer: under *any* `(rate,
+//! seed)` plan, pricing either returns the exact fault-free price or a
+//! typed retryable [`Error::Fault`] — never a silently wrong number —
+//! and a faulty service pool always drains (quarantine and redispatch
+//! cannot deadlock a ticket).
+//!
+//! Needs the `proptest` registry crate, so it lives in the
+//! network-gated devtests suite.
+
+use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
+use bop_finance::workload;
+use bop_finance::OptionParams;
+use bop_serve::{PricingService, ServeConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const N_STEPS: usize = 16;
+
+/// One fault-free accelerator, built once: clones with a fault plan are
+/// cheap (the compiled program is shared) and each case gets a fresh
+/// deterministic fault stream.
+fn base() -> &'static Accelerator {
+    static BASE: OnceLock<Accelerator> = OnceLock::new();
+    BASE.get_or_init(|| {
+        Accelerator::builder(bop_core::devices::gpu())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(N_STEPS)
+            .build()
+            .expect("base accelerator builds")
+    })
+}
+
+fn request(n: usize, seed: u64) -> Vec<OptionParams> {
+    workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The detected-fault contract on the direct path: correct price or
+    /// typed fault, nothing in between.
+    #[test]
+    fn faulty_pricing_is_exact_or_typed(
+        rate in 0.0..=1.0f64,
+        seed in any::<u64>(),
+        batch_seed in 0u64..1000,
+    ) {
+        let options = request(5, batch_seed);
+        let reference = base().price(&options).expect("fault-free").prices;
+        let faulty = base().clone().with_fault_plan(FaultPlan::new(rate, seed));
+        match faulty.price(&options) {
+            Ok(run) => prop_assert_eq!(
+                run.prices, reference,
+                "a successful price under faults must be bit-identical"
+            ),
+            Err(e) => {
+                prop_assert!(matches!(e, Error::Fault { .. }), "typed fault, got {}", e);
+                prop_assert!(e.is_retryable());
+            }
+        }
+    }
+
+    /// A two-shard pool under arbitrary plans always drains: every
+    /// ticket resolves — exact price or typed fault — and shutdown
+    /// joins every thread. Proptest's timeout is the deadlock oracle.
+    #[test]
+    fn quarantine_never_deadlocks_the_drain(
+        rate in 0.0..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let shards: Vec<Accelerator> = (0..2u64)
+            .map(|i| base().clone().with_fault_plan(FaultPlan::new(rate, seed ^ i)))
+            .collect();
+        let service = PricingService::start(
+            shards,
+            ServeConfig {
+                max_batch: 4,
+                max_linger: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("starts");
+        let requests: Vec<Vec<OptionParams>> = (0..6).map(|i| request(4, 300 + i)).collect();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone(), None).expect("accepted"))
+            .collect();
+        for (ticket, req) in tickets.into_iter().zip(&requests) {
+            match ticket.wait() {
+                Ok(prices) => {
+                    let reference = base().price(req).expect("fault-free").prices;
+                    prop_assert_eq!(prices, reference);
+                }
+                Err(e) => {
+                    prop_assert!(matches!(e, Error::Fault { .. }), "typed fault, got {}", e);
+                }
+            }
+        }
+        service.shutdown();
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod context;
 pub mod device;
+pub mod faults;
 pub mod platform;
 pub mod program;
 pub mod queue;
@@ -69,6 +70,7 @@ pub use device::{
     BuildError, BuildOptions, BuildReport, Device, DeviceKind, DeviceProgram, Dispatch, LinkModel,
     ResourceUsage,
 };
+pub use faults::{FaultParseError, FaultPlan, FaultSite, FaultSites, InjectedFault};
 pub use platform::Platform;
 pub use program::{Kernel, KernelArg, Program};
 pub use queue::{CommandQueue, Engine, Event, ProfilingInfo};

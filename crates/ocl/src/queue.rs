@@ -11,6 +11,7 @@
 
 use crate::context::{Buffer, Context};
 use crate::device::Dispatch;
+use crate::faults::{FaultDecision, FaultPlan, FaultSite, FaultState, InjectedFault};
 use crate::program::{Kernel, KernelArg};
 use bop_clir::bytecode::{BytecodeRun, CompiledKernel};
 use bop_clir::interp::WorkerMemory;
@@ -79,11 +80,15 @@ fn default_step_limit() -> u64 {
 
 /// Runtime error from an enqueued command.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// Kernel execution failed (trap, out-of-bounds, divergence).
     Exec(ExecError),
     /// Invalid command (sizes, unset arguments, capacity violations).
     Invalid(String),
+    /// The command was killed by the fault-injection layer (see
+    /// [`FaultPlan`]); transient by construction, so callers may retry.
+    Fault(InjectedFault),
 }
 
 impl fmt::Display for RuntimeError {
@@ -91,11 +96,20 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             RuntimeError::Invalid(msg) => write!(f, "invalid command: {msg}"),
+            RuntimeError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Exec(e) => Some(e),
+            RuntimeError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ExecError> for RuntimeError {
     fn from(e: ExecError) -> RuntimeError {
@@ -197,6 +211,10 @@ pub struct TraceEntry {
     pub start_s: f64,
     /// Simulated end time.
     pub end_s: f64,
+    /// Fault injected into this command, if any: a stall site on a
+    /// completed (but delayed) launch, or the fatal site on a
+    /// zero-duration marker entry for a command the fault layer killed.
+    pub fault: Option<FaultSite>,
 }
 
 /// A completed host-program span (see [`CommandQueue::begin_span`]).
@@ -229,6 +247,8 @@ pub struct QueueCounters {
     pub launches: u64,
     /// Total work-items launched.
     pub work_items: u64,
+    /// Number of injected faults (all sites, stalls included).
+    pub faults: u64,
 }
 
 type StatsModel = dyn Fn(&str, Dispatch) -> ExecStats + Send + Sync;
@@ -271,6 +291,7 @@ pub struct CommandQueue {
     workers: Mutex<usize>,
     engine: Mutex<Engine>,
     step_limit: Mutex<u64>,
+    faults: Mutex<Option<FaultState>>,
 }
 
 /// Worker-thread count for parallel NDRange interpretation when none is
@@ -307,7 +328,25 @@ impl CommandQueue {
             workers: Mutex::new(default_workers()),
             engine: Mutex::new(default_engine()),
             step_limit: Mutex::new(default_step_limit()),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Arm deterministic fault injection on this queue (disarmed by
+    /// default, and again when `plan` is inert — rate 0 or no sites).
+    /// Faults are drawn per command from a stream seeded by the plan, so
+    /// identical command sequences under identical plans fail
+    /// identically. Every injected event is counted in
+    /// [`QueueCounters::faults`], published as `fault.*` metrics, and
+    /// marked in the trace.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.lock().unwrap() =
+            if plan.is_active() { Some(FaultState::new(plan)) } else { None };
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.lock().unwrap().as_ref().map(|s| s.plan())
     }
 
     /// Select the kernel execution engine for NDRange launches (default:
@@ -480,6 +519,124 @@ impl CommandQueue {
         self.elapsed_s()
     }
 
+    /// Decide the fate of a transfer command. `Ok(None)` lets it proceed
+    /// untouched; `Ok(Some((byte, bit, fault)))` instructs the caller to
+    /// flip `bit` of payload byte `byte % payload_len` and then fail with
+    /// `fault` via [`fail_fault`](Self::fail_fault) (the link "detects"
+    /// the corruption); `Err` is an already-recorded enqueue rejection.
+    fn fault_transfer(
+        &self,
+        kind: CommandKind,
+        bytes: u64,
+    ) -> Result<Option<(u64, u8, InjectedFault)>, RuntimeError> {
+        let decision = match self.faults.lock().unwrap().as_mut() {
+            None => return Ok(None),
+            Some(state) => {
+                let site = if kind == CommandKind::Write {
+                    FaultSite::TransferH2D
+                } else {
+                    FaultSite::TransferD2H
+                };
+                state.decide_transfer(site, bytes)
+            }
+        };
+        match decision {
+            FaultDecision::None | FaultDecision::Stall { .. } => Ok(None),
+            FaultDecision::Fail(f) => Err(self.fail_fault(kind, f)),
+            FaultDecision::Corrupt { byte, bit, fault } => Ok(Some((byte, bit, fault))),
+        }
+    }
+
+    /// Decide the fate of a device-side command (copy/fill): only
+    /// enqueue rejections apply.
+    fn fault_device(&self, kind: CommandKind) -> Result<(), RuntimeError> {
+        let decision = match self.faults.lock().unwrap().as_mut() {
+            None => return Ok(()),
+            Some(state) => state.decide_device(),
+        };
+        match decision {
+            FaultDecision::Fail(f) => Err(self.fail_fault(kind, f)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Decide the fate of an NDRange launch: returns the extra simulated
+    /// stall time and the stall site marker (both zero/`None` normally),
+    /// or the already-recorded injected failure.
+    fn fault_launch(&self) -> Result<(f64, Option<FaultSite>), RuntimeError> {
+        let decision = match self.faults.lock().unwrap().as_mut() {
+            None => return Ok((0.0, None)),
+            Some(state) => state.decide_launch(),
+        };
+        match decision {
+            FaultDecision::None => Ok((0.0, None)),
+            FaultDecision::Stall { extra_s } => {
+                self.record_fault(CommandKind::Kernel, FaultSite::LaunchStall, false, extra_s);
+                Ok((extra_s, Some(FaultSite::LaunchStall)))
+            }
+            FaultDecision::Fail(f) | FaultDecision::Corrupt { fault: f, .. } => {
+                Err(self.fail_fault(CommandKind::Kernel, f))
+            }
+        }
+    }
+
+    /// Record a fatal injected fault (counter, metrics, zero-duration
+    /// trace marker) and wrap it as the command's error.
+    fn fail_fault(&self, kind: CommandKind, fault: InjectedFault) -> RuntimeError {
+        self.record_fault(kind, fault.site, true, 0.0);
+        RuntimeError::Fault(fault)
+    }
+
+    /// Account one injected fault: bump [`QueueCounters::faults`],
+    /// publish `fault.*` metrics, and (for fatal faults, which never
+    /// reach [`advance`](Self::advance)) push a zero-duration trace
+    /// marker so the kill is visible on the timeline.
+    fn record_fault(&self, kind: CommandKind, site: FaultSite, fatal: bool, extra_s: f64) {
+        let device = self.ctx.device().info().kind.to_string();
+        {
+            let mut st = self.state.lock().unwrap();
+            st.counters.faults += 1;
+            if fatal {
+                let span_id = st.next_span_id;
+                st.next_span_id += 1;
+                let parent = st.span_stack.last().map(|s| s.id);
+                let now = st.now;
+                let cap = st.trace_cap;
+                if let Some(trace) = &mut st.trace {
+                    if cap.is_some_and(|c| trace.len() >= c) {
+                        st.trace_dropped += 1;
+                    } else {
+                        trace.push(TraceEntry {
+                            span_id,
+                            parent,
+                            kind,
+                            bytes: 0,
+                            kernel: None,
+                            work_items: 0,
+                            barriers: 0,
+                            groups: 0,
+                            queued_s: now,
+                            start_s: now,
+                            end_s: now,
+                            fault: Some(site),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
+            let d = device.as_str();
+            reg.inc(
+                "fault.injected",
+                &[("device", d), ("site", site.label()), ("kind", kind.label())],
+                1,
+            );
+            if !fatal {
+                reg.observe("fault.stall_seconds", &[("device", d)], extra_s);
+            }
+        }
+    }
+
     fn advance(
         &self,
         kind: CommandKind,
@@ -487,6 +644,7 @@ impl CommandQueue {
         kernel: Option<&str>,
         launch: LaunchShape,
         duration: f64,
+        fault: Option<FaultSite>,
     ) -> Event {
         let LaunchShape { work_items, barriers, groups } = launch;
         let info = self.ctx.device().info();
@@ -519,6 +677,7 @@ impl CommandQueue {
                     queued_s: queued,
                     start_s: start,
                     end_s: end,
+                    fault,
                 });
             }
         }
@@ -574,7 +733,7 @@ impl CommandQueue {
         let entries = st.trace.clone().unwrap_or_default();
         let mut phase_id = st.next_span_id;
         for e in &entries {
-            let (category, name) = match e.kind {
+            let (category, mut name) = match e.kind {
                 CommandKind::Write => (SpanCategory::TransferH2D, format!("write {} B", e.bytes)),
                 CommandKind::Read => (SpanCategory::TransferD2H, format!("read {} B", e.bytes)),
                 CommandKind::Copy => (SpanCategory::DeviceMem, format!("copy {} B", e.bytes)),
@@ -584,6 +743,14 @@ impl CommandQueue {
                 }
             };
             let mut args = vec![("dir".to_string(), e.kind.direction().to_string())];
+            if let Some(site) = e.fault {
+                // Stalled launches keep their kernel name; commands the
+                // fault layer killed are zero-duration markers.
+                if e.end_s == e.start_s {
+                    name = format!("fault: {} killed {}", site.label(), e.kind.label());
+                }
+                args.push(("fault".into(), site.label().into()));
+            }
             if e.bytes > 0 {
                 args.push(("bytes".into(), e.bytes.to_string()));
             }
@@ -642,9 +809,17 @@ impl CommandQueue {
                 buf.len()
             )));
         }
+        let corrupt = self.fault_transfer(CommandKind::Write, data.len() as u64)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
-            mem.bytes_mut(buf.id)[..data.len()].copy_from_slice(data);
+            let bytes = &mut mem.bytes_mut(buf.id)[..data.len()];
+            bytes.copy_from_slice(data);
+            if let Some((byte, bit, _)) = corrupt {
+                bytes[byte as usize % data.len()] ^= 1 << bit;
+            }
+        }
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Write, fault));
         }
         let t = self.ctx.device().info().link.transfer_time(data.len() as u64);
         let ev_bytes = data.len() as u64;
@@ -653,7 +828,7 @@ impl CommandQueue {
             st.counters.writes += 1;
             st.counters.h2d_bytes += ev_bytes;
         }
-        Ok(self.advance(CommandKind::Write, ev_bytes, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Write, ev_bytes, None, LaunchShape::default(), t, None))
     }
 
     /// Copy `buf` into `out` (`clEnqueueReadBuffer`).
@@ -668,9 +843,16 @@ impl CommandQueue {
                 buf.len()
             )));
         }
+        let corrupt = self.fault_transfer(CommandKind::Read, out.len() as u64)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
             out.copy_from_slice(&mem.bytes(buf.id)[..out.len()]);
+            if let Some((byte, bit, _)) = corrupt {
+                out[byte as usize % out.len()] ^= 1 << bit;
+            }
+        }
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Read, fault));
         }
         let t = self.ctx.device().info().link.transfer_time(out.len() as u64);
         {
@@ -678,7 +860,7 @@ impl CommandQueue {
             st.counters.reads += 1;
             st.counters.d2h_bytes += out.len() as u64;
         }
-        Ok(self.advance(CommandKind::Read, out.len() as u64, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Read, out.len() as u64, None, LaunchShape::default(), t, None))
     }
 
     /// Write a slice of `f64` values starting at element `offset`.
@@ -701,21 +883,28 @@ impl CommandQueue {
                     buf.len()
                 ))
             })?;
+        let nbytes = (data.len() * 8) as u64;
+        let corrupt = self.fault_transfer(CommandKind::Write, nbytes)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 8..byte_off + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
             }
+            if let Some((byte, bit, _)) = corrupt {
+                bytes[byte_off + (byte % nbytes) as usize] ^= 1 << bit;
+            }
         }
-        let nbytes = (data.len() * 8) as u64;
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Write, fault));
+        }
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
             let mut st = self.state.lock().unwrap();
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t, None))
     }
 
     /// Write a slice of `f64` values at the start of `buf`.
@@ -747,6 +936,8 @@ impl CommandQueue {
                 buf.len()
             ))
         })?;
+        let nbytes = (out.len() * 8) as u64;
+        let corrupt = self.fault_transfer(CommandKind::Read, nbytes)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.bytes(buf.id);
@@ -755,15 +946,22 @@ impl CommandQueue {
                     bytes[byte_off + i * 8..byte_off + i * 8 + 8].try_into().expect("f64"),
                 );
             }
+            if let Some((byte, bit, _)) = corrupt {
+                let idx = (byte % nbytes) as usize;
+                let flip = 1u64 << ((idx % 8) * 8 + bit as usize);
+                out[idx / 8] = f64::from_bits(out[idx / 8].to_bits() ^ flip);
+            }
         }
-        let nbytes = (out.len() * 8) as u64;
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Read, fault));
+        }
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
             let mut st = self.state.lock().unwrap();
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t, None))
     }
 
     /// Read `f64` values from the start of `buf`.
@@ -795,21 +993,28 @@ impl CommandQueue {
                     buf.len()
                 ))
             })?;
+        let nbytes = (data.len() * 4) as u64;
+        let corrupt = self.fault_transfer(CommandKind::Write, nbytes)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.bytes_mut(buf.id);
             for (i, v) in data.iter().enumerate() {
                 bytes[byte_off + i * 4..byte_off + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
             }
+            if let Some((byte, bit, _)) = corrupt {
+                bytes[byte_off + (byte % nbytes) as usize] ^= 1 << bit;
+            }
         }
-        let nbytes = (data.len() * 4) as u64;
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Write, fault));
+        }
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
             let mut st = self.state.lock().unwrap();
             st.counters.writes += 1;
             st.counters.h2d_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Write, nbytes, None, LaunchShape::default(), t, None))
     }
 
     /// Read `f32` values starting at element `offset`.
@@ -832,6 +1037,8 @@ impl CommandQueue {
                 buf.len()
             ))
         })?;
+        let nbytes = (out.len() * 4) as u64;
+        let corrupt = self.fault_transfer(CommandKind::Read, nbytes)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.bytes(buf.id);
@@ -840,15 +1047,22 @@ impl CommandQueue {
                     bytes[byte_off + i * 4..byte_off + i * 4 + 4].try_into().expect("f32"),
                 );
             }
+            if let Some((byte, bit, _)) = corrupt {
+                let idx = (byte % nbytes) as usize;
+                let flip = 1u32 << ((idx % 4) * 8 + bit as usize);
+                out[idx / 4] = f32::from_bits(out[idx / 4].to_bits() ^ flip);
+            }
         }
-        let nbytes = (out.len() * 4) as u64;
+        if let Some((_, _, fault)) = corrupt {
+            return Err(self.fail_fault(CommandKind::Read, fault));
+        }
         let t = self.ctx.device().info().link.transfer_time(nbytes);
         {
             let mut st = self.state.lock().unwrap();
             st.counters.reads += 1;
             st.counters.d2h_bytes += nbytes;
         }
-        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Read, nbytes, None, LaunchShape::default(), t, None))
     }
 
     /// Write a slice of `i32` values at the start of `buf`.
@@ -887,6 +1101,7 @@ impl CommandQueue {
         if src.id == dst.id {
             return Err(RuntimeError::Invalid("copy with overlapping buffers".into()));
         }
+        self.fault_device(CommandKind::Copy)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
             let data = mem.bytes(src.id)[..bytes].to_vec();
@@ -894,7 +1109,7 @@ impl CommandQueue {
         }
         // Read + write through device memory.
         let t = 2.0 * bytes as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Copy, bytes as u64, None, LaunchShape::default(), t))
+        Ok(self.advance(CommandKind::Copy, bytes as u64, None, LaunchShape::default(), t, None))
     }
 
     /// Fill `buf` with a repeated `f64` pattern (`clEnqueueFillBuffer`).
@@ -914,6 +1129,7 @@ impl CommandQueue {
                 buf.len()
             )));
         }
+        self.fault_device(CommandKind::Fill)?;
         if self.timing_model.lock().unwrap().is_none() {
             let mut mem = self.ctx.mem.lock().unwrap();
             let bytes = mem.bytes_mut(buf.id);
@@ -922,7 +1138,14 @@ impl CommandQueue {
             }
         }
         let t = (count * 8) as f64 / self.ctx.device().info().global_bw_bytes_per_s;
-        Ok(self.advance(CommandKind::Fill, (count * 8) as u64, None, LaunchShape::default(), t))
+        Ok(self.advance(
+            CommandKind::Fill,
+            (count * 8) as u64,
+            None,
+            LaunchShape::default(),
+            t,
+            None,
+        ))
     }
 
     /// Launch `kernel` over `dispatch` (`clEnqueueNDRangeKernel`).
@@ -961,6 +1184,8 @@ impl CommandQueue {
             RuntimeError::Invalid(format!("kernel `{}` disappeared", kernel.name))
         })?;
 
+        let (stall_s, fault_site) = self.fault_launch()?;
+
         let stats = if let Some(model) = self.timing_model.lock().unwrap().as_ref() {
             model(&kernel.name, dispatch)
         } else {
@@ -978,7 +1203,9 @@ impl CommandQueue {
             )?
         };
 
-        let t = kernel.device_program.kernel_time(&kernel.name, &dispatch, &stats);
+        // A stalled launch still computes correctly; it just occupies the
+        // device for extra simulated time.
+        let t = kernel.device_program.kernel_time(&kernel.name, &dispatch, &stats) + stall_s;
         if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
             publish_exec_stats(reg, &info.kind.to_string(), &kernel.name, &stats);
         }
@@ -1002,6 +1229,7 @@ impl CommandQueue {
                 groups: dispatch.groups() as u64,
             },
             t,
+            fault_site,
         ))
     }
 }
@@ -1440,6 +1668,141 @@ mod tests {
             .histogram("ocl.command_seconds", &[("device", d), ("kind", "write")])
             .expect("hist");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn fault_plan_injects_typed_detected_failures() {
+        use crate::faults::{FaultPlan, FaultSites};
+        let (ctx, q, _p) = setup("__kernel void k(__global double* io) {}");
+        let reg = Arc::new(MetricsRegistry::new());
+        q.attach_metrics(reg.clone());
+        q.enable_trace();
+        // Transfer-only faults at rate 1: the first write must fail with
+        // a typed corruption fault and flip exactly one device bit.
+        q.set_fault_plan(FaultPlan::new(1.0, 42).with_sites(FaultSites {
+            transfer: true,
+            enqueue: false,
+            stall: false,
+            trap: false,
+        }));
+        let buf = ctx.create_buffer(4 * 8);
+        let before = q.elapsed_s();
+        let err = q.enqueue_write_f64(&buf, &[1.0; 4]).expect_err("transfer fault");
+        match &err {
+            RuntimeError::Fault(f) => assert_eq!(f.site, FaultSite::TransferH2D),
+            other => panic!("expected an injected fault, got {other}"),
+        }
+        let written = ctx.snapshot(&buf);
+        let flipped: u32 = written
+            .iter()
+            .zip([1.0f64; 4].iter().flat_map(|v| v.to_le_bytes()))
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit corrupted");
+        assert_eq!(q.elapsed_s(), before, "failed commands cost no simulated time");
+        assert_eq!(q.counters().writes, 0, "failed writes are not counted as writes");
+        assert_eq!(q.counters().faults, 1);
+        assert_eq!(reg.counter_total("fault.injected"), 1);
+        let marker = q.trace().pop().expect("fault marker traced");
+        assert_eq!(marker.fault, Some(FaultSite::TransferH2D));
+        assert_eq!(marker.start_s, marker.end_s);
+        assert!(
+            q.export_chrome_trace().to_string().contains("transfer_h2d"),
+            "fault visible in the chrome export"
+        );
+    }
+
+    #[test]
+    fn launch_stalls_extend_simulated_time_only() {
+        use crate::faults::{FaultPlan, FaultSites};
+        let (ctx, q, p) = setup(
+            "__kernel void twice(__global double* io) {
+                size_t g = get_global_id(0);
+                io[g] = io[g] * 2.0;
+            }",
+        );
+        let buf = ctx.create_buffer(4 * 8);
+        q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        let k = p.kernel("twice").expect("kernel");
+        k.set_arg_buffer(0, &buf);
+        // Reference run without faults.
+        let plain = q.enqueue_nd_range(&k, Dispatch::new(4, 2)).expect("launch");
+        q.set_fault_plan(FaultPlan::new(1.0, 1).with_sites(FaultSites {
+            transfer: false,
+            enqueue: false,
+            stall: true,
+            trap: false,
+        }));
+        q.enable_trace();
+        let stalled = q.enqueue_nd_range(&k, Dispatch::new(4, 2)).expect("stalled launch");
+        assert!(
+            stalled.profiling.duration_s() > plain.profiling.duration_s(),
+            "stall adds simulated device time"
+        );
+        let mut out = [0.0; 4];
+        q.set_fault_plan(FaultPlan::none());
+        q.enqueue_read_f64(&buf, &mut out).expect("read");
+        assert_eq!(out, [4.0, 8.0, 12.0, 16.0], "stalled launches still compute correctly");
+        let entry = &q.trace()[0];
+        assert_eq!(entry.fault, Some(FaultSite::LaunchStall));
+        assert_eq!(q.counters().launches, 2, "stalled launches count as launches");
+    }
+
+    #[test]
+    fn spurious_traps_kill_launches_on_both_engines() {
+        use crate::faults::{FaultPlan, FaultSites};
+        for engine in [Engine::Walk, Engine::Bytecode] {
+            let (ctx, q, p) = setup("__kernel void k(__global double* io) {}");
+            q.set_engine(engine);
+            q.set_fault_plan(FaultPlan::new(1.0, 5).with_sites(FaultSites {
+                transfer: false,
+                enqueue: false,
+                stall: false,
+                trap: true,
+            }));
+            let buf = ctx.create_buffer(8);
+            let k = p.kernel("k").expect("kernel");
+            k.set_arg_buffer(0, &buf);
+            let err = q.enqueue_nd_range(&k, Dispatch::new(1, 1)).expect_err("trap");
+            match &err {
+                RuntimeError::Fault(f) => {
+                    assert_eq!(f.site, FaultSite::Trap);
+                    let cause = std::error::Error::source(f).expect("chained engine trap");
+                    let exec = cause.downcast_ref::<ExecError>().expect("ExecError");
+                    assert!(exec.is_injected(), "{engine}: {exec}");
+                }
+                other => panic!("{engine}: expected an injected fault, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inert_fault_plans_change_nothing() {
+        use crate::faults::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let (ctx, q, p) = setup(
+                "__kernel void twice(__global double* io) {
+                    size_t g = get_global_id(0);
+                    io[g] = io[g] * 2.0;
+                }",
+            );
+            if let Some(plan) = plan {
+                q.set_fault_plan(plan);
+            }
+            q.enable_trace();
+            let buf = ctx.create_buffer(4 * 8);
+            q.enqueue_write_f64(&buf, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+            let k = p.kernel("twice").expect("kernel");
+            k.set_arg_buffer(0, &buf);
+            q.enqueue_nd_range(&k, Dispatch::new(4, 2)).expect("launch");
+            let mut out = [0.0; 4];
+            q.enqueue_read_f64(&buf, &mut out).expect("read");
+            (out, q.counters(), q.export_chrome_trace().to_string(), q.elapsed_s())
+        };
+        let reference = run(None);
+        let zero_rate = run(Some(FaultPlan::none()));
+        assert_eq!(reference, zero_rate, "FaultPlan::none() is bit-identical to no plan");
+        assert_eq!(reference.1.faults, 0);
     }
 
     #[test]

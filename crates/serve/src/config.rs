@@ -10,7 +10,10 @@ use std::time::Duration;
 /// | `max_batch` | micro-batch target, in options | 32 |
 /// | `max_linger` | max wait of the oldest queued request | 2 ms |
 /// | `probe_batch` | batch size used to calibrate shard rates | 256 |
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// | `max_retries` | local re-prices of a batch after a retryable fault | 2 |
+/// | `retry_backoff_s` | simulated-time backoff base per retry, seconds | 1 ms |
+/// | `quarantine_after` | consecutive exhausted batches before quarantine | 3 |
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Maximum number of requests held in the submission queue. A submit
     /// beyond this bound returns [`bop_core::Error::Rejected`].
@@ -25,6 +28,20 @@ pub struct ServeConfig {
     /// Probe batch size for calibrating each shard's marginal rate at
     /// startup (the rates feed the scheduler's backlog/rate policy).
     pub probe_batch: usize,
+    /// How many times a shard worker re-prices a micro-batch locally
+    /// after a retryable fault ([`bop_core::Error::is_retryable`])
+    /// before giving the batch up to redispatch. `0` disables local
+    /// retries.
+    pub max_retries: usize,
+    /// Base backoff between local retries, in *simulated* seconds. The
+    /// device clock is simulated, so the backoff is accounted in the
+    /// `serve.retry_backoff_s` metric (doubling per retry) rather than
+    /// slept on the wall clock.
+    pub retry_backoff_s: f64,
+    /// Consecutive micro-batches that must exhaust their local retries
+    /// on one shard before the scheduler quarantines it. Must be at
+    /// least 1.
+    pub quarantine_after: usize,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +51,9 @@ impl Default for ServeConfig {
             max_batch: 32,
             max_linger: Duration::from_millis(2),
             probe_batch: 256,
+            max_retries: 2,
+            retry_backoff_s: 1e-3,
+            quarantine_after: 3,
         }
     }
 }
@@ -54,6 +74,14 @@ impl ServeConfig {
         if self.probe_batch == 0 {
             return Err(bop_core::Error::Invalid("probe_batch must be at least 1".into()));
         }
+        if !self.retry_backoff_s.is_finite() || self.retry_backoff_s < 0.0 {
+            return Err(bop_core::Error::Invalid(
+                "retry_backoff_s must be finite and non-negative".into(),
+            ));
+        }
+        if self.quarantine_after == 0 {
+            return Err(bop_core::Error::Invalid("quarantine_after must be at least 1".into()));
+        }
         Ok(())
     }
 }
@@ -68,6 +96,9 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.queue_capacity, 64);
         assert_eq!(c.max_batch, 32);
+        assert_eq!(c.max_retries, 2);
+        assert_eq!(c.retry_backoff_s, 1e-3);
+        assert_eq!(c.quarantine_after, 3);
     }
 
     #[test]
@@ -76,6 +107,9 @@ mod tests {
             ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
             ServeConfig { max_batch: 0, ..ServeConfig::default() },
             ServeConfig { probe_batch: 0, ..ServeConfig::default() },
+            ServeConfig { quarantine_after: 0, ..ServeConfig::default() },
+            ServeConfig { retry_backoff_s: f64::NAN, ..ServeConfig::default() },
+            ServeConfig { retry_backoff_s: -1e-3, ..ServeConfig::default() },
         ] {
             assert!(matches!(cfg.validate(), Err(bop_core::Error::Invalid(_))));
         }

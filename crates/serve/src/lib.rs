@@ -34,6 +34,16 @@
 //!   with [`Error::DeadlineExceeded`] instead of wasting shard time.
 //! * **Shutdown drains.** [`PricingService::shutdown`] flushes every
 //!   queued request through the shards before the workers exit.
+//! * **Faults degrade, never corrupt.** Injected faults (see
+//!   [`bop_core::FaultPlan`]) surface as retryable
+//!   [`bop_core::Error::Fault`]s: workers retry a faulted micro-batch
+//!   locally (`max_retries`, backoff on the simulated clock), redispatch
+//!   it to a healthy shard when local retries run out, and quarantine a
+//!   shard after `quarantine_after` consecutive exhausted batches.
+//!   Degraded-mode traffic is visible in the `serve.retries`,
+//!   `serve.redispatched`, `serve.quarantined`, and `serve.failed`
+//!   metrics, and every price that does come back is bit-identical to a
+//!   fault-free run (`tests/chaos.rs`).
 //!
 //! ## Quickstart
 //!

@@ -10,9 +10,40 @@
 use std::sync::Mutex;
 
 /// Online scheduler over a pool of shards with calibrated rates.
+///
+/// Shards can be **quarantined** (see [`ShardScheduler::quarantine`]):
+/// a quarantined shard is skipped by [`ShardScheduler::pick`] and by
+/// redispatch, unless every shard is quarantined — then the pool
+/// degrades to scheduling over all shards rather than stalling.
+/// Quarantine is monotone: once out, a shard stays out, which keeps
+/// redispatch chains finite.
 pub struct ShardScheduler {
     rates: Vec<f64>,
-    pending: Mutex<Vec<u64>>,
+    state: Mutex<SchedState>,
+}
+
+struct SchedState {
+    pending: Vec<u64>,
+    quarantined: Vec<bool>,
+}
+
+impl SchedState {
+    /// Argmin of completion horizon over `candidates`; records the batch
+    /// against the winner's backlog.
+    fn pick_among(
+        &mut self,
+        rates: &[f64],
+        n_options: usize,
+        candidates: impl Iterator<Item = usize>,
+    ) -> Option<usize> {
+        let best = candidates.min_by(|&a, &b| {
+            let ha = (self.pending[a] + n_options as u64) as f64 / rates[a];
+            let hb = (self.pending[b] + n_options as u64) as f64 / rates[b];
+            ha.partial_cmp(&hb).expect("finite horizons").then(a.cmp(&b))
+        })?;
+        self.pending[best] += n_options as u64;
+        Some(best)
+    }
 }
 
 impl ShardScheduler {
@@ -32,8 +63,11 @@ impl ShardScheduler {
         } else {
             vec![1.0; sane.len()]
         };
-        let pending = Mutex::new(vec![0; rates.len()]);
-        ShardScheduler { rates, pending }
+        let state = Mutex::new(SchedState {
+            pending: vec![0; rates.len()],
+            quarantined: vec![false; rates.len()],
+        });
+        ShardScheduler { rates, state }
     }
 
     /// Calibrated rates, options/s, in shard order.
@@ -43,31 +77,56 @@ impl ShardScheduler {
 
     /// Current backlog per shard, in options.
     pub fn backlog(&self) -> Vec<u64> {
-        self.pending.lock().expect("scheduler lock").clone()
+        self.state.lock().expect("scheduler lock").pending.clone()
     }
 
-    /// Choose the shard with the smallest completion horizon for a batch
-    /// of `n_options`, and record the batch against its backlog.
+    /// Choose the healthy shard with the smallest completion horizon for
+    /// a batch of `n_options`, and record the batch against its backlog.
+    /// If every shard is quarantined, all of them are candidates again.
     ///
     /// # Panics
     /// Panics on an empty pool (the service constructor forbids it).
     pub fn pick(&self, n_options: usize) -> usize {
-        let mut pending = self.pending.lock().expect("scheduler lock");
-        let best = (0..self.rates.len())
-            .min_by(|&a, &b| {
-                let ha = (pending[a] + n_options as u64) as f64 / self.rates[a];
-                let hb = (pending[b] + n_options as u64) as f64 / self.rates[b];
-                ha.partial_cmp(&hb).expect("finite horizons").then(a.cmp(&b))
-            })
-            .expect("non-empty pool");
-        pending[best] += n_options as u64;
-        best
+        let mut st = self.state.lock().expect("scheduler lock");
+        let healthy: Vec<usize> = (0..self.rates.len()).filter(|&i| !st.quarantined[i]).collect();
+        let candidates: Vec<usize> =
+            if healthy.is_empty() { (0..self.rates.len()).collect() } else { healthy };
+        st.pick_among(&self.rates, n_options, candidates.into_iter()).expect("non-empty pool")
+    }
+
+    /// Choose a healthy shard other than `exclude` for a redispatched
+    /// batch, recording the batch against its backlog. Returns `None`
+    /// when no healthy peer exists — the caller must then fail (or
+    /// price) the batch itself rather than bounce it forever.
+    pub fn pick_for_redispatch(&self, n_options: usize, exclude: usize) -> Option<usize> {
+        let mut st = self.state.lock().expect("scheduler lock");
+        let healthy: Vec<usize> =
+            (0..self.rates.len()).filter(|&i| i != exclude && !st.quarantined[i]).collect();
+        st.pick_among(&self.rates, n_options, healthy.into_iter())
     }
 
     /// Mark `n_options` completed on `shard`, freeing its backlog.
     pub fn complete(&self, shard: usize, n_options: usize) {
-        let mut pending = self.pending.lock().expect("scheduler lock");
-        pending[shard] = pending[shard].saturating_sub(n_options as u64);
+        let mut st = self.state.lock().expect("scheduler lock");
+        st.pending[shard] = st.pending[shard].saturating_sub(n_options as u64);
+    }
+
+    /// Quarantine `shard`, removing it from scheduling. Returns `true`
+    /// if the shard was healthy until now (`false` on a repeat call, so
+    /// callers can count quarantine events exactly once).
+    pub fn quarantine(&self, shard: usize) -> bool {
+        let mut st = self.state.lock().expect("scheduler lock");
+        !std::mem::replace(&mut st.quarantined[shard], true)
+    }
+
+    /// Whether `shard` is currently quarantined.
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.state.lock().expect("scheduler lock").quarantined[shard]
+    }
+
+    /// Per-shard quarantine flags, in shard order.
+    pub fn quarantined(&self) -> Vec<bool> {
+        self.state.lock().expect("scheduler lock").quarantined.clone()
     }
 }
 
@@ -107,6 +166,26 @@ mod tests {
             (totals[0] as i64 - offline[0] as i64).unsigned_abs() <= 4,
             "online {totals:?} vs offline {offline:?}"
         );
+    }
+
+    #[test]
+    fn quarantine_steers_work_to_healthy_shards() {
+        let s = ShardScheduler::new(vec![100.0, 2500.0, 700.0]);
+        assert!(s.quarantine(1), "first quarantine reports a state change");
+        assert!(!s.quarantine(1), "repeat quarantine does not");
+        assert!(s.is_quarantined(1));
+        assert_eq!(s.quarantined(), vec![false, true, false]);
+        // The fastest shard is out; work lands on the next-fastest.
+        assert_eq!(s.pick(8), 2);
+        // Redispatch away from shard 2 can only use shard 0.
+        assert_eq!(s.pick_for_redispatch(8, 2), Some(0));
+        // No healthy peer for shard 0 once 2 is out too.
+        s.quarantine(2);
+        assert_eq!(s.pick_for_redispatch(8, 0), None);
+        // With the whole pool quarantined, pick degrades to all shards
+        // instead of stalling the batcher.
+        s.quarantine(0);
+        assert_eq!(s.pick(8), 1, "fully-quarantined pool still schedules");
     }
 
     #[test]

@@ -15,6 +15,19 @@
 //!   past-deadline chunks with [`Error::DeadlineExceeded`], prices the
 //!   rest in a single `price` call, and scatters results back through
 //!   each request's aggregator.
+//!
+//! Failure policy (exercised by `tests/chaos.rs` under injected
+//! faults): a retryable error ([`Error::is_retryable`], i.e. an
+//! injected [`bop_core::Error::Fault`]) is re-priced locally up to
+//! `max_retries` times with exponential backoff accounted on the
+//! simulated clock; a batch that exhausts its retries is redispatched
+//! to a healthy peer (at most one turn per shard); a shard that
+//! exhausts `quarantine_after` consecutive batches is quarantined out
+//! of scheduling. Every chunk always reaches its aggregator — filled
+//! with prices or failed with a typed error — so callers never hang,
+//! and successful prices are bit-identical to a fault-free
+//! [`Accelerator::price`] because injected faults are detected (a
+//! faulted command kills the session rather than corrupting results).
 
 use crate::config::ServeConfig;
 use crate::scheduler::ShardScheduler;
@@ -139,6 +152,10 @@ struct Chunk {
 struct Batch {
     chunks: Vec<Chunk>,
     n_options: usize,
+    /// Shards that have already tried (and failed) to price this batch.
+    /// Redispatch stops once every shard has had a turn, so a batch can
+    /// never bounce around the pool forever.
+    attempts: usize,
 }
 
 struct PendingRequest {
@@ -180,10 +197,17 @@ impl ShardQueue {
         }
     }
 
-    fn push(&self, batch: Batch) {
+    /// Enqueue a batch, or hand it back if the queue already closed
+    /// (shutdown races a redispatch) so the caller can fail its chunks
+    /// instead of leaking them — every chunk must reach its aggregator.
+    fn push(&self, batch: Batch) -> Result<(), Batch> {
         let mut st = self.state.lock().expect("shard queue lock");
+        if st.closed {
+            return Err(batch);
+        }
         st.batches.push_back(batch);
         self.ready.notify_one();
+        Ok(())
     }
 
     /// Blocking pop; `None` once the queue is closed and drained.
@@ -274,10 +298,11 @@ impl PricingService {
             .into_iter()
             .enumerate()
             .map(|(i, acc)| {
-                let queue = shard_queues[i].clone();
+                let queues = shard_queues.clone();
                 let scheduler = scheduler.clone();
                 let metrics = metrics.clone();
-                thread::spawn(move || worker_loop(i, acc, &queue, &scheduler, &metrics))
+                let config = shared.config.clone();
+                thread::spawn(move || worker_loop(i, acc, &queues, &scheduler, &metrics, &config))
             })
             .collect();
         let batcher = {
@@ -433,7 +458,7 @@ fn extract(st: &mut QueueState, max_batch: usize) -> Batch {
             st.queue.pop_front();
         }
     }
-    Batch { chunks, n_options }
+    Batch { chunks, n_options, attempts: 0 }
 }
 
 fn batcher_loop(
@@ -471,19 +496,53 @@ fn batcher_loop(
         };
         metrics.observe("serve.batch.options", &[], batch.n_options as f64);
         let shard = scheduler.pick(batch.n_options);
-        shard_queues[shard].push(batch);
+        if let Err(batch) = shard_queues[shard].push(batch) {
+            // Unreachable in the normal lifecycle (queues close only
+            // after the batcher exits), but a lost batch would hang its
+            // callers forever, so fail it rather than drop it.
+            scheduler.complete(shard, batch.n_options);
+            for chunk in &batch.chunks {
+                let rejection = Rejection {
+                    depth: 0,
+                    capacity: shared.config.queue_capacity,
+                    shutting_down: true,
+                };
+                let outcome = chunk.agg.fail(chunk.options.len(), Error::Rejected(rejection));
+                record_finish(outcome, &chunk.agg, metrics);
+            }
+        }
     }
 }
 
 fn worker_loop(
     shard: usize,
     accelerator: Accelerator,
-    queue: &ShardQueue,
+    queues: &[Arc<ShardQueue>],
     scheduler: &ShardScheduler,
     metrics: &MetricsRegistry,
+    config: &ServeConfig,
 ) {
     let label = shard.to_string();
-    while let Some(batch) = queue.pop() {
+    // Consecutive micro-batches that exhausted their local retries here.
+    // One success resets it; reaching `quarantine_after` takes the shard
+    // out of scheduling.
+    let mut failure_streak = 0usize;
+    'batches: while let Some(batch) = queues[shard].pop() {
+        // Batches routed here before the quarantine took effect are
+        // handed to a healthy peer without consuming a redispatch
+        // attempt — this shard never touched them.
+        let batch = if scheduler.is_quarantined(shard) {
+            let n_options = batch.n_options;
+            match redispatch(shard, batch, queues, scheduler, metrics, &label) {
+                None => {
+                    scheduler.complete(shard, n_options);
+                    continue 'batches;
+                }
+                Some(batch) => batch, // no healthy peer: price it here anyway
+            }
+        } else {
+            batch
+        };
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.chunks.len());
         for chunk in batch.chunks {
@@ -498,32 +557,104 @@ fn worker_loop(
                 _ => live.push(chunk),
             }
         }
-        if !live.is_empty() {
-            let options: Vec<OptionParams> =
-                live.iter().flat_map(|c| c.options.iter().copied()).collect();
-            match accelerator.price(&options) {
-                Ok(run) => {
-                    let mut offset = 0;
-                    for chunk in &live {
-                        let prices = &run.prices[offset..offset + chunk.options.len()];
-                        offset += chunk.options.len();
-                        record_finish(chunk.agg.fill(chunk.offset, prices), &chunk.agg, metrics);
-                    }
-                    metrics.inc("serve.shard.options", &[("shard", &label)], options.len() as u64);
-                    metrics.inc("serve.shard.batches", &[("shard", &label)], 1);
+        if live.is_empty() {
+            scheduler.complete(shard, batch.n_options);
+            continue 'batches;
+        }
+        let options: Vec<OptionParams> =
+            live.iter().flat_map(|c| c.options.iter().copied()).collect();
+        // Bounded local retries. Only injected faults are retryable
+        // (Error::is_retryable); real errors are deterministic and fail
+        // fast. The backoff runs on the simulated device clock, so it is
+        // accounted in a metric instead of slept.
+        let mut result = accelerator.price(&options);
+        let mut retries = 0usize;
+        while let Err(error) = &result {
+            if !error.is_retryable() || retries >= config.max_retries {
+                break;
+            }
+            let backoff_s = config.retry_backoff_s * (1u64 << retries) as f64;
+            retries += 1;
+            metrics.inc("serve.retries", &[("shard", &label)], 1);
+            metrics.observe("serve.retry_backoff_s", &[("shard", &label)], backoff_s);
+            result = accelerator.price(&options);
+        }
+        // Free the backlog before touching aggregators: a caller woken
+        // by the final fill must observe the scheduler already drained.
+        scheduler.complete(shard, batch.n_options);
+        match result {
+            Ok(run) => {
+                failure_streak = 0;
+                let mut offset = 0;
+                for chunk in &live {
+                    let prices = &run.prices[offset..offset + chunk.options.len()];
+                    offset += chunk.options.len();
+                    record_finish(chunk.agg.fill(chunk.offset, prices), &chunk.agg, metrics);
                 }
-                Err(error) => {
-                    for chunk in &live {
-                        record_finish(
-                            chunk.agg.fail(chunk.options.len(), error.clone()),
-                            &chunk.agg,
-                            metrics,
-                        );
+                metrics.inc("serve.shard.options", &[("shard", &label)], options.len() as u64);
+                metrics.inc("serve.shard.batches", &[("shard", &label)], 1);
+            }
+            Err(error) => {
+                let mut live = live;
+                if error.is_retryable() {
+                    failure_streak += 1;
+                    if failure_streak >= config.quarantine_after && scheduler.quarantine(shard) {
+                        metrics.inc("serve.quarantined", &[("shard", &label)], 1);
+                        let out = scheduler.quarantined().iter().filter(|&&q| q).count();
+                        metrics.set_gauge("serve.quarantined_shards", &[], out as f64);
                     }
+                    // The surviving chunks get one turn on each other
+                    // shard before the batch is declared dead.
+                    let attempts = batch.attempts + 1;
+                    if attempts < queues.len() {
+                        let n_live: usize = live.iter().map(|c| c.options.len()).sum();
+                        let redo = Batch { chunks: live, n_options: n_live, attempts };
+                        match redispatch(shard, redo, queues, scheduler, metrics, &label) {
+                            None => continue 'batches,
+                            Some(returned) => live = returned.chunks,
+                        }
+                    }
+                }
+                metrics.inc("serve.failed", &[("shard", &label)], 1);
+                for chunk in &live {
+                    record_finish(
+                        chunk.agg.fail(chunk.options.len(), error.clone()),
+                        &chunk.agg,
+                        metrics,
+                    );
                 }
             }
         }
-        scheduler.complete(shard, batch.n_options);
+    }
+}
+
+/// Move `batch` to the healthiest peer of `shard`. Returns the batch
+/// when no healthy peer exists or the peer's queue already closed; the
+/// caller must then price or fail it — never drop it. Backlog
+/// accounting for the *target* happens here (recorded by the pick,
+/// rolled back on a refused push); the origin shard's backlog stays the
+/// caller's responsibility.
+fn redispatch(
+    shard: usize,
+    batch: Batch,
+    queues: &[Arc<ShardQueue>],
+    scheduler: &ShardScheduler,
+    metrics: &MetricsRegistry,
+    label: &str,
+) -> Option<Batch> {
+    let Some(target) = scheduler.pick_for_redispatch(batch.n_options, shard) else {
+        return Some(batch);
+    };
+    let n_options = batch.n_options;
+    match queues[target].push(batch) {
+        Ok(()) => {
+            metrics.inc("serve.redispatched", &[("from", label)], 1);
+            None
+        }
+        Err(batch) => {
+            scheduler.complete(target, n_options);
+            Some(batch)
+        }
     }
 }
 

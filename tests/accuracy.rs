@@ -1,8 +1,12 @@
-//! Integration: the Section V.C accuracy story at full paper scale.
+//! Integration: the Section V.C accuracy story at full paper scale,
+//! plus golden CRR vectors pinning the reference pricer bit-for-bit.
 
 use bop_core::experiments::accuracy::pow_operator_rmse;
 use bop_core::experiments::table2::PAPER_STEPS;
 use bop_core::{Accelerator, KernelArch, Precision};
+use bop_finance::binomial::price_american_f64;
+use bop_finance::black_scholes::bs_price;
+use bop_finance::types::{ExerciseStyle, OptionKind};
 use bop_finance::{workload, OptionParams};
 
 #[test]
@@ -44,6 +48,114 @@ fn pow_operator_rmse_matches_the_paper_order_of_magnitude() {
     assert!(
         (3e-4..3e-2).contains(&rmse),
         "\"This operator shows an RMSE of 1e-3\": measured {rmse:.2e}"
+    );
+}
+
+/// The golden vectors below were produced by this repository's own
+/// `price_american_f64` at N = 512 and are pinned *bit-for-bit*: the
+/// reference pricer is the yardstick for every accelerator and for the
+/// chaos suite's "successful prices are exact" contract, so any drift
+/// in it — however small — must be a deliberate, visible change.
+#[test]
+fn golden_crr_vectors_pin_the_reference_pricer() {
+    let mk = |spot: f64, strike: f64, kind, style| OptionParams {
+        spot,
+        strike,
+        volatility: 0.2,
+        rate: 0.05,
+        expiry: 1.0,
+        dividend_yield: 0.0,
+        kind,
+        style,
+    };
+    let cases = [
+        // Deep ITM American put: worth its immediate-exercise intrinsic.
+        (
+            "deep ITM put",
+            mk(40.0, 100.0, OptionKind::Put, ExerciseStyle::American),
+            0x404dffffffffffdcu64,
+        ),
+        (
+            "deep ITM call",
+            mk(250.0, 100.0, OptionKind::Call, ExerciseStyle::American),
+            0x40635c10e2be77d6,
+        ),
+        (
+            "deep OTM put",
+            mk(250.0, 100.0, OptionKind::Put, ExerciseStyle::American),
+            0x3ecf8e8b41f49fcc,
+        ),
+        (
+            "deep OTM call",
+            mk(40.0, 100.0, OptionKind::Call, ExerciseStyle::American),
+            0x3ef28eaf2ddb26d8,
+        ),
+        (
+            "ATM call",
+            mk(100.0, 100.0, OptionKind::Call, ExerciseStyle::American),
+            0x4024e4b31651fdfa,
+        ),
+        (
+            "ATM European put",
+            mk(100.0, 100.0, OptionKind::Put, ExerciseStyle::European),
+            0x4016474acccd5bfe,
+        ),
+    ];
+    for (name, option, bits) in cases {
+        let price = price_american_f64(&option, 512);
+        assert_eq!(
+            price.to_bits(),
+            bits,
+            "{name}: golden {} vs computed {price:.17e}",
+            f64::from_bits(bits)
+        );
+    }
+    // The deep ITM put also equals intrinsic exactly (early exercise at
+    // the root dominates every continuation).
+    let itm_put = mk(40.0, 100.0, OptionKind::Put, ExerciseStyle::American);
+    assert!((price_american_f64(&itm_put, 512) - itm_put.intrinsic()).abs() < 1e-12);
+}
+
+#[test]
+fn near_zero_volatility_collapses_to_the_deterministic_forward() {
+    // sigma must stay >= r*sqrt(dt) for the CRR risk-neutral p to remain
+    // a probability; 0.01 at N = 256 is safely inside while leaving no
+    // measurable time value on a deep ITM European call, so the lattice
+    // must reproduce S - K e^{-rT}.
+    let option = OptionParams {
+        spot: 100.0,
+        strike: 80.0,
+        volatility: 0.01,
+        rate: 0.05,
+        expiry: 1.0,
+        dividend_yield: 0.0,
+        kind: OptionKind::Call,
+        style: ExerciseStyle::European,
+    };
+    let lattice = price_american_f64(&option, 256);
+    let forward = option.spot - option.strike * (-option.rate * option.expiry).exp();
+    assert!(
+        (lattice - forward).abs() < 1e-9,
+        "zero-vol limit: lattice {lattice:.12} vs forward {forward:.12}"
+    );
+}
+
+#[test]
+fn crr_converges_to_black_scholes_as_the_lattice_deepens() {
+    let mut option = OptionParams::example();
+    option.style = ExerciseStyle::European;
+    option.kind = OptionKind::Call;
+    let analytic = bs_price(&option);
+    let err = |n: usize| (price_american_f64(&option, n) - analytic).abs();
+    // O(1/N) convergence: measured 1.2e-1 / 3.1e-2 / 4.9e-4 at 16 / 64 /
+    // 4096 steps. The bounds leave ~2x headroom without letting a broken
+    // scheme through.
+    let coarse = err(16);
+    let fine = err(4096);
+    assert!(fine < 1e-3, "N=4096 must sit within 1e-3 of Black-Scholes, got {fine:.3e}");
+    assert!(
+        fine < coarse / 50.0,
+        "error must shrink ~linearly in N: err(16)={coarse:.3e}, err(4096)={fine:.3e}"
     );
 }
 

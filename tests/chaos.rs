@@ -1,0 +1,242 @@
+//! Chaos suite: deterministic fault injection through the whole serving
+//! stack.
+//!
+//! The campaigns here run with the seed from `BOP_CHAOS_SEED` (default
+//! 7) so CI can repeat them under several fixed seeds; every assertion
+//! must hold for *any* seed. The four properties proved, in order:
+//!
+//! 1. an inert fault plan is bit-identical to no plan at all;
+//! 2. a seeded campaign is run-to-run identical, including every
+//!    `fault.*` and `serve.*` counter;
+//! 3. prices that survive a faulty pool — through retries, redispatch
+//!    and quarantine — are bit-identical to a fault-free
+//!    `Accelerator::price`;
+//! 4. when recovery is exhausted the caller gets a typed
+//!    [`Error::Fault`], never a wrong price and never a hang.
+
+use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
+use bop_finance::{workload, OptionParams};
+use bop_obs::{Labels, MetricsRegistry, Series};
+use bop_serve::{PricingService, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_seed() -> u64 {
+    match std::env::var("BOP_CHAOS_SEED") {
+        Ok(s) => s.parse().unwrap_or_else(|_| panic!("BOP_CHAOS_SEED must be a u64, got {s:?}")),
+        Err(_) => 7,
+    }
+}
+
+fn gpu_shard(n_steps: usize, metrics: &Arc<MetricsRegistry>) -> Accelerator {
+    Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(n_steps)
+        .metrics(metrics.clone())
+        .build()
+        .expect("shard builds")
+}
+
+fn batch(n: usize, seed: u64) -> Vec<OptionParams> {
+    workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
+}
+
+/// Counters only — histograms (latency, backoff) hold wall-clock values
+/// and are legitimately different between runs.
+fn fault_and_serve_counters(metrics: &MetricsRegistry) -> Vec<(String, Labels, u64)> {
+    metrics
+        .snapshot()
+        .into_iter()
+        .filter_map(|s| match s {
+            Series::Counter { name, labels, value }
+                if name.starts_with("fault.") || name.starts_with("serve.") =>
+            {
+                Some((name, labels, value))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// One shard, sequential submit-and-wait, request size == `max_batch`:
+/// every source of scheduling nondeterminism is pinned, so two runs with
+/// the same seed must agree on *everything* observable.
+fn run_campaign(seed: u64) -> (Vec<String>, Vec<(String, Labels, u64)>) {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let shard = gpu_shard(24, &metrics).with_fault_plan(FaultPlan::new(0.15, seed));
+    let service = PricingService::start_with_metrics(
+        vec![shard],
+        ServeConfig {
+            max_batch: 6,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        metrics.clone(),
+    )
+    .expect("starts");
+    let mut outcomes = Vec::new();
+    for i in 0..12 {
+        let outcome = match service.price(batch(6, 1000 + i)) {
+            Ok(prices) => {
+                let bits: Vec<String> = prices.iter().map(|p| p.to_bits().to_string()).collect();
+                format!("ok:{}", bits.join(","))
+            }
+            Err(e) => format!("err:{e}"),
+        };
+        outcomes.push(outcome);
+    }
+    service.shutdown();
+    (outcomes, fault_and_serve_counters(&metrics))
+}
+
+#[test]
+fn inert_fault_plans_are_bit_identical_to_no_plan() {
+    let n_steps = 32;
+    let request = batch(9, 42);
+
+    let plain_metrics = Arc::new(MetricsRegistry::new());
+    let plain = PricingService::start_with_metrics(
+        vec![gpu_shard(n_steps, &plain_metrics)],
+        ServeConfig::default(),
+        plain_metrics.clone(),
+    )
+    .expect("starts");
+    let baseline = plain.price(request.clone()).expect("prices");
+    plain.shutdown();
+
+    let inert_metrics = Arc::new(MetricsRegistry::new());
+    let inert_shard = gpu_shard(n_steps, &inert_metrics).with_fault_plan(FaultPlan::none());
+    assert!(inert_shard.fault_plan().is_none(), "an inert plan is dropped entirely");
+    let inert = PricingService::start_with_metrics(
+        vec![inert_shard],
+        ServeConfig::default(),
+        inert_metrics.clone(),
+    )
+    .expect("starts");
+    let prices = inert.price(request.clone()).expect("prices");
+    inert.shutdown();
+
+    assert_eq!(prices, baseline, "FaultPlan::none() must not perturb a single bit");
+    assert_eq!(inert_metrics.counter_total("fault.injected"), 0);
+    assert_eq!(inert_metrics.counter_total("serve.retries"), 0);
+    assert_eq!(inert_metrics.counter_total("serve.failed"), 0);
+
+    // Same story on the direct path, bypassing the service.
+    let direct = gpu_shard(n_steps, &Arc::new(MetricsRegistry::new()));
+    let reference = direct.price(&request).expect("prices").prices;
+    let with_plan = direct.with_fault_plan(FaultPlan::none());
+    assert_eq!(with_plan.price(&request).expect("prices").prices, reference);
+}
+
+#[test]
+fn same_seed_campaigns_are_run_to_run_identical() {
+    let seed = chaos_seed();
+    let (outcomes_a, counters_a) = run_campaign(seed);
+    let (outcomes_b, counters_b) = run_campaign(seed);
+    assert_eq!(
+        outcomes_a, outcomes_b,
+        "seed {seed}: request outcomes (prices and fault messages) must replay exactly"
+    );
+    assert_eq!(
+        counters_a, counters_b,
+        "seed {seed}: every fault.* and serve.* counter must replay exactly"
+    );
+    assert!(
+        counters_a.iter().any(|(name, _, v)| name == "fault.injected" && *v > 0),
+        "seed {seed}: a 15% plan over 12 sessions must inject something; \
+         counters: {counters_a:?}"
+    );
+}
+
+#[test]
+fn survivors_of_a_faulty_pool_price_bit_identically() {
+    let seed = chaos_seed();
+    let n_steps = 24;
+    let metrics = Arc::new(MetricsRegistry::new());
+    // Two shards with distinct fault streams: micro-batches that exhaust
+    // local retries on one shard are redispatched to the other.
+    let shards: Vec<Accelerator> = (0..2)
+        .map(|i| {
+            gpu_shard(n_steps, &metrics).with_fault_plan(FaultPlan::new(0.2, seed.wrapping_add(i)))
+        })
+        .collect();
+    let service = PricingService::start_with_metrics(
+        shards,
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        metrics.clone(),
+    )
+    .expect("starts");
+    let direct = gpu_shard(n_steps, &Arc::new(MetricsRegistry::new()));
+
+    let requests: Vec<Vec<OptionParams>> =
+        (0..10).map(|i| batch(4 + (i as usize % 3) * 4, 500 + i)).collect();
+    let tickets: Vec<_> =
+        requests.iter().map(|r| service.submit(r.clone(), None).expect("accepted")).collect();
+    let mut survivors = 0;
+    for (ticket, request) in tickets.into_iter().zip(&requests) {
+        match ticket.wait() {
+            Ok(prices) => {
+                survivors += 1;
+                let reference = direct.price(request).expect("prices").prices;
+                assert_eq!(
+                    prices, reference,
+                    "a price that survives faults must be bit-identical to fault-free"
+                );
+            }
+            Err(e) => {
+                assert!(
+                    e.is_retryable(),
+                    "only exhausted injected faults may fail a request, got {e}"
+                );
+            }
+        }
+    }
+    service.shutdown();
+    assert!(survivors > 0, "seed {seed}: a 20% plan with retries must let requests through");
+    assert!(
+        metrics.counter_total("fault.injected") > 0,
+        "seed {seed}: a 20% plan over this campaign must inject something"
+    );
+}
+
+#[test]
+fn exhausted_recovery_fails_typed_and_never_hangs() {
+    use std::error::Error as StdError;
+    let metrics = Arc::new(MetricsRegistry::new());
+    // Every command faults: no retry, no redispatch, no quarantine
+    // fallback can save a batch. The test finishing at all is the
+    // no-hang proof (every chunk must reach its aggregator).
+    let shards: Vec<Accelerator> = (0..2)
+        .map(|i| gpu_shard(16, &metrics).with_fault_plan(FaultPlan::new(1.0, chaos_seed() + i)))
+        .collect();
+    let service = PricingService::start_with_metrics(
+        shards,
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        metrics.clone(),
+    )
+    .expect("starts");
+    let tickets: Vec<_> =
+        (0..8).map(|i| service.submit(batch(4, 900 + i), None).expect("accepted")).collect();
+    for ticket in tickets {
+        let err = ticket.wait().expect_err("rate-1.0 faults must fail every request");
+        assert!(matches!(err, Error::Fault { .. }), "typed fault, got {err}");
+        assert!(err.source().is_some(), "the injected fault rides the source() chain");
+    }
+    service.shutdown();
+
+    assert!(metrics.counter_total("serve.retries") > 0, "local retries were attempted");
+    assert!(metrics.counter_total("serve.failed") > 0, "exhausted batches were recorded");
+    // Both shards fail every batch, so both cross quarantine_after; the
+    // pool keeps draining (degraded pick) instead of deadlocking.
+    assert_eq!(metrics.counter_total("serve.quarantined"), 2, "both shards quarantined");
+    assert_eq!(metrics.counter_total("serve.requests.completed"), 0);
+}
