@@ -50,11 +50,41 @@ BOP_CHAOS_SEED=2 cargo test -q --release -p bop-serve --test chaos
 # Degraded-pool smoke: inject a 10% deterministic fault plan into the
 # serving stack. The availability row proves the retry/redispatch path
 # served something; the stderr marker proves a replayed campaign is
-# bit-identical.
+# bit-identical. Telemetry must survive degraded mode too: the report
+# still carries the percentile rows.
 echo "== serve_load fault-injection smoke =="
 ./target/release/serve_load --requests 40 --rate 5000 --shards 2 --seed 7 \
   --faults 0.1 --fault-seed 1234 --json 2>/tmp/serve_load_faults.err \
   | grep -q '"serve.availability"'
 grep -q 'fault determinism check: PASS' /tmp/serve_load_faults.err
+
+# Telemetry smoke: the serve report carries tail percentiles and
+# energy efficiency, and a traced run produces a Chrome document whose
+# spans carry request ids (the per-request linkage itself is asserted
+# in tests/observability.rs).
+echo "== serve_load telemetry smoke =="
+./target/release/serve_load --requests 40 --rate 5000 --shards 2 --seed 7 \
+  --json --trace-out /tmp/serve_trace.json > /tmp/serve_load_telemetry.json
+grep -q '"serve.latency.p95"' /tmp/serve_load_telemetry.json
+grep -q '"serve.options_per_j"' /tmp/serve_load_telemetry.json
+grep -q '"request_id"' /tmp/serve_trace.json
+grep -q '"droppedSpans"' /tmp/serve_trace.json
+
+# Perf-trajectory gate: snapshot the fast benchmark suite, prove the
+# comparator passes on identical numbers and fails on a synthetic 2x
+# slowdown. (Cross-PR comparisons against the committed BENCH_*.json
+# use --warn-only: wall-clock rows move with the host.)
+echo "== bench_snapshot comparator smoke =="
+./target/release/bench_snapshot run --fast --out /tmp/bench_head.json --label ci
+./target/release/bench_snapshot compare /tmp/bench_head.json /tmp/bench_head.json
+./target/release/bench_snapshot degrade /tmp/bench_head.json /tmp/bench_degraded.json --factor 0.5
+if ./target/release/bench_snapshot compare /tmp/bench_head.json /tmp/bench_degraded.json; then
+  echo "bench_snapshot comparator failed to flag a 2x regression" >&2
+  exit 1
+fi
+latest_snapshot=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -n "${latest_snapshot}" ]; then
+  ./target/release/bench_snapshot compare "${latest_snapshot}" /tmp/bench_head.json --warn-only
+fi
 
 echo "CI: all gates passed"

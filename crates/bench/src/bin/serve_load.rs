@@ -10,14 +10,26 @@
 //!            [--shards S] [--device gpu|fpga|cpu] [--steps N]
 //!            [--max-batch B] [--linger-us U] [--capacity C]
 //!            [--deadline-ms D] [--seed S] [--faults RATE]
-//!            [--fault-seed S] [--json] [--json-out <path>]
+//!            [--fault-seed S] [--trace-out <path>]
+//!            [--json] [--json-out <path>]
 //! ```
+//!
+//! Latency is reported as tail percentiles (p50/p95/p99 of
+//! `serve.latency_s`) with a queue-wait / linger / execution breakdown,
+//! and energy as cumulative joules with options/J and
+//! joules-per-million-requests — the paper's efficiency metric carried
+//! through to the serving layer.
 //!
 //! `--faults RATE` arms the simulator's deterministic fault-injection
 //! layer on every shard (per-shard seeds derived from `--fault-seed`),
 //! reports availability under the degraded pool, and replays a seeded
 //! closed-loop campaign twice to verify the faults are reproducible
 //! (`fault determinism check: PASS` on stderr).
+//!
+//! `--trace-out <path>` records the full per-request trace (serve-layer
+//! spans parent-linked down to each session's simulated queue commands,
+//! all tagged with request ids) and writes it as a Chrome trace-event
+//! JSON file loadable in Perfetto.
 use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
 use bop_finance::workload;
@@ -40,6 +52,7 @@ struct LoadOpts {
     seed: u64,
     fault_rate: f64,
     fault_seed: u64,
+    trace_out: Option<String>,
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -70,6 +83,11 @@ impl LoadOpts {
             seed: flag(args, "--seed", 42),
             fault_rate: flag(args, "--faults", 0.0),
             fault_seed: flag(args, "--fault-seed", 1234),
+            trace_out: args
+                .iter()
+                .position(|a| a == "--trace-out")
+                .and_then(|i| args.get(i + 1))
+                .cloned(),
         }
     }
 }
@@ -141,6 +159,10 @@ fn main() {
         metrics.clone(),
     )
     .expect("service starts");
+    if load.trace_out.is_some() {
+        service.enable_tracing();
+    }
+    let tracer = service.tracer().clone();
     let service = Arc::new(service);
 
     // Open loop: request i is due at start + i/rate, whether or not
@@ -195,6 +217,17 @@ fn main() {
     let batch_hist = metrics.histogram("serve.batch.options", &[]);
     let options_served = metrics.counter_total("serve.shard.options");
 
+    // Cumulative energy over the pool, from the per-shard gauges the
+    // workers feed with simulated busy time × modeled watts.
+    let (mut joules, mut busy_s) = (0.0, 0.0);
+    for i in 0..load.shards.max(1) {
+        let label = i.to_string();
+        joules += metrics.gauge_value("energy.joules", &[("shard", &label)]).unwrap_or(0.0);
+        busy_s += metrics.gauge_value("energy.busy_s", &[("shard", &label)]).unwrap_or(0.0);
+    }
+    let options_per_j = if joules > 0.0 { options_served as f64 / joules } else { 0.0 };
+    let joules_per_mreq = if ok > 0 { joules / ok as f64 * 1e6 } else { 0.0 };
+
     if !report_opts.suppress_human() {
         println!("serve_load — open-loop stream over the bop-serve shard pool\n");
         println!(
@@ -222,8 +255,25 @@ fn main() {
             options_served as f64 / wall_s
         );
         if let Some(l) = &latency {
-            println!("  latency: mean {:.6} s, max {:.6} s", l.mean(), l.max);
+            println!(
+                "  latency: p50 {:.6} s, p95 {:.6} s, p99 {:.6} s (mean {:.6} s, max {:.6} s)",
+                l.quantile(0.50),
+                l.quantile(0.95),
+                l.quantile(0.99),
+                l.mean(),
+                l.max
+            );
         }
+        let p95 = |name: &str| metrics.histogram(name, &[]).map_or(f64::NAN, |h| h.quantile(0.95));
+        println!(
+            "  breakdown (p95): queue wait {:.6} s, linger {:.6} s, exec {:.6} s",
+            p95("serve.queue_wait_s"),
+            p95("serve.linger_s"),
+            p95("serve.exec_s"),
+        );
+        println!(
+            "  energy: {joules:.3} J ({busy_s:.6} s device-busy) -> {options_per_j:.1} options/J, {joules_per_mreq:.1} J per million requests"
+        );
         if let Some(b) = &batch_hist {
             println!("  micro-batches: {} dispatched, mean {:.1} options", b.count, b.mean());
         }
@@ -242,9 +292,25 @@ fn main() {
     report.push("serve.throughput", None, options_served as f64 / wall_s, "options/s");
     report.push("serve.offered_rate", None, load.rate, "requests/s");
     if let Some(l) = &latency {
+        report.push("serve.latency.p50", None, l.quantile(0.50), "s");
+        report.push("serve.latency.p95", None, l.quantile(0.95), "s");
+        report.push("serve.latency.p99", None, l.quantile(0.99), "s");
         report.push("serve.latency.mean", None, l.mean(), "s");
         report.push("serve.latency.max", None, l.max, "s");
     }
+    for (row, metric) in [
+        ("serve.queue_wait.p95", "serve.queue_wait_s"),
+        ("serve.linger.p95", "serve.linger_s"),
+        ("serve.exec.p95", "serve.exec_s"),
+    ] {
+        if let Some(h) = metrics.histogram(metric, &[]) {
+            report.push(row, None, h.quantile(0.95), "s");
+        }
+    }
+    report.push("serve.energy.joules", None, joules, "J");
+    report.push("serve.energy.busy_s", None, busy_s, "s");
+    report.push("serve.options_per_j", None, options_per_j, "options/J");
+    report.push("serve.joules_per_million_requests", None, joules_per_mreq, "J/Mreq");
     if let Some(b) = &batch_hist {
         report.push("serve.batch.mean_options", None, b.mean(), "options");
     }
@@ -271,6 +337,17 @@ fn main() {
         report.set_counter("serve.quarantined", metrics.counter_total("serve.quarantined"));
         report.set_counter("serve.failed", metrics.counter_total("serve.failed"));
         report.set_counter("fault.injected", metrics.counter_total("fault.injected"));
+    }
+    if let Some(path) = &load.trace_out {
+        report.set_counter("trace.spans", tracer.len() as u64);
+        report.set_counter("trace.dropped_spans", tracer.dropped());
+        let doc = tracer.to_chrome_json().to_string();
+        std::fs::write(path, doc).expect("write trace file");
+        eprintln!(
+            "serve_load: wrote {} spans ({} dropped by cap) to {path}",
+            tracer.len(),
+            tracer.dropped()
+        );
     }
     report.wall_s = wall_s;
     report_opts.emit(report).expect("emit report");

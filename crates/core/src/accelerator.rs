@@ -9,7 +9,7 @@ use bop_cpu::Precision;
 use bop_finance::binomial::tree_nodes;
 use bop_finance::types::OptionParams;
 use bop_finance::{binomial, metrics};
-use bop_obs::{Json, MetricsRegistry};
+use bop_obs::{Json, MetricsRegistry, TraceLog, TraceSpan};
 use bop_ocl::queue::RuntimeError;
 use bop_ocl::{
     BuildOptions, BuildReport, CommandQueue, Context, Device, Engine, FaultPlan, Program,
@@ -242,6 +242,19 @@ pub struct PricingRun {
     pub rmse: f64,
     /// Maximum absolute error against the reference.
     pub max_abs_error: f64,
+}
+
+/// The trace captured on one pricing session's queue: structured spans
+/// (host spans, queue commands, barrier phases — simulated seconds) plus
+/// how many spans the session's trace cap discarded. Returned by
+/// [`Accelerator::price_with_session_trace`] for callers that merge
+/// session timelines into a larger [`TraceLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTrace {
+    /// The session's spans, in queue order.
+    pub spans: Vec<TraceSpan>,
+    /// Spans discarded by the session's trace cap.
+    pub dropped: u64,
 }
 
 /// Paper-scale performance projection (timing-only replay with fitted
@@ -617,6 +630,27 @@ impl Accelerator {
     /// Same as [`Accelerator::price`].
     pub fn price_traced(&self, options: &[OptionParams]) -> Result<(PricingRun, Json), Error> {
         let (run, trace) = self.price_inner(options, true)?;
+        let trace = trace.expect("trace requested");
+        let mut log = TraceLog::new();
+        for span in trace.spans {
+            log.push(span);
+        }
+        log.note_dropped(trace.dropped);
+        Ok((run, log.to_chrome_json()))
+    }
+
+    /// Like [`Accelerator::price_traced`], but returns the session's
+    /// structured spans instead of a rendered Chrome document, so a
+    /// caller (e.g. the serving layer) can reparent and merge them into
+    /// a larger trace.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::price`].
+    pub fn price_with_session_trace(
+        &self,
+        options: &[OptionParams],
+    ) -> Result<(PricingRun, SessionTrace), Error> {
+        let (run, trace) = self.price_inner(options, true)?;
         Ok((run, trace.expect("trace requested")))
     }
 
@@ -624,7 +658,7 @@ impl Accelerator {
         &self,
         options: &[OptionParams],
         traced: bool,
-    ) -> Result<(PricingRun, Option<Json>), Error> {
+    ) -> Result<(PricingRun, Option<SessionTrace>), Error> {
         if options.is_empty() {
             return Err(Error::Invalid("empty batch".into()));
         }
@@ -647,7 +681,16 @@ impl Accelerator {
 
         let options_per_s = options.len() as f64 / elapsed_s;
         let joules = watts * elapsed_s;
-        let trace = traced.then(|| queue.export_chrome_trace());
+        // Cumulative energy accounting per device, fed from the simulated
+        // session (modeled watts × simulated elapsed/busy time), so it is
+        // bit-identical regardless of wall-clock knobs like worker count.
+        if let Some(reg) = &self.metrics {
+            let device = self.device.info().kind.to_string();
+            reg.add_gauge("energy.joules", &[("device", &device)], joules);
+            reg.add_gauge("energy.busy_s", &[("device", &device)], device_busy_s);
+        }
+        let trace = traced
+            .then(|| SessionTrace { spans: queue.trace_spans(), dropped: queue.trace_dropped() });
         Ok((
             PricingRun {
                 prices,

@@ -50,7 +50,9 @@ pub mod hostprog;
 pub mod kernels;
 pub mod perfmodel;
 
-pub use accelerator::{Accelerator, AcceleratorBuilder, AcceleratorConfig, PricingRun, Projection};
+pub use accelerator::{
+    Accelerator, AcceleratorBuilder, AcceleratorConfig, PricingRun, Projection, SessionTrace,
+};
 pub use bop_cpu::Precision;
 pub use bop_ocl::{FaultPlan, FaultSite, FaultSites, InjectedFault};
 pub use cluster::{weighted_shares, MultiAccelerator};

@@ -1,0 +1,58 @@
+//! Property tests on the observability layer: histogram quantile
+//! invariants over random observation sets.
+//!
+//! The serve layer reports p50/p95/p99 from [`bop_obs::Histogram`]'s
+//! log-bucketed counts, so the interpolation must never invent values
+//! outside the observed range and must order percentiles correctly.
+
+use bop_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Observations spanning the histogram's whole bucket range (1e-9 ..
+/// 1e+9 with under/overflow), the regime latencies and byte counts
+/// actually live in.
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-10.0..10.0f64).prop_map(|e| 10f64.powf(e)), 1..200)
+}
+
+fn filled(values: &[f64]) -> Histogram {
+    let registry = MetricsRegistry::new();
+    for &v in values {
+        registry.observe("q", &[], v);
+    }
+    registry.histogram("q", &[]).expect("observed histogram")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantiles are bracketed by the observed extremes, exact at the
+    /// ends, and never NaN on a non-empty histogram.
+    #[test]
+    fn quantiles_are_bracketed_and_exact_at_the_ends(values in observations()) {
+        let h = filled(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.quantile(0.0), lo);
+        prop_assert_eq!(h.quantile(1.0), hi);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99] {
+            let v = h.quantile(q);
+            prop_assert!(v.is_finite(), "quantile({q}) must be finite, got {v}");
+            prop_assert!(v >= lo && v <= hi, "quantile({q}) = {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Quantile is monotone non-decreasing in q, including out-of-range
+    /// q values (clamped to [0, 1]).
+    #[test]
+    fn quantile_is_monotone_in_q(values in observations(), mut qs in prop::collection::vec(-0.5..1.5f64, 2..20)) {
+        let h = filled(&values);
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for q in qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < earlier quantile {prev}");
+            prev = v;
+        }
+    }
+}

@@ -74,6 +74,41 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation inside the log buckets, tightened by the exact
+    /// min/max: `quantile(0.0) == min`, `quantile(1.0) == max`, and the
+    /// result is monotone in `q` and always bracketed by `[min, max]`.
+    /// NaN when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c;
+            if through as f64 >= target {
+                // Bucket edges, tightened by the observed extremes. The
+                // lower edge can only rise to `min` (the smallest value
+                // lands in the first non-empty bucket) and the upper
+                // edge can only fall to `max`, so edges stay ordered
+                // across buckets and the interpolation stays monotone.
+                let lo = if slot == 0 { self.min } else { self.bounds[slot - 1] }.max(self.min);
+                let hi = if slot < self.bounds.len() { self.bounds[slot] } else { self.max }
+                    .min(self.max);
+                let (lo, hi) = (lo.min(hi), hi.max(lo));
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            below = through;
+        }
+        self.max
+    }
 }
 
 /// One exported series: name, labels and current value.
@@ -287,6 +322,42 @@ mod tests {
         assert_eq!(h.max, 5.0);
         assert!(h.mean() > 1.0);
         assert_eq!(h.counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantile_is_monotone_bracketed_and_exact_at_the_ends() {
+        let r = MetricsRegistry::new();
+        assert!(Histogram::new().quantile(0.5).is_nan(), "empty histogram has no quantiles");
+        let values = [1e-6, 2e-6, 3e-6, 1e-3, 2e-3, 0.7, 5.0, 90.0];
+        for v in values {
+            r.observe("lat", &[], v);
+        }
+        let h = r.histogram("lat", &[]).expect("hist");
+        assert_eq!(h.quantile(0.0), 1e-6);
+        assert_eq!(h.quantile(1.0), 90.0);
+        assert_eq!(h.quantile(-3.0), h.min, "q is clamped");
+        assert_eq!(h.quantile(7.0), h.max, "q is clamped");
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile must be monotone in q: q={q} gave {v} < {prev}");
+            assert!(h.min <= v && v <= h.max, "quantile must stay inside [min, max]");
+            prev = v;
+        }
+        // Half the observations sit at or below 2e-3, so the median
+        // interpolates inside the bucket that holds it.
+        assert!(h.quantile(0.5) <= 1e-2, "median stays near the small observations");
+    }
+
+    #[test]
+    fn single_value_histogram_has_flat_quantiles() {
+        let r = MetricsRegistry::new();
+        r.observe("one", &[], 0.25);
+        let h = r.histogram("one", &[]).expect("hist");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.25);
+        }
     }
 
     #[test]

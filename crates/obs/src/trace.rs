@@ -32,6 +32,18 @@ pub enum SpanCategory {
     Kernel,
     /// A barrier-delimited phase inside one kernel execution.
     BarrierPhase,
+    /// A whole serving request, admission to completion.
+    ServeRequest,
+    /// Time a request chunk waited in the submission queue.
+    ServeQueueWait,
+    /// A micro-batch lingering/forming in the batcher.
+    ServeBatch,
+    /// One pricing attempt of a micro-batch on a shard.
+    ServeExec,
+    /// A local retry marker after a retryable fault.
+    ServeRetry,
+    /// A batch handed from a failing shard to a healthy peer.
+    ServeRedispatch,
 }
 
 impl SpanCategory {
@@ -44,6 +56,12 @@ impl SpanCategory {
             SpanCategory::DeviceMem => "devmem",
             SpanCategory::Kernel => "kernel",
             SpanCategory::BarrierPhase => "barrier_phase",
+            SpanCategory::ServeRequest => "serve.request",
+            SpanCategory::ServeQueueWait => "serve.queue_wait",
+            SpanCategory::ServeBatch => "serve.batch",
+            SpanCategory::ServeExec => "serve.exec",
+            SpanCategory::ServeRetry => "serve.retry",
+            SpanCategory::ServeRedispatch => "serve.redispatch",
         }
     }
 }
@@ -134,6 +152,13 @@ impl TraceLog {
         self.dropped
     }
 
+    /// Account `n` spans dropped *outside* this log (e.g. by a capped
+    /// producer whose spans were merged in), so the exported
+    /// `droppedSpans` count covers the whole pipeline.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
     /// Drop all retained spans and reset the dropped counter (ids keep
     /// increasing so references never collide across clears).
     pub fn clear(&mut self) {
@@ -187,7 +212,11 @@ impl TraceLog {
                 ("args", Json::Obj(args)),
             ]));
         }
-        Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::str("ms"))])
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+            ("droppedSpans", Json::Num(self.dropped as f64)),
+        ])
     }
 }
 
@@ -231,6 +260,10 @@ mod tests {
         }
         assert_eq!(log.spans().len(), 2);
         assert_eq!(log.dropped(), 3);
+        log.note_dropped(2);
+        assert_eq!(log.dropped(), 5);
+        let doc = log.to_chrome_json();
+        assert_eq!(doc.get("droppedSpans").and_then(Json::as_f64), Some(5.0));
         log.clear();
         assert_eq!(log.spans().len(), 0);
         assert_eq!(log.dropped(), 0);

@@ -713,12 +713,29 @@ impl CommandQueue {
     /// Export the recorded trace — host spans, queue commands and
     /// synthesized barrier-phase sub-spans — as a Chrome trace-event JSON
     /// document (loadable in Perfetto / `chrome://tracing`). Times are
-    /// simulated microseconds.
+    /// simulated microseconds; the top-level `droppedSpans` key reports
+    /// commands the trace cap discarded.
     pub fn export_chrome_trace(&self) -> Json {
-        let mut st = self.state.lock().unwrap();
+        let spans = self.trace_spans();
         let mut log = TraceLog::new();
+        for span in spans {
+            log.push(span);
+        }
+        log.note_dropped(self.trace_dropped());
+        log.to_chrome_json()
+    }
+
+    /// The recorded trace as structured [`TraceSpan`]s — host spans,
+    /// queue commands and synthesized barrier-phase sub-spans — on the
+    /// simulated timeline. Span ids are allocated from the queue's id
+    /// space, so the list can be merged into a larger [`TraceLog`]
+    /// (after remapping ids into the destination log's space) or
+    /// exported directly via [`CommandQueue::export_chrome_trace`].
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        let mut st = self.state.lock().unwrap();
+        let mut spans = Vec::new();
         for hs in &st.host_spans {
-            log.push(TraceSpan {
+            spans.push(TraceSpan {
                 id: hs.id,
                 parent: hs.parent,
                 name: hs.name.clone(),
@@ -757,7 +774,7 @@ impl CommandQueue {
             if e.work_items > 0 {
                 args.push(("work_items".into(), e.work_items.to_string()));
             }
-            log.push(TraceSpan {
+            spans.push(TraceSpan {
                 id: e.span_id,
                 parent: e.parent,
                 name,
@@ -778,7 +795,7 @@ impl CommandQueue {
                 let dt = (e.end_s - e.start_s) / phases as f64;
                 for p in 0..phases {
                     let t0 = e.start_s + p as f64 * dt;
-                    log.push(TraceSpan {
+                    spans.push(TraceSpan {
                         id: phase_id,
                         parent: Some(e.span_id),
                         name: format!("phase {p}"),
@@ -794,7 +811,7 @@ impl CommandQueue {
             }
         }
         st.next_span_id = phase_id;
-        log.to_chrome_json()
+        spans
     }
 
     /// Copy `data` into `buf` (`clEnqueueWriteBuffer`).

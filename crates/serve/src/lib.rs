@@ -44,6 +44,16 @@
 //!   `serve.redispatched`, `serve.quarantined`, and `serve.failed`
 //!   metrics, and every price that does come back is bit-identical to a
 //!   fault-free run (`tests/chaos.rs`).
+//! * **Every request is observable.** `submit` assigns a [`RequestId`];
+//!   with [`PricingService::enable_tracing`] the service records queue
+//!   wait, batch linger, and per-attempt execution spans — each pricing
+//!   session's simulated queue commands merged in underneath — into one
+//!   Chrome/Perfetto trace ([`PricingService::export_trace`]). Latency
+//!   breakdown histograms (`serve.queue_wait_s`, `serve.linger_s`,
+//!   `serve.exec_s`, `serve.latency_s`) feed p50/p95/p99 reporting, and
+//!   cumulative `energy.joules` / `energy.busy_s` gauges (per device
+//!   and per shard, from simulated busy time × modeled watts) feed
+//!   options/J accounting.
 //!
 //! ## Quickstart
 //!
@@ -73,8 +83,10 @@
 pub mod config;
 pub mod scheduler;
 pub mod service;
+pub mod tracing;
 
 pub use bop_core::{Accelerator, Error, Rejection};
 pub use config::ServeConfig;
 pub use scheduler::ShardScheduler;
 pub use service::{PricingService, Ticket};
+pub use tracing::{RequestId, RequestTracer};

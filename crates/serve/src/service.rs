@@ -31,10 +31,12 @@
 
 use crate::config::ServeConfig;
 use crate::scheduler::ShardScheduler;
-use bop_core::{Accelerator, Error, Rejection};
+use crate::tracing::{RequestId, RequestTracer};
+use bop_core::{Accelerator, Error, PricingRun, Rejection};
 use bop_finance::OptionParams;
-use bop_obs::MetricsRegistry;
+use bop_obs::{Json, MetricsRegistry, SpanCategory, TraceSpan};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -42,7 +44,12 @@ use std::time::{Duration, Instant};
 /// Per-request reassembly state: chunks report back here, callers wait
 /// here.
 struct Aggregator {
+    request_id: RequestId,
     submitted_at: Instant,
+    /// Submission time on the tracer clock (seconds since its epoch).
+    submitted_s: f64,
+    /// Span id reserved for the whole-request span, when tracing.
+    root_span: Option<u64>,
     state: Mutex<AggState>,
     done: Condvar,
 }
@@ -56,9 +63,17 @@ struct AggState {
 }
 
 impl Aggregator {
-    fn new(n_options: usize) -> Aggregator {
+    fn new(
+        n_options: usize,
+        request_id: RequestId,
+        submitted_s: f64,
+        root_span: Option<u64>,
+    ) -> Aggregator {
         Aggregator {
+            request_id,
             submitted_at: Instant::now(),
+            submitted_s,
+            root_span,
             state: Mutex::new(AggState {
                 prices: vec![0.0; n_options],
                 remaining: n_options,
@@ -68,34 +83,54 @@ impl Aggregator {
         }
     }
 
-    /// Record a priced chunk. Returns the request's final outcome when
-    /// this was the last outstanding chunk.
-    fn fill(&self, offset: usize, prices: &[f64]) -> Option<Result<(), Error>> {
+    /// Record a priced chunk. When this was the last outstanding chunk,
+    /// `on_finish` runs with the request's final outcome — under the
+    /// state lock, so a `wait`er cannot observe completion before the
+    /// finish bookkeeping (metrics, request span) is done — and the
+    /// outcome is returned.
+    fn fill(
+        &self,
+        offset: usize,
+        prices: &[f64],
+        on_finish: impl FnOnce(&Result<(), Error>),
+    ) -> Option<Result<(), Error>> {
         let mut st = self.state.lock().expect("aggregator lock");
         st.prices[offset..offset + prices.len()].copy_from_slice(prices);
         st.remaining -= prices.len();
-        self.maybe_finish(&st)
+        self.maybe_finish(&st, on_finish)
     }
 
-    /// Record a failed chunk of `n_options`.
-    fn fail(&self, n_options: usize, error: Error) -> Option<Result<(), Error>> {
+    /// Record a failed chunk of `n_options`; `on_finish` as in
+    /// [`Aggregator::fill`].
+    fn fail(
+        &self,
+        n_options: usize,
+        error: Error,
+        on_finish: impl FnOnce(&Result<(), Error>),
+    ) -> Option<Result<(), Error>> {
         let mut st = self.state.lock().expect("aggregator lock");
         if st.error.is_none() {
             st.error = Some(error);
         }
         st.remaining -= n_options;
-        self.maybe_finish(&st)
+        self.maybe_finish(&st, on_finish)
     }
 
-    fn maybe_finish(&self, st: &AggState) -> Option<Result<(), Error>> {
+    fn maybe_finish(
+        &self,
+        st: &AggState,
+        on_finish: impl FnOnce(&Result<(), Error>),
+    ) -> Option<Result<(), Error>> {
         if st.remaining > 0 {
             return None;
         }
-        self.done.notify_all();
-        Some(match &st.error {
+        let outcome = match &st.error {
             Some(e) => Err(e.clone()),
             None => Ok(()),
-        })
+        };
+        on_finish(&outcome);
+        self.done.notify_all();
+        Some(outcome)
     }
 
     fn wait(&self) -> Result<Vec<f64>, Error> {
@@ -123,6 +158,7 @@ impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let st = self.agg.state.lock().expect("aggregator lock");
         f.debug_struct("Ticket")
+            .field("request_id", &self.agg.request_id)
             .field("n_options", &st.prices.len())
             .field("remaining", &st.remaining)
             .finish()
@@ -130,6 +166,12 @@ impl std::fmt::Debug for Ticket {
 }
 
 impl Ticket {
+    /// The id assigned to this request at admission; every span and
+    /// trace annotation the request touches carries it.
+    pub fn request_id(&self) -> RequestId {
+        self.agg.request_id
+    }
+
     /// Block until the request finishes.
     ///
     /// # Errors
@@ -156,6 +198,9 @@ struct Batch {
     /// Redispatch stops once every shard has had a turn, so a batch can
     /// never bounce around the pool forever.
     attempts: usize,
+    /// Span id of the batch's `serve.batch` linger span, when tracing;
+    /// execution attempts parent to it.
+    span: Option<u64>,
 }
 
 struct PendingRequest {
@@ -236,6 +281,8 @@ pub struct PricingService {
     shared: Arc<Shared>,
     scheduler: Arc<ShardScheduler>,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<RequestTracer>,
+    next_request_id: AtomicU64,
     shard_queues: Vec<Arc<ShardQueue>>,
     batcher: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
@@ -292,6 +339,7 @@ impl PricingService {
             }),
             work_ready: Condvar::new(),
         });
+        let tracer = Arc::new(RequestTracer::new());
         let shard_queues: Vec<Arc<ShardQueue>> =
             shards.iter().map(|_| Arc::new(ShardQueue::new())).collect();
         let workers = shards
@@ -301,8 +349,11 @@ impl PricingService {
                 let queues = shard_queues.clone();
                 let scheduler = scheduler.clone();
                 let metrics = metrics.clone();
+                let tracer = tracer.clone();
                 let config = shared.config.clone();
-                thread::spawn(move || worker_loop(i, acc, &queues, &scheduler, &metrics, &config))
+                thread::spawn(move || {
+                    worker_loop(i, acc, &queues, &scheduler, &metrics, &tracer, &config)
+                })
             })
             .collect();
         let batcher = {
@@ -310,12 +361,17 @@ impl PricingService {
             let scheduler = scheduler.clone();
             let shard_queues = shard_queues.clone();
             let metrics = metrics.clone();
-            thread::spawn(move || batcher_loop(&shared, &scheduler, &shard_queues, &metrics))
+            let tracer = tracer.clone();
+            thread::spawn(move || {
+                batcher_loop(&shared, &scheduler, &shard_queues, &metrics, &tracer)
+            })
         };
         Ok(PricingService {
             shared,
             scheduler,
             metrics,
+            tracer,
+            next_request_id: AtomicU64::new(1),
             shard_queues,
             batcher: Some(batcher),
             workers,
@@ -339,6 +395,12 @@ impl PricingService {
             return Err(Error::Invalid("empty request".into()));
         }
         let n_options = options.len();
+        let request_id = RequestId(self.next_request_id.fetch_add(1, Ordering::Relaxed));
+        let submitted_s = self.tracer.now_s();
+        // Reserve the whole-request span id up front so queue-wait and
+        // execution spans can parent to it; the span itself is pushed
+        // when the last chunk finishes (see `record_finish`).
+        let root_span = self.tracer.is_enabled().then(|| self.tracer.next_id());
         let mut st = self.shared.state.lock().expect("service lock");
         if st.shutting_down {
             self.metrics.inc("serve.requests.rejected", &[("reason", "shutdown")], 1);
@@ -356,7 +418,7 @@ impl PricingService {
                 shutting_down: false,
             }));
         }
-        let agg = Arc::new(Aggregator::new(n_options));
+        let agg = Arc::new(Aggregator::new(n_options, request_id, submitted_s, root_span));
         st.queue.push_back(PendingRequest {
             options,
             cursor: 0,
@@ -382,6 +444,27 @@ impl PricingService {
     /// The service's metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The service's request tracer (disabled until
+    /// [`PricingService::enable_tracing`]). Clone the `Arc` to export
+    /// the trace after [`PricingService::shutdown`].
+    pub fn tracer(&self) -> &Arc<RequestTracer> {
+        &self.tracer
+    }
+
+    /// Start recording per-request spans (request lifetime, queue wait,
+    /// batch linger, shard execution with the session's queue commands
+    /// merged in, retries, redispatch). Requests already in flight keep
+    /// whatever spans they were admitted with.
+    pub fn enable_tracing(&self) {
+        self.tracer.enable();
+    }
+
+    /// Export the recorded request trace as a Chrome trace-event JSON
+    /// document (wall-clock microseconds since service start).
+    pub fn export_trace(&self) -> Json {
+        self.tracer.to_chrome_json()
     }
 
     /// The shard scheduler (rates and live backlog).
@@ -458,7 +541,26 @@ fn extract(st: &mut QueueState, max_batch: usize) -> Batch {
             st.queue.pop_front();
         }
     }
-    Batch { chunks, n_options, attempts: 0 }
+    Batch { chunks, n_options, attempts: 0, span: None }
+}
+
+/// Comma-joined deduplicated ids of the requests a chunk list serves,
+/// for span annotations.
+fn request_ids(chunks: &[Chunk]) -> String {
+    let mut out = String::new();
+    let mut last = None;
+    for chunk in chunks {
+        let id = chunk.agg.request_id;
+        if last == Some(id) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+        last = Some(id);
+    }
+    out
 }
 
 fn batcher_loop(
@@ -466,9 +568,10 @@ fn batcher_loop(
     scheduler: &ShardScheduler,
     shard_queues: &[Arc<ShardQueue>],
     metrics: &MetricsRegistry,
+    tracer: &RequestTracer,
 ) {
     loop {
-        let batch = {
+        let mut batch = {
             let mut st = shared.state.lock().expect("service lock");
             loop {
                 if st.queue.is_empty() {
@@ -494,7 +597,51 @@ fn batcher_loop(
             publish_queue_gauges(metrics, &st);
             batch
         };
+        // Latency breakdown: how long each chunk waited in the
+        // submission queue, and how long the batch's oldest request
+        // lingered before dispatch (both wall clock).
+        let now_s = tracer.now_s();
+        let mut oldest_s = f64::INFINITY;
+        for chunk in &batch.chunks {
+            oldest_s = oldest_s.min(chunk.agg.submitted_s);
+            metrics.observe("serve.queue_wait_s", &[], (now_s - chunk.agg.submitted_s).max(0.0));
+        }
+        if oldest_s.is_finite() {
+            metrics.observe("serve.linger_s", &[], (now_s - oldest_s).max(0.0));
+        }
         metrics.observe("serve.batch.options", &[], batch.n_options as f64);
+        if tracer.is_enabled() && !batch.chunks.is_empty() {
+            for chunk in &batch.chunks {
+                let id = tracer.next_id();
+                tracer.push(TraceSpan {
+                    id,
+                    parent: chunk.agg.root_span,
+                    name: format!("queue wait ({} options)", chunk.options.len()),
+                    category: SpanCategory::ServeQueueWait,
+                    track: "serve".into(),
+                    queued_s: chunk.agg.submitted_s,
+                    start_s: chunk.agg.submitted_s,
+                    end_s: now_s,
+                    args: vec![
+                        ("request_id".into(), chunk.agg.request_id.to_string()),
+                        ("offset".into(), chunk.offset.to_string()),
+                    ],
+                });
+            }
+            let batch_span = tracer.next_id();
+            tracer.push(TraceSpan {
+                id: batch_span,
+                parent: None,
+                name: format!("batch ({} options)", batch.n_options),
+                category: SpanCategory::ServeBatch,
+                track: "batcher".into(),
+                queued_s: oldest_s,
+                start_s: oldest_s,
+                end_s: now_s,
+                args: vec![("request_ids".into(), request_ids(&batch.chunks))],
+            });
+            batch.span = Some(batch_span);
+        }
         let shard = scheduler.pick(batch.n_options);
         if let Err(batch) = shard_queues[shard].push(batch) {
             // Unreachable in the normal lifecycle (queues close only
@@ -507,8 +654,9 @@ fn batcher_loop(
                     capacity: shared.config.queue_capacity,
                     shutting_down: true,
                 };
-                let outcome = chunk.agg.fail(chunk.options.len(), Error::Rejected(rejection));
-                record_finish(outcome, &chunk.agg, metrics);
+                chunk.agg.fail(chunk.options.len(), Error::Rejected(rejection), |outcome| {
+                    record_finish(outcome, &chunk.agg, metrics, tracer)
+                });
             }
         }
     }
@@ -520,6 +668,7 @@ fn worker_loop(
     queues: &[Arc<ShardQueue>],
     scheduler: &ShardScheduler,
     metrics: &MetricsRegistry,
+    tracer: &RequestTracer,
     config: &ServeConfig,
 ) {
     let label = shard.to_string();
@@ -533,7 +682,7 @@ fn worker_loop(
         // attempt — this shard never touched them.
         let batch = if scheduler.is_quarantined(shard) {
             let n_options = batch.n_options;
-            match redispatch(shard, batch, queues, scheduler, metrics, &label) {
+            match redispatch(shard, batch, queues, scheduler, metrics, tracer, &label) {
                 None => {
                     scheduler.complete(shard, n_options);
                     continue 'batches;
@@ -549,10 +698,11 @@ fn worker_loop(
             match chunk.deadline {
                 Some(deadline) if now > deadline => {
                     let missed_by_s = (now - deadline).as_secs_f64();
-                    let outcome = chunk
-                        .agg
-                        .fail(chunk.options.len(), Error::DeadlineExceeded { missed_by_s });
-                    record_finish(outcome, &chunk.agg, metrics);
+                    chunk.agg.fail(
+                        chunk.options.len(),
+                        Error::DeadlineExceeded { missed_by_s },
+                        |outcome| record_finish(outcome, &chunk.agg, metrics, tracer),
+                    );
                 }
                 _ => live.push(chunk),
             }
@@ -563,21 +713,57 @@ fn worker_loop(
         }
         let options: Vec<OptionParams> =
             live.iter().flat_map(|c| c.options.iter().copied()).collect();
+        let ids = request_ids(&live);
         // Bounded local retries. Only injected faults are retryable
         // (Error::is_retryable); real errors are deterministic and fail
         // fast. The backoff runs on the simulated device clock, so it is
         // accounted in a metric instead of slept.
-        let mut result = accelerator.price(&options);
-        let mut retries = 0usize;
+        let mut attempt = 0usize;
+        let mut result = price_attempt(
+            &accelerator,
+            &options,
+            batch.span,
+            shard,
+            &label,
+            &ids,
+            0,
+            metrics,
+            tracer,
+        );
         while let Err(error) = &result {
-            if !error.is_retryable() || retries >= config.max_retries {
+            if !error.is_retryable() || attempt >= config.max_retries {
                 break;
             }
-            let backoff_s = config.retry_backoff_s * (1u64 << retries) as f64;
-            retries += 1;
+            let backoff_s = config.retry_backoff_s * (1u64 << attempt) as f64;
+            attempt += 1;
             metrics.inc("serve.retries", &[("shard", &label)], 1);
             metrics.observe("serve.retry_backoff_s", &[("shard", &label)], backoff_s);
-            result = accelerator.price(&options);
+            if tracer.is_enabled() {
+                let id = tracer.next_id();
+                let now = tracer.now_s();
+                tracer.push(TraceSpan {
+                    id,
+                    parent: batch.span,
+                    name: format!("retry {attempt} (backoff {backoff_s:.1e} s)"),
+                    category: SpanCategory::ServeRetry,
+                    track: format!("shard {shard}"),
+                    queued_s: now,
+                    start_s: now,
+                    end_s: now,
+                    args: vec![("request_ids".into(), ids.clone())],
+                });
+            }
+            result = price_attempt(
+                &accelerator,
+                &options,
+                batch.span,
+                shard,
+                &label,
+                &ids,
+                attempt,
+                metrics,
+                tracer,
+            );
         }
         // Free the backlog before touching aggregators: a caller woken
         // by the final fill must observe the scheduler already drained.
@@ -585,11 +771,19 @@ fn worker_loop(
         match result {
             Ok(run) => {
                 failure_streak = 0;
+                // Cumulative per-shard energy, from the session's
+                // simulated busy time × modeled watts — bit-identical
+                // for a given request stream regardless of wall-clock
+                // knobs (worker counts, thread timing).
+                metrics.add_gauge("energy.joules", &[("shard", &label)], run.joules);
+                metrics.add_gauge("energy.busy_s", &[("shard", &label)], run.device_busy_s);
                 let mut offset = 0;
                 for chunk in &live {
                     let prices = &run.prices[offset..offset + chunk.options.len()];
                     offset += chunk.options.len();
-                    record_finish(chunk.agg.fill(chunk.offset, prices), &chunk.agg, metrics);
+                    chunk.agg.fill(chunk.offset, prices, |outcome| {
+                        record_finish(outcome, &chunk.agg, metrics, tracer)
+                    });
                 }
                 metrics.inc("serve.shard.options", &[("shard", &label)], options.len() as u64);
                 metrics.inc("serve.shard.batches", &[("shard", &label)], 1);
@@ -608,8 +802,9 @@ fn worker_loop(
                     let attempts = batch.attempts + 1;
                     if attempts < queues.len() {
                         let n_live: usize = live.iter().map(|c| c.options.len()).sum();
-                        let redo = Batch { chunks: live, n_options: n_live, attempts };
-                        match redispatch(shard, redo, queues, scheduler, metrics, &label) {
+                        let redo =
+                            Batch { chunks: live, n_options: n_live, attempts, span: batch.span };
+                        match redispatch(shard, redo, queues, scheduler, metrics, tracer, &label) {
                             None => continue 'batches,
                             Some(returned) => live = returned.chunks,
                         }
@@ -617,15 +812,72 @@ fn worker_loop(
                 }
                 metrics.inc("serve.failed", &[("shard", &label)], 1);
                 for chunk in &live {
-                    record_finish(
-                        chunk.agg.fail(chunk.options.len(), error.clone()),
-                        &chunk.agg,
-                        metrics,
-                    );
+                    chunk.agg.fail(chunk.options.len(), error.clone(), |outcome| {
+                        record_finish(outcome, &chunk.agg, metrics, tracer)
+                    });
                 }
             }
         }
     }
+}
+
+/// One pricing attempt of a micro-batch on a shard: price, observe the
+/// wall-clock `serve.exec_s` histogram, and (when tracing) emit the
+/// attempt's `serve.exec` span with the session's simulated queue
+/// commands merged in underneath it.
+#[allow(clippy::too_many_arguments)]
+fn price_attempt(
+    accelerator: &Accelerator,
+    options: &[OptionParams],
+    parent: Option<u64>,
+    shard: usize,
+    label: &str,
+    ids: &str,
+    attempt: usize,
+    metrics: &MetricsRegistry,
+    tracer: &RequestTracer,
+) -> Result<PricingRun, Error> {
+    let traced = tracer.is_enabled();
+    let t0 = tracer.now_s();
+    let outcome = if traced {
+        accelerator.price_with_session_trace(options).map(|(run, session)| (run, Some(session)))
+    } else {
+        accelerator.price(options).map(|run| (run, None))
+    };
+    let t1 = tracer.now_s();
+    metrics.observe("serve.exec_s", &[], (t1 - t0).max(0.0));
+    metrics.observe("serve.exec_s", &[("shard", label)], (t1 - t0).max(0.0));
+    if traced {
+        let exec = tracer.next_id();
+        let mut args = vec![
+            ("request_ids".to_string(), ids.to_string()),
+            ("attempt".to_string(), attempt.to_string()),
+        ];
+        if let Err(error) = &outcome {
+            args.push(("error".into(), error.to_string()));
+        }
+        tracer.push(TraceSpan {
+            id: exec,
+            parent,
+            name: format!("exec attempt {attempt} ({} options)", options.len()),
+            category: SpanCategory::ServeExec,
+            track: format!("shard {shard}"),
+            queued_s: t0,
+            start_s: t0,
+            end_s: t1,
+            args,
+        });
+        return match outcome {
+            Ok((run, session)) => {
+                if let Some(session) = session {
+                    tracer.merge_session(session, exec, &format!("shard {shard}"), t0, t1, ids);
+                }
+                Ok(run)
+            }
+            Err(error) => Err(error),
+        };
+    }
+    outcome.map(|(run, _)| run)
 }
 
 /// Move `batch` to the healthiest peer of `shard`. Returns the batch
@@ -640,15 +892,37 @@ fn redispatch(
     queues: &[Arc<ShardQueue>],
     scheduler: &ShardScheduler,
     metrics: &MetricsRegistry,
+    tracer: &RequestTracer,
     label: &str,
 ) -> Option<Batch> {
     let Some(target) = scheduler.pick_for_redispatch(batch.n_options, shard) else {
         return Some(batch);
     };
     let n_options = batch.n_options;
+    let span_parent = batch.span;
+    let ids = tracer.is_enabled().then(|| request_ids(&batch.chunks));
     match queues[target].push(batch) {
         Ok(()) => {
             metrics.inc("serve.redispatched", &[("from", label)], 1);
+            if let Some(ids) = ids {
+                let id = tracer.next_id();
+                let now = tracer.now_s();
+                tracer.push(TraceSpan {
+                    id,
+                    parent: span_parent,
+                    name: format!("redispatch shard {shard} -> shard {target}"),
+                    category: SpanCategory::ServeRedispatch,
+                    track: format!("shard {shard}"),
+                    queued_s: now,
+                    start_s: now,
+                    end_s: now,
+                    args: vec![
+                        ("request_ids".into(), ids),
+                        ("from".into(), shard.to_string()),
+                        ("to".into(), target.to_string()),
+                    ],
+                });
+            }
             None
         }
         Err(batch) => {
@@ -658,19 +932,49 @@ fn redispatch(
     }
 }
 
-fn record_finish(outcome: Option<Result<(), Error>>, agg: &Aggregator, metrics: &MetricsRegistry) {
-    match outcome {
-        None => {}
-        Some(Ok(())) => {
+/// Finish-of-request bookkeeping: outcome counters, end-to-end latency,
+/// and the whole-request trace span. Runs as the `on_finish` callback of
+/// [`Aggregator::fill`]/[`Aggregator::fail`], i.e. under the aggregator's
+/// state lock, so `Ticket::wait` returns only after the counters are
+/// visible.
+fn record_finish(
+    outcome: &Result<(), Error>,
+    agg: &Aggregator,
+    metrics: &MetricsRegistry,
+    tracer: &RequestTracer,
+) {
+    let status = match outcome {
+        Ok(()) => {
             metrics.inc("serve.requests.completed", &[], 1);
             metrics.observe("serve.latency_s", &[], agg.submitted_at.elapsed().as_secs_f64());
+            "ok"
         }
-        Some(Err(Error::DeadlineExceeded { .. })) => {
+        Err(Error::DeadlineExceeded { .. }) => {
             metrics.inc("serve.requests.deadline_exceeded", &[], 1);
+            "deadline_exceeded"
         }
-        Some(Err(_)) => {
+        Err(_) => {
             metrics.inc("serve.requests.failed", &[], 1);
+            "failed"
         }
+    };
+    // Close the whole-request span reserved at admission.
+    if let Some(root) = agg.root_span {
+        let now = tracer.now_s();
+        tracer.push(TraceSpan {
+            id: root,
+            parent: None,
+            name: format!("request {}", agg.request_id),
+            category: SpanCategory::ServeRequest,
+            track: "serve".into(),
+            queued_s: agg.submitted_s,
+            start_s: agg.submitted_s,
+            end_s: now,
+            args: vec![
+                ("request_id".into(), agg.request_id.to_string()),
+                ("outcome".into(), status.into()),
+            ],
+        });
     }
 }
 
@@ -680,18 +984,20 @@ mod tests {
 
     #[test]
     fn aggregator_reassembles_out_of_order_chunks() {
-        let agg = Aggregator::new(5);
-        assert!(agg.fill(3, &[4.0, 5.0]).is_none());
-        let outcome = agg.fill(0, &[1.0, 2.0, 3.0]).expect("finished");
+        let agg = Aggregator::new(5, RequestId(1), 0.0, None);
+        assert!(agg.fill(3, &[4.0, 5.0], |_| {}).is_none());
+        let mut finished = false;
+        let outcome = agg.fill(0, &[1.0, 2.0, 3.0], |o| finished = o.is_ok()).expect("finished");
         assert!(outcome.is_ok());
+        assert!(finished, "on_finish sees the final outcome");
         assert_eq!(agg.wait().expect("ok"), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
     #[test]
     fn first_chunk_error_wins_and_poisons_the_request() {
-        let agg = Aggregator::new(4);
-        assert!(agg.fail(2, Error::DeadlineExceeded { missed_by_s: 0.5 }).is_none());
-        let outcome = agg.fill(2, &[1.0, 2.0]).expect("finished");
+        let agg = Aggregator::new(4, RequestId(2), 0.0, None);
+        assert!(agg.fail(2, Error::DeadlineExceeded { missed_by_s: 0.5 }, |_| {}).is_none());
+        let outcome = agg.fill(2, &[1.0, 2.0], |_| {}).expect("finished");
         assert!(matches!(outcome, Err(Error::DeadlineExceeded { .. })));
         assert!(
             matches!(agg.wait(), Err(Error::DeadlineExceeded { missed_by_s }) if missed_by_s == 0.5)
@@ -705,7 +1011,7 @@ mod tests {
             cursor: 0,
             deadline: None,
             enqueued_at: Instant::now(),
-            agg: Arc::new(Aggregator::new(n)),
+            agg: Arc::new(Aggregator::new(n, RequestId(9), 0.0, None)),
         };
         let mut st = QueueState {
             queue: VecDeque::from([mk(3), mk(4)]),

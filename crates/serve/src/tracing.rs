@@ -1,0 +1,261 @@
+//! Per-request tracing across the serving pipeline.
+//!
+//! The serving layer runs on the wall clock (queues, lingering,
+//! threads) while each pricing session runs on its shard's *simulated*
+//! clock. A [`RequestTracer`] reconciles the two into one
+//! Chrome/Perfetto timeline:
+//!
+//! * Serve-layer spans (request lifetime, queue wait, batch linger,
+//!   shard execution, retries, redispatch) are recorded in wall-clock
+//!   seconds since the tracer's epoch (service start).
+//! * Each traced pricing attempt returns its session's spans
+//!   ([`bop_core::SessionTrace`], simulated seconds).
+//!   [`RequestTracer::merge_session`] rescales them linearly into the
+//!   attempt's wall-clock window, reparents the session roots under the
+//!   attempt's `serve.exec` span, and tags every span with the request
+//!   ids it served — so one trace shows a request's whole path from
+//!   admission down to individual queue commands and barrier phases.
+//!   The exact simulated times survive in `sim_start_us`/`sim_dur_us`
+//!   span args.
+//!
+//! The tracer is capped ([`DEFAULT_TRACE_CAP`]); overflow is counted,
+//! surfaced in the export's `droppedSpans` key, and reported by
+//! `serve_load` as the `trace.dropped_spans` counter.
+
+use bop_core::SessionTrace;
+use bop_obs::{Json, TraceLog, TraceSpan};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifier assigned to every request admitted by
+/// [`crate::PricingService::submit`], propagated through micro-batch
+/// chunks, retries and redispatch, and stamped on every span the
+/// request touches (`request_id` / `request_ids` args).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Default cap on retained serve-trace spans. A loaded service emits a
+/// few dozen spans per micro-batch (commands plus barrier phases), so
+/// the cap bounds memory on long soaks; overflow is counted, never
+/// silent.
+pub const DEFAULT_TRACE_CAP: usize = 100_000;
+
+/// Collects one unified trace for a [`crate::PricingService`].
+///
+/// Disabled (and free beyond an atomic load) until
+/// [`RequestTracer::enable`]; producers must check
+/// [`RequestTracer::is_enabled`] before building spans.
+pub struct RequestTracer {
+    epoch: Instant,
+    enabled: AtomicBool,
+    log: Mutex<TraceLog>,
+}
+
+impl Default for RequestTracer {
+    fn default() -> RequestTracer {
+        RequestTracer::new()
+    }
+}
+
+impl RequestTracer {
+    /// A disabled tracer with the default span cap; the epoch (time
+    /// zero of the exported trace) is now.
+    pub fn new() -> RequestTracer {
+        let mut log = TraceLog::new();
+        log.set_cap(Some(DEFAULT_TRACE_CAP));
+        RequestTracer {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            log: Mutex::new(log),
+        }
+    }
+
+    /// Start recording spans.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Replace the retained-span cap (`None` = unbounded).
+    pub fn set_cap(&self, cap: Option<usize>) {
+        self.log.lock().expect("trace lock").set_cap(cap);
+    }
+
+    /// Wall-clock seconds since the tracer's epoch — the time basis of
+    /// every serve-layer span.
+    pub fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Reserve a span id (so children can link to a parent that closes
+    /// later).
+    pub fn next_id(&self) -> u64 {
+        self.log.lock().expect("trace lock").next_id()
+    }
+
+    /// Append a completed span.
+    pub fn push(&self, span: TraceSpan) {
+        self.log.lock().expect("trace lock").push(span);
+    }
+
+    /// Spans discarded by the cap (including session-level drops merged
+    /// in via [`RequestTracer::merge_session`]).
+    pub fn dropped(&self) -> u64 {
+        self.log.lock().expect("trace lock").dropped()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.log.lock().expect("trace lock").spans().len()
+    }
+
+    /// Whether no span has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge one pricing session's simulated-time spans into the trace.
+    ///
+    /// Ids are remapped into this log's id space; session roots are
+    /// reparented under `parent` (the attempt's `serve.exec` span);
+    /// tracks gain the `track_prefix` (e.g. `"shard 0"`) so shards get
+    /// separate swim-lanes; times are scaled linearly onto
+    /// `[wall_start_s, wall_end_s]`, with the exact simulated times
+    /// preserved in `sim_start_us`/`sim_dur_us` args; every span is
+    /// tagged with the `request_ids` it served. The session's own
+    /// dropped-span count is carried over.
+    pub fn merge_session(
+        &self,
+        session: SessionTrace,
+        parent: u64,
+        track_prefix: &str,
+        wall_start_s: f64,
+        wall_end_s: f64,
+        request_ids: &str,
+    ) {
+        let mut log = self.log.lock().expect("trace lock");
+        log.note_dropped(session.dropped);
+        if session.spans.is_empty() {
+            return;
+        }
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        for s in &session.spans {
+            t_min = t_min.min(s.queued_s.min(s.start_s));
+            t_max = t_max.max(s.end_s);
+        }
+        let sim_extent = t_max - t_min;
+        let scale =
+            if sim_extent > 0.0 { (wall_end_s - wall_start_s).max(0.0) / sim_extent } else { 0.0 };
+        let remap_t = |t: f64| wall_start_s + (t - t_min) * scale;
+        let mut ids: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in &session.spans {
+            ids.insert(s.id, log.next_id());
+        }
+        for s in session.spans {
+            let mut args = s.args;
+            args.push(("request_ids".into(), request_ids.to_string()));
+            args.push(("sim_start_us".into(), format!("{:.3}", s.start_s * 1e6)));
+            args.push(("sim_dur_us".into(), format!("{:.3}", (s.end_s - s.start_s) * 1e6)));
+            log.push(TraceSpan {
+                id: ids[&s.id],
+                parent: Some(s.parent.and_then(|p| ids.get(&p).copied()).unwrap_or(parent)),
+                name: s.name,
+                category: s.category,
+                track: format!("{track_prefix}:{}", s.track),
+                queued_s: remap_t(s.queued_s),
+                start_s: remap_t(s.start_s),
+                end_s: remap_t(s.end_s),
+                args,
+            });
+        }
+    }
+
+    /// Export the whole trace as a Chrome trace-event JSON document
+    /// (times in wall-clock microseconds since the epoch; the top-level
+    /// `droppedSpans` key counts capped spans).
+    pub fn to_chrome_json(&self) -> Json {
+        self.log.lock().expect("trace lock").to_chrome_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_obs::SpanCategory;
+
+    fn sim_span(id: u64, parent: Option<u64>, t0: f64, t1: f64) -> TraceSpan {
+        TraceSpan {
+            id,
+            parent,
+            name: format!("s{id}"),
+            category: SpanCategory::Kernel,
+            track: "queue".into(),
+            queued_s: t0,
+            start_s: t0,
+            end_s: t1,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn merge_remaps_ids_reparents_roots_and_rescales_time() {
+        let tracer = RequestTracer::new();
+        tracer.enable();
+        let exec = tracer.next_id();
+        let session = SessionTrace {
+            spans: vec![sim_span(0, None, 0.0, 2.0), sim_span(1, Some(0), 0.5, 1.5)],
+            dropped: 3,
+        };
+        tracer.merge_session(session, exec, "shard 0", 10.0, 11.0, "1,2");
+        assert_eq!(tracer.dropped(), 3);
+        let doc = tracer.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let spans: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 2);
+        let root = spans
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("s0"))
+            .expect("root span");
+        let child = spans
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("s1"))
+            .expect("child span");
+        // Roots are reparented to the exec span; children keep their
+        // remapped parent.
+        let root_args = root.get("args").expect("args");
+        assert_eq!(root_args.get("parent_span_id").and_then(Json::as_f64), Some(exec as f64));
+        assert_eq!(root_args.get("request_ids").and_then(Json::as_str), Some("1,2"));
+        let root_id = root_args.get("span_id").and_then(Json::as_f64).expect("span id");
+        let child_args = child.get("args").expect("args");
+        assert_eq!(child_args.get("parent_span_id").and_then(Json::as_f64), Some(root_id));
+        // Simulated [0, 2] s maps onto wall [10, 11] s; the child at
+        // sim 0.5..1.5 lands at wall 10.25..10.75 (microseconds in the
+        // export).
+        let ts = child.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = child.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!((ts - 10.25e6).abs() < 1e-3);
+        assert!((dur - 0.5e6).abs() < 1e-3);
+        assert_eq!(child_args.get("sim_dur_us").and_then(Json::as_str), Some("1000000.000"));
+        assert_eq!(doc.get("droppedSpans").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn request_id_displays_as_its_number() {
+        assert_eq!(RequestId(42).to_string(), "42");
+        assert!(RequestId(1) < RequestId(2));
+    }
+}

@@ -11,6 +11,8 @@ use bop_core::{Accelerator, KernelArch, Precision};
 use bop_finance::OptionParams;
 use bop_obs::{ExperimentReport, Json, MetricsRegistry};
 use bop_ocl::queue::{CommandKind, TraceEntry};
+use bop_serve::{PricingService, ServeConfig};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn traced_run(arch: KernelArch, n_steps: usize, n_options: usize) -> (Vec<TraceEntry>, Json) {
@@ -278,6 +280,122 @@ fn metrics_registry_sees_the_whole_run() {
     // The registry snapshot itself is a valid JSON artifact.
     let text = registry.to_json().to_string();
     assert!(Json::parse(&text).is_ok(), "metrics snapshot must parse");
+}
+
+/// The tentpole property of telemetry v2: one exported trace links a
+/// request's serve-layer path down to individual simulated queue
+/// commands. Every kernel span must reach a `serve.exec` span (and
+/// through it the micro-batch span) by walking parents, every queue
+/// wait span must hang off a `serve.request` root, and the spans along
+/// the way must carry the request ids they served.
+#[test]
+fn serve_trace_links_requests_down_to_queue_commands() {
+    let shards = Accelerator::builder(bop_core::devices::gpu())
+        .arch(KernelArch::Optimized)
+        .precision(Precision::Double)
+        .n_steps(16)
+        .build_pool(2)
+        .expect("builds");
+    let service = PricingService::start(shards, ServeConfig::default()).expect("starts");
+    service.enable_tracing();
+    let tickets: Vec<_> = (0..6)
+        .map(|_| service.submit(vec![OptionParams::example(); 2], None).expect("admitted"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("prices");
+    }
+    let tracer = service.tracer().clone();
+    service.shutdown();
+
+    let doc = tracer.to_chrome_json();
+    assert_eq!(doc.get("droppedSpans").and_then(Json::as_f64), Some(0.0));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let spans: Vec<&Json> =
+        events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+    let arg = |e: &Json, key: &str| e.get("args").and_then(|a| a.get(key)).cloned();
+    let by_id: BTreeMap<u64, &Json> = spans
+        .iter()
+        .filter_map(|e| arg(e, "span_id").as_ref().and_then(Json::as_f64).map(|id| (id as u64, *e)))
+        .collect();
+    let cat = |e: &Json| e.get("cat").and_then(Json::as_str).unwrap_or("").to_string();
+    let cats: Vec<String> = spans.iter().map(|e| cat(e)).collect();
+    for needed in ["serve.request", "serve.queue_wait", "serve.batch", "serve.exec", "kernel"] {
+        assert!(cats.iter().any(|c| c == needed), "trace must contain a {needed} span");
+    }
+    assert_eq!(cats.iter().filter(|c| *c == "serve.request").count(), 6, "one root per request");
+
+    // Walk each span's parent chain to its root, collecting categories.
+    let chain = |e: &Json| -> Vec<String> {
+        let mut out = vec![cat(e)];
+        let mut cur = arg(e, "parent_span_id").as_ref().and_then(Json::as_f64).map(|p| p as u64);
+        while let Some(p) = cur {
+            let span = by_id.get(&p).unwrap_or_else(|| panic!("parent span {p} must be exported"));
+            out.push(cat(span));
+            cur = arg(span, "parent_span_id").as_ref().and_then(Json::as_f64).map(|p| p as u64);
+        }
+        out
+    };
+    for e in &spans {
+        match cat(e).as_str() {
+            "kernel" => {
+                let chain = chain(e);
+                assert!(
+                    chain.iter().any(|c| c == "serve.exec"),
+                    "kernel span must chain into its exec attempt, got {chain:?}"
+                );
+                assert!(
+                    chain.iter().any(|c| c == "serve.batch"),
+                    "kernel span must chain into its micro-batch, got {chain:?}"
+                );
+                let ids = arg(e, "request_ids").as_ref().and_then(Json::as_str).map(String::from);
+                assert!(
+                    ids.as_deref().is_some_and(|ids| !ids.is_empty()),
+                    "kernel spans carry the request ids they priced"
+                );
+            }
+            "serve.queue_wait" => {
+                assert_eq!(
+                    chain(e).last().map(String::as_str),
+                    Some("serve.request"),
+                    "queue waits hang off the request root"
+                );
+                assert!(arg(e, "request_id").is_some());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Energy counters come from the *simulated* clock, so they must be
+/// bit-identical no matter how many host worker threads executed the
+/// kernels — same guarantee the prices already have.
+#[test]
+fn energy_gauges_are_bit_identical_across_worker_counts() {
+    let options = vec![OptionParams::example(); 5];
+    let run = |workers: usize| -> (f64, f64) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let acc = Accelerator::builder(bop_core::devices::fpga())
+            .arch(KernelArch::Optimized)
+            .precision(Precision::Double)
+            .n_steps(64)
+            .workers(workers)
+            .metrics(registry.clone())
+            .build()
+            .expect("builds");
+        acc.price(&options).expect("prices");
+        let joules =
+            registry.gauge_value("energy.joules", &[("device", "FPGA")]).expect("joules gauge");
+        let busy =
+            registry.gauge_value("energy.busy_s", &[("device", "FPGA")]).expect("busy gauge");
+        (joules, busy)
+    };
+    let (joules_1, busy_1) = run(1);
+    assert!(joules_1 > 0.0 && busy_1 > 0.0, "a priced batch consumes energy");
+    for workers in [2, 4, 7] {
+        let (joules_n, busy_n) = run(workers);
+        assert_eq!(joules_1.to_bits(), joules_n.to_bits(), "joules drift at {workers} workers");
+        assert_eq!(busy_1.to_bits(), busy_n.to_bits(), "busy time drift at {workers} workers");
+    }
 }
 
 #[test]
