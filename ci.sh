@@ -32,6 +32,39 @@ echo "== serve_load smoke =="
 ./target/release/serve_load --requests 40 --rate 5000 --shards 2 --seed 7 --json \
   | grep -q '"experiment":"serve_load"'
 
+# Mixed market-risk workload: every payoff class in the stream, half the
+# requests also computing Greeks. The per-payoff and greeks counters in
+# the report prove the payoff-aware batching path served all of it.
+echo "== serve_load mixed price+greeks smoke =="
+./target/release/serve_load --requests 24 --rate 5000 --shards 2 --seed 7 \
+  --outputs price+greeks --payoffs mixed --json > /tmp/serve_load_greeks.json
+grep -q '"serve.greeks.options"' /tmp/serve_load_greeks.json
+grep -q '"serve.payoff.bermudan.options"' /tmp/serve_load_greeks.json
+grep -q '"serve.options_per_j"' /tmp/serve_load_greeks.json
+
+# The implied-vol-surface bench must invert its whole grid and emit the
+# stable report schema.
+echo "== vol_surface smoke =="
+./target/release/vol_surface --strikes 7 --expiries 4 --repeats 3 --json \
+  | grep -q '"experiment":"vol_surface"'
+
+# The deprecated untyped serve API (Vec<OptionParams> -> Vec<f64>) may
+# appear only at its definition site and in the one #[allow(deprecated)]
+# shim regression test; everything else must use the typed pair.
+# (cargo clippy -D warnings above already fails the build on any
+# deprecation warning; this grep additionally pins *where* the old names
+# are allowed to appear at all.)
+echo "== deprecated serve API stays quarantined =="
+stray=$(grep -rn 'submit_options\|price_options\|wait_prices' \
+  --include='*.rs' crates examples tests \
+  | grep -v '^crates/serve/src/service.rs:' \
+  | grep -v '^tests/serve.rs:' || true)
+if [ -n "${stray}" ]; then
+  echo "deprecated serve API used outside its quarantine:" >&2
+  echo "${stray}" >&2
+  exit 1
+fi
+
 # Smoke-run both kernel execution engines against each other: the run
 # asserts bit-identical prices/stats/counters/traces internally and
 # prints the determinism marker only when every comparison held.

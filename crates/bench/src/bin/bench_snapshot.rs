@@ -62,6 +62,10 @@ fn experiments(fast: bool) -> Vec<(&'static str, Vec<String>)> {
     vec![
         ("interp_throughput", vec!["--fast".into(), "--json".into()]),
         (
+            // The mixed-workload preset: every payoff class in the
+            // stream, half the requests also computing Greeks — so the
+            // snapshot tracks the serving layer's risk path, not just
+            // vanilla prices.
             "serve_load",
             vec![
                 "--requests".into(),
@@ -70,11 +74,16 @@ fn experiments(fast: bool) -> Vec<(&'static str, Vec<String>)> {
                 "4000".into(),
                 "--shards".into(),
                 "2".into(),
+                "--outputs".into(),
+                "price+greeks".into(),
+                "--payoffs".into(),
+                "mixed".into(),
                 "--seed".into(),
                 "7".into(),
                 "--json".into(),
             ],
         ),
+        ("vol_surface", vec!["--repeats".into(), "10".into(), "--json".into()]),
         ("ablation", vec!["--json".into()]),
     ]
 }

@@ -8,6 +8,7 @@
 //! ```text
 //! serve_load [--requests N] [--rate R] [--request-options K]
 //!            [--shards S] [--device gpu|fpga|cpu] [--steps N]
+//!            [--outputs price|price+greeks] [--payoffs style|mixed]
 //!            [--max-batch B] [--linger-us U] [--capacity C]
 //!            [--deadline-ms D] [--seed S] [--faults RATE]
 //!            [--fault-seed S] [--trace-out <path>]
@@ -20,21 +21,32 @@
 //! joules-per-million-requests — the paper's efficiency metric carried
 //! through to the serving layer.
 //!
+//! `--outputs price+greeks` produces a *mixed* workload: even-numbered
+//! requests stay price-only and odd-numbered ones ask for the full
+//! output set, so the report shows both classes of work sharing the
+//! pool (Greeks ride as extra bump options in the same device batches).
+//! `--payoffs mixed` likewise cycles each request's options through the
+//! four payoff classes (European, American, barrier, Bermudan), which
+//! exercises the per-payoff-class micro-batch splitting; the default
+//! `style` prices every option per its `OptionParams::style`.
+//!
 //! `--faults RATE` arms the simulator's deterministic fault-injection
 //! layer on every shard (per-shard seeds derived from `--fault-seed`),
 //! reports availability under the degraded pool, and replays a seeded
 //! closed-loop campaign twice to verify the faults are reproducible
-//! (`fault determinism check: PASS` on stderr).
+//! (`fault determinism check: PASS` on stderr). The replay transcript
+//! includes Greeks bits when `--outputs` requests them.
 //!
 //! `--trace-out <path>` records the full per-request trace (serve-layer
 //! spans parent-linked down to each session's simulated queue commands,
 //! all tagged with request ids) and writes it as a Chrome trace-event
 //! JSON file loadable in Perfetto.
 use bop_bench::reporting::{ReportOpts, Stopwatch};
-use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
+use bop_core::{Error, FaultPlan, PayoffSuite};
+use bop_finance::payoff::{BarrierKind, Payoff};
 use bop_finance::workload;
 use bop_obs::{ExperimentReport, MetricsRegistry};
-use bop_serve::{PricingService, ServeConfig};
+use bop_serve::{OutputSet, PricingRequest, PricingService, ServeConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +57,8 @@ struct LoadOpts {
     shards: usize,
     device: String,
     steps: usize,
+    outputs: OutputSet,
+    payoffs: String,
     max_batch: usize,
     linger_us: u64,
     capacity: usize,
@@ -72,6 +86,13 @@ impl LoadOpts {
             shards: flag(args, "--shards", 2),
             device: flag(args, "--device", "gpu".to_string()),
             steps: flag(args, "--steps", 64),
+            outputs: args
+                .iter()
+                .position(|a| a == "--outputs")
+                .and_then(|i| args.get(i + 1))
+                .map(|v| OutputSet::parse(v).expect("--outputs"))
+                .unwrap_or_default(),
+            payoffs: flag(args, "--payoffs", "style".to_string()),
             max_batch: flag(args, "--max-batch", 32),
             linger_us: flag(args, "--linger-us", 500),
             capacity: flag(args, "--capacity", 64),
@@ -90,6 +111,43 @@ impl LoadOpts {
                 .cloned(),
         }
     }
+
+    /// The deterministic typed request stream: request `i`'s options,
+    /// payoffs, and output set.
+    fn request(&self, i: u64) -> Vec<PricingRequest> {
+        let options = workload::volatility_curve(
+            &workload::WorkloadConfig::default(),
+            1.0,
+            self.request_options,
+            self.seed + i,
+        );
+        // `--outputs price+greeks` alternates: even requests price-only,
+        // odd ones the full set — a mixed workload on one queue.
+        let outputs = if self.outputs.contains(OutputSet::GREEKS) && i % 2 == 1 {
+            self.outputs
+        } else {
+            OutputSet::PRICE
+        };
+        // `mixed` cycles per *request* (not per option) so consecutive
+        // same-class requests can still coalesce into one micro-batch;
+        // the class still changes every arrival, so splits are constant.
+        options
+            .into_iter()
+            .map(|params| {
+                let payoff = if self.payoffs == "mixed" {
+                    match i as usize % 4 {
+                        0 => Payoff::European,
+                        1 => Payoff::American,
+                        2 => Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 170.0 },
+                        _ => Payoff::Bermudan { exercise_every: 4 },
+                    }
+                } else {
+                    Payoff::from_style(params.style)
+                };
+                PricingRequest { payoff, params, outputs }
+            })
+            .collect()
+    }
 }
 
 fn shard_pool(
@@ -97,22 +155,19 @@ fn shard_pool(
     steps: usize,
     n: usize,
     metrics: &Arc<MetricsRegistry>,
-) -> Vec<Accelerator> {
+) -> Vec<PayoffSuite> {
     let dev = match device {
         "fpga" => bop_core::devices::fpga(),
         "cpu" => bop_core::devices::cpu(),
         _ => bop_core::devices::gpu(),
     };
-    // One compile for the whole pool: the shards share the program, and
-    // the service's registry, so queue-level `fault.*` counters land in
-    // the same report as the `serve.*` ones.
-    Accelerator::builder(dev)
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(steps)
-        .metrics(metrics.clone())
-        .build_pool(n)
-        .expect("shard pool builds")
+    // One compile per payoff kernel for the whole pool: the shards share
+    // the programs, and the service's registry, so queue-level `fault.*`
+    // counters land in the same report as the `serve.*` ones.
+    let mut config = bop_core::AcceleratorConfig::new(dev);
+    config.n_steps = steps;
+    config.metrics = Some(metrics.clone());
+    PayoffSuite::pool(config, n).expect("shard pool builds")
 }
 
 fn main() {
@@ -122,9 +177,11 @@ fn main() {
     let timer = Stopwatch::start();
 
     eprintln!(
-        "serve_load: {} requests x {} options at {:.0} req/s over {} {} shard(s){}...",
+        "serve_load: {} requests x {} options ({} outputs, {} payoffs) at {:.0} req/s over {} {} shard(s){}...",
         load.requests,
         load.request_options,
+        load.outputs,
+        load.payoffs,
         load.rate,
         load.shards,
         load.device,
@@ -135,7 +192,7 @@ fn main() {
         }
     );
     let metrics = Arc::new(MetricsRegistry::new());
-    let mut pool: Vec<Accelerator> =
+    let mut pool: Vec<PayoffSuite> =
         shard_pool(&load.device, load.steps, load.shards.max(1), &metrics);
     if load.fault_rate > 0.0 {
         // Distinct per-shard seeds: the shards fail independently, the
@@ -194,13 +251,7 @@ fn main() {
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let options = workload::volatility_curve(
-            &workload::WorkloadConfig::default(),
-            1.0,
-            load.request_options,
-            load.seed + i as u64,
-        );
-        match service.submit(options, deadline) {
+        match service.submit(load.request(i as u64), deadline) {
             Ok(ticket) => collector.0.send(ticket).expect("collector alive"),
             Err(Error::Rejected(r)) if !r.shutting_down => rejected_full += 1,
             Err(_) => rejected_other += 1,
@@ -216,6 +267,8 @@ fn main() {
     let latency = metrics.histogram("serve.latency_s", &[]);
     let batch_hist = metrics.histogram("serve.batch.options", &[]);
     let options_served = metrics.counter_total("serve.shard.options");
+    let greeks_options = metrics.counter_total("serve.greeks.options");
+    let payoff_classes = ["european", "american", "barrier", "bermudan"];
 
     // Cumulative energy over the pool, from the per-shard gauges the
     // workers feed with simulated busy time × modeled watts.
@@ -254,6 +307,12 @@ fn main() {
             "  served {options_served} options in {wall_s:.3} s = {:.0} options/s",
             options_served as f64 / wall_s
         );
+        if greeks_options > 0 {
+            println!(
+                "  mixed workload: {greeks_options} of {options_served} options also computed \
+                 delta/gamma/theta/vega/rho (4 bump options each in-batch)"
+            );
+        }
         if let Some(l) = &latency {
             println!(
                 "  latency: p50 {:.6} s, p95 {:.6} s, p99 {:.6} s (mean {:.6} s, max {:.6} s)",
@@ -276,6 +335,21 @@ fn main() {
         );
         if let Some(b) = &batch_hist {
             println!("  micro-batches: {} dispatched, mean {:.1} options", b.count, b.mean());
+        }
+        let served_payoffs: Vec<&str> = payoff_classes
+            .iter()
+            .copied()
+            .filter(|p| metrics.counter_value("serve.payoff.options", &[("payoff", p)]) > 0)
+            .collect();
+        if served_payoffs.len() > 1 {
+            println!("\n  per-payoff split (options -> exec p95 over that class's batches):");
+            for p in &served_payoffs {
+                let n = metrics.counter_value("serve.payoff.options", &[("payoff", p)]);
+                let exec_p95 = metrics
+                    .histogram("serve.exec_s", &[("payoff", p)])
+                    .map_or(f64::NAN, |h| h.quantile(0.95));
+                println!("    {p:<9} {n:>6} options, exec p95 {exec_p95:.6} s");
+            }
         }
         println!("\n  per-shard split (calibrated rate -> share of options):");
         for (i, rate) in scheduler_rates.iter().enumerate() {
@@ -313,6 +387,16 @@ fn main() {
     report.push("serve.joules_per_million_requests", None, joules_per_mreq, "J/Mreq");
     if let Some(b) = &batch_hist {
         report.push("serve.batch.mean_options", None, b.mean(), "options");
+    }
+    report.set_counter("serve.greeks.options", greeks_options);
+    for p in payoff_classes {
+        let n = metrics.counter_value("serve.payoff.options", &[("payoff", p)]);
+        if n > 0 {
+            report.set_counter(format!("serve.payoff.{p}.options"), n);
+            if let Some(h) = metrics.histogram("serve.exec_s", &[("payoff", p)]) {
+                report.push(format!("serve.payoff.{p}.exec.p95"), None, h.quantile(0.95), "s");
+            }
+        }
     }
     for (i, rate) in scheduler_rates.iter().enumerate() {
         let label = i.to_string();
@@ -354,8 +438,8 @@ fn main() {
 
     if load.fault_rate > 0.0 {
         // Replay a seeded single-shard closed-loop campaign twice: same
-        // plan, same requests — the outcomes (prices bit-for-bit, fault
-        // messages verbatim) must match exactly.
+        // plan, same requests — the outcomes (prices and Greeks
+        // bit-for-bit, fault messages verbatim) must match exactly.
         let deterministic = fault_campaign(&load) == fault_campaign(&load);
         eprintln!("fault determinism check: {}", if deterministic { "PASS" } else { "FAIL" });
         if !deterministic {
@@ -370,7 +454,8 @@ fn main() {
 
 /// One deterministic closed-loop campaign: a single faulty shard,
 /// sequential submit-and-wait, request size pinned to the micro-batch
-/// size. Returns a transcript of every outcome for replay comparison.
+/// size. Returns a transcript of every outcome (price bits, and Greeks
+/// bits when requested) for replay comparison.
 fn fault_campaign(load: &LoadOpts) -> Vec<String> {
     let shard = shard_pool(&load.device, load.steps, 1, &Arc::new(MetricsRegistry::new()))
         .pop()
@@ -387,16 +472,23 @@ fn fault_campaign(load: &LoadOpts) -> Vec<String> {
     .expect("service starts");
     let outcomes = (0..8)
         .map(|i| {
-            let options = workload::volatility_curve(
-                &workload::WorkloadConfig::default(),
-                1.0,
-                4,
-                load.seed + 7000 + i,
-            );
-            match service.price(options) {
-                Ok(prices) => {
-                    let bits: Vec<String> =
-                        prices.iter().map(|p| p.to_bits().to_string()).collect();
+            let mut request = load.request(7000 + i);
+            request.truncate(4);
+            match service.price(request) {
+                Ok(responses) => {
+                    let bits: Vec<String> = responses
+                        .iter()
+                        .map(|r| {
+                            let mut s = r.price.to_bits().to_string();
+                            if let Some(g) = r.greeks {
+                                for v in [g.delta, g.gamma, g.theta, g.vega, g.rho] {
+                                    s.push('/');
+                                    s.push_str(&v.to_bits().to_string());
+                                }
+                            }
+                            s
+                        })
+                        .collect();
                     format!("ok:{}", bits.join(","))
                 }
                 Err(e) => format!("err:{e}"),

@@ -83,6 +83,58 @@ fn convergence_prints_the_sweep() {
 }
 
 #[test]
+fn vol_surface_recovers_the_smile_in_both_modes() {
+    let out = run(env!("CARGO_BIN_EXE_vol_surface"), &["--strikes", "5", "--expiries", "3"]);
+    assert!(out.contains("inversions/s"));
+    assert!(out.contains("K/S=1.00"), "surface slice printed");
+    let json = run(
+        env!("CARGO_BIN_EXE_vol_surface"),
+        &["--strikes", "5", "--expiries", "3", "--repeats", "2", "--json"],
+    );
+    let report = bop_obs::ExperimentReport::from_json(&json).expect("valid schema");
+    assert_eq!(report.experiment, "vol_surface");
+    let rmse =
+        report.rows.iter().find(|r| r.metric == "vol_surface.rmse").expect("rmse row").measured;
+    assert!(rmse < 1e-7, "closed-form round trip must be tight, got {rmse}");
+    assert_eq!(report.counters["vol_surface.nodes"], 15);
+}
+
+#[test]
+fn serve_load_reports_the_mixed_greeks_workload() {
+    let json = run(
+        env!("CARGO_BIN_EXE_serve_load"),
+        &[
+            "--requests",
+            "8",
+            "--rate",
+            "100000",
+            "--request-options",
+            "2",
+            "--outputs",
+            "price+greeks",
+            "--payoffs",
+            "mixed",
+            "--shards",
+            "1",
+            "--steps",
+            "16",
+            "--json",
+        ],
+    );
+    let report = bop_obs::ExperimentReport::from_json(&json).expect("valid schema");
+    assert_eq!(report.experiment, "serve_load");
+    assert!(report.counters["serve.greeks.options"] > 0, "greeks requests served");
+    for payoff in ["european", "american", "barrier", "bermudan"] {
+        assert!(
+            report.counters[&format!("serve.payoff.{payoff}.options")] > 0,
+            "{payoff} options served"
+        );
+    }
+    assert!(report.rows.iter().any(|r| r.metric == "serve.options_per_j"));
+    assert!(report.rows.iter().any(|r| r.metric == "serve.latency.p99"));
+}
+
+#[test]
 fn json_mode_replaces_the_table_with_the_stable_schema() {
     let out = run(env!("CARGO_BIN_EXE_table1"), &["--json"]);
     let report = bop_obs::ExperimentReport::from_json(&out).expect("valid schema");

@@ -1,0 +1,52 @@
+// Knock-out barrier variant of kernel IV.B — an extension beyond the
+// paper, following the FPGA risk-analysis line (Klaisoongnoen et al.).
+//
+// Identical dataflow to binomial_option: one work-group per option, one
+// work-item per tree row, local-memory V row, device-side leaf
+// initialisation with pow(). The payoff is European-exercise with a
+// knock-out barrier monitored at every lattice node (no rebate): a node
+// whose asset price is at or beyond the barrier is worth zero, leaves
+// included. The knock direction is a per-option sign so one compiled
+// kernel serves both up-and-out (dir = +1) and down-and-out (dir = -1).
+//
+// Per-option parameters (8 values): [o*8+0]=S0 [o*8+1]=K [o*8+2]=u
+// [o*8+3]=pd [o*8+4]=qd [o*8+5]=phi [o*8+6]=barrier level
+// [o*8+7]=dir. Work-group size must be n_steps+1 and the local buffer
+// must hold n_steps+1 REALs.
+
+__kernel void binomial_barrier(
+    __global const REAL* params,
+    __global REAL* results,
+    __local REAL* v,
+    int n_steps
+) {
+    size_t l = get_local_id(0);
+    size_t o = get_group_id(0);
+    REAL s0  = params[o * 8 + 0];
+    REAL K   = params[o * 8 + 1];
+    REAL u   = params[o * 8 + 2];
+    REAL pd  = params[o * 8 + 3];
+    REAL qd  = params[o * 8 + 4];
+    REAL phi = params[o * 8 + 5];
+    REAL B   = params[o * 8 + 6];
+    REAL dir = params[o * 8 + 7];
+
+    // Leaf initialisation: S(N,l) = S0 * u^(2l - N), on the device.
+    REAL s = s0 * pow(u, (REAL)(2 * (long)l - (long)n_steps));
+    v[l] = (dir * (s - B) >= (REAL)0.0) ? (REAL)0.0 : fmax(phi * (s - K), (REAL)0.0);
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    #pragma unroll 2
+    for (long t = (long)n_steps - 1; t >= (long)l; t--) {
+        REAL vup = v[l + 1];
+        REAL vsame = v[l];
+        s = s * u;                    // S(t,l) = u * S(t+1,l)
+        barrier(CLK_LOCAL_MEM_FENCE); // reads before anyone overwrites
+        REAL cont = pd * vup + qd * vsame;
+        v[l] = (dir * (s - B) >= (REAL)0.0) ? (REAL)0.0 : cont;
+        barrier(CLK_LOCAL_MEM_FENCE); // writes before the next reads
+    }
+    if (l == 0) {
+        results[o] = v[0];
+    }
+}

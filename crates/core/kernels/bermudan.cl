@@ -1,0 +1,48 @@
+// Bermudan variant of kernel IV.B — an extension beyond the paper,
+// following the FPGA risk-analysis line (Klaisoongnoen et al.).
+//
+// Identical dataflow to binomial_option, with early exercise restricted
+// to a periodic schedule of lattice dates: step t allows exercise iff
+// t % every == 0 (the leaves always pay off). every = 1 degenerates to
+// the American kernel bit-for-bit; large `every` approaches European.
+//
+// Per-option parameters (8 values): [o*8+0]=S0 [o*8+1]=K [o*8+2]=u
+// [o*8+3]=pd [o*8+4]=qd [o*8+5]=phi [o*8+6]=exercise spacing (integer
+// valued, >= 1) [o*8+7]=unused. Work-group size must be n_steps+1 and
+// the local buffer must hold n_steps+1 REALs.
+
+__kernel void binomial_bermudan(
+    __global const REAL* params,
+    __global REAL* results,
+    __local REAL* v,
+    int n_steps
+) {
+    size_t l = get_local_id(0);
+    size_t o = get_group_id(0);
+    REAL s0  = params[o * 8 + 0];
+    REAL K   = params[o * 8 + 1];
+    REAL u   = params[o * 8 + 2];
+    REAL pd  = params[o * 8 + 3];
+    REAL qd  = params[o * 8 + 4];
+    REAL phi = params[o * 8 + 5];
+    long every = (long)params[o * 8 + 6];
+
+    // Leaf initialisation: S(N,l) = S0 * u^(2l - N), on the device.
+    REAL s = s0 * pow(u, (REAL)(2 * (long)l - (long)n_steps));
+    v[l] = fmax(phi * (s - K), (REAL)0.0);
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    #pragma unroll 2
+    for (long t = (long)n_steps - 1; t >= (long)l; t--) {
+        REAL vup = v[l + 1];
+        REAL vsame = v[l];
+        s = s * u;                    // S(t,l) = u * S(t+1,l)
+        barrier(CLK_LOCAL_MEM_FENCE); // reads before anyone overwrites
+        REAL cont = pd * vup + qd * vsame;
+        v[l] = (t % every == 0) ? fmax(phi * (s - K), cont) : cont;
+        barrier(CLK_LOCAL_MEM_FENCE); // writes before the next reads
+    }
+    if (l == 0) {
+        results[o] = v[0];
+    }
+}

@@ -2,11 +2,13 @@
 
 use crate::error::Error;
 use crate::hostprog::optimized::OptimizedHost;
+use crate::hostprog::payoff::PayoffHost;
 use crate::hostprog::straightforward::StraightforwardHost;
 use crate::kernels::KernelArch;
 use crate::perfmodel::{scale_to_batch, StatsFit, CALIBRATION_STEPS};
 use bop_cpu::Precision;
 use bop_finance::binomial::tree_nodes;
+use bop_finance::payoff::{price_payoff_f64, BarrierKind, Payoff};
 use bop_finance::types::OptionParams;
 use bop_finance::{binomial, metrics};
 use bop_obs::{Json, MetricsRegistry, TraceLog, TraceSpan};
@@ -607,7 +609,40 @@ impl Accelerator {
                 kernel_name: self.arch.kernel_name(),
             }
             .run(ctx, queue, program, options),
+            // Calibration and projection reach the payoff kernels through
+            // this generic path with no payoffs attached; a representative
+            // default of the class (never-knocking barrier, every-step
+            // exercise) keeps the instruction stream identical to any
+            // real payoff of the same class. Pricing goes through
+            // [`Accelerator::price_payoffs`], which carries real payoffs.
+            KernelArch::Barrier | KernelArch::Bermudan => {
+                let payoffs = vec![calibration_payoff(self.arch); options.len()];
+                PayoffHost {
+                    n_steps,
+                    precision: self.precision,
+                    kernel_name: self.arch.kernel_name(),
+                }
+                .run(ctx, queue, program, options, &payoffs)
+            }
         }
+    }
+
+    /// Whether this accelerator's kernel prices options under `payoff`.
+    /// The vanilla kernels hard-code their exercise rule; the barrier and
+    /// Bermudan kernels read per-option payoff parameters of their class.
+    pub fn accepts_payoff(&self, payoff: Payoff) -> bool {
+        matches!(
+            (self.arch, payoff),
+            (KernelArch::Barrier, Payoff::Barrier { .. })
+                | (KernelArch::Bermudan, Payoff::Bermudan { .. })
+                | (KernelArch::OptimizedEuropean, Payoff::European)
+                | (
+                    KernelArch::Straightforward
+                        | KernelArch::Optimized
+                        | KernelArch::OptimizedHostLeaves,
+                    Payoff::American,
+                )
+        )
     }
 
     /// Price a batch functionally (full interpretation — feasible up to a
@@ -662,6 +697,12 @@ impl Accelerator {
         if options.is_empty() {
             return Err(Error::Invalid("empty batch".into()));
         }
+        if matches!(self.arch, KernelArch::Barrier | KernelArch::Bermudan) {
+            return Err(Error::Invalid(format!(
+                "{} prices per-option payoffs; use `price_payoffs`",
+                self.arch
+            )));
+        }
         for o in options {
             o.validate().map_err(|e| Error::Invalid(e.to_string()))?;
         }
@@ -670,16 +711,114 @@ impl Accelerator {
             queue.enable_trace();
         }
         let prices = self.run_host(&ctx, &queue, &program, options, self.n_steps)?;
+        let reference: Vec<f64> =
+            options.iter().map(|o| binomial::price_american_f64(o, self.n_steps)).collect();
+        Ok(self.finish_run(&queue, prices, &reference, traced))
+    }
+
+    /// Price a batch where every option carries its own [`Payoff`]
+    /// (matched one-to-one with `options`). For the barrier and Bermudan
+    /// kernels the payoff parameters ride along in the widened per-option
+    /// parameter block; for the vanilla kernels the payoff only selects
+    /// the accuracy reference (their exercise rule is hard-coded).
+    ///
+    /// The run's `rmse`/`max_abs_error` are measured against the
+    /// double-precision software reference for the *same payoffs*
+    /// ([`price_payoff_f64`]), unlike [`Accelerator::price`], whose
+    /// reference always exercises per the option's `style`.
+    ///
+    /// # Errors
+    /// Rejects empty or length-mismatched batches, invalid options or
+    /// payoffs, and payoffs this accelerator's kernel cannot price (see
+    /// [`Accelerator::accepts_payoff`]); propagates runtime failures.
+    pub fn price_payoffs(
+        &self,
+        options: &[OptionParams],
+        payoffs: &[Payoff],
+    ) -> Result<PricingRun, Error> {
+        Ok(self.price_payoffs_inner(options, payoffs, false)?.0)
+    }
+
+    /// Like [`Accelerator::price_payoffs`], but with command tracing
+    /// enabled on the session queue, returning the session's structured
+    /// spans for callers that merge session timelines.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::price_payoffs`].
+    pub fn price_payoffs_with_session_trace(
+        &self,
+        options: &[OptionParams],
+        payoffs: &[Payoff],
+    ) -> Result<(PricingRun, SessionTrace), Error> {
+        let (run, trace) = self.price_payoffs_inner(options, payoffs, true)?;
+        Ok((run, trace.expect("trace requested")))
+    }
+
+    fn price_payoffs_inner(
+        &self,
+        options: &[OptionParams],
+        payoffs: &[Payoff],
+        traced: bool,
+    ) -> Result<(PricingRun, Option<SessionTrace>), Error> {
+        if options.is_empty() {
+            return Err(Error::Invalid("empty batch".into()));
+        }
+        if options.len() != payoffs.len() {
+            return Err(Error::Invalid(format!(
+                "{} options but {} payoffs",
+                options.len(),
+                payoffs.len()
+            )));
+        }
+        for o in options {
+            o.validate().map_err(|e| Error::Invalid(e.to_string()))?;
+        }
+        for p in payoffs {
+            p.validate().map_err(|e| Error::Invalid(e.to_string()))?;
+            if !self.accepts_payoff(*p) {
+                return Err(Error::Invalid(format!("{} cannot price a {p} payoff", self.arch)));
+            }
+        }
+        let (ctx, queue, program) = self.fresh_session(true)?;
+        if traced {
+            queue.enable_trace();
+        }
+        let prices = match self.arch {
+            KernelArch::Barrier | KernelArch::Bermudan => PayoffHost {
+                n_steps: self.n_steps,
+                precision: self.precision,
+                kernel_name: self.arch.kernel_name(),
+            }
+            .run(&ctx, &queue, &program, options, payoffs)?,
+            _ => self.run_host(&ctx, &queue, &program, options, self.n_steps)?,
+        };
+        let reference: Vec<f64> = options
+            .iter()
+            .zip(payoffs)
+            .map(|(o, p)| price_payoff_f64(o, *p, self.n_steps))
+            .collect();
+        Ok(self.finish_run(&queue, prices, &reference, traced))
+    }
+
+    /// Close out a pricing session: drain the simulated clock, score the
+    /// prices against `reference`, publish energy gauges and assemble the
+    /// [`PricingRun`]. Shared by the style-based and payoff-based paths
+    /// so both account identically.
+    fn finish_run(
+        &self,
+        queue: &CommandQueue,
+        prices: Vec<f64>,
+        reference: &[f64],
+        traced: bool,
+    ) -> (PricingRun, Option<SessionTrace>) {
         let elapsed_s = queue.finish();
         let device_busy_s = queue.device_busy_s();
         let watts = self.report.power_watts;
 
-        let reference: Vec<f64> =
-            options.iter().map(|o| binomial::price_american_f64(o, self.n_steps)).collect();
-        let rmse = metrics::rmse(&prices, &reference);
-        let max_abs_error = metrics::max_abs_error(&prices, &reference);
+        let rmse = metrics::rmse(&prices, reference);
+        let max_abs_error = metrics::max_abs_error(&prices, reference);
 
-        let options_per_s = options.len() as f64 / elapsed_s;
+        let options_per_s = prices.len() as f64 / elapsed_s;
         let joules = watts * elapsed_s;
         // Cumulative energy accounting per device, fed from the simulated
         // session (modeled watts × simulated elapsed/busy time), so it is
@@ -691,7 +830,7 @@ impl Accelerator {
         }
         let trace = traced
             .then(|| SessionTrace { spans: queue.trace_spans(), dropped: queue.trace_dropped() });
-        Ok((
+        (
             PricingRun {
                 prices,
                 elapsed_s,
@@ -705,7 +844,7 @@ impl Accelerator {
                 max_abs_error,
             },
             trace,
-        ))
+        )
     }
 
     /// Calibrate the per-option statistics model from small functional
@@ -800,6 +939,19 @@ impl Accelerator {
             h2d_bytes: counters.h2d_bytes,
             d2h_bytes: counters.d2h_bytes,
         })
+    }
+}
+
+/// The representative payoff a payoff-kernel architecture is calibrated
+/// and projected with: the op stream of the barrier and Bermudan kernels
+/// is payoff-value-independent, so any member of the class works; these
+/// degenerate to the vanilla payoffs (never-knocking barrier, every-step
+/// exercise) for good measure.
+fn calibration_payoff(arch: KernelArch) -> Payoff {
+    match arch {
+        KernelArch::Barrier => Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 1e12 },
+        KernelArch::Bermudan => Payoff::Bermudan { exercise_every: 1 },
+        _ => unreachable!("only the payoff kernels calibrate with a default payoff"),
     }
 }
 

@@ -7,6 +7,7 @@
 //! parameters, one NDRange, read results (Figure 4).
 
 pub mod optimized;
+pub mod payoff;
 pub mod straightforward;
 
 use bop_cpu::Precision;

@@ -1,0 +1,182 @@
+//! Host program for the payoff-aware IV.B kernel variants (barrier,
+//! Bermudan).
+//!
+//! Identical protocol to the optimized host — one parameter write, one
+//! NDRange, one result read — with the per-option parameter block widened
+//! from 6 to 8 values so the payoff-specific inputs (barrier level and
+//! knock direction, or the Bermudan exercise spacing) ride along in the
+//! same transfer.
+
+use super::{option_coefficients, read_reals, real_width, write_reals};
+use bop_cpu::Precision;
+use bop_finance::payoff::Payoff;
+use bop_finance::types::OptionParams;
+use bop_ocl::device::Dispatch;
+use bop_ocl::queue::RuntimeError;
+use bop_ocl::{CommandQueue, Context, Program};
+use std::sync::Arc;
+
+/// The two payoff-specific parameter-block slots (`[o*8+6]`, `[o*8+7]`):
+/// barrier level + knock direction, or exercise spacing + unused.
+pub(crate) fn payoff_extras(payoff: Payoff) -> [f64; 2] {
+    match payoff {
+        Payoff::Barrier { kind, level } => [level, kind.direction()],
+        Payoff::Bermudan { exercise_every } => [exercise_every as f64, 0.0],
+        // The vanilla kernels read 6-wide blocks and never see these.
+        Payoff::European | Payoff::American => [0.0, 0.0],
+    }
+}
+
+/// The payoff-aware host program.
+#[derive(Debug, Clone, Copy)]
+pub struct PayoffHost {
+    /// Lattice steps (work-group size is `n_steps + 1`).
+    pub n_steps: usize,
+    /// Kernel precision.
+    pub precision: Precision,
+    /// Kernel entry point (`binomial_barrier` or `binomial_bermudan`).
+    pub kernel_name: &'static str,
+}
+
+impl PayoffHost {
+    /// Price `options` under their per-option `payoffs`, returning
+    /// prices in input order.
+    ///
+    /// # Errors
+    /// Propagates runtime errors from the queue (capacity, execution).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty, the lengths differ, or any option
+    /// is invalid.
+    pub fn run(
+        &self,
+        ctx: &Arc<Context>,
+        queue: &CommandQueue,
+        program: &Program,
+        options: &[OptionParams],
+        payoffs: &[Payoff],
+    ) -> Result<Vec<f64>, RuntimeError> {
+        assert!(!options.is_empty(), "empty batch");
+        assert_eq!(options.len(), payoffs.len(), "one payoff per option");
+        let span =
+            queue.begin_span(&format!("IV.B {} ({} options)", self.kernel_name, options.len()));
+        let result = self.run_inner(ctx, queue, program, options, payoffs);
+        queue.end_span(span);
+        result
+    }
+
+    fn run_inner(
+        &self,
+        ctx: &Arc<Context>,
+        queue: &CommandQueue,
+        program: &Program,
+        options: &[OptionParams],
+        payoffs: &[Payoff],
+    ) -> Result<Vec<f64>, RuntimeError> {
+        let n = self.n_steps;
+        let w = real_width(self.precision);
+        let wg = n + 1;
+
+        let params_buf = ctx.create_buffer(options.len() * 8 * w);
+        let results_buf = ctx.create_buffer(options.len() * w);
+
+        // (1) all option parameters, one write: the vanilla 6-value
+        // coefficient block plus the two payoff-specific slots.
+        let mut params = Vec::with_capacity(options.len() * 8);
+        for (o, payoff) in options.iter().zip(payoffs) {
+            params.extend_from_slice(&option_coefficients(o, n));
+            params.extend_from_slice(&payoff_extras(*payoff));
+        }
+        write_reals(queue, &params_buf, 0, &params, self.precision)?;
+
+        let kernel =
+            program.kernel(self.kernel_name).map_err(|e| RuntimeError::Invalid(e.message))?;
+        kernel.set_arg_buffer(0, &params_buf);
+        kernel.set_arg_buffer(1, &results_buf);
+        kernel.set_arg_local(2, wg * w);
+        kernel.set_arg_i32(3, n as i32);
+
+        // (2) one NDRange: one work-group per option.
+        queue.enqueue_nd_range(&kernel, Dispatch::new(options.len() * wg, wg))?;
+
+        // (3) one result read.
+        let mut prices = vec![0.0; options.len()];
+        read_reals(queue, &results_buf, 0, &mut prices, self.precision)?;
+        Ok(prices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bop_finance::payoff::{price_payoff_f64, BarrierKind};
+    use bop_ocl::BuildOptions;
+
+    fn run_payoff(payoff: Payoff, arch: crate::KernelArch, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let ctx = Context::new(crate::devices::gpu());
+        let queue = CommandQueue::new(&ctx);
+        let program = Program::from_source(
+            &ctx,
+            "payoff.cl",
+            &arch.source(Precision::Double),
+            &BuildOptions::default(),
+        )
+        .expect("builds");
+        let options = bop_finance::workload::volatility_curve(
+            &bop_finance::workload::WorkloadConfig::default(),
+            1.0,
+            4,
+            21,
+        );
+        let payoffs = vec![payoff; options.len()];
+        let host = PayoffHost {
+            n_steps: n,
+            precision: Precision::Double,
+            kernel_name: arch.kernel_name(),
+        };
+        let prices = host.run(&ctx, &queue, &program, &options, &payoffs).expect("runs");
+        let reference: Vec<f64> = options.iter().map(|o| price_payoff_f64(o, payoff, n)).collect();
+        (prices, reference)
+    }
+
+    #[test]
+    fn barrier_kernel_matches_the_reference_pricer() {
+        let payoff = Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 123.0 };
+        let (prices, reference) = run_payoff(payoff, crate::KernelArch::Barrier, 48);
+        for (p, r) in prices.iter().zip(&reference) {
+            assert!((p - r).abs() < 1e-9, "GPU (exact math) vs reference: {p} vs {r}");
+        }
+    }
+
+    #[test]
+    fn bermudan_kernel_matches_the_reference_pricer() {
+        let payoff = Payoff::Bermudan { exercise_every: 6 };
+        let (prices, reference) = run_payoff(payoff, crate::KernelArch::Bermudan, 48);
+        for (p, r) in prices.iter().zip(&reference) {
+            assert!((p - r).abs() < 1e-9, "GPU (exact math) vs reference: {p} vs {r}");
+        }
+    }
+
+    #[test]
+    fn command_stream_is_three_commands() {
+        let ctx = Context::new(crate::devices::gpu());
+        let queue = CommandQueue::new(&ctx);
+        queue.enable_trace();
+        let program = Program::from_source(
+            &ctx,
+            "barrier.cl",
+            &crate::KernelArch::Barrier.source(Precision::Double),
+            &BuildOptions::default(),
+        )
+        .expect("builds");
+        let options = vec![OptionParams::example(); 3];
+        let payoffs = vec![Payoff::Barrier { kind: BarrierKind::DownAndOut, level: 80.0 }; 3];
+        let host = PayoffHost {
+            n_steps: 32,
+            precision: Precision::Double,
+            kernel_name: "binomial_barrier",
+        };
+        host.run(&ctx, &queue, &program, &options, &payoffs).expect("runs");
+        assert_eq!(queue.trace().len(), 3, "write, NDRange, read — same protocol as IV.B");
+    }
+}

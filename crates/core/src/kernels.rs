@@ -25,9 +25,31 @@ pub enum KernelArch {
     /// early-exercise max removed — European options, whose lattice price
     /// must converge to Black-Scholes (the cleanest whole-stack check).
     OptimizedEuropean,
+    /// Extension beyond the paper (market-risk suite): kernel IV.B's
+    /// dataflow with a knock-out barrier monitored at every node. The
+    /// per-option parameter block widens to 8 values (barrier level and
+    /// knock direction ride along).
+    Barrier,
+    /// Extension beyond the paper (market-risk suite): kernel IV.B's
+    /// dataflow with early exercise restricted to every k-th lattice
+    /// date. The per-option parameter block widens to 8 values.
+    Bermudan,
 }
 
 impl KernelArch {
+    /// The IV.B-dataflow architecture that prices `payoff`: the vanilla
+    /// payoffs map to the paper's kernels, the market-risk payoffs to
+    /// their 8-wide-parameter variants.
+    pub fn for_payoff(payoff: bop_finance::payoff::Payoff) -> KernelArch {
+        use bop_finance::payoff::Payoff;
+        match payoff {
+            Payoff::European => KernelArch::OptimizedEuropean,
+            Payoff::American => KernelArch::Optimized,
+            Payoff::Barrier { .. } => KernelArch::Barrier,
+            Payoff::Bermudan { .. } => KernelArch::Bermudan,
+        }
+    }
+
     /// The kernel's entry-point name.
     pub fn kernel_name(self) -> &'static str {
         match self {
@@ -35,6 +57,21 @@ impl KernelArch {
             KernelArch::Optimized => "binomial_option",
             KernelArch::OptimizedHostLeaves => "binomial_option_hostleaves",
             KernelArch::OptimizedEuropean => "binomial_european",
+            KernelArch::Barrier => "binomial_barrier",
+            KernelArch::Bermudan => "binomial_bermudan",
+        }
+    }
+
+    /// Width of the per-option parameter block the kernel reads: 6 for
+    /// the vanilla payoffs, 8 for the market-risk payoffs (which append
+    /// payoff-specific values).
+    pub fn param_block_width(self) -> usize {
+        match self {
+            KernelArch::Straightforward
+            | KernelArch::Optimized
+            | KernelArch::OptimizedHostLeaves
+            | KernelArch::OptimizedEuropean => 6,
+            KernelArch::Barrier | KernelArch::Bermudan => 8,
         }
     }
 
@@ -45,6 +82,8 @@ impl KernelArch {
             KernelArch::Optimized => include_str!("../kernels/optimized.cl"),
             KernelArch::OptimizedHostLeaves => include_str!("../kernels/optimized_hostleaves.cl"),
             KernelArch::OptimizedEuropean => include_str!("../kernels/european.cl"),
+            KernelArch::Barrier => include_str!("../kernels/barrier.cl"),
+            KernelArch::Bermudan => include_str!("../kernels/bermudan.cl"),
         }
     }
 
@@ -65,7 +104,9 @@ impl KernelArch {
             KernelArch::Straightforward => bop_ocl::BuildOptions::paper_straightforward(),
             KernelArch::Optimized
             | KernelArch::OptimizedHostLeaves
-            | KernelArch::OptimizedEuropean => bop_ocl::BuildOptions::paper_optimized(),
+            | KernelArch::OptimizedEuropean
+            | KernelArch::Barrier
+            | KernelArch::Bermudan => bop_ocl::BuildOptions::paper_optimized(),
         }
     }
 }
@@ -77,6 +118,8 @@ impl fmt::Display for KernelArch {
             KernelArch::Optimized => "IV.B optimized",
             KernelArch::OptimizedHostLeaves => "IV.B optimized (host leaves)",
             KernelArch::OptimizedEuropean => "IV.B optimized (European)",
+            KernelArch::Barrier => "IV.B optimized (barrier)",
+            KernelArch::Bermudan => "IV.B optimized (Bermudan)",
         })
     }
 }
@@ -92,6 +135,8 @@ mod tests {
             KernelArch::Optimized,
             KernelArch::OptimizedHostLeaves,
             KernelArch::OptimizedEuropean,
+            KernelArch::Barrier,
+            KernelArch::Bermudan,
         ] {
             for precision in [Precision::Double, Precision::Single] {
                 let src = arch.source(precision);
@@ -118,6 +163,19 @@ mod tests {
         assert_eq!(check(KernelArch::Optimized), (true, true));
         assert_eq!(check(KernelArch::Straightforward), (false, false));
         assert_eq!(check(KernelArch::OptimizedHostLeaves), (false, true));
+        assert_eq!(check(KernelArch::Barrier), (true, true));
+        assert_eq!(check(KernelArch::Bermudan), (true, true));
+    }
+
+    #[test]
+    fn param_block_widths_match_the_kernel_sources() {
+        for arch in [KernelArch::Barrier, KernelArch::Bermudan] {
+            assert_eq!(arch.param_block_width(), 8);
+            assert!(arch.raw_source().contains("o * 8"), "{arch} reads 8-wide blocks");
+        }
+        for arch in [KernelArch::Optimized, KernelArch::OptimizedEuropean] {
+            assert_eq!(arch.param_block_width(), 6);
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod experiments;
 pub mod hostprog;
 pub mod kernels;
 pub mod perfmodel;
+pub mod suite;
 
 pub use accelerator::{
     Accelerator, AcceleratorBuilder, AcceleratorConfig, PricingRun, Projection, SessionTrace,
@@ -58,6 +59,7 @@ pub use bop_ocl::{FaultPlan, FaultSite, FaultSites, InjectedFault};
 pub use cluster::{weighted_shares, MultiAccelerator};
 pub use error::{Error, Rejection};
 pub use kernels::KernelArch;
+pub use suite::{PayoffSuite, RiskRequest, RiskResult};
 
 /// The paper's full test environment (Section V.A): FPGA + GPU + CPU on
 /// one platform.

@@ -17,6 +17,7 @@
 //! omits the early-exercise max. This module is the reference software of
 //! the paper's Section V.A, in `f64` and `f32`.
 
+use crate::payoff::{payoff_node_value, Payoff};
 use crate::types::{ExerciseStyle, OptionParams};
 
 /// Precomputed lattice coefficients for one option.
@@ -156,14 +157,25 @@ pub struct BinomialTree {
 }
 
 impl BinomialTree {
-    /// Build the full tree for `option`.
+    /// Build the full tree for `option`, exercising per its `style`.
     ///
     /// # Panics
     /// Panics if `n_steps` is zero or the option is invalid.
     pub fn build(option: &OptionParams, n_steps: usize) -> BinomialTree {
+        BinomialTree::build_payoff(option, Payoff::from_style(option.style), n_steps)
+    }
+
+    /// Build the full tree for `option` under an arbitrary [`Payoff`]
+    /// (the option's `style` field is ignored — the payoff wins). For
+    /// the vanilla payoffs this is bit-identical to
+    /// [`BinomialTree::build`].
+    ///
+    /// # Panics
+    /// Panics if `n_steps` is zero or the option or payoff is invalid.
+    pub fn build_payoff(option: &OptionParams, payoff: Payoff, n_steps: usize) -> BinomialTree {
+        payoff.validate().expect("invalid payoff parameters");
         let c = CrrParams::from_option(option, n_steps);
         let phi = option.kind.phi();
-        let american = option.style == ExerciseStyle::American;
         let total = (n_steps + 1) * (n_steps + 2) / 2;
         let mut asset = vec![0.0; total];
         let mut value = vec![0.0; total];
@@ -173,16 +185,9 @@ impl BinomialTree {
                 let s = option.spot * c.u.powi(2 * j as i32 - t as i32);
                 asset[flat(t, j)] = s;
                 let exercise = (phi * (s - option.strike)).max(0.0);
-                value[flat(t, j)] = if t == n_steps {
-                    exercise
-                } else {
-                    let cont = c.pd * value[flat(t + 1, j + 1)] + c.qd * value[flat(t + 1, j)];
-                    if american {
-                        exercise.max(cont)
-                    } else {
-                        cont
-                    }
-                };
+                let cont = (t < n_steps)
+                    .then(|| c.pd * value[flat(t + 1, j + 1)] + c.qd * value[flat(t + 1, j)]);
+                value[flat(t, j)] = payoff_node_value(payoff, t, s, exercise, cont);
             }
         }
         BinomialTree { n_steps, asset, value }

@@ -107,6 +107,70 @@ pub fn bs_vega(option: &OptionParams) -> f64 {
         * option.expiry.sqrt()
 }
 
+/// Black-Scholes delta `dV/dS` of a **European** option: `e^{-qT} N(d1)`
+/// for calls, `e^{-qT} (N(d1) - 1)` for puts.
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_delta(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (d1, _) = d1_d2(option);
+    let qf = (-option.dividend_yield * option.expiry).exp();
+    match option.kind {
+        OptionKind::Call => qf * norm_cdf(d1),
+        OptionKind::Put => qf * (norm_cdf(d1) - 1.0),
+    }
+}
+
+/// Black-Scholes gamma `d²V/dS²` (identical for calls and puts).
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_gamma(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (d1, _) = d1_d2(option);
+    let qf = (-option.dividend_yield * option.expiry).exp();
+    qf * norm_pdf(d1) / (option.spot * option.volatility * option.expiry.sqrt())
+}
+
+/// Black-Scholes theta `dV/dt` per year (negative for long vanilla
+/// options away from deep-ITM puts).
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_theta(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (d1, d2) = d1_d2(option);
+    let df = (-option.rate * option.expiry).exp();
+    let qf = (-option.dividend_yield * option.expiry).exp();
+    let decay = -qf * option.spot * norm_pdf(d1) * option.volatility / (2.0 * option.expiry.sqrt());
+    match option.kind {
+        OptionKind::Call => {
+            decay - option.rate * option.strike * df * norm_cdf(d2)
+                + option.dividend_yield * option.spot * qf * norm_cdf(d1)
+        }
+        OptionKind::Put => {
+            decay + option.rate * option.strike * df * norm_cdf(-d2)
+                - option.dividend_yield * option.spot * qf * norm_cdf(-d1)
+        }
+    }
+}
+
+/// Black-Scholes rho `dV/dr`: `K T e^{-rT} N(d2)` for calls,
+/// `-K T e^{-rT} N(-d2)` for puts.
+///
+/// # Panics
+/// Panics if the option parameters are invalid.
+pub fn bs_rho(option: &OptionParams) -> f64 {
+    option.validate().expect("invalid option parameters");
+    let (_, d2) = d1_d2(option);
+    let df = (-option.rate * option.expiry).exp();
+    match option.kind {
+        OptionKind::Call => option.strike * option.expiry * df * norm_cdf(d2),
+        OptionKind::Put => -option.strike * option.expiry * df * norm_cdf(-d2),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +233,46 @@ mod tests {
         otm.strike = 160.0;
         assert!(bs_vega(&atm) > 0.0);
         assert!(bs_vega(&atm) > bs_vega(&otm));
+    }
+
+    #[test]
+    fn closed_form_greeks_match_central_differences() {
+        let o = OptionParams { style: ExerciseStyle::European, ..OptionParams::example() };
+        let put = OptionParams { kind: OptionKind::Put, ..o };
+        let h = 1e-5;
+        for o in [o, put] {
+            let bump = |f: &dyn Fn(&mut OptionParams, f64)| {
+                let mut up = o;
+                f(&mut up, h);
+                let mut dn = o;
+                f(&mut dn, -h);
+                (bs_price(&up) - bs_price(&dn)) / (2.0 * h)
+            };
+            assert!((bs_delta(&o) - bump(&|p, e| p.spot += e)).abs() < 1e-6);
+            assert!((bs_rho(&o) - bump(&|p, e| p.rate += e)).abs() < 1e-5);
+            // Theta is -dV/dT (value decays as calendar time passes).
+            assert!((bs_theta(&o) + bump(&|p, e| p.expiry += e)).abs() < 1e-5);
+            let delta_slope = {
+                let mut up = o;
+                up.spot += h;
+                let mut dn = o;
+                dn.spot -= h;
+                (bs_delta(&up) - bs_delta(&dn)) / (2.0 * h)
+            };
+            assert!((bs_gamma(&o) - delta_slope).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn greek_signs_are_textbook() {
+        let call = OptionParams { style: ExerciseStyle::European, ..OptionParams::example() };
+        let put = OptionParams { kind: OptionKind::Put, ..call };
+        assert!(bs_delta(&call) > 0.0 && bs_delta(&call) < 1.0);
+        assert!(bs_delta(&put) < 0.0 && bs_delta(&put) > -1.0);
+        assert!(bs_gamma(&call) > 0.0);
+        assert!((bs_gamma(&call) - bs_gamma(&put)).abs() < 1e-12, "gamma is kind-free");
+        assert!(bs_theta(&call) < 0.0);
+        assert!(bs_rho(&call) > 0.0);
+        assert!(bs_rho(&put) < 0.0);
     }
 }

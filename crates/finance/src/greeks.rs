@@ -4,9 +4,13 @@
 //! volatilities), but the natural next thing a trader computes from the
 //! same tree: delta, gamma and theta fall out of the first lattice levels
 //! for free (no extra pricing runs), while vega and rho use symmetric
-//! parameter bumps.
+//! parameter bumps. The bump scenarios are public so the accelerator's
+//! bump-and-reprice path ([`bump_scenarios`]) prices exactly the same
+//! perturbed options as the software reference, and every estimator works
+//! for any [`Payoff`], not just the vanilla styles.
 
-use crate::binomial::{price_american_f64, BinomialTree};
+use crate::binomial::BinomialTree;
+use crate::payoff::{price_payoff_f64, Payoff};
 use crate::types::OptionParams;
 
 /// First- and second-order sensitivities of an option price.
@@ -26,22 +30,33 @@ pub struct Greeks {
     pub rho: f64,
 }
 
-/// Relative bump used for vega/rho finite differences.
-const BUMP: f64 = 1e-4;
+/// Absolute bump used for the vega/rho finite differences — shared by the
+/// software reference and the accelerator bump-and-reprice path so both
+/// price the identical perturbed options.
+pub const VEGA_RHO_BUMP: f64 = 1e-4;
 
-/// Compute the Greeks of `option` on an `n_steps` lattice.
-///
-/// Delta, gamma and theta come from the tree itself (the standard
-/// lattice estimators using nodes (1,·) and (2,·)); vega and rho are
-/// central finite differences with re-pricing.
+/// The four bumped scenarios behind vega and rho, in the fixed order
+/// `[vol+, vol-, rate+, rate-]`. [`assemble_greeks`] consumes prices for
+/// these scenarios in the same order.
+pub fn bump_scenarios(option: &OptionParams) -> [OptionParams; 4] {
+    let mut vol_up = *option;
+    vol_up.volatility += VEGA_RHO_BUMP;
+    let mut vol_dn = *option;
+    vol_dn.volatility -= VEGA_RHO_BUMP;
+    let mut rate_up = *option;
+    rate_up.rate += VEGA_RHO_BUMP;
+    let mut rate_dn = *option;
+    rate_dn.rate -= VEGA_RHO_BUMP;
+    [vol_up, vol_dn, rate_up, rate_dn]
+}
+
+/// Delta, gamma and theta read directly from the first levels of a built
+/// lattice (the standard estimators using nodes `(1,·)` and `(2,·)`).
 ///
 /// # Panics
-/// Panics if `n_steps < 2` or the option is invalid.
-pub fn lattice_greeks(option: &OptionParams, n_steps: usize) -> Greeks {
-    assert!(n_steps >= 2, "greeks need at least two lattice steps");
-    let tree = BinomialTree::build(option, n_steps);
-    let dt = option.expiry / n_steps as f64;
-
+/// Panics if the tree has fewer than two steps.
+pub fn tree_greeks(tree: &BinomialTree, dt: f64) -> (f64, f64, f64) {
+    assert!(tree.n_steps() >= 2, "greeks need at least two lattice steps");
     let (s_up, s_dn) = (tree.asset(1, 1), tree.asset(1, 0));
     let (v_up, v_dn) = (tree.value(1, 1), tree.value(1, 0));
     let delta = (v_up - v_dn) / (s_up - s_dn);
@@ -56,25 +71,65 @@ pub fn lattice_greeks(option: &OptionParams, n_steps: usize) -> Greeks {
     // Theta: V(2,1) sits at the initial spot, two steps of calendar time
     // later (the recombining-tree trick).
     let theta = (v_ud - tree.price()) / (2.0 * dt);
+    (delta, gamma, theta)
+}
 
-    // Vega and rho by symmetric bumps.
-    let bump_price = |f: &dyn Fn(&mut OptionParams, f64)| {
-        let mut up = *option;
-        f(&mut up, BUMP);
-        let mut dn = *option;
-        f(&mut dn, -BUMP);
-        (price_american_f64(&up, n_steps) - price_american_f64(&dn, n_steps)) / (2.0 * BUMP)
-    };
-    let vega = bump_price(&|o, h| o.volatility += h);
-    let rho = bump_price(&|o, h| o.rate += h);
+/// Combine tree-read delta/gamma/theta with externally priced bump
+/// scenarios into a full [`Greeks`].
+///
+/// `price` is the base price to report (e.g. the accelerator's);
+/// `bumped` are the prices of [`bump_scenarios`] in their fixed order.
+/// This is how the serving layer assembles Greeks: the first-order spot
+/// and time sensitivities come from the host-side lattice, vega and rho
+/// from bump-and-reprice batches on the device.
+///
+/// # Panics
+/// Panics if the tree has fewer than two steps.
+pub fn assemble_greeks(price: f64, tree: &BinomialTree, dt: f64, bumped: [f64; 4]) -> Greeks {
+    let (delta, gamma, theta) = tree_greeks(tree, dt);
+    let [vol_up, vol_dn, rate_up, rate_dn] = bumped;
+    Greeks {
+        price,
+        delta,
+        gamma,
+        theta,
+        vega: (vol_up - vol_dn) / (2.0 * VEGA_RHO_BUMP),
+        rho: (rate_up - rate_dn) / (2.0 * VEGA_RHO_BUMP),
+    }
+}
 
-    Greeks { price: tree.price(), delta, gamma, theta, vega, rho }
+/// Compute the Greeks of `option` on an `n_steps` lattice, exercising
+/// per the option's `style`.
+///
+/// Delta, gamma and theta come from the tree itself (the standard
+/// lattice estimators using nodes (1,·) and (2,·)); vega and rho are
+/// central finite differences with re-pricing.
+///
+/// # Panics
+/// Panics if `n_steps < 2` or the option is invalid.
+pub fn lattice_greeks(option: &OptionParams, n_steps: usize) -> Greeks {
+    lattice_greeks_payoff(option, Payoff::from_style(option.style), n_steps)
+}
+
+/// Compute the Greeks of `option` under an arbitrary [`Payoff`] on an
+/// `n_steps` lattice (the option's `style` field is ignored). For the
+/// vanilla payoffs this is bit-identical to [`lattice_greeks`].
+///
+/// # Panics
+/// Panics if `n_steps < 2` or the option or payoff is invalid.
+pub fn lattice_greeks_payoff(option: &OptionParams, payoff: Payoff, n_steps: usize) -> Greeks {
+    assert!(n_steps >= 2, "greeks need at least two lattice steps");
+    let tree = BinomialTree::build_payoff(option, payoff, n_steps);
+    let dt = option.expiry / n_steps as f64;
+    let bumped = bump_scenarios(option).map(|o| price_payoff_f64(&o, payoff, n_steps));
+    assemble_greeks(tree.price(), &tree, dt, bumped)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::black_scholes::{bs_price, bs_vega};
+    use crate::payoff::BarrierKind;
     use crate::types::{ExerciseStyle, OptionKind};
 
     fn european_example() -> OptionParams {
@@ -115,6 +170,45 @@ mod tests {
     }
 
     #[test]
+    fn payoff_greeks_reduce_to_style_greeks_bit_for_bit() {
+        let n = 96;
+        let amer = OptionParams::example();
+        let via_style = lattice_greeks(&amer, n);
+        let via_payoff = lattice_greeks_payoff(&amer, Payoff::American, n);
+        assert_eq!(via_style, via_payoff);
+        let euro = european_example();
+        assert_eq!(lattice_greeks(&euro, n), lattice_greeks_payoff(&euro, Payoff::European, n));
+    }
+
+    #[test]
+    fn assemble_greeks_matches_the_one_shot_path() {
+        let o = OptionParams::example();
+        let payoff = Payoff::Bermudan { exercise_every: 4 };
+        let n = 64;
+        let direct = lattice_greeks_payoff(&o, payoff, n);
+        let tree = BinomialTree::build_payoff(&o, payoff, n);
+        let bumped = bump_scenarios(&o).map(|b| price_payoff_f64(&b, payoff, n));
+        let assembled = assemble_greeks(tree.price(), &tree, o.expiry / n as f64, bumped);
+        assert_eq!(direct, assembled);
+    }
+
+    #[test]
+    fn barrier_greeks_are_finite_and_the_barrier_dampens_vega() {
+        let up_out = Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 125.0 };
+        let g = lattice_greeks_payoff(&OptionParams::example(), up_out, 256);
+        for v in [g.price, g.delta, g.gamma, g.theta, g.vega, g.rho] {
+            assert!(v.is_finite());
+        }
+        // The knock-out cap eats most of the volatility upside. (The
+        // sign itself is unpinned: small vol bumps move the lattice
+        // layers across the barrier, so barrier vega on a lattice has a
+        // sawtooth component.)
+        let vanilla = lattice_greeks_payoff(&OptionParams::example(), Payoff::European, 256);
+        assert!(g.vega < 0.5 * vanilla.vega, "{} vs vanilla {}", g.vega, vanilla.vega);
+        assert!(g.price > 0.0 && g.price < vanilla.price);
+    }
+
+    #[test]
     fn deep_itm_call_delta_approaches_one() {
         let mut o = OptionParams::example();
         o.strike = 40.0;
@@ -131,8 +225,8 @@ mod tests {
         with_div.dividend_yield = 0.08;
         let mut euro = with_div;
         euro.style = ExerciseStyle::European;
-        let amer_price = price_american_f64(&with_div, 512);
-        let euro_price = price_american_f64(&euro, 512);
+        let amer_price = crate::binomial::price_american_f64(&with_div, 512);
+        let euro_price = crate::binomial::price_american_f64(&euro, 512);
         assert!(
             amer_price > euro_price + 1e-4,
             "dividends make American calls worth more: {amer_price} vs {euro_price}"

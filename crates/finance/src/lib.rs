@@ -6,6 +6,10 @@
 //! * [`binomial`] — the Cox-Ross-Rubinstein lattice model the paper
 //!   accelerates, in the exact recurrence form of the paper's Equation (1),
 //!   for American and European calls and puts, in `f64` and `f32`;
+//! * [`payoff`] — the exercise/knockout taxonomy of the market-risk
+//!   workload suite (vanilla, barrier, Bermudan) and its reference pricer;
+//! * [`greeks`] — lattice sensitivities: delta/gamma/theta read from the
+//!   tree, vega/rho by bump-and-reprice, for any payoff;
 //! * [`black_scholes`] — the analytical European price used to validate
 //!   lattice convergence and to drive the implied-volatility use case;
 //! * [`implied_vol`] — the solver behind the paper's motivating scenario
@@ -27,13 +31,15 @@ pub mod greeks;
 pub mod implied_vol;
 pub mod metrics;
 pub mod montecarlo;
+pub mod payoff;
 pub mod rng;
 pub mod types;
 pub mod workload;
 
 pub use binomial::{price_american_f32, price_american_f64, BinomialTree, CrrParams};
-pub use black_scholes::bs_price;
-pub use greeks::{lattice_greeks, Greeks};
-pub use implied_vol::implied_volatility;
+pub use black_scholes::{bs_delta, bs_gamma, bs_price, bs_rho, bs_theta, bs_vega};
+pub use greeks::{lattice_greeks, lattice_greeks_payoff, Greeks};
+pub use implied_vol::{bs_implied_volatility, implied_volatility};
 pub use metrics::{max_abs_error, rmse};
+pub use payoff::{price_payoff_f64, BarrierKind, Payoff};
 pub use types::{ExerciseStyle, OptionKind, OptionParams};

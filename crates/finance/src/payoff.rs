@@ -1,0 +1,345 @@
+//! The payoff taxonomy of the market-risk workload suite.
+//!
+//! The paper prices vanilla European/American options; the risk-analysis
+//! follow-on line (Klaisoongnoen et al., PAPERS.md) extends the same
+//! lattice to the payoffs a trading desk actually quotes. [`Payoff`]
+//! names the exercise/knockout rule independently of the market
+//! parameters in [`OptionParams`], so one request type can carry any of
+//! them through the serving stack:
+//!
+//! * [`Payoff::European`] / [`Payoff::American`] — the vanilla styles,
+//!   bit-compatible with [`crate::binomial::price_american_f64`];
+//! * [`Payoff::Barrier`] — knock-out options (up-and-out / down-and-out),
+//!   monitored at every lattice node, European exercise, no rebate;
+//! * [`Payoff::Bermudan`] — early exercise restricted to a periodic
+//!   schedule of lattice dates (`exercise_every` steps). `exercise_every
+//!   == 1` degenerates to American bit-for-bit.
+//!
+//! [`price_payoff_f64`] is the reference pricer for all four, mirroring
+//! the rolling-recurrence structure of the vanilla reference so the
+//! degenerate payoffs reproduce it exactly.
+
+use crate::binomial::CrrParams;
+use crate::types::{ExerciseStyle, OptionParams};
+use std::fmt;
+
+/// Direction of a knock-out barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrierKind {
+    /// Knocked out when the asset trades at or above the barrier level.
+    UpAndOut,
+    /// Knocked out when the asset trades at or below the barrier level.
+    DownAndOut,
+}
+
+impl BarrierKind {
+    /// Knock direction as the sign used by the device kernels: the option
+    /// is knocked out at asset price `s` iff `direction() * (s - level)
+    /// >= 0`.
+    pub fn direction(self) -> f64 {
+        match self {
+            BarrierKind::UpAndOut => 1.0,
+            BarrierKind::DownAndOut => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for BarrierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BarrierKind::UpAndOut => "up-and-out",
+            BarrierKind::DownAndOut => "down-and-out",
+        })
+    }
+}
+
+/// Exercise/knockout rule of an option, independent of its market
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payoff {
+    /// Exercise only at expiry.
+    European,
+    /// Exercise at any lattice date.
+    American,
+    /// European exercise with a knock-out barrier monitored at every
+    /// lattice node (no rebate).
+    Barrier {
+        /// Knock direction.
+        kind: BarrierKind,
+        /// Barrier level in asset-price units.
+        level: f64,
+    },
+    /// Early exercise allowed only at lattice dates `t` with
+    /// `t % exercise_every == 0` (expiry always pays off).
+    Bermudan {
+        /// Exercise-date spacing in lattice steps; `1` is American.
+        exercise_every: usize,
+    },
+}
+
+impl Payoff {
+    /// The vanilla payoff equivalent to an [`ExerciseStyle`].
+    pub fn from_style(style: ExerciseStyle) -> Payoff {
+        match style {
+            ExerciseStyle::European => Payoff::European,
+            ExerciseStyle::American => Payoff::American,
+        }
+    }
+
+    /// Short class label (`european` / `american` / `barrier` /
+    /// `bermudan`) used for metric and trace labels and for batching:
+    /// payoffs with the same label share a kernel and a parameter-block
+    /// layout.
+    pub fn label(self) -> &'static str {
+        match self {
+            Payoff::European => "european",
+            Payoff::American => "american",
+            Payoff::Barrier { .. } => "barrier",
+            Payoff::Bermudan { .. } => "bermudan",
+        }
+    }
+
+    /// Validate the payoff's own parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), InvalidPayoffError> {
+        match self {
+            Payoff::European | Payoff::American => Ok(()),
+            Payoff::Barrier { level, .. } => {
+                if level.is_finite() && *level > 0.0 {
+                    Ok(())
+                } else {
+                    Err(InvalidPayoffError { message: "barrier level must be finite and positive" })
+                }
+            }
+            Payoff::Bermudan { exercise_every } => {
+                if *exercise_every >= 1 {
+                    Ok(())
+                } else {
+                    Err(InvalidPayoffError { message: "exercise_every must be at least 1" })
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Payoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payoff::European => f.write_str("european"),
+            Payoff::American => f.write_str("american"),
+            Payoff::Barrier { kind, level } => write!(f, "barrier {kind} @ {level}"),
+            Payoff::Bermudan { exercise_every } => {
+                write!(f, "bermudan every {exercise_every} steps")
+            }
+        }
+    }
+}
+
+/// Payoff validation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPayoffError {
+    message: &'static str,
+}
+
+impl fmt::Display for InvalidPayoffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for InvalidPayoffError {}
+
+/// Value of one lattice node under `payoff`.
+///
+/// `exercise` is `max(phi (s - strike), 0)`; `cont` is the discounted
+/// continuation value (`None` at the leaves, where the exercise value is
+/// the node value for every payoff unless knocked out).
+#[inline]
+pub(crate) fn node_value(
+    payoff: Payoff,
+    t: usize,
+    s: f64,
+    exercise: f64,
+    cont: Option<f64>,
+) -> f64 {
+    let knocked = match payoff {
+        Payoff::Barrier { kind, level } => kind.direction() * (s - level) >= 0.0,
+        _ => false,
+    };
+    if knocked {
+        return 0.0;
+    }
+    match cont {
+        None => exercise,
+        Some(cont) => match payoff {
+            Payoff::European | Payoff::Barrier { .. } => cont,
+            Payoff::American => exercise.max(cont),
+            Payoff::Bermudan { exercise_every } => {
+                if t.is_multiple_of(exercise_every) {
+                    exercise.max(cont)
+                } else {
+                    cont
+                }
+            }
+        },
+    }
+}
+
+/// Price `option` under `payoff` on an `n_steps` CRR lattice in `f64` —
+/// the reference pricer for the payoff-aware accelerator kernels.
+///
+/// For [`Payoff::European`] and [`Payoff::American`] this is bit-identical
+/// to [`crate::binomial::price_american_f64`] with the matching `style`
+/// (the `style` field of `option` is ignored — the payoff wins). A
+/// [`Payoff::Bermudan`] with `exercise_every == 1` is bit-identical to
+/// [`Payoff::American`].
+///
+/// # Panics
+/// Panics if `n_steps` is zero or the option or payoff is invalid.
+pub fn price_payoff_f64(option: &OptionParams, payoff: Payoff, n_steps: usize) -> f64 {
+    payoff.validate().expect("invalid payoff parameters");
+    let c = CrrParams::from_option(option, n_steps);
+    let phi = option.kind.phi();
+    let n = n_steps;
+    // Leaves: V(N,j) for j = 0..=N, S = S0 u^{2j-N}.
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| {
+            let s = option.spot * c.u.powi(2 * j as i32 - n as i32);
+            node_value(payoff, n, s, (phi * (s - option.strike)).max(0.0), None)
+        })
+        .collect();
+    // Backward induction, same rolling-spot recurrence as the vanilla
+    // reference so the degenerate payoffs reproduce it bit-for-bit.
+    let mut s_low = option.spot * c.u.powi(-(n as i32));
+    let u2 = c.u * c.u;
+    for t in (0..n).rev() {
+        s_low *= c.u; // S(t,0) from S(t+1,0)
+        let mut s = s_low;
+        for j in 0..=t {
+            let cont = c.pd * values[j + 1] + c.qd * values[j];
+            values[j] = node_value(payoff, t, s, (phi * (s - option.strike)).max(0.0), Some(cont));
+            s *= u2;
+        }
+    }
+    values[0]
+}
+
+pub(crate) use node_value as payoff_node_value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::price_american_f64;
+    use crate::black_scholes::bs_price;
+    use crate::types::OptionKind;
+
+    fn opt() -> OptionParams {
+        OptionParams::example()
+    }
+
+    #[test]
+    fn vanilla_payoffs_are_bit_identical_to_the_style_reference() {
+        for n in [16, 64, 257] {
+            let mut euro = opt();
+            euro.style = ExerciseStyle::European;
+            assert_eq!(
+                price_payoff_f64(&opt(), Payoff::European, n).to_bits(),
+                price_american_f64(&euro, n).to_bits(),
+            );
+            let mut amer = opt();
+            amer.kind = OptionKind::Put;
+            assert_eq!(
+                price_payoff_f64(&amer, Payoff::American, n).to_bits(),
+                price_american_f64(&amer, n).to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn bermudan_every_step_is_american_and_interpolates_between_styles() {
+        let mut o = opt();
+        o.kind = OptionKind::Put; // puts carry a real early-exercise premium
+        let n = 240;
+        let amer = price_payoff_f64(&o, Payoff::American, n);
+        let euro = price_payoff_f64(&o, Payoff::European, n);
+        let every_1 = price_payoff_f64(&o, Payoff::Bermudan { exercise_every: 1 }, n);
+        assert_eq!(every_1.to_bits(), amer.to_bits(), "every-step Bermudan is American");
+        let mut last = amer;
+        for every in [4, 16, 60] {
+            let v = price_payoff_f64(&o, Payoff::Bermudan { exercise_every: every }, n);
+            assert!(v <= last + 1e-12, "coarser schedules are worth less: {v} vs {last}");
+            assert!(v >= euro - 1e-12, "but never less than European");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn distant_barriers_degenerate_to_european() {
+        let n = 128;
+        let euro = price_payoff_f64(&opt(), Payoff::European, n);
+        let far_up = Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 1e9 };
+        let far_dn = Payoff::Barrier { kind: BarrierKind::DownAndOut, level: 1e-6 };
+        assert_eq!(price_payoff_f64(&opt(), far_up, n).to_bits(), euro.to_bits());
+        assert_eq!(price_payoff_f64(&opt(), far_dn, n).to_bits(), euro.to_bits());
+    }
+
+    #[test]
+    fn knocked_out_spot_prices_to_zero_and_barriers_cost_value() {
+        let n = 128;
+        let up = Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 130.0 };
+        let v = price_payoff_f64(&opt(), up, n);
+        let euro = price_payoff_f64(&opt(), Payoff::European, n);
+        assert!(v > 0.0 && v < euro, "a live barrier strictly cheapens the option: {v} < {euro}");
+
+        let mut dead = opt();
+        dead.spot = 135.0; // already beyond the barrier
+        assert_eq!(price_payoff_f64(&dead, up, n), 0.0);
+        let dn = Payoff::Barrier { kind: BarrierKind::DownAndOut, level: 140.0 };
+        assert_eq!(price_payoff_f64(&opt(), dn, n), 0.0, "spot below a down barrier is dead");
+    }
+
+    #[test]
+    fn down_and_out_call_approaches_the_closed_form() {
+        // Reflection identity for a down-and-out call with H < K, q = 0:
+        // C_do = C_bs(S) - (H/S)^{2 lambda - 2} C_bs(H^2/S) with
+        // lambda = (r + sigma^2/2) / sigma^2. Discrete monitoring biases
+        // the lattice price up (fewer knock chances) and the barrier sits
+        // between lattice layers (O(sqrt(dt)) placement error), so
+        // compare with a loose tolerance at a deep lattice.
+        let mut o = opt();
+        o.style = ExerciseStyle::European;
+        let h = 85.0;
+        let lambda = (o.rate + 0.5 * o.volatility * o.volatility) / (o.volatility * o.volatility);
+        let mut reflected = o;
+        reflected.spot = h * h / o.spot;
+        let closed = bs_price(&o) - (h / o.spot).powf(2.0 * lambda - 2.0) * bs_price(&reflected);
+        let lattice =
+            price_payoff_f64(&o, Payoff::Barrier { kind: BarrierKind::DownAndOut, level: h }, 4096);
+        assert!(
+            (lattice - closed).abs() < 0.4,
+            "lattice {lattice} vs closed-form {closed} down-and-out call"
+        );
+        assert!(lattice >= closed - 1e-9, "discrete monitoring never knocks more often");
+    }
+
+    #[test]
+    fn payoff_validation_and_labels() {
+        assert!(Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 0.0 }.validate().is_err());
+        assert!(Payoff::Barrier { kind: BarrierKind::UpAndOut, level: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(Payoff::Bermudan { exercise_every: 0 }.validate().is_err());
+        assert!(Payoff::Bermudan { exercise_every: 3 }.validate().is_ok());
+        assert_eq!(Payoff::from_style(ExerciseStyle::American).label(), "american");
+        assert_eq!(Payoff::from_style(ExerciseStyle::European).label(), "european");
+        assert_eq!(
+            Payoff::Barrier { kind: BarrierKind::DownAndOut, level: 90.0 }.label(),
+            "barrier"
+        );
+        assert_eq!(Payoff::Bermudan { exercise_every: 4 }.label(), "bermudan");
+        assert_eq!(BarrierKind::UpAndOut.direction(), 1.0);
+        assert_eq!(BarrierKind::DownAndOut.direction(), -1.0);
+    }
+}

@@ -3,9 +3,12 @@
 //! The paper prices *batches*: its kernels amortize transfer and launch
 //! cost over thousands of options, and the energy story (options/J) only
 //! holds at batch scale. A real trading system, however, sees a stream of
-//! small requests. This crate bridges the two: it accepts individual
-//! pricing requests, coalesces them into micro-batches, and dispatches
-//! the batches across a pool of [`Accelerator`] shards scheduled by their
+//! small requests. This crate bridges the two: it accepts typed
+//! [`PricingRequest`]s — any payoff ([`bop_finance::payoff::Payoff`]:
+//! European, American, knock-out barrier, Bermudan) with any
+//! [`OutputSet`] (price, price + Greeks) — coalesces them into
+//! per-payoff-class micro-batches, and dispatches the batches across a
+//! pool of [`bop_core::PayoffSuite`] shards scheduled by their
 //! calibrated marginal rates — the same rates that drive
 //! [`bop_core::weighted_shares`] in the offline cluster splitter.
 //!
@@ -26,10 +29,13 @@
 //!   when a full batch is ready, the oldest request has waited
 //!   `max_linger`, or the service is shutting down. Until then requests
 //!   count against `queue_capacity`, which makes rejection deterministic.
-//! * **Batching never changes prices.** Per-option prices are
+//! * **Batching never changes results.** Per-option prices are
 //!   independent of batch composition (each work-group prices one
-//!   option), so any batching policy is bit-identical to a direct
-//!   [`Accelerator::price`] call on the same device.
+//!   option) and Greeks are assembled from deterministic device bumps
+//!   plus a host-side lattice, so any batching policy is bit-identical
+//!   to a direct [`bop_core::PayoffSuite::price_risk`] call on the same
+//!   device. Mixed-payoff submissions split at class boundaries and
+//!   reassemble in submission order.
 //! * **Deadlines are enforced at dispatch.** An expired request fails
 //!   with [`Error::DeadlineExceeded`] instead of wasting shard time.
 //! * **Shutdown drains.** [`PricingService::shutdown`] flushes every
@@ -58,21 +64,29 @@
 //! ## Quickstart
 //!
 //! ```
-//! use bop_core::{Accelerator, KernelArch, Precision};
+//! use bop_core::{AcceleratorConfig, PayoffSuite};
+//! use bop_finance::payoff::Payoff;
 //! use bop_finance::OptionParams;
-//! use bop_serve::{PricingService, ServeConfig};
+//! use bop_serve::{OutputSet, PricingRequest, PricingService, ServeConfig};
 //!
 //! # fn main() -> Result<(), bop_core::Error> {
-//! // `build_pool` compiles the kernel once; the shards share the program.
-//! let shards = Accelerator::builder(bop_core::devices::gpu())
-//!     .arch(KernelArch::Optimized)
-//!     .precision(Precision::Double)
-//!     .n_steps(64)
-//!     .build_pool(2)?;
+//! // `pool` compiles each payoff kernel once; the shards share them.
+//! let mut config = AcceleratorConfig::new(bop_core::devices::gpu());
+//! config.n_steps = 64;
+//! let shards = PayoffSuite::pool(config, 2)?;
 //! let service = PricingService::start(shards, ServeConfig::default())?;
-//! let ticket = service.submit(vec![OptionParams::example()], None)?;
-//! let prices = ticket.wait()?;
-//! assert_eq!(prices.len(), 1);
+//! let ticket = service.submit(
+//!     vec![PricingRequest {
+//!         payoff: Payoff::American,
+//!         params: OptionParams::example(),
+//!         outputs: OutputSet::PRICE | OutputSet::GREEKS,
+//!     }],
+//!     None,
+//! )?;
+//! let responses = ticket.wait()?;
+//! assert_eq!(responses.len(), 1);
+//! let greeks = responses[0].greeks.expect("requested");
+//! assert!(greeks.delta > 0.0, "calls have positive delta");
 //! service.shutdown();
 //! # Ok(())
 //! # }
@@ -81,12 +95,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod request;
 pub mod scheduler;
 pub mod service;
 pub mod tracing;
 
-pub use bop_core::{Accelerator, Error, Rejection};
+pub use bop_core::{Error, PayoffSuite, Rejection};
 pub use config::ServeConfig;
+pub use request::{OutputSet, PricingRequest, PricingResponse};
 pub use scheduler::ShardScheduler;
 pub use service::{PricingService, Ticket};
 pub use tracing::{RequestId, RequestTracer};

@@ -8,13 +8,16 @@
 //!   rejection.
 //! * The **batcher** thread sleeps until a full batch's worth of options
 //!   is queued, the oldest request has lingered `max_linger`, or
-//!   shutdown starts; it then extracts one micro-batch (splitting
-//!   requests at the boundary), picks a shard by completion horizon, and
-//!   hands the batch over.
-//! * Each **shard worker** owns one [`Accelerator`]. It drops
-//!   past-deadline chunks with [`Error::DeadlineExceeded`], prices the
-//!   rest in a single `price` call, and scatters results back through
-//!   each request's aggregator.
+//!   shutdown starts; it then extracts one micro-batch — splitting
+//!   requests at the batch boundary *and at payoff-class changes*, so
+//!   every batch prices on a single kernel — picks a shard by
+//!   completion horizon, and hands the batch over.
+//! * Each **shard worker** owns one [`PayoffSuite`] (the four compiled
+//!   payoff kernels of one device). It drops past-deadline chunks with
+//!   [`Error::DeadlineExceeded`], prices the rest in a single
+//!   `price_risk` call — Greeks bumps riding in the same device batch —
+//!   and scatters [`PricingResponse`]s back through each request's
+//!   aggregator.
 //!
 //! Failure policy (exercised by `tests/chaos.rs` under injected
 //! faults): a retryable error ([`Error::is_retryable`], i.e. an
@@ -25,14 +28,15 @@
 //! exhausts `quarantine_after` consecutive batches is quarantined out
 //! of scheduling. Every chunk always reaches its aggregator — filled
 //! with prices or failed with a typed error — so callers never hang,
-//! and successful prices are bit-identical to a fault-free
-//! [`Accelerator::price`] because injected faults are detected (a
+//! and successful results are bit-identical to a fault-free
+//! [`PayoffSuite::price_risk`] because injected faults are detected (a
 //! faulted command kills the session rather than corrupting results).
 
 use crate::config::ServeConfig;
+use crate::request::{PricingRequest, PricingResponse};
 use crate::scheduler::ShardScheduler;
 use crate::tracing::{RequestId, RequestTracer};
-use bop_core::{Accelerator, Error, PricingRun, Rejection};
+use bop_core::{Error, PayoffSuite, PricingRun, Rejection, RiskRequest};
 use bop_finance::OptionParams;
 use bop_obs::{Json, MetricsRegistry, SpanCategory, TraceSpan};
 use std::collections::VecDeque;
@@ -55,7 +59,7 @@ struct Aggregator {
 }
 
 struct AggState {
-    prices: Vec<f64>,
+    responses: Vec<PricingResponse>,
     /// Options not yet priced or failed; 0 means the request finished.
     remaining: usize,
     /// First error wins; later chunks only decrement `remaining`.
@@ -75,7 +79,7 @@ impl Aggregator {
             submitted_s,
             root_span,
             state: Mutex::new(AggState {
-                prices: vec![0.0; n_options],
+                responses: vec![PricingResponse::pending(); n_options],
                 remaining: n_options,
                 error: None,
             }),
@@ -91,12 +95,12 @@ impl Aggregator {
     fn fill(
         &self,
         offset: usize,
-        prices: &[f64],
+        responses: &[PricingResponse],
         on_finish: impl FnOnce(&Result<(), Error>),
     ) -> Option<Result<(), Error>> {
         let mut st = self.state.lock().expect("aggregator lock");
-        st.prices[offset..offset + prices.len()].copy_from_slice(prices);
-        st.remaining -= prices.len();
+        st.responses[offset..offset + responses.len()].copy_from_slice(responses);
+        st.remaining -= responses.len();
         self.maybe_finish(&st, on_finish)
     }
 
@@ -133,14 +137,14 @@ impl Aggregator {
         Some(outcome)
     }
 
-    fn wait(&self) -> Result<Vec<f64>, Error> {
+    fn wait(&self) -> Result<Vec<PricingResponse>, Error> {
         let mut st = self.state.lock().expect("aggregator lock");
         while st.remaining > 0 {
             st = self.done.wait(st).expect("aggregator lock");
         }
         match &st.error {
             Some(e) => Err(e.clone()),
-            None => Ok(std::mem::take(&mut st.prices)),
+            None => Ok(std::mem::take(&mut st.responses)),
         }
     }
 }
@@ -149,7 +153,7 @@ impl Aggregator {
 ///
 /// Dropping the ticket abandons the result (the request still runs and
 /// is counted in the metrics); [`Ticket::wait`] blocks until the
-/// request's prices — in submission order — are ready.
+/// request's responses — in submission order — are ready.
 pub struct Ticket {
     agg: Arc<Aggregator>,
 }
@@ -159,7 +163,7 @@ impl std::fmt::Debug for Ticket {
         let st = self.agg.state.lock().expect("aggregator lock");
         f.debug_struct("Ticket")
             .field("request_id", &self.agg.request_id)
-            .field("n_options", &st.prices.len())
+            .field("n_options", &st.responses.len())
             .field("remaining", &st.remaining)
             .finish()
     }
@@ -172,20 +176,32 @@ impl Ticket {
         self.agg.request_id
     }
 
-    /// Block until the request finishes.
+    /// Block until the request finishes, returning one
+    /// [`PricingResponse`] per submitted [`PricingRequest`], in
+    /// submission order.
     ///
     /// # Errors
     /// [`Error::DeadlineExceeded`] if the request outlived its deadline
     /// in the queue; any shard pricing error otherwise.
-    pub fn wait(self) -> Result<Vec<f64>, Error> {
+    pub fn wait(self) -> Result<Vec<PricingResponse>, Error> {
         self.agg.wait()
+    }
+
+    /// Block until the request finishes and return bare prices — the
+    /// pre-payoff API's result shape.
+    ///
+    /// # Errors
+    /// As [`Ticket::wait`].
+    #[deprecated(since = "0.3.0", note = "use `Ticket::wait`, which returns `PricingResponse`s")]
+    pub fn wait_prices(self) -> Result<Vec<f64>, Error> {
+        Ok(self.agg.wait()?.into_iter().map(|r| r.price).collect())
     }
 }
 
 /// A slice of one request, bound for a single micro-batch.
 struct Chunk {
-    options: Vec<OptionParams>,
-    /// Offset of this chunk inside its request's price vector.
+    requests: Vec<PricingRequest>,
+    /// Offset of this chunk inside its request's response vector.
     offset: usize,
     deadline: Option<Instant>,
     agg: Arc<Aggregator>,
@@ -194,6 +210,9 @@ struct Chunk {
 struct Batch {
     chunks: Vec<Chunk>,
     n_options: usize,
+    /// The payoff class every item in the batch shares (the batcher
+    /// splits at class changes so one kernel prices the whole batch).
+    class: &'static str,
     /// Shards that have already tried (and failed) to price this batch.
     /// Redispatch stops once every shard has had a turn, so a batch can
     /// never bounce around the pool forever.
@@ -204,8 +223,8 @@ struct Batch {
 }
 
 struct PendingRequest {
-    options: Vec<OptionParams>,
-    /// Options before `cursor` have already been extracted into batches.
+    requests: Vec<PricingRequest>,
+    /// Items before `cursor` have already been extracted into batches.
     cursor: usize,
     deadline: Option<Instant>,
     enqueued_at: Instant,
@@ -294,7 +313,7 @@ impl PricingService {
     /// # Errors
     /// [`Error::Invalid`] on an empty pool, mismatched lattices, or bad
     /// config; calibration failures propagate.
-    pub fn start(shards: Vec<Accelerator>, config: ServeConfig) -> Result<PricingService, Error> {
+    pub fn start(shards: Vec<PayoffSuite>, config: ServeConfig) -> Result<PricingService, Error> {
         PricingService::start_with_metrics(shards, config, Arc::new(MetricsRegistry::new()))
     }
 
@@ -303,7 +322,7 @@ impl PricingService {
     /// # Errors
     /// As [`PricingService::start`].
     pub fn start_with_metrics(
-        shards: Vec<Accelerator>,
+        shards: Vec<PayoffSuite>,
         config: ServeConfig,
         metrics: Arc<MetricsRegistry>,
     ) -> Result<PricingService, Error> {
@@ -378,23 +397,32 @@ impl PricingService {
         })
     }
 
-    /// Submit a pricing request; never blocks.
+    /// Submit a typed pricing request — any mix of payoffs and output
+    /// sets — and get a [`Ticket`]; never blocks.
     ///
     /// `deadline`, when given, is measured from now: a request still
     /// undispatched past it fails with [`Error::DeadlineExceeded`].
     ///
     /// # Errors
     /// [`Error::Rejected`] when the queue is full or the service is
-    /// shutting down; [`Error::Invalid`] on an empty request.
+    /// shutting down; [`Error::Invalid`] on an empty request, an invalid
+    /// payoff, or an empty output set.
     pub fn submit(
         &self,
-        options: Vec<OptionParams>,
+        requests: Vec<PricingRequest>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, Error> {
-        if options.is_empty() {
+        if requests.is_empty() {
             return Err(Error::Invalid("empty request".into()));
         }
-        let n_options = options.len();
+        for r in &requests {
+            r.payoff.validate().map_err(|e| Error::Invalid(e.to_string()))?;
+            r.params.validate().map_err(|e| Error::Invalid(e.to_string()))?;
+            if r.outputs.is_empty() {
+                return Err(Error::Invalid("request with an empty output set".into()));
+            }
+        }
+        let n_options = requests.len();
         let request_id = RequestId(self.next_request_id.fetch_add(1, Ordering::Relaxed));
         let submitted_s = self.tracer.now_s();
         // Reserve the whole-request span id up front so queue-wait and
@@ -420,7 +448,7 @@ impl PricingService {
         }
         let agg = Arc::new(Aggregator::new(n_options, request_id, submitted_s, root_span));
         st.queue.push_back(PendingRequest {
-            options,
+            requests,
             cursor: 0,
             deadline: deadline.map(|d| Instant::now() + d),
             enqueued_at: Instant::now(),
@@ -437,8 +465,39 @@ impl PricingService {
     ///
     /// # Errors
     /// As [`PricingService::submit`] and [`Ticket::wait`].
-    pub fn price(&self, options: Vec<OptionParams>) -> Result<Vec<f64>, Error> {
-        self.submit(options, None)?.wait()
+    pub fn price(&self, requests: Vec<PricingRequest>) -> Result<Vec<PricingResponse>, Error> {
+        self.submit(requests, None)?.wait()
+    }
+
+    /// Submit bare options priced per their `style` field — the
+    /// pre-payoff API.
+    ///
+    /// # Errors
+    /// As [`PricingService::submit`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `PricingService::submit` with typed `PricingRequest`s"
+    )]
+    pub fn submit_options(
+        &self,
+        options: Vec<OptionParams>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Error> {
+        self.submit(options.into_iter().map(PricingRequest::from_style).collect(), deadline)
+    }
+
+    /// Price bare options per their `style` field and return bare
+    /// prices — the pre-payoff API.
+    ///
+    /// # Errors
+    /// As [`PricingService::price`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `PricingService::price` with typed `PricingRequest`s"
+    )]
+    pub fn price_options(&self, options: Vec<OptionParams>) -> Result<Vec<f64>, Error> {
+        let requests = options.into_iter().map(PricingRequest::from_style).collect();
+        Ok(self.price(requests)?.into_iter().map(|r| r.price).collect())
     }
 
     /// The service's metrics registry.
@@ -520,16 +579,32 @@ fn publish_queue_gauges(metrics: &MetricsRegistry, st: &QueueState) {
     metrics.set_gauge("serve.queue.options", &[], st.queued_options as f64);
 }
 
-/// Extract up to `max_batch` options from the queue front, splitting the
-/// boundary request if needed.
+/// Extract up to `max_batch` same-payoff-class items from the queue
+/// front, splitting the boundary request if needed — at the batch size
+/// limit or wherever the payoff class changes (each device batch prices
+/// on a single kernel). FIFO order is preserved: the remainder of a
+/// split request stays at the queue front for the next batch.
 fn extract(st: &mut QueueState, max_batch: usize) -> Batch {
     let mut chunks = Vec::new();
     let mut n_options = 0;
-    while n_options < max_batch {
+    let mut class: Option<&'static str> = None;
+    'requests: while n_options < max_batch {
         let Some(req) = st.queue.front_mut() else { break };
-        let take = (req.options.len() - req.cursor).min(max_batch - n_options);
+        let head = req.requests[req.cursor].payoff.label();
+        let class = match class {
+            Some(c) if c != head => break 'requests,
+            Some(c) => c,
+            None => *class.insert(head),
+        };
+        let mut take = 0;
+        while req.cursor + take < req.requests.len()
+            && n_options + take < max_batch
+            && req.requests[req.cursor + take].payoff.label() == class
+        {
+            take += 1;
+        }
         chunks.push(Chunk {
-            options: req.options[req.cursor..req.cursor + take].to_vec(),
+            requests: req.requests[req.cursor..req.cursor + take].to_vec(),
             offset: req.cursor,
             deadline: req.deadline,
             agg: req.agg.clone(),
@@ -537,11 +612,15 @@ fn extract(st: &mut QueueState, max_batch: usize) -> Batch {
         req.cursor += take;
         n_options += take;
         st.queued_options -= take;
-        if req.cursor == req.options.len() {
+        if req.cursor == req.requests.len() {
             st.queue.pop_front();
+        } else if req.requests[req.cursor].payoff.label() != class {
+            // The same request continues with a different payoff class;
+            // it stays at the front for the next batch.
+            break 'requests;
         }
     }
-    Batch { chunks, n_options, attempts: 0, span: None }
+    Batch { chunks, n_options, class: class.unwrap_or(""), attempts: 0, span: None }
 }
 
 /// Comma-joined deduplicated ids of the requests a chunk list serves,
@@ -610,13 +689,14 @@ fn batcher_loop(
             metrics.observe("serve.linger_s", &[], (now_s - oldest_s).max(0.0));
         }
         metrics.observe("serve.batch.options", &[], batch.n_options as f64);
+        metrics.observe("serve.batch.options", &[("payoff", batch.class)], batch.n_options as f64);
         if tracer.is_enabled() && !batch.chunks.is_empty() {
             for chunk in &batch.chunks {
                 let id = tracer.next_id();
                 tracer.push(TraceSpan {
                     id,
                     parent: chunk.agg.root_span,
-                    name: format!("queue wait ({} options)", chunk.options.len()),
+                    name: format!("queue wait ({} options)", chunk.requests.len()),
                     category: SpanCategory::ServeQueueWait,
                     track: "serve".into(),
                     queued_s: chunk.agg.submitted_s,
@@ -632,13 +712,16 @@ fn batcher_loop(
             tracer.push(TraceSpan {
                 id: batch_span,
                 parent: None,
-                name: format!("batch ({} options)", batch.n_options),
+                name: format!("batch ({} {} options)", batch.n_options, batch.class),
                 category: SpanCategory::ServeBatch,
                 track: "batcher".into(),
                 queued_s: oldest_s,
                 start_s: oldest_s,
                 end_s: now_s,
-                args: vec![("request_ids".into(), request_ids(&batch.chunks))],
+                args: vec![
+                    ("request_ids".into(), request_ids(&batch.chunks)),
+                    ("payoff".into(), batch.class.to_string()),
+                ],
             });
             batch.span = Some(batch_span);
         }
@@ -654,7 +737,7 @@ fn batcher_loop(
                     capacity: shared.config.queue_capacity,
                     shutting_down: true,
                 };
-                chunk.agg.fail(chunk.options.len(), Error::Rejected(rejection), |outcome| {
+                chunk.agg.fail(chunk.requests.len(), Error::Rejected(rejection), |outcome| {
                     record_finish(outcome, &chunk.agg, metrics, tracer)
                 });
             }
@@ -664,7 +747,7 @@ fn batcher_loop(
 
 fn worker_loop(
     shard: usize,
-    accelerator: Accelerator,
+    suite: PayoffSuite,
     queues: &[Arc<ShardQueue>],
     scheduler: &ShardScheduler,
     metrics: &MetricsRegistry,
@@ -699,7 +782,7 @@ fn worker_loop(
                 Some(deadline) if now > deadline => {
                     let missed_by_s = (now - deadline).as_secs_f64();
                     chunk.agg.fail(
-                        chunk.options.len(),
+                        chunk.requests.len(),
                         Error::DeadlineExceeded { missed_by_s },
                         |outcome| record_finish(outcome, &chunk.agg, metrics, tracer),
                     );
@@ -711,17 +794,21 @@ fn worker_loop(
             scheduler.complete(shard, batch.n_options);
             continue 'batches;
         }
-        let options: Vec<OptionParams> =
-            live.iter().flat_map(|c| c.options.iter().copied()).collect();
+        let risk: Vec<RiskRequest> = live
+            .iter()
+            .flat_map(|c| c.requests.iter())
+            .map(|r| RiskRequest { params: r.params, payoff: r.payoff, greeks: r.wants_greeks() })
+            .collect();
         let ids = request_ids(&live);
         // Bounded local retries. Only injected faults are retryable
         // (Error::is_retryable); real errors are deterministic and fail
         // fast. The backoff runs on the simulated device clock, so it is
         // accounted in a metric instead of slept.
         let mut attempt = 0usize;
-        let mut result = price_attempt(
-            &accelerator,
-            &options,
+        let mut result = risk_attempt(
+            &suite,
+            &risk,
+            batch.class,
             batch.span,
             shard,
             &label,
@@ -753,9 +840,10 @@ fn worker_loop(
                     args: vec![("request_ids".into(), ids.clone())],
                 });
             }
-            result = price_attempt(
-                &accelerator,
-                &options,
+            result = risk_attempt(
+                &suite,
+                &risk,
+                batch.class,
                 batch.span,
                 shard,
                 &label,
@@ -769,23 +857,33 @@ fn worker_loop(
         // by the final fill must observe the scheduler already drained.
         scheduler.complete(shard, batch.n_options);
         match result {
-            Ok(run) => {
+            Ok((results, run)) => {
                 failure_streak = 0;
                 // Cumulative per-shard energy, from the session's
                 // simulated busy time × modeled watts — bit-identical
                 // for a given request stream regardless of wall-clock
-                // knobs (worker counts, thread timing).
+                // knobs (worker counts, thread timing). The run covers
+                // the whole device batch, Greeks bumps included.
                 metrics.add_gauge("energy.joules", &[("shard", &label)], run.joules);
                 metrics.add_gauge("energy.busy_s", &[("shard", &label)], run.device_busy_s);
                 let mut offset = 0;
                 for chunk in &live {
-                    let prices = &run.prices[offset..offset + chunk.options.len()];
-                    offset += chunk.options.len();
-                    chunk.agg.fill(chunk.offset, prices, |outcome| {
+                    let responses: Vec<PricingResponse> = results
+                        [offset..offset + chunk.requests.len()]
+                        .iter()
+                        .map(|r| PricingResponse { price: r.price, greeks: r.greeks })
+                        .collect();
+                    offset += chunk.requests.len();
+                    chunk.agg.fill(chunk.offset, &responses, |outcome| {
                         record_finish(outcome, &chunk.agg, metrics, tracer)
                     });
                 }
-                metrics.inc("serve.shard.options", &[("shard", &label)], options.len() as u64);
+                metrics.inc("serve.shard.options", &[("shard", &label)], risk.len() as u64);
+                metrics.inc("serve.payoff.options", &[("payoff", batch.class)], risk.len() as u64);
+                let greeks_n = risk.iter().filter(|r| r.greeks).count() as u64;
+                if greeks_n > 0 {
+                    metrics.inc("serve.greeks.options", &[], greeks_n);
+                }
                 metrics.inc("serve.shard.batches", &[("shard", &label)], 1);
             }
             Err(error) => {
@@ -801,9 +899,14 @@ fn worker_loop(
                     // shard before the batch is declared dead.
                     let attempts = batch.attempts + 1;
                     if attempts < queues.len() {
-                        let n_live: usize = live.iter().map(|c| c.options.len()).sum();
-                        let redo =
-                            Batch { chunks: live, n_options: n_live, attempts, span: batch.span };
+                        let n_live: usize = live.iter().map(|c| c.requests.len()).sum();
+                        let redo = Batch {
+                            chunks: live,
+                            n_options: n_live,
+                            class: batch.class,
+                            attempts,
+                            span: batch.span,
+                        };
                         match redispatch(shard, redo, queues, scheduler, metrics, tracer, &label) {
                             None => continue 'batches,
                             Some(returned) => live = returned.chunks,
@@ -812,7 +915,7 @@ fn worker_loop(
                 }
                 metrics.inc("serve.failed", &[("shard", &label)], 1);
                 for chunk in &live {
-                    chunk.agg.fail(chunk.options.len(), error.clone(), |outcome| {
+                    chunk.agg.fail(chunk.requests.len(), error.clone(), |outcome| {
                         record_finish(outcome, &chunk.agg, metrics, tracer)
                     });
                 }
@@ -821,14 +924,16 @@ fn worker_loop(
     }
 }
 
-/// One pricing attempt of a micro-batch on a shard: price, observe the
-/// wall-clock `serve.exec_s` histogram, and (when tracing) emit the
-/// attempt's `serve.exec` span with the session's simulated queue
-/// commands merged in underneath it.
+/// One pricing attempt of a micro-batch on a shard: price it (with its
+/// Greeks bumps) through the shard's payoff suite, observe the
+/// wall-clock `serve.exec_s` histogram (whole-pool, per-shard and
+/// per-payoff), and (when tracing) emit the attempt's `serve.exec` span
+/// with the session's simulated queue commands merged in underneath it.
 #[allow(clippy::too_many_arguments)]
-fn price_attempt(
-    accelerator: &Accelerator,
-    options: &[OptionParams],
+fn risk_attempt(
+    suite: &PayoffSuite,
+    requests: &[RiskRequest],
+    class: &'static str,
     parent: Option<u64>,
     shard: usize,
     label: &str,
@@ -836,22 +941,26 @@ fn price_attempt(
     attempt: usize,
     metrics: &MetricsRegistry,
     tracer: &RequestTracer,
-) -> Result<PricingRun, Error> {
+) -> Result<(Vec<bop_core::RiskResult>, PricingRun), Error> {
     let traced = tracer.is_enabled();
     let t0 = tracer.now_s();
     let outcome = if traced {
-        accelerator.price_with_session_trace(options).map(|(run, session)| (run, Some(session)))
+        suite
+            .price_risk_with_session_trace(requests)
+            .map(|(results, run, session)| (results, run, Some(session)))
     } else {
-        accelerator.price(options).map(|run| (run, None))
+        suite.price_risk(requests).map(|(results, run)| (results, run, None))
     };
     let t1 = tracer.now_s();
     metrics.observe("serve.exec_s", &[], (t1 - t0).max(0.0));
     metrics.observe("serve.exec_s", &[("shard", label)], (t1 - t0).max(0.0));
+    metrics.observe("serve.exec_s", &[("payoff", class)], (t1 - t0).max(0.0));
     if traced {
         let exec = tracer.next_id();
         let mut args = vec![
             ("request_ids".to_string(), ids.to_string()),
             ("attempt".to_string(), attempt.to_string()),
+            ("payoff".to_string(), class.to_string()),
         ];
         if let Err(error) = &outcome {
             args.push(("error".into(), error.to_string()));
@@ -859,7 +968,7 @@ fn price_attempt(
         tracer.push(TraceSpan {
             id: exec,
             parent,
-            name: format!("exec attempt {attempt} ({} options)", options.len()),
+            name: format!("exec attempt {attempt} ({} {class} options)", requests.len()),
             category: SpanCategory::ServeExec,
             track: format!("shard {shard}"),
             queued_s: t0,
@@ -868,16 +977,16 @@ fn price_attempt(
             args,
         });
         return match outcome {
-            Ok((run, session)) => {
+            Ok((results, run, session)) => {
                 if let Some(session) = session {
                     tracer.merge_session(session, exec, &format!("shard {shard}"), t0, t1, ids);
                 }
-                Ok(run)
+                Ok((results, run))
             }
             Err(error) => Err(error),
         };
     }
-    outcome.map(|(run, _)| run)
+    outcome.map(|(results, run, _)| (results, run))
 }
 
 /// Move `batch` to the healthiest peer of `shard`. Returns the batch
@@ -981,38 +1090,51 @@ fn record_finish(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bop_finance::payoff::Payoff;
+
+    fn response(price: f64) -> PricingResponse {
+        PricingResponse { price, greeks: None }
+    }
 
     #[test]
     fn aggregator_reassembles_out_of_order_chunks() {
         let agg = Aggregator::new(5, RequestId(1), 0.0, None);
-        assert!(agg.fill(3, &[4.0, 5.0], |_| {}).is_none());
+        assert!(agg.fill(3, &[response(4.0), response(5.0)], |_| {}).is_none());
         let mut finished = false;
-        let outcome = agg.fill(0, &[1.0, 2.0, 3.0], |o| finished = o.is_ok()).expect("finished");
+        let outcome = agg
+            .fill(0, &[response(1.0), response(2.0), response(3.0)], |o| finished = o.is_ok())
+            .expect("finished");
         assert!(outcome.is_ok());
         assert!(finished, "on_finish sees the final outcome");
-        assert_eq!(agg.wait().expect("ok"), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let prices: Vec<f64> = agg.wait().expect("ok").iter().map(|r| r.price).collect();
+        assert_eq!(prices, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
     #[test]
     fn first_chunk_error_wins_and_poisons_the_request() {
         let agg = Aggregator::new(4, RequestId(2), 0.0, None);
         assert!(agg.fail(2, Error::DeadlineExceeded { missed_by_s: 0.5 }, |_| {}).is_none());
-        let outcome = agg.fill(2, &[1.0, 2.0], |_| {}).expect("finished");
+        let outcome = agg.fill(2, &[response(1.0), response(2.0)], |_| {}).expect("finished");
         assert!(matches!(outcome, Err(Error::DeadlineExceeded { .. })));
         assert!(
             matches!(agg.wait(), Err(Error::DeadlineExceeded { missed_by_s }) if missed_by_s == 0.5)
         );
     }
 
-    #[test]
-    fn extract_splits_requests_at_the_batch_boundary() {
-        let mk = |n: usize| PendingRequest {
-            options: vec![bop_finance::OptionParams::example(); n],
+    fn pending(requests: Vec<PricingRequest>) -> PendingRequest {
+        let n = requests.len();
+        PendingRequest {
+            requests,
             cursor: 0,
             deadline: None,
             enqueued_at: Instant::now(),
             agg: Arc::new(Aggregator::new(n, RequestId(9), 0.0, None)),
-        };
+        }
+    }
+
+    #[test]
+    fn extract_splits_requests_at_the_batch_boundary() {
+        let mk = |n: usize| pending(vec![PricingRequest::from_style(OptionParams::example()); n]);
         let mut st = QueueState {
             queue: VecDeque::from([mk(3), mk(4)]),
             queued_options: 7,
@@ -1022,11 +1144,41 @@ mod tests {
         assert_eq!(batch.n_options, 5);
         assert_eq!(batch.chunks.len(), 2, "request two is split");
         assert_eq!(batch.chunks[1].offset, 0);
+        assert_eq!(batch.class, "american");
         assert_eq!(st.queue.len(), 1, "split request stays queued");
         assert_eq!(st.queued_options, 2);
         let rest = extract(&mut st, 5);
         assert_eq!(rest.n_options, 2);
         assert_eq!(rest.chunks[0].offset, 2, "tail chunk remembers its offset");
         assert!(st.queue.is_empty());
+    }
+
+    #[test]
+    fn extract_splits_at_payoff_class_changes() {
+        let o = OptionParams::example();
+        // One submission mixing three payoff classes, plus a second
+        // request continuing the last class.
+        let mixed = vec![
+            PricingRequest::price_only(o, Payoff::American),
+            PricingRequest::price_only(o, Payoff::American),
+            PricingRequest::price_only(o, Payoff::European),
+            PricingRequest::price_only(o, Payoff::Bermudan { exercise_every: 4 }),
+        ];
+        let tail = vec![PricingRequest::price_only(o, Payoff::Bermudan { exercise_every: 2 })];
+        let mut st = QueueState {
+            queue: VecDeque::from([pending(mixed), pending(tail)]),
+            queued_options: 5,
+            shutting_down: false,
+        };
+        let first = extract(&mut st, 10);
+        assert_eq!((first.class, first.n_options), ("american", 2));
+        let second = extract(&mut st, 10);
+        assert_eq!((second.class, second.n_options), ("european", 1));
+        assert_eq!(second.chunks[0].offset, 2, "offsets survive class splits");
+        let third = extract(&mut st, 10);
+        assert_eq!((third.class, third.n_options), ("bermudan", 2));
+        assert_eq!(third.chunks.len(), 2, "same class spans request boundaries");
+        assert!(st.queue.is_empty());
+        assert_eq!(st.queued_options, 0);
     }
 }

@@ -1,54 +1,72 @@
-//! The paper's motivating use case (Section I): a trader prices a
-//! 2000-option volatility curve per second and inverts it into an implied
-//! volatility smile.
+//! The paper's motivating use case (Section I), served: a trader streams
+//! a volatility curve through the typed pricing service, reads back
+//! price + Greeks per strike, and inverts the prices into an implied
+//! volatility smile with the real Black-Scholes inverter.
 //!
 //! ```sh
 //! cargo run --example volatility_surface
 //! ```
 
-use bop_core::{Accelerator, KernelArch, Precision};
-use bop_finance::{implied_vol, workload};
+use bop_core::{AcceleratorConfig, PayoffSuite};
+use bop_finance::payoff::Payoff;
+use bop_finance::{bs_implied_volatility, workload};
+use bop_serve::{OutputSet, PricingRequest, PricingService, ServeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Synthetic market data: one curve of American calls across moneyness,
-    // quoted off an equity-style volatility smile.
+    // Synthetic market data: one curve of European calls across
+    // moneyness, quoted off an equity-style volatility smile.
     let config = workload::WorkloadConfig { jitter: 0.0, ..Default::default() };
     let n_steps = 192;
     let displayed = 9;
 
-    let fpga = bop_core::devices::fpga();
-    let accelerator = Accelerator::builder(fpga)
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(n_steps)
-        .build()?;
+    let mut acc_config = AcceleratorConfig::new(bop_core::devices::fpga());
+    acc_config.n_steps = n_steps;
+    let shards = PayoffSuite::pool(acc_config, 2)?;
 
     // Check the trader's latency budget at paper scale first.
-    let projection = accelerator.project(2000)?;
+    let projection = shards[0].project(2000)?;
     println!(
         "2000-option curve at N = {n_steps}: {:.3} s on the FPGA ({:.0} options/s, {:.1} W)\n",
         projection.elapsed_s, projection.options_per_s, projection.watts
     );
 
-    // Functionally price a spread of strikes and recover the smile.
-    let options = workload::volatility_curve(&config, 1.0, displayed, 42);
-    let run = accelerator.price(&options)?;
+    let service = PricingService::start(shards, ServeConfig::default())?;
 
-    println!("{:>10}{:>12}{:>12}{:>12}{:>12}", "strike", "price", "true vol", "implied", "error");
-    for (option, price) in options.iter().zip(&run.prices) {
-        let implied = implied_vol::implied_volatility(option, *price, |o| {
-            bop_finance::binomial::price_american_f64(o, n_steps)
-        })?;
+    // One typed submission: every strike asks for price *and* Greeks
+    // (the vega column is what a desk quotes smile risk in).
+    let options = workload::volatility_curve(&config, 1.0, displayed, 42);
+    let requests: Vec<PricingRequest> = options
+        .iter()
+        .map(|&params| PricingRequest {
+            payoff: Payoff::European,
+            params,
+            outputs: OutputSet::PRICE | OutputSet::GREEKS,
+        })
+        .collect();
+    let responses = service.price(requests)?;
+    service.shutdown();
+
+    println!(
+        "{:>10}{:>12}{:>10}{:>10}{:>12}{:>12}{:>12}",
+        "strike", "price", "delta", "vega", "true vol", "implied", "error"
+    );
+    for (option, response) in options.iter().zip(&responses) {
+        let greeks = response.greeks.expect("requested");
+        // The lattice's European prices converge to Black-Scholes, so
+        // the closed-form inverter recovers the smile directly.
+        let implied = bs_implied_volatility(option, response.price)?;
         println!(
-            "{:>10.2}{:>12.4}{:>12.4}{:>12.4}{:>12.2e}",
+            "{:>10.2}{:>12.4}{:>10.4}{:>10.4}{:>12.4}{:>12.4}{:>12.2e}",
             option.strike,
-            price,
+            response.price,
+            greeks.delta,
+            greeks.vega,
             option.volatility,
             implied,
             (implied - option.volatility).abs()
         );
     }
-    println!("\nsmile recovered through the accelerator (residuals reflect the FPGA pow model);");
-    println!("RMSE vs reference software: {:.2e}", run.rmse);
+    println!("\nsmile recovered through the serving layer (residuals are lattice-vs-closed-form");
+    println!("discretisation at N = {n_steps}, plus the FPGA pow model)");
     Ok(())
 }

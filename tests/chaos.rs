@@ -3,21 +3,23 @@
 //!
 //! The campaigns here run with the seed from `BOP_CHAOS_SEED` (default
 //! 7) so CI can repeat them under several fixed seeds; every assertion
-//! must hold for *any* seed. The four properties proved, in order:
+//! must hold for *any* seed. The five properties proved, in order:
 //!
 //! 1. an inert fault plan is bit-identical to no plan at all;
 //! 2. a seeded campaign is run-to-run identical, including every
 //!    `fault.*` and `serve.*` counter;
 //! 3. prices that survive a faulty pool — through retries, redispatch
 //!    and quarantine — are bit-identical to a fault-free
-//!    `Accelerator::price`;
-//! 4. when recovery is exhausted the caller gets a typed
+//!    [`PayoffSuite::price_risk`];
+//! 4. so are Greeks, across every payoff class;
+//! 5. when recovery is exhausted the caller gets a typed
 //!    [`Error::Fault`], never a wrong price and never a hang.
 
-use bop_core::{Accelerator, Error, FaultPlan, KernelArch, Precision};
+use bop_core::{AcceleratorConfig, Error, FaultPlan, PayoffSuite, RiskRequest, RiskResult};
+use bop_finance::payoff::{BarrierKind, Payoff};
 use bop_finance::{workload, OptionParams};
 use bop_obs::{Labels, MetricsRegistry, Series};
-use bop_serve::{PricingService, ServeConfig};
+use bop_serve::{PricingRequest, PricingService, ServeConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,18 +30,31 @@ fn chaos_seed() -> u64 {
     }
 }
 
-fn gpu_shard(n_steps: usize, metrics: &Arc<MetricsRegistry>) -> Accelerator {
-    Accelerator::builder(bop_core::devices::gpu())
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(n_steps)
-        .metrics(metrics.clone())
-        .build()
-        .expect("shard builds")
+fn gpu_suite(n_steps: usize, metrics: &Arc<MetricsRegistry>) -> PayoffSuite {
+    let mut config = AcceleratorConfig::new(bop_core::devices::gpu());
+    config.n_steps = n_steps;
+    config.metrics = Some(metrics.clone());
+    PayoffSuite::from_config(config).expect("suite builds")
 }
 
-fn batch(n: usize, seed: u64) -> Vec<OptionParams> {
+fn batch(n: usize, seed: u64) -> Vec<PricingRequest> {
     workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
+        .into_iter()
+        .map(PricingRequest::from_style)
+        .collect()
+}
+
+/// The fault-free reference for a batch of typed requests. Priced one
+/// request at a time so mixed-payoff batches are fine here; per-option
+/// results are independent of batch composition.
+fn direct_risk(suite: &PayoffSuite, requests: &[PricingRequest]) -> Vec<RiskResult> {
+    requests
+        .iter()
+        .map(|r| {
+            let risk = RiskRequest { params: r.params, payoff: r.payoff, greeks: r.wants_greeks() };
+            suite.price_risk(&[risk]).expect("fault-free reference prices").0[0]
+        })
+        .collect()
 }
 
 /// Counters only — histograms (latency, backoff) hold wall-clock values
@@ -64,7 +79,7 @@ fn fault_and_serve_counters(metrics: &MetricsRegistry) -> Vec<(String, Labels, u
 /// the same seed must agree on *everything* observable.
 fn run_campaign(seed: u64) -> (Vec<String>, Vec<(String, Labels, u64)>) {
     let metrics = Arc::new(MetricsRegistry::new());
-    let shard = gpu_shard(24, &metrics).with_fault_plan(FaultPlan::new(0.15, seed));
+    let shard = gpu_suite(24, &metrics).with_fault_plan(FaultPlan::new(0.15, seed));
     let service = PricingService::start_with_metrics(
         vec![shard],
         ServeConfig {
@@ -78,8 +93,9 @@ fn run_campaign(seed: u64) -> (Vec<String>, Vec<(String, Labels, u64)>) {
     let mut outcomes = Vec::new();
     for i in 0..12 {
         let outcome = match service.price(batch(6, 1000 + i)) {
-            Ok(prices) => {
-                let bits: Vec<String> = prices.iter().map(|p| p.to_bits().to_string()).collect();
+            Ok(responses) => {
+                let bits: Vec<String> =
+                    responses.iter().map(|r| r.price.to_bits().to_string()).collect();
                 format!("ok:{}", bits.join(","))
             }
             Err(e) => format!("err:{e}"),
@@ -97,7 +113,7 @@ fn inert_fault_plans_are_bit_identical_to_no_plan() {
 
     let plain_metrics = Arc::new(MetricsRegistry::new());
     let plain = PricingService::start_with_metrics(
-        vec![gpu_shard(n_steps, &plain_metrics)],
+        vec![gpu_suite(n_steps, &plain_metrics)],
         ServeConfig::default(),
         plain_metrics.clone(),
     )
@@ -106,7 +122,7 @@ fn inert_fault_plans_are_bit_identical_to_no_plan() {
     plain.shutdown();
 
     let inert_metrics = Arc::new(MetricsRegistry::new());
-    let inert_shard = gpu_shard(n_steps, &inert_metrics).with_fault_plan(FaultPlan::none());
+    let inert_shard = gpu_suite(n_steps, &inert_metrics).with_fault_plan(FaultPlan::none());
     assert!(inert_shard.fault_plan().is_none(), "an inert plan is dropped entirely");
     let inert = PricingService::start_with_metrics(
         vec![inert_shard],
@@ -114,19 +130,20 @@ fn inert_fault_plans_are_bit_identical_to_no_plan() {
         inert_metrics.clone(),
     )
     .expect("starts");
-    let prices = inert.price(request.clone()).expect("prices");
+    let responses = inert.price(request.clone()).expect("prices");
     inert.shutdown();
 
-    assert_eq!(prices, baseline, "FaultPlan::none() must not perturb a single bit");
+    assert_eq!(responses, baseline, "FaultPlan::none() must not perturb a single bit");
     assert_eq!(inert_metrics.counter_total("fault.injected"), 0);
     assert_eq!(inert_metrics.counter_total("serve.retries"), 0);
     assert_eq!(inert_metrics.counter_total("serve.failed"), 0);
 
     // Same story on the direct path, bypassing the service.
-    let direct = gpu_shard(n_steps, &Arc::new(MetricsRegistry::new()));
-    let reference = direct.price(&request).expect("prices").prices;
+    let direct = gpu_suite(n_steps, &Arc::new(MetricsRegistry::new()));
+    let reference: Vec<f64> = direct_risk(&direct, &request).iter().map(|r| r.price).collect();
     let with_plan = direct.with_fault_plan(FaultPlan::none());
-    assert_eq!(with_plan.price(&request).expect("prices").prices, reference);
+    let replayed: Vec<f64> = direct_risk(&with_plan, &request).iter().map(|r| r.price).collect();
+    assert_eq!(replayed, reference);
 }
 
 #[test]
@@ -156,9 +173,9 @@ fn survivors_of_a_faulty_pool_price_bit_identically() {
     let metrics = Arc::new(MetricsRegistry::new());
     // Two shards with distinct fault streams: micro-batches that exhaust
     // local retries on one shard are redispatched to the other.
-    let shards: Vec<Accelerator> = (0..2)
+    let shards: Vec<PayoffSuite> = (0..2)
         .map(|i| {
-            gpu_shard(n_steps, &metrics).with_fault_plan(FaultPlan::new(0.2, seed.wrapping_add(i)))
+            gpu_suite(n_steps, &metrics).with_fault_plan(FaultPlan::new(0.2, seed.wrapping_add(i)))
         })
         .collect();
     let service = PricingService::start_with_metrics(
@@ -171,20 +188,22 @@ fn survivors_of_a_faulty_pool_price_bit_identically() {
         metrics.clone(),
     )
     .expect("starts");
-    let direct = gpu_shard(n_steps, &Arc::new(MetricsRegistry::new()));
+    let direct = gpu_suite(n_steps, &Arc::new(MetricsRegistry::new()));
 
-    let requests: Vec<Vec<OptionParams>> =
+    let requests: Vec<Vec<PricingRequest>> =
         (0..10).map(|i| batch(4 + (i as usize % 3) * 4, 500 + i)).collect();
     let tickets: Vec<_> =
         requests.iter().map(|r| service.submit(r.clone(), None).expect("accepted")).collect();
     let mut survivors = 0;
     for (ticket, request) in tickets.into_iter().zip(&requests) {
         match ticket.wait() {
-            Ok(prices) => {
+            Ok(responses) => {
                 survivors += 1;
-                let reference = direct.price(request).expect("prices").prices;
+                let served: Vec<f64> = responses.iter().map(|r| r.price).collect();
+                let reference: Vec<f64> =
+                    direct_risk(&direct, request).iter().map(|r| r.price).collect();
                 assert_eq!(
-                    prices, reference,
+                    served, reference,
                     "a price that survives faults must be bit-identical to fault-free"
                 );
             }
@@ -205,14 +224,70 @@ fn survivors_of_a_faulty_pool_price_bit_identically() {
 }
 
 #[test]
+fn greeks_survive_faults_bit_identically_across_every_payoff() {
+    let seed = chaos_seed();
+    let n_steps = 24;
+    let metrics = Arc::new(MetricsRegistry::new());
+    let shards: Vec<PayoffSuite> = (0..2)
+        .map(|i| {
+            gpu_suite(n_steps, &metrics)
+                .with_fault_plan(FaultPlan::new(0.15, seed.wrapping_add(10 + i)))
+        })
+        .collect();
+    let service = PricingService::start_with_metrics(
+        shards,
+        ServeConfig { max_linger: Duration::from_millis(1), ..ServeConfig::default() },
+        metrics.clone(),
+    )
+    .expect("starts");
+    let direct = gpu_suite(n_steps, &Arc::new(MetricsRegistry::new()));
+
+    let payoffs = [
+        Payoff::European,
+        Payoff::American,
+        Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 150.0 },
+        Payoff::Bermudan { exercise_every: 3 },
+    ];
+    // Enough rounds that with a 15% plan some requests hit the retry /
+    // redispatch path (run-to-run deterministic for a fixed seed).
+    let mut survivors = 0;
+    for round in 0..6 {
+        let mut params = OptionParams::example();
+        params.spot += round as f64; // vary the spot so rounds are distinct
+        let request: Vec<PricingRequest> =
+            payoffs.iter().map(|&p| PricingRequest::with_greeks(params, p)).collect();
+        match service.price(request.clone()) {
+            Ok(responses) => {
+                survivors += 1;
+                let reference = direct_risk(&direct, &request);
+                for ((response, reference), payoff) in
+                    responses.iter().zip(&reference).zip(&payoffs)
+                {
+                    assert_eq!(response.price, reference.price, "{payoff}");
+                    assert_eq!(
+                        response.greeks.expect("requested"),
+                        reference.greeks.expect("computed"),
+                        "{payoff}: Greeks that survive faults must be bit-identical \
+                         to a fault-free run"
+                    );
+                }
+            }
+            Err(e) => assert!(e.is_retryable(), "only fault errors may surface, got {e}"),
+        }
+    }
+    service.shutdown();
+    assert!(survivors > 0, "seed {seed}: some greeks rounds must survive a 15% plan");
+}
+
+#[test]
 fn exhausted_recovery_fails_typed_and_never_hangs() {
     use std::error::Error as StdError;
     let metrics = Arc::new(MetricsRegistry::new());
     // Every command faults: no retry, no redispatch, no quarantine
     // fallback can save a batch. The test finishing at all is the
     // no-hang proof (every chunk must reach its aggregator).
-    let shards: Vec<Accelerator> = (0..2)
-        .map(|i| gpu_shard(16, &metrics).with_fault_plan(FaultPlan::new(1.0, chaos_seed() + i)))
+    let shards: Vec<PayoffSuite> = (0..2)
+        .map(|i| gpu_suite(16, &metrics).with_fault_plan(FaultPlan::new(1.0, chaos_seed() + i)))
         .collect();
     let service = PricingService::start_with_metrics(
         shards,

@@ -11,7 +11,7 @@ use bop_core::{Accelerator, KernelArch, Precision};
 use bop_finance::OptionParams;
 use bop_obs::{ExperimentReport, Json, MetricsRegistry};
 use bop_ocl::queue::{CommandKind, TraceEntry};
-use bop_serve::{PricingService, ServeConfig};
+use bop_serve::{PricingRequest, PricingService, ServeConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -290,16 +290,17 @@ fn metrics_registry_sees_the_whole_run() {
 /// the way must carry the request ids they served.
 #[test]
 fn serve_trace_links_requests_down_to_queue_commands() {
-    let shards = Accelerator::builder(bop_core::devices::gpu())
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(16)
-        .build_pool(2)
-        .expect("builds");
+    let mut config = bop_core::AcceleratorConfig::new(bop_core::devices::gpu());
+    config.n_steps = 16;
+    let shards = bop_core::PayoffSuite::pool(config, 2).expect("builds");
     let service = PricingService::start(shards, ServeConfig::default()).expect("starts");
     service.enable_tracing();
     let tickets: Vec<_> = (0..6)
-        .map(|_| service.submit(vec![OptionParams::example(); 2], None).expect("admitted"))
+        .map(|_| {
+            service
+                .submit(vec![PricingRequest::from_style(OptionParams::example()); 2], None)
+                .expect("admitted")
+        })
         .collect();
     for t in tickets {
         t.wait().expect("prices");

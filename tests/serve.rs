@@ -1,42 +1,52 @@
 //! End-to-end behaviour of the bop-serve pricing service: bit-identity
-//! with the direct accelerator path, typed backpressure, deadlines,
-//! graceful drain, and the metrics surface.
+//! with the direct suite path, typed price+Greeks requests across every
+//! payoff, typed backpressure, deadlines, graceful drain, and the
+//! metrics surface.
 
-use bop_core::{Accelerator, Error, KernelArch, Precision};
-use bop_finance::workload;
-use bop_finance::OptionParams;
-use bop_serve::{PricingService, ServeConfig};
+use bop_core::{AcceleratorConfig, Error, PayoffSuite, RiskRequest};
+use bop_finance::payoff::{BarrierKind, Payoff};
+use bop_finance::{workload, OptionParams};
+use bop_serve::{OutputSet, PricingRequest, PricingService, ServeConfig};
 use std::time::Duration;
 
-fn gpu_shard(n_steps: usize) -> Accelerator {
-    Accelerator::builder(bop_core::devices::gpu())
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(n_steps)
-        .build()
-        .expect("shard builds")
+fn gpu_config(n_steps: usize) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::new(bop_core::devices::gpu());
+    config.n_steps = n_steps;
+    config
 }
 
-/// A pool built the way the serving layer is meant to: one compile,
-/// every shard sharing the cached program.
-fn gpu_pool(n_steps: usize, n: usize) -> Vec<Accelerator> {
-    Accelerator::builder(bop_core::devices::gpu())
-        .arch(KernelArch::Optimized)
-        .precision(Precision::Double)
-        .n_steps(n_steps)
-        .build_pool(n)
-        .expect("pool builds")
+fn gpu_suite(n_steps: usize) -> PayoffSuite {
+    PayoffSuite::from_config(gpu_config(n_steps)).expect("suite builds")
 }
 
-fn batch(n: usize, seed: u64) -> Vec<OptionParams> {
+/// A pool built the way the serving layer is meant to: one compile per
+/// payoff kernel, every shard sharing the cached programs.
+fn gpu_pool(n_steps: usize, n: usize) -> Vec<PayoffSuite> {
+    PayoffSuite::pool(gpu_config(n_steps), n).expect("pool builds")
+}
+
+fn options(n: usize, seed: u64) -> Vec<OptionParams> {
     workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, n, seed)
+}
+
+fn batch(n: usize, seed: u64) -> Vec<PricingRequest> {
+    options(n, seed).into_iter().map(PricingRequest::from_style).collect()
+}
+
+fn all_payoffs() -> [Payoff; 4] {
+    [
+        Payoff::European,
+        Payoff::American,
+        Payoff::Barrier { kind: BarrierKind::UpAndOut, level: 140.0 },
+        Payoff::Bermudan { exercise_every: 4 },
+    ]
 }
 
 #[test]
 fn served_prices_are_bit_identical_to_direct_pricing() {
     // A homogeneous pool: every shard computes the same math, so any
-    // batching/splitting policy must reproduce Accelerator::price bit
-    // for bit. max_batch = 5 forces requests to straddle micro-batch
+    // batching/splitting policy must reproduce PayoffSuite::price_risk
+    // bit for bit. max_batch = 5 forces requests to straddle micro-batch
     // boundaries.
     let n_steps = 48;
     let service = PricingService::start(
@@ -48,18 +58,76 @@ fn served_prices_are_bit_identical_to_direct_pricing() {
         },
     )
     .expect("starts");
-    let direct = gpu_shard(n_steps);
+    let direct = gpu_suite(n_steps);
 
-    let requests: Vec<Vec<OptionParams>> =
+    let requests: Vec<Vec<PricingRequest>> =
         (0..6).map(|i| batch(3 + (i as usize % 4) * 4, 100 + i)).collect();
     let tickets: Vec<_> =
         requests.iter().map(|r| service.submit(r.clone(), None).expect("accepted")).collect();
     for (ticket, request) in tickets.into_iter().zip(&requests) {
-        let served = ticket.wait().expect("prices");
-        let reference = direct.price(request).expect("prices").prices;
+        let served: Vec<f64> = ticket.wait().expect("prices").iter().map(|r| r.price).collect();
+        let risk: Vec<RiskRequest> =
+            request.iter().map(|r| RiskRequest::price_only(r.params, r.payoff)).collect();
+        let (reference, _) = direct.price_risk(&risk).expect("prices");
+        let reference: Vec<f64> = reference.iter().map(|r| r.price).collect();
         assert_eq!(served, reference, "served prices must be bit-identical to the direct path");
     }
     service.shutdown();
+}
+
+#[test]
+fn price_and_greeks_flow_through_every_payoff() {
+    // The acceptance-path test: one PricingRequest with PRICE | GREEKS
+    // on each payoff class returns price plus all five Greeks through
+    // the service, bit-identical to the direct suite path.
+    let n_steps = 48;
+    let service = PricingService::start(
+        gpu_pool(n_steps, 2),
+        ServeConfig { max_linger: Duration::from_millis(1), ..ServeConfig::default() },
+    )
+    .expect("starts");
+    let direct = gpu_suite(n_steps);
+
+    // One submission mixing all four payoff classes: the batcher must
+    // split it per class and the aggregator reassemble in order.
+    let mixed: Vec<PricingRequest> = all_payoffs()
+        .into_iter()
+        .map(|payoff| PricingRequest {
+            payoff,
+            params: OptionParams::example(),
+            outputs: OutputSet::PRICE | OutputSet::GREEKS,
+        })
+        .collect();
+    let responses = service.price(mixed.clone()).expect("prices");
+    assert_eq!(responses.len(), 4);
+    for (response, request) in responses.iter().zip(&mixed) {
+        let greeks = response.greeks.expect("greeks requested");
+        assert_eq!(greeks.price, response.price);
+        for v in [greeks.delta, greeks.gamma, greeks.theta, greeks.vega, greeks.rho] {
+            assert!(v.is_finite(), "{}: finite greeks", request.payoff);
+        }
+        let (direct_results, _) = direct
+            .price_risk(&[RiskRequest::with_greeks(request.params, request.payoff)])
+            .expect("direct");
+        assert_eq!(response.price, direct_results[0].price, "{}", request.payoff);
+        assert_eq!(
+            greeks,
+            direct_results[0].greeks.expect("greeks"),
+            "{}: served greeks must be bit-identical to the direct path",
+            request.payoff
+        );
+    }
+    // Payoff-aware accounting saw every class and the greeks work.
+    let metrics = service.metrics().clone();
+    service.shutdown();
+    for payoff in ["european", "american", "barrier", "bermudan"] {
+        assert_eq!(
+            metrics.counter_value("serve.payoff.options", &[("payoff", payoff)]),
+            1,
+            "{payoff} options counted"
+        );
+    }
+    assert_eq!(metrics.counter_total("serve.greeks.options"), 4);
 }
 
 #[test]
@@ -67,7 +135,7 @@ fn full_queue_rejects_with_typed_backpressure_and_drains_on_shutdown() {
     // capacity 2, huge batch target, long linger: submissions stay
     // queued, so the third submit is deterministically rejected.
     let service = PricingService::start(
-        vec![gpu_shard(32)],
+        vec![gpu_suite(32)],
         ServeConfig {
             queue_capacity: 2,
             max_batch: 100,
@@ -105,7 +173,7 @@ fn submissions_after_shutdown_are_rejected_as_shutting_down() {
     // verify a fresh service's reject reason via a saturated queue is
     // distinct from the shutdown reason (typed, not stringly).
     let service =
-        PricingService::start(vec![gpu_shard(32)], ServeConfig::default()).expect("starts");
+        PricingService::start(vec![gpu_suite(32)], ServeConfig::default()).expect("starts");
     let ticket = service.submit(batch(1, 7), None).expect("accepted");
     assert_eq!(ticket.wait().expect("prices").len(), 1);
     service.shutdown();
@@ -114,7 +182,7 @@ fn submissions_after_shutdown_are_rejected_as_shutting_down() {
 #[test]
 fn an_already_expired_deadline_fails_typed_without_wasting_a_shard() {
     let service = PricingService::start(
-        vec![gpu_shard(32)],
+        vec![gpu_suite(32)],
         ServeConfig { max_linger: Duration::from_millis(1), ..ServeConfig::default() },
     )
     .expect("starts");
@@ -134,13 +202,13 @@ fn an_already_expired_deadline_fails_typed_without_wasting_a_shard() {
 #[test]
 fn generous_deadlines_do_not_fire() {
     let service =
-        PricingService::start(vec![gpu_shard(32)], ServeConfig::default()).expect("starts");
-    let prices = service
+        PricingService::start(vec![gpu_suite(32)], ServeConfig::default()).expect("starts");
+    let responses = service
         .submit(batch(3, 5), Some(Duration::from_secs(60)))
         .expect("accepted")
         .wait()
         .expect("a 60 s deadline never fires in-process");
-    assert_eq!(prices.len(), 3);
+    assert_eq!(responses.len(), 3);
     service.shutdown();
 }
 
@@ -168,8 +236,10 @@ fn metrics_cover_the_whole_pipeline() {
     assert_eq!(metrics.counter_total("serve.requests.accepted"), n_requests);
     assert_eq!(metrics.counter_total("serve.requests.completed"), n_requests);
     assert_eq!(metrics.counter_total("serve.requests.rejected"), 0);
-    // Every option flowed through exactly one shard.
+    // Every option flowed through exactly one shard, and the payoff
+    // accounting agrees (the style-mapped workload is all-American).
     assert_eq!(metrics.counter_total("serve.shard.options"), n_requests * 4);
+    assert_eq!(metrics.counter_total("serve.payoff.options"), n_requests * 4);
     assert!(metrics.counter_total("serve.shard.batches") >= 1);
     // Batch sizes were observed and respect the cap.
     let batches = metrics.histogram("serve.batch.options", &[]).expect("histogram");
@@ -189,14 +259,20 @@ fn invalid_pools_and_requests_are_rejected_up_front() {
         PricingService::start(vec![], ServeConfig::default()),
         Err(Error::Invalid(_))
     ));
-    let mismatched = vec![gpu_shard(32), gpu_shard(64)];
+    let mismatched = vec![gpu_suite(32), gpu_suite(64)];
     assert!(matches!(
         PricingService::start(mismatched, ServeConfig::default()),
         Err(Error::Invalid(_))
     ));
     let service =
-        PricingService::start(vec![gpu_shard(32)], ServeConfig::default()).expect("starts");
+        PricingService::start(vec![gpu_suite(32)], ServeConfig::default()).expect("starts");
     assert!(matches!(service.submit(vec![], None), Err(Error::Invalid(_))));
+    // Typed validation happens at admission, not on the shard.
+    let bad_barrier = PricingRequest::price_only(
+        OptionParams::example(),
+        Payoff::Barrier { kind: BarrierKind::DownAndOut, level: -1.0 },
+    );
+    assert!(matches!(service.submit(vec![bad_barrier], None), Err(Error::Invalid(_))));
     service.shutdown();
 }
 
@@ -210,20 +286,46 @@ fn concurrent_submitters_all_get_their_own_prices() {
         )
         .expect("starts"),
     );
-    let direct = gpu_shard(32);
+    let direct = gpu_suite(32);
     let handles: Vec<_> = (0..4)
         .map(|i| {
             let service = service.clone();
             std::thread::spawn(move || {
                 let request = batch(5, 200 + i);
-                let prices = service.price(request.clone()).expect("prices");
-                (request, prices)
+                let responses = service.price(request.clone()).expect("prices");
+                (request, responses)
             })
         })
         .collect();
     for h in handles {
-        let (request, prices) = h.join().expect("no panics");
-        let reference = direct.price(&request).expect("prices").prices;
-        assert_eq!(prices, reference, "each submitter gets its own request's prices");
+        let (request, responses) = h.join().expect("no panics");
+        let risk: Vec<RiskRequest> =
+            request.iter().map(|r| RiskRequest::price_only(r.params, r.payoff)).collect();
+        let (reference, _) = direct.price_risk(&risk).expect("prices");
+        let served: Vec<f64> = responses.iter().map(|r| r.price).collect();
+        let reference: Vec<f64> = reference.iter().map(|r| r.price).collect();
+        assert_eq!(served, reference, "each submitter gets its own request's prices");
     }
+}
+
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_untyped_path_still_prices() {
+    // The pre-payoff Vec<OptionParams> -> Vec<f64> API remains a thin
+    // shim over the typed pair until its removal.
+    let service =
+        PricingService::start(vec![gpu_suite(32)], ServeConfig::default()).expect("starts");
+    let opts = options(3, 11);
+    let via_shim = service.price_options(opts.clone()).expect("prices");
+    let via_ticket =
+        service.submit_options(opts.clone(), None).expect("accepted").wait_prices().expect("ok");
+    assert_eq!(via_shim, via_ticket);
+    let typed: Vec<f64> = service
+        .price(opts.into_iter().map(PricingRequest::from_style).collect())
+        .expect("prices")
+        .iter()
+        .map(|r| r.price)
+        .collect();
+    assert_eq!(via_shim, typed, "the shim is exactly the typed path");
+    service.shutdown();
 }
