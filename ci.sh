@@ -65,11 +65,11 @@ if [ -n "${stray}" ]; then
   exit 1
 fi
 
-# Smoke-run both kernel execution engines against each other: the run
-# asserts bit-identical prices/stats/counters/traces internally and
+# Smoke-run all three kernel execution engines against each other: the
+# run asserts bit-identical prices/stats/counters/traces internally and
 # prints the determinism marker only when every comparison held.
 echo "== interp_throughput engine determinism smoke =="
-./target/release/interp_throughput --fast --engine both --json 2>&1 \
+./target/release/interp_throughput --fast --engine all --json 2>&1 \
   | grep -q 'determinism check: PASS'
 
 # The chaos suite already ran once inside `cargo test` (it is a tier-1

@@ -9,6 +9,7 @@
 //!     --simd 4 --unroll 2 --define REAL=double --dump-ir
 //! ```
 
+use bop_clir::passes::{Pass, Pipeline};
 use bop_ocl::{BuildOptions, Context, Program};
 use std::process::ExitCode;
 
@@ -17,6 +18,7 @@ struct Args {
     build: BuildOptions,
     defines: Vec<(String, String)>,
     dump_ir: bool,
+    dump_ssa: bool,
     dump_bytecode: bool,
     part: String,
 }
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         build: BuildOptions::default(),
         defines: Vec::new(),
         dump_ir: false,
+        dump_ssa: false,
         dump_bytecode: false,
         part: "ep4sgx530".into(),
     };
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
             "--cse" => args.build.cse = true,
             "--no-opt" => args.build.no_opt = true,
             "--dump-ir" => args.dump_ir = true,
+            "--dump-ssa" => args.dump_ssa = true,
             "--dump-bytecode" => args.dump_bytecode = true,
             "--part" => args.part = value("--part")?,
             "--define" | "-D" => {
@@ -59,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: aoc <file.cl> [--simd N] [--cu N] [--unroll N] \
-                            [--cse] [--no-opt] [--dump-ir] [--dump-bytecode] \
+                            [--cse] [--no-opt] [--dump-ir] [--dump-ssa] [--dump-bytecode] \
                             [--part ep4sgx530|ep4sgx230] [--define NAME=VALUE]..."
                     .into())
             }
@@ -159,6 +163,48 @@ fn main() -> ExitCode {
     println!("\n;---- Optimisation passes -----------------------------------");
     print!("{}", program.pass_report());
 
+    if args.dump_ssa {
+        // Re-run the front-end and the pipeline prefix that establishes
+        // SSA form: the build pipeline continues past `out-of-ssa`, so
+        // the phi-carrying module has to be reconstructed here.
+        let clc_options = bop_clc::Options {
+            unroll_override: args.build.unroll,
+            no_opt: args.build.no_opt,
+            cse: args.build.cse,
+        };
+        match bop_clc::compile(&args.path, &source, &clc_options) {
+            Ok(module) => {
+                let prefix = Pipeline::new(
+                    "ssa-dump",
+                    vec![
+                        Pass { name: "cfg-simplify", run: bop_clir::passes::cfg_simplify },
+                        Pass { name: "mem2reg", run: bop_clir::passes::mem2reg },
+                    ],
+                );
+                let (ssa, _) = prefix.run(module);
+                println!("\n;---- SSA form (post-mem2reg, phi nodes live) ---------------");
+                print!("{ssa}");
+            }
+            Err(e) => eprintln!("--dump-ssa: front-end re-run failed: {e}"),
+        }
+        println!("\n;---- Per-pass deltas ---------------------------------------");
+        for p in &program.pass_report().passes {
+            let removed = p.insts_before.saturating_sub(p.insts_after);
+            println!(
+                "; {:<18} {:>3} inst(s) removed, {:>2} block(s) merged, \
+                 {:>2} local(s) promoted",
+                p.name,
+                removed,
+                p.blocks_merged(),
+                p.locals_promoted()
+            );
+        }
+        println!(
+            "; total: {} instruction(s) removed by pipeline `{}`",
+            program.pass_report().insts_removed(),
+            program.pass_report().pipeline
+        );
+    }
     if args.dump_ir {
         println!("\n;---- Lowered IR --------------------------------------------");
         print!("{}", program.module());

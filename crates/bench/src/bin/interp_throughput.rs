@@ -4,14 +4,16 @@
 //! so a batch is a multi-group dispatch) at several simulation worker
 //! counts on the selected execution engine(s), checks that prices,
 //! merged `ExecStats`, `QueueCounters` and the exported Chrome trace are
-//! bit-identical across worker counts *and* across the tree-walking and
-//! bytecode engines, and reports the wall-clock speedups. Both knobs are
-//! wall-clock only: the simulated device clock never changes.
+//! bit-identical across worker counts *and* across the tree-walking,
+//! bytecode and lane-vectorized engines, and reports the wall-clock
+//! speedups. Both knobs are wall-clock only: the simulated device clock
+//! never changes.
 //!
-//! Pass `--engine walk|bytecode|both` (default `both`) to pick the
-//! engine(s), `--fast` for a smaller lattice/batch, `--json-out <path>` /
-//! `--json` for the machine-readable report. On success the determinism
-//! check prints `determinism check: PASS` to stderr (grepped by CI).
+//! Pass `--engine walk|bytecode|lanes|both|all` (default `both`; `all`
+//! sweeps all three engines) to pick the engine(s), `--fast` for a
+//! smaller lattice/batch, `--json-out <path>` / `--json` for the
+//! machine-readable report. On success the determinism check prints
+//! `determinism check: PASS` to stderr (grepped by CI).
 
 use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::hostprog::optimized::OptimizedHost;
@@ -98,10 +100,11 @@ fn main() {
         .unwrap_or("both")
     {
         "both" => vec![Engine::Walk, Engine::Bytecode],
+        "all" => vec![Engine::Walk, Engine::Bytecode, Engine::Lanes],
         other => match bop_ocl::queue::parse_engine(other) {
             Some(e) => vec![e],
             None => {
-                eprintln!("--engine expects walk|bytecode|both, got `{other}`");
+                eprintln!("--engine expects walk|bytecode|lanes|both|all, got `{other}`");
                 std::process::exit(2);
             }
         },
@@ -144,15 +147,26 @@ fn main() {
         counts.len()
     );
 
-    // Cross-engine speedup at each worker count (walk wall / bytecode wall).
-    let speedups: Option<Vec<(usize, f64)>> = (sweeps.len() == 2).then(|| {
-        sweeps[0]
-            .1
-            .iter()
-            .zip(&sweeps[1].1)
-            .map(|((w, walk), (_, bc))| (*w, walk.wall_s / bc.wall_s))
-            .collect()
-    });
+    // Cross-engine speedup at each worker count (baseline wall /
+    // contender wall), for every baseline/contender pair in the sweep.
+    // The lanes-vs-bytecode row is the headline for the lane-vectorized
+    // engine: both compile to the same bytecode, so the ratio isolates
+    // the SoA lane dispatch from the peephole/SSA wins.
+    let find = |e: Engine| sweeps.iter().find(|(se, _)| *se == e).map(|(_, r)| r);
+    type SpeedupRows = Vec<(usize, f64)>;
+    let pairs: Vec<(Engine, Engine, SpeedupRows)> = [
+        (Engine::Walk, Engine::Bytecode),
+        (Engine::Walk, Engine::Lanes),
+        (Engine::Bytecode, Engine::Lanes),
+    ]
+    .into_iter()
+    .filter_map(|(base, cont)| {
+        let (b, c) = (find(base)?, find(cont)?);
+        let per: Vec<(usize, f64)> =
+            b.iter().zip(c).map(|((w, br), (_, cr))| (*w, br.wall_s / cr.wall_s)).collect();
+        Some((base, cont, per))
+    })
+    .collect();
 
     if !opts.suppress_human() {
         println!("Interpreter throughput — kernel IV.B, {n_options} groups x {n_steps} steps\n");
@@ -171,9 +185,9 @@ fn main() {
             }
             println!();
         }
-        if let Some(speedups) = &speedups {
-            println!("bytecode vs tree-walk (same worker count):");
-            for (w, s) in speedups {
+        for (base, cont, per) in &pairs {
+            println!("{cont} vs {base} (same worker count):");
+            for (w, s) in per {
                 println!("{:>8} workers: {s:.2}x", w);
             }
             println!();
@@ -191,12 +205,12 @@ fn main() {
             report.push(format!("{engine}.workers_{w}.speedup"), None, base.wall_s / r.wall_s, "x");
         }
     }
-    if let Some(speedups) = &speedups {
-        for (w, s) in speedups {
-            report.push(format!("bytecode.speedup_vs_walk.workers_{w}"), None, *s, "x");
+    for (base, cont, per) in &pairs {
+        for (w, s) in per {
+            report.push(format!("{cont}.speedup_vs_{base}.workers_{w}"), None, *s, "x");
         }
         // Headline: single-worker, pure interpreter throughput.
-        report.push("bytecode.speedup_vs_walk", None, speedups[0].1, "x");
+        report.push(format!("{cont}.speedup_vs_{base}"), None, per[0].1, "x");
     }
     report.push("sim_elapsed_s", None, reference.sim_s, "s");
     report.wall_s = timer.elapsed_s();

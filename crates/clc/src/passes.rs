@@ -6,55 +6,32 @@
 //!
 //! The implementations live in [`bop_clir::passes`] — the same code backs
 //! both this front-end (cleaning up freshly-lowered IR) and the runtime's
-//! named pass pipeline (re-optimising modules before bytecode emission).
-//! The wrappers here keep the front-end's historical API; the tests below
-//! pin the semantics of the shared implementations through [`crate::compile`].
+//! named pass pipeline (re-optimising modules before bytecode emission and
+//! running the SSA construction in [`bop_clir::passes::Pipeline::ssa`]).
+//! This module is a pure re-export layer keeping the front-end's
+//! historical names; the tests below pin the semantics of the shared
+//! implementations through [`crate::compile`].
+//!
+//! - [`fold_constants`]: per-block forward scan folding instructions whose
+//!   operands are provably constant into [`bop_clir::ir::Inst::Const`].
+//! - [`eliminate_dead_code`]: whole-function liveness; removes pure
+//!   instructions (loads included) whose results are never read, keeping
+//!   stores and barriers.
+//! - [`common_subexpression_elimination`]: local value numbering. Off by
+//!   default (see [`crate::Options::cse`]) — the FPGA resource model
+//!   charges hardware per instruction, so CSE changes Table-I-style
+//!   resource estimates; the ablation benches quantify by how much.
+//! - [`propagate_copies`]: rewrite uses of `Mov` destinations to the
+//!   original register so DCE can drop the copy; runs after CSE (which
+//!   introduces the copies).
 
-use bop_clir::ir::Function;
 #[cfg(test)]
 use bop_clir::ir::Inst;
 
-/// Fold instructions whose operands are compile-time constants.
-///
-/// Works per basic block with a forward scan: a register is "known" while
-/// it provably holds a constant within the block; any other write
-/// invalidates it. Folded instructions become [`bop_clir::ir::Inst::Const`];
-/// DCE cleans up the now-unused inputs.
-pub fn fold_constants(func: &mut Function) {
-    bop_clir::passes::fold_constants_in(func);
-}
-
-/// Remove pure instructions whose results are never read.
-///
-/// "Never read" is a whole-function property (the IR is a register machine,
-/// not SSA, so a register written in one block may be read in another).
-/// Stores and barriers are never removed; loads are pure and removable.
-pub fn eliminate_dead_code(func: &mut Function) {
-    bop_clir::passes::eliminate_dead_code_in(func);
-}
-
-/// Local value numbering: eliminate redundant pure computations within
-/// each basic block (common-subexpression elimination).
-///
-/// The IR is a mutable register machine, so classical CSE needs value
-/// numbers: a replacement `dst = rep` is only valid while the
-/// representative register still holds the value number the expression
-/// produced. Loads are not eliminated (memory may change between them);
-/// math builtins and work-item queries are pure and participate.
-///
-/// Off by default (see [`crate::Options::cse`]): the FPGA resource model
-/// charges hardware per instruction, so enabling CSE changes Table-I-style
-/// resource estimates — the ablation benches quantify by how much.
-pub fn common_subexpression_elimination(func: &mut Function) {
-    bop_clir::passes::local_cse_in(func);
-}
-
-/// Copy propagation: rewrite uses of `Mov` destinations to read the
-/// original register while the copy is still valid, so DCE can remove the
-/// `Mov` itself. Runs after CSE (which introduces the copies).
-pub fn propagate_copies(func: &mut Function) {
-    bop_clir::passes::propagate_copies_in(func);
-}
+pub use bop_clir::passes::{
+    eliminate_dead_code_in as eliminate_dead_code, fold_constants_in as fold_constants,
+    local_cse_in as common_subexpression_elimination, propagate_copies_in as propagate_copies,
+};
 
 #[cfg(test)]
 mod tests {

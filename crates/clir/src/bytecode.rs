@@ -152,6 +152,32 @@ enum Op {
         val: u32,
         ty: ScalarType,
     },
+    /// Peephole-fused `dst = a*b + c` (or `c + a*b` when `c_first`).
+    /// Both roundings of the unfused pair are kept — this is a dispatch
+    /// fusion, not a mathematical FMA — and it charges *two* steps plus
+    /// one `mul64` and one `add64`, exactly what the tree-walker pays
+    /// for the two source instructions.
+    MulAddF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        /// Operand order of the original add (`c + prod` vs `prod + c`);
+        /// preserved so NaN-payload propagation stays bit-identical.
+        c_first: bool,
+    },
+    /// A self-move elided by the peephole: charges the step and the
+    /// `mov` count the tree-walker pays, moves no data.
+    ChargeMov,
+    /// Peephole-threaded jump through a jump-only block: lands directly
+    /// on `block` (pc `target`) but charges the skipped block's
+    /// execution and step, so dynamic counts match the tree-walker
+    /// hopping through `mid_block`.
+    JumpThread {
+        target: u32,
+        mid_block: u32,
+        block: u32,
+    },
     Barrier,
     /// Unconditional jump to `target` (pc); `block` is the destination
     /// block id, charged to `block_execs`.
@@ -285,6 +311,9 @@ impl CompiledKernel {
                         Op::Store { ptr: r(*ptr), val: r(*val), ty: *ty }
                     }
                     Inst::Barrier => Op::Barrier,
+                    Inst::Phi { .. } => {
+                        unreachable!("phis are eliminated before bytecode emission")
+                    }
                 });
             }
             pos_of_pc.push((bi as u32, block.insts.len() as u32));
@@ -301,10 +330,13 @@ impl CompiledKernel {
             });
         }
 
-        // Resolve block ids to program counters.
+        // Peephole over the flattened stream while jump targets are
+        // still block ids, then resolve block ids to program counters.
+        peephole(&mut code, &mut pos_of_pc, &mut block_starts);
         for op in &mut code {
             match op {
                 Op::Jump { target, block } => *target = block_starts[*block as usize],
+                Op::JumpThread { target, block, .. } => *target = block_starts[*block as usize],
                 Op::Branch { then_target, then_block, else_target, else_block, .. } => {
                     *then_target = block_starts[*then_block as usize];
                     *else_target = block_starts[*else_block as usize];
@@ -349,6 +381,141 @@ impl CompiledKernel {
         let (b, i) = self.pos_of_pc[pc];
         (b as usize, i as usize)
     }
+}
+
+/// Visit every register an op reads.
+fn op_sources(op: &Op, mut f: impl FnMut(u32)) {
+    match op {
+        Op::Const { .. }
+        | Op::ChargeMov
+        | Op::WorkItem { .. }
+        | Op::Barrier
+        | Op::Jump { .. }
+        | Op::JumpThread { .. }
+        | Op::Return => {}
+        Op::Mov { src, .. } => f(*src),
+        Op::Un { a, .. } | Op::Cast { a, .. } | Op::Call1 { a, .. } => f(*a),
+        Op::AddF64 { a, b, .. }
+        | Op::SubF64 { a, b, .. }
+        | Op::MulF64 { a, b, .. }
+        | Op::DivF64 { a, b, .. }
+        | Op::MinF64 { a, b, .. }
+        | Op::MaxF64 { a, b, .. }
+        | Op::AddI64 { a, b, .. }
+        | Op::Bin { a, b, .. }
+        | Op::Cmp { a, b, .. }
+        | Op::Pow { a, b, .. } => {
+            f(*a);
+            f(*b);
+        }
+        Op::MulAddF64 { a, b, c, .. } => {
+            f(*a);
+            f(*b);
+            f(*c);
+        }
+        Op::Select { cond, a, b, .. } => {
+            f(*cond);
+            f(*a);
+            f(*b);
+        }
+        Op::Gep { base, index, .. } => {
+            f(*base);
+            f(*index);
+        }
+        Op::Load { ptr, .. } => f(*ptr),
+        Op::Store { ptr, val, .. } => {
+            f(*ptr);
+            f(*val);
+        }
+        Op::Branch { cond, .. } => f(*cond),
+    }
+}
+
+/// Peephole optimisation over the flattened op stream, run before jump
+/// targets are resolved (jump operands are still block ids).
+///
+/// Three rewrites, each *exactly* compensated so dynamic step counts,
+/// [`ExecStats`] and trap behaviour stay bit-identical to the
+/// tree-walker executing the unoptimised IR:
+///
+/// 1. **Fused multiply-add**: `t = a*b; d = t + c` (with `t` read
+///    nowhere else) becomes [`Op::MulAddF64`] — one dispatch, both
+///    roundings, two steps charged.
+/// 2. **Redundant-move elimination**: a self-move `r = r` becomes
+///    [`Op::ChargeMov`], which touches no registers.
+/// 3. **Jump threading**: a jump whose destination block consists of a
+///    single unconditional jump becomes [`Op::JumpThread`] straight to
+///    the final block, charging the skipped hop.
+fn peephole(code: &mut Vec<Op>, pos_of_pc: &mut Vec<(u32, u32)>, block_starts: &mut Vec<u32>) {
+    // Whole-stream source-use counts gate the multiply-add fusion: the
+    // mul's destination must die at the add.
+    let mut uses: HashMap<u32, u32> = HashMap::new();
+    for op in code.iter() {
+        op_sources(op, |r| *uses.entry(r).or_insert(0) += 1);
+    }
+
+    let nblocks = block_starts.len();
+    let mut new_code: Vec<Op> = Vec::with_capacity(code.len());
+    let mut new_pos: Vec<(u32, u32)> = Vec::with_capacity(pos_of_pc.len());
+    let mut new_starts: Vec<u32> = Vec::with_capacity(nblocks);
+    for bi in 0..nblocks {
+        let start = block_starts[bi] as usize;
+        let end = if bi + 1 < nblocks { block_starts[bi + 1] as usize } else { code.len() };
+        new_starts.push(new_code.len() as u32);
+        let mut i = start;
+        while i < end {
+            let fused = if i + 1 < end {
+                match (&code[i], &code[i + 1]) {
+                    (&Op::MulF64 { dst: t, a, b }, &Op::AddF64 { dst, a: x, b: y })
+                        if (x == t) != (y == t) && uses.get(&t) == Some(&1) =>
+                    {
+                        let (c, c_first) = if x == t { (y, false) } else { (x, true) };
+                        Some(Op::MulAddF64 { dst, a, b, c, c_first })
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(op) = fused {
+                new_code.push(op);
+                new_pos.push(pos_of_pc[i]);
+                i += 2;
+                continue;
+            }
+            let op = match &code[i] {
+                Op::Mov { dst, src } if dst == src => Op::ChargeMov,
+                other => other.clone(),
+            };
+            new_code.push(op);
+            new_pos.push(pos_of_pc[i]);
+            i += 1;
+        }
+    }
+
+    // Jump threading on the rebuilt stream: a block is "jump-only" when
+    // it holds nothing but its unconditional terminator.
+    let lone_jump: Vec<Option<u32>> = (0..nblocks)
+        .map(|bi| {
+            let start = new_starts[bi] as usize;
+            let end = if bi + 1 < nblocks { new_starts[bi + 1] as usize } else { new_code.len() };
+            match (end - start == 1).then(|| &new_code[start]) {
+                Some(&Op::Jump { block, .. }) if block as usize != bi => Some(block),
+                _ => None,
+            }
+        })
+        .collect();
+    for op in &mut new_code {
+        if let Op::Jump { block, .. } = *op {
+            if let Some(dest) = lone_jump[block as usize] {
+                *op = Op::JumpThread { target: 0, mid_block: block, block: dest };
+            }
+        }
+    }
+
+    *code = new_code;
+    *pos_of_pc = new_pos;
+    *block_starts = new_starts;
 }
 
 fn reg_list(f: &mut fmt::Formatter<'_>, regs: &[u32]) -> fmt::Result {
@@ -432,6 +599,17 @@ impl fmt::Display for CompiledKernel {
                 }
                 Op::Load { dst, ptr, ty } => write!(f, "r{dst} = load.{ty} r{ptr}")?,
                 Op::Store { ptr, val, ty } => write!(f, "store.{ty} r{ptr}, r{val}")?,
+                Op::MulAddF64 { dst, a, b, c, c_first } => {
+                    if *c_first {
+                        write!(f, "r{dst} = muladd.double r{c} + r{a}*r{b}")?
+                    } else {
+                        write!(f, "r{dst} = muladd.double r{a}*r{b} + r{c}")?
+                    }
+                }
+                Op::ChargeMov => write!(f, "mov (self, elided)")?,
+                Op::JumpThread { target, mid_block, block } => {
+                    write!(f, "jump @{target:04} (b{mid_block} -> b{block})")?
+                }
                 Op::Barrier => write!(f, "barrier")?,
                 Op::Jump { target, block } => write!(f, "jump @{target:04} (b{block})")?,
                 Op::Branch { cond, then_target, then_block, else_target, else_block } => write!(
@@ -490,44 +668,7 @@ impl<'k> BytecodeRun<'k> {
         args: &[KernelArgValue],
         step_limit: u64,
     ) -> Result<BytecodeRun<'k>, ExecError> {
-        if args.len() != kernel.params.len() {
-            return Err(ExecError::BadArgs(format!(
-                "kernel `{}` takes {} arguments, {} supplied",
-                kernel.name,
-                kernel.params.len(),
-                args.len()
-            )));
-        }
-        let mut bound = Vec::with_capacity(args.len());
-        for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
-            let v = match (*arg, param.ty) {
-                (KernelArgValue::Scalar(v), Type::Scalar(want)) => {
-                    if v.scalar_type() != Some(want) {
-                        return Err(ExecError::BadArgs(format!(
-                            "argument {i} (`{}`): expected {want}, got {v:?}",
-                            param.name
-                        )));
-                    }
-                    v
-                }
-                (KernelArgValue::GlobalBuffer(b), Type::Ptr(space, _))
-                    if matches!(space, AddressSpace::Global | AddressSpace::Constant) =>
-                {
-                    Value::Ptr(PtrValue::new(space, b))
-                }
-                (KernelArgValue::LocalBuffer(slot), Type::Ptr(AddressSpace::Local, _)) => {
-                    Value::Ptr(PtrValue::new(AddressSpace::Local, slot))
-                }
-                _ => {
-                    return Err(ExecError::BadArgs(format!(
-                        "argument {i} (`{}`): {arg:?} does not match parameter type {}",
-                        param.name, param.ty
-                    )))
-                }
-            };
-            bound.push(v);
-        }
-
+        let bound = bind_args(kernel, args)?;
         let n = shape.items_per_group();
         let mut items = Vec::with_capacity(n);
         for item in 0..n {
@@ -786,6 +927,36 @@ impl<'k> BytecodeRun<'k> {
                     }
                     stats.mem.count_store(p.space, ty.size_bytes());
                 }
+                Op::MulAddF64 { dst, a, b, c, c_first } => {
+                    // Second step for the fused add, as the walker pays.
+                    *steps += 1;
+                    if *steps > step_limit {
+                        return Err(ExecError::StepLimitExceeded);
+                    }
+                    let prod = it.regs[*a as usize].as_f64() * it.regs[*b as usize].as_f64();
+                    let cv = it.regs[*c as usize].as_f64();
+                    // Operand order mirrors the unfused source expression so
+                    // NaN payloads stay bit-identical to the tree-walker.
+                    #[allow(clippy::if_same_then_else)]
+                    let out = if *c_first { cv + prod } else { prod + cv };
+                    stats.ops.mul64 += 1;
+                    stats.ops.add64 += 1;
+                    it.regs[*dst as usize] = Value::F64(out);
+                }
+                Op::ChargeMov => {
+                    stats.ops.mov += 1;
+                }
+                Op::JumpThread { target, mid_block, block } => {
+                    // Step for the skipped block's jump, as the walker pays.
+                    *steps += 1;
+                    if *steps > step_limit {
+                        return Err(ExecError::StepLimitExceeded);
+                    }
+                    stats.block_execs[*mid_block as usize] += 1;
+                    stats.block_execs[*block as usize] += 1;
+                    it.pc = *target as usize;
+                    continue;
+                }
                 Op::Barrier => {
                     it.status = BcStatus::AtBarrier;
                     return Ok(());
@@ -815,6 +986,1041 @@ impl<'k> BytecodeRun<'k> {
     }
 }
 
+/// Pack a scalar [`Value`] into a 64-bit register cell. Pointers live
+/// in a separate plane (see [`LanesRun`]).
+#[inline]
+fn encode_scalar(v: Value) -> u64 {
+    match v {
+        Value::Bool(b) => b as u64,
+        Value::I32(x) => x as u32 as u64,
+        Value::I64(x) => x as u64,
+        Value::F32(x) => x.to_bits() as u64,
+        Value::F64(x) => x.to_bits(),
+        Value::Ptr(_) => unreachable!("pointers live in the pointer plane"),
+    }
+}
+
+/// Unpack a 64-bit register cell back into a typed scalar [`Value`].
+#[inline]
+fn decode_scalar(ty: ScalarType, bits: u64) -> Value {
+    match ty {
+        ScalarType::Bool => Value::Bool(bits != 0),
+        ScalarType::I32 => Value::I32(bits as u32 as i32),
+        ScalarType::I64 => Value::I64(bits as i64),
+        ScalarType::F32 => Value::F32(f32::from_bits(bits as u32)),
+        ScalarType::F64 => Value::F64(f64::from_bits(bits)),
+    }
+}
+
+/// A SIMT group: lanes in lockstep at one pc. Lanes of a group share an
+/// identical per-phase history, hence one `fetched` counter.
+///
+/// Lane lists are always ascending (divergence partitions and trap
+/// masking both preserve order), so a contiguous run — the common case,
+/// detected in O(1) — lets the per-op inner loops walk a dense index
+/// range instead of gathering through the list.
+struct LaneGroup {
+    pc: usize,
+    lanes: Vec<usize>,
+    fetched: u64,
+}
+
+/// `true` if `lanes` is the dense range `lanes[0]..=lanes[n-1]`.
+#[inline]
+fn lanes_contiguous(lanes: &[usize]) -> bool {
+    lanes[lanes.len() - 1] - lanes[0] + 1 == lanes.len()
+}
+
+/// Apply a binary f64 op across the lanes of a group, SoA cells layout.
+#[inline(always)]
+fn lanes_f64_bin(
+    cells: &mut [u64],
+    w: usize,
+    lanes: &[usize],
+    dst: u32,
+    a: u32,
+    b: u32,
+    f: impl Fn(f64, f64) -> f64,
+) {
+    let (a, b, d) = (a as usize * w, b as usize * w, dst as usize * w);
+    if lanes_contiguous(lanes) {
+        let (lo, n) = (lanes[0], lanes.len());
+        let hi = lo + n;
+        // One bounds check up front; the loop itself is then free of
+        // per-iteration checks and auto-vectorizes.
+        assert!(a + hi <= cells.len() && b + hi <= cells.len() && d + hi <= cells.len());
+        for i in lo..hi {
+            // SAFETY: `a/b/d + i < cells.len()` per the assert above.
+            unsafe {
+                let x = f64::from_bits(*cells.get_unchecked(a + i));
+                let y = f64::from_bits(*cells.get_unchecked(b + i));
+                *cells.get_unchecked_mut(d + i) = f(x, y).to_bits();
+            }
+        }
+    } else {
+        for &l in lanes {
+            let x = f64::from_bits(cells[a + l]);
+            let y = f64::from_bits(cells[b + l]);
+            cells[d + l] = f(x, y).to_bits();
+        }
+    }
+}
+
+/// Apply a binary wrapping-i64 op across the lanes of a group.
+#[inline(always)]
+fn lanes_i64_bin(
+    cells: &mut [u64],
+    w: usize,
+    lanes: &[usize],
+    dst: u32,
+    a: u32,
+    b: u32,
+    f: impl Fn(i64, i64) -> i64,
+) {
+    let (a, b, d) = (a as usize * w, b as usize * w, dst as usize * w);
+    if lanes_contiguous(lanes) {
+        let (lo, n) = (lanes[0], lanes.len());
+        let hi = lo + n;
+        assert!(a + hi <= cells.len() && b + hi <= cells.len() && d + hi <= cells.len());
+        for i in lo..hi {
+            // SAFETY: `a/b/d + i < cells.len()` per the assert above.
+            unsafe {
+                *cells.get_unchecked_mut(d + i) =
+                    f(*cells.get_unchecked(a + i) as i64, *cells.get_unchecked(b + i) as i64)
+                        as u64;
+            }
+        }
+    } else {
+        for &l in lanes {
+            cells[d + l] = f(cells[a + l] as i64, cells[b + l] as i64) as u64;
+        }
+    }
+}
+
+/// Apply an i64 comparison across the lanes of a group (0/1 result).
+#[inline(always)]
+fn lanes_i64_cmp(
+    cells: &mut [u64],
+    w: usize,
+    lanes: &[usize],
+    dst: u32,
+    a: u32,
+    b: u32,
+    f: impl Fn(i64, i64) -> bool,
+) {
+    let (a, b, d) = (a as usize * w, b as usize * w, dst as usize * w);
+    if lanes_contiguous(lanes) {
+        let (lo, n) = (lanes[0], lanes.len());
+        let hi = lo + n;
+        assert!(a + hi <= cells.len() && b + hi <= cells.len() && d + hi <= cells.len());
+        for i in lo..hi {
+            // SAFETY: `a/b/d + i < cells.len()` per the assert above.
+            unsafe {
+                *cells.get_unchecked_mut(d + i) =
+                    f(*cells.get_unchecked(a + i) as i64, *cells.get_unchecked(b + i) as i64)
+                        as u64;
+            }
+        }
+    } else {
+        for &l in lanes {
+            cells[d + l] = f(cells[a + l] as i64, cells[b + l] as i64) as u64;
+        }
+    }
+}
+
+/// Lane-vectorized execution of one work-group over a [`CompiledKernel`].
+///
+/// Where [`BytecodeRun`] dispatches every op once per work-item,
+/// `LanesRun` keeps a structure-of-arrays register file (`W` lanes per
+/// register, bit-packed `u64` cells for scalars, a parallel plane for
+/// pointers) and dispatches each op *once per SIMT group*, running its
+/// inner loop across all live lanes. Control divergence splits a group;
+/// lanes that trap or reach a barrier are masked out and their outcome
+/// recorded.
+///
+/// Observational parity with the serial engines is maintained by
+/// construction:
+///
+/// - per-op statistics are charged once per executing lane, and the
+///   shared step budget is settled at each phase end by replaying the
+///   per-lane fetch counts in work-item order — so `StepLimitExceeded`
+///   vs. a real trap resolves exactly as in serial execution;
+/// - argument binding, trap payloads, barrier divergence positions and
+///   the barrier-release protocol are shared with / mirrored from
+///   [`BytecodeRun`].
+///
+/// The one caveat is failed launches: lanes past a trapping work-item
+/// may already have executed (and written memory) in lockstep, where the
+/// serial engines would have stopped. Error values and successful runs
+/// are bit-identical for race-free kernels; partially-written buffers of
+/// a *failed* launch are not part of the contract on any engine.
+pub struct LanesRun<'k> {
+    kernel: &'k CompiledKernel,
+    shape: GroupShape,
+    /// Lane count = work-items per group.
+    w: usize,
+    /// Scalar register cells, SoA: register `r` of lane `l` is at `r*w + l`.
+    cells: Vec<u64>,
+    /// Pointer registers, same indexing.
+    ptrs: Vec<PtrValue>,
+    /// Per-lane private arenas, stride `private_bytes`.
+    private: Vec<u8>,
+    lid: Vec<[usize; 3]>,
+    status: Vec<BcStatus>,
+    pc: Vec<usize>,
+    stats: ExecStats,
+    steps: u64,
+    step_limit: u64,
+    /// Per-lane fetch count of the current phase (`u64::MAX` marks a
+    /// lane that stalled against the fetch cap). Scratch, valid for the
+    /// lanes that ran the phase only.
+    lane_fetches: Vec<u64>,
+    /// Reusable group worklist and lane-vector pool: the steady state
+    /// of a phase allocates nothing.
+    group_stack: Vec<LaneGroup>,
+    lane_pool: Vec<Vec<usize>>,
+}
+
+impl<'k> LanesRun<'k> {
+    /// Prepare a lane-vectorized run. Same contract (and error messages)
+    /// as [`BytecodeRun::new`].
+    ///
+    /// # Errors
+    /// Returns [`ExecError::BadArgs`] if `args` does not match the
+    /// kernel signature.
+    pub fn new(
+        kernel: &'k CompiledKernel,
+        shape: GroupShape,
+        args: &[KernelArgValue],
+        step_limit: u64,
+    ) -> Result<LanesRun<'k>, ExecError> {
+        let bound = bind_args(kernel, args)?;
+        let w = shape.items_per_group();
+        let nregs = kernel.reg_types.len();
+        // Zero cells are the zero-init of every scalar type (false, 0,
+        // 0.0); pointer registers start at the poison buffer id.
+        let mut cells = vec![0u64; nregs * w];
+        let mut ptrs = Vec::with_capacity(nregs * w);
+        for ty in &kernel.reg_types {
+            let p = match ty {
+                Type::Ptr(space, _) => PtrValue::new(*space, u32::MAX),
+                Type::Scalar(_) => PtrValue::new(AddressSpace::Private, u32::MAX),
+            };
+            ptrs.extend(std::iter::repeat_n(p, w));
+        }
+        for (r, v) in bound.iter().enumerate() {
+            match *v {
+                Value::Ptr(p) => ptrs[r * w..(r + 1) * w].fill(p),
+                v => cells[r * w..(r + 1) * w].fill(encode_scalar(v)),
+            }
+        }
+        let mut stats = ExecStats::with_blocks(kernel.block_starts.len());
+        // Every live item enters block 0.
+        stats.block_execs[0] += w as u64;
+        Ok(LanesRun {
+            kernel,
+            shape,
+            w,
+            cells,
+            ptrs,
+            private: vec![0; kernel.private_bytes * w],
+            lid: (0..w).map(|i| shape.local_id(i)).collect(),
+            status: vec![BcStatus::Running; w],
+            pc: vec![0; w],
+            stats,
+            steps: 0,
+            step_limit: if step_limit == 0 { DEFAULT_STEP_LIMIT } else { step_limit },
+            lane_fetches: vec![0; w],
+            group_stack: Vec::new(),
+            lane_pool: Vec::new(),
+        })
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Consume the run and return its statistics.
+    pub fn into_stats(self) -> ExecStats {
+        self.stats
+    }
+
+    /// Run the whole group to completion.
+    ///
+    /// # Errors
+    /// Propagates memory errors, traps, barrier divergence and
+    /// step-limit exhaustion, with the same payloads as the serial
+    /// engines.
+    pub fn run(&mut self, mem: &mut dyn Memory, math: &dyn MathLib) -> Result<(), ExecError> {
+        // `running` is exactly the set of `BcStatus::Running` lanes at
+        // the top of each iteration: initially every lane, then the
+        // barrier-released survivors of the previous phase — so the
+        // live-set update only inspects lanes that ran, not all of `w`.
+        let mut running: Vec<usize> = (0..self.w).collect();
+        let mut live: Vec<usize> = Vec::with_capacity(self.w);
+        loop {
+            let any_running = !running.is_empty();
+            if any_running {
+                self.stats.item_phases += running.len() as u64;
+                self.run_phase(&running, mem, math)?;
+            }
+            live.clear();
+            live.extend(running.iter().copied().filter(|&i| self.status[i] != BcStatus::Done));
+            if live.is_empty() {
+                return Ok(());
+            }
+            // All live lanes are now suspended at barriers. Equal pcs
+            // (the overwhelmingly common case) imply equal positions, so
+            // the position table is only consulted when pcs differ.
+            let pc0 = self.pc[live[0]];
+            if live[1..].iter().any(|&i| self.pc[i] != pc0) {
+                let pos = self.kernel.pos(pc0);
+                for &i in &live[1..] {
+                    let p = self.kernel.pos(self.pc[i]);
+                    if p != pos {
+                        return Err(ExecError::BarrierDivergence { a: pos, b: p });
+                    }
+                }
+            }
+            if !any_running {
+                return Err(ExecError::Trap("scheduler made no progress".into()));
+            }
+            self.stats.barriers += 1;
+            for &i in &live {
+                self.pc[i] += 1;
+                self.status[i] = BcStatus::Running;
+            }
+            std::mem::swap(&mut running, &mut live);
+        }
+    }
+
+    /// Execute one phase (all running lanes until barrier/retire/trap)
+    /// as a worklist of lockstep groups, then settle the step budget.
+    ///
+    /// The steady state allocates nothing: the group worklist and the
+    /// lane vectors are pooled on `self`, per-lane outcomes live in
+    /// `self.lane_fetches`, and traps/stalls (rare) divert settlement to
+    /// a serial replay in work-item order.
+    fn run_phase(
+        &mut self,
+        running: &[usize],
+        mem: &mut dyn Memory,
+        math: &dyn MathLib,
+    ) -> Result<(), ExecError> {
+        let kernel = self.kernel;
+        let w = self.w;
+        let pb = kernel.private_bytes;
+        let idx = |r: u32, l: usize| r as usize * w + l;
+        // Fetches a lane may consume before the shared budget would have
+        // run dry even with every other lane charging nothing.
+        let budget = self.step_limit - self.steps;
+        let cap = budget.saturating_add(1);
+        let start_pc = self.pc[running[0]];
+        debug_assert!(running.iter().all(|&l| self.pc[l] == start_pc));
+        let mut groups = std::mem::take(&mut self.group_stack);
+        let mut pool = std::mem::take(&mut self.lane_pool);
+        let mut first = pool.pop().unwrap_or_default();
+        first.clear();
+        first.extend_from_slice(running);
+        groups.push(LaneGroup { pc: start_pc, lanes: first, fetched: 0 });
+        // Σ fetches of completed lanes; traps and stalls flip `any_bad`
+        // so settlement takes the serial replay instead.
+        let mut sum_fetches: u64 = 0;
+        let mut any_bad = false;
+        let mut trapped: Vec<(usize, ExecError)> = Vec::new();
+
+        'groups: while let Some(mut g) = groups.pop() {
+            loop {
+                g.fetched += 1;
+                if g.fetched > cap {
+                    any_bad = true;
+                    for &l in &g.lanes {
+                        self.lane_fetches[l] = u64::MAX;
+                    }
+                    pool.push(std::mem::take(&mut g.lanes));
+                    continue 'groups;
+                }
+                let nl = g.lanes.len() as u64;
+                match &kernel.code[g.pc] {
+                    Op::Const { dst, idx: ci } => {
+                        let contig = lanes_contiguous(&g.lanes);
+                        let (d, lo, n) = (*dst as usize * w, g.lanes[0], g.lanes.len());
+                        match kernel.consts[*ci as usize] {
+                            Value::Ptr(p) => {
+                                if contig {
+                                    self.ptrs[d + lo..d + lo + n].fill(p);
+                                } else {
+                                    for &l in &g.lanes {
+                                        self.ptrs[d + l] = p;
+                                    }
+                                }
+                            }
+                            v => {
+                                let bits = encode_scalar(v);
+                                if contig {
+                                    self.cells[d + lo..d + lo + n].fill(bits);
+                                } else {
+                                    for &l in &g.lanes {
+                                        self.cells[d + l] = bits;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::Mov { dst, src } => {
+                        let (d, s) = (*dst as usize * w, *src as usize * w);
+                        if lanes_contiguous(&g.lanes) {
+                            // Register rows are disjoint (or identical, for
+                            // a no-op mov), so the dense case is a memmove
+                            // on both planes.
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            self.cells.copy_within(s + lo..s + lo + n, d + lo);
+                            self.ptrs.copy_within(s + lo..s + lo + n, d + lo);
+                        } else {
+                            for &l in &g.lanes {
+                                self.cells[d + l] = self.cells[s + l];
+                                self.ptrs[d + l] = self.ptrs[s + l];
+                            }
+                        }
+                        self.stats.ops.mov += nl;
+                    }
+                    Op::AddF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, |x, y| x + y);
+                        self.stats.ops.add64 += nl;
+                    }
+                    Op::SubF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, |x, y| x - y);
+                        self.stats.ops.add64 += nl;
+                    }
+                    Op::MulF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, |x, y| x * y);
+                        self.stats.ops.mul64 += nl;
+                    }
+                    Op::DivF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, |x, y| x / y);
+                        self.stats.ops.div64 += nl;
+                    }
+                    Op::MinF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, f64::min);
+                        self.stats.ops.minmax64 += nl;
+                    }
+                    Op::MaxF64 { dst, a, b } => {
+                        lanes_f64_bin(&mut self.cells, w, &g.lanes, *dst, *a, *b, f64::max);
+                        self.stats.ops.minmax64 += nl;
+                    }
+                    Op::AddI64 { dst, a, b } => {
+                        lanes_i64_bin(
+                            &mut self.cells,
+                            w,
+                            &g.lanes,
+                            *dst,
+                            *a,
+                            *b,
+                            i64::wrapping_add,
+                        );
+                        self.stats.ops.int_alu += nl;
+                    }
+                    Op::MulAddF64 { dst, a, b, c, c_first } => {
+                        // Second step for the fused add.
+                        g.fetched += 1;
+                        if g.fetched > cap {
+                            any_bad = true;
+                            for &l in &g.lanes {
+                                self.lane_fetches[l] = u64::MAX;
+                            }
+                            pool.push(std::mem::take(&mut g.lanes));
+                            continue 'groups;
+                        }
+                        let (ai, bi, ci, di) =
+                            (*a as usize * w, *b as usize * w, *c as usize * w, *dst as usize * w);
+                        let cf = *c_first;
+                        let fma = |cells: &mut [u64], i: usize| {
+                            let x = f64::from_bits(cells[ai + i]);
+                            let y = f64::from_bits(cells[bi + i]);
+                            let cv = f64::from_bits(cells[ci + i]);
+                            let prod = x * y;
+                            // Same operand-order contract as the scalar engine.
+                            #[allow(clippy::if_same_then_else)]
+                            let out = if cf { cv + prod } else { prod + cv };
+                            cells[di + i] = out.to_bits();
+                        };
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            for i in lo..lo + n {
+                                fma(&mut self.cells, i);
+                            }
+                        } else {
+                            for &l in &g.lanes {
+                                fma(&mut self.cells, l);
+                            }
+                        }
+                        self.stats.ops.mul64 += nl;
+                        self.stats.ops.add64 += nl;
+                    }
+                    Op::ChargeMov => {
+                        self.stats.ops.mov += nl;
+                    }
+                    Op::Bin { op, ty, dst, a, b } => {
+                        // Wrapping i64 arithmetic inline (index/counter
+                        // math of hot loops); other trap-free shapes per
+                        // lane through the shared evaluator; only the
+                        // trapping shapes (integer div/rem and
+                        // verifier-rejected combinations) pay the
+                        // survivor bookkeeping.
+                        if *ty == ScalarType::I64
+                            && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul)
+                        {
+                            let c = &mut self.cells;
+                            let (ls, d, a, b) = (&g.lanes[..], *dst, *a, *b);
+                            match op {
+                                BinOp::Add => lanes_i64_bin(c, w, ls, d, a, b, i64::wrapping_add),
+                                BinOp::Sub => lanes_i64_bin(c, w, ls, d, a, b, i64::wrapping_sub),
+                                _ => lanes_i64_bin(c, w, ls, d, a, b, i64::wrapping_mul),
+                            }
+                            self.stats.ops.int_alu += nl;
+                        } else {
+                            let trap_free = if ty.is_float() {
+                                matches!(
+                                    op,
+                                    BinOp::Add
+                                        | BinOp::Sub
+                                        | BinOp::Mul
+                                        | BinOp::Div
+                                        | BinOp::Rem
+                                        | BinOp::Min
+                                        | BinOp::Max
+                                )
+                            } else if *ty == ScalarType::Bool {
+                                matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+                            } else {
+                                !matches!(op, BinOp::Div | BinOp::Rem)
+                            };
+                            if trap_free {
+                                for &l in &g.lanes {
+                                    let va = decode_scalar(*ty, self.cells[idx(*a, l)]);
+                                    let vb = decode_scalar(*ty, self.cells[idx(*b, l)]);
+                                    let out = eval_bin(*op, *ty, va, vb).expect("trap-free bin op");
+                                    self.cells[idx(*dst, l)] = encode_scalar(out);
+                                }
+                                self.stats.ops.count_bins(*op, *ty, nl);
+                            } else {
+                                let mut survivors = pool.pop().unwrap_or_default();
+                                survivors.clear();
+                                for &l in &g.lanes {
+                                    let va = decode_scalar(*ty, self.cells[idx(*a, l)]);
+                                    let vb = decode_scalar(*ty, self.cells[idx(*b, l)]);
+                                    match eval_bin(*op, *ty, va, vb) {
+                                        Ok(out) => {
+                                            self.stats.ops.count_bin(*op, *ty);
+                                            self.cells[idx(*dst, l)] = encode_scalar(out);
+                                            survivors.push(l);
+                                        }
+                                        Err(msg) => {
+                                            any_bad = true;
+                                            self.lane_fetches[l] = g.fetched;
+                                            trapped.push((l, ExecError::Trap(msg)));
+                                        }
+                                    }
+                                }
+                                pool.push(std::mem::replace(&mut g.lanes, survivors));
+                                if g.lanes.is_empty() {
+                                    pool.push(std::mem::take(&mut g.lanes));
+                                    continue 'groups;
+                                }
+                            }
+                        }
+                    }
+                    Op::Un { op, ty, dst, a } => {
+                        for &l in &g.lanes {
+                            let out = eval_un(*op, *ty, decode_scalar(*ty, self.cells[idx(*a, l)]));
+                            self.cells[idx(*dst, l)] = encode_scalar(out);
+                        }
+                        self.stats.ops.int_alu += nl;
+                    }
+                    Op::Cmp { op, ty, dst, a, b } => {
+                        if *ty == ScalarType::I64 {
+                            let c = &mut self.cells;
+                            let (ls, d, a, b) = (&g.lanes[..], *dst, *a, *b);
+                            match op {
+                                CmpOp::Eq => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x == y),
+                                CmpOp::Ne => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x != y),
+                                CmpOp::Lt => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x < y),
+                                CmpOp::Le => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x <= y),
+                                CmpOp::Gt => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x > y),
+                                CmpOp::Ge => lanes_i64_cmp(c, w, ls, d, a, b, |x, y| x >= y),
+                            }
+                        } else {
+                            for &l in &g.lanes {
+                                let va = decode_scalar(*ty, self.cells[idx(*a, l)]);
+                                let vb = decode_scalar(*ty, self.cells[idx(*b, l)]);
+                                self.cells[idx(*dst, l)] = eval_cmp(*op, *ty, va, vb) as u64;
+                            }
+                        }
+                        self.stats.ops.cmp += nl;
+                    }
+                    Op::Select { ty: _, dst, cond, a, b } => {
+                        let (d, c, ar, br) = (
+                            *dst as usize * w,
+                            *cond as usize * w,
+                            *a as usize * w,
+                            *b as usize * w,
+                        );
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            for i in lo..lo + n {
+                                self.cells[d + i] = if self.cells[c + i] != 0 {
+                                    self.cells[ar + i]
+                                } else {
+                                    self.cells[br + i]
+                                };
+                            }
+                        } else {
+                            for &l in &g.lanes {
+                                let src = if self.cells[c + l] != 0 { ar } else { br };
+                                self.cells[d + l] = self.cells[src + l];
+                            }
+                        }
+                        self.stats.ops.select += nl;
+                    }
+                    Op::Cast { dst, a, from, to } => {
+                        if (*from, *to) == (ScalarType::I64, ScalarType::F64) {
+                            for &l in &g.lanes {
+                                let x = self.cells[idx(*a, l)] as i64;
+                                self.cells[idx(*dst, l)] = (x as f64).to_bits();
+                            }
+                        } else {
+                            for &l in &g.lanes {
+                                let v = decode_scalar(*from, self.cells[idx(*a, l)]);
+                                self.cells[idx(*dst, l)] = encode_scalar(eval_cast(v, *from, *to));
+                            }
+                        }
+                        self.stats.ops.cast += nl;
+                    }
+                    Op::Call1 { func, ty, dst, a } => {
+                        for &l in &g.lanes {
+                            let x = decode_scalar(*ty, self.cells[idx(*a, l)]).as_f64();
+                            let out = if *ty == ScalarType::F32 {
+                                let x32 = x as f32;
+                                (match func {
+                                    Builtin::Exp => math.exp32(x32),
+                                    Builtin::Log => math.log32(x32),
+                                    Builtin::Sqrt => math.sqrt32(x32),
+                                    Builtin::Pow => unreachable!("pow lowered to Op::Pow"),
+                                })
+                                .to_bits() as u64
+                            } else {
+                                (match func {
+                                    Builtin::Exp => math.exp64(x),
+                                    Builtin::Log => math.log64(x),
+                                    Builtin::Sqrt => math.sqrt64(x),
+                                    Builtin::Pow => unreachable!("pow lowered to Op::Pow"),
+                                })
+                                .to_bits()
+                            };
+                            self.stats.ops.count_builtin(*func, *ty);
+                            self.cells[idx(*dst, l)] = out;
+                        }
+                    }
+                    Op::Pow { ty, dst, a, b } => {
+                        for &l in &g.lanes {
+                            let x = decode_scalar(*ty, self.cells[idx(*a, l)]).as_f64();
+                            let y = decode_scalar(*ty, self.cells[idx(*b, l)]).as_f64();
+                            let out = if *ty == ScalarType::F32 {
+                                math.pow32(x as f32, y as f32).to_bits() as u64
+                            } else {
+                                math.pow64(x, y).to_bits()
+                            };
+                            self.stats.ops.count_builtin(Builtin::Pow, *ty);
+                            self.cells[idx(*dst, l)] = out;
+                        }
+                    }
+                    Op::WorkItem { query, dim, dst } => {
+                        let shape = &self.shape;
+                        let d = *dim as usize;
+                        for &l in &g.lanes {
+                            let out = match query {
+                                WiQuery::GlobalId => {
+                                    shape.group_id[d] * shape.local_size[d] + self.lid[l][d]
+                                }
+                                WiQuery::LocalId => self.lid[l][d],
+                                WiQuery::GroupId => shape.group_id[d],
+                                WiQuery::GlobalSize => shape.global_size[d],
+                                WiQuery::LocalSize => shape.local_size[d],
+                                WiQuery::NumGroups => shape.num_groups()[d],
+                            };
+                            self.cells[idx(*dst, l)] = out as i64 as u64;
+                        }
+                        self.stats.ops.wi_query += nl;
+                    }
+                    Op::Gep { dst, base, index, elem } => {
+                        let (d, b, x) =
+                            (*dst as usize * w, *base as usize * w, *index as usize * w);
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            for i in lo..lo + n {
+                                let off = self.cells[x + i] as i64;
+                                self.ptrs[d + i] = self.ptrs[b + i].offset_by(off, *elem);
+                            }
+                        } else {
+                            for &l in &g.lanes {
+                                let off = self.cells[x + l] as i64;
+                                self.ptrs[d + l] = self.ptrs[b + l].offset_by(off, *elem);
+                            }
+                        }
+                        self.stats.ops.int_alu += nl;
+                    }
+                    Op::Load { dst, ptr, ty } => {
+                        let len = ty.size_bytes();
+                        // Resolve the buffer once for the whole group: in
+                        // race-free kernels a group's lanes nearly always
+                        // address one buffer (a uniform base plus per-lane
+                        // offsets). Lanes that miss the resolved region —
+                        // different buffer, out of bounds, bool loads (which
+                        // canonicalize through `Value`) — take the per-lane
+                        // slow path, which also produces the exact walker
+                        // error payloads.
+                        let p0 = self.ptrs[idx(*ptr, g.lanes[0])];
+                        let fast = if p0.space != AddressSpace::Private && *ty != ScalarType::Bool {
+                            mem.raw_region(p0.space, p0.buffer)
+                        } else {
+                            None
+                        };
+                        let mut k = 0;
+                        if let Some((base, rlen)) = fast {
+                            let contig = lanes_contiguous(&g.lanes);
+                            let lo = g.lanes[0];
+                            while k < g.lanes.len() {
+                                let l = if contig { lo + k } else { g.lanes[k] };
+                                let p = self.ptrs[idx(*ptr, l)];
+                                if p.space != p0.space || p.buffer != p0.buffer {
+                                    break;
+                                }
+                                let Some(o) =
+                                    usize::try_from(p.offset).ok().filter(|o| o + len <= rlen)
+                                else {
+                                    break;
+                                };
+                                // SAFETY: `o + len <= rlen` was just checked
+                                // against the region the memory exposed;
+                                // cross-group races are excluded by the
+                                // race-freedom contract of `raw_region`.
+                                let bits = unsafe {
+                                    if len == 8 {
+                                        u64::from_le(base.add(o).cast::<u64>().read_unaligned())
+                                    } else {
+                                        let mut raw = [0u8; 8];
+                                        std::ptr::copy_nonoverlapping(
+                                            base.add(o),
+                                            raw.as_mut_ptr(),
+                                            len,
+                                        );
+                                        u64::from_le_bytes(raw)
+                                    }
+                                };
+                                self.cells[idx(*dst, l)] = bits;
+                                k += 1;
+                            }
+                            self.stats.mem.count_loads(p0.space, len, k as u64);
+                        }
+                        if k < g.lanes.len() {
+                            let mut survivors = pool.pop().unwrap_or_default();
+                            survivors.clear();
+                            survivors.extend_from_slice(&g.lanes[..k]);
+                            for &l in &g.lanes[k..] {
+                                let p = self.ptrs[idx(*ptr, l)];
+                                let res = if p.space == AddressSpace::Private {
+                                    bc_private_load(&self.private[l * pb..(l + 1) * pb], p, *ty)
+                                } else {
+                                    mem.load(p, *ty).map_err(ExecError::from)
+                                };
+                                match res {
+                                    Ok(v) => {
+                                        self.stats.mem.count_load(p.space, len);
+                                        self.cells[idx(*dst, l)] = encode_scalar(v);
+                                        survivors.push(l);
+                                    }
+                                    Err(err) => {
+                                        any_bad = true;
+                                        self.lane_fetches[l] = g.fetched;
+                                        trapped.push((l, err));
+                                    }
+                                }
+                            }
+                            pool.push(std::mem::replace(&mut g.lanes, survivors));
+                            if g.lanes.is_empty() {
+                                pool.push(std::mem::take(&mut g.lanes));
+                                continue 'groups;
+                            }
+                        }
+                    }
+                    Op::Store { ptr, val, ty } => {
+                        let len = ty.size_bytes();
+                        // Same single-resolution fast path as `Load`. Stores
+                        // to `__constant` memory must keep erroring, so the
+                        // constant space never takes it. Cells hold the
+                        // exact little-endian bit patterns
+                        // `Value::to_le_bytes` would produce (bool
+                        // included: cells are canonical 0/1).
+                        let p0 = self.ptrs[idx(*ptr, g.lanes[0])];
+                        let fast = if matches!(p0.space, AddressSpace::Global | AddressSpace::Local)
+                        {
+                            mem.raw_region(p0.space, p0.buffer)
+                        } else {
+                            None
+                        };
+                        let mut k = 0;
+                        if let Some((base, rlen)) = fast {
+                            let contig = lanes_contiguous(&g.lanes);
+                            let lo = g.lanes[0];
+                            while k < g.lanes.len() {
+                                let l = if contig { lo + k } else { g.lanes[k] };
+                                let p = self.ptrs[idx(*ptr, l)];
+                                if p.space != p0.space || p.buffer != p0.buffer {
+                                    break;
+                                }
+                                let Some(o) =
+                                    usize::try_from(p.offset).ok().filter(|o| o + len <= rlen)
+                                else {
+                                    break;
+                                };
+                                let bits = self.cells[idx(*val, l)];
+                                // SAFETY: bounds checked above; race-freedom
+                                // per the `raw_region` contract.
+                                unsafe {
+                                    if len == 8 {
+                                        base.add(o).cast::<u64>().write_unaligned(bits.to_le());
+                                    } else {
+                                        let raw = bits.to_le_bytes();
+                                        std::ptr::copy_nonoverlapping(
+                                            raw.as_ptr(),
+                                            base.add(o),
+                                            len,
+                                        );
+                                    }
+                                }
+                                k += 1;
+                            }
+                            self.stats.mem.count_stores(p0.space, len, k as u64);
+                        }
+                        if k < g.lanes.len() {
+                            let mut survivors = pool.pop().unwrap_or_default();
+                            survivors.clear();
+                            survivors.extend_from_slice(&g.lanes[..k]);
+                            for &l in &g.lanes[k..] {
+                                let p = self.ptrs[idx(*ptr, l)];
+                                let v = decode_scalar(*ty, self.cells[idx(*val, l)]);
+                                let res = if p.space == AddressSpace::Private {
+                                    bc_private_store(&mut self.private[l * pb..(l + 1) * pb], p, v)
+                                } else {
+                                    mem.store(p, v).map_err(ExecError::from)
+                                };
+                                match res {
+                                    Ok(()) => {
+                                        self.stats.mem.count_store(p.space, len);
+                                        survivors.push(l);
+                                    }
+                                    Err(err) => {
+                                        any_bad = true;
+                                        self.lane_fetches[l] = g.fetched;
+                                        trapped.push((l, err));
+                                    }
+                                }
+                            }
+                            pool.push(std::mem::replace(&mut g.lanes, survivors));
+                            if g.lanes.is_empty() {
+                                pool.push(std::mem::take(&mut g.lanes));
+                                continue 'groups;
+                            }
+                        }
+                    }
+                    Op::Barrier => {
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            self.lane_fetches[lo..lo + n].fill(g.fetched);
+                            self.status[lo..lo + n].fill(BcStatus::AtBarrier);
+                            self.pc[lo..lo + n].fill(g.pc);
+                        } else {
+                            for &l in &g.lanes {
+                                self.lane_fetches[l] = g.fetched;
+                                self.status[l] = BcStatus::AtBarrier;
+                                self.pc[l] = g.pc;
+                            }
+                        }
+                        sum_fetches = sum_fetches.saturating_add(g.fetched.saturating_mul(nl));
+                        pool.push(std::mem::take(&mut g.lanes));
+                        continue 'groups;
+                    }
+                    Op::Jump { target, block } => {
+                        self.stats.block_execs[*block as usize] += nl;
+                        g.pc = *target as usize;
+                        continue;
+                    }
+                    Op::JumpThread { target, mid_block, block } => {
+                        // Second step for the threaded-through jump.
+                        g.fetched += 1;
+                        if g.fetched > cap {
+                            any_bad = true;
+                            for &l in &g.lanes {
+                                self.lane_fetches[l] = u64::MAX;
+                            }
+                            pool.push(std::mem::take(&mut g.lanes));
+                            continue 'groups;
+                        }
+                        self.stats.block_execs[*mid_block as usize] += nl;
+                        self.stats.block_execs[*block as usize] += nl;
+                        g.pc = *target as usize;
+                        continue;
+                    }
+                    Op::Branch { cond, then_target, then_block, else_target, else_block } => {
+                        // Uniform branches (the common case) redirect the
+                        // whole group without copying lanes.
+                        let c = *cond as usize * w;
+                        let first = self.cells[c + g.lanes[0]] != 0;
+                        let mut split = g.lanes.len();
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            for (k, i) in (lo + 1..lo + n).enumerate() {
+                                if (self.cells[c + i] != 0) != first {
+                                    split = k + 1;
+                                    break;
+                                }
+                            }
+                        } else {
+                            for (k, &l) in g.lanes.iter().enumerate().skip(1) {
+                                if (self.cells[c + l] != 0) != first {
+                                    split = k;
+                                    break;
+                                }
+                            }
+                        }
+                        if split == g.lanes.len() {
+                            let (block, target) = if first {
+                                (*then_block, *then_target)
+                            } else {
+                                (*else_block, *else_target)
+                            };
+                            self.stats.block_execs[block as usize] += nl;
+                            g.pc = target as usize;
+                            continue;
+                        }
+                        let mut then_l = pool.pop().unwrap_or_default();
+                        then_l.clear();
+                        let mut else_l = pool.pop().unwrap_or_default();
+                        else_l.clear();
+                        for &l in &g.lanes {
+                            if self.cells[idx(*cond, l)] != 0 {
+                                then_l.push(l);
+                            } else {
+                                else_l.push(l);
+                            }
+                        }
+                        self.stats.block_execs[*then_block as usize] += then_l.len() as u64;
+                        self.stats.block_execs[*else_block as usize] += else_l.len() as u64;
+                        groups.push(LaneGroup {
+                            pc: *else_target as usize,
+                            lanes: else_l,
+                            fetched: g.fetched,
+                        });
+                        pool.push(std::mem::replace(&mut g.lanes, then_l));
+                        g.pc = *then_target as usize;
+                        continue;
+                    }
+                    Op::Return => {
+                        if lanes_contiguous(&g.lanes) {
+                            let (lo, n) = (g.lanes[0], g.lanes.len());
+                            self.lane_fetches[lo..lo + n].fill(g.fetched);
+                            self.status[lo..lo + n].fill(BcStatus::Done);
+                        } else {
+                            for &l in &g.lanes {
+                                self.lane_fetches[l] = g.fetched;
+                                self.status[l] = BcStatus::Done;
+                            }
+                        }
+                        sum_fetches = sum_fetches.saturating_add(g.fetched.saturating_mul(nl));
+                        pool.push(std::mem::take(&mut g.lanes));
+                        continue 'groups;
+                    }
+                }
+                g.pc += 1;
+            }
+        }
+
+        self.group_stack = groups;
+        self.lane_pool = pool;
+        if !any_bad && sum_fetches <= budget {
+            self.steps += sum_fetches;
+            return Ok(());
+        }
+        // Serial settlement (rare): replay per-lane fetch counts in
+        // work-item order against the shared budget, exactly as the
+        // serial engines interleave them — deciding `StepLimitExceeded`
+        // vs. a real trap per lane.
+        let mut cum: u64 = 0;
+        for &l in running {
+            let fetches = self.lane_fetches[l];
+            if fetches == u64::MAX {
+                return Err(ExecError::StepLimitExceeded);
+            }
+            let over = cum.checked_add(fetches).is_none_or(|s| s > budget);
+            if let Some(pos) = trapped.iter().position(|(tl, _)| *tl == l) {
+                let (_, err) = trapped.swap_remove(pos);
+                return Err(if over { ExecError::StepLimitExceeded } else { err });
+            }
+            if over {
+                return Err(ExecError::StepLimitExceeded);
+            }
+            cum += fetches;
+        }
+        self.steps += cum;
+        Ok(())
+    }
+}
+
+/// Check `args` against the kernel signature and bind them to values,
+/// with the exact error messages of the tree-walker. Shared by
+/// [`BytecodeRun`] and [`LanesRun`].
+fn bind_args(kernel: &CompiledKernel, args: &[KernelArgValue]) -> Result<Vec<Value>, ExecError> {
+    if args.len() != kernel.params.len() {
+        return Err(ExecError::BadArgs(format!(
+            "kernel `{}` takes {} arguments, {} supplied",
+            kernel.name,
+            kernel.params.len(),
+            args.len()
+        )));
+    }
+    let mut bound = Vec::with_capacity(args.len());
+    for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
+        let v = match (*arg, param.ty) {
+            (KernelArgValue::Scalar(v), Type::Scalar(want)) => {
+                if v.scalar_type() != Some(want) {
+                    return Err(ExecError::BadArgs(format!(
+                        "argument {i} (`{}`): expected {want}, got {v:?}",
+                        param.name
+                    )));
+                }
+                v
+            }
+            (KernelArgValue::GlobalBuffer(b), Type::Ptr(space, _))
+                if matches!(space, AddressSpace::Global | AddressSpace::Constant) =>
+            {
+                Value::Ptr(PtrValue::new(space, b))
+            }
+            (KernelArgValue::LocalBuffer(slot), Type::Ptr(AddressSpace::Local, _)) => {
+                Value::Ptr(PtrValue::new(AddressSpace::Local, slot))
+            }
+            _ => {
+                return Err(ExecError::BadArgs(format!(
+                    "argument {i} (`{}`): {arg:?} does not match parameter type {}",
+                    param.name, param.ty
+                )))
+            }
+        };
+        bound.push(v);
+    }
+    Ok(bound)
+}
+
 fn bc_private_load(arena: &[u8], p: PtrValue, ty: ScalarType) -> Result<Value, ExecError> {
     let len = ty.size_bytes();
     let off = usize::try_from(p.offset)
@@ -842,14 +2048,15 @@ mod tests {
     use crate::interp::{VecMemory, WorkGroupRun};
     use crate::mathlib::ExactMath;
 
-    /// Run `func` under both engines over the same NDRange with
-    /// identically initialised memories; return both memories and stats.
-    fn run_both(
+    /// Run `func` under all three engines over the same NDRange with
+    /// identically initialised memories; return each memory and stats.
+    #[allow(clippy::type_complexity)]
+    fn run_all(
         func: &Function,
         global: usize,
         local: usize,
         init: impl Fn(&mut VecMemory) -> Vec<KernelArgValue>,
-    ) -> ((VecMemory, ExecStats), (VecMemory, ExecStats)) {
+    ) -> ((VecMemory, ExecStats), (VecMemory, ExecStats), (VecMemory, ExecStats)) {
         let compiled = CompiledKernel::compile(func);
         let mut walk_mem = VecMemory::new();
         let walk_args = init(&mut walk_mem);
@@ -857,6 +2064,9 @@ mod tests {
         let mut bc_mem = VecMemory::new();
         let bc_args = init(&mut bc_mem);
         let mut bc_stats = ExecStats::with_blocks(func.blocks.len());
+        let mut ln_mem = VecMemory::new();
+        let ln_args = init(&mut ln_mem);
+        let mut ln_stats = ExecStats::with_blocks(func.blocks.len());
         for group in 0..global / local {
             let shape = GroupShape::linear(global, local, group);
             let mut w = WorkGroupRun::new(func, shape, &walk_args, 0).expect("walk args");
@@ -865,8 +2075,11 @@ mod tests {
             let mut b = BytecodeRun::new(&compiled, shape, &bc_args, 0).expect("bc args");
             b.run(&mut bc_mem, &ExactMath).expect("bc runs");
             bc_stats.merge(b.stats());
+            let mut l = LanesRun::new(&compiled, shape, &ln_args, 0).expect("lanes args");
+            l.run(&mut ln_mem, &ExactMath).expect("lanes runs");
+            ln_stats.merge(l.stats());
         }
-        ((walk_mem, walk_stats), (bc_mem, bc_stats))
+        ((walk_mem, walk_stats), (bc_mem, bc_stats), (ln_mem, ln_stats))
     }
 
     /// Looping kernel with barrier, local exchange, math call and private
@@ -928,15 +2141,17 @@ mod tests {
     }
 
     #[test]
-    fn bytecode_matches_walker_bit_for_bit() {
+    fn bytecode_and_lanes_match_walker_bit_for_bit() {
         let func = busy_kernel();
-        let ((wm, ws), (bm, bs)) = run_both(&func, 8, 4, |mem| {
+        let ((wm, ws), (bm, bs), (lm, ls)) = run_all(&func, 8, 4, |mem| {
             let buf = mem.alloc_global(8 * 8);
             let l = mem.alloc_local(4 * 8);
             vec![KernelArgValue::GlobalBuffer(buf), KernelArgValue::LocalBuffer(l)]
         });
-        assert_eq!(wm.global_bytes(0), bm.global_bytes(0), "bit-identical output buffers");
-        assert_eq!(ws, bs, "identical ExecStats (blocks, ops, mem, barriers, phases)");
+        assert_eq!(wm.global_bytes(0), bm.global_bytes(0), "bit-identical bytecode buffers");
+        assert_eq!(wm.global_bytes(0), lm.global_bytes(0), "bit-identical lanes buffers");
+        assert_eq!(ws, bs, "identical bytecode ExecStats");
+        assert_eq!(ws, ls, "identical lanes ExecStats (blocks, ops, mem, barriers, phases)");
         assert!(ws.barriers > 0 && ws.ops.transc64 > 0, "kernel actually exercised features");
     }
 
@@ -971,6 +2186,13 @@ mod tests {
         let berr = bc.run(&mut bm, &ExactMath).expect_err("bytecode traps");
         assert_eq!(werr.to_string(), berr.to_string());
         assert!(berr.to_string().contains("integer division by zero"));
+
+        let mut lm = VecMemory::new();
+        let lbuf = lm.alloc_global(8);
+        let mut ln = LanesRun::new(&compiled, shape, &[KernelArgValue::GlobalBuffer(lbuf)], 0)
+            .expect("args");
+        let lerr = ln.run(&mut lm, &ExactMath).expect_err("lanes traps");
+        assert_eq!(werr.to_string(), lerr.to_string());
     }
 
     #[test]
@@ -996,20 +2218,28 @@ mod tests {
         let compiled = CompiledKernel::compile(&func);
         let shape = GroupShape::linear(2, 2, 0);
 
-        let run_engine = |walk: bool| -> ExecError {
+        let run_engine = |which: u8| -> ExecError {
             let mut mem = VecMemory::new();
             let buf = mem.alloc_global(8);
             let args = [KernelArgValue::GlobalBuffer(buf)];
-            if walk {
-                let mut r = WorkGroupRun::new(&func, shape, &args, 0).expect("args");
-                r.run(&mut mem, &ExactMath).expect_err("diverges")
-            } else {
-                let mut r = BytecodeRun::new(&compiled, shape, &args, 0).expect("args");
-                r.run(&mut mem, &ExactMath).expect_err("diverges")
+            match which {
+                0 => {
+                    let mut r = WorkGroupRun::new(&func, shape, &args, 0).expect("args");
+                    r.run(&mut mem, &ExactMath).expect_err("diverges")
+                }
+                1 => {
+                    let mut r = BytecodeRun::new(&compiled, shape, &args, 0).expect("args");
+                    r.run(&mut mem, &ExactMath).expect_err("diverges")
+                }
+                _ => {
+                    let mut r = LanesRun::new(&compiled, shape, &args, 0).expect("args");
+                    r.run(&mut mem, &ExactMath).expect_err("diverges")
+                }
             }
         };
-        let (we, be) = (run_engine(true), run_engine(false));
+        let (we, be, le) = (run_engine(0), run_engine(1), run_engine(2));
         assert_eq!(we.to_string(), be.to_string(), "same (block, inst) positions reported");
+        assert_eq!(we.to_string(), le.to_string(), "lanes reports the same positions");
         assert!(matches!(be, ExecError::BarrierDivergence { .. }));
     }
 
@@ -1027,6 +2257,9 @@ mod tests {
         let mut mem = VecMemory::new();
         let buf = mem.alloc_global(8);
         let mut r = BytecodeRun::new(&compiled, shape, &[KernelArgValue::GlobalBuffer(buf)], 500)
+            .expect("args");
+        assert!(matches!(r.run(&mut mem, &ExactMath), Err(ExecError::StepLimitExceeded)));
+        let mut r = LanesRun::new(&compiled, shape, &[KernelArgValue::GlobalBuffer(buf)], 500)
             .expect("args");
         assert!(matches!(r.run(&mut mem, &ExactMath), Err(ExecError::StepLimitExceeded)));
     }
@@ -1048,6 +2281,11 @@ mod tests {
             Ok(_) => panic!("bytecode accepted bad args"),
         };
         assert_eq!(walker_err.to_string(), bc_err.to_string());
+        let lanes_err = match LanesRun::new(&compiled, shape, &[], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("lanes accepted bad args"),
+        };
+        assert_eq!(walker_err.to_string(), lanes_err.to_string());
         assert!(matches!(
             BytecodeRun::new(&compiled, shape, &[KernelArgValue::Scalar(Value::F64(1.0))], 0),
             Err(ExecError::BadArgs(_))
@@ -1087,5 +2325,114 @@ mod tests {
         assert!(dump.contains("barrier"));
         assert!(dump.contains("exp.double("), "builtin call shown");
         assert!(dump.contains("ret"));
+    }
+
+    /// `out[0] = x*y + z` with the product dead after the add: the
+    /// peephole must fuse it, and all engines must agree bit-for-bit on
+    /// result and stats (the fused op charges the unfused costs).
+    fn muladd_kernel(c_first: bool) -> Function {
+        use crate::ir::BinOp;
+        let mut b = FunctionBuilder::new("fma", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let x = b.const_f64(3.0);
+        let y = b.const_f64(5.0);
+        let z = b.const_f64(7.0);
+        let t = b.bin(BinOp::Mul, ScalarType::F64, x, y);
+        let s = if c_first { b.fadd(z, t, ScalarType::F64) } else { b.fadd(t, z, ScalarType::F64) };
+        let zero = b.const_i64(0);
+        let slot = b.gep(out, zero, ScalarType::F64);
+        b.store(slot, s, ScalarType::F64);
+        b.ret();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn peephole_fuses_dead_product_multiply_add() {
+        for c_first in [false, true] {
+            let func = muladd_kernel(c_first);
+            let compiled = CompiledKernel::compile(&func);
+            assert!(
+                compiled.to_string().contains("muladd.double"),
+                "mul+add pair fused (c_first={c_first})"
+            );
+            let ((wm, ws), (bm, bs), (lm, ls)) =
+                run_all(&func, 1, 1, |mem| vec![KernelArgValue::GlobalBuffer(mem.alloc_global(8))]);
+            assert_eq!(wm.read_f64(0, 0), 22.0);
+            assert_eq!(wm.global_bytes(0), bm.global_bytes(0));
+            assert_eq!(wm.global_bytes(0), lm.global_bytes(0));
+            assert_eq!(ws, bs, "fused op charges exactly the unfused mul+add");
+            assert_eq!(ws, ls);
+        }
+    }
+
+    #[test]
+    fn peephole_leaves_live_products_unfused() {
+        use crate::ir::BinOp;
+        // t = x*y is read by the add AND the store: no fusion allowed.
+        let mut b = FunctionBuilder::new("live", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let x = b.const_f64(3.0);
+        let y = b.const_f64(5.0);
+        let t = b.bin(BinOp::Mul, ScalarType::F64, x, y);
+        let s = b.fadd(t, t, ScalarType::F64);
+        let zero = b.const_i64(0);
+        let slot = b.gep(out, zero, ScalarType::F64);
+        b.store(slot, s, ScalarType::F64);
+        let one = b.const_i64(1);
+        let slot2 = b.gep(out, one, ScalarType::F64);
+        b.store(slot2, t, ScalarType::F64);
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        assert!(!compiled.to_string().contains("muladd"), "live product not fused");
+    }
+
+    #[test]
+    fn peephole_elides_self_moves_and_threads_jumps() {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let x = b.fresh(Type::Scalar(ScalarType::F64));
+        let one = b.const_f64(1.0);
+        b.mov_into(x, one);
+        b.mov_into(x, x); // self-move: elided but still charged
+        let hop = b.create_block(); // jump-only: threaded through
+        let tail = b.create_block();
+        b.jump(hop);
+        b.switch_to(hop);
+        b.jump(tail);
+        b.switch_to(tail);
+        let zero = b.const_i64(0);
+        let slot = b.gep(out, zero, ScalarType::F64);
+        b.store(slot, x, ScalarType::F64);
+        b.ret();
+        let func = b.finish().expect("valid");
+        let compiled = CompiledKernel::compile(&func);
+        let dump = compiled.to_string();
+        assert!(dump.contains("mov (self, elided)"), "self-move becomes a charge op");
+        assert!(dump.contains("(b1 -> b2)"), "jump threaded through the hop block");
+        let ((wm, ws), (bm, bs), (lm, ls)) =
+            run_all(&func, 2, 2, |mem| vec![KernelArgValue::GlobalBuffer(mem.alloc_global(16))]);
+        assert_eq!(wm.global_bytes(0), bm.global_bytes(0));
+        assert_eq!(wm.global_bytes(0), lm.global_bytes(0));
+        assert_eq!(ws, bs, "elided/threaded ops charge walker-identical stats");
+        assert_eq!(ws, ls);
+        assert!(ws.ops.mov >= 4, "both movs charged on both items");
+        assert_eq!(ws.block_execs[1], 2, "threaded-through block still charged");
+    }
+
+    #[test]
+    fn lanes_match_on_divergent_data_dependent_branches() {
+        // Per-lane trip counts force group splits and early retirement;
+        // run under several group sizes to cross group boundaries.
+        let func = busy_kernel();
+        for local in [1, 2, 8] {
+            let ((wm, ws), _, (lm, ls)) = run_all(&func, 8, local, |mem| {
+                let buf = mem.alloc_global(8 * 8);
+                let l = mem.alloc_local(local * 8);
+                vec![KernelArgValue::GlobalBuffer(buf), KernelArgValue::LocalBuffer(l)]
+            });
+            assert_eq!(wm.global_bytes(0), lm.global_bytes(0), "local={local}");
+            assert_eq!(ws, ls, "local={local}");
+        }
     }
 }

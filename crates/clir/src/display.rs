@@ -76,6 +76,16 @@ impl fmt::Display for InstDisplay<'_> {
             Inst::Load { dst, ptr, ty } => write!(f, "r{} = load.{ty} r{}", dst.0, ptr.0),
             Inst::Store { ptr, val, ty } => write!(f, "store.{ty} r{}, r{}", ptr.0, val.0),
             Inst::Barrier => write!(f, "barrier"),
+            Inst::Phi { ty, dst, args } => {
+                write!(f, "r{} = phi.{ty} [", dst.0)?;
+                for (i, (bb, r)) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "b{}: r{}", bb.0, r.0)?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }

@@ -134,6 +134,27 @@ pub trait Memory {
     /// Returns [`MemAccessError`] for out-of-bounds, unknown or read-only
     /// buffers.
     fn store(&mut self, ptr: PtrValue, val: Value) -> Result<(), MemAccessError>;
+
+    /// A raw view (base pointer, length in bytes) of the buffer behind
+    /// `(space, buffer)`, if the implementation can expose one.
+    ///
+    /// The lane-vectorized engine uses this to resolve a buffer once per
+    /// SIMT group and then perform per-lane bounds-checked copies,
+    /// instead of paying a full [`Memory::load`]/[`Memory::store`] per
+    /// lane. Returning `None` (the default) is always correct — callers
+    /// must fall back to the per-access methods, which also keeps the
+    /// error reporting for unknown buffers in one place.
+    ///
+    /// # Safety contract for callers
+    /// The pointer is valid for `len` bytes only until the next call to
+    /// any `&mut self` method of the same memory (allocation may move
+    /// buffers). Accesses must stay in bounds, and concurrent use from
+    /// other work-groups is governed by the same race-freedom contract
+    /// as [`SharedGlobals`].
+    fn raw_region(&mut self, space: AddressSpace, buffer: u32) -> Option<(*mut u8, usize)> {
+        let _ = (space, buffer);
+        None
+    }
 }
 
 /// The global-memory arena of one context: the buffers that outlive a
@@ -375,6 +396,18 @@ impl Memory for WorkerMemory<'_, '_> {
             }
         }
     }
+
+    fn raw_region(&mut self, space: AddressSpace, buffer: u32) -> Option<(*mut u8, usize)> {
+        match space {
+            AddressSpace::Global | AddressSpace::Constant => {
+                self.globals.bufs.get(buffer as usize).map(|v| (v.ptr, v.len))
+            }
+            AddressSpace::Local => {
+                self.locals.bufs.get_mut(buffer as usize).map(|b| (b.as_mut_ptr(), b.len()))
+            }
+            AddressSpace::Private => None,
+        }
+    }
 }
 
 /// Look a buffer up in a slice-backed arena (`Private` never reaches a
@@ -512,6 +545,15 @@ impl Memory for VecMemory {
         let off = slice_off(region, ptr, len)?;
         region[off..off + len].copy_from_slice(&val.to_le_bytes());
         Ok(())
+    }
+
+    fn raw_region(&mut self, space: AddressSpace, buffer: u32) -> Option<(*mut u8, usize)> {
+        let arena = match space {
+            AddressSpace::Global | AddressSpace::Constant => &mut self.globals,
+            AddressSpace::Local => &mut self.locals,
+            AddressSpace::Private => return None,
+        };
+        arena.get_mut(buffer as usize).map(|b| (b.as_mut_ptr(), b.len()))
     }
 }
 
@@ -901,6 +943,7 @@ impl<'f> WorkGroupRun<'f> {
                 self.stats.mem.count_store(p.space, ty.size_bytes());
             }
             Inst::Barrier => unreachable!("barrier handled by run_item"),
+            Inst::Phi { .. } => unreachable!("phis are eliminated before execution"),
         }
         Ok(())
     }

@@ -194,6 +194,13 @@ pub enum Inst {
     Store { ptr: RegId, val: RegId, ty: ScalarType },
     /// `barrier(...)` — work-group synchronisation point.
     Barrier,
+    /// `dst = phi [b_i: r_i, ...]` — SSA merge: on entry from predecessor
+    /// `b_i`, `dst` takes the value of `r_i`. Phis exist only between the
+    /// `mem2reg` and `out-of-ssa` passes; all phis of a block sit
+    /// contiguously at its head and conceptually execute in parallel.
+    /// Executable IR (what the verifier hands to devices and engines) is
+    /// phi-free.
+    Phi { ty: Type, dst: RegId, args: Vec<(BlockId, RegId)> },
 }
 
 impl Inst {
@@ -210,7 +217,8 @@ impl Inst {
             | Inst::Call { dst, .. }
             | Inst::WorkItem { dst, .. }
             | Inst::Gep { dst, .. }
-            | Inst::Load { dst, .. } => Some(*dst),
+            | Inst::Load { dst, .. }
+            | Inst::Phi { dst, .. } => Some(*dst),
             Inst::Store { .. } | Inst::Barrier => None,
         }
     }
@@ -228,6 +236,7 @@ impl Inst {
             Inst::Gep { base, index, .. } => vec![*base, *index],
             Inst::Load { ptr, .. } => vec![*ptr],
             Inst::Store { ptr, val, .. } => vec![*ptr, *val],
+            Inst::Phi { args, .. } => args.iter().map(|&(_, r)| r).collect(),
         }
     }
 }
@@ -363,6 +372,13 @@ mod tests {
         assert_eq!(s.dst(), None);
         assert_eq!(s.sources(), vec![RegId(0), RegId(1)]);
         assert_eq!(Inst::Barrier.sources(), vec![]);
+        let p = Inst::Phi {
+            ty: Type::Scalar(ScalarType::F64),
+            dst: RegId(5),
+            args: vec![(BlockId(0), RegId(1)), (BlockId(2), RegId(3))],
+        };
+        assert_eq!(p.dst(), Some(RegId(5)));
+        assert_eq!(p.sources(), vec![RegId(1), RegId(3)]);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Dense register renumbering after the SSA round trip.
+//!
+//! `mem2reg` and `out-of-ssa` allocate fresh registers freely; once DCE
+//! has settled, many ids are unreferenced. This pass renumbers every
+//! *referenced* register densely, preserving relative order (parameters
+//! keep their pinned `0..n` ABI slots) and each register's declared
+//! type — the type table drives zero-init semantics, so an unwritten
+//! register must keep reading the zero value of its original type.
+//! Engines size their register files from `reg_types`, so compaction
+//! directly shrinks every per-work-item frame.
+
+use super::util::{for_each_src_mut, set_dst};
+use crate::ir::{Function, Module, RegId, Terminator};
+
+/// Run [`compact_regs_in`] over every function of the module.
+pub fn compact_regs(mut m: Module) -> Module {
+    for f in &mut m.functions {
+        compact_regs_in(f);
+    }
+    m
+}
+
+/// Renumber referenced registers densely, dropping unreferenced ids
+/// from the type table.
+pub fn compact_regs_in(func: &mut Function) {
+    let nregs = func.reg_types.len();
+    let mut used = vec![false; nregs];
+    used[..func.params.len()].fill(true);
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            for_each_src_mut(inst, |r| used[r.index()] = true);
+            if let Some(d) = inst.dst() {
+                used[d.index()] = true;
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            used[cond.index()] = true;
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+    let mut map = vec![u32::MAX; nregs];
+    let mut new_types = Vec::with_capacity(nregs);
+    for (old, &u) in used.iter().enumerate() {
+        if u {
+            map[old] = new_types.len() as u32;
+            new_types.push(func.reg_types[old]);
+        }
+    }
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            for_each_src_mut(inst, |r| *r = RegId(map[r.index()]));
+            if let Some(d) = inst.dst() {
+                set_dst(inst, RegId(map[d.index()]));
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &mut block.term {
+            *cond = RegId(map[cond.index()]);
+        }
+    }
+    func.reg_types = new_types;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{AddressSpace, ScalarType, Type};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn unreferenced_registers_are_dropped_and_params_stay_pinned() {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        // Burn some register ids that nothing ever references.
+        for _ in 0..5 {
+            b.fresh(Type::Scalar(ScalarType::F64));
+        }
+        let one = b.const_f64(1.0);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, one, ScalarType::F64);
+        b.ret();
+        let mut f = b.finish().expect("valid");
+        let before = f.reg_types.len();
+        compact_regs_in(&mut f);
+        assert_eq!(f.reg_types.len(), before - 5);
+        assert_eq!(f.params.len(), 1);
+        let m = Module::from_functions("t", vec![f]);
+        verify_module(&m).expect("verifies after renumbering");
+    }
+}

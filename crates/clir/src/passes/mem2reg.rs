@@ -1,0 +1,368 @@
+//! Promotion of mutable registers to SSA form (`mem2reg`).
+//!
+//! The IR is a register machine: the front-end freely redefines a
+//! register (loop counters, accumulators, reassigned locals). This pass
+//! rewrites every multiply-defined register into a family of
+//! singly-defined ones, inserting [`Inst::Phi`] nodes at join points via
+//! semi-pruned SSA construction (iterated dominance frontiers of the
+//! definition sites, restricted to registers live across block
+//! boundaries).
+//!
+//! Semantics preserved exactly:
+//! - Kernel parameters occupy registers `0..n` and act as implicit
+//!   definitions at function entry; their ids are pinned (the renaming
+//!   stack for a parameter starts as `[param]`), so the ABI register
+//!   assignment survives promotion.
+//! - A register read on a path with no prior definition observes the
+//!   engines' zero-init value. Renaming models this by falling back to
+//!   the *original* register id when the stack is empty: after renaming,
+//!   the original id is never written, so it holds exactly the zero-init
+//!   value of its declared type.
+//!
+//! The output is phi-bearing IR; the `out-of-ssa` pass lowers it back to
+//! executable (phi-free) form before any engine or device sees it.
+
+use super::cfg_simplify::remove_unreachable_in;
+use super::dom::Cfg;
+use super::util::{for_each_src_mut, set_dst};
+use crate::ir::{BlockId, Function, Inst, Module, RegId, Terminator};
+use std::collections::HashMap;
+
+/// Run [`mem2reg_in`] over every function of the module.
+pub fn mem2reg(mut m: Module) -> Module {
+    for f in &mut m.functions {
+        mem2reg_in(f);
+    }
+    m
+}
+
+/// Promote every multiply-defined register of `func` to SSA values with
+/// phi placement. No-op when the function is already in SSA form or when
+/// the entry block has predecessors (the implicit parameter definitions
+/// would need phi arguments from outside the CFG).
+pub fn mem2reg_in(func: &mut Function) {
+    if func.blocks.is_empty() {
+        return;
+    }
+    // Phi argument lists must cover every predecessor; drop unreachable
+    // blocks first so renaming (which walks the dominator tree) visits
+    // every remaining predecessor.
+    remove_unreachable_in(func);
+
+    let cfg = Cfg::new(func);
+    if !cfg.preds[0].is_empty() {
+        return; // a loop back to the entry: leave the function alone
+    }
+
+    // Static definition counts; parameters are implicit entry defs.
+    let nregs = func.reg_types.len();
+    let mut def_count = vec![0u32; nregs];
+    for c in def_count.iter_mut().take(func.params.len()) {
+        *c += 1;
+    }
+    let mut def_blocks: Vec<Vec<usize>> = vec![Vec::new(); nregs];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            if let Some(dst) = inst.dst() {
+                def_count[dst.index()] += 1;
+                if !def_blocks[dst.index()].contains(&bi) {
+                    def_blocks[dst.index()].push(bi);
+                }
+            }
+        }
+    }
+    let promoted: Vec<bool> = def_count.iter().map(|&c| c >= 2).collect();
+    if !promoted.iter().any(|&p| p) {
+        return;
+    }
+    // Parameters count their implicit entry definition as a def site.
+    for (p, blocks) in def_blocks.iter_mut().enumerate().take(func.params.len()) {
+        if promoted[p] && !blocks.contains(&0) {
+            blocks.push(0);
+        }
+    }
+
+    // Semi-pruned "globals": promoted registers read in some block before
+    // any definition in that block (they are live across an edge, so they
+    // may need phis; purely block-local registers never do).
+    let mut global = vec![false; nregs];
+    for block in &func.blocks {
+        let mut defined_here = vec![false; nregs];
+        for inst in &block.insts {
+            for src in inst.sources() {
+                if !defined_here[src.index()] {
+                    global[src.index()] = true;
+                }
+            }
+            if let Some(dst) = inst.dst() {
+                defined_here[dst.index()] = true;
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            if !defined_here[cond.index()] {
+                global[cond.index()] = true;
+            }
+        }
+    }
+
+    // Phi placement at the iterated dominance frontier of each promoted
+    // global's definition sites.
+    let df = cfg.dominance_frontiers();
+    // phi_orig[b] = original register of each phi placed at b's head, in
+    // insertion order (ascending register id, for determinism).
+    let mut phi_orig: Vec<Vec<RegId>> = vec![Vec::new(); func.blocks.len()];
+    for v in 0..nregs {
+        if !(promoted[v] && global[v]) {
+            continue;
+        }
+        let mut work = def_blocks[v].clone();
+        let mut placed = vec![false; func.blocks.len()];
+        while let Some(b) = work.pop() {
+            for &d in &df[b] {
+                if !placed[d] {
+                    placed[d] = true;
+                    phi_orig[d].push(RegId(v as u32));
+                    work.push(d);
+                }
+            }
+        }
+    }
+    for (bi, origs) in phi_orig.iter_mut().enumerate() {
+        origs.sort_by_key(|r| r.index());
+        for (k, &v) in origs.iter().enumerate() {
+            let ty = func.reg_types[v.index()];
+            func.blocks[bi].insts.insert(k, Inst::Phi { ty, dst: v, args: Vec::new() });
+        }
+    }
+
+    // Rename along the dominator tree. The stack top is the current SSA
+    // name; an empty stack reads the original (zero-init) register.
+    let mut stacks: HashMap<RegId, Vec<RegId>> = HashMap::new();
+    for (p, &pr) in promoted.iter().enumerate().take(func.params.len()) {
+        if pr {
+            stacks.insert(RegId(p as u32), vec![RegId(p as u32)]);
+        }
+    }
+    let cur = |stacks: &HashMap<RegId, Vec<RegId>>, v: RegId| -> RegId {
+        stacks.get(&v).and_then(|s| s.last().copied()).unwrap_or(v)
+    };
+
+    // Explicit DFS with enter/exit actions (pushes are popped on exit).
+    enum Step {
+        Enter(usize),
+        Exit(Vec<RegId>),
+    }
+    let mut dfs = vec![Step::Enter(0)];
+    while let Some(step) = dfs.pop() {
+        match step {
+            Step::Exit(pushed) => {
+                for v in pushed {
+                    stacks.get_mut(&v).expect("pushed implies stack").pop();
+                }
+            }
+            Step::Enter(b) => {
+                let mut pushed: Vec<RegId> = Vec::new();
+                let nphis = phi_orig[b].len();
+                // Indexing is deliberate: the body takes disjoint mutable
+                // borrows of insts[i] and reg_types in the same iteration.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..func.blocks[b].insts.len() {
+                    let is_phi = i < nphis;
+                    if !is_phi {
+                        let inst = &mut func.blocks[b].insts[i];
+                        for_each_src_mut(inst, |r| {
+                            if promoted[r.index()] {
+                                *r = cur(&stacks, *r);
+                            }
+                        });
+                    }
+                    let dst = func.blocks[b].insts[i].dst();
+                    if let Some(dst) = dst {
+                        // Phi destinations always carry a promoted
+                        // original; plain defs only rename if promoted.
+                        if is_phi || promoted[dst.index()] {
+                            let orig = if is_phi { phi_orig[b][i] } else { dst };
+                            let fresh = RegId(func.reg_types.len() as u32);
+                            func.reg_types.push(func.reg_types[orig.index()]);
+                            set_dst(&mut func.blocks[b].insts[i], fresh);
+                            stacks.entry(orig).or_default().push(fresh);
+                            pushed.push(orig);
+                        }
+                    }
+                }
+                if let Terminator::Branch { cond, .. } = &mut func.blocks[b].term {
+                    if promoted[cond.index()] {
+                        *cond = cur(&stacks, *cond);
+                    }
+                }
+                // Fill successor phi arguments with the values live at
+                // the end of this block.
+                for si in 0..cfg.succs[b].len() {
+                    let s = cfg.succs[b][si];
+                    for (k, &v) in phi_orig[s].iter().enumerate() {
+                        let arg = cur(&stacks, v);
+                        if let Inst::Phi { args, .. } = &mut func.blocks[s].insts[k] {
+                            if !args.iter().any(|&(p, _)| p == BlockId(b as u32)) {
+                                args.push((BlockId(b as u32), arg));
+                            }
+                        }
+                    }
+                }
+                dfs.push(Step::Exit(pushed));
+                // Children in reverse so the DFS visits them in order.
+                for &c in cfg.children[b].iter().rev() {
+                    dfs.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use crate::ir::{BinOp, CmpOp};
+    use crate::mathlib::ExactMath;
+    use crate::types::{AddressSpace, ScalarType, Type};
+    use crate::verify::verify_module;
+
+    fn run_one(func: &Function) -> f64 {
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let shape = GroupShape::linear(1, 1, 0);
+        let mut wg =
+            WorkGroupRun::new(func, shape, &[KernelArgValue::GlobalBuffer(buf)], 0).expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        mem.read_f64(buf, 0)
+    }
+
+    /// out[0] = sum of 1..=4 accumulated through a loop with two
+    /// multiply-defined registers (counter and accumulator).
+    fn loop_function() -> Function {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let acc = b.const_f64(0.0);
+        let i0 = b.const_i64(0);
+        let i = b.fresh(Type::Scalar(ScalarType::I64));
+        let a = b.fresh(Type::Scalar(ScalarType::F64));
+        b.mov_into(i, i0);
+        b.mov_into(a, acc);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(head);
+        b.switch_to(head);
+        let four = b.const_i64(4);
+        let done = b.cmp(CmpOp::Ge, ScalarType::I64, i, four);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let one = b.const_i64(1);
+        let i2 = b.bin(BinOp::Add, ScalarType::I64, i, one);
+        b.mov_into(i, i2);
+        let fi = b.cast(i, ScalarType::I64, ScalarType::F64);
+        let a2 = b.fadd(a, fi, ScalarType::F64);
+        b.mov_into(a, a2);
+        b.jump(head);
+        b.switch_to(exit);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, a, ScalarType::F64);
+        b.ret();
+        b.finish().expect("valid")
+    }
+
+    fn multidef_regs(f: &Function) -> usize {
+        let mut defs = vec![0u32; f.reg_types.len()];
+        for block in &f.blocks {
+            for inst in &block.insts {
+                if let Some(d) = inst.dst() {
+                    defs[d.index()] += 1;
+                }
+            }
+        }
+        defs.iter().filter(|&&c| c >= 2).count()
+    }
+
+    #[test]
+    fn loop_accumulator_is_promoted_with_phis_and_result_is_preserved() {
+        let f = loop_function();
+        let expected = run_one(&f);
+        assert_eq!(expected, 10.0);
+        assert!(multidef_regs(&f) >= 2, "loop has multiply-defined registers");
+
+        let mut g = f.clone();
+        mem2reg_in(&mut g);
+        let m = Module::from_functions("t", vec![g]);
+        verify_module(&m).expect("phi-bearing IR verifies");
+        let g = &m.functions[0];
+        assert_eq!(multidef_regs(g), 0, "every register is singly defined");
+        let phis = g
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Phi { .. }))
+            .count();
+        assert!(phis >= 2, "loop head merges counter and accumulator, got {phis}");
+    }
+
+    #[test]
+    fn straight_line_reassignment_promotes_without_phis() {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let x = b.fresh(Type::Scalar(ScalarType::F64));
+        let one = b.const_f64(1.0);
+        b.mov_into(x, one);
+        let two = b.const_f64(2.0);
+        let sum = b.fadd(x, two, ScalarType::F64);
+        b.mov_into(x, sum);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, x, ScalarType::F64);
+        b.ret();
+        let f = b.finish().expect("valid");
+
+        let mut g = f.clone();
+        mem2reg_in(&mut g);
+        let m = Module::from_functions("t", vec![g.clone()]);
+        verify_module(&m).expect("verifies");
+        assert_eq!(multidef_regs(&g), 0);
+        assert!(g.blocks.iter().flat_map(|b| &b.insts).all(|i| !matches!(i, Inst::Phi { .. })));
+        assert_eq!(run_one(&g), 3.0);
+    }
+
+    #[test]
+    fn read_before_any_definition_still_observes_zero_init() {
+        // x is read before its only defs on the not-taken path: the
+        // promoted form must still produce 0.0 for that read.
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        let v = b.load(slot, ScalarType::F64);
+        let x = b.fresh(Type::Scalar(ScalarType::F64));
+        let zero = b.const_f64(0.0);
+        let c = b.cmp(CmpOp::Gt, ScalarType::F64, v, zero); // false for v = 0
+        let assign = b.create_block();
+        let join = b.create_block();
+        b.branch(c, assign, join);
+        b.switch_to(assign);
+        let seven = b.const_f64(7.0);
+        b.mov_into(x, seven);
+        let eight = b.const_f64(8.0);
+        b.mov_into(x, eight);
+        b.jump(join);
+        b.switch_to(join);
+        b.store(slot, x, ScalarType::F64);
+        b.ret();
+        let f = b.finish().expect("valid");
+        assert_eq!(run_one(&f), 0.0, "x is zero-init on the fallthrough path");
+
+        let mut g = f.clone();
+        mem2reg_in(&mut g);
+        let m = Module::from_functions("t", vec![g.clone()]);
+        verify_module(&m).expect("verifies");
+        assert_eq!(multidef_regs(&g), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Lowering from phi-bearing SSA back to executable (phi-free) IR.
+//!
+//! Each block's phis describe one *parallel copy* per incoming edge:
+//! entering `s` from `p`, every phi destination simultaneously receives
+//! its argument for `p`. Lowering materialises that copy set as `Mov`
+//! instructions:
+//!
+//! - on a non-critical edge (the predecessor has a single successor) the
+//!   copies go at the end of the predecessor;
+//! - a critical edge (predecessor branches to several targets) is split
+//!   with a fresh block holding the copies and a jump to `s`, so the
+//!   other targets never observe them;
+//! - the parallel copy is sequenced with the standard worklist
+//!   algorithm, breaking swap/rotation cycles by parking one overwritten
+//!   destination in a fresh temporary register.
+//!
+//! The result contains no [`Inst::Phi`] and is what the verifier hands
+//! to devices and engines.
+
+use crate::ir::{Block, BlockId, Function, Inst, Module, RegId, Terminator};
+use std::collections::HashMap;
+
+/// Run [`out_of_ssa_in`] over every function of the module.
+pub fn out_of_ssa(mut m: Module) -> Module {
+    for f in &mut m.functions {
+        out_of_ssa_in(f);
+    }
+    m
+}
+
+/// Replace every phi with explicit copies on the incoming edges.
+pub fn out_of_ssa_in(func: &mut Function) {
+    // Strip phis first, recording (destination, per-edge source) sets.
+    type PhiCopies = Vec<(RegId, Vec<(usize, RegId)>)>;
+    let mut work: Vec<(usize, PhiCopies)> = Vec::new();
+    for s in 0..func.blocks.len() {
+        let nphis =
+            func.blocks[s].insts.iter().take_while(|i| matches!(i, Inst::Phi { .. })).count();
+        if nphis == 0 {
+            continue;
+        }
+        let phis = func.blocks[s]
+            .insts
+            .drain(..nphis)
+            .map(|i| match i {
+                Inst::Phi { dst, args, .. } => {
+                    (dst, args.into_iter().map(|(p, r)| (p.index(), r)).collect())
+                }
+                _ => unreachable!("head zone is all phis"),
+            })
+            .collect();
+        work.push((s, phis));
+    }
+
+    for (s, phis) in work {
+        let mut per_pred: HashMap<usize, Vec<(RegId, RegId)>> = HashMap::new();
+        for (dst, args) in &phis {
+            for &(p, src) in args {
+                per_pred.entry(p).or_default().push((*dst, src));
+            }
+        }
+        let mut preds: Vec<usize> = per_pred.keys().copied().collect();
+        preds.sort_unstable();
+        for p in preds {
+            let copies = sequence(per_pred.remove(&p).expect("keyed above"), func);
+            if copies.is_empty() {
+                continue;
+            }
+            let succs = func.blocks[p].term.successors();
+            let distinct: Vec<_> = {
+                let mut d: Vec<usize> = succs.iter().map(|b| b.index()).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            if distinct.len() <= 1 {
+                func.blocks[p].insts.extend(copies);
+            } else {
+                // Critical edge: split it so the other successor never
+                // executes the copies.
+                let e = BlockId(func.blocks.len() as u32);
+                func.blocks
+                    .push(Block { insts: copies, term: Terminator::Jump(BlockId(s as u32)) });
+                match &mut func.blocks[p].term {
+                    Terminator::Jump(t) => {
+                        if t.index() == s {
+                            *t = e;
+                        }
+                    }
+                    Terminator::Branch { then_bb, else_bb, .. } => {
+                        if then_bb.index() == s {
+                            *then_bb = e;
+                        }
+                        if else_bb.index() == s {
+                            *else_bb = e;
+                        }
+                    }
+                    Terminator::Return => {}
+                }
+            }
+        }
+    }
+}
+
+/// Sequence one parallel copy into `Mov`s, allocating temporaries to
+/// break cycles. Self-copies vanish.
+fn sequence(copies: Vec<(RegId, RegId)>, func: &mut Function) -> Vec<Inst> {
+    let mut pending: Vec<(RegId, RegId)> = copies.into_iter().filter(|(d, s)| d != s).collect();
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        if let Some(pos) = pending.iter().position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+        {
+            let (dst, src) = pending.swap_remove(pos);
+            out.push(Inst::Mov { dst, src });
+        } else {
+            // Every destination is still needed as a source: a cycle.
+            // Park the first destination's current value in a temp.
+            let (d, _) = pending[0];
+            let t = RegId(func.reg_types.len() as u32);
+            func.reg_types.push(func.reg_types[d.index()]);
+            out.push(Inst::Mov { dst: t, src: d });
+            for (_, s) in pending.iter_mut() {
+                if *s == d {
+                    *s = t;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{GroupShape, KernelArgValue, VecMemory, WorkGroupRun};
+    use crate::ir::{BinOp, CmpOp};
+    use crate::mathlib::ExactMath;
+    use crate::passes::mem2reg_in;
+    use crate::types::{AddressSpace, ScalarType, Type};
+    use crate::verify::verify_module;
+
+    fn run_one(func: &Function) -> f64 {
+        let mut mem = VecMemory::new();
+        let buf = mem.alloc_global(8);
+        let shape = GroupShape::linear(1, 1, 0);
+        let mut wg =
+            WorkGroupRun::new(func, shape, &[KernelArgValue::GlobalBuffer(buf)], 0).expect("args");
+        wg.run(&mut mem, &ExactMath).expect("runs");
+        mem.read_f64(buf, 0)
+    }
+
+    /// A loop that *swaps* two registers each iteration — the canonical
+    /// parallel-copy cycle — plus an accumulator.
+    fn swap_loop() -> Function {
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let x = b.fresh(Type::Scalar(ScalarType::F64));
+        let y = b.fresh(Type::Scalar(ScalarType::F64));
+        let i = b.fresh(Type::Scalar(ScalarType::I64));
+        let one_f = b.const_f64(1.0);
+        let two_f = b.const_f64(2.0);
+        let zero = b.const_i64(0);
+        b.mov_into(x, one_f);
+        b.mov_into(y, two_f);
+        b.mov_into(i, zero);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(head);
+        b.switch_to(head);
+        let three = b.const_i64(3);
+        let done = b.cmp(CmpOp::Ge, ScalarType::I64, i, three);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        // (x, y) = (y, x) — a genuine swap, needs a temp after lowering.
+        let tx = b.fresh(Type::Scalar(ScalarType::F64));
+        b.mov_into(tx, x);
+        b.mov_into(x, y);
+        b.mov_into(y, tx);
+        let one = b.const_i64(1);
+        let i2 = b.bin(BinOp::Add, ScalarType::I64, i, one);
+        b.mov_into(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        // out[0] = x + 2*y: distinguishes (1,2)/(2,1) orderings.
+        let twoc = b.const_f64(2.0);
+        let y2 = b.fmul(twoc, y, ScalarType::F64);
+        let sum = b.fadd(x, y2, ScalarType::F64);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, sum, ScalarType::F64);
+        b.ret();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn roundtrip_through_ssa_preserves_swap_loop_semantics() {
+        let f = swap_loop();
+        let expected = run_one(&f);
+        // 3 swaps: (1,2)->(2,1)->(1,2)->(2,1); 2 + 2*1 = 4.
+        assert_eq!(expected, 4.0);
+
+        let mut g = f.clone();
+        mem2reg_in(&mut g);
+        let m = Module::from_functions("t", vec![g]);
+        verify_module(&m).expect("ssa form verifies");
+        let mut g = m.functions.into_iter().next().unwrap();
+        out_of_ssa_in(&mut g);
+        let m = Module::from_functions("t", vec![g]);
+        verify_module(&m).expect("lowered form verifies");
+        let g = &m.functions[0];
+        assert!(
+            g.blocks.iter().flat_map(|b| &b.insts).all(|i| !matches!(i, Inst::Phi { .. })),
+            "no phis survive lowering"
+        );
+        assert_eq!(run_one(g), expected, "bit-identical result after the round trip");
+    }
+}

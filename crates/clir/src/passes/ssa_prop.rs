@@ -1,0 +1,352 @@
+//! Global (whole-function) constant and copy propagation for SSA-formed
+//! IR.
+//!
+//! After `mem2reg` most registers are singly defined, so block-local
+//! validity tracking is unnecessary: a singly-defined constant holds its
+//! value at every program point its definition dominates. This pass
+//! folds instructions whose operands are dominating singly-defined
+//! constants, simplifies phis whose arguments agree, and forwards `Mov`
+//! chains whose copies dominate every use. It never invents or reorders
+//! floating-point arithmetic — folding uses the same `eval` kernels the
+//! engines execute, so results stay bit-identical.
+//!
+//! Registers the promoter left multiply-defined (or never defined:
+//! zero-init) simply fail the single-definition checks and are left
+//! untouched, so the pass is safe on any verified IR, phi-bearing or
+//! not.
+
+use super::dom::Cfg;
+use super::util::for_each_src_mut;
+use crate::eval;
+use crate::ir::{Function, Inst, Module, RegId, Terminator};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Run [`ssa_prop_in`] over every function of the module.
+pub fn ssa_prop(mut m: Module) -> Module {
+    for f in &mut m.functions {
+        ssa_prop_in(f);
+    }
+    m
+}
+
+/// Iterate global constant folding and copy forwarding to a fixpoint
+/// (bounded; each round strictly simplifies the function).
+pub fn ssa_prop_in(func: &mut Function) {
+    if func.blocks.is_empty() {
+        return;
+    }
+    for _ in 0..16 {
+        let folded = fold_round(func);
+        let copied = copy_round(func);
+        if !(folded || copied) {
+            return;
+        }
+    }
+}
+
+/// A definition site: `(block, instruction index)`. Parameters are
+/// implicitly defined before everything (`None` site).
+type Site = (usize, usize);
+
+struct Defs {
+    /// Static definition count per register (parameters count once).
+    count: Vec<u32>,
+    /// Site of the single definition; `None` for parameters (which
+    /// dominate every site).
+    site: Vec<Option<Site>>,
+}
+
+fn collect_defs(func: &Function) -> Defs {
+    let nregs = func.reg_types.len();
+    let mut count = vec![0u32; nregs];
+    let mut site: Vec<Option<Site>> = vec![None; nregs];
+    for c in count.iter_mut().take(func.params.len()) {
+        *c += 1;
+    }
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(dst) = inst.dst() {
+                count[dst.index()] += 1;
+                site[dst.index()] = Some((bi, i));
+            }
+        }
+    }
+    Defs { count, site }
+}
+
+/// Does the (single) definition of `r` dominate `at`?
+fn def_dominates(cfg: &Cfg, defs: &Defs, r: RegId, at: Site) -> bool {
+    match defs.site[r.index()] {
+        None => true, // parameter: defined at entry, before everything
+        Some(site) => cfg.dominates_site(site, at),
+    }
+}
+
+/// Fold instructions whose operands are dominating singly-defined
+/// constants; simplify phis whose arguments all agree.
+fn fold_round(func: &mut Function) -> bool {
+    let cfg = Cfg::new(func);
+    let defs = collect_defs(func);
+    // Singly-defined constant registers.
+    let mut konst: Vec<Option<Value>> = vec![None; func.reg_types.len()];
+    for block in &func.blocks {
+        for inst in &block.insts {
+            if let Inst::Const { dst, val } = inst {
+                if defs.count[dst.index()] == 1 {
+                    konst[dst.index()] = Some(*val);
+                }
+            }
+        }
+    }
+    let lookup = |r: RegId, at: Site| -> Option<Value> {
+        match konst[r.index()] {
+            Some(v) if def_dominates(&cfg, &defs, r, at) => Some(v),
+            _ => None,
+        }
+    };
+
+    let mut changed = false;
+    for b in 0..func.blocks.len() {
+        if !cfg.reachable(b) {
+            continue;
+        }
+        let nphis =
+            func.blocks[b].insts.iter().take_while(|i| matches!(i, Inst::Phi { .. })).count();
+        let pred_end: HashMap<usize, Site> =
+            cfg.preds[b].iter().map(|&p| (p, (p, func.blocks[p].insts.len()))).collect();
+        for i in 0..func.blocks[b].insts.len() {
+            let at: Site = (b, i);
+            let new_inst: Option<Inst> = match &func.blocks[b].insts[i] {
+                Inst::Mov { dst, src } => {
+                    lookup(*src, at).map(|val| Inst::Const { dst: *dst, val })
+                }
+                Inst::Bin { op, ty, dst, a, b: rb } => match (lookup(*a, at), lookup(*rb, at)) {
+                    (Some(x), Some(y)) => eval::eval_bin(*op, *ty, x, y)
+                        .ok()
+                        .map(|val| Inst::Const { dst: *dst, val }),
+                    _ => None,
+                },
+                Inst::Un { op, ty, dst, a } => lookup(*a, at)
+                    .map(|x| Inst::Const { dst: *dst, val: eval::eval_un(*op, *ty, x) }),
+                Inst::Cmp { op, ty, dst, a, b: rb } => match (lookup(*a, at), lookup(*rb, at)) {
+                    (Some(x), Some(y)) => Some(Inst::Const {
+                        dst: *dst,
+                        val: Value::Bool(eval::eval_cmp(*op, *ty, x, y)),
+                    }),
+                    _ => None,
+                },
+                Inst::Select { dst, cond, a, b: rb, .. } => match lookup(*cond, at) {
+                    Some(Value::Bool(c)) => {
+                        Some(Inst::Mov { dst: *dst, src: if c { *a } else { *rb } })
+                    }
+                    _ => None,
+                },
+                Inst::Cast { dst, a, from, to } => lookup(*a, at)
+                    .map(|x| Inst::Const { dst: *dst, val: eval::eval_cast(x, *from, *to) }),
+                Inst::Phi { dst, args, .. } => {
+                    if args.is_empty() {
+                        None // unreachable-pred artifact; DCE's problem
+                    } else if let Some(val) = args
+                        .iter()
+                        .map(|&(p, r)| lookup(r, pred_end[&p.index()]))
+                        .try_fold(None::<Value>, |acc, v| match (acc, v?) {
+                            (None, v) => Some(Some(v)),
+                            (Some(a), v) if value_bits_eq(a, v) => Some(Some(v)),
+                            _ => None,
+                        })
+                        .flatten()
+                    {
+                        // Every incoming edge delivers the same constant.
+                        Some(Inst::Const { dst: *dst, val })
+                    } else {
+                        let first = args[0].1;
+                        let same_reg = args.iter().all(|&(_, r)| r == first);
+                        // A phi of one register is a copy — but only if
+                        // that register is singly defined (its value
+                        // cannot differ per edge) and is not another phi
+                        // of this very block (its head position would
+                        // read the post-merge value).
+                        let first_is_local_phi =
+                            func.blocks[b].insts[..nphis].iter().any(|ph| ph.dst() == Some(first));
+                        if same_reg
+                            && first != *dst
+                            && defs.count[first.index()] <= 1
+                            && !first_is_local_phi
+                        {
+                            Some(Inst::Mov { dst: *dst, src: first })
+                        } else {
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            if let Some(inst) = new_inst {
+                func.blocks[b].insts[i] = inst;
+                changed = true;
+            }
+        }
+        if changed {
+            // Phi replacements may have left non-phis inside the head
+            // zone; restore contiguity (stable, and safe: replacement
+            // consts/movs never read a phi destination of this block).
+            let head = &mut func.blocks[b].insts[..nphis];
+            head.sort_by_key(|i| !matches!(i, Inst::Phi { .. }));
+        }
+    }
+    changed
+}
+
+fn value_bits_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::F32(x), Value::F32(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Forward `Mov` copies: a singly-defined destination whose copy
+/// dominates every use reads identically from the source, provided the
+/// source is itself singly defined (or never defined, i.e. zero-init)
+/// with a definition dominating the copy.
+fn copy_round(func: &mut Function) -> bool {
+    let cfg = Cfg::new(func);
+    let defs = collect_defs(func);
+
+    // Use sites per register. Phi arguments read at the *end of the
+    // predecessor*; terminator conditions read at the end of their block.
+    let mut uses: HashMap<RegId, Vec<Site>> = HashMap::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let end = (bi, block.insts.len());
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::Phi { args, .. } = inst {
+                for &(p, r) in args {
+                    let p = p.index();
+                    uses.entry(r).or_default().push((p, func.blocks[p].insts.len()));
+                }
+            } else {
+                for r in inst.sources() {
+                    uses.entry(r).or_default().push((bi, i));
+                }
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            uses.entry(*cond).or_default().push(end);
+        }
+    }
+
+    // Plan substitutions dst -> src, then apply them transitively.
+    let mut sub: HashMap<RegId, RegId> = HashMap::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        if !cfg.reachable(bi) {
+            continue;
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            let Inst::Mov { dst, src } = inst else {
+                continue;
+            };
+            let (dst, src) = (*dst, *src);
+            if dst == src || defs.count[dst.index()] != 1 {
+                continue;
+            }
+            let site: Site = (bi, i);
+            let src_ok = match defs.count[src.index()] {
+                0 => true, // zero-init: constant everywhere
+                1 => def_dominates(&cfg, &defs, src, site),
+                _ => false,
+            };
+            if !src_ok {
+                continue;
+            }
+            let dominated = uses
+                .get(&dst)
+                .map(|sites| sites.iter().all(|&u| cfg.dominates_site(site, u)))
+                .unwrap_or(true);
+            if dominated {
+                sub.insert(dst, src);
+            }
+        }
+    }
+    if sub.is_empty() {
+        return false;
+    }
+    let resolve = |mut r: RegId| -> RegId {
+        let mut hops = 0;
+        while let Some(&s) = sub.get(&r) {
+            r = s;
+            hops += 1;
+            if hops > sub.len() {
+                break; // defensive: substitution cycles are impossible
+            }
+        }
+        r
+    };
+    let mut changed = false;
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            for_each_src_mut(inst, |r| {
+                let n = resolve(*r);
+                if n != *r {
+                    *r = n;
+                    changed = true;
+                }
+            });
+        }
+        if let Terminator::Branch { cond, .. } = &mut block.term {
+            let n = resolve(*cond);
+            if n != *cond {
+                *cond = n;
+                changed = true;
+            }
+        }
+    }
+    // Rewriting may have produced self-moves; drop them (a self-move is
+    // a no-op but keeps itself alive through naive liveness).
+    for block in &mut func.blocks {
+        let before = block.insts.len();
+        block.insts.retain(|i| !matches!(i, Inst::Mov { dst, src } if dst == src));
+        changed |= block.insts.len() != before;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::BinOp;
+    use crate::types::{AddressSpace, ScalarType, Type};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn cross_block_constants_fold_and_copies_forward() {
+        // Entry defines constants; a later block combines them through a
+        // mov chain. Block-local folding cannot see across the edge.
+        let mut b = FunctionBuilder::new("k", true);
+        let out = b.param("out", Type::ptr(AddressSpace::Global, ScalarType::F64));
+        let two = b.const_f64(2.0);
+        let three = b.const_f64(3.0);
+        let tail = b.create_block();
+        b.jump(tail);
+        b.switch_to(tail);
+        let c2 = b.fresh(Type::Scalar(ScalarType::F64));
+        b.mov_into(c2, two);
+        let sum = b.bin(BinOp::Add, ScalarType::F64, c2, three);
+        let z = b.const_i64(0);
+        let slot = b.gep(out, z, ScalarType::F64);
+        b.store(slot, sum, ScalarType::F64);
+        b.ret();
+        let mut f = b.finish().expect("valid");
+
+        ssa_prop_in(&mut f);
+        let m = Module::from_functions("t", vec![f]);
+        verify_module(&m).expect("verifies");
+        let folded = m.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Const { val: Value::F64(v), .. } if *v == 5.0));
+        assert!(folded, "2.0 + 3.0 folds across the block boundary");
+    }
+}

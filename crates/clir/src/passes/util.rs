@@ -1,0 +1,61 @@
+//! Small shared helpers for passes that rewrite register operands.
+
+use crate::ir::{Inst, RegId};
+
+/// Visit every *source* (read) register of `inst` mutably, including phi
+/// arguments. Destinations are not visited.
+pub(crate) fn for_each_src_mut(inst: &mut Inst, mut f: impl FnMut(&mut RegId)) {
+    match inst {
+        Inst::Const { .. } | Inst::WorkItem { .. } | Inst::Barrier => {}
+        Inst::Mov { src, .. } => f(src),
+        Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Inst::Un { a, .. } | Inst::Cast { a, .. } => f(a),
+        Inst::Select { cond, a, b, .. } => {
+            f(cond);
+            f(a);
+            f(b);
+        }
+        Inst::Call { args, .. } => {
+            for r in args.iter_mut() {
+                f(r);
+            }
+        }
+        Inst::Gep { base, index, .. } => {
+            f(base);
+            f(index);
+        }
+        Inst::Load { ptr, .. } => f(ptr),
+        Inst::Store { ptr, val, .. } => {
+            f(ptr);
+            f(val);
+        }
+        Inst::Phi { args, .. } => {
+            for (_, r) in args.iter_mut() {
+                f(r);
+            }
+        }
+    }
+}
+
+/// Overwrite the destination register of a value-producing instruction.
+/// Panics on `Store`/`Barrier`, which produce no value.
+pub(crate) fn set_dst(inst: &mut Inst, new: RegId) {
+    match inst {
+        Inst::Const { dst, .. }
+        | Inst::Mov { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::Un { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::Select { dst, .. }
+        | Inst::Cast { dst, .. }
+        | Inst::Call { dst, .. }
+        | Inst::WorkItem { dst, .. }
+        | Inst::Gep { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Phi { dst, .. } => *dst = new,
+        Inst::Store { .. } | Inst::Barrier => unreachable!("instruction has no destination"),
+    }
+}

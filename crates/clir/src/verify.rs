@@ -24,6 +24,9 @@ pub enum VerifyError {
     /// A kernel parameter has an invalid type (e.g. pointer without
     /// address space is unrepresentable, but `Bool` params are rejected).
     BadParam { func: String, param: String },
+    /// A malformed phi: not at the block head, an argument set that does
+    /// not match the block's predecessors, or a type mismatch.
+    BadPhi { func: String, block: BlockId, detail: String },
 }
 
 impl fmt::Display for VerifyError {
@@ -41,6 +44,9 @@ impl fmt::Display for VerifyError {
             VerifyError::Empty { func } => write!(f, "{func}: function has no blocks"),
             VerifyError::BadParam { func, param } => {
                 write!(f, "{func}: parameter `{param}` has an unsupported type")
+            }
+            VerifyError::BadPhi { func, block, detail } => {
+                write!(f, "{func}: b{}: malformed phi: {detail}", block.0)
             }
         }
     }
@@ -73,6 +79,10 @@ impl<'f> Checker<'f> {
     fn mismatch(&self, detail: String) -> VerifyError {
         VerifyError::TypeMismatch { func: self.func.name.clone(), block: self.block, detail }
     }
+
+    fn bad_phi(&self, detail: String) -> VerifyError {
+        VerifyError::BadPhi { func: self.func.name.clone(), block: self.block, detail }
+    }
 }
 
 /// Verify one function.
@@ -91,21 +101,62 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
     if func.params.len() > func.reg_types.len() {
         return Err(VerifyError::Empty { func: func.name.clone() });
     }
+    // Predecessor sets, for phi-argument checks.
+    let mut preds: Vec<Vec<BlockId>> = vec![vec![]; func.blocks.len()];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for succ in block.term.successors() {
+            if let Some(p) = preds.get_mut(succ.index()) {
+                let from = BlockId(bi as u32);
+                if !p.contains(&from) {
+                    p.push(from);
+                }
+            }
+        }
+    }
     for (bi, block) in func.blocks.iter().enumerate() {
         let c = Checker { func, block: BlockId(bi as u32) };
-        verify_block(&c, block)?;
+        verify_block(&c, block, &preds[bi])?;
     }
     Ok(())
 }
 
-fn verify_block(c: &Checker<'_>, block: &Block) -> Result<(), VerifyError> {
-    for inst in &block.insts {
+fn verify_block(c: &Checker<'_>, block: &Block, preds: &[BlockId]) -> Result<(), VerifyError> {
+    let head = block.insts.iter().take_while(|i| matches!(i, Inst::Phi { .. })).count();
+    for (ii, inst) in block.insts.iter().enumerate() {
         // All referenced registers must exist.
         for r in inst.sources() {
             c.reg(r)?;
         }
         if let Some(d) = inst.dst() {
             c.reg(d)?;
+        }
+        if let Inst::Phi { ty, dst, args } = inst {
+            if ii >= head {
+                return Err(c.bad_phi("phi after a non-phi instruction".into()));
+            }
+            if c.reg(*dst)? != *ty {
+                return Err(c.bad_phi(format!("r{} is not of the phi's type {ty}", dst.0)));
+            }
+            let mut seen: Vec<BlockId> = Vec::with_capacity(args.len());
+            for (bb, r) in args {
+                if !preds.contains(bb) {
+                    return Err(c.bad_phi(format!("argument from non-predecessor b{}", bb.0)));
+                }
+                if seen.contains(bb) {
+                    return Err(c.bad_phi(format!("duplicate argument for predecessor b{}", bb.0)));
+                }
+                seen.push(*bb);
+                if c.reg(*r)? != *ty {
+                    return Err(c.bad_phi(format!("argument r{} is not of type {ty}", r.0)));
+                }
+            }
+            if seen.len() != preds.len() {
+                return Err(c.bad_phi(format!(
+                    "{} argument(s) for {} predecessor(s)",
+                    seen.len(),
+                    preds.len()
+                )));
+            }
         }
         verify_inst(c, inst)?;
     }
@@ -233,6 +284,8 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
             c.expect_scalar(*val, *ty, "store value")?;
         }
         Inst::Barrier => {}
+        // Checked against the predecessor list in `verify_block`.
+        Inst::Phi { .. } => {}
     }
     Ok(())
 }

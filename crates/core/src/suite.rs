@@ -382,6 +382,8 @@ mod tests {
             (bop_ocl::Engine::Walk, 1),
             (bop_ocl::Engine::Bytecode, 1),
             (bop_ocl::Engine::Bytecode, 4),
+            (bop_ocl::Engine::Lanes, 1),
+            (bop_ocl::Engine::Lanes, 4),
         ]
         .into_iter()
         .map(|(engine, workers)| {
@@ -404,5 +406,7 @@ mod tests {
         .collect();
         assert_eq!(runs[0], runs[1], "walk vs bytecode");
         assert_eq!(runs[1], runs[2], "1 vs 4 workers");
+        assert_eq!(runs[0], runs[3], "walk vs lanes");
+        assert_eq!(runs[3], runs[4], "lanes: 1 vs 4 workers");
     }
 }

@@ -133,6 +133,9 @@ pub fn inst_cost(inst: &Inst) -> OpCost {
         Inst::Gep { .. } => INT_ALU,
         Inst::Load { .. } | Inst::Store { .. } => OpCost::default(), // charged per site below
         Inst::Barrier => BARRIER,
+        // Phis are resolved on block entry by the out-of-ssa pass before
+        // device compilation; they consume no datapath resources.
+        Inst::Phi { .. } => OpCost::default(),
     }
 }
 

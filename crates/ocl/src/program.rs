@@ -94,11 +94,11 @@ impl Program {
         total: Instant,
     ) -> Result<Program, BuildError> {
         // Re-optimise with the named pipeline matching the build options
-        // (idempotent over the front-end's own cleanups), then refuse to
-        // hand the device — or the bytecode compiler, which assumes
-        // verified IR — anything a pass broke.
+        // (the SSA pipeline: mem2reg, global propagation, CFG cleanup,
+        // out-of-ssa), then refuse to hand the device — or the bytecode
+        // compiler, which assumes verified IR — anything a pass broke.
         let t = Instant::now();
-        let pipeline = Pipeline::for_options(options.no_opt, options.cse);
+        let pipeline = Pipeline::for_build(options.no_opt, options.cse);
         let (module, pass_report) = pipeline.run(module);
         bop_clir::verify::verify_module(&module)?;
         let passes_s = t.elapsed().as_secs_f64();

@@ -13,7 +13,7 @@ use crate::context::{Buffer, Context};
 use crate::device::Dispatch;
 use crate::faults::{FaultDecision, FaultPlan, FaultSite, FaultState, InjectedFault};
 use crate::program::{Kernel, KernelArg};
-use bop_clir::bytecode::{BytecodeRun, CompiledKernel};
+use bop_clir::bytecode::{BytecodeRun, CompiledKernel, LanesRun};
 use bop_clir::interp::WorkerMemory;
 use bop_clir::interp::{ExecError, GlobalArena, GroupShape, KernelArgValue, WorkGroupRun};
 use bop_clir::ir::Function;
@@ -25,9 +25,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::sync::Mutex;
 
-/// Which kernel execution engine an NDRange launch uses. Both engines are
+/// Which kernel execution engine an NDRange launch uses. All engines are
 /// bit-identical — same prices, statistics, counters, traces and error
-/// messages; the bytecode engine is simply faster wall-clock.
+/// messages; bytecode and lanes are simply faster wall-clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The `bop-clir` tree-walking interpreter ([`WorkGroupRun`]) — the
@@ -37,6 +37,11 @@ pub enum Engine {
     /// to the walker for kernels with no cached bytecode.
     #[default]
     Bytecode,
+    /// The lane-vectorized bytecode engine ([`LanesRun`]): each op
+    /// dispatches once per SIMT group and executes across all work-item
+    /// lanes of a structure-of-arrays register file. Falls back to the
+    /// walker for kernels with no cached bytecode.
+    Lanes,
 }
 
 impl fmt::Display for Engine {
@@ -44,16 +49,19 @@ impl fmt::Display for Engine {
         f.write_str(match self {
             Engine::Walk => "walk",
             Engine::Bytecode => "bytecode",
+            Engine::Lanes => "lanes",
         })
     }
 }
 
 /// Parse an engine name as accepted by `BOP_SIM_ENGINE`: `walk` (or
-/// `tree`) and `bytecode` (or `bc`), case-insensitive.
+/// `tree`), `bytecode` (or `bc`), and `lanes` (or `simd`),
+/// case-insensitive.
 pub fn parse_engine(s: &str) -> Option<Engine> {
     match s.trim().to_ascii_lowercase().as_str() {
         "walk" | "tree" => Some(Engine::Walk),
         "bytecode" | "bc" => Some(Engine::Bytecode),
+        "lanes" | "simd" => Some(Engine::Lanes),
         _ => None,
     }
 }
@@ -351,7 +359,7 @@ impl CommandQueue {
 
     /// Select the kernel execution engine for NDRange launches (default:
     /// `BOP_SIM_ENGINE`, else the bytecode engine). Purely a wall-clock
-    /// knob: both engines produce bit-identical results, statistics,
+    /// knob: all engines produce bit-identical results, statistics,
     /// counters, traces and errors.
     pub fn set_engine(&self, engine: Engine) {
         *self.engine.lock().unwrap() = engine;
@@ -1267,9 +1275,10 @@ impl CommandQueue {
 /// reported from the lowest-indexed failing worker is the one the
 /// sequential loop would have hit first.
 ///
-/// Each group runs on the selected [`Engine`]: the compiled bytecode when
-/// available (and `engine` asks for it), else the tree-walker. The two
-/// are bit-identical, so the choice never changes results or statistics.
+/// Each group runs on the selected [`Engine`]: the compiled bytecode
+/// (serial or lane-vectorized) when available and `engine` asks for it,
+/// else the tree-walker. All engines are bit-identical, so the choice
+/// never changes results or statistics.
 #[allow(clippy::too_many_arguments)]
 fn interpret_groups(
     mem: &mut GlobalArena,
@@ -1303,6 +1312,11 @@ fn interpret_groups(
             match (engine, compiled) {
                 (Engine::Bytecode, Some(bc)) => {
                     let mut run = BytecodeRun::new(bc, shape, &arg_values, step_limit)?;
+                    run.run(&mut local, math)?;
+                    total.merge(run.stats());
+                }
+                (Engine::Lanes, Some(bc)) => {
+                    let mut run = LanesRun::new(bc, shape, &arg_values, step_limit)?;
                     run.run(&mut local, math)?;
                     total.merge(run.stats());
                 }
@@ -1766,9 +1780,9 @@ mod tests {
     }
 
     #[test]
-    fn spurious_traps_kill_launches_on_both_engines() {
+    fn spurious_traps_kill_launches_on_all_engines() {
         use crate::faults::{FaultPlan, FaultSites};
-        for engine in [Engine::Walk, Engine::Bytecode] {
+        for engine in [Engine::Walk, Engine::Bytecode, Engine::Lanes] {
             let (ctx, q, p) = setup("__kernel void k(__global double* io) {}");
             q.set_engine(engine);
             q.set_fault_plan(FaultPlan::new(1.0, 5).with_sites(FaultSites {

@@ -66,22 +66,101 @@ fn run_host(device: Arc<dyn Device>, arch: KernelArch, engine: Engine, workers: 
 }
 
 #[test]
-fn bytecode_engine_is_bit_identical_to_the_tree_walker() {
+fn bytecode_and_lanes_engines_are_bit_identical_to_the_tree_walker() {
     let archs = [KernelArch::Straightforward, KernelArch::Optimized];
     let device_of = [devices::fpga, devices::gpu, devices::cpu];
     for arch in archs {
         for make in device_of {
             let reference = run_host(make(), arch, Engine::Walk, 1);
-            for workers in [1, 3] {
-                let bc = run_host(make(), arch, Engine::Bytecode, workers);
-                let what = format!("{arch:?} on {:?}, {workers} worker(s)", make().info().kind);
-                assert_eq!(bc.prices, reference.prices, "prices differ: {what}");
-                assert_eq!(bc.stats, reference.stats, "kernel stats differ: {what}");
-                assert_eq!(bc.counters, reference.counters, "counters differ: {what}");
-                assert_eq!(bc.chrome, reference.chrome, "chrome export differs: {what}");
-                assert_eq!(bc.sim_s, reference.sim_s, "simulated clock differs: {what}");
+            for engine in [Engine::Bytecode, Engine::Lanes] {
+                for workers in [1, 3] {
+                    let bc = run_host(make(), arch, engine, workers);
+                    let what = format!(
+                        "{arch:?} on {:?}, {engine} engine, {workers} worker(s)",
+                        make().info().kind
+                    );
+                    assert_eq!(bc.prices, reference.prices, "prices differ: {what}");
+                    assert_eq!(bc.stats, reference.stats, "kernel stats differ: {what}");
+                    assert_eq!(bc.counters, reference.counters, "counters differ: {what}");
+                    assert_eq!(bc.chrome, reference.chrome, "chrome export differs: {what}");
+                    assert_eq!(bc.sim_s, reference.sim_s, "simulated clock differs: {what}");
+                }
             }
             assert!(reference.stats.is_some(), "launches must record kernel stats");
+        }
+    }
+}
+
+/// Deterministic anchor for the devtests `proptest_engines` template: a
+/// branchy kernel with per-lane divergence, multiply-assigned locals,
+/// barrier-separated local-memory traffic and an optional integer trap
+/// behaves identically on all three engines at several worker counts.
+#[test]
+fn engines_agree_on_branchy_divergent_kernel_and_trap() {
+    let src = "__kernel void k(__global double* out, __global const double* in,
+                     __local double* tmp, int divisor) {
+        int lid = get_local_id(0);
+        int gid = get_global_id(0);
+        double acc = in[gid];
+        int j = 0;
+        for (int t = 0; t < 3; t++) {
+            if (lid % 2 < 1) {
+                acc = acc * 1.25 + (double)t;
+                j = j + lid;
+            } else {
+                acc = acc - 0.75;
+                j = j - 1;
+            }
+            tmp[lid] = acc;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            double nb = tmp[(lid + 2) % 5];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            acc = fmax(acc * 0.5, fmin(nb, acc));
+        }
+        if (lid == 3) {
+            j = j / divisor;
+        }
+        out[gid] = acc + (double)j;
+    }";
+    let (w, groups) = (5usize, 2usize);
+    let n = w * groups;
+    let run = |engine: Engine, workers: usize, divisor: i32| {
+        let ctx = Context::new(devices::gpu());
+        let queue = CommandQueue::new(&ctx);
+        queue.set_workers(workers);
+        queue.set_engine(engine);
+        let program = Program::from_source(&ctx, "branchy.cl", src, &BuildOptions::default())
+            .expect("kernel builds");
+        let kernel = program.kernel("k").expect("kernel k");
+        let out = ctx.create_buffer(8 * n);
+        let input = ctx.create_buffer(8 * n);
+        let init: Vec<f64> = (0..n).map(|i| 0.25 * i as f64 - 1.5).collect();
+        queue.enqueue_write_f64(&input, &init).expect("write");
+        kernel.set_arg_buffer(0, &out);
+        kernel.set_arg_buffer(1, &input);
+        kernel.set_arg_local(2, 8 * w);
+        kernel.set_arg_i32(3, divisor);
+        let launched = queue
+            .enqueue_nd_range(&kernel, bop_ocl::Dispatch::new(n, w))
+            .map_err(|e| e.to_string());
+        let prices = launched.map(|_| {
+            let mut prices = vec![0.0f64; n];
+            queue.enqueue_read_f64(&out, &mut prices).expect("read");
+            prices.iter().map(|p| p.to_bits()).collect::<Vec<u64>>()
+        });
+        (prices, queue.kernel_stats("k"), queue.counters(), queue.elapsed_s())
+    };
+
+    let good = run(Engine::Walk, 1, 2);
+    assert!(good.0.is_ok(), "divisor 2 must not trap");
+    let bad = run(Engine::Walk, 1, 0);
+    let trap = bad.0.as_ref().expect_err("divisor 0 must trap");
+    assert!(trap.contains("integer division by zero"), "typed trap payload: {trap}");
+    for engine in [Engine::Walk, Engine::Bytecode, Engine::Lanes] {
+        for workers in [1usize, 3] {
+            let what = format!("{engine} engine, {workers} worker(s)");
+            assert_eq!(run(engine, workers, 2), good, "success outcome differs: {what}");
+            assert_eq!(run(engine, workers, 0), bad, "trap outcome differs: {what}");
         }
     }
 }
@@ -95,6 +174,8 @@ fn engine_knob_round_trips_and_env_syntax_parses() {
     assert_eq!(queue.engine(), Engine::Walk);
     queue.set_engine(Engine::Bytecode);
     assert_eq!(queue.engine(), Engine::Bytecode);
+    queue.set_engine(Engine::Lanes);
+    assert_eq!(queue.engine(), Engine::Lanes);
     assert_eq!(Engine::default(), Engine::Bytecode, "bytecode is the default hot path");
 
     // The BOP_SIM_ENGINE value syntax.
@@ -103,6 +184,8 @@ fn engine_knob_round_trips_and_env_syntax_parses() {
         ("tree", Some(Engine::Walk)),
         ("Bytecode", Some(Engine::Bytecode)),
         (" bc ", Some(Engine::Bytecode)),
+        ("lanes", Some(Engine::Lanes)),
+        (" SIMD ", Some(Engine::Lanes)),
         ("llvm", None),
         ("", None),
     ] {
@@ -172,9 +255,12 @@ fn accelerator_engine_knob_is_wall_clock_only() {
     };
     let walk = price(Some(Engine::Walk));
     let bytecode = price(Some(Engine::Bytecode));
+    let lanes = price(Some(Engine::Lanes));
     let auto = price(None);
     assert_eq!(walk.prices, bytecode.prices, "prices independent of engine");
+    assert_eq!(walk.prices, lanes.prices, "lanes prices independent of engine");
     assert_eq!(walk.elapsed_s, bytecode.elapsed_s, "simulated time independent of engine");
+    assert_eq!(walk.elapsed_s, lanes.elapsed_s, "lanes simulated time independent of engine");
     assert_eq!(auto.prices, bytecode.prices, "default engine gives the same prices");
 }
 
@@ -251,7 +337,8 @@ fn compile_metrics_and_pass_report_are_published() {
     let report = acc.program().report();
     let passes = report.passes.expect("report carries pass stats");
     assert_eq!(passes.pipeline, acc.program().pass_report().pipeline);
-    assert!(!passes.passes.is_empty(), "standard pipeline ran at least one pass");
+    assert_eq!(passes.pipeline, "ssa", "default build runs the SSA pipeline");
+    assert!(!passes.passes.is_empty(), "ssa pipeline ran at least one pass");
 }
 
 #[test]
