@@ -72,6 +72,25 @@ echo "== interp_throughput engine determinism smoke =="
 ./target/release/interp_throughput --fast --engine all --json 2>&1 \
   | grep -q 'determinism check: PASS'
 
+# Same determinism contract for the kernel IV.C pipe pair: the streaming
+# producer/consumer launch graph must be bit-identical (stall counters
+# included) across all three engines and every worker count.
+echo "== interp_throughput IV.C pipe smoke =="
+./target/release/interp_throughput --kernel ivc --engine all --fast --json 2>&1 \
+  | grep -q 'determinism check: PASS'
+
+# Pipe hygiene gate: any kernel source using the pipe builtins must
+# declare a `pipe` parameter, so no .cl file can reach read_pipe /
+# write_pipe while bypassing the front-end's pipe validation.
+echo "== kernel sources pass pipe builtin validation =="
+unpiped=$(grep -rl 'read_pipe\|write_pipe' --include='*.cl' crates \
+  | while read -r f; do grep -q 'pipe ' "$f" || echo "$f"; done || true)
+if [ -n "${unpiped}" ]; then
+  echo "kernel sources use pipe builtins without a pipe parameter:" >&2
+  echo "${unpiped}" >&2
+  exit 1
+fi
+
 # The chaos suite already ran once inside `cargo test` (it is a tier-1
 # [[test]] of bop-serve, default seed). Re-run it under two more fixed
 # seeds so the determinism contract is proved on several fault streams,

@@ -62,6 +62,14 @@ fn experiments(fast: bool) -> Vec<(&'static str, Vec<String>)> {
     vec![
         ("interp_throughput", vec!["--fast".into(), "--json".into()]),
         (
+            // The IV.C streaming pair: same binary, pipe-graph path. Its
+            // report lands under `interp_throughput_ivc`, so the first
+            // snapshot carrying it shows up as new rows (warned, not
+            // failed) against older baselines.
+            "interp_throughput",
+            vec!["--kernel".into(), "ivc".into(), "--fast".into(), "--json".into()],
+        ),
+        (
             // The mixed-workload preset: every payoff class in the
             // stream, half the requests also computing Greeks — so the
             // snapshot tracks the serving layer's risk path, not just
@@ -211,9 +219,10 @@ fn compare(args: &[String]) -> i32 {
         "bench_snapshot compare: {old_path} -> {new_path} (threshold {:.0}%)",
         threshold * 100.0
     );
-    for (key, old_v, unit) in perf_rows(&old) {
-        let Some(&new_v) = new_rows.get(&key) else { continue };
-        if old_v <= 0.0 {
+    let old_rows = perf_rows(&old);
+    for (key, old_v, unit) in &old_rows {
+        let Some(&new_v) = new_rows.get(key) else { continue };
+        if *old_v <= 0.0 {
             continue;
         }
         compared += 1;
@@ -225,11 +234,23 @@ fn compare(args: &[String]) -> i32 {
             (ratio - 1.0) * 100.0
         );
         if regressed {
-            regressions.push(key);
+            regressions.push(key.clone());
+        }
+    }
+    // Rows present only in the NEW snapshot have no baseline yet — a
+    // freshly added benchmark, not a regression. Surface them as "new"
+    // so the next baseline picks them up, and never fail on them.
+    let old_keys: std::collections::BTreeSet<&String> =
+        old_rows.iter().map(|(k, _, _)| k).collect();
+    let mut fresh = 0usize;
+    for (key, new_v, unit) in perf_rows(&new) {
+        if !old_keys.contains(&key) {
+            fresh += 1;
+            println!("  new       {key}: {new_v:.3} {unit} (no baseline; will gate next time)");
         }
     }
     println!(
-        "  {compared} metrics compared, {} regressed beyond {:.0}%",
+        "  {compared} metrics compared, {} regressed beyond {:.0}%, {fresh} new",
         regressions.len(),
         threshold * 100.0
     );

@@ -1,15 +1,18 @@
 //! Interpreter-throughput benchmark for the parallel NDRange executor.
 //!
-//! Runs the paper's kernel IV.B host program (one work-group per option,
-//! so a batch is a multi-group dispatch) at several simulation worker
-//! counts on the selected execution engine(s), checks that prices,
-//! merged `ExecStats`, `QueueCounters` and the exported Chrome trace are
-//! bit-identical across worker counts *and* across the tree-walking,
-//! bytecode and lane-vectorized engines, and reports the wall-clock
-//! speedups. Both knobs are wall-clock only: the simulated device clock
-//! never changes.
+//! Runs one of the paper's device-side architectures — kernel IV.B (one
+//! work-group per option, so a batch is a multi-group dispatch) or
+//! kernel IV.C (the streaming pipe pair, one producer/consumer launch
+//! graph) — at several simulation worker counts on the selected
+//! execution engine(s), checks that prices, merged `ExecStats` (pipe
+//! stall counters included), `QueueCounters` and the exported Chrome
+//! trace are bit-identical across worker counts *and* across the
+//! tree-walking, bytecode and lane-vectorized engines, and reports the
+//! wall-clock speedups. Both knobs are wall-clock only: the simulated
+//! device clock never changes.
 //!
-//! Pass `--engine walk|bytecode|lanes|both|all` (default `both`; `all`
+//! Pass `--kernel ivb|ivc` (default `ivb`) to pick the architecture,
+//! `--engine walk|bytecode|lanes|both|all` (default `both`; `all`
 //! sweeps all three engines) to pick the engine(s), `--fast` for a
 //! smaller lattice/batch, `--json-out <path>` / `--json` for the
 //! machine-readable report. On success the determinism check prints
@@ -17,55 +20,89 @@
 
 use bop_bench::reporting::{ReportOpts, Stopwatch};
 use bop_core::hostprog::optimized::OptimizedHost;
+use bop_core::hostprog::streaming::StreamingHost;
 use bop_core::{devices, KernelArch, Precision};
 use bop_finance::types::OptionParams;
 use bop_finance::workload;
 use bop_obs::ExperimentReport;
 use bop_ocl::{BuildOptions, CommandQueue, Context, Engine, Program};
 
+/// The benchmarked architecture.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kern {
+    /// Kernel IV.B: multi-group NDRange on the GPU model.
+    IvB,
+    /// Kernel IV.C: the streaming pipe pair on the FPGA model.
+    IvC,
+}
+
 struct RunResult {
     wall_s: f64,
     sim_s: f64,
+    watts: f64,
     prices: Vec<f64>,
     stats: Option<bop_clir::stats::ExecStats>,
+    /// IV.C only: the leaf producer's statistics (the consumer's are in
+    /// `stats`).
+    producer_stats: Option<bop_clir::stats::ExecStats>,
     counters: bop_ocl::queue::QueueCounters,
     chrome: String,
 }
 
-fn run_once(n_steps: usize, options: &[OptionParams], workers: usize, engine: Engine) -> RunResult {
-    let arch = KernelArch::Optimized;
-    let ctx = Context::new(devices::gpu());
+fn run_once(
+    kern: Kern,
+    n_steps: usize,
+    options: &[OptionParams],
+    workers: usize,
+    engine: Engine,
+) -> RunResult {
+    let (device, arch) = match kern {
+        Kern::IvB => (devices::gpu(), KernelArch::Optimized),
+        Kern::IvC => (devices::fpga(), KernelArch::Streaming),
+    };
+    let ctx = Context::new(device);
     let queue = CommandQueue::new(&ctx);
     queue.set_workers(workers);
     queue.set_engine(engine);
     queue.enable_trace();
     let program = Program::from_source(
         &ctx,
-        "optimized.cl",
-        &arch.source(Precision::Double),
+        "kernel.cl",
+        &arch.source_sized(Precision::Double, n_steps),
         &BuildOptions::default(),
     )
     .expect("kernel builds");
-    let host = OptimizedHost {
-        n_steps,
-        precision: Precision::Double,
-        host_leaves: false,
-        kernel_name: arch.kernel_name(),
-    };
     let timer = Stopwatch::start();
-    let prices = host.run(&ctx, &queue, &program, options).expect("pricing runs");
+    let prices = match kern {
+        Kern::IvB => OptimizedHost {
+            n_steps,
+            precision: Precision::Double,
+            host_leaves: false,
+            kernel_name: arch.kernel_name(),
+        }
+        .run(&ctx, &queue, &program, options),
+        Kern::IvC => StreamingHost { n_steps, precision: Precision::Double }
+            .run(&ctx, &queue, &program, options),
+    }
+    .expect("pricing runs");
     let wall_s = timer.elapsed_s();
     RunResult {
         wall_s,
         sim_s: queue.elapsed_s(),
+        watts: program.report().power_watts,
         prices,
         stats: queue.kernel_stats(arch.kernel_name()),
+        producer_stats: match kern {
+            Kern::IvB => None,
+            Kern::IvC => queue.kernel_stats(KernelArch::STREAMING_PRODUCER),
+        },
         counters: queue.counters(),
         chrome: queue.export_chrome_trace().to_string(),
     }
 }
 
 fn sweep(
+    kern: Kern,
     n_steps: usize,
     options: &[OptionParams],
     counts: &[usize],
@@ -77,7 +114,7 @@ fn sweep(
     for &w in counts {
         let mut best: Option<RunResult> = None;
         for _ in 0..3 {
-            let r = run_once(n_steps, options, w, engine);
+            let r = run_once(kern, n_steps, options, w, engine);
             if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
                 best = Some(r);
             }
@@ -92,6 +129,20 @@ fn main() {
     let opts = ReportOpts::from_env();
     let timer = Stopwatch::start();
     let fast = args.iter().any(|a| a == "--fast");
+    let kern = match args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("ivb")
+    {
+        "ivb" => Kern::IvB,
+        "ivc" => Kern::IvC,
+        other => {
+            eprintln!("--kernel expects ivb|ivc, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let engines: Vec<Engine> = match args
         .iter()
         .position(|a| a == "--engine")
@@ -109,15 +160,23 @@ fn main() {
             }
         },
     };
-    let (n_steps, n_options) = if fast { (64, 32) } else { (128, 96) };
+    // IV.C prices the whole batch in one serial consumer task, so its
+    // interpreted instruction count per option is ~n/2 times IV.B's per
+    // work-item count; the preset keeps the two wall-clock comparable.
+    let (n_steps, n_options) = match (kern, fast) {
+        (Kern::IvB, true) => (64, 32),
+        (Kern::IvB, false) => (128, 96),
+        (Kern::IvC, true) => (48, 12),
+        (Kern::IvC, false) => (96, 24),
+    };
+    let (label, shape) = match kern {
+        Kern::IvB => ("IV.B", format!("{n_options} options ({n_options} work-groups)")),
+        Kern::IvC => ("IV.C", format!("{n_options} options (producer/consumer pipe graph)")),
+    };
     let options =
         workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 4, n_options);
     let names: Vec<String> = engines.iter().map(|e| e.to_string()).collect();
-    eprintln!(
-        "interpreting IV.B: {n_options} options ({n_options} work-groups), {n_steps} steps, \
-         engine(s): {}...",
-        names.join(", ")
-    );
+    eprintln!("interpreting {label}: {shape}, {n_steps} steps, engine(s): {}...", names.join(", "));
 
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut counts = vec![1, 2, 4, hw];
@@ -125,7 +184,7 @@ fn main() {
     counts.dedup();
 
     let sweeps: Vec<(Engine, Vec<(usize, RunResult)>)> =
-        engines.iter().map(|&e| (e, sweep(n_steps, &options, &counts, e))).collect();
+        engines.iter().map(|&e| (e, sweep(kern, n_steps, &options, &counts, e))).collect();
 
     // Determinism: bit-identical across worker counts within an engine,
     // and across engines at every worker count.
@@ -135,6 +194,10 @@ fn main() {
             let at = format!("engine {engine}, {w} worker(s)");
             assert_eq!(r.prices, reference.prices, "prices must be bit-identical ({at})");
             assert_eq!(r.stats, reference.stats, "ExecStats must be bit-identical ({at})");
+            assert_eq!(
+                r.producer_stats, reference.producer_stats,
+                "producer ExecStats must be bit-identical ({at})"
+            );
             assert_eq!(r.counters, reference.counters, "counters must be bit-identical ({at})");
             assert_eq!(r.chrome, reference.chrome, "traces must be bit-identical ({at})");
             assert_eq!(r.sim_s, reference.sim_s, "simulated time must be bit-identical ({at})");
@@ -146,6 +209,16 @@ fn main() {
         sweeps.len(),
         counts.len()
     );
+    if kern == Kern::IvC {
+        let stats = reference.stats.as_ref().expect("consumer stats");
+        eprintln!(
+            "pipe traffic: {} writes, {} reads, {} read stalls, {} write stalls",
+            reference.counters.pipe_writes,
+            reference.counters.pipe_reads,
+            stats.pipe_read_stalls,
+            stats.pipe_write_stalls,
+        );
+    }
 
     // Cross-engine speedup at each worker count (baseline wall /
     // contender wall), for every baseline/contender pair in the sweep.
@@ -168,8 +241,13 @@ fn main() {
     })
     .collect();
 
+    // Simulated-device rates (engine- and worker-independent): the
+    // snapshot gate tracks these alongside the wall-clock rows.
+    let sim_options_per_s = n_options as f64 / reference.sim_s;
+    let sim_options_per_j = sim_options_per_s / reference.watts;
+
     if !opts.suppress_human() {
-        println!("Interpreter throughput — kernel IV.B, {n_options} groups x {n_steps} steps\n");
+        println!("Interpreter throughput — kernel {label}, {shape}, {n_steps} steps\n");
         for (engine, results) in &sweeps {
             let base = &results[0].1;
             println!("engine: {engine}");
@@ -193,11 +271,17 @@ fn main() {
             println!();
         }
         println!(
+            "simulated device: {sim_options_per_s:.1} options/s, {sim_options_per_j:.2} options/J"
+        );
+        println!(
             "results identical across engines and worker counts (prices, stats, counters, trace)"
         );
     }
 
-    let mut report = ExperimentReport::new("interp_throughput");
+    let mut report = ExperimentReport::new(match kern {
+        Kern::IvB => "interp_throughput",
+        Kern::IvC => "interp_throughput_ivc",
+    });
     for (engine, results) in &sweeps {
         let base = &results[0].1;
         for (w, r) in results {
@@ -213,6 +297,15 @@ fn main() {
         report.push(format!("{cont}.speedup_vs_{base}"), None, per[0].1, "x");
     }
     report.push("sim_elapsed_s", None, reference.sim_s, "s");
+    report.push("sim_options_per_s", None, sim_options_per_s, "options/s");
+    report.push("sim_options_per_j", None, sim_options_per_j, "options/J");
+    if kern == Kern::IvC {
+        let stats = reference.stats.as_ref().expect("consumer stats");
+        report.push("pipe.reads", None, reference.counters.pipe_reads as f64, "ops");
+        report.push("pipe.writes", None, reference.counters.pipe_writes as f64, "ops");
+        report.push("pipe.read_stalls", None, stats.pipe_read_stalls as f64, "ops");
+        report.push("pipe.write_stalls", None, stats.pipe_write_stalls as f64, "ops");
+    }
     report.wall_s = timer.elapsed_s();
     opts.emit(report).expect("emit report");
 }

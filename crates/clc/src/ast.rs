@@ -336,6 +336,8 @@ pub struct ParamDecl {
     pub base: CType,
     /// True if declared with `*`.
     pub is_ptr: bool,
+    /// True if declared `pipe T name` (on-chip FIFO endpoint).
+    pub is_pipe: bool,
     /// Parameter name.
     pub name: String,
 }

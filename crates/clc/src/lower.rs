@@ -82,6 +82,9 @@ enum Binding {
     Scalar { reg: RegId, ty: ScalarType },
     /// A pointer parameter.
     Ptr { reg: RegId, elem: ScalarType },
+    /// A pipe parameter (on-chip FIFO endpoint); only `read_pipe` /
+    /// `write_pipe` can touch it.
+    Pipe { reg: RegId, elem: ScalarType },
     /// A private fixed-size array.
     PrivArray { base: RegId, elem: ScalarType, len: usize },
 }
@@ -155,7 +158,10 @@ impl Lowerer {
             return Err(self.err(p.pos, format!("parameter `{}` cannot be void", p.name)));
         }
         let elem = scalar_of(p.base);
-        let binding = if p.is_ptr {
+        let binding = if p.is_pipe {
+            let reg = self.b.param(&p.name, Type::ptr(AddressSpace::Pipe, elem));
+            Binding::Pipe { reg, elem }
+        } else if p.is_ptr {
             let space = p.space.unwrap_or(AddressSpace::Private);
             if space == AddressSpace::Private {
                 return Err(self.err(
@@ -469,15 +475,44 @@ impl Lowerer {
 
     // ---- expressions --------------------------------------------------------
 
-    /// Lower an expression that may be void (a `barrier(...)` call).
+    /// Lower an expression that may be void (a `barrier(...)` or
+    /// `write_pipe(...)` call).
     fn expr_opt(&mut self, e: &Expr) -> Result<Option<Typed>, CompileError> {
-        if let ExprKind::Call { name, .. } = &e.kind {
+        if let ExprKind::Call { name, args } = &e.kind {
             if name == "barrier" || name == "mem_fence" {
                 self.b.barrier();
                 return Ok(None);
             }
+            if name == "write_pipe" {
+                self.write_pipe(e.pos, args)?;
+                return Ok(None);
+            }
         }
         self.expr(e).map(Some)
+    }
+
+    /// Lower a `write_pipe(p, v)` statement: a blocking push of `v` into
+    /// the FIFO bound to pipe parameter `p`.
+    fn write_pipe(&mut self, pos: Pos, args: &[Expr]) -> Result<(), CompileError> {
+        let [p, v] = args else {
+            return Err(self.err(pos, "write_pipe takes two arguments: write_pipe(pipe, value)"));
+        };
+        let (reg, elem) = self.pipe_arg(p)?;
+        let val = self.expr(v)?;
+        let val = self.convert(val, elem);
+        self.b.pipe_write(reg, val.reg, elem);
+        Ok(())
+    }
+
+    /// Resolve a builtin argument that must name a pipe parameter.
+    fn pipe_arg(&mut self, e: &Expr) -> Result<(RegId, ScalarType), CompileError> {
+        let ExprKind::Ident(name) = &e.kind else {
+            return Err(self.err(e.pos, "the pipe argument must name a pipe parameter"));
+        };
+        match self.lookup(name, e.pos)? {
+            Binding::Pipe { reg, elem } => Ok((reg, elem)),
+            _ => Err(self.err(e.pos, format!("`{name}` is not a pipe parameter"))),
+        }
     }
 
     fn expr(&mut self, e: &Expr) -> Result<Typed, CompileError> {
@@ -503,6 +538,10 @@ impl Lowerer {
                     format!(
                         "`{name}` is a pointer/array; only indexing (`{name}[i]`) is supported"
                     ),
+                )),
+                Binding::Pipe { .. } => Err(self.err(
+                    e.pos,
+                    format!("`{name}` is a pipe; use read_pipe({name}) or write_pipe({name}, v)"),
                 )),
             },
             ExprKind::Unary { op, expr } => self.unary(e.pos, *op, expr),
@@ -728,6 +767,9 @@ impl Lowerer {
                 Binding::Ptr { .. } | Binding::PrivArray { .. } => {
                     Err(self.err(e.pos, format!("cannot assign to pointer/array `{name}` itself")))
                 }
+                Binding::Pipe { .. } => {
+                    Err(self.err(e.pos, format!("cannot assign to pipe `{name}`; use write_pipe")))
+                }
             },
             ExprKind::Index { base, index } => {
                 let ExprKind::Ident(name) = &base.kind else {
@@ -759,6 +801,10 @@ impl Lowerer {
                         Err(self
                             .err(base.pos, format!("`{name}` is a scalar and cannot be indexed")))
                     }
+                    Binding::Pipe { .. } => Err(self.err(
+                        base.pos,
+                        format!("pipe `{name}` cannot be indexed; use read_pipe/write_pipe"),
+                    )),
                 }
             }
             _ => Err(self.err(e.pos, "expression is not assignable")),
@@ -791,6 +837,19 @@ impl Lowerer {
 
         if name == "barrier" || name == "mem_fence" {
             return Err(self.err(pos, "barrier() is a statement; its value cannot be used"));
+        }
+        if name == "write_pipe" {
+            return Err(self.err(pos, "write_pipe() is a statement; its value cannot be used"));
+        }
+
+        // Blocking pipe read: `x = read_pipe(p)` yields the pipe's element
+        // type. (OpenCL's reservation/status flavours are not modelled.)
+        if name == "read_pipe" {
+            let [p] = args else {
+                return Err(self.err(pos, "read_pipe takes one argument: read_pipe(pipe)"));
+            };
+            let (reg, elem) = self.pipe_arg(p)?;
+            return Ok(Typed { reg: self.b.pipe_read(reg, elem), ty: elem });
         }
 
         // Math builtins through the device math library.
@@ -1145,6 +1204,60 @@ mod tests {
             "__kernel void k(__global double* o) { int d = 0; o[get_global_id(d)] = 1.0; }",
         );
         assert!(e.to_string().contains("literal"));
+    }
+
+    // ---- pipes ----
+
+    #[test]
+    fn pipe_params_lower_to_pipe_pointers() {
+        let m = compile_fn(
+            "__kernel void p(__global const double* in, pipe double out) {
+                write_pipe(out, in[0] * 2.0);
+            }",
+        );
+        let f = m.kernel("p").expect("kernel");
+        assert_eq!(f.params[1].ty, Type::ptr(AddressSpace::Pipe, ScalarType::F64));
+    }
+
+    #[test]
+    fn read_pipe_yields_element_type() {
+        // A producer/consumer pair over one pipe; checked end-to-end in the
+        // clir and ocl crates, so here only the lowering is exercised.
+        let m = compile_fn(
+            "__kernel void c(__global double* o, pipe double in) {
+                double x = read_pipe(in);
+                o[0] = x + 1.0;
+            }",
+        );
+        assert!(m.kernel("c").is_some());
+    }
+
+    #[test]
+    fn write_pipe_value_rejected() {
+        let e = compile_err(
+            "__kernel void k(__global double* o, pipe double p) { o[0] = write_pipe(p, 1.0); }",
+        );
+        assert!(e.to_string().contains("statement"));
+    }
+
+    #[test]
+    fn read_pipe_requires_pipe_argument() {
+        let e = compile_err("__kernel void k(__global double* o) { o[0] = read_pipe(o); }");
+        assert!(e.to_string().contains("not a pipe"));
+    }
+
+    #[test]
+    fn pipes_cannot_be_indexed_or_assigned() {
+        let e = compile_err("__kernel void k(pipe double p) { p[0] = 1.0; }");
+        assert!(e.to_string().contains("read_pipe/write_pipe"));
+        let e = compile_err("__kernel void k(pipe double p) { p = 1.0; }");
+        assert!(e.to_string().contains("write_pipe"));
+    }
+
+    #[test]
+    fn pipe_used_as_value_rejected() {
+        let e = compile_err("__kernel void k(__global double* o, pipe double p) { o[0] = p; }");
+        assert!(e.to_string().contains("read_pipe"));
     }
 }
 

@@ -157,18 +157,33 @@ impl<'t> Parser<'t> {
                     space = Some(AddressSpace::Private);
                     self.bump();
                 }
-                TokenKind::Keyword(Keyword::Const) | TokenKind::Keyword(Keyword::Restrict) => {
+                TokenKind::Keyword(Keyword::Const)
+                | TokenKind::Keyword(Keyword::Restrict)
+                | TokenKind::Keyword(Keyword::ReadOnly)
+                | TokenKind::Keyword(Keyword::WriteOnly) => {
                     self.bump();
                 }
                 _ => break,
             }
+        }
+        // `pipe T name`: an on-chip FIFO endpoint, not a pointer.
+        if self.eat_keyword(Keyword::Pipe) {
+            if space.is_some() {
+                return Err(self.error("pipe parameters take no address-space qualifier"));
+            }
+            let base = self.parse_type()?;
+            if self.eat_punct(Punct::Star) {
+                return Err(self.error("pipe parameters are not pointers; write `pipe T name`"));
+            }
+            let (name, pos) = self.expect_ident()?;
+            return Ok(ParamDecl { pos, space: None, base, is_ptr: false, is_pipe: true, name });
         }
         let base = self.parse_type()?;
         let is_ptr = self.eat_punct(Punct::Star);
         // Trailing qualifiers after `*`.
         while self.eat_keyword(Keyword::Const) || self.eat_keyword(Keyword::Restrict) {}
         let (name, pos) = self.expect_ident()?;
-        Ok(ParamDecl { pos, space, base, is_ptr, name })
+        Ok(ParamDecl { pos, space, base, is_ptr, is_pipe: false, name })
     }
 
     // ---- statements --------------------------------------------------------

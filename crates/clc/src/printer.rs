@@ -29,6 +29,9 @@ fn print_function(out: &mut String, f: &FunctionDef) {
         if let Some(space) = p.space {
             let _ = write!(out, "{} ", space.qualifier());
         }
+        if p.is_pipe {
+            out.push_str("pipe ");
+        }
         let _ = write!(out, "{}{} {}", p.base.name(), if p.is_ptr { "*" } else { "" }, p.name);
     }
     out.push_str(") {\n");
@@ -390,6 +393,16 @@ mod tests {
                 l[0] = acc;
                 o[0] = l[0];
                 return;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_pipe_params() {
+        round_trip(
+            "__kernel void k(__global double* o, pipe double p) {
+                write_pipe(p, o[0]);
+                o[1] = read_pipe(p);
             }",
         );
     }

@@ -16,6 +16,12 @@ pub enum Keyword {
     Private,
     /// `__constant` / `constant`.
     Constant,
+    /// `pipe`.
+    Pipe,
+    /// `__read_only` / `read_only`.
+    ReadOnly,
+    /// `__write_only` / `write_only`.
+    WriteOnly,
     /// `const`.
     Const,
     /// `restrict`.
@@ -69,6 +75,9 @@ impl Keyword {
             "__local" | "local" => Keyword::Local,
             "__private" | "private" => Keyword::Private,
             "__constant" | "constant" => Keyword::Constant,
+            "pipe" => Keyword::Pipe,
+            "__read_only" | "read_only" => Keyword::ReadOnly,
+            "__write_only" | "write_only" => Keyword::WriteOnly,
             "const" => Keyword::Const,
             "restrict" => Keyword::Restrict,
             "void" => Keyword::Void,

@@ -289,6 +289,17 @@ impl FunctionBuilder {
         self.push(Inst::Barrier);
     }
 
+    /// Blocking read of one `ty` element from the pipe handle in `pipe`.
+    pub fn pipe_read(&mut self, pipe: RegId, ty: ScalarType) -> RegId {
+        self.def(ty.into(), |dst| Inst::PipeRead { dst, pipe, ty })
+    }
+
+    /// Blocking write of `val` (of type `ty`) into the pipe handle in
+    /// `pipe`.
+    pub fn pipe_write(&mut self, pipe: RegId, val: RegId, ty: ScalarType) {
+        self.push(Inst::PipeWrite { pipe, val, ty });
+    }
+
     // ---- control flow ----------------------------------------------------
 
     /// Terminate the current block with an unconditional jump.

@@ -21,10 +21,12 @@
 
 use crate::eval::{eval_bin, eval_cast, eval_cmp, eval_un};
 use crate::interp::{
-    private_oob, ExecError, GroupShape, KernelArgValue, Memory, DEFAULT_STEP_LIMIT,
+    check_pipe_shape, pipe_deadlock_trap, private_oob, ExecError, GroupShape, KernelArgValue,
+    Memory, RunOutcome, DEFAULT_STEP_LIMIT,
 };
 use crate::ir::{BinOp, Builtin, CmpOp, Function, Inst, Param, Terminator, UnOp, WiQuery};
 use crate::mathlib::MathLib;
+use crate::pipes::PipeHub;
 use crate::stats::ExecStats;
 use crate::types::{AddressSpace, ScalarType, Type};
 use crate::value::{PtrValue, Value};
@@ -179,6 +181,18 @@ enum Op {
         block: u32,
     },
     Barrier,
+    /// Blocking pipe read; suspends the item when the FIFO is empty.
+    PipeRead {
+        dst: u32,
+        pipe: u32,
+        ty: ScalarType,
+    },
+    /// Blocking pipe write; suspends the item when the FIFO is full.
+    PipeWrite {
+        pipe: u32,
+        val: u32,
+        ty: ScalarType,
+    },
     /// Unconditional jump to `target` (pc); `block` is the destination
     /// block id, charged to `block_execs`.
     Jump {
@@ -311,6 +325,12 @@ impl CompiledKernel {
                         Op::Store { ptr: r(*ptr), val: r(*val), ty: *ty }
                     }
                     Inst::Barrier => Op::Barrier,
+                    Inst::PipeRead { dst, pipe, ty } => {
+                        Op::PipeRead { dst: r(*dst), pipe: r(*pipe), ty: *ty }
+                    }
+                    Inst::PipeWrite { pipe, val, ty } => {
+                        Op::PipeWrite { pipe: r(*pipe), val: r(*val), ty: *ty }
+                    }
                     Inst::Phi { .. } => {
                         unreachable!("phis are eliminated before bytecode emission")
                     }
@@ -425,6 +445,11 @@ fn op_sources(op: &Op, mut f: impl FnMut(u32)) {
         Op::Load { ptr, .. } => f(*ptr),
         Op::Store { ptr, val, .. } => {
             f(*ptr);
+            f(*val);
+        }
+        Op::PipeRead { pipe, .. } => f(*pipe),
+        Op::PipeWrite { pipe, val, .. } => {
+            f(*pipe);
             f(*val);
         }
         Op::Branch { cond, .. } => f(*cond),
@@ -611,6 +636,12 @@ impl fmt::Display for CompiledKernel {
                     write!(f, "jump @{target:04} (b{mid_block} -> b{block})")?
                 }
                 Op::Barrier => write!(f, "barrier")?,
+                Op::PipeRead { dst, pipe, ty } => {
+                    write!(f, "r{dst} = pipe_read.{ty} r{pipe}")?
+                }
+                Op::PipeWrite { pipe, val, ty } => {
+                    write!(f, "pipe_write.{ty} r{pipe}, r{val}")?
+                }
                 Op::Jump { target, block } => write!(f, "jump @{target:04} (b{block})")?,
                 Op::Branch { cond, then_target, then_block, else_target, else_block } => write!(
                     f,
@@ -628,6 +659,7 @@ impl fmt::Display for CompiledKernel {
 enum BcStatus {
     Running,
     AtBarrier,
+    AtPipe,
     Done,
 }
 
@@ -668,6 +700,7 @@ impl<'k> BytecodeRun<'k> {
         args: &[KernelArgValue],
         step_limit: u64,
     ) -> Result<BytecodeRun<'k>, ExecError> {
+        check_pipe_shape(&kernel.name, &kernel.params, &shape)?;
         let bound = bind_args(kernel, args)?;
         let n = shape.items_per_group();
         let mut items = Vec::with_capacity(n);
@@ -716,24 +749,51 @@ impl<'k> BytecodeRun<'k> {
         self.stats
     }
 
-    /// Run the whole group to completion.
+    /// Run the whole group to completion with no pipes attached; a pipe
+    /// stall is reported as the deterministic deadlock trap (same
+    /// contract as [`crate::interp::WorkGroupRun::run`]).
     ///
     /// # Errors
     /// Propagates memory errors, traps, barrier divergence and step-limit
     /// exhaustion, with the same payloads as the tree-walker.
     pub fn run(&mut self, mem: &mut dyn Memory, math: &dyn MathLib) -> Result<(), ExecError> {
+        let mut pipes = PipeHub::default();
+        match self.run_resumable(mem, math, &mut pipes)? {
+            RunOutcome::Complete => Ok(()),
+            RunOutcome::Stalled => Err(pipe_deadlock_trap()),
+        }
+    }
+
+    /// Run until every work-item retires or a pipe op stalls; same
+    /// resume/accounting contract as
+    /// [`crate::interp::WorkGroupRun::run_resumable`].
+    ///
+    /// # Errors
+    /// Propagates memory errors, traps, barrier divergence and step-limit
+    /// exhaustion, with the same payloads as the tree-walker.
+    pub fn run_resumable(
+        &mut self,
+        mem: &mut dyn Memory,
+        math: &dyn MathLib,
+        pipes: &mut PipeHub,
+    ) -> Result<RunOutcome, ExecError> {
         loop {
             let mut any_running = false;
             for item in 0..self.items.len() {
-                if self.items[item].status == BcStatus::Running {
+                if matches!(self.items[item].status, BcStatus::Running | BcStatus::AtPipe) {
                     any_running = true;
-                    self.run_item(item, mem, math)?;
+                    self.run_item(item, mem, math, pipes)?;
                 }
             }
             let live: Vec<usize> =
                 (0..self.items.len()).filter(|&i| self.items[i].status != BcStatus::Done).collect();
             if live.is_empty() {
-                return Ok(());
+                return Ok(RunOutcome::Complete);
+            }
+            if live.iter().any(|&i| self.items[i].status == BcStatus::AtPipe) {
+                // A stalled pipe op cannot be released locally; hand
+                // control back to the co-scheduler.
+                return Ok(RunOutcome::Stalled);
             }
             // All live items are now suspended at barriers.
             let pos = self.kernel.pos(self.items[live[0]].pc);
@@ -758,12 +818,14 @@ impl<'k> BytecodeRun<'k> {
         }
     }
 
-    /// Execute `item` until it retires or reaches a barrier.
+    /// Execute `item` until it retires, reaches a barrier or stalls on a
+    /// pipe.
     fn run_item(
         &mut self,
         item: usize,
         mem: &mut dyn Memory,
         math: &dyn MathLib,
+        pipes: &mut PipeHub,
     ) -> Result<(), ExecError> {
         self.stats.item_phases += 1;
         let code = &self.kernel.code[..];
@@ -960,6 +1022,32 @@ impl<'k> BytecodeRun<'k> {
                 Op::Barrier => {
                     it.status = BcStatus::AtBarrier;
                     return Ok(());
+                }
+                Op::PipeRead { dst, pipe, ty } => {
+                    let p = it.regs[*pipe as usize].as_ptr();
+                    match pipes.try_read(p.buffer, *ty).map_err(ExecError::Trap)? {
+                        None => {
+                            stats.pipe_read_stalls += 1;
+                            it.status = BcStatus::AtPipe;
+                            return Ok(());
+                        }
+                        Some(bits) => {
+                            stats.pipe_reads += 1;
+                            it.regs[*dst as usize] = decode_scalar(*ty, bits);
+                        }
+                    }
+                    it.status = BcStatus::Running;
+                }
+                Op::PipeWrite { pipe, val, ty } => {
+                    let p = it.regs[*pipe as usize].as_ptr();
+                    let bits = encode_scalar(it.regs[*val as usize]);
+                    if !pipes.try_write(p.buffer, *ty, bits).map_err(ExecError::Trap)? {
+                        stats.pipe_write_stalls += 1;
+                        it.status = BcStatus::AtPipe;
+                        return Ok(());
+                    }
+                    stats.pipe_writes += 1;
+                    it.status = BcStatus::Running;
                 }
                 Op::Jump { target, block } => {
                     stats.block_execs[*block as usize] += 1;
@@ -1194,6 +1282,7 @@ impl<'k> LanesRun<'k> {
         args: &[KernelArgValue],
         step_limit: u64,
     ) -> Result<LanesRun<'k>, ExecError> {
+        check_pipe_shape(&kernel.name, &kernel.params, &shape)?;
         let bound = bind_args(kernel, args)?;
         let w = shape.items_per_group();
         let nregs = kernel.reg_types.len();
@@ -1246,29 +1335,65 @@ impl<'k> LanesRun<'k> {
         self.stats
     }
 
-    /// Run the whole group to completion.
+    /// Run the whole group to completion with no pipes attached; a pipe
+    /// stall is reported as the deterministic deadlock trap (same
+    /// contract as [`crate::interp::WorkGroupRun::run`]).
     ///
     /// # Errors
     /// Propagates memory errors, traps, barrier divergence and
     /// step-limit exhaustion, with the same payloads as the serial
     /// engines.
     pub fn run(&mut self, mem: &mut dyn Memory, math: &dyn MathLib) -> Result<(), ExecError> {
+        let mut pipes = PipeHub::default();
+        match self.run_resumable(mem, math, &mut pipes)? {
+            RunOutcome::Complete => Ok(()),
+            RunOutcome::Stalled => Err(pipe_deadlock_trap()),
+        }
+    }
+
+    /// Run until every lane retires or a pipe op stalls; same
+    /// resume/accounting contract as
+    /// [`crate::interp::WorkGroupRun::run_resumable`] (each resume
+    /// attempt re-enters a phase, charging one `item_phases` and one step
+    /// per attempting lane).
+    ///
+    /// # Errors
+    /// Propagates memory errors, traps, barrier divergence and
+    /// step-limit exhaustion, with the same payloads as the serial
+    /// engines.
+    pub fn run_resumable(
+        &mut self,
+        mem: &mut dyn Memory,
+        math: &dyn MathLib,
+        pipes: &mut PipeHub,
+    ) -> Result<RunOutcome, ExecError> {
         // `running` is exactly the set of `BcStatus::Running` lanes at
-        // the top of each iteration: initially every lane, then the
+        // the top of each iteration: initially every lane (or, on a
+        // resume, the lanes suspended at pipes), then the
         // barrier-released survivors of the previous phase — so the
         // live-set update only inspects lanes that ran, not all of `w`.
-        let mut running: Vec<usize> = (0..self.w).collect();
+        let mut running: Vec<usize> = (0..self.w)
+            .filter(|&i| matches!(self.status[i], BcStatus::Running | BcStatus::AtPipe))
+            .collect();
         let mut live: Vec<usize> = Vec::with_capacity(self.w);
         loop {
             let any_running = !running.is_empty();
             if any_running {
                 self.stats.item_phases += running.len() as u64;
-                self.run_phase(&running, mem, math)?;
+                for &l in &running {
+                    self.status[l] = BcStatus::Running;
+                }
+                self.run_phase(&running, mem, math, pipes)?;
             }
             live.clear();
             live.extend(running.iter().copied().filter(|&i| self.status[i] != BcStatus::Done));
             if live.is_empty() {
-                return Ok(());
+                return Ok(RunOutcome::Complete);
+            }
+            if live.iter().any(|&i| self.status[i] == BcStatus::AtPipe) {
+                // A stalled pipe op cannot be released locally; hand
+                // control back to the co-scheduler.
+                return Ok(RunOutcome::Stalled);
             }
             // All live lanes are now suspended at barriers. Equal pcs
             // (the overwhelmingly common case) imply equal positions, so
@@ -1307,6 +1432,7 @@ impl<'k> LanesRun<'k> {
         running: &[usize],
         mem: &mut dyn Memory,
         math: &dyn MathLib,
+        pipes: &mut PipeHub,
     ) -> Result<(), ExecError> {
         let kernel = self.kernel;
         let w = self.w;
@@ -1851,6 +1977,72 @@ impl<'k> LanesRun<'k> {
                         pool.push(std::mem::take(&mut g.lanes));
                         continue 'groups;
                     }
+                    Op::PipeRead { dst, pipe, ty } => {
+                        // Pipe kernels are single-work-item tasks
+                        // (enforced at construction), so a group here is
+                        // one lane; the loop form keeps the survivor
+                        // bookkeeping uniform with the other arms.
+                        let mut survivors = pool.pop().unwrap_or_default();
+                        survivors.clear();
+                        for &l in &g.lanes {
+                            let p = self.ptrs[idx(*pipe, l)];
+                            match pipes.try_read(p.buffer, *ty) {
+                                Err(msg) => {
+                                    any_bad = true;
+                                    self.lane_fetches[l] = g.fetched;
+                                    trapped.push((l, ExecError::Trap(msg)));
+                                }
+                                Ok(None) => {
+                                    self.stats.pipe_read_stalls += 1;
+                                    self.lane_fetches[l] = g.fetched;
+                                    self.status[l] = BcStatus::AtPipe;
+                                    self.pc[l] = g.pc;
+                                    sum_fetches = sum_fetches.saturating_add(g.fetched);
+                                }
+                                Ok(Some(bits)) => {
+                                    self.stats.pipe_reads += 1;
+                                    self.cells[idx(*dst, l)] = bits;
+                                    survivors.push(l);
+                                }
+                            }
+                        }
+                        pool.push(std::mem::replace(&mut g.lanes, survivors));
+                        if g.lanes.is_empty() {
+                            pool.push(std::mem::take(&mut g.lanes));
+                            continue 'groups;
+                        }
+                    }
+                    Op::PipeWrite { pipe, val, ty } => {
+                        let mut survivors = pool.pop().unwrap_or_default();
+                        survivors.clear();
+                        for &l in &g.lanes {
+                            let p = self.ptrs[idx(*pipe, l)];
+                            let bits = self.cells[idx(*val, l)];
+                            match pipes.try_write(p.buffer, *ty, bits) {
+                                Err(msg) => {
+                                    any_bad = true;
+                                    self.lane_fetches[l] = g.fetched;
+                                    trapped.push((l, ExecError::Trap(msg)));
+                                }
+                                Ok(false) => {
+                                    self.stats.pipe_write_stalls += 1;
+                                    self.lane_fetches[l] = g.fetched;
+                                    self.status[l] = BcStatus::AtPipe;
+                                    self.pc[l] = g.pc;
+                                    sum_fetches = sum_fetches.saturating_add(g.fetched);
+                                }
+                                Ok(true) => {
+                                    self.stats.pipe_writes += 1;
+                                    survivors.push(l);
+                                }
+                            }
+                        }
+                        pool.push(std::mem::replace(&mut g.lanes, survivors));
+                        if g.lanes.is_empty() {
+                            pool.push(std::mem::take(&mut g.lanes));
+                            continue 'groups;
+                        }
+                    }
                     Op::Jump { target, block } => {
                         self.stats.block_execs[*block as usize] += nl;
                         g.pc = *target as usize;
@@ -2008,6 +2200,9 @@ fn bind_args(kernel: &CompiledKernel, args: &[KernelArgValue]) -> Result<Vec<Val
             }
             (KernelArgValue::LocalBuffer(slot), Type::Ptr(AddressSpace::Local, _)) => {
                 Value::Ptr(PtrValue::new(AddressSpace::Local, slot))
+            }
+            (KernelArgValue::Pipe(id), Type::Ptr(AddressSpace::Pipe, _)) => {
+                Value::Ptr(PtrValue::new(AddressSpace::Pipe, id))
             }
             _ => {
                 return Err(ExecError::BadArgs(format!(

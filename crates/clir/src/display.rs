@@ -76,6 +76,12 @@ impl fmt::Display for InstDisplay<'_> {
             Inst::Load { dst, ptr, ty } => write!(f, "r{} = load.{ty} r{}", dst.0, ptr.0),
             Inst::Store { ptr, val, ty } => write!(f, "store.{ty} r{}, r{}", ptr.0, val.0),
             Inst::Barrier => write!(f, "barrier"),
+            Inst::PipeRead { dst, pipe, ty } => {
+                write!(f, "r{} = pipe_read.{ty} r{}", dst.0, pipe.0)
+            }
+            Inst::PipeWrite { pipe, val, ty } => {
+                write!(f, "pipe_write.{ty} r{}, r{}", pipe.0, val.0)
+            }
             Inst::Phi { ty, dst, args } => {
                 write!(f, "r{} = phi.{ty} [", dst.0)?;
                 for (i, (bb, r)) in args.iter().enumerate() {

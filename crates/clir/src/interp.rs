@@ -17,6 +17,7 @@
 use crate::eval::{eval_bin, eval_cast, eval_cmp, eval_un};
 use crate::ir::{Builtin, Function, Inst, Terminator, WiQuery};
 use crate::mathlib::MathLib;
+use crate::pipes::{decode_value, encode_value, PipeHub};
 use crate::stats::ExecStats;
 use crate::types::{AddressSpace, ScalarType, Type};
 use crate::value::{PtrValue, Value};
@@ -380,6 +381,7 @@ impl Memory for WorkerMemory<'_, '_> {
                 let off = slice_off(region, ptr, len)?;
                 Ok(Value::from_le_bytes(ty, &region[off..off + len]))
             }
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -394,6 +396,7 @@ impl Memory for WorkerMemory<'_, '_> {
                 region[off..off + len].copy_from_slice(&val.to_le_bytes());
                 Ok(())
             }
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -405,7 +408,7 @@ impl Memory for WorkerMemory<'_, '_> {
             AddressSpace::Local => {
                 self.locals.bufs.get_mut(buffer as usize).map(|b| (b.as_mut_ptr(), b.len()))
             }
-            AddressSpace::Private => None,
+            AddressSpace::Private | AddressSpace::Pipe => None,
         }
     }
 }
@@ -551,7 +554,7 @@ impl Memory for VecMemory {
         let arena = match space {
             AddressSpace::Global | AddressSpace::Constant => &mut self.globals,
             AddressSpace::Local => &mut self.locals,
-            AddressSpace::Private => return None,
+            AddressSpace::Private | AddressSpace::Pipe => return None,
         };
         arena.get_mut(buffer as usize).map(|b| (b.as_mut_ptr(), b.len()))
     }
@@ -615,12 +618,56 @@ pub enum KernelArgValue {
     GlobalBuffer(u32),
     /// A local-memory slot handle (allocated per work-group by the caller).
     LocalBuffer(u32),
+    /// A pipe handle (created on the owning [`PipeHub`]).
+    Pipe(u32),
+}
+
+/// Result of one resumable engine pass (see `run_resumable` on each
+/// engine): either every work-item retired, or at least one is suspended
+/// at a pipe operation that could not make progress and the caller must
+/// run the peer kernel before resuming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All work-items retired; statistics are final.
+    Complete,
+    /// At least one work-item is suspended at a full/empty pipe.
+    Stalled,
+}
+
+/// The deterministic trap raised when pipe progress is impossible: a
+/// single kernel stalling with no peer, or a co-scheduled launch graph
+/// completing a full resume round without one successful pipe op. One
+/// message for every engine and scheduler.
+pub fn pipe_deadlock_trap() -> ExecError {
+    ExecError::Trap("pipe deadlock: no progress possible".into())
+}
+
+/// Kernels with pipe parameters model Altera single-work-item tasks: the
+/// FIFO order of pipe traffic is only deterministic with exactly one
+/// work-item in exactly one group. Every engine constructor applies this
+/// check so the trap text is engine independent.
+pub(crate) fn check_pipe_shape(
+    name: &str,
+    params: &[crate::ir::Param],
+    shape: &GroupShape,
+) -> Result<(), ExecError> {
+    let has_pipe = params.iter().any(|p| matches!(p.ty, Type::Ptr(AddressSpace::Pipe, _)));
+    if has_pipe && (shape.items_per_group() != 1 || shape.num_groups() != [1, 1, 1]) {
+        return Err(ExecError::Trap(format!(
+            "pipe kernels are single-work-item tasks: kernel `{name}` launched with {} \
+             work-items per group and {:?} groups",
+            shape.items_per_group(),
+            shape.num_groups()
+        )));
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ItemStatus {
     Running,
     AtBarrier,
+    AtPipe,
     Done,
 }
 
@@ -656,6 +703,7 @@ impl<'f> WorkGroupRun<'f> {
         args: &[KernelArgValue],
         step_limit: u64,
     ) -> Result<WorkGroupRun<'f>, ExecError> {
+        check_pipe_shape(&func.name, &func.params, &shape)?;
         if args.len() != func.params.len() {
             return Err(ExecError::BadArgs(format!(
                 "kernel `{}` takes {} arguments, {} supplied",
@@ -683,6 +731,9 @@ impl<'f> WorkGroupRun<'f> {
                 }
                 (KernelArgValue::LocalBuffer(slot), Type::Ptr(AddressSpace::Local, _)) => {
                     Value::Ptr(PtrValue::new(AddressSpace::Local, slot))
+                }
+                (KernelArgValue::Pipe(id), Type::Ptr(AddressSpace::Pipe, _)) => {
+                    Value::Ptr(PtrValue::new(AddressSpace::Pipe, id))
                 }
                 _ => {
                     return Err(ExecError::BadArgs(format!(
@@ -741,28 +792,61 @@ impl<'f> WorkGroupRun<'f> {
         self.stats
     }
 
-    /// Run the whole group to completion.
+    /// Run the whole group to completion with no pipes attached.
+    ///
+    /// A kernel that touches a pipe under this entry point can never be
+    /// unblocked, so a stall is reported as the deterministic
+    /// [`pipe_deadlock_trap`]. Callers co-scheduling pipe kernels use
+    /// [`WorkGroupRun::run_resumable`] instead.
     ///
     /// # Errors
     /// Propagates memory errors, traps, barrier divergence and step-limit
     /// exhaustion.
     pub fn run(&mut self, mem: &mut dyn Memory, math: &dyn MathLib) -> Result<(), ExecError> {
+        let mut pipes = PipeHub::default();
+        match self.run_resumable(mem, math, &mut pipes)? {
+            RunOutcome::Complete => Ok(()),
+            RunOutcome::Stalled => Err(pipe_deadlock_trap()),
+        }
+    }
+
+    /// Run until every work-item retires ([`RunOutcome::Complete`]) or
+    /// the group can make no further progress because a pipe op stalled
+    /// ([`RunOutcome::Stalled`]). A stalled run may be resumed by calling
+    /// this again once the peer kernel has moved the FIFO; every failed
+    /// resume attempt costs one step and one stall count, identically in
+    /// all engines.
+    ///
+    /// # Errors
+    /// Propagates memory errors, traps, barrier divergence and step-limit
+    /// exhaustion.
+    pub fn run_resumable(
+        &mut self,
+        mem: &mut dyn Memory,
+        math: &dyn MathLib,
+        pipes: &mut PipeHub,
+    ) -> Result<RunOutcome, ExecError> {
         loop {
             let mut any_running = false;
             for item in 0..self.items.len() {
-                if self.items[item].status == ItemStatus::Running {
+                if matches!(self.items[item].status, ItemStatus::Running | ItemStatus::AtPipe) {
                     any_running = true;
-                    self.run_item(item, mem, math)?;
+                    self.run_item(item, mem, math, pipes)?;
                 }
             }
             let live: Vec<usize> = (0..self.items.len())
                 .filter(|&i| self.items[i].status != ItemStatus::Done)
                 .collect();
             if live.is_empty() {
-                return Ok(());
+                return Ok(RunOutcome::Complete);
+            }
+            if live.iter().any(|&i| self.items[i].status == ItemStatus::AtPipe) {
+                // A stalled pipe op cannot be released locally; hand
+                // control back to the co-scheduler.
+                return Ok(RunOutcome::Stalled);
             }
             // All live items are now suspended at barriers (run_item only
-            // returns on retire or barrier).
+            // returns on retire, barrier or pipe stall).
             let first = &self.items[live[0]];
             let pos = (first.block, first.inst);
             for &i in &live[1..] {
@@ -786,12 +870,14 @@ impl<'f> WorkGroupRun<'f> {
         }
     }
 
-    /// Execute `item` until it retires or reaches a barrier.
+    /// Execute `item` until it retires, reaches a barrier or stalls on a
+    /// pipe.
     fn run_item(
         &mut self,
         item: usize,
         mem: &mut dyn Memory,
         math: &dyn MathLib,
+        pipes: &mut PipeHub,
     ) -> Result<(), ExecError> {
         self.stats.item_phases += 1;
         loop {
@@ -806,6 +892,39 @@ impl<'f> WorkGroupRun<'f> {
                 if matches!(inst, Inst::Barrier) {
                     self.items[item].status = ItemStatus::AtBarrier;
                     return Ok(());
+                }
+                // Pipe ops are handled here rather than in `exec_inst`
+                // because, like barriers, they may suspend the item.
+                if let Inst::PipeRead { dst, pipe, ty } = inst {
+                    let p = it.regs[pipe.index()].as_ptr();
+                    match pipes.try_read(p.buffer, *ty).map_err(ExecError::Trap)? {
+                        None => {
+                            self.stats.pipe_read_stalls += 1;
+                            self.items[item].status = ItemStatus::AtPipe;
+                            return Ok(());
+                        }
+                        Some(bits) => {
+                            self.stats.pipe_reads += 1;
+                            let (dst, ty) = (*dst, *ty);
+                            self.items[item].regs[dst.index()] = decode_value(ty, bits);
+                        }
+                    }
+                    self.items[item].status = ItemStatus::Running;
+                    self.items[item].inst += 1;
+                    continue;
+                }
+                if let Inst::PipeWrite { pipe, val, ty } = inst {
+                    let p = it.regs[pipe.index()].as_ptr();
+                    let bits = encode_value(it.regs[val.index()]);
+                    if !pipes.try_write(p.buffer, *ty, bits).map_err(ExecError::Trap)? {
+                        self.stats.pipe_write_stalls += 1;
+                        self.items[item].status = ItemStatus::AtPipe;
+                        return Ok(());
+                    }
+                    self.stats.pipe_writes += 1;
+                    self.items[item].status = ItemStatus::Running;
+                    self.items[item].inst += 1;
+                    continue;
                 }
                 self.exec_inst(item, inst, mem, math)?;
                 self.items[item].inst += 1;
@@ -943,6 +1062,9 @@ impl<'f> WorkGroupRun<'f> {
                 self.stats.mem.count_store(p.space, ty.size_bytes());
             }
             Inst::Barrier => unreachable!("barrier handled by run_item"),
+            Inst::PipeRead { .. } | Inst::PipeWrite { .. } => {
+                unreachable!("pipe ops handled by run_item")
+            }
             Inst::Phi { .. } => unreachable!("phis are eliminated before execution"),
         }
         Ok(())

@@ -194,6 +194,14 @@ pub enum Inst {
     Store { ptr: RegId, val: RegId, ty: ScalarType },
     /// `barrier(...)` — work-group synchronisation point.
     Barrier,
+    /// `dst = read_pipe(pipe)` — blocking FIFO read of one `ty` element.
+    /// `pipe` must be a `Ptr(Pipe, ty)` handle. An empty FIFO suspends
+    /// the work-item (a stall) until a writer makes progress.
+    PipeRead { dst: RegId, pipe: RegId, ty: ScalarType },
+    /// `write_pipe(pipe, val)` — blocking FIFO write of one `ty` element.
+    /// A full FIFO suspends the work-item (a stall) until a reader makes
+    /// progress.
+    PipeWrite { pipe: RegId, val: RegId, ty: ScalarType },
     /// `dst = phi [b_i: r_i, ...]` — SSA merge: on entry from predecessor
     /// `b_i`, `dst` takes the value of `r_i`. Phis exist only between the
     /// `mem2reg` and `out-of-ssa` passes; all phis of a block sit
@@ -218,8 +226,9 @@ impl Inst {
             | Inst::WorkItem { dst, .. }
             | Inst::Gep { dst, .. }
             | Inst::Load { dst, .. }
+            | Inst::PipeRead { dst, .. }
             | Inst::Phi { dst, .. } => Some(*dst),
-            Inst::Store { .. } | Inst::Barrier => None,
+            Inst::Store { .. } | Inst::Barrier | Inst::PipeWrite { .. } => None,
         }
     }
 
@@ -236,6 +245,8 @@ impl Inst {
             Inst::Gep { base, index, .. } => vec![*base, *index],
             Inst::Load { ptr, .. } => vec![*ptr],
             Inst::Store { ptr, val, .. } => vec![*ptr, *val],
+            Inst::PipeRead { pipe, .. } => vec![*pipe],
+            Inst::PipeWrite { pipe, val, .. } => vec![*pipe, *val],
             Inst::Phi { args, .. } => args.iter().map(|&(_, r)| r).collect(),
         }
     }

@@ -69,6 +69,7 @@ pub mod interp;
 pub mod ir;
 pub mod mathlib;
 pub mod passes;
+pub mod pipes;
 pub mod softmath;
 pub mod stats;
 pub mod types;

@@ -429,7 +429,12 @@ pub fn eliminate_dead_code_in(func: &mut Function) {
         for block in &mut func.blocks {
             let before = block.insts.len();
             block.insts.retain(|inst| match inst {
-                Inst::Store { .. } | Inst::Barrier => true,
+                // Pipe ops mutate FIFO state (and a blocked read unblocks
+                // a peer kernel), so both are kept even if unused.
+                Inst::Store { .. }
+                | Inst::Barrier
+                | Inst::PipeRead { .. }
+                | Inst::PipeWrite { .. } => true,
                 other => match other.dst() {
                     Some(dst) => used.contains(&dst),
                     None => true,
@@ -525,12 +530,14 @@ pub fn local_cse_in(func: &mut Function) {
                         (vn(&mut vn_of, &mut next_vn, *base), vn(&mut vn_of, &mut next_vn, *index));
                     Some(Key::Gep(*elem, vb, vi))
                 }
-                // Loads, stores, movs, barriers and phis are not
-                // value-numbered expressions.
+                // Loads, stores, movs, barriers, pipe ops and phis are
+                // not value-numbered expressions.
                 Inst::Load { .. }
                 | Inst::Store { .. }
                 | Inst::Mov { .. }
                 | Inst::Barrier
+                | Inst::PipeRead { .. }
+                | Inst::PipeWrite { .. }
                 | Inst::Phi { .. } => None,
             };
 
@@ -605,6 +612,11 @@ pub fn propagate_copies_in(func: &mut Function) {
                 Inst::Load { ptr, .. } => *ptr = resolve(&copy_of, *ptr),
                 Inst::Store { ptr, val, .. } => {
                     *ptr = resolve(&copy_of, *ptr);
+                    *val = resolve(&copy_of, *val);
+                }
+                Inst::PipeRead { pipe, .. } => *pipe = resolve(&copy_of, *pipe),
+                Inst::PipeWrite { pipe, val, .. } => {
+                    *pipe = resolve(&copy_of, *pipe);
                     *val = resolve(&copy_of, *val);
                 }
                 // Phi args are *not* rewritten: they read their source at

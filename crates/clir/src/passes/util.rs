@@ -32,6 +32,11 @@ pub(crate) fn for_each_src_mut(inst: &mut Inst, mut f: impl FnMut(&mut RegId)) {
             f(ptr);
             f(val);
         }
+        Inst::PipeRead { pipe, .. } => f(pipe),
+        Inst::PipeWrite { pipe, val, .. } => {
+            f(pipe);
+            f(val);
+        }
         Inst::Phi { args, .. } => {
             for (_, r) in args.iter_mut() {
                 f(r);
@@ -55,7 +60,10 @@ pub(crate) fn set_dst(inst: &mut Inst, new: RegId) {
         | Inst::WorkItem { dst, .. }
         | Inst::Gep { dst, .. }
         | Inst::Load { dst, .. }
+        | Inst::PipeRead { dst, .. }
         | Inst::Phi { dst, .. } => *dst = new,
-        Inst::Store { .. } | Inst::Barrier => unreachable!("instruction has no destination"),
+        Inst::Store { .. } | Inst::Barrier | Inst::PipeWrite { .. } => {
+            unreachable!("instruction has no destination")
+        }
     }
 }

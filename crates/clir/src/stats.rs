@@ -198,6 +198,7 @@ impl MemCounts {
                 self.local_load_bytes += bytes as u64;
             }
             AddressSpace::Private => self.private_accesses += 1,
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -214,6 +215,7 @@ impl MemCounts {
                 self.local_load_bytes += bytes as u64 * n;
             }
             AddressSpace::Private => self.private_accesses += n,
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -229,6 +231,7 @@ impl MemCounts {
                 self.local_store_bytes += bytes as u64 * n;
             }
             AddressSpace::Private => self.private_accesses += n,
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -243,6 +246,7 @@ impl MemCounts {
                 self.local_store_bytes += bytes as u64;
             }
             AddressSpace::Private => self.private_accesses += 1,
+            AddressSpace::Pipe => unreachable!("pipes are not load/store addressable"),
         }
     }
 
@@ -274,6 +278,14 @@ pub struct ExecStats {
     pub barriers: u64,
     /// Work-item execution phases (segments between suspensions).
     pub item_phases: u64,
+    /// Successful pipe reads.
+    pub pipe_reads: u64,
+    /// Successful pipe writes.
+    pub pipe_writes: u64,
+    /// Read attempts that stalled on an empty FIFO.
+    pub pipe_read_stalls: u64,
+    /// Write attempts that stalled on a full FIFO.
+    pub pipe_write_stalls: u64,
     /// Operation counts by class.
     pub ops: OpCounts,
     /// Memory access counts by space.
@@ -311,6 +323,10 @@ impl ExecStats {
         }
         self.barriers += other.barriers;
         self.item_phases += other.item_phases;
+        self.pipe_reads += other.pipe_reads;
+        self.pipe_writes += other.pipe_writes;
+        self.pipe_read_stalls += other.pipe_read_stalls;
+        self.pipe_write_stalls += other.pipe_write_stalls;
         self.ops.merge(&other.ops);
         self.mem.merge(&other.mem);
     }
@@ -324,6 +340,10 @@ impl ExecStats {
         }
         out.barriers *= k;
         out.item_phases *= k;
+        out.pipe_reads *= k;
+        out.pipe_writes *= k;
+        out.pipe_read_stalls *= k;
+        out.pipe_write_stalls *= k;
         let o = &mut out.ops;
         for f in [
             &mut o.add32,

@@ -26,6 +26,11 @@ pub enum AddressSpace {
     Private,
     /// Read-only global memory.
     Constant,
+    /// An on-chip FIFO channel (OpenCL `pipe`). A `Ptr(Pipe, elem)`
+    /// value is a pipe handle: `buffer` is the pipe id, the offset is
+    /// unused. Pipes are accessed only through `pipe_read`/`pipe_write`
+    /// — `Gep`/`Load`/`Store` through this space are verifier errors.
+    Pipe,
 }
 
 impl AddressSpace {
@@ -36,6 +41,7 @@ impl AddressSpace {
             AddressSpace::Local => "__local",
             AddressSpace::Private => "__private",
             AddressSpace::Constant => "__constant",
+            AddressSpace::Pipe => "pipe",
         }
     }
 }

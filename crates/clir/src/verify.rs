@@ -253,6 +253,9 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
             let Type::Ptr(space, _) = base_ty else {
                 return Err(c.mismatch(format!("gep base r{} is not a pointer", base.0)));
             };
+            if space == crate::types::AddressSpace::Pipe {
+                return Err(c.mismatch(format!("gep through pipe handle r{}", base.0)));
+            }
             if !matches!(idx_ty, Type::Scalar(ScalarType::I32 | ScalarType::I64)) {
                 return Err(c.mismatch(format!("gep index r{} is not an integer", index.0)));
             }
@@ -262,9 +265,12 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
         }
         Inst::Load { dst, ptr, ty } => {
             let ptr_ty = c.reg(*ptr)?;
-            let Type::Ptr(_, elem) = ptr_ty else {
+            let Type::Ptr(space, elem) = ptr_ty else {
                 return Err(c.mismatch(format!("load through non-pointer r{}", ptr.0)));
             };
+            if space == crate::types::AddressSpace::Pipe {
+                return Err(c.mismatch(format!("load through pipe handle r{}", ptr.0)));
+            }
             if elem != *ty {
                 return Err(c.mismatch(format!("load of {ty} through pointer to {elem}")));
             }
@@ -281,9 +287,31 @@ fn verify_inst(c: &Checker<'_>, inst: &Inst) -> Result<(), VerifyError> {
             if space == crate::types::AddressSpace::Constant {
                 return Err(c.mismatch("store to __constant memory".into()));
             }
+            if space == crate::types::AddressSpace::Pipe {
+                return Err(c.mismatch(format!("store through pipe handle r{}", ptr.0)));
+            }
             c.expect_scalar(*val, *ty, "store value")?;
         }
         Inst::Barrier => {}
+        Inst::PipeRead { dst, pipe, ty } => {
+            let pipe_ty = c.reg(*pipe)?;
+            if pipe_ty != Type::Ptr(crate::types::AddressSpace::Pipe, *ty) {
+                return Err(
+                    c.mismatch(format!("pipe_read of {ty} through r{} of type {pipe_ty}", pipe.0))
+                );
+            }
+            c.expect_scalar(*dst, *ty, "pipe_read dst")?;
+        }
+        Inst::PipeWrite { pipe, val, ty } => {
+            let pipe_ty = c.reg(*pipe)?;
+            if pipe_ty != Type::Ptr(crate::types::AddressSpace::Pipe, *ty) {
+                return Err(c.mismatch(format!(
+                    "pipe_write of {ty} through r{} of type {pipe_ty}",
+                    pipe.0
+                )));
+            }
+            c.expect_scalar(*val, *ty, "pipe_write value")?;
+        }
         // Checked against the predecessor list in `verify_block`.
         Inst::Phi { .. } => {}
     }

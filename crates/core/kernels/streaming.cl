@@ -1,0 +1,72 @@
+// Kernel IV.C -- the streaming (channel/pipe) implementation.
+//
+// Two single-work-item task kernels connected by an on-chip pipe, the
+// Altera channel idiom: `binomial_leaf_producer` walks the leaf row and
+// streams leaf asset prices S(N, j) = S0 * u^(2j - N) into the FIFO;
+// `binomial_stream_consumer` drains it into private registers and runs
+// the whole backward induction device-resident. The host enqueues ONE
+// launch graph for the pair -- leaf values never touch global memory and
+// no host round-trip separates tree levels (contrast kernel IV.A, which
+// re-enqueues a batch per level, and even IV.B, whose leaves round-trip
+// through local memory).
+//
+// Numerics are copied verbatim from kernel IV.B (optimized.cl) so IV.C
+// prices are bit-identical to IV.B on the same device math: the same
+// pow() leaf expression (Altera 13.0's inaccuracy included), the same
+// continuation expression pd * v[j+1] + qd * v[j], the same fmax payoff
+// clamp. The induction updates v[j] ascending in j, so v[j+1] still
+// holds the previous level's value when row j reads it -- the same
+// dataflow IV.B gets from its read-barrier-write sequence.
+//
+// PRIVN is substituted at build time with n_steps + 1 (the private row
+// length); per-option parameters are IV.B's 6-wide block:
+// [o*6+0]=S0 [o*6+1]=K [o*6+2]=u [o*6+3]=pd [o*6+4]=qd [o*6+5]=phi.
+// Both kernels are launched as single-work-item tasks (one work-item,
+// one group), the shape the pipe engines require.
+
+__kernel void binomial_leaf_producer(
+    __global const REAL* params,
+    pipe REAL leaves,
+    int n_steps,
+    int n_options
+) {
+    for (int o = 0; o < n_options; o++) {
+        REAL s0 = params[o * 6 + 0];
+        REAL u  = params[o * 6 + 2];
+        for (int j = 0; j <= n_steps; j++) {
+            // Same leaf expression as IV.B: S(N,j) = S0 * u^(2j - N).
+            REAL s = s0 * pow(u, (REAL)(2 * (long)j - (long)n_steps));
+            write_pipe(leaves, s);
+        }
+    }
+}
+
+__kernel void binomial_stream_consumer(
+    __global const REAL* params,
+    pipe REAL leaves,
+    __global REAL* results,
+    int n_steps,
+    int n_options
+) {
+    REAL v[PRIVN];
+    REAL sv[PRIVN];
+    for (int o = 0; o < n_options; o++) {
+        REAL K   = params[o * 6 + 1];
+        REAL u   = params[o * 6 + 2];
+        REAL pd  = params[o * 6 + 3];
+        REAL qd  = params[o * 6 + 4];
+        REAL phi = params[o * 6 + 5];
+        for (int j = 0; j <= n_steps; j++) {
+            sv[j] = read_pipe(leaves);
+            v[j] = fmax(phi * (sv[j] - K), (REAL)0.0);
+        }
+        for (int t = n_steps - 1; t >= 0; t--) {
+            for (int j = 0; j <= t; j++) {
+                sv[j] = sv[j] * u;            // S(t,j) = u * S(t+1,j)
+                REAL cont = pd * v[j + 1] + qd * v[j];
+                v[j] = fmax(phi * (sv[j] - K), cont);
+            }
+        }
+        results[o] = v[0];
+    }
+}

@@ -4,6 +4,7 @@ use crate::error::Error;
 use crate::hostprog::optimized::OptimizedHost;
 use crate::hostprog::payoff::PayoffHost;
 use crate::hostprog::straightforward::StraightforwardHost;
+use crate::hostprog::streaming::StreamingHost;
 use crate::kernels::KernelArch;
 use crate::perfmodel::{scale_to_batch, StatsFit, CALIBRATION_STEPS};
 use bop_cpu::Precision;
@@ -411,10 +412,14 @@ impl Accelerator {
         let faults = faults.filter(FaultPlan::is_active);
         let build = build.unwrap_or_else(|| arch.paper_build_options());
         let ctx = Context::new(device.clone());
+        // Size lattice-sized sources (the streaming kernel's private
+        // rows) for this accelerator's lattice — and no smaller than the
+        // calibration lattices, which run through the same program.
+        let sized_steps = n_steps.max(CALIBRATION_STEPS[2]);
         let program = Program::from_source_with_metrics(
             &ctx,
             "kernel.cl",
-            &arch.source(precision),
+            &arch.source_sized(precision, sized_steps),
             &build,
             metrics.as_deref(),
         )?;
@@ -625,6 +630,8 @@ impl Accelerator {
                 }
                 .run(ctx, queue, program, options, &payoffs)
             }
+            KernelArch::Streaming => StreamingHost { n_steps, precision: self.precision }
+                .run(ctx, queue, program, options),
         }
     }
 
@@ -640,7 +647,8 @@ impl Accelerator {
                 | (
                     KernelArch::Straightforward
                         | KernelArch::Optimized
-                        | KernelArch::OptimizedHostLeaves,
+                        | KernelArch::OptimizedHostLeaves
+                        | KernelArch::Streaming,
                     Payoff::American,
                 )
         )
@@ -912,9 +920,21 @@ impl Accelerator {
         let (ctx, queue, program) = self.fresh_session(false)?;
         let arch = self.arch;
         let n_steps = self.n_steps;
-        queue.set_timing_only(Box::new(move |_kernel, dispatch| match arch {
+        queue.set_timing_only(Box::new(move |kernel, dispatch| match arch {
             // Per-batch statistics, independent of the dispatch.
             KernelArch::Straightforward => per_unit.clone(),
+            // Single-work-item tasks: the dispatch carries no batch size,
+            // so scale the consumer's per-option profile by the captured
+            // batch directly. The producer's (much smaller) stream runs
+            // concurrently under the graph's max(), so it contributes no
+            // extra time of its own.
+            KernelArch::Streaming => {
+                if kernel == KernelArch::STREAMING_PRODUCER {
+                    bop_clir::stats::ExecStats::default()
+                } else {
+                    scale_to_batch(&per_unit, n_options)
+                }
+            }
             // Per-work-group statistics scaled by the group count.
             _ => scale_to_batch(&per_unit, dispatch.global / (n_steps + 1)),
         }));

@@ -4,11 +4,14 @@
 //! [`straightforward`] program re-enqueues a batch per time step and pumps
 //! megabytes of ping-pong state across PCIe between batches (Figure 3);
 //! the [`optimized`] program issues exactly three commands — write
-//! parameters, one NDRange, read results (Figure 4).
+//! parameters, one NDRange, read results (Figure 4); the [`streaming`]
+//! program launches the IV.C producer/consumer pair as one graph, with
+//! leaf values streaming through an on-chip pipe.
 
 pub mod optimized;
 pub mod payoff;
 pub mod straightforward;
+pub mod streaming;
 
 use bop_cpu::Precision;
 use bop_finance::binomial::CrrParams;

@@ -34,6 +34,13 @@ pub enum KernelArch {
     /// dataflow with early exercise restricted to every k-th lattice
     /// date. The per-option parameter block widens to 8 values.
     Bermudan,
+    /// Section IV.C: the streaming architecture — two single-work-item
+    /// task kernels (leaf producer, induction consumer) connected by an
+    /// on-chip pipe and launched as one graph. Leaf values stream through
+    /// the FIFO instead of global/local memory; the whole tree is priced
+    /// device-resident with zero host round-trips between levels.
+    /// Bit-identical to IV.B on the same device math.
+    Streaming,
 }
 
 impl KernelArch {
@@ -59,8 +66,16 @@ impl KernelArch {
             KernelArch::OptimizedEuropean => "binomial_european",
             KernelArch::Barrier => "binomial_barrier",
             KernelArch::Bermudan => "binomial_bermudan",
+            // The consumer carries the results and therefore the stats
+            // callers care about; the producer is
+            // [`KernelArch::STREAMING_PRODUCER`].
+            KernelArch::Streaming => "binomial_stream_consumer",
         }
     }
+
+    /// The producer half of the [`KernelArch::Streaming`] pair (the
+    /// consumer half is its [`KernelArch::kernel_name`]).
+    pub const STREAMING_PRODUCER: &'static str = "binomial_leaf_producer";
 
     /// Width of the per-option parameter block the kernel reads: 6 for
     /// the vanilla payoffs, 8 for the market-risk payoffs (which append
@@ -70,7 +85,8 @@ impl KernelArch {
             KernelArch::Straightforward
             | KernelArch::Optimized
             | KernelArch::OptimizedHostLeaves
-            | KernelArch::OptimizedEuropean => 6,
+            | KernelArch::OptimizedEuropean
+            | KernelArch::Streaming => 6,
             KernelArch::Barrier | KernelArch::Bermudan => 8,
         }
     }
@@ -84,16 +100,31 @@ impl KernelArch {
             KernelArch::OptimizedEuropean => include_str!("../kernels/european.cl"),
             KernelArch::Barrier => include_str!("../kernels/barrier.cl"),
             KernelArch::Bermudan => include_str!("../kernels/bermudan.cl"),
+            KernelArch::Streaming => include_str!("../kernels/streaming.cl"),
         }
     }
 
-    /// The source instantiated at `precision`.
+    /// The source instantiated at `precision`. The streaming kernel's
+    /// private row length defaults to the paper's 1024; size it to the
+    /// lattice with [`KernelArch::source_sized`].
     pub fn source(self, precision: Precision) -> String {
+        self.source_sized(precision, 1023)
+    }
+
+    /// The source instantiated at `precision` for an `n_steps` lattice.
+    /// Only the streaming kernel is lattice-sized (its private rows hold
+    /// `n_steps + 1` values, substituted for `PRIVN`); every other
+    /// architecture takes the lattice size as a runtime argument.
+    pub fn source_sized(self, precision: Precision, n_steps: usize) -> String {
         let real = match precision {
             Precision::Double => "double",
             Precision::Single => "float",
         };
-        self.raw_source().replace("REAL", real)
+        let src = self.raw_source().replace("REAL", real);
+        match self {
+            KernelArch::Streaming => src.replace("PRIVN", &(n_steps + 1).to_string()),
+            _ => src,
+        }
     }
 
     /// The paper's published build options for this architecture
@@ -107,6 +138,9 @@ impl KernelArch {
             | KernelArch::OptimizedEuropean
             | KernelArch::Barrier
             | KernelArch::Bermudan => bop_ocl::BuildOptions::paper_optimized(),
+            // Single-work-item tasks: no SIMD lanes or replication to
+            // vectorize over; the pipeline depth does the work.
+            KernelArch::Streaming => bop_ocl::BuildOptions::default(),
         }
     }
 }
@@ -120,6 +154,7 @@ impl fmt::Display for KernelArch {
             KernelArch::OptimizedEuropean => "IV.B optimized (European)",
             KernelArch::Barrier => "IV.B optimized (barrier)",
             KernelArch::Bermudan => "IV.B optimized (Bermudan)",
+            KernelArch::Streaming => "IV.C streaming",
         })
     }
 }
@@ -137,15 +172,46 @@ mod tests {
             KernelArch::OptimizedEuropean,
             KernelArch::Barrier,
             KernelArch::Bermudan,
+            KernelArch::Streaming,
         ] {
             for precision in [Precision::Double, Precision::Single] {
                 let src = arch.source(precision);
                 assert!(!src.contains("REAL"), "substitution incomplete for {arch}");
+                assert!(!src.contains("PRIVN"), "row sizing incomplete for {arch}");
                 let m = bop_clc::compile("k.cl", &src, &bop_clc::Options::default())
                     .unwrap_or_else(|e| panic!("{arch} at {precision:?} fails to compile: {e}"));
                 assert!(m.kernel(arch.kernel_name()).is_some());
             }
         }
+    }
+
+    #[test]
+    fn streaming_pair_communicates_through_a_pipe_only() {
+        use bop_clir::ir::Inst;
+        use bop_clir::types::{AddressSpace, Type};
+        let m = bop_clc::compile(
+            "k.cl",
+            &KernelArch::Streaming.source_sized(Precision::Double, 64),
+            &Default::default(),
+        )
+        .expect("compiles");
+        for name in [KernelArch::STREAMING_PRODUCER, KernelArch::Streaming.kernel_name()] {
+            let f = m.kernel(name).expect("kernel");
+            assert!(
+                f.params.iter().any(|p| matches!(p.ty, Type::Ptr(AddressSpace::Pipe, _))),
+                "{name} takes a pipe"
+            );
+        }
+        let producer = m.kernel(KernelArch::STREAMING_PRODUCER).expect("kernel");
+        let writes = producer
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::PipeWrite { .. }));
+        let stores =
+            producer.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::Store { .. }));
+        assert!(writes, "producer streams leaves into the pipe");
+        assert!(!stores, "producer never touches global memory for leaves");
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub const VALIDATION_STEPS: usize = 72;
 fn to_vec(stats: &ExecStats) -> Vec<f64> {
     let o = &stats.ops;
     let m = &stats.mem;
-    let mut v = vec![stats.barriers as f64, stats.item_phases as f64];
+    let mut v = vec![
+        stats.barriers as f64,
+        stats.item_phases as f64,
+        stats.pipe_reads as f64,
+        stats.pipe_writes as f64,
+        stats.pipe_read_stalls as f64,
+        stats.pipe_write_stalls as f64,
+    ];
     v.extend(
         [
             o.add32, o.add64, o.mul32, o.mul64, o.div32, o.div64, o.minmax32, o.minmax64,
@@ -59,6 +66,10 @@ fn from_vec(v: &[f64], blocks: usize) -> ExecStats {
     let mut next = || r(it.next().expect("vector length"));
     let barriers = next();
     let item_phases = next();
+    let pipe_reads = next();
+    let pipe_writes = next();
+    let pipe_read_stalls = next();
+    let pipe_write_stalls = next();
     let ops = OpCounts {
         add32: next(),
         add64: next(),
@@ -93,7 +104,17 @@ fn from_vec(v: &[f64], blocks: usize) -> ExecStats {
         private_accesses: next(),
     };
     let block_execs = (0..blocks).map(|_| next()).collect();
-    ExecStats { block_execs, barriers, item_phases, ops, mem }
+    ExecStats {
+        block_execs,
+        barriers,
+        item_phases,
+        pipe_reads,
+        pipe_writes,
+        pipe_read_stalls,
+        pipe_write_stalls,
+        ops,
+        mem,
+    }
 }
 
 /// A per-metric quadratic model of per-option statistics as a function of

@@ -64,6 +64,10 @@ pub struct PayoffSuite {
     european: Accelerator,
     barrier: Accelerator,
     bermudan: Accelerator,
+    /// The kernel IV.C pipe pair: an alternative American-pricing path
+    /// that runs device-resident (producer → pipe → consumer, one launch
+    /// graph), bit-identical to [`PayoffSuite::accelerator`]'s IV.B.
+    streaming: Accelerator,
 }
 
 impl Clone for PayoffSuite {
@@ -73,6 +77,7 @@ impl Clone for PayoffSuite {
             european: self.european.clone(),
             barrier: self.barrier.clone(),
             bermudan: self.bermudan.clone(),
+            streaming: self.streaming.clone(),
         }
     }
 }
@@ -124,16 +129,19 @@ impl PayoffSuite {
         let european = class(KernelArch::OptimizedEuropean)?;
         let barrier = class(KernelArch::Barrier)?;
         let bermudan = class(KernelArch::Bermudan)?;
+        let streaming = class(KernelArch::Streaming)?;
         Ok(american
             .into_iter()
             .zip(european)
             .zip(barrier)
             .zip(bermudan)
-            .map(|(((american, european), barrier), bermudan)| PayoffSuite {
+            .zip(streaming)
+            .map(|((((american, european), barrier), bermudan), streaming)| PayoffSuite {
                 american,
                 european,
                 barrier,
                 bermudan,
+                streaming,
             })
             .collect())
     }
@@ -146,6 +154,17 @@ impl PayoffSuite {
             Payoff::Barrier { .. } => &self.barrier,
             Payoff::Bermudan { .. } => &self.bermudan,
         }
+    }
+
+    /// The kernel IV.C streaming accelerator: prices American options
+    /// through the device-resident pipe pair (one launch graph, zero host
+    /// round-trips between tree levels), bit-identical to the American
+    /// IV.B path on the same device math. Serving keeps IV.B as the
+    /// throughput path — its 1024 lanes beat IV.C's single pipeline — but
+    /// exposes this one for energy-bound deployments and for the Table II
+    /// IV.C column.
+    pub fn streaming(&self) -> &Accelerator {
+        &self.streaming
     }
 
     /// The lattice step count (shared by all four accelerators).
@@ -170,6 +189,7 @@ impl PayoffSuite {
         self.european = self.european.with_fault_plan(plan);
         self.barrier = self.barrier.with_fault_plan(plan);
         self.bermudan = self.bermudan.with_fault_plan(plan);
+        self.streaming = self.streaming.with_fault_plan(plan);
         self
     }
 
@@ -358,6 +378,17 @@ mod tests {
         assert!(results[0].price < results[1].price);
         assert!(results[1].price < results[2].price);
         assert!(run.rmse < 1e-9, "payoff-aware reference: {}", run.rmse);
+    }
+
+    #[test]
+    fn streaming_path_matches_the_american_path_bit_for_bit() {
+        let suite = PayoffSuite::build(crate::devices::gpu(), 48).expect("builds");
+        let options: Vec<OptionParams> = (0..5)
+            .map(|i| OptionParams { spot: 90.0 + 5.0 * f64::from(i), ..OptionParams::example() })
+            .collect();
+        let iv_b = suite.accelerator(Payoff::American).price(&options).expect("IV.B prices");
+        let iv_c = suite.streaming().price(&options).expect("IV.C prices");
+        assert_eq!(iv_b.prices, iv_c.prices, "same device math, same bits");
     }
 
     #[test]

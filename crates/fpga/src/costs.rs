@@ -61,6 +61,10 @@ const LOCAL_PORT: OpCost = OpCost::new(160, 210, 0, 0, 3);
 const PRIVATE_PORT: OpCost = OpCost::new(40, 90, 0, 0, 1);
 /// Work-group barrier controller.
 const BARRIER: OpCost = OpCost::new(150, 520, 0, 61_440, 2);
+/// A pipe (on-chip channel) port: ready/valid handshake plus FIFO
+/// interface logic. The FIFO storage itself is charged per pipe argument
+/// in the scheduler, where the modeled depth is known.
+const PIPE_PORT: OpCost = OpCost::new(180, 240, 0, 0, 2);
 /// Work-item id generator tap.
 const WI_QUERY: OpCost = OpCost::new(60, 90, 0, 0, 1);
 
@@ -133,6 +137,7 @@ pub fn inst_cost(inst: &Inst) -> OpCost {
         Inst::Gep { .. } => INT_ALU,
         Inst::Load { .. } | Inst::Store { .. } => OpCost::default(), // charged per site below
         Inst::Barrier => BARRIER,
+        Inst::PipeRead { .. } | Inst::PipeWrite { .. } => PIPE_PORT,
         // Phis are resolved on block entry by the out-of-ssa pass before
         // device compilation; they consume no datapath resources.
         Inst::Phi { .. } => OpCost::default(),

@@ -214,8 +214,11 @@ impl DeviceProgram for FpgaProgram {
         let compute_s = work_execs / lanes / fmax;
         let mem_s = stats.mem.global_bytes() as f64 / self.ddr_bw;
         let barrier_s = stats.barriers as f64 * 2.0 / fmax;
+        let stall_s = (stats.pipe_read_stalls + stats.pipe_write_stalls) as f64
+            * crate::schedule::PIPE_STALL_CYCLES as f64
+            / fmax;
         let fill_s = sched.depth_cycles as f64 / fmax;
-        fill_s + compute_s.max(mem_s) + barrier_s
+        fill_s + compute_s.max(mem_s) + barrier_s + stall_s
     }
 }
 

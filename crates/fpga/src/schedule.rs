@@ -22,6 +22,16 @@ use std::collections::HashMap;
 /// write-back).
 pub const PIPELINE_GLUE_CYCLES: u32 = 18;
 
+/// Modeled hardware depth of a pipe FIFO endpoint, in elements. The
+/// functional simulator honors the program-requested depth; the fabric
+/// model always provisions a power-of-two M9K-backed FIFO of this size,
+/// the way the Altera channel IP rounds up its buffering.
+pub const PIPE_MODEL_DEPTH: u64 = 64;
+
+/// Cycles lost to a pipe stall (handshake turnaround until the peer's
+/// progress becomes visible through the channel IP).
+pub const PIPE_STALL_CYCLES: u64 = 4;
+
 /// The schedule of one kernel at SIMD width 1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelSchedule {
@@ -52,6 +62,7 @@ fn is_work(inst: &Inst) -> bool {
     match inst {
         Inst::Bin { ty, .. } | Inst::Un { ty, .. } => ty.is_float(),
         Inst::Call { .. } | Inst::Load { .. } | Inst::Store { .. } | Inst::Barrier => true,
+        Inst::PipeRead { .. } | Inst::PipeWrite { .. } => true,
         _ => false,
     }
 }
@@ -115,6 +126,17 @@ pub fn schedule(func: &Function) -> KernelSchedule {
         }
         depth = depth.max(block_depth);
         work_blocks.push(has_work);
+    }
+
+    // Each pipe endpoint carries an M9K-backed FIFO of the modeled
+    // hardware depth (the requested depth only affects functional
+    // stalling, not fabric cost).
+    for p in &func.params {
+        if let bop_clir::types::Type::Ptr(bop_clir::types::AddressSpace::Pipe, elem) = p.ty {
+            let bits = PIPE_MODEL_DEPTH * elem.size_bytes() as u64 * 8;
+            lane.memory_bits += bits;
+            lane.m9k_blocks += bits.div_ceil(9216);
+        }
     }
 
     // Private arrays live in the lane's register file (or RAM when large).

@@ -2,6 +2,8 @@
 
 use crate::device::Device;
 use bop_clir::interp::GlobalArena;
+use bop_clir::pipes::PipeHub;
+use bop_clir::types::ScalarType;
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -29,6 +31,32 @@ impl Buffer {
     }
 }
 
+/// A pipe handle (cheap to clone): an on-chip FIFO connecting kernels
+/// of one context without host transfers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pipe {
+    pub(crate) id: u32,
+    pub(crate) elem: ScalarType,
+    pub(crate) depth: usize,
+}
+
+impl Pipe {
+    /// The runtime handle (stable for the lifetime of the context).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The element type every read/write must match.
+    pub fn elem(&self) -> ScalarType {
+        self.elem
+    }
+
+    /// FIFO capacity in elements.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
 /// An OpenCL-style context: one device plus its global memory.
 ///
 /// The context holds only the *global* arena — `__local` scratch memory
@@ -37,13 +65,19 @@ impl Buffer {
 pub struct Context {
     device: Arc<dyn Device>,
     pub(crate) mem: Mutex<GlobalArena>,
+    pub(crate) pipes: Mutex<PipeHub>,
     allocated: Mutex<u64>,
 }
 
 impl Context {
     /// Create a context on `device`.
     pub fn new(device: Arc<dyn Device>) -> Arc<Context> {
-        Arc::new(Context { device, mem: Mutex::new(GlobalArena::new()), allocated: Mutex::new(0) })
+        Arc::new(Context {
+            device,
+            mem: Mutex::new(GlobalArena::new()),
+            pipes: Mutex::new(PipeHub::default()),
+            allocated: Mutex::new(0),
+        })
     }
 
     /// The context's device.
@@ -66,6 +100,17 @@ impl Context {
         *used += bytes as u64;
         let id = self.mem.lock().unwrap().alloc(bytes);
         Buffer { id, bytes }
+    }
+
+    /// Create an on-chip FIFO of `depth` elements of type `elem` (the
+    /// `clCreatePipe` analogue). Depth 0 is clamped to 1. Pipe contents
+    /// persist across launches of this context, which is what lets a
+    /// producer kernel and a consumer kernel of one
+    /// [`enqueue_launch_graph`](crate::queue::CommandQueue::enqueue_launch_graph)
+    /// exchange data without host transfers.
+    pub fn create_pipe(self: &Arc<Self>, elem: ScalarType, depth: usize) -> Pipe {
+        let id = self.pipes.lock().unwrap().create(elem, depth);
+        Pipe { id, elem, depth: depth.max(1) }
     }
 
     /// Bytes of global memory currently allocated.

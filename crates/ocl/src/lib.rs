@@ -65,7 +65,7 @@ pub mod program;
 pub mod queue;
 pub mod testutil;
 
-pub use context::{Buffer, Context};
+pub use context::{Buffer, Context, Pipe};
 pub use device::{
     BuildError, BuildOptions, BuildReport, Device, DeviceKind, DeviceProgram, Dispatch, LinkModel,
     ResourceUsage,

@@ -1,6 +1,6 @@
 //! Programs and kernels.
 
-use crate::context::{Buffer, Context};
+use crate::context::{Buffer, Context, Pipe};
 use crate::device::{BuildError, BuildOptions, BuildReport, DeviceProgram};
 use bop_clir::bytecode::CompiledKernel;
 use bop_clir::ir::Module;
@@ -186,6 +186,8 @@ pub enum KernelArg {
     /// Work-group local allocation of the given size (the
     /// `clSetKernelArg(…, size, NULL)` idiom).
     Local(usize),
+    /// On-chip FIFO (see [`Context::create_pipe`](crate::Context::create_pipe)).
+    Pipe(Pipe),
 }
 
 /// A kernel handle with argument bindings.
@@ -240,6 +242,11 @@ impl Kernel {
     /// Bind a local-memory argument of `bytes` bytes per work-group.
     pub fn set_arg_local(&self, index: usize, bytes: usize) {
         self.set_arg(index, KernelArg::Local(bytes));
+    }
+
+    /// Bind a pipe argument.
+    pub fn set_arg_pipe(&self, index: usize, pipe: &Pipe) {
+        self.set_arg(index, KernelArg::Pipe(pipe.clone()));
     }
 
     pub(crate) fn bound_args(&self) -> Result<Vec<KernelArg>, BuildError> {

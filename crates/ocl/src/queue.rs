@@ -15,10 +15,15 @@ use crate::faults::{FaultDecision, FaultPlan, FaultSite, FaultState, InjectedFau
 use crate::program::{Kernel, KernelArg};
 use bop_clir::bytecode::{BytecodeRun, CompiledKernel, LanesRun};
 use bop_clir::interp::WorkerMemory;
-use bop_clir::interp::{ExecError, GlobalArena, GroupShape, KernelArgValue, WorkGroupRun};
+use bop_clir::interp::{
+    pipe_deadlock_trap, ExecError, GlobalArena, GroupShape, KernelArgValue, RunOutcome,
+    WorkGroupRun,
+};
 use bop_clir::ir::Function;
 use bop_clir::mathlib::MathLib;
+use bop_clir::pipes::PipeHub;
 use bop_clir::stats::ExecStats;
+use bop_clir::types::{AddressSpace, Type};
 use bop_obs::{Json, MetricsRegistry, SpanCategory, TraceLog, TraceSpan};
 use std::collections::HashMap;
 use std::fmt;
@@ -257,6 +262,14 @@ pub struct QueueCounters {
     pub work_items: u64,
     /// Number of injected faults (all sites, stalls included).
     pub faults: u64,
+    /// Successful pipe reads, summed over every launch.
+    pub pipe_reads: u64,
+    /// Successful pipe writes, summed over every launch.
+    pub pipe_writes: u64,
+    /// Pipe read attempts that found the FIFO empty.
+    pub pipe_read_stalls: u64,
+    /// Pipe write attempts that found the FIFO full.
+    pub pipe_write_stalls: u64,
 }
 
 type StatsModel = dyn Fn(&str, Dispatch) -> ExecStats + Send + Sync;
@@ -1214,7 +1227,13 @@ impl CommandQueue {
         let stats = if let Some(model) = self.timing_model.lock().unwrap().as_ref() {
             model(&kernel.name, dispatch)
         } else {
+            // Pipe kernels run against the context's persistent hub (its
+            // contents survive across launches); everything else keeps the
+            // multi-worker path.
+            let has_pipes =
+                func.params.iter().any(|p| matches!(p.ty, Type::Ptr(AddressSpace::Pipe, _)));
             let mut mem = self.ctx.mem.lock().unwrap();
+            let mut hub = has_pipes.then(|| self.ctx.pipes.lock().unwrap());
             interpret_groups(
                 &mut mem,
                 func,
@@ -1225,6 +1244,7 @@ impl CommandQueue {
                 self.workers(),
                 self.engine(),
                 self.step_limit(),
+                hub.as_deref_mut(),
             )?
         };
 
@@ -1239,6 +1259,10 @@ impl CommandQueue {
             let mut st = self.state.lock().unwrap();
             st.counters.launches += 1;
             st.counters.work_items += dispatch.global as u64;
+            st.counters.pipe_reads += stats.pipe_reads;
+            st.counters.pipe_writes += stats.pipe_writes;
+            st.counters.pipe_read_stalls += stats.pipe_read_stalls;
+            st.counters.pipe_write_stalls += stats.pipe_write_stalls;
             st.kernel_stats
                 .entry(kernel.name.clone())
                 .and_modify(|s| s.merge(&stats))
@@ -1257,6 +1281,286 @@ impl CommandQueue {
             fault_site,
         ))
     }
+
+    /// Launch several kernels as one co-scheduled graph: all of them are
+    /// resident on the device at once, and kernels connected by
+    /// [pipes](crate::context::Pipe) exchange data without host
+    /// transfers. Each kernel must dispatch exactly one work-group (the
+    /// graph models concurrent *kernels*, not concurrent groups; pipe
+    /// kernels are single-work-item tasks anyway).
+    ///
+    /// Functionally the kernels run round-robin in graph order: each
+    /// round resumes every unfinished kernel once, a kernel suspending
+    /// whenever a pipe op cannot make progress. A full round with no
+    /// successful pipe op and no completion can never unblock, and fails
+    /// the graph with a deterministic deadlock trap. The simulated
+    /// duration is the **maximum** of the per-kernel times (concurrent
+    /// execution), and the trace records one kernel entry per graph
+    /// member sharing the same queued/start timestamps.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] on unset arguments, capacity violations,
+    /// kernel execution failures, injected faults, or pipe deadlock.
+    pub fn enqueue_launch_graph(
+        &self,
+        launches: &[(&Kernel, Dispatch)],
+    ) -> Result<Event, RuntimeError> {
+        if launches.is_empty() {
+            return Err(RuntimeError::Invalid("empty launch graph".into()));
+        }
+        let info = self.ctx.device().info().clone();
+        let mut funcs = Vec::with_capacity(launches.len());
+        let mut all_args = Vec::with_capacity(launches.len());
+        for (kernel, dispatch) in launches {
+            if dispatch.groups() != 1 {
+                return Err(RuntimeError::Invalid(format!(
+                    "launch graphs schedule concurrent kernels, not concurrent work-groups: \
+                     kernel `{}` dispatches {} groups",
+                    kernel.name,
+                    dispatch.groups()
+                )));
+            }
+            if dispatch.local > info.max_work_group_size {
+                return Err(RuntimeError::Invalid(format!(
+                    "work-group size {} exceeds device maximum {}",
+                    dispatch.local, info.max_work_group_size
+                )));
+            }
+            let args = kernel.bound_args().map_err(|e| RuntimeError::Invalid(e.message))?;
+            let local_bytes: usize = args
+                .iter()
+                .map(|a| match a {
+                    KernelArg::Local(b) => *b,
+                    _ => 0,
+                })
+                .sum();
+            if local_bytes as u64 > info.local_mem_bytes {
+                return Err(RuntimeError::Invalid(format!(
+                    "work-group needs {local_bytes} bytes of local memory, device has {}",
+                    info.local_mem_bytes
+                )));
+            }
+            let func = kernel.device_program.module().kernel(&kernel.name).ok_or_else(|| {
+                RuntimeError::Invalid(format!("kernel `{}` disappeared", kernel.name))
+            })?;
+            funcs.push(func);
+            all_args.push(args);
+        }
+
+        // Fault decisions are drawn per kernel, in graph order, so a
+        // graph consumes exactly as many launch draws as its kernels
+        // would individually.
+        let mut stalls = Vec::with_capacity(launches.len());
+        for _ in launches {
+            stalls.push(self.fault_launch()?);
+        }
+
+        let stats_vec: Vec<ExecStats> = {
+            let timing = self.timing_model.lock().unwrap();
+            if let Some(model) = timing.as_ref() {
+                launches.iter().map(|(k, d)| model(&k.name, *d)).collect()
+            } else {
+                drop(timing);
+                let mut mem = self.ctx.mem.lock().unwrap();
+                let mut hub = self.ctx.pipes.lock().unwrap();
+                run_graph(
+                    &mut mem,
+                    &mut hub,
+                    launches,
+                    &funcs,
+                    &all_args,
+                    self.engine(),
+                    self.step_limit(),
+                )?
+            }
+        };
+
+        let device = info.kind.to_string();
+        let mut t_each = Vec::with_capacity(launches.len());
+        let mut max_t = 0.0f64;
+        for (i, (kernel, dispatch)) in launches.iter().enumerate() {
+            let t = kernel.device_program.kernel_time(&kernel.name, dispatch, &stats_vec[i])
+                + stalls[i].0;
+            max_t = max_t.max(t);
+            t_each.push(t);
+        }
+        if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
+            for ((kernel, _), stats) in launches.iter().zip(&stats_vec) {
+                publish_exec_stats(reg, &device, &kernel.name, stats);
+            }
+        }
+
+        let (queued, start, end) = {
+            let mut st = self.state.lock().unwrap();
+            let queued = st.now;
+            let start = queued + info.command_overhead_s;
+            let end = start + max_t;
+            st.now = end;
+            st.device_busy_s += max_t;
+            for (i, ((kernel, dispatch), stats)) in launches.iter().zip(&stats_vec).enumerate() {
+                st.counters.launches += 1;
+                st.counters.work_items += dispatch.global as u64;
+                st.counters.pipe_reads += stats.pipe_reads;
+                st.counters.pipe_writes += stats.pipe_writes;
+                st.counters.pipe_read_stalls += stats.pipe_read_stalls;
+                st.counters.pipe_write_stalls += stats.pipe_write_stalls;
+                st.kernel_stats
+                    .entry(kernel.name.clone())
+                    .and_modify(|s| s.merge(stats))
+                    .or_insert_with(|| stats.clone());
+                let span_id = st.next_span_id;
+                st.next_span_id += 1;
+                let parent = st.span_stack.last().map(|s| s.id);
+                let cap = st.trace_cap;
+                if let Some(trace) = &mut st.trace {
+                    if cap.is_some_and(|c| trace.len() >= c) {
+                        st.trace_dropped += 1;
+                    } else {
+                        trace.push(TraceEntry {
+                            span_id,
+                            parent,
+                            kind: CommandKind::Kernel,
+                            bytes: 0,
+                            kernel: Some(kernel.name.clone()),
+                            work_items: dispatch.global as u64,
+                            barriers: stats.barriers,
+                            groups: 1,
+                            queued_s: queued,
+                            start_s: start,
+                            end_s: start + t_each[i],
+                            fault: stalls[i].1,
+                        });
+                    }
+                }
+            }
+            (queued, start, end)
+        };
+        if let Some(reg) = self.metrics.lock().unwrap().as_ref() {
+            let d = device.as_str();
+            for (i, (kernel, dispatch)) in launches.iter().enumerate() {
+                reg.inc("ocl.commands", &[("device", d), ("kind", "kernel")], 1);
+                reg.observe(
+                    "ocl.command_seconds",
+                    &[("device", d), ("kind", "kernel")],
+                    end - queued,
+                );
+                reg.inc(
+                    "ocl.work_items",
+                    &[("device", d), ("kernel", &kernel.name)],
+                    dispatch.global as u64,
+                );
+                reg.observe(
+                    "ocl.kernel_seconds",
+                    &[("device", d), ("kernel", &kernel.name)],
+                    t_each[i],
+                );
+            }
+            reg.set_gauge("ocl.sim_elapsed_s", &[("device", d)], self.elapsed_s());
+            reg.set_gauge("ocl.device_busy_s", &[("device", d)], self.device_busy_s());
+        }
+        Ok(Event { profiling: ProfilingInfo { queued_s: queued, start_s: start, end_s: end } })
+    }
+}
+
+/// One resumable kernel of a launch graph, on whichever engine the queue
+/// selected (same fallback rules as single launches).
+enum GraphRunner<'a> {
+    Walk(WorkGroupRun<'a>),
+    Bc(BytecodeRun<'a>),
+    Lanes(LanesRun<'a>),
+}
+
+impl GraphRunner<'_> {
+    fn resume(
+        &mut self,
+        mem: &mut WorkerMemory,
+        math: &dyn MathLib,
+        hub: &mut PipeHub,
+    ) -> Result<RunOutcome, ExecError> {
+        match self {
+            GraphRunner::Walk(r) => r.run_resumable(mem, math, hub),
+            GraphRunner::Bc(r) => r.run_resumable(mem, math, hub),
+            GraphRunner::Lanes(r) => r.run_resumable(mem, math, hub),
+        }
+    }
+
+    fn stats(&self) -> &ExecStats {
+        match self {
+            GraphRunner::Walk(r) => r.stats(),
+            GraphRunner::Bc(r) => r.stats(),
+            GraphRunner::Lanes(r) => r.stats(),
+        }
+    }
+}
+
+/// Run every kernel of a launch graph to completion, round-robin in graph
+/// order against the context's pipe hub. Deterministic for every engine:
+/// the round order is the graph order, and each round resumes each
+/// unfinished kernel exactly once.
+fn run_graph(
+    mem: &mut GlobalArena,
+    hub: &mut PipeHub,
+    launches: &[(&Kernel, Dispatch)],
+    funcs: &[&Function],
+    all_args: &[Vec<KernelArg>],
+    engine: Engine,
+    step_limit: u64,
+) -> Result<Vec<ExecStats>, RuntimeError> {
+    let shared = mem.shared();
+    let mut locals: Vec<WorkerMemory> =
+        (0..launches.len()).map(|_| WorkerMemory::new(&shared)).collect();
+    let mut runners = Vec::with_capacity(launches.len());
+    for (i, ((kernel, dispatch), func)) in launches.iter().zip(funcs).enumerate() {
+        let arg_values: Vec<KernelArgValue> = all_args[i]
+            .iter()
+            .map(|a| match a {
+                KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
+                KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
+                KernelArg::Local(bytes) => {
+                    KernelArgValue::LocalBuffer(locals[i].alloc_local(*bytes))
+                }
+                KernelArg::Pipe(p) => KernelArgValue::Pipe(p.id),
+            })
+            .collect();
+        let shape = GroupShape::linear(dispatch.global, dispatch.local, 0);
+        let runner = match (engine, kernel.compiled.as_deref()) {
+            (Engine::Bytecode, Some(bc)) => {
+                GraphRunner::Bc(BytecodeRun::new(bc, shape, &arg_values, step_limit)?)
+            }
+            (Engine::Lanes, Some(bc)) => {
+                GraphRunner::Lanes(LanesRun::new(bc, shape, &arg_values, step_limit)?)
+            }
+            _ => GraphRunner::Walk(WorkGroupRun::new(func, shape, &arg_values, step_limit)?),
+        };
+        runners.push(runner);
+    }
+
+    let mut done = vec![false; runners.len()];
+    loop {
+        let ops_before = hub.total_ops();
+        let mut completed = false;
+        let mut remaining = false;
+        for (i, runner) in runners.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let math = launches[i].0.device_program.math();
+            match runner.resume(&mut locals[i], math, hub)? {
+                RunOutcome::Complete => {
+                    done[i] = true;
+                    completed = true;
+                }
+                RunOutcome::Stalled => remaining = true,
+            }
+        }
+        if !remaining {
+            break;
+        }
+        if !completed && hub.total_ops() == ops_before {
+            return Err(RuntimeError::Exec(pipe_deadlock_trap()));
+        }
+    }
+    Ok(runners.iter().map(|r| r.stats().clone()).collect())
 }
 
 /// Interpret every work-group of one NDRange launch, fanning contiguous
@@ -1290,24 +1594,66 @@ fn interpret_groups(
     workers: usize,
     engine: Engine,
     step_limit: u64,
+    pipes: Option<&mut PipeHub>,
 ) -> Result<ExecStats, RuntimeError> {
     let groups = dispatch.groups();
     let shared = mem.shared();
+
+    let bind = |local: &mut WorkerMemory| -> Vec<KernelArgValue> {
+        args.iter()
+            .map(|a| match a {
+                KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
+                KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
+                KernelArg::Local(bytes) => KernelArgValue::LocalBuffer(local.alloc_local(*bytes)),
+                KernelArg::Pipe(p) => KernelArgValue::Pipe(p.id),
+            })
+            .collect()
+    };
+
+    // A pipe kernel launched alone runs serially against the hub. It may
+    // complete by draining (or leaving behind) buffered FIFO contents —
+    // they persist on the context — but a launch that ends stalled has
+    // no peer in this command to unblock it: deadlock.
+    if let Some(hub) = pipes {
+        let mut local = WorkerMemory::new(&shared);
+        let mut total = ExecStats::with_blocks(func.blocks.len());
+        for group in 0..groups {
+            local.clear_locals();
+            let arg_values = bind(&mut local);
+            let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
+            let outcome = match (engine, compiled) {
+                (Engine::Bytecode, Some(bc)) => {
+                    let mut run = BytecodeRun::new(bc, shape, &arg_values, step_limit)?;
+                    let o = run.run_resumable(&mut local, math, hub)?;
+                    total.merge(run.stats());
+                    o
+                }
+                (Engine::Lanes, Some(bc)) => {
+                    let mut run = LanesRun::new(bc, shape, &arg_values, step_limit)?;
+                    let o = run.run_resumable(&mut local, math, hub)?;
+                    total.merge(run.stats());
+                    o
+                }
+                _ => {
+                    let mut run = WorkGroupRun::new(func, shape, &arg_values, step_limit)?;
+                    let o = run.run_resumable(&mut local, math, hub)?;
+                    total.merge(run.stats());
+                    o
+                }
+            };
+            if outcome == RunOutcome::Stalled {
+                return Err(RuntimeError::Exec(pipe_deadlock_trap()));
+            }
+        }
+        return Ok(total);
+    }
+
     let run_range = |range: std::ops::Range<usize>| -> Result<ExecStats, ExecError> {
         let mut local = WorkerMemory::new(&shared);
         let mut total = ExecStats::with_blocks(func.blocks.len());
         for group in range {
             local.clear_locals();
-            let arg_values: Vec<KernelArgValue> = args
-                .iter()
-                .map(|a| match a {
-                    KernelArg::Scalar(v) => KernelArgValue::Scalar(*v),
-                    KernelArg::Buffer(b) => KernelArgValue::GlobalBuffer(b.id),
-                    KernelArg::Local(bytes) => {
-                        KernelArgValue::LocalBuffer(local.alloc_local(*bytes))
-                    }
-                })
-                .collect();
+            let arg_values = bind(&mut local);
             let shape = GroupShape::linear(dispatch.global, dispatch.local, group);
             match (engine, compiled) {
                 (Engine::Bytecode, Some(bc)) => {
@@ -1374,6 +1720,8 @@ fn publish_exec_stats(reg: &MetricsRegistry, device: &str, kernel: &str, stats: 
     );
     reg.inc("clir.flops_hard", &labels, stats.ops.hard_flops(true) + stats.ops.hard_flops(false));
     reg.inc("clir.global_mem_bytes", &labels, stats.mem.global_bytes());
+    reg.inc("clir.pipe_ops", &labels, stats.pipe_reads + stats.pipe_writes);
+    reg.inc("clir.pipe_stalls", &labels, stats.pipe_read_stalls + stats.pipe_write_stalls);
 }
 
 #[cfg(test)]

@@ -117,6 +117,89 @@ fn golden_crr_vectors_pin_the_reference_pricer() {
     assert!((price_american_f64(&itm_put, 512) - itm_put.intrinsic()).abs() < 1e-12);
 }
 
+/// Build a streaming (IV.C) and an optimized (IV.B) accelerator on the
+/// same device at `n_steps`.
+fn streaming_pair(
+    device: std::sync::Arc<dyn bop_ocl::Device>,
+    n_steps: usize,
+) -> (Accelerator, Accelerator) {
+    let build = |arch| {
+        Accelerator::builder(device.clone())
+            .arch(arch)
+            .precision(Precision::Double)
+            .n_steps(n_steps)
+            .build()
+            .expect("builds")
+    };
+    (build(KernelArch::Streaming), build(KernelArch::Optimized))
+}
+
+#[test]
+fn streaming_kernel_is_bit_identical_to_optimized_and_close_to_host_crr() {
+    // Golden accuracy pin for kernel IV.C: on the buggy FPGA math it
+    // reproduces IV.B bit for bit (same pow, same induction, different
+    // dataflow); on the GPU's exact math it lands within 1e-9 of the
+    // host CRR reference.
+    let n_steps = 96;
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 6, 31);
+
+    let (iv_c, iv_b) = streaming_pair(bop_core::devices::fpga(), n_steps);
+    let stream = iv_c.price(&options).expect("IV.C prices");
+    let opt = iv_b.price(&options).expect("IV.B prices");
+    for (s, o) in stream.prices.iter().zip(&opt.prices) {
+        assert_eq!(s.to_bits(), o.to_bits(), "IV.C must equal IV.B bit for bit");
+    }
+    assert!(
+        stream.rmse > 1e-9,
+        "the pow bug must be visible through the pipe: {:.2e}",
+        stream.rmse
+    );
+
+    let (iv_c_gpu, _) = streaming_pair(bop_core::devices::gpu(), n_steps);
+    let exact = iv_c_gpu.price(&options).expect("IV.C prices on exact math");
+    for (price, option) in exact.prices.iter().zip(&options) {
+        let reference = price_american_f64(option, n_steps);
+        assert!(
+            (price - reference).abs() < 1e-9,
+            "IV.C on exact math: {price} vs host CRR {reference}"
+        );
+    }
+}
+
+#[test]
+fn streaming_prices_that_survive_chaos_are_bit_identical_to_fault_free() {
+    // The chaos contract extends to the pipe pair: under a seeded fault
+    // plan a session either fails with a typed error or prices exactly —
+    // a fault must never skew a surviving IV.C price.
+    let seed = match std::env::var("BOP_SIM_FAULTS") {
+        Ok(s) => s.parse().unwrap_or(7),
+        Err(_) => 7,
+    };
+    let n_steps = 32;
+    let options = workload::volatility_curve(&workload::WorkloadConfig::default(), 1.0, 3, 41);
+    let (fault_free, _) = streaming_pair(bop_core::devices::gpu(), n_steps);
+    let baseline = fault_free.price(&options).expect("fault-free prices");
+
+    let (faulty, _) = streaming_pair(bop_core::devices::gpu(), n_steps);
+    let faulty = faulty.with_fault_plan(bop_core::FaultPlan::new(0.3, seed));
+    let mut survived = 0;
+    let mut failed = 0;
+    for _ in 0..24 {
+        match faulty.price(&options) {
+            Ok(run) => {
+                survived += 1;
+                assert_eq!(run.prices, baseline.prices, "a surviving price must be exact");
+            }
+            Err(e) => {
+                failed += 1;
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+    assert!(survived > 0, "24 sessions at 30% fault rate should not all fail");
+    assert!(failed > 0, "24 sessions at 30% fault rate should not all survive");
+}
+
 #[test]
 fn near_zero_volatility_collapses_to_the_deterministic_forward() {
     // sigma must stay >= r*sqrt(dt) for the CRR risk-neutral p to remain
